@@ -1,0 +1,128 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but sweeps over the parameters the paper
+fixes, showing *why* the published configuration behaves as it does:
+
+1. batch-depth sweep (the paper fixes 16) under fsync;
+2. store-per-op vs. store-per-batch (the Sec. 5.2 optimisation);
+3. stability quorum size (majority vs. all clients);
+4. EPC-size sensitivity for the Sec. 6.2 knee.
+"""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import render_series_table
+from repro.perf.model import SystemSpec, measure_throughput
+from repro.tee.sgx import MIB, EpcModel, MapMemoryModel
+
+from benchmarks.conftest import register_table
+
+
+def test_ablation_batch_depth(benchmark):
+    """Deeper batches amortise the fsync: throughput under synchronous
+    writes grows with batch depth and flattens once the per-op work
+    dominates the shared flush."""
+
+    depths = [1, 2, 4, 8, 16, 32, 64]
+
+    def sweep():
+        return [
+            measure_throughput(
+                SystemSpec(f"lcm_b{depth}", enclave=True, lcm=True, batch_limit=depth),
+                clients=32,
+                fsync=True,
+            ).ops_per_second
+            for depth in depths
+        ]
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation-batch-depth",
+        description="LCM under fsync, 32 clients, batch depth sweep",
+        parameters={"clients": 32, "fsync": True},
+        series={"batch_depth": depths, "lcm_ops_per_sec": series},
+    )
+    register_table(render_series_table(result, x_key="batch_depth"))
+    assert series[4] > series[0] * 5          # depth 16 >> depth 1
+    assert series[6] > series[4] * 0.9        # diminishing returns past 16
+
+
+def test_ablation_store_per_batch(benchmark):
+    """The Sec. 5.2 optimisation isolated: batching the *ecall and store*
+    (batch_limit>1) vs. paying them per operation, under async writes."""
+
+    def run():
+        per_op = measure_throughput("lcm", clients=32).ops_per_second
+        per_batch = measure_throughput("lcm_batch", clients=32).ops_per_second
+        return per_op, per_batch
+
+    per_op, per_batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation-store-frequency",
+        description="store/ecall per operation vs. per batch (async, 32 clients)",
+        parameters={"clients": 32},
+        series={"policy": ["per-op", "per-batch"], "ops_per_sec": [per_op, per_batch]},
+    )
+    register_table(render_series_table(result, x_key="policy"))
+    assert per_batch > per_op * 1.2
+
+
+def test_ablation_stability_quorum(benchmark):
+    """Quorum size trades detection strength for stability latency: with a
+    full quorum a single silent client freezes stability; a majority
+    quorum keeps advancing."""
+    from tests.conftest import build_deployment
+    from repro.kvstore import put
+
+    def run():
+        outcome = {}
+        for name, quorum in (("majority", None), ("all-clients", 3)):
+            _, _, (alice, bob, carol) = build_deployment(
+                clients=3, quorum_override=quorum
+            )
+            sequence = alice.invoke(put("k", "v")).sequence
+            # bob participates; carol stays silent forever
+            for _ in range(3):
+                alice.poll_stability()
+                bob.poll_stability()
+            outcome[name] = alice.is_stable(sequence)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation-quorum",
+        description="stability progress with one silent client (n=3)",
+        parameters={"clients": 3},
+        series={
+            "quorum": list(outcome),
+            "op_becomes_stable": [outcome[k] for k in outcome],
+        },
+    )
+    register_table(render_series_table(result, x_key="quorum"))
+    assert outcome["majority"] is True
+    assert outcome["all-clients"] is False
+
+
+def test_ablation_epc_size(benchmark):
+    """Sec. 6.2 knee position scales with the usable EPC: doubling the EPC
+    pushes the paging penalty past the 1M-object working set."""
+
+    memory = MapMemoryModel()
+    working_set = memory.heap_bytes(1_000_000, 40, 100)
+
+    def sweep():
+        sizes_mb = [64, 93, 128, 256, 512]
+        return sizes_mb, [
+            EpcModel(usable_bytes=mb * MIB).latency_multiplier(working_set)
+            for mb in sizes_mb
+        ]
+
+    sizes_mb, multipliers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation-epc-size",
+        description="latency multiplier at 1M objects vs. usable EPC size",
+        parameters={"objects": 1_000_000},
+        series={"epc_mb": sizes_mb, "latency_multiplier": multipliers},
+    )
+    register_table(render_series_table(result, x_key="epc_mb"))
+    assert multipliers == sorted(multipliers, reverse=True)
+    assert multipliers[-1] == 1.0  # 512 MB EPC holds the whole working set

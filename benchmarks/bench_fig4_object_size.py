@@ -1,0 +1,40 @@
+"""Fig. 4: throughput vs. object size (100-2500 B), SGX vs. LCM, async.
+
+Paper result: LCM's throughput overhead over the plain SGX KVS is 20.12%
+at 100-byte objects and falls to 10.96% at 2500 bytes, because the
+protocol's extra work per operation is constant while the crypto cost
+grows with the payload.
+"""
+
+from repro.harness.experiments import run_fig4_object_size
+from repro.harness.report import render_series_table, summarize_bands
+
+from benchmarks.conftest import register_table
+
+
+def test_fig4_object_size(benchmark):
+    result = benchmark.pedantic(run_fig4_object_size, rounds=1, iterations=1)
+    register_table(
+        render_series_table(result, x_key="object_size")
+        + "\n"
+        + summarize_bands(result)
+    )
+    # LCM below SGX at every size
+    for sgx, lcm in zip(result.series["sgx"], result.series["lcm"]):
+        assert 0 < lcm < sgx
+    # overhead decays from ~20% to ~11% (generous shape bands)
+    assert 0.10 <= result.ratios["overhead_smallest"] <= 0.30
+    assert 0.05 <= result.ratios["overhead_largest"] <= 0.20
+    assert result.ratios["overhead_largest"] < result.ratios["overhead_smallest"]
+    assert result.ratios["overhead_decreases"]
+
+
+def test_fig4_lcm_throughput_decreases_with_size(benchmark):
+    result = benchmark.pedantic(
+        run_fig4_object_size,
+        kwargs={"object_sizes": [100, 1000, 2500]},
+        rounds=1,
+        iterations=1,
+    )
+    series = result.series["lcm"]
+    assert series[0] > series[1] > series[2]

@@ -1,0 +1,54 @@
+"""Fig. 5: throughput vs. #clients (1-32), async disk writes, 7 systems.
+
+Paper results reproduced here:
+- Native and Redis scale almost linearly while LCM and SGX saturate
+  around 8 clients;
+- SGX reaches 0.42x-0.78x of Native;
+- LCM reaches 0.67x-0.95x of SGX (0.72x-0.98x with batching);
+- the emulated TMC is pinned at ~12 ops/s.
+"""
+
+from repro.harness.experiments import run_fig5_clients_async
+from repro.harness.report import render_series_table, summarize_bands
+
+from benchmarks.conftest import register_table
+
+
+def test_fig5_clients_async(benchmark):
+    result = benchmark.pedantic(run_fig5_clients_async, rounds=1, iterations=1)
+    register_table(
+        render_series_table(result, x_key="clients") + "\n" + summarize_bands(result)
+    )
+    series = result.series
+
+    # ordering at 32 clients: native/redis on top, then batching variants,
+    # then plain SGX, then LCM, with TMC orders of magnitude below.
+    at32 = {name: series[name][-1] for name in series if name != "clients"}
+    assert at32["native"] > at32["sgx_batch"] > at32["sgx"]
+    assert at32["redis"] > at32["lcm_batch"] > at32["lcm"]
+    assert at32["sgx_tmc"] < 20
+
+    # saturation: SGX gains <25% from 8 -> 32 clients; native more than 2x
+    index8 = result.series["clients"].index(8)
+    assert series["sgx"][-1] < series["sgx"][index8] * 1.25
+    assert series["native"][-1] > series["native"][index8] * 2
+
+    # the paper's headline ratio bands (with reproduction slack)
+    low, high = result.ratios["sgx_vs_native"]
+    assert 0.25 <= low <= 0.55 and 0.70 <= high <= 1.0
+    low, high = result.ratios["lcm_vs_sgx"]
+    assert 0.65 <= low and high <= 1.0
+    low, high = result.ratios["lcm_batch_vs_sgx_batch"]
+    assert 0.70 <= low and high <= 1.0
+
+
+def test_fig5_tmc_flat(benchmark):
+    result = benchmark.pedantic(
+        run_fig5_clients_async,
+        kwargs={"systems": ["sgx_tmc"], "client_counts": [1, 8, 32]},
+        rounds=1,
+        iterations=1,
+    )
+    series = result.series["sgx_tmc"]
+    assert max(series) <= 1.5 * min(series)
+    assert 8 <= sum(series) / len(series) <= 20

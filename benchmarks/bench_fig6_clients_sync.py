@@ -1,0 +1,51 @@
+"""Fig. 6: throughput vs. #clients with synchronous (fsync) disk writes.
+
+Paper results reproduced here:
+- Native, SGX, LCM and SGX+TMC stay flat (one fsync per request);
+- Redis, SGX+batching and LCM+batching scale (amortised flushes);
+- SGX = 0.98x Native; LCM = 0.69x SGX; LCM+batching = 0.72x-9.87x SGX
+  and 0.71x-0.75x SGX+batching.
+"""
+
+from repro.harness.experiments import run_fig6_clients_sync
+from repro.harness.report import render_series_table, summarize_bands
+
+from benchmarks.conftest import register_table
+
+
+def test_fig6_clients_sync(benchmark):
+    result = benchmark.pedantic(run_fig6_clients_sync, rounds=1, iterations=1)
+    register_table(
+        render_series_table(result, x_key="clients") + "\n" + summarize_bands(result)
+    )
+    series = result.series
+
+    # flat systems stay flat; batching systems scale
+    flags = result.ratios["flat_systems"]
+    assert all(flags[name] for name in ("native", "sgx", "lcm", "sgx_tmc"))
+    assert series["lcm_batch"][-1] > series["lcm_batch"][0] * 4
+    assert series["sgx_batch"][-1] > series["sgx_batch"][0] * 4
+    assert series["redis"][-1] > series["redis"][0] * 4
+
+    # headline ratios
+    low, high = result.ratios["sgx_vs_native"]
+    assert 0.9 <= low <= high <= 1.0          # paper: 0.98x
+    low, high = result.ratios["lcm_vs_sgx"]
+    assert 0.6 <= low <= high <= 0.8          # paper: 0.69x
+    low, high = result.ratios["lcm_batch_vs_sgx"]
+    assert low >= 0.6 and 7.0 <= high <= 13.0  # paper: 0.72x-9.87x
+    low, high = result.ratios["lcm_batch_vs_sgx_batch"]
+    assert 0.6 <= low <= high <= 0.85          # paper: 0.71x-0.75x
+
+
+def test_fig6_fsync_collapse_factor(benchmark):
+    """fsync costs non-batching SGX ~50x of its async throughput."""
+    from repro.perf.model import measure_throughput
+
+    def run():
+        sync = measure_throughput("sgx", clients=8, fsync=True).ops_per_second
+        async_ = measure_throughput("sgx", clients=8, fsync=False).ops_per_second
+        return sync, async_
+
+    sync, async_ = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert async_ / sync > 20

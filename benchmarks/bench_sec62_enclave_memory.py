@@ -1,0 +1,44 @@
+"""Sec. 6.2: enclave memory overhead and the EPC paging latency knee.
+
+Paper results: the std::map-backed KVS has ~134% heap overhead (93 MB for
+300k objects of 40+100 bytes), and operation latency rises by up to 240%
+once the working set exceeds ~300k objects and the SGX driver starts
+swapping EPC pages.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_sec62_enclave_memory
+from repro.harness.report import render_series_table, summarize_bands
+
+from benchmarks.conftest import register_table
+
+
+def test_sec62_enclave_memory(benchmark):
+    result = benchmark.pedantic(run_sec62_enclave_memory, rounds=1, iterations=1)
+    register_table(
+        render_series_table(result, x_key="objects") + "\n" + summarize_bands(result)
+    )
+    assert result.ratios["map_overhead_fraction"] == pytest.approx(1.34, abs=0.3)
+    assert result.ratios["heap_mb_at_300k"] == pytest.approx(93.0, rel=0.15)
+    assert result.ratios["knee_after_300k"]
+    assert result.ratios["max_latency_increase"] == pytest.approx(2.4, abs=0.6)
+
+    # shape: no penalty up to 300k, monotone growth beyond
+    objects = result.series["objects"]
+    multipliers = result.series["latency_multiplier"]
+    knee = objects.index(300_000)
+    assert all(m == 1.0 for m in multipliers[: knee + 1])
+    assert all(a <= b for a, b in zip(multipliers[knee:], multipliers[knee + 1:]))
+
+
+def test_sec62_memory_grows_linearly(benchmark):
+    result = benchmark.pedantic(
+        run_sec62_enclave_memory,
+        kwargs={"object_counts": [100_000, 200_000, 400_000]},
+        rounds=1,
+        iterations=1,
+    )
+    heap = result.series["heap_mb"]
+    assert heap[1] == pytest.approx(2 * heap[0], rel=0.01)
+    assert heap[2] == pytest.approx(4 * heap[0], rel=0.01)

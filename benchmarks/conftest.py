@@ -1,0 +1,26 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_*`` module runs one of the paper's experiments under
+pytest-benchmark and registers the reproduced table here; the
+``pytest_terminal_summary`` hook prints every table after the benchmark
+stats, so ``pytest benchmarks/ --benchmark-only`` output contains the
+full paper-vs-measured reproduction record.
+"""
+
+from __future__ import annotations
+
+_REPRODUCED_TABLES: list[str] = []
+
+
+def register_table(rendered: str) -> None:
+    """Called by benchmark tests to queue a table for the final summary."""
+    _REPRODUCED_TABLES.append(rendered)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPRODUCED_TABLES:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for rendered in _REPRODUCED_TABLES:
+        terminalreporter.write_line(rendered)
+        terminalreporter.write_line("")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Migration demo: move a running LCM service to a different physical TEE.
+
+Sec. 4.6.2: the origin trusted context takes over the admin role,
+remote-attests the target context, and ships (kP, kC, state, V) over a
+DH channel bound to the target's quote.  No trusted third party is
+involved, clients keep their contexts, and — unlike TMC-based designs —
+the rollback/forking guarantees survive the move.
+
+Run:  python examples/migration_demo.py
+"""
+
+from repro.crypto.attestation import EpidGroup
+from repro.core import Admin, make_lcm_program_factory, migrate
+from repro.errors import AttestationFailure, SecurityViolation
+from repro.kvstore import KvsFunctionality, get, put
+from repro.server import ServerHost
+from repro.tee import TeePlatform
+
+
+def main() -> None:
+    epid_group = EpidGroup()
+    origin_platform = TeePlatform(epid_group)
+    target_platform = TeePlatform(epid_group)   # a different physical machine
+    factory = make_lcm_program_factory(KvsFunctionality)
+
+    origin = ServerHost(origin_platform, factory)
+    target = ServerHost(target_platform, factory)
+
+    admin = Admin(epid_group.verifier(), TeePlatform.expected_measurement(factory))
+    deployment = admin.bootstrap(origin, client_ids=[1, 2])
+    alice, bob = deployment.make_all_clients(origin)
+
+    alice.invoke(put("project", "phase-1"))
+    bob.invoke(put("owner", "alice"))
+    print(f"service running on platform {origin_platform.platform_id}; "
+          f"{alice.last_sequence + bob.last_sequence} operations so far... wait,")
+    print(f"global sequence is {bob.last_sequence} (alice at {alice.last_sequence})")
+
+    # ------------------------------------------------------------- migrate
+    print(f"\nmigrating to platform {target_platform.platform_id} ...")
+    migrate(origin, target, epid_group.verifier())
+    print("migration handshake complete: state resealed under the target's key")
+
+    # clients are transparently repointed (in production: DNS / LB change)
+    alice._transport = target
+    bob._transport = target
+
+    result = alice.invoke(get("project"))
+    print(f"alice reads project = {result.result!r} on the new platform, "
+          f"sequence continues at {result.sequence}")
+
+    # ----------------------------------------------- origin is dead weight
+    try:
+        bob_on_origin_result = origin.send_invoke(2, b"\x00" * 64)
+    except SecurityViolation as exc:
+        print(f"origin refuses further work: {type(exc).__name__}")
+
+    # ----------------------------------- guarantees survive the migration
+    alice.invoke(put("project", "phase-2"))
+    target.storage.rollback_to(0)
+    target.reboot()
+    print("\n[attack] new operator rolls the migrated service back...")
+    try:
+        alice.invoke(get("project"))
+    except SecurityViolation as violation:
+        print(f"DETECTED: {type(violation).__name__} — rollback protection "
+              "survived the migration")
+
+    # -------------------------------------- migration gates on attestation
+    rogue_platform = TeePlatform(EpidGroup())   # not in our trust group
+    rogue = ServerHost(rogue_platform, factory)
+    fresh_origin = ServerHost(TeePlatform(epid_group), factory)
+    fresh_deployment = admin.bootstrap(fresh_origin, client_ids=[7])
+    print("\nattempting migration to a non-genuine TEE ...")
+    try:
+        migrate(fresh_origin, rogue, epid_group.verifier())
+    except AttestationFailure as exc:
+        print(f"refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

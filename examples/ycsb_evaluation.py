@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Mini-evaluation: regenerate the paper's throughput figures from the CLI.
+
+Runs the closed-loop performance model behind Figs. 4-6 with reduced
+simulation windows and prints the paper-style tables plus the
+paper-vs-measured band summary.  For the full-length runs use
+``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/ycsb_evaluation.py [--full]
+"""
+
+import argparse
+import time
+
+from repro.harness.experiments import (
+    run_fig4_object_size,
+    run_fig5_clients_async,
+    run_fig6_clients_sync,
+    run_sec62_enclave_memory,
+    run_sec63_message_overhead,
+    run_sec65_tmc_comparison,
+)
+from repro.harness.report import render_series_table, summarize_bands
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use full-length measurement windows (slower, steadier numbers)",
+    )
+    args = parser.parse_args()
+    duration = None if args.full else 0.4
+    sync_duration = None if args.full else 2.0
+
+    started = time.time()
+    experiments = [
+        (run_fig4_object_size, "object_size", {"duration": duration}),
+        (run_fig5_clients_async, "clients", {"duration": duration}),
+        (run_fig6_clients_sync, "clients", {"duration": sync_duration}),
+        (run_sec62_enclave_memory, "objects", {}),
+        (run_sec63_message_overhead, "object_size", {}),
+        (run_sec65_tmc_comparison, "clients", {"duration": duration}),
+    ]
+    for runner, x_key, kwargs in experiments:
+        result = runner(**kwargs)
+        print(render_series_table(result, x_key=x_key))
+        print(summarize_bands(result))
+        print()
+    print(f"total wall time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Reproduction of "Rollback and Forking Detection for Trusted Execution
+Environments using Lightweight Collective Memory" (Brandenburger, Cachin,
+Lorenz, Kapitza — DSN 2017).
+
+Quick start::
+
+    from repro.crypto.attestation import EpidGroup
+    from repro.core import Admin, make_lcm_program_factory
+    from repro.kvstore import KvsFunctionality, get, put
+    from repro.server import ServerHost
+    from repro.tee import TeePlatform
+
+    group = EpidGroup()
+    platform = TeePlatform(group)
+    factory = make_lcm_program_factory(KvsFunctionality)
+    host = ServerHost(platform, factory)
+    admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+    deployment = admin.bootstrap(host, client_ids=[1, 2, 3])
+    alice = deployment.make_client(1, host)
+    alice.invoke(put("greeting", "hello"))
+    print(alice.invoke(get("greeting")).result)  # -> "hello"
+
+Package layout: see DESIGN.md for the full inventory and the mapping from
+the paper's sections/figures to modules and benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "crypto",
+    "tee",
+    "server",
+    "net",
+    "kvstore",
+    "baselines",
+    "consistency",
+    "workload",
+    "perf",
+    "harness",
+]

@@ -1,0 +1,64 @@
+"""The "Native" baseline: the KVS with no trusted execution at all.
+
+Operations execute directly on the host; persistence is a plain state dump
+to stable storage with no cryptographic protection whatsoever.  Transport
+security in the paper comes from Stunnel, which runs as separate processes
+— in the functional model we simply accept plaintext operations (its cost
+appears only in :mod:`repro.perf.costs`).
+
+This baseline is the throughput yardstick of Fig. 5/6 and the zero-defence
+reference in the attack tests: the server can rewrite anything and nobody
+notices.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import serde
+from repro.kvstore.functionality import Functionality
+from repro.kvstore.kvs import KvsFunctionality
+from repro.server.storage import StableStorage
+
+
+class NativeKvsServer:
+    """Unprotected single-threaded KVS with snapshot persistence."""
+
+    def __init__(
+        self,
+        functionality: Functionality | None = None,
+        storage: StableStorage | None = None,
+    ) -> None:
+        self._functionality = functionality or KvsFunctionality()
+        self.storage = storage or StableStorage("native")
+        self._state: Any = self._functionality.initial_state()
+        self.requests_handled = 0
+
+    def execute(self, operation: Any) -> Any:
+        """Apply one operation and persist the new state."""
+        result, self._state = self._functionality.apply(self._state, operation)
+        self.storage.store(serde.encode(self._state))
+        self.requests_handled += 1
+        return result
+
+    def restart(self) -> None:
+        """Reload state from storage — trusts whatever the disk says."""
+        blob = self.storage.load()
+        if blob is None:
+            self._state = self._functionality.initial_state()
+        else:
+            self._state = serde.decode(blob)
+
+    # -------------------------------------------------- attack surface
+
+    def rollback(self, version_index: int) -> None:
+        """A malicious operator restores an old snapshot.  Nothing in the
+        system can detect this (no integrity protection at all)."""
+        self.storage.rollback_to(version_index)
+        self.restart()
+
+    def tamper_state(self, key: str, value: Any) -> None:
+        """Directly overwrite service state (host has full control)."""
+        state = dict(self._state)
+        state[key] = value
+        self._state = state

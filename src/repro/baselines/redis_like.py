@@ -1,0 +1,76 @@
+"""The "Redis TLS" stand-in: append-only-log persistence, no TEE.
+
+The paper benchmarks Redis configured with an append-log strategy
+(Sec. 6.4) behind Stunnel.  What matters for the evaluation's shape:
+
+- the event loop is single-threaded, but TLS runs in separate Stunnel
+  processes, so transport crypto does not consume server-thread time;
+- persistence appends each write to an AOF; with ``fsync`` enabled Redis
+  group-commits — many queued commands share one flush — which is why the
+  Redis curve keeps scaling in Fig. 6 while the snapshot-per-request
+  systems flatten.
+
+The functional model implements the AOF (append, replay-on-restart,
+truncation = rollback) so attack tests can show that log truncation is
+undetectable here too.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import serde
+from repro.kvstore.functionality import Functionality
+from repro.kvstore.kvs import GET, KvsFunctionality
+
+
+class RedisLikeServer:
+    """Single-threaded KVS with append-only-file persistence."""
+
+    def __init__(self, functionality: Functionality | None = None) -> None:
+        self._functionality = functionality or KvsFunctionality()
+        self._state: Any = self._functionality.initial_state()
+        self.append_log: list[bytes] = []
+        self.requests_handled = 0
+        self.flushes = 0
+        self._unflushed = 0
+
+    def execute(self, operation: Any) -> Any:
+        """Apply one operation; writes append to the AOF."""
+        result, self._state = self._functionality.apply(self._state, operation)
+        self.requests_handled += 1
+        if not self._is_read(operation):
+            self.append_log.append(serde.encode(
+                list(operation) if isinstance(operation, tuple) else operation
+            ))
+            self._unflushed += 1
+        return result
+
+    @staticmethod
+    def _is_read(operation: Any) -> bool:
+        return isinstance(operation, (tuple, list)) and operation and operation[0] == GET
+
+    def group_commit(self) -> int:
+        """Flush all unflushed log entries with one fsync (group commit).
+
+        Returns how many entries the single flush covered — the
+        amortisation factor that keeps Redis scaling under fsync.
+        """
+        covered, self._unflushed = self._unflushed, 0
+        self.flushes += 1
+        return covered
+
+    def restart(self) -> None:
+        """Rebuild state by replaying the append log."""
+        self._state = self._functionality.initial_state()
+        for entry in self.append_log:
+            operation = serde.decode(entry)
+            _, self._state = self._functionality.apply(self._state, operation)
+
+    # -------------------------------------------------- attack surface
+
+    def truncate_log(self, keep: int) -> None:
+        """A malicious operator drops the log tail and restarts: a rollback
+        no Redis client can detect."""
+        self.append_log = self.append_log[:keep]
+        self.restart()

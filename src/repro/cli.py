@@ -1,0 +1,173 @@
+"""Command-line interface for the LCM reproduction.
+
+Subcommands::
+
+    python -m repro.cli figures [--only fig4|fig5|fig6|sec62|sec63|sec65]
+        Regenerate the paper's tables/figures and print paper-vs-measured.
+
+    python -m repro.cli demo
+        Run the quickstart flow (bootstrap, operate, reboot, stability).
+
+    python -m repro.cli attack [--kind rollback|fork|replay]
+        Mount an attack against LCM and show the detection.
+
+    python -m repro.cli cluster [--clients N] [--ops N]
+        Run the real protocol over the simulated network and verify
+        fork-linearizability of the resulting execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as exp
+    from repro.harness.report import render_series_table, summarize_bands
+
+    registry = {
+        "fig4": (exp.run_fig4_object_size, "object_size"),
+        "fig5": (exp.run_fig5_clients_async, "clients"),
+        "fig6": (exp.run_fig6_clients_sync, "clients"),
+        "sec62": (exp.run_sec62_enclave_memory, "objects"),
+        "sec63": (exp.run_sec63_message_overhead, "object_size"),
+        "sec65": (exp.run_sec65_tmc_comparison, "clients"),
+    }
+    selected = [args.only] if args.only else list(registry)
+    for name in selected:
+        runner, x_key = registry[name]
+        kwargs = {}
+        if name in ("fig4", "fig5", "fig6", "sec65") and args.duration:
+            kwargs["duration"] = args.duration
+        result = runner(**kwargs)
+        print(render_series_table(result, x_key=x_key))
+        print(summarize_bands(result))
+        print()
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.crypto.attestation import EpidGroup
+    from repro.core import Admin, make_lcm_program_factory
+    from repro.kvstore import KvsFunctionality, get, put
+    from repro.server import ServerHost
+    from repro.tee import TeePlatform
+
+    group = EpidGroup()
+    platform = TeePlatform(group)
+    factory = make_lcm_program_factory(KvsFunctionality)
+    host = ServerHost(platform, factory)
+    admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+    deployment = admin.bootstrap(host, client_ids=[1, 2, 3])
+    alice, bob, carol = deployment.make_all_clients(host)
+    print("bootstrapped; clients:", deployment.client_ids)
+    target = alice.invoke(put("greeting", "hello")).sequence
+    print("alice PUT greeting=hello ->", target)
+    print("bob GET greeting ->", bob.invoke(get("greeting")).result)
+    host.reboot()
+    print("server rebooted; carol GET greeting ->",
+          carol.invoke(get("greeting")).result)
+    for _ in range(2):
+        for client in (alice, bob, carol):
+            client.poll_stability()
+    alice.poll_stability()
+    print("alice's PUT is majority-stable:", alice.is_stable(target))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.crypto.attestation import EpidGroup
+    from repro.core import Admin, make_lcm_program_factory
+    from repro.errors import SecurityViolation
+    from repro.kvstore import KvsFunctionality, get, put
+    from repro.server import MaliciousServer
+    from repro.tee import TeePlatform
+
+    group = EpidGroup()
+    platform = TeePlatform(group)
+    factory = make_lcm_program_factory(KvsFunctionality)
+    server = MaliciousServer(platform, factory)
+    admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+    deployment = admin.bootstrap(server, client_ids=[1, 2])
+    alice, bob = deployment.make_all_clients(server)
+    alice.invoke(put("k", "v1"))
+    alice.invoke(put("k", "v2"))
+
+    try:
+        if args.kind == "rollback":
+            server.rollback(server.storage.version_count() - 2)
+            alice.invoke(get("k"))
+        elif args.kind == "fork":
+            fork = server.fork()
+            server.route_client(2, fork)
+            bob.invoke(put("k", "fork-side"))
+            server.route_client(2, 0)
+            bob.invoke(get("k"))
+        else:  # replay
+            server.replay_last_invoke(1)
+    except SecurityViolation as violation:
+        print(f"DETECTED {type(violation).__name__}: {violation}")
+        return 0
+    print("attack went undetected — this would be a bug")
+    return 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.harness.simulated_cluster import SimulatedCluster
+    from repro.kvstore import get, put
+
+    cluster = SimulatedCluster(clients=args.clients, seed=args.seed)
+    for client_id in range(1, args.clients + 1):
+        for round_number in range(args.ops):
+            if round_number % 2 == 0:
+                cluster.submit(client_id, put(f"key-{round_number}", str(client_id)))
+            else:
+                cluster.submit(client_id, get(f"key-{round_number - 1}"))
+    cluster.run()
+    cluster.check_fork_linearizable()
+    print(
+        f"{cluster.stats.operations_completed} operations across "
+        f"{args.clients} clients in {cluster.stats.batches} batches "
+        f"(mean batch size {cluster.stats.mean_batch_size:.1f}); "
+        "execution verified fork-linearizable"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LCM (DSN 2017) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--only", choices=["fig4", "fig5", "fig6", "sec62", "sec63", "sec65"])
+    figures.add_argument("--duration", type=float, default=None,
+                         help="simulation window override (seconds)")
+    figures.set_defaults(handler=_cmd_figures)
+
+    demo = sub.add_parser("demo", help="run the quickstart flow")
+    demo.set_defaults(handler=_cmd_demo)
+
+    attack = sub.add_parser("attack", help="mount an attack and show detection")
+    attack.add_argument("--kind", choices=["rollback", "fork", "replay"],
+                        default="rollback")
+    attack.set_defaults(handler=_cmd_attack)
+
+    cluster = sub.add_parser("cluster", help="virtual-time protocol run + checker")
+    cluster.add_argument("--clients", type=int, default=4)
+    cluster.add_argument("--ops", type=int, default=6)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.set_defaults(handler=_cmd_cluster)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

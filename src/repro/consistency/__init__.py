@@ -1,0 +1,43 @@
+"""Consistency machinery: histories, linearizability, fork-linearizability.
+
+LCM's headline guarantee is fork-linearizability (Sec. 3.2.1): every client
+observes a linearizable history, and once the server has shown two clients
+diverging histories it can never join them again without detection.  This
+package provides the offline machinery the tests use to *verify* that
+guarantee on executions produced by the protocol (including executions under
+attack):
+
+- :mod:`repro.consistency.history` — invocation/response events, real-time
+  precedence, per-client views;
+- :mod:`repro.consistency.linearizability` — a Wing & Gong style
+  exhaustive checker for small histories against a sequential
+  functionality;
+- :mod:`repro.consistency.fork_linearizability` — checks a set of client
+  views (derived from enclave audit logs + client observations) for
+  fork-linearizability: per-view correctness, own-operation inclusion,
+  real-time order, and the no-join property across forks.
+"""
+
+from repro.consistency.fork_linearizability import (
+    ForkTree,
+    check_fork_linearizable,
+    views_from_audit_logs,
+)
+from repro.consistency.history import ClientView, History, OperationRecord
+from repro.consistency.linearizability import is_linearizable
+from repro.consistency.stable_subsequence import (
+    check_stable_subsequence_linearizable,
+    stable_subsequence,
+)
+
+__all__ = [
+    "History",
+    "OperationRecord",
+    "ClientView",
+    "is_linearizable",
+    "check_fork_linearizable",
+    "views_from_audit_logs",
+    "ForkTree",
+    "stable_subsequence",
+    "check_stable_subsequence_linearizable",
+]

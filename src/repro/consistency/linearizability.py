@@ -1,0 +1,119 @@
+"""Exhaustive linearizability checking for small histories.
+
+Implements the classic Wing & Gong search (with memoisation on
+(linearized-set, state) pairs): a history is linearizable w.r.t. a
+sequential functionality ``F`` if there is a total order of its operations
+that (a) respects real-time precedence and (b) replays through ``F`` from
+the initial state producing exactly the recorded results.
+
+Intended for test-sized histories (tens of operations, modest concurrency);
+the search is exponential in the worst case but the memoisation keeps
+typical protocol tests fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import serde
+from repro.consistency.history import OperationRecord
+from repro.kvstore.functionality import Functionality
+
+
+def _state_fingerprint(state: Any) -> bytes:
+    return serde.encode(state)
+
+
+def is_linearizable(
+    records: list[OperationRecord],
+    functionality: Functionality,
+    *,
+    max_nodes: int = 2_000_000,
+) -> bool:
+    """Decide linearizability of a set of complete operations.
+
+    ``max_nodes`` bounds the search; exceeding it raises ``RuntimeError``
+    rather than returning a wrong answer.
+    """
+    n = len(records)
+    if n == 0:
+        return True
+    if n > 64:
+        raise RuntimeError("history too large for the exhaustive checker")
+
+    # preds[i] = bitmask of operations that must precede i (real-time order)
+    preds = [0] * n
+    for i, a in enumerate(records):
+        for j, b in enumerate(records):
+            if i != j and b.precedes(a):
+                preds[i] |= 1 << j
+
+    full_mask = (1 << n) - 1
+    seen: set[tuple[int, bytes]] = set()
+    nodes = 0
+
+    def search(done_mask: int, state: Any) -> bool:
+        nonlocal nodes
+        if done_mask == full_mask:
+            return True
+        key = (done_mask, _state_fingerprint(state))
+        if key in seen:
+            return False
+        seen.add(key)
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("linearizability search exceeded node budget")
+        for i in range(n):
+            bit = 1 << i
+            if done_mask & bit:
+                continue
+            if preds[i] & ~done_mask:
+                continue  # some predecessor not yet linearized
+            record = records[i]
+            result, next_state = functionality.apply(state, record.operation)
+            if result == record.result:
+                if search(done_mask | bit, next_state):
+                    return True
+        return False
+
+    return search(0, functionality.initial_state())
+
+
+def linearization_order(
+    records: list[OperationRecord], functionality: Functionality
+) -> list[OperationRecord] | None:
+    """Return one witness linearization, or ``None`` if none exists."""
+    n = len(records)
+    if n == 0:
+        return []
+    preds = [0] * n
+    for i, a in enumerate(records):
+        for j, b in enumerate(records):
+            if i != j and b.precedes(a):
+                preds[i] |= 1 << j
+    full_mask = (1 << n) - 1
+    seen: set[tuple[int, bytes]] = set()
+
+    def search(done_mask: int, state: Any, order: list[int]) -> list[int] | None:
+        if done_mask == full_mask:
+            return order
+        key = (done_mask, _state_fingerprint(state))
+        if key in seen:
+            return None
+        seen.add(key)
+        for i in range(n):
+            bit = 1 << i
+            if done_mask & bit or (preds[i] & ~done_mask):
+                continue
+            record = records[i]
+            result, next_state = functionality.apply(state, record.operation)
+            if result == record.result:
+                found = search(done_mask | bit, next_state, order + [i])
+                if found is not None:
+                    return found
+        return None
+
+    witness = search(0, functionality.initial_state(), [])
+    if witness is None:
+        return None
+    return [records[i] for i in witness]

@@ -1,0 +1,153 @@
+"""The stability theorem (Sec. 3.2.2): stable subsequences are linearizable.
+
+"Note that any subsequence of a history that contains only operations that
+are stable among a majority is linearizable."  Formally the claim is that
+all majority-stable operations lie on **one** common sequential history:
+any two of them were observed by overlapping majorities, so no two stable
+operations can come from diverged forks, and their results are those of a
+single legal execution.
+
+This module operationalises the claim for protocol executions:
+
+1. collect the operations whose owners know them to be majority-stable
+   (:func:`stable_subsequence`);
+2. verify no two stable operations claim the same sequence number
+   (forked duplicates among stable operations would break the theorem);
+3. reconstruct the *certified branch*: for every sequence number up to the
+   highest stable one, pick the recorded operation lying on the branch the
+   stable operations certify;
+4. replay that branch through the functionality and check every stable
+   operation's result.
+
+Step 3 is what distinguishes this from naive standalone replay: a stable
+PUT may return the value written by an earlier, not-yet-stable operation —
+the theorem places the stable operations inside a common history, it does
+not excise them from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consistency.history import OperationRecord
+from repro.errors import ForkDetected, SecurityViolation
+from repro.kvstore.functionality import Functionality
+
+
+def _is_nop(record: OperationRecord) -> bool:
+    from repro.core.context import NOP_OPERATION
+
+    operation = record.operation
+    return (
+        isinstance(operation, (list, tuple))
+        and len(operation) == 1
+        and operation[0] == NOP_OPERATION[0]
+    )
+
+
+def stable_subsequence(
+    records: list[OperationRecord],
+    stable_bounds: dict[int, int],
+) -> list[OperationRecord]:
+    """Operations whose owners know them to be majority-stable.
+
+    ``stable_bounds`` maps client id -> the highest majority-stable
+    sequence number that client has observed (``client.stable_sequence``).
+    An operation qualifies when its own sequence number lies at or below
+    its owner's bound.
+    """
+    chosen = []
+    for record in records:
+        if record.sequence is None:
+            continue
+        bound = stable_bounds.get(record.client_id, 0)
+        if record.sequence <= bound:
+            chosen.append(record)
+    return sorted(chosen, key=lambda record: record.sequence)
+
+
+def certified_branch(
+    records: list[OperationRecord],
+    stable: list[OperationRecord],
+) -> list[OperationRecord]:
+    """The single history prefix the stable operations certify.
+
+    For every sequence number up to the highest stable one, select the
+    recorded operation at that position: the stable one when present,
+    otherwise the unique candidate; ambiguity (forked duplicates, neither
+    stable) below a stable operation is a violation of the theorem's
+    premises and raises :class:`~repro.errors.SecurityViolation`.
+    """
+    if not stable:
+        return []
+    stable_by_sequence: dict[int, OperationRecord] = {}
+    for record in stable:
+        existing = stable_by_sequence.get(record.sequence)
+        if existing is not None and (
+            existing.client_id != record.client_id
+            or existing.operation != record.operation
+        ):
+            raise ForkDetected(
+                f"two majority-stable operations share sequence number "
+                f"{record.sequence}: stability certified diverged forks"
+            )
+        stable_by_sequence[record.sequence] = record
+    highest = max(stable_by_sequence)
+    by_sequence: dict[int, list[OperationRecord]] = {}
+    for record in records:
+        if record.sequence is not None and record.sequence <= highest:
+            by_sequence.setdefault(record.sequence, []).append(record)
+    branch = []
+    for sequence in range(1, highest + 1):
+        candidates = by_sequence.get(sequence, [])
+        chosen = stable_by_sequence.get(sequence)
+        if chosen is None:
+            distinct = {
+                (record.client_id, _key(record.operation)) for record in candidates
+            }
+            if not candidates:
+                raise SecurityViolation(
+                    f"history has no record for sequence {sequence} below a "
+                    "stable operation"
+                )
+            if len(distinct) > 1:
+                raise SecurityViolation(
+                    f"ambiguous (forked) records at sequence {sequence} below "
+                    "a stable operation"
+                )
+            chosen = candidates[0]
+        branch.append(chosen)
+    return branch
+
+
+def _key(operation: Any) -> Any:
+    return tuple(operation) if isinstance(operation, list) else operation
+
+
+def check_stable_subsequence_linearizable(
+    records: list[OperationRecord],
+    stable_bounds: dict[int, int],
+    functionality: Functionality,
+) -> list[OperationRecord]:
+    """Verify the Sec. 3.2.2 theorem on one execution.
+
+    Returns the stable subsequence that was certified.  Raises a
+    :class:`~repro.errors.SecurityViolation` subclass (or AssertionError
+    for result mismatches) when the theorem fails — which would falsify
+    either the protocol's stability accounting or the claim itself.
+    """
+    stable = stable_subsequence(records, stable_bounds)
+    branch = certified_branch(records, stable)
+    stable_ids = {(record.client_id, record.sequence) for record in stable}
+    state = functionality.initial_state()
+    for record in branch:
+        if _is_nop(record):
+            continue
+        result, state = functionality.apply(state, record.operation)
+        if (record.client_id, record.sequence) in stable_ids:
+            if result != record.result:
+                raise AssertionError(
+                    f"majority-stable operation seq={record.sequence} returned "
+                    f"{record.result!r} but the certified branch yields {result!r}"
+                )
+    return stable

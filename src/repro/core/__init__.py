@@ -1,0 +1,40 @@
+"""Lightweight Collective Memory — the paper's core protocol (Sec. 4).
+
+Public API tour:
+
+- :class:`~repro.core.client.LcmClient` — Alg. 1; ``invoke(op)`` returns an
+  :class:`~repro.core.client.LcmResult` with the operation result, its
+  sequence number and the latest majority-stable sequence number.
+- :class:`~repro.core.context.LcmContext` — Alg. 2; the enclave program
+  executed inside a trusted execution context.
+- :class:`~repro.core.bootstrap.Admin` — Sec. 4.3; creates the context,
+  attests it, provisions keys over a DH channel bound to the quote, and
+  builds the client group.
+- :func:`~repro.core.migration.migrate` — Sec. 4.6.2; moves a running
+  context to a different physical TEE without a trusted party.
+- :mod:`~repro.core.membership` — Sec. 4.6.3; dynamic join/leave with key
+  rotation.
+- :mod:`~repro.core.stability` — Definitions 1 & 2 and ``majority-stable``.
+"""
+
+from repro.core.bootstrap import Admin, Deployment
+from repro.core.client import LcmClient, LcmResult
+from repro.core.context import LcmContext, make_lcm_program_factory
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.migration import migrate
+from repro.core.stability import StabilityTracker, majority_stable, stable_with_quorum
+
+__all__ = [
+    "LcmClient",
+    "LcmResult",
+    "LcmContext",
+    "make_lcm_program_factory",
+    "Admin",
+    "Deployment",
+    "migrate",
+    "majority_stable",
+    "stable_with_quorum",
+    "StabilityTracker",
+    "InvokePayload",
+    "ReplyPayload",
+]

@@ -1,0 +1,185 @@
+"""Event-driven LCM client for asynchronous transports.
+
+The paper's client library deliberately exposes "a simple network
+interface including methods for sending and receiving protocol messages"
+so it can reuse an existing application network stack (Sec. 5.2).
+:class:`AsyncLcmClient` is that integration style: instead of a blocking
+``send_invoke``, the application supplies a ``send`` function and feeds
+incoming REPLY bytes to :meth:`on_reply`; completions are delivered
+through callbacks.
+
+Semantics match :class:`~repro.core.client.LcmClient` exactly (it is the
+same Alg. 1 state machine): sequential invocation per client, ``(tc, hc)``
+context tracking, previous-chain verification, monotone stability.
+Operations invoked while one is outstanding are queued, preserving the
+paper's sequential-client assumption.
+
+Used by :mod:`repro.harness.simulated_cluster` to run the real protocol
+over the discrete-event network with batching at the server — the full
+Fig. 3 architecture under virtual time.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable
+
+from repro import serde
+from repro.crypto.aead import AeadKey
+from repro.crypto.hashing import GENESIS_HASH
+from repro.errors import InvalidReply
+from repro.core.client import LcmResult
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.stability import StabilityTracker
+
+CompletionCallback = Callable[[LcmResult], Any]
+
+
+class AsyncLcmClient:
+    """Alg. 1 as an event-driven state machine.
+
+    Parameters
+    ----------
+    client_id, communication_key:
+        As for the blocking client.
+    send:
+        Called with sealed INVOKE bytes; the application routes them to the
+        server however it likes (sockets, DES channels, queues).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        communication_key: AeadKey,
+        send: Callable[[bytes], Any],
+    ) -> None:
+        self.client_id = client_id
+        self._key = communication_key
+        self._send = send
+        self._last_sequence = 0
+        self._last_chain = GENESIS_HASH
+        self._stable_sequence = 0
+        self._outstanding: tuple[Any, CompletionCallback] | None = None
+        self._queue: collections.deque[tuple[Any, CompletionCallback]] = (
+            collections.deque()
+        )
+        self.stability = StabilityTracker()
+        self._stability_callbacks: list[tuple[int, Callable[[int], Any]]] = []
+        self.completed = 0
+
+    # ------------------------------------------------------------ invoking
+
+    @property
+    def last_sequence(self) -> int:
+        return self._last_sequence
+
+    @property
+    def last_chain(self) -> bytes:
+        return self._last_chain
+
+    @property
+    def stable_sequence(self) -> int:
+        return self._stable_sequence
+
+    @property
+    def busy(self) -> bool:
+        return self._outstanding is not None
+
+    def invoke(self, operation: Any, on_complete: CompletionCallback) -> None:
+        """Queue an operation; ``on_complete`` fires when its REPLY lands."""
+        self._queue.append((operation, on_complete))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._outstanding is not None or not self._queue:
+            return
+        operation, on_complete = self._queue.popleft()
+        self._outstanding = (operation, on_complete)
+        payload = InvokePayload(
+            client_id=self.client_id,
+            last_sequence=self._last_sequence,
+            last_chain=self._last_chain,
+            operation=serde.encode(
+                list(operation) if isinstance(operation, tuple) else operation
+            ),
+        )
+        self._send(payload.seal(self._key))
+
+    def retransmit(self) -> bool:
+        """Resend the outstanding INVOKE with the retry marker (timeout
+        recovery, Sec. 4.6.1).  Returns False if nothing is outstanding."""
+        if self._outstanding is None:
+            return False
+        operation, _ = self._outstanding
+        payload = InvokePayload(
+            client_id=self.client_id,
+            last_sequence=self._last_sequence,
+            last_chain=self._last_chain,
+            operation=serde.encode(
+                list(operation) if isinstance(operation, tuple) else operation
+            ),
+            retry=True,
+        )
+        self._send(payload.seal(self._key))
+        return True
+
+    # ------------------------------------------------------------- replies
+
+    def on_reply(self, reply_box: bytes) -> LcmResult:
+        """Feed an incoming REPLY; verifies, completes, and pumps the queue."""
+        if self._outstanding is None:
+            raise InvalidReply("REPLY received with no outstanding INVOKE")
+        reply = ReplyPayload.unseal(reply_box, self._key)
+        if reply.previous_chain != self._last_chain:
+            raise InvalidReply(
+                "REPLY does not extend this client's context "
+                "(previous chain value mismatch)"
+            )
+        if reply.sequence <= self._last_sequence:
+            raise InvalidReply("non-increasing sequence number")
+        if reply.stable_sequence < self._stable_sequence:
+            raise InvalidReply("majority-stable sequence number decreased")
+        operation, on_complete = self._outstanding
+        self._outstanding = None
+        self._last_sequence = reply.sequence
+        self._last_chain = reply.chain
+        self._stable_sequence = max(self._stable_sequence, reply.stable_sequence)
+        self.stability.observe(reply.sequence, reply.stable_sequence)
+        self.completed += 1
+        result = LcmResult(
+            result=serde.decode(reply.result),
+            sequence=reply.sequence,
+            stable_sequence=reply.stable_sequence,
+        )
+        self._fire_stability_callbacks()
+        on_complete(result)
+        self._pump()
+        return result
+
+    # --------------------------------------------------- stability callbacks
+
+    def when_stable(self, sequence: int, callback: Callable[[int], Any]) -> None:
+        """Venus-style notification (Sec. 4.5): fire ``callback(stable_seq)``
+        once ``sequence`` is known to be stable among a majority.  Fires
+        immediately if it already is."""
+        if sequence <= self._stable_sequence:
+            callback(self._stable_sequence)
+            return
+        self._stability_callbacks.append((sequence, callback))
+
+    def _fire_stability_callbacks(self) -> None:
+        ready = [
+            (sequence, callback)
+            for sequence, callback in self._stability_callbacks
+            if sequence <= self._stable_sequence
+        ]
+        self._stability_callbacks = [
+            entry
+            for entry in self._stability_callbacks
+            if entry[0] > self._stable_sequence
+        ]
+        for _, callback in ready:
+            callback(self._stable_sequence)
+
+    def is_stable(self, sequence: int) -> bool:
+        return sequence <= self._stable_sequence

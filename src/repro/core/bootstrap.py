@@ -1,0 +1,147 @@
+"""Bootstrapping (Sec. 4.3): create, attest, provision, distribute keys.
+
+The three phases the paper describes:
+
+1. the admin instructs the server to create a trusted execution context
+   running the LCM protocol;
+2. the admin performs remote attestation: challenge nonce -> report ->
+   quote (via the quoting enclave) -> verification against the expected
+   measurement of the LCM program;
+3. the admin generates ``kC`` (communication) and ``kP`` (state) — plus, in
+   this implementation, ``kA`` for the admin channel used by membership
+   changes — injects them into ``T`` over a DH channel bound to the quote,
+   and distributes ``kC`` to the clients over secure out-of-band channels.
+
+:class:`Deployment` is the handle the admin ends up with: it knows the keys
+and can mint :class:`~repro.core.client.LcmClient` objects for the group.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import serde
+from repro.crypto.aead import AeadKey, auth_encrypt
+from repro.crypto.attestation import QuoteVerifier
+from repro.crypto.dh import DhKeyPair, PUBLIC_KEY_BYTES, public_from_bytes
+from repro.crypto.keys import KeyPurpose, generate_key
+from repro.errors import AttestationFailure, ConfigurationError
+from repro.core.client import LcmClient, Transport
+
+_PROVISION_AD = b"lcm/provision"
+_NONCE_BYTES = 16
+
+
+@dataclass
+class Deployment:
+    """A bootstrapped LCM service, from the admin's point of view."""
+
+    communication_key: AeadKey       # kC — distributed to all clients
+    state_key: AeadKey               # kP — needed again only for migration ops
+    admin_key: AeadKey               # kA — admin channel for membership
+    client_ids: list[int]
+    quorum_override: int | None = None
+    clients: dict[int, LcmClient] = field(default_factory=dict)
+
+    def make_client(self, client_id: int, transport: Transport, **kwargs) -> LcmClient:
+        """Hand ``kC`` to a group member and return its protocol instance."""
+        if client_id not in self.client_ids:
+            raise ConfigurationError(f"client {client_id} is not in the group")
+        client = LcmClient(client_id, self.communication_key, transport, **kwargs)
+        self.clients[client_id] = client
+        return client
+
+    def make_all_clients(self, transport: Transport, **kwargs) -> list[LcmClient]:
+        return [
+            self.make_client(client_id, transport, **kwargs)
+            for client_id in self.client_ids
+        ]
+
+
+class Admin:
+    """The special admin client driving bootstrap and membership.
+
+    Parameters
+    ----------
+    quote_verifier:
+        Verification material for the TEE attestation group (obtained
+        out-of-band from the attestation infrastructure).
+    expected_measurement:
+        The measurement of the LCM program the admin expects — prior
+        knowledge of ``P`` (Sec. 2.2).
+    """
+
+    def __init__(
+        self,
+        quote_verifier: QuoteVerifier,
+        expected_measurement: bytes,
+        *,
+        rng: Callable[[int], bytes] = os.urandom,
+    ) -> None:
+        self._verifier = quote_verifier
+        self._expected_measurement = expected_measurement
+        self._rng = rng
+
+    def bootstrap(
+        self,
+        host,
+        client_ids: list[int],
+        *,
+        quorum_override: int | None = None,
+    ) -> Deployment:
+        """Run all three bootstrap phases against a server host.
+
+        ``host`` is a :class:`~repro.server.host.ServerHost` (or the
+        malicious variant — bootstrap succeeds either way; what matters is
+        that attestation proves the *enclave* runs LCM, Sec. 4.3).
+        """
+        if len(set(client_ids)) != len(client_ids):
+            raise ConfigurationError("duplicate client ids")
+        # Phase 1: the context has been created by the server; start it.
+        if not host.enclave.running:
+            host.start()
+
+        # Phase 2: remote attestation.
+        nonce = self._rng(_NONCE_BYTES)
+        report = host.enclave.ecall("attest", nonce)
+        quote = host.platform.quote(report)
+        self._verifier.verify(
+            quote, expected_measurement=self._expected_measurement, nonce=nonce
+        )
+        enclave_public = public_from_bytes(
+            quote.user_data[_NONCE_BYTES : _NONCE_BYTES + PUBLIC_KEY_BYTES]
+        )
+
+        # Phase 3: generate keys and inject them over the attested channel.
+        state_key = generate_key(KeyPurpose.STATE, self._rng)
+        communication_key = generate_key(KeyPurpose.COMMUNICATION, self._rng)
+        admin_key = AeadKey(self._rng(16), label="kA")
+        dh = DhKeyPair.generate(self._rng(32))
+        channel = dh.shared_key(enclave_public)
+        bundle = serde.encode(
+            [
+                state_key.material,
+                communication_key.material,
+                admin_key.material,
+                list(client_ids),
+                quorum_override or 0,
+            ]
+        )
+        accepted = host.enclave.ecall(
+            "provision",
+            {
+                "admin_public": dh.public_bytes(),
+                "bundle": auth_encrypt(bundle, channel, associated_data=_PROVISION_AD),
+            },
+        )
+        if accepted is not True:
+            raise AttestationFailure("context rejected provisioning")
+        return Deployment(
+            communication_key=communication_key,
+            state_key=state_key,
+            admin_key=admin_key,
+            client_ids=list(client_ids),
+            quorum_override=quorum_override,
+        )

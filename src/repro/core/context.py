@@ -1,0 +1,531 @@
+"""The LCM trusted execution context — Alg. 2 plus all extensions.
+
+:class:`LcmContext` is an :class:`~repro.tee.enclave.EnclaveProgram`.  Its
+lifecycle follows the paper:
+
+``init`` (on every epoch start, Sec. 4.3/4.4)
+    Obtain the sealing key ``kS = get-key(T, LCM)``, try to load the sealed
+    blob pair from (untrusted) stable storage.  If nothing is stored the
+    context waits to be bootstrapped; otherwise it unseals ``kP`` with
+    ``kS``, then the protocol/service state with ``kP``, and rederives
+    ``(t, h)`` via ``argmax(V)``.
+
+``invoke`` (per INVOKE message, Sec. 4.2.2)
+    Decrypt with ``kC``; verify ``V[i] = (*, tc, hc)``; halt on mismatch
+    (rollback / forking / replay detection — the verification that *is* the
+    protocol); execute ``F``; extend the hash chain; update ``V``; compute
+    ``majority-stable(V)``; seal and store state; return the REPLY.
+
+Extensions implemented:
+
+- batching (Sec. 5.2): one ecall processes many INVOKEs, state stored once;
+- retry (Sec. 4.6.1): a retry-marked INVOKE whose operation was already
+  executed gets its stored REPLY re-sent instead of triggering a halt;
+- protocol-level no-op: clients may poll stability with dummy operations
+  (the FAUST-style mechanism the paper cites in Sec. 4.5);
+- migration export/import (Sec. 4.6.2) — driven by
+  :mod:`repro.core.migration`;
+- membership changes (Sec. 4.6.3) — driven by admin requests under ``kA``.
+
+Once any verification fails the context **halts permanently** (the
+pseudocode's ``assert``): every later ecall raises the recorded violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import serde
+from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.crypto.dh import DhKeyPair, public_from_bytes
+from repro.crypto.hashing import GENESIS_HASH, chain_extend
+from repro.errors import (
+    AuthenticationFailure,
+    ConfigurationError,
+    ForkDetected,
+    MembershipError,
+    ReplayDetected,
+    RollbackDetected,
+    SecurityViolation,
+    StaleSequenceNumber,
+)
+from repro.kvstore.functionality import Functionality
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.stability import (
+    ClientEntry,
+    argmax_entry,
+    majority_quorum,
+    stable_with_quorum,
+)
+from repro.tee.enclave import EnclaveEnv
+
+_KEY_BLOB_AD = b"lcm/state-key"
+_STATE_BLOB_AD = b"lcm/state"
+_PROVISION_AD = b"lcm/provision"
+_ADMIN_AD = b"lcm/admin"
+_MIGRATION_AD = b"lcm/migration"
+
+#: Protocol-level dummy operation: sequenced and hash-chained like any other
+#: operation, but not passed to ``F``.  Used for stability polling.
+NOP_OPERATION = ("__LCM_NOP__",)
+
+_NOP_BYTES = serde.encode(list(NOP_OPERATION))
+
+
+@dataclass
+class AuditRecord:
+    """One executed operation, as seen by the trusted context.
+
+    Only populated when the context is created with ``audit=True`` (test /
+    verification mode).  The consistency checkers join these logs across
+    all enclave instances to validate fork-linearizability globally.
+    """
+
+    sequence: int
+    client_id: int
+    operation: bytes
+    result: bytes
+    chain: bytes
+
+
+class LcmContext:
+    """Alg. 2, as an enclave program.
+
+    Build instances through :func:`make_lcm_program_factory`, which closes
+    over the functionality and configuration so the enclave can recreate a
+    pristine program object at every epoch start.
+    """
+
+    PROGRAM_CODE = b"lcm-trusted-context-v1"
+    DEVELOPER = "lcm-reproduction"
+
+    def __init__(self, functionality: Functionality, *, audit: bool = False,
+                 quorum_override: int | None = None,
+                 piggyback_state: bool = False) -> None:
+        self._functionality = functionality
+        self._audit = audit
+        self._quorum_override = quorum_override
+        # Sec. 5.2 optimisation: return the sealed state with the reply
+        # instead of an ocall, eliminating one enclave transition.
+        self._piggyback_state = piggyback_state
+        # volatile protected memory M — lost at epoch end
+        self._env: EnclaveEnv | None = None
+        self._sealing_key: AeadKey | None = None     # kS
+        self._state_key: AeadKey | None = None       # kP
+        self._communication_key: AeadKey | None = None  # kC
+        self._admin_key: AeadKey | None = None       # kA (admin channel)
+        self._sequence = 0                           # t
+        self._chain = GENESIS_HASH                   # h
+        self._entries: dict[int, ClientEntry] = {}   # V
+        self._state: Any = None                      # s
+        self._provisioned = False
+        self._halted: SecurityViolation | None = None
+        self._dh: DhKeyPair | None = None
+        self._migration_nonce: bytes | None = None
+        self._migrated_out = False
+        self.audit_log: list[AuditRecord] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_start(self, env: EnclaveEnv) -> None:
+        """The paper's ``init``: runs at every epoch start."""
+        self._env = env
+        self._sealing_key = env.get_key(b"lcm-sealing")
+        blob = env.ocall_load()
+        if blob is None:
+            # First epoch ever: wait for the admin to bootstrap us.
+            return
+        self._restore(blob)
+
+    def _restore(self, blob: bytes) -> None:
+        """Unseal and adopt a stored state (possibly rolled back by S —
+        LCM detects that later, through client verification)."""
+        try:
+            blob_key, blob_state = serde.decode(blob)
+        except Exception as exc:  # malformed outer framing
+            raise AuthenticationFailure(f"stored blob malformed: {exc}") from exc
+        key_material = auth_decrypt(
+            blob_key, self._sealing_key, associated_data=_KEY_BLOB_AD
+        )
+        self._state_key = AeadKey(key_material, label="kP")
+        plain = auth_decrypt(
+            blob_state, self._state_key, associated_data=_STATE_BLOB_AD
+        )
+        state, wire_entries, kc_material, ka_material, quorum = serde.decode(plain)
+        self._state = state
+        self._entries = {
+            client_id: ClientEntry.from_wire(entry)
+            for client_id, entry in wire_entries.items()
+        }
+        self._communication_key = AeadKey(kc_material, label="kC")
+        self._admin_key = AeadKey(ka_material, label="kA")
+        self._quorum_override = quorum if quorum else None
+        if self._entries:
+            _, top = argmax_entry(self._entries)
+            self._sequence = top.last_sequence
+            self._chain = top.last_chain
+        self._provisioned = True
+
+    def _sealed_blob(self) -> bytes:
+        """Seal (s, V, kC, kA) under kP, and kP under kS."""
+        wire_entries = {
+            client_id: entry.to_wire() for client_id, entry in self._entries.items()
+        }
+        plain = serde.encode(
+            [
+                self._state,
+                wire_entries,
+                self._communication_key.material,
+                self._admin_key.material,
+                self._quorum_override or 0,
+            ]
+        )
+        blob_state = auth_encrypt(
+            plain, self._state_key, associated_data=_STATE_BLOB_AD
+        )
+        blob_key = auth_encrypt(
+            self._state_key.material, self._sealing_key, associated_data=_KEY_BLOB_AD
+        )
+        return serde.encode([blob_key, blob_state])
+
+    def _seal_and_store(self) -> None:
+        """Seal the state and persist it through the (untrusted) host."""
+        self._env.ocall_store(self._sealed_blob())
+
+    # ----------------------------------------------------------------- ecalls
+
+    def ecall(self, name: str, payload: Any) -> Any:
+        """Dispatch one enclave call; refuses everything once halted."""
+        if self._halted is not None:
+            raise type(self._halted)(f"context halted: {self._halted}")
+        handlers: dict[str, Callable[[Any], Any]] = {
+            "invoke": self._ecall_invoke,
+            "invoke_batch": self._ecall_invoke_batch,
+            "attest": self._ecall_attest,
+            "provision": self._ecall_provision,
+            "admin": self._ecall_admin,
+            "status": self._ecall_status,
+            "migration_challenge": self._ecall_migration_challenge,
+            "migration_export": self._ecall_migration_export,
+            "migration_import": self._ecall_migration_import,
+            "export_audit_log": self._ecall_export_audit,
+        }
+        handler = handlers.get(name)
+        if handler is None:
+            raise ConfigurationError(f"unknown ecall {name!r}")
+        return handler(payload)
+
+    # ------------------------------------------------------------ bootstrap
+
+    def _ecall_attest(self, nonce: bytes) -> Any:
+        """Produce an attestation report whose user data binds the
+        challenge nonce and a fresh DH public key for the secure channel
+        (Sec. 4.3 phase 2)."""
+        self._dh = DhKeyPair.generate(self._env.secure_random(32))
+        user_data = nonce + self._dh.public_bytes()
+        return self._env.create_report(user_data)
+
+    def _ecall_provision(self, payload: dict) -> bool:
+        """Install keys sent by the admin over the attested DH channel."""
+        if self._provisioned:
+            raise ConfigurationError("context already provisioned")
+        if self._dh is None:
+            raise ConfigurationError("provision before attestation challenge")
+        channel = self._dh.shared_key(public_from_bytes(payload["admin_public"]))
+        plain = auth_decrypt(
+            payload["bundle"], channel, associated_data=_PROVISION_AD
+        )
+        kp_material, kc_material, ka_material, client_ids, quorum = serde.decode(plain)
+        self._state_key = AeadKey(kp_material, label="kP")
+        self._communication_key = AeadKey(kc_material, label="kC")
+        self._admin_key = AeadKey(ka_material, label="kA")
+        self._quorum_override = quorum if quorum else None
+        self._entries = {client_id: ClientEntry() for client_id in client_ids}
+        self._state = self._functionality.initial_state()
+        self._provisioned = True
+        self._seal_and_store()
+        return True
+
+    # ---------------------------------------------------------------- invoke
+
+    def _ecall_invoke(self, message: bytes):
+        reply = self._process_invoke(message)
+        if self._piggyback_state:
+            # Sec. 5.2: hand the sealed state back with the reply; the
+            # untrusted server writes it to disk (it cannot read or forge
+            # it — only delay or roll it back, which LCM detects anyway).
+            return {"reply": reply, "state": self._sealed_blob()}
+        self._seal_and_store()
+        return reply
+
+    def _ecall_invoke_batch(self, messages: list[bytes]):
+        """Batched processing (Sec. 5.2): state is stored once per batch."""
+        replies = [self._process_invoke(message) for message in messages]
+        if self._piggyback_state:
+            return {"replies": replies, "state": self._sealed_blob()}
+        self._seal_and_store()
+        return replies
+
+    def _process_invoke(self, message: bytes) -> bytes:
+        if not self._provisioned:
+            raise ConfigurationError("context not provisioned")
+        # A message that fails authentication is rejected but does NOT halt
+        # the context: it carries no evidence about T's own state (it may be
+        # network garbage or a removed client's stale key), and halting on
+        # it would let anyone deny service with one forged packet.  Halting
+        # is reserved for *authenticated* context mismatches below, which
+        # prove a rollback/forking attack.
+        invoke = InvokePayload.unseal(message, self._communication_key)
+        entry = self._entries.get(invoke.client_id)
+        if entry is None:
+            raise self._halt(
+                SecurityViolation(f"unknown client {invoke.client_id}")
+            )
+
+        # Sec. 4.6.1 retry, case "crashed after store": the operation was
+        # executed and recorded but the REPLY was lost.  Detect it by the
+        # acknowledged marker and re-send the stored reply.
+        if (
+            invoke.retry
+            and entry.acknowledged == invoke.last_sequence
+            and entry.last_sequence > invoke.last_sequence
+        ):
+            return self._resend_reply(invoke, entry)
+
+        # The verification at the heart of the protocol:
+        # assert V[i] = (*, tc, hc)
+        if entry.last_sequence != invoke.last_sequence:
+            if invoke.last_sequence < entry.last_sequence:
+                raise self._halt(
+                    ReplayDetected(
+                        f"client {invoke.client_id} presented stale sequence "
+                        f"{invoke.last_sequence} < {entry.last_sequence}"
+                    )
+                )
+            raise self._halt(
+                RollbackDetected(
+                    f"client {invoke.client_id} is ahead of T "
+                    f"({invoke.last_sequence} > {entry.last_sequence}): "
+                    "T's state was rolled back"
+                )
+            )
+        if entry.last_chain != invoke.last_chain:
+            raise self._halt(
+                ForkDetected(
+                    f"client {invoke.client_id} hash-chain value diverges from V: "
+                    "histories have forked"
+                )
+            )
+
+        # Execute, sequence and chain the operation.
+        self._sequence += 1
+        operation = serde.decode(invoke.operation)
+        if self._is_nop(operation):
+            result: Any = None
+        else:
+            result, self._state = self._functionality.apply(self._state, operation)
+        self._chain = chain_extend(
+            self._chain, invoke.operation, self._sequence, invoke.client_id
+        )
+        result_bytes = serde.encode(result)
+        self._entries[invoke.client_id] = ClientEntry(
+            acknowledged=invoke.last_sequence,
+            last_sequence=self._sequence,
+            last_chain=self._chain,
+            last_result=result_bytes,
+        )
+        stable = stable_with_quorum(self._entries, self._quorum())
+        if self._audit:
+            self.audit_log.append(
+                AuditRecord(
+                    sequence=self._sequence,
+                    client_id=invoke.client_id,
+                    operation=invoke.operation,
+                    result=result_bytes,
+                    chain=self._chain,
+                )
+            )
+        reply = ReplyPayload(
+            sequence=self._sequence,
+            chain=self._chain,
+            result=result_bytes,
+            stable_sequence=stable,
+            previous_chain=invoke.last_chain,
+        )
+        return reply.seal(self._communication_key)
+
+    def _resend_reply(self, invoke: InvokePayload, entry: ClientEntry) -> bytes:
+        """Reproduce the lost REPLY from the V[i] record (retry extension)."""
+        reply = ReplyPayload(
+            sequence=entry.last_sequence,
+            chain=entry.last_chain,
+            result=entry.last_result,
+            stable_sequence=stable_with_quorum(self._entries, self._quorum()),
+            previous_chain=invoke.last_chain,
+        )
+        return reply.seal(self._communication_key)
+
+    @staticmethod
+    def _is_nop(operation: Any) -> bool:
+        return (
+            isinstance(operation, (list, tuple))
+            and len(operation) == 1
+            and operation[0] == NOP_OPERATION[0]
+        )
+
+    def _quorum(self) -> int:
+        if self._quorum_override is not None:
+            return min(self._quorum_override, len(self._entries))
+        return majority_quorum(len(self._entries))
+
+    def _halt(self, violation: SecurityViolation) -> SecurityViolation:
+        """Record the violation and refuse all further processing."""
+        self._halted = violation
+        return violation
+
+    # ----------------------------------------------------------- membership
+
+    def _ecall_admin(self, box: bytes) -> Any:
+        """Admin requests (join / leave / rotate kC), authenticated with kA."""
+        if not self._provisioned:
+            raise ConfigurationError("context not provisioned")
+        plain = auth_decrypt(box, self._admin_key, associated_data=_ADMIN_AD)
+        request = serde.decode(plain)
+        verb = request[0]
+        if verb == "ADD_CLIENT":
+            (_, client_id) = request
+            if client_id in self._entries:
+                raise MembershipError(f"client {client_id} already in the group")
+            self._entries[client_id] = ClientEntry()
+            self._seal_and_store()
+            return True
+        if verb == "REMOVE_CLIENT":
+            (_, client_id, new_kc_material) = request
+            if client_id not in self._entries:
+                raise MembershipError(f"client {client_id} not in the group")
+            del self._entries[client_id]
+            self._communication_key = AeadKey(new_kc_material, label="kC")
+            self._seal_and_store()
+            return True
+        raise MembershipError(f"unknown admin request {verb!r}")
+
+    # ------------------------------------------------------------ migration
+
+    def _ecall_migration_challenge(self, _payload: Any) -> bytes:
+        """Origin side, step 1: emit a nonce to challenge the target with."""
+        if not self._provisioned:
+            raise ConfigurationError("only a provisioned context can migrate out")
+        self._migration_nonce = self._env.secure_random(16)
+        return self._migration_nonce
+
+    def _ecall_migration_export(self, payload: dict) -> dict:
+        """Origin side, step 2: verify the target's quote, open a DH channel
+        bound to it, and export (kP, kC, kA, s, V) through that channel.
+
+        After a successful export the origin stops processing requests
+        (Sec. 4.6.2: "T stops processing requests and provides its current
+        state to T'")."""
+        from repro.crypto.attestation import Quote, QuoteVerifier
+
+        if not self._provisioned:
+            raise ConfigurationError("only a provisioned context can migrate out")
+        if self._migration_nonce is None:
+            raise ConfigurationError("migration export before challenge")
+        verifier: QuoteVerifier = payload["verifier"]
+        quote: Quote = payload["quote"]
+        verifier.verify(
+            quote,
+            expected_measurement=self._env.measurement,
+            nonce=self._migration_nonce,
+        )
+        target_public = public_from_bytes(quote.user_data[16 : 16 + 256])
+        dh = DhKeyPair.generate(self._env.secure_random(32))
+        channel = dh.shared_key(target_public)
+        wire_entries = {
+            client_id: entry.to_wire() for client_id, entry in self._entries.items()
+        }
+        bundle = serde.encode(
+            [
+                self._state_key.material,
+                self._communication_key.material,
+                self._admin_key.material,
+                self._state,
+                wire_entries,
+                self._quorum_override or 0,
+            ]
+        )
+        sealed = auth_encrypt(bundle, channel, associated_data=_MIGRATION_AD)
+        self._migrated_out = True
+        self._halted = SecurityViolation("context migrated out; no longer serving")
+        return {"origin_public": dh.public_bytes(), "bundle": sealed}
+
+    def _ecall_migration_import(self, payload: dict) -> bool:
+        """Target side: receive the state over the DH channel and resume."""
+        if self._provisioned:
+            raise ConfigurationError("target context already provisioned")
+        if self._dh is None:
+            raise ConfigurationError("import before attestation challenge")
+        channel = self._dh.shared_key(public_from_bytes(payload["origin_public"]))
+        plain = auth_decrypt(
+            payload["bundle"], channel, associated_data=_MIGRATION_AD
+        )
+        (kp, kc, ka, state, wire_entries, quorum) = serde.decode(plain)
+        self._state_key = AeadKey(kp, label="kP")
+        self._communication_key = AeadKey(kc, label="kC")
+        self._admin_key = AeadKey(ka, label="kA")
+        self._state = state
+        self._entries = {
+            client_id: ClientEntry.from_wire(entry)
+            for client_id, entry in wire_entries.items()
+        }
+        self._quorum_override = quorum if quorum else None
+        if self._entries:
+            _, top = argmax_entry(self._entries)
+            self._sequence = top.last_sequence
+            self._chain = top.last_chain
+        self._provisioned = True
+        self._seal_and_store()
+        return True
+
+    # -------------------------------------------------------------- queries
+
+    def _ecall_status(self, _payload: Any) -> dict:
+        """Non-sensitive status snapshot (used by tests and the harness)."""
+        return {
+            "provisioned": self._provisioned,
+            "sequence": self._sequence,
+            "clients": sorted(self._entries),
+            "halted": self._halted is not None,
+            "migrated_out": self._migrated_out,
+        }
+
+    def _ecall_export_audit(self, _payload: Any) -> list[AuditRecord]:
+        if not self._audit:
+            raise ConfigurationError("context was not created in audit mode")
+        return list(self.audit_log)
+
+
+def make_lcm_program_factory(
+    functionality_factory: Callable[[], Functionality],
+    *,
+    audit: bool = False,
+    quorum_override: int | None = None,
+    piggyback_state: bool = False,
+) -> Callable[[], LcmContext]:
+    """Build the program factory handed to the TEE platform.
+
+    The factory is invoked at every epoch start, so each epoch begins with
+    pristine volatile memory — persistent identity lives only in the sealed
+    blob, exactly as the paper requires.
+    """
+
+    def factory() -> LcmContext:
+        return LcmContext(
+            functionality_factory(),
+            audit=audit,
+            quorum_override=quorum_override,
+            piggyback_state=piggyback_state,
+        )
+
+    return factory

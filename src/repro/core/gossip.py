@@ -1,0 +1,162 @@
+"""Out-of-band fork detection between clients (Sec. 3.2.1).
+
+Fork-linearizability guarantees that once the server has split two clients
+into different forks it can never rejoin them undetected — "the clients can
+detect this through a lightweight, out-of-band mechanism".  This module is
+that mechanism: clients exchange authenticated *chain tokens* (their
+observed ``(t, h)`` pairs) over any side channel (email, chat, a different
+server) and compare them.
+
+Two clients are provably forked when they hold tokens with the **same
+sequence number but different chain values** — the trusted context assigns
+each sequence number exactly once, so an honest execution admits a single
+chain value per sequence number.  Each client therefore keeps a bounded
+window of its recently observed pairs (constant storage, in the spirit of
+the protocol) so that comparisons have sequence numbers in common.
+
+Tokens are MACed under the group's communication key ``kC``, so a
+malicious relay cannot forge or tamper with them — it can only drop them,
+which is the usual (detectable-by-silence) DoS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import serde
+from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.errors import ForkDetected, SecurityViolation
+
+_TOKEN_AD = b"lcm/gossip-token"
+
+#: How many recent (t, h) observations a client retains for comparison.
+DEFAULT_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class ForkEvidence:
+    """Cryptographic witness of a forking attack: one sequence number,
+    two distinct chain values, observed by two different clients."""
+
+    sequence: int
+    client_a: int
+    chain_a: bytes
+    client_b: int
+    chain_b: bytes
+
+    def describe(self) -> str:
+        return (
+            f"clients {self.client_a} and {self.client_b} observed different "
+            f"histories at sequence {self.sequence}: the server forked them"
+        )
+
+
+@dataclass
+class ChainWindow:
+    """Bounded record of a client's observed (sequence, chain) pairs."""
+
+    client_id: int
+    capacity: int = DEFAULT_WINDOW
+    points: dict[int, bytes] = field(default_factory=dict)
+
+    def observe(self, sequence: int, chain: bytes) -> None:
+        self.points[sequence] = chain
+        if len(self.points) > self.capacity:
+            del self.points[min(self.points)]
+
+    def token(self, key: AeadKey) -> bytes:
+        """Export an authenticated token carrying the whole window."""
+        payload = serde.encode(
+            [self.client_id, {seq: chain for seq, chain in self.points.items()}]
+        )
+        return auth_encrypt(payload, key, associated_data=_TOKEN_AD)
+
+
+def open_token(token: bytes, key: AeadKey) -> tuple[int, dict[int, bytes]]:
+    """Verify and parse a gossip token.  Raises on tampering."""
+    payload = auth_decrypt(token, key, associated_data=_TOKEN_AD)
+    client_id, points = serde.decode(payload)
+    if not isinstance(points, dict):
+        raise SecurityViolation("malformed gossip token")
+    return client_id, points
+
+
+def compare_windows(
+    window_a: ChainWindow, window_b: ChainWindow
+) -> ForkEvidence | None:
+    """Direct comparison of two clients' windows (same-process helper)."""
+    for sequence, chain_a in window_a.points.items():
+        chain_b = window_b.points.get(sequence)
+        if chain_b is not None and chain_b != chain_a:
+            return ForkEvidence(
+                sequence=sequence,
+                client_a=window_a.client_id,
+                chain_a=chain_a,
+                client_b=window_b.client_id,
+                chain_b=chain_b,
+            )
+    return None
+
+
+def cross_check(token_a: bytes, token_b: bytes, key: AeadKey) -> ForkEvidence | None:
+    """Compare two authenticated tokens received over the side channel.
+
+    Returns :class:`ForkEvidence` when the tokens witness a fork, ``None``
+    when every shared sequence number carries the same chain value (which
+    does *not* prove the absence of a fork — only agreement on the
+    compared window).
+    """
+    client_a, points_a = open_token(token_a, key)
+    client_b, points_b = open_token(token_b, key)
+    for sequence, chain_a in points_a.items():
+        chain_b = points_b.get(sequence)
+        if chain_b is not None and chain_b != chain_a:
+            return ForkEvidence(
+                sequence=sequence,
+                client_a=client_a,
+                chain_a=chain_a,
+                client_b=client_b,
+                chain_b=chain_b,
+            )
+    return None
+
+
+class GossipMesh:
+    """Convenience driver: register clients, cross-check all pairs.
+
+    ``attach(client)`` hooks an :class:`~repro.core.client.LcmClient` so
+    every completed operation lands in the client's window automatically.
+    ``sweep()`` compares all pairs and raises :class:`ForkDetected` with
+    the first evidence found.
+    """
+
+    def __init__(self, key: AeadKey, *, window: int = DEFAULT_WINDOW) -> None:
+        self._key = key
+        self._window_size = window
+        self._windows: dict[int, ChainWindow] = {}
+
+    def attach(self, client) -> ChainWindow:
+        window = ChainWindow(client.client_id, capacity=self._window_size)
+        self._windows[client.client_id] = window
+        original_complete = client._complete
+
+        def completing(operation, reply_box):
+            result = original_complete(operation, reply_box)
+            window.observe(client.last_sequence, client.last_chain)
+            return result
+
+        client._complete = completing
+        return window
+
+    def sweep(self) -> None:
+        """Cross-check every pair of attached clients."""
+        ids = sorted(self._windows)
+        for index, id_a in enumerate(ids):
+            for id_b in ids[index + 1 :]:
+                evidence = cross_check(
+                    self._windows[id_a].token(self._key),
+                    self._windows[id_b].token(self._key),
+                    self._key,
+                )
+                if evidence is not None:
+                    raise ForkDetected(evidence.describe())

@@ -1,0 +1,77 @@
+"""Dynamic group membership (Sec. 4.6.3).
+
+Joining: the admin sends the shared ``kC`` to the new client over a secure
+out-of-band channel and instructs ``T`` (over the admin channel ``kA``) to
+add the client to the protocol state ``V``.
+
+Leaving: the admin generates a fresh ``k'C``, distributes it to the
+*remaining* clients, and sends a removal request carrying ``k'C`` to ``T``;
+from then on the removed client's messages fail authentication.
+
+Existing :class:`~repro.core.client.LcmClient` objects are rekeyed in
+place; their ``(tc, hc)`` context is unaffected because the hash chain does
+not depend on ``kC``.
+"""
+
+from __future__ import annotations
+
+from repro import serde
+from repro.crypto.aead import AeadKey, auth_encrypt
+from repro.errors import MembershipError
+from repro.core.bootstrap import Deployment
+from repro.core.client import LcmClient, Transport
+
+_ADMIN_AD = b"lcm/admin"
+
+
+def _admin_request(deployment: Deployment, request: list) -> bytes:
+    return auth_encrypt(
+        serde.encode(request), deployment.admin_key, associated_data=_ADMIN_AD
+    )
+
+
+def add_client(
+    deployment: Deployment,
+    host,
+    client_id: int,
+    transport: Transport,
+    **client_kwargs,
+) -> LcmClient:
+    """Admit a new client to the group and return its protocol instance."""
+    if client_id in deployment.client_ids:
+        raise MembershipError(f"client {client_id} already in the group")
+    accepted = host.enclave.ecall(
+        "admin", _admin_request(deployment, ["ADD_CLIENT", client_id])
+    )
+    if accepted is not True:
+        raise MembershipError("context rejected the join request")
+    deployment.client_ids.append(client_id)
+    return deployment.make_client(client_id, transport, **client_kwargs)
+
+
+def remove_client(deployment: Deployment, host, client_id: int) -> AeadKey:
+    """Expel a client: rotate ``kC`` and update the trusted context.
+
+    Returns the fresh communication key after installing it into every
+    remaining client object.  The removed client keeps the old key, which
+    the context no longer accepts.
+    """
+    if client_id not in deployment.client_ids:
+        raise MembershipError(f"client {client_id} not in the group")
+    import os
+
+    new_key = AeadKey(os.urandom(16), label="kC")
+    accepted = host.enclave.ecall(
+        "admin",
+        _admin_request(
+            deployment, ["REMOVE_CLIENT", client_id, new_key.material]
+        ),
+    )
+    if accepted is not True:
+        raise MembershipError("context rejected the removal request")
+    deployment.client_ids.remove(client_id)
+    deployment.clients.pop(client_id, None)
+    deployment.communication_key = new_key
+    for client in deployment.clients.values():
+        client._key = new_key  # out-of-band key redistribution
+    return new_key

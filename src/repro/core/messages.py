@@ -1,0 +1,151 @@
+"""INVOKE / REPLY wire format (Sec. 4.1-4.2).
+
+Both message types are canonically serialized (:mod:`repro.serde`) and then
+protected end-to-end with authenticated encryption under the communication
+key ``kC``.  Associated data carries the message direction so a REPLY box
+can never be confused for an INVOKE box even under the same key.
+
+Field map (paper notation):
+
+======== ===============================================================
+INVOKE   ``[tc, hc, o, i, retry]`` — client's last sequence number, last
+         hash-chain value, serialized operation, client id, retry marker
+         (the Sec. 4.6.1 extension).
+REPLY    ``[t, h, r, q, h'c]`` — assigned sequence number, new chain
+         value, serialized result, majority-stable sequence number, and
+         an echo of the client's previous chain value.
+======== ===============================================================
+
+The module also measures the protocol's metadata overhead for the Sec. 6.3
+experiment: the number of bytes an LCM message adds over a bare
+(encrypted) operation, which is constant in the operation size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import serde
+from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.errors import InvalidReply
+
+_INVOKE_AD = b"lcm/invoke"
+_REPLY_AD = b"lcm/reply"
+
+
+@dataclass(frozen=True)
+class InvokePayload:
+    """Plaintext content of an INVOKE message."""
+
+    client_id: int
+    last_sequence: int        # tc
+    last_chain: bytes         # hc
+    operation: bytes          # o, canonically serialized
+    retry: bool = False
+
+    def encode(self) -> bytes:
+        return serde.encode(
+            [
+                "INVOKE",
+                self.last_sequence,
+                self.last_chain,
+                self.operation,
+                self.client_id,
+                self.retry,
+            ]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "InvokePayload":
+        tag, tc, hc, op, client_id, retry = serde.decode(data)
+        if tag != "INVOKE":
+            raise InvalidReply(f"expected INVOKE payload, got {tag!r}")
+        return cls(
+            client_id=client_id,
+            last_sequence=tc,
+            last_chain=hc,
+            operation=op,
+            retry=retry,
+        )
+
+    def seal(self, key: AeadKey) -> bytes:
+        return auth_encrypt(self.encode(), key, associated_data=_INVOKE_AD)
+
+    @classmethod
+    def unseal(cls, box: bytes, key: AeadKey) -> "InvokePayload":
+        return cls.decode(auth_decrypt(box, key, associated_data=_INVOKE_AD))
+
+
+@dataclass(frozen=True)
+class ReplyPayload:
+    """Plaintext content of a REPLY message."""
+
+    sequence: int             # t
+    chain: bytes              # h
+    result: bytes             # r, canonically serialized
+    stable_sequence: int      # q
+    previous_chain: bytes     # h'c — echo of the client's hc
+
+    def encode(self) -> bytes:
+        return serde.encode(
+            [
+                "REPLY",
+                self.sequence,
+                self.chain,
+                self.result,
+                self.stable_sequence,
+                self.previous_chain,
+            ]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ReplyPayload":
+        tag, t, h, r, q, prev = serde.decode(data)
+        if tag != "REPLY":
+            raise InvalidReply(f"expected REPLY payload, got {tag!r}")
+        return cls(
+            sequence=t, chain=h, result=r, stable_sequence=q, previous_chain=prev
+        )
+
+    def seal(self, key: AeadKey) -> bytes:
+        return auth_encrypt(self.encode(), key, associated_data=_REPLY_AD)
+
+    @classmethod
+    def unseal(cls, box: bytes, key: AeadKey) -> "ReplyPayload":
+        return cls.decode(auth_decrypt(box, key, associated_data=_REPLY_AD))
+
+
+# ----------------------------------------------------------- overhead probes
+
+
+def invoke_metadata_overhead(operation: bytes, key: AeadKey) -> int:
+    """Bytes an LCM INVOKE adds over an encrypted bare operation.
+
+    The paper measured 45 bytes with its compact binary framing
+    (Sec. 6.3); our self-describing serde framing is a little larger but
+    equally *constant* in the operation size — the property Fig. 4 relies
+    on.  The baseline is a bare operation under the same AEAD, so the
+    constant 28-byte AEAD expansion cancels out.
+    """
+    from repro.crypto.hashing import GENESIS_HASH
+
+    payload = InvokePayload(
+        client_id=1, last_sequence=0, last_chain=GENESIS_HASH, operation=operation
+    )
+    bare = auth_encrypt(operation, key, associated_data=_INVOKE_AD)
+    return len(payload.seal(key)) - len(bare)
+
+
+def reply_metadata_overhead(result: bytes, key: AeadKey) -> int:
+    """Bytes an LCM REPLY adds over an encrypted bare result."""
+    from repro.crypto.hashing import GENESIS_HASH
+
+    payload = ReplyPayload(
+        sequence=1,
+        chain=GENESIS_HASH,
+        result=result,
+        stable_sequence=0,
+        previous_chain=GENESIS_HASH,
+    )
+    bare = auth_encrypt(result, key, associated_data=_REPLY_AD)
+    return len(payload.seal(key)) - len(bare)

@@ -1,0 +1,64 @@
+"""Server migration (Sec. 4.6.2): move ``T`` to a different physical TEE.
+
+The origin context takes over the admin's role and bootstraps the target:
+
+1. target server starts ``T'``; it finds either no state or a blob sealed
+   under a *foreign* sealing key, so it stays unprovisioned;
+2. origin emits a challenge nonce; target attests against it (the quote
+   binds a fresh DH public key);
+3. origin verifies the quote — it has prior knowledge of the LCM
+   measurement because it *is* an LCM context, so it checks the target runs
+   the same program on a genuine TEE — and exports
+   ``(kP, kC, kA, s, V)`` through the DH channel;
+4. target installs the state, seals it under *its own* platform's sealing
+   key, and resumes; origin permanently stops serving.
+
+No trusted party participates; the untrusted hosts merely ferry messages —
+they cannot read or forge the bundle, and feeding the export to a
+non-genuine "enclave" fails at quote verification.
+
+Completely transparent to clients: their ``(tc, hc)`` still verify against
+the migrated ``V``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.attestation import QuoteVerifier
+from repro.errors import MigrationError
+
+
+def migrate(origin_host, target_host, quote_verifier: QuoteVerifier) -> None:
+    """Run the migration handshake between two server hosts.
+
+    ``origin_host`` must run a provisioned LCM context; ``target_host``
+    must run a fresh (unprovisioned) one on a *different* platform.  The
+    ``quote_verifier`` is the attestation-group verification material the
+    origin uses to check the target's quote.
+
+    Raises :class:`~repro.errors.MigrationError` on a broken handshake and
+    propagates :class:`~repro.errors.AttestationFailure` if the target is
+    not a genuine LCM enclave.
+    """
+    if not origin_host.enclave.running:
+        raise MigrationError("origin enclave is not running")
+    if not target_host.enclave.running:
+        target_host.start()
+
+    status = target_host.enclave.ecall("status", None)
+    if status["provisioned"]:
+        raise MigrationError("target context is already provisioned")
+
+    # Step 2: challenge/attest.  The untrusted hosts relay these values.
+    nonce = origin_host.enclave.ecall("migration_challenge", None)
+    report = target_host.enclave.ecall("attest", nonce)
+    quote = target_host.platform.quote(report)
+
+    # Step 3: origin verifies and exports over the bound DH channel.
+    export = origin_host.enclave.ecall(
+        "migration_export", {"quote": quote, "verifier": quote_verifier}
+    )
+
+    # Step 4: target imports and reseals under its own platform key.
+    imported = target_host.enclave.ecall("migration_import", export)
+    if imported is not True:
+        raise MigrationError("target refused the migration bundle")

@@ -1,0 +1,118 @@
+"""Operation stability (Sec. 3.2.2, 4.5; Definitions 1 and 2).
+
+The trusted context maintains a map ``V`` with, per client ``i``:
+
+``ta``  sequence number of the last operation *acknowledged* by ``Ci``
+        (T learns of the acknowledgement from the ``tc`` field of Ci's
+        next INVOKE);
+``t``   sequence number of Ci's last operation;
+``h``   hash-chain value after Ci's last operation;
+``r``   serialized result of Ci's last operation (the Sec. 4.6.1 retry
+        extension stores it so a lost REPLY can be reproduced).
+
+``majority-stable(V)`` returns "the largest acknowledged sequence number in
+V that is less than or equal to more than n/2 sequence numbers in V": an
+operation with sequence number ``q`` is known to have been observed by
+client ``j`` once ``ta_j >= q`` (by completing its operation ``ta_j``,
+``Cj`` observed the whole history prefix up to ``ta_j``).
+
+:class:`StabilityTracker` is the client-side mirror: it records each
+completed operation's sequence number and lets applications ask which of
+*their* operations are stable among a majority (and therefore linearizable
+— "any subsequence of a history that contains only operations that are
+stable among a majority is linearizable", Sec. 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import GENESIS_HASH
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ClientEntry:
+    """One row of the protocol-state map ``V``."""
+
+    acknowledged: int = 0          # ta
+    last_sequence: int = 0         # t
+    last_chain: bytes = GENESIS_HASH  # h
+    last_result: bytes = b""       # r (retry extension)
+
+    def to_wire(self) -> list:
+        return [self.acknowledged, self.last_sequence, self.last_chain, self.last_result]
+
+    @classmethod
+    def from_wire(cls, data: list) -> "ClientEntry":
+        ta, t, h, r = data
+        return cls(acknowledged=ta, last_sequence=t, last_chain=h, last_result=r)
+
+
+def stable_with_quorum(entries: dict[int, ClientEntry], quorum: int) -> int:
+    """Largest sequence number acknowledged by at least ``quorum`` clients.
+
+    With ``quorum == len(entries)`` this is full stability (Definition 1
+    w.r.t. all clients); with a majority quorum it is Definition 2.
+    """
+    if not entries:
+        return 0
+    if not 1 <= quorum <= len(entries):
+        raise ConfigurationError(
+            f"quorum {quorum} out of range for {len(entries)} clients"
+        )
+    acknowledged = sorted(
+        (entry.acknowledged for entry in entries.values()), reverse=True
+    )
+    return acknowledged[quorum - 1]
+
+
+def majority_quorum(n: int) -> int:
+    """Smallest integer strictly greater than n/2."""
+    return n // 2 + 1
+
+
+def majority_stable(entries: dict[int, ClientEntry]) -> int:
+    """``majority-stable(V)`` from Alg. 2 (Definition 2)."""
+    if not entries:
+        return 0
+    return stable_with_quorum(entries, majority_quorum(len(entries)))
+
+
+def argmax_entry(entries: dict[int, ClientEntry]) -> tuple[int, ClientEntry]:
+    """``argmax(V)``: the client whose last operation has the highest
+    sequence number — used during recovery to rederive ``(t, h)``
+    (Sec. 4.4)."""
+    if not entries:
+        raise ConfigurationError("V is empty")
+    client_id = max(entries, key=lambda i: entries[i].last_sequence)
+    return client_id, entries[client_id]
+
+
+@dataclass
+class StabilityTracker:
+    """Client-side record of own operations and their stability status.
+
+    ``observe(sequence, stable_sequence)`` is called for every completed
+    operation (and for stability updates piggybacked on later replies).
+    """
+
+    own_sequences: list[int] = field(default_factory=list)
+    stable_sequence: int = 0
+
+    def observe(self, sequence: int | None, stable_sequence: int) -> None:
+        if sequence is not None:
+            self.own_sequences.append(sequence)
+        # stable sequence numbers never decrease (Sec. 3.2.2)
+        self.stable_sequence = max(self.stable_sequence, stable_sequence)
+
+    def is_stable(self, sequence: int) -> bool:
+        """Is the operation with this sequence number stable among a majority?"""
+        return sequence <= self.stable_sequence
+
+    def pending(self) -> list[int]:
+        """Own operations not yet known to be majority-stable."""
+        return [seq for seq in self.own_sequences if seq > self.stable_sequence]
+
+    def all_stable(self) -> bool:
+        return not self.pending()

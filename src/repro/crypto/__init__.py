@@ -1,0 +1,31 @@
+"""Cryptographic substrate for the LCM reproduction.
+
+The paper uses AES-GCM-128 for authenticated encryption and SHA-256 for the
+operation hash chain (Sec. 5.2).  This package provides stdlib-only
+equivalents with the same contracts:
+
+- :mod:`repro.crypto.aead` — authenticated encryption with associated data
+  (encrypt-then-MAC over a SHA-256 counter-mode keystream).
+- :mod:`repro.crypto.hashing` — collision-resistant hashing and the
+  ``hash(h || o || t || i)`` chain construction.
+- :mod:`repro.crypto.keys` — the three-key hierarchy (kP, kS, kC) and
+  deterministic key derivation.
+- :mod:`repro.crypto.attestation` — reports, quotes and an EPID-style group
+  signature model used by the TEE platform.
+"""
+
+from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.crypto.hashing import GENESIS_HASH, HashChain, secure_hash
+from repro.crypto.keys import KeyPurpose, derive_key, generate_key
+
+__all__ = [
+    "AeadKey",
+    "auth_encrypt",
+    "auth_decrypt",
+    "GENESIS_HASH",
+    "HashChain",
+    "secure_hash",
+    "KeyPurpose",
+    "derive_key",
+    "generate_key",
+]

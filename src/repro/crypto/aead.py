@@ -1,0 +1,152 @@
+"""Authenticated encryption with associated data (AEAD).
+
+The paper protects every protocol message and every stored state blob with
+AES-GCM-128 (``auth-encrypt`` / ``auth-decrypt`` in Sec. 4.1).  The standard
+library has no AES-GCM, so we build an AEAD with the same *contract* from
+primitives it does have:
+
+- confidentiality: XOR with a SHA-256 counter-mode keystream derived from
+  (key, nonce);
+- integrity + authenticity: HMAC-SHA-256 over (nonce, associated data,
+  ciphertext), truncated to 16 bytes to match GCM's tag size.
+
+Tampering with a single bit of ciphertext, tag, nonce, or associated data
+makes :func:`auth_decrypt` raise :class:`~repro.errors.AuthenticationFailure`
+— exactly the behaviour Alg. 1/2 rely on ("auth-decrypt may also signal an
+error; this is equivalent to an assert FALSE statement", Sec. 4.2.5).
+
+Wire layout of a sealed box::
+
+    nonce (12 bytes) || ciphertext (len(plaintext)) || tag (16 bytes)
+
+so the constant ciphertext expansion is 28 bytes, comparable to GCM's
+12-byte IV + 16-byte tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import AuthenticationFailure, ConfigurationError
+
+KEY_SIZE = 16  # bytes; matches the paper's 128-bit keys
+NONCE_SIZE = 12
+TAG_SIZE = 16
+OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+_BLOCK = hashlib.sha256().digest_size
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` bytes of SHA-256 counter-mode keystream."""
+    out = bytearray()
+    for counter in itertools.count():
+        if len(out) >= length:
+            break
+        block = hashlib.sha256(
+            b"lcm-ctr" + key + nonce + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+    return bytes(out[:length])
+
+
+def _mac(key: bytes, nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:
+    payload = (
+        len(associated_data).to_bytes(8, "big")
+        + associated_data
+        + nonce
+        + ciphertext
+    )
+    return hmac.new(key, payload, hashlib.sha256).digest()[:TAG_SIZE]
+
+
+@dataclass(frozen=True)
+class AeadKey:
+    """A 128-bit symmetric key with independent encrypt/MAC subkeys.
+
+    The subkeys are derived from the root key material, so two
+    :class:`AeadKey` objects built from the same bytes are interchangeable —
+    a property the protocol uses when the sealing key is re-derived after a
+    restart (Sec. 4.4).
+    """
+
+    material: bytes
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_SIZE:
+            raise ConfigurationError(
+                f"AEAD keys must be {KEY_SIZE} bytes, got {len(self.material)}"
+            )
+
+    @classmethod
+    def generate(cls, label: str = "", rng: "os.urandom.__class__ | None" = None) -> "AeadKey":
+        """Generate a fresh random key (uses the OS CSPRNG by default)."""
+        material = rng(KEY_SIZE) if rng is not None else os.urandom(KEY_SIZE)
+        return cls(material=material, label=label)
+
+    @property
+    def _enc_key(self) -> bytes:
+        return hashlib.sha256(b"lcm-enc" + self.material).digest()
+
+    @property
+    def _mac_key(self) -> bytes:
+        return hashlib.sha256(b"lcm-mac" + self.material).digest()
+
+    def hex(self) -> str:
+        return self.material.hex()
+
+    def __repr__(self) -> str:  # never leak key material in logs
+        suffix = f" label={self.label!r}" if self.label else ""
+        return f"<AeadKey{suffix}>"
+
+
+def auth_encrypt(
+    plaintext: bytes,
+    key: AeadKey,
+    *,
+    associated_data: bytes = b"",
+    nonce: bytes | None = None,
+) -> bytes:
+    """Encrypt and authenticate ``plaintext`` under ``key``.
+
+    ``associated_data`` is authenticated but not encrypted (used by the
+    protocol to bind message type tags to ciphertexts).  A caller may pin the
+    nonce for deterministic tests; production callers leave it ``None``.
+    """
+    if nonce is None:
+        nonce = os.urandom(NONCE_SIZE)
+    elif len(nonce) != NONCE_SIZE:
+        raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
+    stream = _keystream(key._enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = _mac(key._mac_key, nonce, associated_data, ciphertext)
+    return nonce + ciphertext + tag
+
+
+def auth_decrypt(
+    box: bytes,
+    key: AeadKey,
+    *,
+    associated_data: bytes = b"",
+) -> bytes:
+    """Verify and decrypt a box produced by :func:`auth_encrypt`.
+
+    Raises :class:`~repro.errors.AuthenticationFailure` on any tampering or
+    on use of the wrong key.  This is the protocol's tamper-evidence
+    primitive; it must never silently return corrupted plaintext.
+    """
+    if len(box) < OVERHEAD:
+        raise AuthenticationFailure("ciphertext too short to be authentic")
+    nonce = box[:NONCE_SIZE]
+    ciphertext = box[NONCE_SIZE:-TAG_SIZE]
+    tag = box[-TAG_SIZE:]
+    expected = _mac(key._mac_key, nonce, associated_data, ciphertext)
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationFailure("MAC verification failed")
+    stream = _keystream(key._enc_key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))

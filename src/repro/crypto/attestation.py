@@ -1,0 +1,165 @@
+"""Remote attestation: reports, quotes and verification (Sec. 2.2, 5.1.2).
+
+SGX remote attestation convinces a remote client that a specific program
+``P`` (identified by its *measurement*, a hash of code + initial data) runs
+inside a genuine TEE.  The flow modelled here follows the paper's
+description:
+
+1. the client sends a challenge (nonce) to the enclave;
+2. the enclave produces a *report*: measurement, developer identity, user
+   data (containing the nonce), MACed with a platform *report key* that only
+   enclaves on the same platform can obtain;
+3. the *quoting enclave* verifies the report MAC and replaces it with a
+   signature under a platform group key (EPID), producing a *quote*;
+4. the client verifies the quote against the group's public verification
+   material and checks that the measurement and nonce match.
+
+We model the EPID group signature as an HMAC under a group secret shared by
+all genuine platforms, with verification material handed to clients by the
+(out-of-band trusted) infrastructure.  This preserves the property the
+protocol needs: only a genuine platform can produce a quote for a given
+measurement, and the quote does not identify *which* platform signed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.errors import AttestationFailure
+
+_REPORT_TAG = b"lcm-report"
+_QUOTE_TAG = b"lcm-quote"
+
+
+def measure_program(program_code: bytes, developer: str = "") -> bytes:
+    """Compute an enclave measurement (SIGSTRUCT-style hash of code+identity)."""
+    return hashlib.sha256(
+        b"lcm-measurement" + len(program_code).to_bytes(8, "big") + program_code
+        + developer.encode()
+    ).digest()
+
+
+@dataclass(frozen=True)
+class Report:
+    """Local attestation report produced inside an enclave.
+
+    ``user_data`` carries the challenge nonce (and, optionally, extra
+    enclave-chosen bytes such as a state digest — Sec. 5.1.2 notes that
+    developers may include custom values).
+    """
+
+    measurement: bytes
+    developer: str
+    user_data: bytes
+    mac: bytes
+
+    def payload(self) -> bytes:
+        return (
+            _REPORT_TAG
+            + self.measurement
+            + self.developer.encode()
+            + len(self.user_data).to_bytes(4, "big")
+            + self.user_data
+        )
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed report: output of the quoting enclave, verified by clients."""
+
+    measurement: bytes
+    developer: str
+    user_data: bytes
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return (
+            _QUOTE_TAG
+            + self.measurement
+            + self.developer.encode()
+            + len(self.user_data).to_bytes(4, "big")
+            + self.user_data
+        )
+
+
+class EpidGroup:
+    """The EPID attestation group: platform-side secret + verification side.
+
+    All genuine platforms share ``_group_secret`` (installed at manufacture
+    time); the verification material is distributed to relying parties.  A
+    signature proves "some genuine platform signed this" without revealing
+    which one — which is all LCM's bootstrap needs.
+    """
+
+    def __init__(self, seed: bytes | None = None) -> None:
+        self._group_secret = seed if seed is not None else os.urandom(32)
+
+    def sign(self, payload: bytes) -> bytes:
+        return hmac.new(self._group_secret, payload, hashlib.sha256).digest()
+
+    def verify(self, payload: bytes, signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(payload), signature)
+
+    def verifier(self) -> "QuoteVerifier":
+        return QuoteVerifier(self)
+
+
+def make_report(
+    measurement: bytes, developer: str, user_data: bytes, report_key: bytes
+) -> Report:
+    """Create a MACed report (runs conceptually inside the attested enclave)."""
+    partial = Report(measurement, developer, user_data, mac=b"")
+    mac = hmac.new(report_key, partial.payload(), hashlib.sha256).digest()
+    return Report(measurement, developer, user_data, mac=mac)
+
+
+def verify_report(report: Report, report_key: bytes) -> bool:
+    """Quoting-enclave-side report check (same platform report key)."""
+    expected = hmac.new(report_key, report.payload(), hashlib.sha256).digest()
+    return hmac.compare_digest(report.mac, expected)
+
+
+class QuotingEnclave:
+    """The special enclave that converts reports into quotes (Sec. 5.1.2)."""
+
+    def __init__(self, report_key: bytes, group: EpidGroup) -> None:
+        self._report_key = report_key
+        self._group = group
+
+    def quote(self, report: Report) -> Quote:
+        if not verify_report(report, self._report_key):
+            raise AttestationFailure("report MAC invalid: not from this platform")
+        partial = Quote(report.measurement, report.developer, report.user_data, b"")
+        signature = self._group.sign(partial.payload())
+        return Quote(report.measurement, report.developer, report.user_data, signature)
+
+
+class QuoteVerifier:
+    """Relying-party verification of quotes against the EPID group."""
+
+    def __init__(self, group: EpidGroup) -> None:
+        self._group = group
+
+    def verify(
+        self,
+        quote: Quote,
+        *,
+        expected_measurement: bytes,
+        nonce: bytes,
+    ) -> None:
+        """Check signature, measurement and challenge freshness.
+
+        Raises :class:`~repro.errors.AttestationFailure` on any mismatch —
+        the admin aborts bootstrapping in that case (Sec. 4.3).
+        """
+        if not self._group.verify(quote.payload(), quote.signature):
+            raise AttestationFailure("quote signature invalid (not a genuine TEE)")
+        if quote.measurement != expected_measurement:
+            raise AttestationFailure(
+                "measurement mismatch: enclave is not running the expected program"
+            )
+        if not quote.user_data.startswith(nonce):
+            raise AttestationFailure("stale or mismatched attestation challenge")

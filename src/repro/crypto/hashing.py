@@ -1,0 +1,92 @@
+"""Hashing and the LCM operation hash chain.
+
+Alg. 2 extends a hash chain on every operation::
+
+    h <- hash(h || o || t || i)
+
+where ``o`` is the serialized operation, ``t`` the sequence number assigned
+by the trusted context and ``i`` the invoking client's identifier.  The
+chain value condenses the entire operation history: two parties holding the
+same ``(t, h)`` pair have (except with negligible probability) observed the
+same prefix of operations in the same order.
+
+:class:`HashChain` is the reusable chain object; :func:`chain_extend` is the
+pure function underneath it, used directly by the checker in
+:mod:`repro.consistency.fork_linearizability` to recompute expected values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: The initial chain value h0 (Alg. 1: "initially hc = h0").  Any fixed,
+#: publicly-known constant works; we use the hash of a domain-separation tag.
+GENESIS_HASH: bytes = hashlib.sha256(b"lcm-genesis").digest()
+
+
+def secure_hash(data: bytes) -> bytes:
+    """Collision-resistant hash (SHA-256, as in the paper's implementation)."""
+    return hashlib.sha256(data).digest()
+
+
+def _encode_field(data: bytes) -> bytes:
+    """Length-prefix a field so concatenation is injective."""
+    return len(data).to_bytes(8, "big") + data
+
+
+def chain_extend(previous: bytes, operation: bytes, sequence: int, client_id: int) -> bytes:
+    """Compute ``hash(h || o || t || i)`` with injective field encoding.
+
+    The paper writes plain concatenation; we length-prefix each field so no
+    two distinct (h, o, t, i) tuples can collide by boundary shifting.
+    """
+    payload = (
+        _encode_field(previous)
+        + _encode_field(operation)
+        + sequence.to_bytes(8, "big")
+        + client_id.to_bytes(8, "big")
+    )
+    return secure_hash(payload)
+
+
+@dataclass
+class HashChain:
+    """Mutable hash-chain accumulator mirroring the ``h`` variable of Alg. 2.
+
+    >>> chain = HashChain()
+    >>> h1 = chain.extend(b"put(k,v)", 1, 0)
+    >>> chain.value == h1
+    True
+    """
+
+    value: bytes = field(default=GENESIS_HASH)
+    length: int = 0
+
+    def extend(self, operation: bytes, sequence: int, client_id: int) -> bytes:
+        """Fold an operation into the chain and return the new chain value."""
+        self.value = chain_extend(self.value, operation, sequence, client_id)
+        self.length += 1
+        return self.value
+
+    def fork(self) -> "HashChain":
+        """Copy the chain — used by attack simulations to model forked views."""
+        return HashChain(value=self.value, length=self.length)
+
+    def matches(self, other_value: bytes) -> bool:
+        """Constant-time-ish comparison against another chain value."""
+        return self.value == other_value
+
+
+def replay_chain(
+    operations: "list[tuple[bytes, int, int]]", start: bytes = GENESIS_HASH
+) -> bytes:
+    """Recompute the chain value for a sequence of (op, seq, client) tuples.
+
+    Used by consistency checkers to validate that a claimed chain value is
+    reachable from a claimed history.
+    """
+    value = start
+    for operation, sequence, client_id in operations:
+        value = chain_extend(value, operation, sequence, client_id)
+    return value

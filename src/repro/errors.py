@@ -1,0 +1,85 @@
+"""Exception hierarchy for the LCM reproduction.
+
+The paper's pseudocode signals server misbehaviour through ``assert``
+statements that "immediately terminate the protocol" (Sec. 4.2.5).  We map
+those asserts onto a structured exception hierarchy so that callers (tests,
+attack demos, the benchmark harness) can distinguish *why* a party halted.
+
+Every security-relevant failure derives from :class:`SecurityViolation`;
+operational failures (crashes we tolerate, configuration errors) derive from
+:class:`LCMError` directly.
+"""
+
+from __future__ import annotations
+
+
+class LCMError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(LCMError):
+    """A component was wired up incorrectly (missing keys, bad parameters)."""
+
+
+class SecurityViolation(LCMError):
+    """Base class for detected attacks / integrity failures.
+
+    Raising this corresponds to the pseudocode's ``assert FALSE``: the party
+    that raises it halts the protocol and refuses further interaction.
+    """
+
+
+class AuthenticationFailure(SecurityViolation):
+    """Authenticated decryption failed: ciphertext was forged or tampered."""
+
+
+class RollbackDetected(SecurityViolation):
+    """The trusted context or a client observed stale (rolled-back) state."""
+
+
+class ForkDetected(SecurityViolation):
+    """Two diverged histories were presented to the same party."""
+
+
+class ReplayDetected(SecurityViolation):
+    """A duplicate INVOKE message was presented to the trusted context."""
+
+
+class AttestationFailure(SecurityViolation):
+    """Remote attestation did not verify: wrong program, wrong platform."""
+
+
+class InvalidReply(SecurityViolation):
+    """A REPLY did not match the client's outstanding INVOKE context."""
+
+
+class StaleSequenceNumber(SecurityViolation):
+    """A client presented a sequence number inconsistent with V (Alg. 2)."""
+
+
+class EnclaveError(LCMError):
+    """Lifecycle misuse of a trusted execution context (not an attack)."""
+
+
+class EnclaveStopped(EnclaveError):
+    """An operation was attempted on a stopped / crashed enclave."""
+
+
+class SealingError(SecurityViolation):
+    """Sealed blob could not be unsealed (wrong enclave, wrong platform)."""
+
+
+class StorageError(LCMError):
+    """Stable storage could not complete a load/store request."""
+
+
+class MigrationError(LCMError):
+    """The origin->target migration handshake failed."""
+
+
+class MembershipError(LCMError):
+    """Invalid group-membership change (unknown client, duplicate join)."""
+
+
+class SimulationError(LCMError):
+    """The discrete-event simulator was driven incorrectly."""

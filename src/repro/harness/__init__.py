@@ -1,0 +1,28 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+- :mod:`repro.harness.experiments` — runs each experiment and returns
+  structured series;
+- :mod:`repro.harness.report` — renders the series as the paper-style
+  tables and compares the measured ratios against the published bands.
+"""
+
+from repro.harness.experiments import (
+    run_fig4_object_size,
+    run_fig5_clients_async,
+    run_fig6_clients_sync,
+    run_sec62_enclave_memory,
+    run_sec63_message_overhead,
+    run_sec65_tmc_comparison,
+)
+from repro.harness.report import render_series_table, summarize_bands
+
+__all__ = [
+    "run_fig4_object_size",
+    "run_fig5_clients_async",
+    "run_fig6_clients_sync",
+    "run_sec62_enclave_memory",
+    "run_sec63_message_overhead",
+    "run_sec65_tmc_comparison",
+    "render_series_table",
+    "summarize_bands",
+]

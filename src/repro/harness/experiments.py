@@ -1,0 +1,344 @@
+"""One entry point per paper experiment (tables/figures of Sec. 6).
+
+Each ``run_*`` function returns an :class:`ExperimentResult` containing the
+measured series, the paper's published expectation and derived comparison
+ratios — everything the benchmark scripts and EXPERIMENTS.md need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import AeadKey
+from repro.core.messages import invoke_metadata_overhead, reply_metadata_overhead
+from repro.perf.costs import CostModel
+from repro.perf.model import measure_throughput
+from repro.tee.sgx import EpcModel, MapMemoryModel
+from repro import serde
+
+FIG4_OBJECT_SIZES = [100, 500, 1000, 1500, 2000, 2500]
+FIG56_CLIENT_COUNTS = [1, 2, 4, 8, 16, 32]
+FIG5_SYSTEMS = ["sgx", "sgx_batch", "native", "lcm", "lcm_batch", "redis", "sgx_tmc"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: series plus paper-vs-measured notes."""
+
+    experiment: str
+    description: str
+    parameters: dict
+    series: dict[str, list]
+    ratios: dict[str, object] = field(default_factory=dict)
+    paper_expectation: dict[str, object] = field(default_factory=dict)
+
+
+def _band(values: list[float]) -> tuple[float, float]:
+    return (min(values), max(values)) if values else (0.0, 0.0)
+
+
+# --------------------------------------------------------------------- Fig 4
+
+
+def run_fig4_object_size(
+    *,
+    object_sizes: list[int] | None = None,
+    clients: int = 8,
+    costs: CostModel | None = None,
+    duration: float | None = None,
+) -> ExperimentResult:
+    """Fig. 4: throughput vs. object size, SGX vs. LCM, async writes."""
+    sizes = object_sizes or FIG4_OBJECT_SIZES
+    series: dict[str, list] = {"object_size": sizes, "sgx": [], "lcm": []}
+    for size in sizes:
+        for system in ("sgx", "lcm"):
+            result = measure_throughput(
+                system,
+                clients=clients,
+                object_size=size,
+                fsync=False,
+                costs=costs,
+                duration=duration,
+            )
+            series[system].append(result.ops_per_second)
+    overheads = [
+        1.0 - lcm / sgx for sgx, lcm in zip(series["sgx"], series["lcm"])
+    ]
+    return ExperimentResult(
+        experiment="fig4",
+        description="Throughput with different object sizes (async disk writes)",
+        parameters={"clients": clients, "object_sizes": sizes},
+        series=series,
+        ratios={
+            "lcm_overhead_by_size": dict(zip(sizes, overheads)),
+            "overhead_smallest": overheads[0],
+            "overhead_largest": overheads[-1],
+            "overhead_decreases": all(
+                a >= b - 0.01 for a, b in zip(overheads, overheads[1:])
+            ),
+        },
+        paper_expectation={
+            "overhead_smallest": 0.2012,   # 100-byte objects
+            "overhead_largest": 0.1096,    # 2500-byte objects
+            "overhead_decreases": True,
+        },
+    )
+
+
+# --------------------------------------------------------------------- Fig 5
+
+
+def run_fig5_clients_async(
+    *,
+    client_counts: list[int] | None = None,
+    systems: list[str] | None = None,
+    object_size: int = 100,
+    costs: CostModel | None = None,
+    duration: float | None = None,
+) -> ExperimentResult:
+    """Fig. 5: throughput vs. number of clients, async disk writes."""
+    counts = client_counts or FIG56_CLIENT_COUNTS
+    names = systems or FIG5_SYSTEMS
+    series: dict[str, list] = {"clients": counts}
+    for name in names:
+        series[name] = [
+            measure_throughput(
+                name,
+                clients=n,
+                object_size=object_size,
+                fsync=False,
+                costs=costs,
+                duration=duration,
+            ).ops_per_second
+            for n in counts
+        ]
+    ratios: dict[str, object] = {}
+    if "sgx" in series and "native" in series:
+        ratios["sgx_vs_native"] = _band(
+            [s / n for s, n in zip(series["sgx"], series["native"])]
+        )
+    if "lcm" in series and "sgx" in series:
+        ratios["lcm_vs_sgx"] = _band(
+            [l / s for l, s in zip(series["lcm"], series["sgx"])]
+        )
+    if "lcm_batch" in series and "sgx_batch" in series:
+        ratios["lcm_batch_vs_sgx_batch"] = _band(
+            [l / s for l, s in zip(series["lcm_batch"], series["sgx_batch"])]
+        )
+    if "sgx_tmc" in series:
+        ratios["tmc_ops_per_second"] = _band(series["sgx_tmc"])
+    return ExperimentResult(
+        experiment="fig5",
+        description="Throughput with different numbers of clients (async disk writes)",
+        parameters={"object_size": object_size, "clients": counts},
+        series=series,
+        ratios=ratios,
+        paper_expectation={
+            "sgx_vs_native": (0.42, 0.78),
+            "lcm_vs_sgx": (0.67, 0.95),
+            "lcm_batch_vs_sgx_batch": (0.72, 0.98),
+            "tmc_ops_per_second": (12.0, 12.0),
+        },
+    )
+
+
+# --------------------------------------------------------------------- Fig 6
+
+
+def run_fig6_clients_sync(
+    *,
+    client_counts: list[int] | None = None,
+    systems: list[str] | None = None,
+    object_size: int = 100,
+    costs: CostModel | None = None,
+    duration: float | None = None,
+) -> ExperimentResult:
+    """Fig. 6: throughput vs. number of clients, synchronous (fsync) writes."""
+    counts = client_counts or FIG56_CLIENT_COUNTS
+    names = systems or FIG5_SYSTEMS
+    series: dict[str, list] = {"clients": counts}
+    for name in names:
+        series[name] = [
+            measure_throughput(
+                name,
+                clients=n,
+                object_size=object_size,
+                fsync=True,
+                costs=costs,
+                duration=duration,
+            ).ops_per_second
+            for n in counts
+        ]
+    ratios: dict[str, object] = {}
+    if "sgx" in series and "native" in series:
+        ratios["sgx_vs_native"] = _band(
+            [s / n for s, n in zip(series["sgx"], series["native"])]
+        )
+    if "lcm" in series and "sgx" in series:
+        ratios["lcm_vs_sgx"] = _band(
+            [l / s for l, s in zip(series["lcm"], series["sgx"])]
+        )
+    if "lcm_batch" in series and "sgx" in series:
+        ratios["lcm_batch_vs_sgx"] = _band(
+            [l / s for l, s in zip(series["lcm_batch"], series["sgx"])]
+        )
+    if "lcm_batch" in series and "sgx_batch" in series:
+        ratios["lcm_batch_vs_sgx_batch"] = _band(
+            [l / s for l, s in zip(series["lcm_batch"], series["sgx_batch"])]
+        )
+
+    def _flat(name: str) -> bool:
+        values = series.get(name, [])
+        return bool(values) and max(values) <= 2.0 * min(values)
+
+    ratios["flat_systems"] = {
+        name: _flat(name) for name in ("native", "sgx", "lcm", "sgx_tmc") if name in series
+    }
+    return ExperimentResult(
+        experiment="fig6",
+        description="Throughput with different numbers of clients (sync disk writes)",
+        parameters={"object_size": object_size, "clients": counts},
+        series=series,
+        ratios=ratios,
+        paper_expectation={
+            "sgx_vs_native": (0.98, 0.98),
+            "lcm_vs_sgx": (0.69, 0.69),
+            "lcm_batch_vs_sgx": (0.72, 9.87),
+            "lcm_batch_vs_sgx_batch": (0.71, 0.75),
+            "flat_systems": {"native": True, "sgx": True, "lcm": True, "sgx_tmc": True},
+        },
+    )
+
+
+# ----------------------------------------------------------------- Sec 6.2
+
+
+def run_sec62_enclave_memory(
+    *,
+    object_counts: list[int] | None = None,
+    key_size: int = 40,
+    value_size: int = 100,
+) -> ExperimentResult:
+    """Sec. 6.2: enclave heap consumption and EPC-paging latency knee."""
+    counts = object_counts or [
+        50_000, 100_000, 200_000, 300_000, 400_000, 600_000, 800_000, 1_000_000
+    ]
+    memory_model = MapMemoryModel()
+    epc = EpcModel()
+    heap_mb = [
+        memory_model.heap_bytes(n, key_size, value_size) / (1024 * 1024)
+        for n in counts
+    ]
+    latency_multiplier = [
+        epc.latency_multiplier(memory_model.heap_bytes(n, key_size, value_size))
+        for n in counts
+    ]
+    overhead = memory_model.overhead_fraction(key_size, value_size)
+    heap_at_300k = memory_model.heap_bytes(300_000, key_size, value_size) / (1024 * 1024)
+    return ExperimentResult(
+        experiment="sec62",
+        description="Enclave memory overhead and EPC paging latency",
+        parameters={"key_size": key_size, "value_size": value_size},
+        series={
+            "objects": counts,
+            "heap_mb": heap_mb,
+            "latency_multiplier": latency_multiplier,
+        },
+        ratios={
+            "map_overhead_fraction": overhead,
+            "heap_mb_at_300k": heap_at_300k,
+            "max_latency_increase": max(latency_multiplier) - 1.0,
+            "knee_after_300k": epc.fits(
+                memory_model.heap_bytes(300_000, key_size, value_size)
+            ),
+        },
+        paper_expectation={
+            "map_overhead_fraction": 1.34,
+            "heap_mb_at_300k": 93.0,
+            "max_latency_increase": 2.40,
+            "knee_after_300k": True,
+        },
+    )
+
+
+# ----------------------------------------------------------------- Sec 6.3
+
+
+def run_sec63_message_overhead(
+    *,
+    object_sizes: list[int] | None = None,
+) -> ExperimentResult:
+    """Sec. 6.3: LCM metadata bytes added per INVOKE/REPLY, by object size."""
+    sizes = object_sizes or FIG4_OBJECT_SIZES
+    key = AeadKey(b"\x01" * 16, label="probe")
+    invoke_overheads = []
+    reply_overheads = []
+    for size in sizes:
+        operation = serde.encode(["PUT", "k" * 40, "v" * size])
+        result = serde.encode("v" * size)
+        invoke_overheads.append(invoke_metadata_overhead(operation, key))
+        reply_overheads.append(reply_metadata_overhead(result, key))
+    return ExperimentResult(
+        experiment="sec63",
+        description="LCM protocol message metadata overhead",
+        parameters={"object_sizes": sizes},
+        series={
+            "object_size": sizes,
+            "invoke_overhead_bytes": invoke_overheads,
+            "reply_overhead_bytes": reply_overheads,
+        },
+        ratios={
+            "invoke_constant": len(set(invoke_overheads)) == 1,
+            "reply_constant": len(set(reply_overheads)) == 1,
+            "invoke_overhead_bytes": invoke_overheads[0],
+            "reply_overhead_bytes": reply_overheads[0],
+        },
+        paper_expectation={
+            "invoke_constant": True,
+            "reply_constant": True,
+            "invoke_overhead_bytes": 45,  # compact C framing; ours is larger
+            "reply_overhead_bytes": 46,   # but equally constant
+        },
+    )
+
+
+# ----------------------------------------------------------------- Sec 6.5
+
+
+def run_sec65_tmc_comparison(
+    *,
+    client_counts: list[int] | None = None,
+    costs: CostModel | None = None,
+    duration: float | None = None,
+) -> ExperimentResult:
+    """Sec. 6.5: TMC throughput vs. LCM-with-batching speedup band."""
+    counts = client_counts or FIG56_CLIENT_COUNTS
+    tmc = [
+        measure_throughput(
+            "sgx_tmc", clients=n, costs=costs, duration=duration
+        ).ops_per_second
+        for n in counts
+    ]
+    lcm_batch = [
+        measure_throughput(
+            "lcm_batch", clients=n, costs=costs, duration=duration
+        ).ops_per_second
+        for n in counts
+    ]
+    speedups = [l / t for l, t in zip(lcm_batch, tmc)]
+    return ExperimentResult(
+        experiment="sec65",
+        description="Trusted monotonic counter performance impact",
+        parameters={"clients": counts},
+        series={"clients": counts, "sgx_tmc": tmc, "lcm_batch": lcm_batch},
+        ratios={
+            "tmc_mean_ops": sum(tmc) / len(tmc),
+            "tmc_flat": max(tmc) <= 1.5 * min(tmc),
+            "speedup_band": _band(speedups),
+        },
+        paper_expectation={
+            "tmc_mean_ops": 12.0,
+            "tmc_flat": True,
+            "speedup_band": (96.0, 2063.0),
+        },
+    )

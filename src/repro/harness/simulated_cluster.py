@@ -1,0 +1,182 @@
+"""The full Fig. 3 architecture under virtual time.
+
+Runs the *real* protocol implementation — AEAD, hash chains, the trusted
+context, request batching — over the discrete-event network: every INVOKE
+and REPLY is a message on a :class:`~repro.net.channel.Channel` with
+latency and jitter, the server collects requests in the bounded batch
+queue of Sec. 5.3 and enters the enclave once per batch, and clients are
+event-driven :class:`~repro.core.async_client.AsyncLcmClient` machines.
+
+This is the bridge between the functional layer (exact protocol, no time)
+and the performance layer (time, abstract cost model): here concurrency,
+reordering across clients, and batching effects act on the actual
+cryptographic protocol, and the resulting executions can be fed to the
+consistency checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.attestation import EpidGroup
+from repro.consistency.history import History
+from repro.core import Admin, make_lcm_program_factory
+from repro.core.async_client import AsyncLcmClient
+from repro.core.client import LcmResult
+from repro.kvstore import KvsFunctionality
+from repro.net.channel import Channel
+from repro.net.latency import LatencyModel
+from repro.net.simulation import Simulator
+from repro.server import ServerHost
+from repro.tee import TeePlatform
+
+
+@dataclass
+class ClusterStats:
+    """Counters the cluster keeps while running."""
+
+    operations_completed: int = 0
+    batches: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class SimulatedCluster:
+    """One server + n clients over a simulated network.
+
+    Parameters
+    ----------
+    clients:
+        Number of clients (ids 1..n).
+    batch_limit:
+        Bounded batch queue size; batches also flush whenever the enclave
+        is idle and requests are pending ("no more client requests
+        available", Sec. 5.3).
+    latency:
+        Network model for both directions (default: LAN with jitter so
+        interleavings are non-trivial but reproducible).
+    """
+
+    def __init__(
+        self,
+        clients: int = 3,
+        *,
+        functionality=KvsFunctionality,
+        batch_limit: int = 16,
+        latency: LatencyModel | None = None,
+        audit: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.sim = Simulator()
+        self.stats = ClusterStats()
+        self._latency = latency or LatencyModel(
+            propagation=200e-6, jitter_fraction=0.3, seed=seed
+        )
+        group = EpidGroup()
+        platform = TeePlatform(group)
+        factory = make_lcm_program_factory(functionality, audit=audit)
+        self.host = ServerHost(platform, factory)
+        admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+        self.deployment = admin.bootstrap(
+            self.host, client_ids=list(range(1, clients + 1))
+        )
+        self.history = History()
+        self._history_tokens: dict[int, list[int]] = {i: [] for i in range(1, clients + 1)}
+
+        # --- wiring: per-client up/down channels + server batch queue -----
+        self._up: dict[int, Channel] = {}
+        self._down: dict[int, Channel] = {}
+        self._batch_pending: list[tuple[int, bytes]] = []
+        self._enclave_busy = False
+        self._batch_limit = batch_limit
+        self.clients: dict[int, AsyncLcmClient] = {}
+
+        for client_id in range(1, clients + 1):
+            up = Channel(f"c{client_id}->s", sim=self.sim, latency=self._latency)
+            down = Channel(f"s->c{client_id}", sim=self.sim, latency=self._latency)
+            up.connect(self._make_server_ingress(client_id))
+            client = AsyncLcmClient(
+                client_id,
+                self.deployment.communication_key,
+                send=up.send,
+            )
+            down.connect(client.on_reply)
+            self._up[client_id] = up
+            self._down[client_id] = down
+            self.clients[client_id] = client
+
+    # ------------------------------------------------------------- serving
+
+    def _make_server_ingress(self, client_id: int):
+        def ingress(message: bytes) -> None:
+            self._batch_pending.append((client_id, message))
+            self._maybe_dispatch()
+
+        return ingress
+
+    def _maybe_dispatch(self) -> None:
+        """Flush a batch when the enclave is idle (Sec. 5.3 semantics)."""
+        if self._enclave_busy or not self._batch_pending:
+            return
+        batch = self._batch_pending[: self._batch_limit]
+        del self._batch_pending[: len(batch)]
+        self._enclave_busy = True
+        self.stats.batches += 1
+        self.stats.batch_sizes.append(len(batch))
+        replies = self.host.send_invoke_batch(batch)
+
+        def deliver() -> None:
+            for (client_id, _), reply in zip(batch, replies):
+                self._down[client_id].send(reply)
+            self._enclave_busy = False
+            self._maybe_dispatch()
+
+        # model a small enclave service interval so more requests can queue
+        self.sim.schedule(50e-6 * len(batch), deliver, label="enclave-batch")
+
+    # ------------------------------------------------------------ workload
+
+    def submit(self, client_id: int, operation: Any) -> None:
+        """Queue one operation for a client (runs when the sim runs)."""
+        token = self.history.invoke(client_id, operation)
+
+        def complete(result: LcmResult) -> None:
+            self.history.respond(token, result.result, sequence=result.sequence)
+            self.stats.operations_completed += 1
+
+        self.clients[client_id].invoke(operation, complete)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drive the simulation until all submitted work completes."""
+        self.sim.run(max_events=max_events)
+
+    def audit_log(self):
+        return self.host.enclave.ecall("export_audit_log", None)
+
+    def check_fork_linearizable(self):
+        """Validate the execution with the offline checker."""
+        from repro.consistency import check_fork_linearizable, views_from_audit_logs
+        from repro.core.hashchain import ChainPoint
+        from repro.kvstore import KvsFunctionality as Kvs
+
+        points = {
+            client_id: ChainPoint(client.last_sequence, client.last_chain)
+            for client_id, client in self.clients.items()
+        }
+        lookup = {
+            (record.client_id, record.sequence): record
+            for record in self.history.records()
+            if record.sequence is not None
+        }
+        views = views_from_audit_logs([self.audit_log()], points, lookup)
+        own = {
+            client_id: self.history.by_client(client_id)
+            for client_id in self.clients
+        }
+        return check_fork_linearizable(views, Kvs(), own_operations=own)

@@ -1,0 +1,148 @@
+"""Execution trace export/import (JSON lines).
+
+Long-running deployments want to audit executions offline: dump each
+completed operation as one JSON line, ship the file to an auditor, and let
+the auditor rebuild the history, re-verify the enclave audit chain and run
+the fork-linearizability checker — without access to the live system.
+
+Format (one object per line)::
+
+    {"kind": "operation", "op_id": 3, "client_id": 1,
+     "operation": ["PUT", "k", "v"], "result": null,
+     "invoked_at": 5, "responded_at": 6, "sequence": 3}
+    {"kind": "audit", "sequence": 3, "client_id": 1,
+     "operation_hex": "...", "result_hex": "...", "chain_hex": "..."}
+
+Bytes fields are hex-encoded; operations/results are stored as their JSON
+forms (the canonical serde bytes are reproducible from them).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.consistency.history import History, OperationRecord
+from repro.core.context import AuditRecord
+
+
+def dump_history(history: History, stream: IO[str]) -> int:
+    """Write every complete operation as a JSON line; returns the count."""
+    count = 0
+    for record in history.records():
+        stream.write(json.dumps({
+            "kind": "operation",
+            "op_id": record.op_id,
+            "client_id": record.client_id,
+            "operation": list(record.operation)
+            if isinstance(record.operation, tuple)
+            else record.operation,
+            "result": record.result,
+            "invoked_at": record.invoked_at,
+            "responded_at": record.responded_at,
+            "sequence": record.sequence,
+        }) + "\n")
+        count += 1
+    return count
+
+
+def dump_audit_log(log: Iterable[AuditRecord], stream: IO[str]) -> int:
+    """Write an enclave audit log as JSON lines; returns the count."""
+    count = 0
+    for record in log:
+        stream.write(json.dumps({
+            "kind": "audit",
+            "sequence": record.sequence,
+            "client_id": record.client_id,
+            "operation_hex": record.operation.hex(),
+            "result_hex": record.result.hex(),
+            "chain_hex": record.chain.hex(),
+        }) + "\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: IO[str]) -> tuple[list[OperationRecord], list[AuditRecord]]:
+    """Parse a trace file back into operation and audit records."""
+    operations: list[OperationRecord] = []
+    audit: list[AuditRecord] = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry["kind"] == "operation":
+            operation = entry["operation"]
+            operations.append(OperationRecord(
+                op_id=entry["op_id"],
+                client_id=entry["client_id"],
+                operation=tuple(operation) if isinstance(operation, list) else operation,
+                result=entry["result"],
+                invoked_at=entry["invoked_at"],
+                responded_at=entry["responded_at"],
+                sequence=entry["sequence"],
+            ))
+        elif entry["kind"] == "audit":
+            audit.append(AuditRecord(
+                sequence=entry["sequence"],
+                client_id=entry["client_id"],
+                operation=bytes.fromhex(entry["operation_hex"]),
+                result=bytes.fromhex(entry["result_hex"]),
+                chain=bytes.fromhex(entry["chain_hex"]),
+            ))
+        else:
+            raise ValueError(f"unknown trace entry kind {entry['kind']!r}")
+    return operations, audit
+
+
+def verify_trace_file(stream: IO[str]) -> dict:
+    """Offline auditor entry point: re-verify a dumped trace.
+
+    Checks the audit chain's internal consistency and that every traced
+    operation with a sequence number appears in the audit log with the
+    same client, the same operation content and the same result — so a
+    single edited character anywhere in the trace fails verification.
+    Returns summary statistics.
+    """
+    from repro import serde
+    from repro.core.hashchain import verify_audit_chain
+
+    operations, audit = load_trace(stream)
+    verify_audit_chain(audit)
+    by_sequence = {record.sequence: record for record in audit}
+    matched = 0
+    for record in operations:
+        if record.sequence is None:
+            continue
+        audit_record = by_sequence.get(record.sequence)
+        if audit_record is None:
+            raise ValueError(
+                f"operation seq={record.sequence} missing from the audit log"
+            )
+        if audit_record.client_id != record.client_id:
+            raise ValueError(
+                f"operation seq={record.sequence} attributed to client "
+                f"{audit_record.client_id} in the audit log but "
+                f"{record.client_id} in the trace"
+            )
+        operation_bytes = serde.encode(
+            list(record.operation)
+            if isinstance(record.operation, tuple)
+            else record.operation
+        )
+        if operation_bytes != audit_record.operation:
+            raise ValueError(
+                f"operation seq={record.sequence} content differs between "
+                "the trace and the audit log"
+            )
+        if serde.encode(record.result) != audit_record.result:
+            raise ValueError(
+                f"operation seq={record.sequence} result differs between "
+                "the trace and the audit log"
+            )
+        matched += 1
+    return {
+        "operations": len(operations),
+        "audit_records": len(audit),
+        "matched": matched,
+    }

@@ -1,0 +1,25 @@
+"""Stateful application functionalities executed inside the enclave.
+
+The system model (Sec. 2.1) abstracts the application as a functionality
+``F`` that "defines a response and a state change for every operation":
+``exec_F(s, o) -> (r, s')``.  LCM is generic over ``F``; the paper's demo
+application is a key-value store with GET/PUT/DEL (Sec. 5.3).
+
+- :mod:`repro.kvstore.functionality` — the ``F`` contract and helpers;
+- :mod:`repro.kvstore.kvs` — the paper's KVS;
+- :mod:`repro.kvstore.counter` — a minimal counter ``F`` used in tests.
+"""
+
+from repro.kvstore.counter import CounterFunctionality
+from repro.kvstore.functionality import Functionality, Operation
+from repro.kvstore.kvs import KvsFunctionality, delete, get, put
+
+__all__ = [
+    "Functionality",
+    "Operation",
+    "KvsFunctionality",
+    "CounterFunctionality",
+    "get",
+    "put",
+    "delete",
+]

@@ -1,0 +1,42 @@
+"""A minimal counter functionality for tests and examples.
+
+Operations:
+
+- ``("INC",)``      -> new counter value
+- ``("ADD", n)``    -> new counter value
+- ``("READ",)``     -> current value
+
+Small state + obvious semantics make this the easiest ``F`` for checking
+protocol-level properties (hash chains, stability, recovery) without KVS
+noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kvstore.kvs import UnknownOperation
+
+INC = "INC"
+ADD = "ADD"
+READ = "READ"
+
+
+class CounterFunctionality:
+    """An integer register supporting increment/add/read."""
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply(self, state: int, operation: Any) -> tuple[Any, int]:
+        if not isinstance(operation, (tuple, list)) or not operation:
+            raise UnknownOperation(f"malformed operation: {operation!r}")
+        verb = operation[0]
+        if verb == INC:
+            return state + 1, state + 1
+        if verb == ADD:
+            (_, amount) = operation
+            return state + amount, state + amount
+        if verb == READ:
+            return state, state
+        raise UnknownOperation(f"unknown verb {verb!r}")

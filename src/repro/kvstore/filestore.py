@@ -1,0 +1,147 @@
+"""A SUNDR-style file store functionality.
+
+Fork-linearizability was introduced for untrusted *file storage* (SUNDR,
+Mazières & Shasha — the line of work LCM descends from, Sec. 7).  This
+functionality demonstrates LCM's generality beyond the flat KVS: a
+hierarchical namespace with directories, file writes and listings, all
+running unchanged inside the trusted context.
+
+Operations (all paths are ``/``-separated, rooted at ``/``):
+
+- ``("MKDIR", path)``            -> True, or False if it already exists
+- ``("WRITE", path, data)``      -> previous content or None (creates file)
+- ``("READ", path)``             -> content or None
+- ``("LIST", path)``             -> sorted child names, or None if no dir
+- ``("REMOVE", path)``           -> True if something was removed
+- ``("STAT", path)``             -> "file" | "dir" | None
+
+State is a dict mapping absolute paths to either the string ``"<dir>"``
+marker or file content; parents are created implicitly for writes, like a
+typical object-store façade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kvstore.kvs import UnknownOperation
+
+_DIR_MARKER = "<dir>"
+
+MKDIR = "MKDIR"
+WRITE = "WRITE"
+READ = "READ"
+LIST = "LIST"
+REMOVE = "REMOVE"
+STAT = "STAT"
+
+
+def _normalize(path: str) -> str:
+    parts = [part for part in path.split("/") if part]
+    return "/" + "/".join(parts)
+
+
+def _parents(path: str) -> list[str]:
+    parts = [part for part in path.split("/") if part]
+    return ["/" + "/".join(parts[:depth]) for depth in range(1, len(parts))]
+
+
+def mkdir(path: str) -> tuple:
+    return (MKDIR, path)
+
+
+def write(path: str, data: str) -> tuple:
+    return (WRITE, path, data)
+
+
+def read(path: str) -> tuple:
+    return (READ, path)
+
+
+def listdir(path: str) -> tuple:
+    return (LIST, path)
+
+
+def remove(path: str) -> tuple:
+    return (REMOVE, path)
+
+
+def stat(path: str) -> tuple:
+    return (STAT, path)
+
+
+class FileStoreFunctionality:
+    """Hierarchical file store as a deterministic state machine."""
+
+    def initial_state(self) -> dict:
+        return {"/": _DIR_MARKER}
+
+    def apply(self, state: dict, operation: Any) -> tuple[Any, dict]:
+        if not isinstance(operation, (tuple, list)) or not operation:
+            raise UnknownOperation(f"malformed operation: {operation!r}")
+        verb = operation[0]
+        if verb == MKDIR:
+            return self._mkdir(state, _normalize(operation[1]))
+        if verb == WRITE:
+            return self._write(state, _normalize(operation[1]), operation[2])
+        if verb == READ:
+            path = _normalize(operation[1])
+            content = state.get(path)
+            if content == _DIR_MARKER:
+                return None, state
+            return content, state
+        if verb == LIST:
+            return self._list(state, _normalize(operation[1])), state
+        if verb == REMOVE:
+            return self._remove(state, _normalize(operation[1]))
+        if verb == STAT:
+            entry = state.get(_normalize(operation[1]))
+            if entry is None:
+                return None, state
+            return ("dir" if entry == _DIR_MARKER else "file"), state
+        raise UnknownOperation(f"unknown verb {verb!r}")
+
+    # ------------------------------------------------------------- helpers
+
+    def _mkdir(self, state: dict, path: str) -> tuple[bool, dict]:
+        if path in state:
+            return False, state
+        next_state = dict(state)
+        for parent in _parents(path):
+            next_state.setdefault(parent, _DIR_MARKER)
+        next_state[path] = _DIR_MARKER
+        return True, next_state
+
+    def _write(self, state: dict, path: str, data: str) -> tuple[Any, dict]:
+        if state.get(path) == _DIR_MARKER:
+            return None, state  # refuse to overwrite a directory
+        next_state = dict(state)
+        for parent in _parents(path):
+            next_state.setdefault(parent, _DIR_MARKER)
+        previous = next_state.get(path)
+        next_state[path] = data
+        return previous, next_state
+
+    def _list(self, state: dict, path: str) -> list[str] | None:
+        if state.get(path) != _DIR_MARKER:
+            return None
+        prefix = path if path.endswith("/") else path + "/"
+        children = set()
+        for entry in state:
+            if entry != path and entry.startswith(prefix):
+                remainder = entry[len(prefix):]
+                children.add(remainder.split("/")[0])
+        return sorted(children)
+
+    def _remove(self, state: dict, path: str) -> tuple[bool, dict]:
+        if path == "/":
+            return False, state
+        if path not in state:
+            return False, state
+        prefix = path + "/"
+        next_state = {
+            entry: value
+            for entry, value in state.items()
+            if entry != path and not entry.startswith(prefix)
+        }
+        return True, next_state

@@ -1,0 +1,57 @@
+"""The functionality contract ``F`` (Sec. 2.1).
+
+A functionality is deterministic state-machine logic: given a state and an
+operation it produces a result and a successor state.  Determinism is *not*
+required by LCM (unlike 2-phase-commit TMC schemes, Sec. 3.1 — a key selling
+point of the protocol), but the bundled functionalities happen to be
+deterministic, which keeps tests simple.
+
+Operations and states must be canonically serializable
+(:mod:`repro.serde`), because the trusted context hashes operations into the
+chain and seals states to stable storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro import serde
+
+#: An operation is any serde-encodable value; the bundled functionalities
+#: use (verb, *args) tuples.
+Operation = Any
+
+
+@runtime_checkable
+class Functionality(Protocol):
+    """State-machine interface executed by the trusted context."""
+
+    def initial_state(self) -> Any:
+        """Return ``s0``."""
+        ...
+
+    def apply(self, state: Any, operation: Operation) -> tuple[Any, Any]:
+        """``exec_F``: return ``(result, next_state)``.
+
+        Implementations must not mutate ``state`` in place — the trusted
+        context relies on value semantics when it seals snapshots.
+        """
+        ...
+
+
+def encode_operation(operation: Operation) -> bytes:
+    """Canonical bytes of an operation (hashed into the chain as ``o``)."""
+    return serde.encode(operation)
+
+
+def decode_operation(data: bytes) -> Operation:
+    return serde.decode(data)
+
+
+def encode_state(state: Any) -> bytes:
+    """Canonical bytes of a service state (sealed as part of the blob)."""
+    return serde.encode(state)
+
+
+def decode_state(data: bytes) -> Any:
+    return serde.decode(data)

@@ -1,0 +1,72 @@
+"""The paper's demo application: a flat-namespace key-value store (Sec. 5.3).
+
+Operations are (verb, key[, value]) tuples:
+
+- ``("GET", key)``   -> value or ``None``
+- ``("PUT", key, value)`` -> previous value or ``None``
+- ``("DEL", key)``   -> deleted value or ``None``
+
+State is a plain ``dict[str, str|bytes]``.  The prototype used
+``std::map<std::string, std::string>`` inside the enclave; the memory-cost
+consequences of that choice are modelled separately in
+:class:`repro.tee.sgx.MapMemoryModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LCMError
+
+
+class UnknownOperation(LCMError):
+    """The functionality received a verb it does not implement."""
+
+
+GET = "GET"
+PUT = "PUT"
+DEL = "DEL"
+
+
+def get(key: str) -> tuple:
+    """Build a GET operation."""
+    return (GET, key)
+
+
+def put(key: str, value: Any) -> tuple:
+    """Build a PUT operation."""
+    return (PUT, key, value)
+
+
+def delete(key: str) -> tuple:
+    """Build a DEL operation."""
+    return (DEL, key)
+
+
+class KvsFunctionality:
+    """GET/PUT/DEL over a dictionary state."""
+
+    def initial_state(self) -> dict:
+        return {}
+
+    def apply(self, state: dict, operation: Any) -> tuple[Any, dict]:
+        if not isinstance(operation, (tuple, list)) or not operation:
+            raise UnknownOperation(f"malformed operation: {operation!r}")
+        verb = operation[0]
+        if verb == GET:
+            (_, key) = operation
+            return state.get(key), state
+        if verb == PUT:
+            (_, key, value) = operation
+            next_state = dict(state)
+            previous = next_state.get(key)
+            next_state[key] = value
+            return previous, next_state
+        if verb == DEL:
+            (_, key) = operation
+            if key not in state:
+                return None, state
+            next_state = dict(state)
+            previous = next_state.pop(key)
+            return previous, next_state
+        raise UnknownOperation(f"unknown verb {verb!r}")

@@ -1,0 +1,29 @@
+"""Asynchronous-network substrate: discrete-event simulation and channels.
+
+The paper's system model (Sec. 2.1) is an asynchronous distributed system in
+which clients and the trusted context exchange messages *through* the
+untrusted server; with a correct server the channels are reliable FIFO.  We
+reproduce that with:
+
+- :mod:`repro.net.simulation` — a deterministic discrete-event simulator
+  (virtual clock + event heap) used both for protocol tests and for the
+  performance model behind the paper's figures;
+- :mod:`repro.net.channel` — FIFO channels with pluggable adversarial hooks
+  (drop / delay / reorder / duplicate), matching the malicious-server
+  capabilities of Sec. 2.3;
+- :mod:`repro.net.latency` — latency and bandwidth models for the
+  evaluation's 1 Gbps LAN setup.
+"""
+
+from repro.net.channel import AdversarialChannel, Channel
+from repro.net.latency import BandwidthModel, LatencyModel
+from repro.net.simulation import Event, Simulator
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Channel",
+    "AdversarialChannel",
+    "LatencyModel",
+    "BandwidthModel",
+]

@@ -1,0 +1,26 @@
+"""Performance modelling for the paper's evaluation (Sec. 6).
+
+- :mod:`repro.perf.costs` — the calibrated cost model: service-time
+  constants for every pipeline stage (network, untrusted server thread,
+  ecall, enclave crypto, LCM protocol work, disk, TMC);
+- :mod:`repro.perf.model` — a closed-loop discrete-event throughput engine
+  that drives the modelled server with YCSB-style clients and measures
+  simulated operations per second.
+
+The constants are calibrated so the *relative* results reproduce the
+paper's bands (who wins, by what factor, where curves saturate); absolute
+throughput is in the same order of magnitude as the paper's testbed but is
+not the reproduction target.  EXPERIMENTS.md records paper-vs-measured for
+every figure.
+"""
+
+from repro.perf.costs import CostModel, MessageGeometry
+from repro.perf.model import SYSTEMS, SystemSpec, measure_throughput
+
+__all__ = [
+    "CostModel",
+    "MessageGeometry",
+    "SystemSpec",
+    "SYSTEMS",
+    "measure_throughput",
+]

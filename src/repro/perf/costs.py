@@ -1,0 +1,138 @@
+"""Calibrated cost-model constants.
+
+Every constant is a service time (seconds) or a size (bytes) for one stage
+of the request pipeline the paper describes in Sec. 5.3 / Fig. 3.  The
+calibration targets are the paper's *relative* results:
+
+- SGX saturates around 8 clients while Native keeps scaling (Fig. 5);
+- SGX = 0.42-0.78x Native, LCM = 0.67-0.95x SGX (0.72-0.98x with
+  batching) under async writes;
+- with fsync, non-batching systems flatten to a few hundred ops/s,
+  SGX = 0.98x Native, LCM = 0.69x SGX, LCM+batching = 0.72-9.87x SGX
+  (Fig. 6);
+- the emulated TMC pins throughput at ~12 ops/s (Sec. 6.5);
+- LCM's relative overhead falls from ~20% at 100-byte objects to ~11% at
+  2500 bytes (Fig. 4).
+
+The derivation of each value from those targets is sketched next to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.latency import BandwidthModel, LatencyModel
+from repro.server.storage import DiskModel
+
+
+@dataclass(frozen=True)
+class MessageGeometry:
+    """Wire sizes of one request/reply pair for the YCSB-A mix.
+
+    Workload A is 50% GET / 50% PUT: on average half the requests carry the
+    object value upstream and half the replies carry it downstream, so each
+    direction carries ``object_size / 2`` value bytes on average.
+    """
+
+    key_bytes: int = 40
+    header_bytes: int = 60        # framing + AEAD expansion + ids
+    lcm_metadata_bytes: int = 46  # the Sec. 6.3 constant protocol overhead
+
+    def request_bytes(self, object_size: int, *, lcm: bool) -> int:
+        base = self.header_bytes + self.key_bytes + object_size // 2
+        return base + (self.lcm_metadata_bytes if lcm else 0)
+
+    def reply_bytes(self, object_size: int, *, lcm: bool) -> int:
+        base = self.header_bytes + object_size // 2
+        return base + (self.lcm_metadata_bytes if lcm else 0)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All pipeline-stage costs.  Defaults are the calibrated values."""
+
+    # --- network: same-rack LAN through a VM, 1 Gbps.  RTT ~0.4 ms gives
+    # Native's closed-loop curve its paper-like slope (~2 kops/s per client
+    # until the server thread saturates).  Jitter staggers the closed-loop
+    # clients like a real network does; without it they move in lockstep
+    # and batching degenerates to stop-and-go.
+    latency: LatencyModel = field(
+        default_factory=lambda: LatencyModel(
+            propagation=200e-6,
+            bandwidth=BandwidthModel(125_000_000.0),
+            jitter_fraction=0.25,
+            seed=7,
+        )
+    )
+
+    # --- untrusted server thread.  12 us of socket/framing work per request
+    # plus 6 us of map operation put Native's single-thread ceiling at
+    # ~45 kops/s, matching the scale of Fig. 5's top curves.
+    frontend_per_request: float = 12e-6
+    kvs_op_time: float = 6e-6
+
+    # --- client side.  The enclave-path prototypes (SGX KVS, LCM) encrypt
+    # each request/reply with JCE on the YCSB client thread; the
+    # Native/Redis path offloads TLS to Stunnel processes.  This latency
+    # shows up at low client counts (the 0.78x SGX-vs-Native gap at one
+    # client) without consuming server capacity.
+    client_crypto_latency: float = 40e-6
+
+    # --- Stunnel (Native/Redis transport crypto): separate worker
+    # processes, so it adds latency but does not consume the server thread.
+    stunnel_workers: int = 8
+    host_crypto_base: float = 4e-6
+    host_crypto_per_byte: float = 15e-9
+
+    # --- enclave path.  One ecall transition ~24 us (SGX SDK 1.6 era,
+    # including the copy across the enclave boundary); AES-GCM inside the
+    # enclave ~8 us fixed + 20 ns/byte per direction.  Together with the op
+    # and state sealing this puts SGX's 100-byte service time at ~73 us ->
+    # ~14 kops/s, saturating right around 8 clients as in Fig. 5.
+    ecall_overhead: float = 24e-6
+    enclave_crypto_base: float = 8e-6       # per direction
+    enclave_crypto_per_byte: float = 20e-9  # per payload byte, per direction
+    state_seal_base: float = 6e-6
+    state_seal_per_byte: float = 4e-9       # on the object touched
+
+    # --- LCM protocol work on top of SGX (Alg. 2): hash-chain extension,
+    # V-map + stability bookkeeping, and the extra sealed protocol state.
+    # ~6 us/op + 12 us/store reproduces Fig. 4's 20% -> 11% overhead decay
+    # and Fig. 5's 0.7-0.96x band.
+    lcm_hash_chain_time: float = 2e-6
+    lcm_v_update_time: float = 3e-6
+    lcm_state_seal_extra: float = 11e-6      # per store (amortised by batching)
+    # With fsync the LCM prototype persists the larger combined blob
+    # (protocol state + V + result cache); modelled as a 45% longer flush,
+    # which reproduces the paper's LCM = 0.69x SGX under synchronous writes.
+    lcm_sync_write_factor: float = 1.45
+
+    # --- disk.  2 us submit for buffered writes; 4 ms fsync (SATA SSD).
+    disk: DiskModel = field(
+        default_factory=lambda: DiskModel(
+            async_write_latency=2e-6, fsync_latency=4e-3, bytes_per_second=450e6
+        )
+    )
+
+    # --- trusted monotonic counter.  The paper measured 60 ms per SGX TMC
+    # increment on Windows but observed ~12 ops/s end to end; 80 ms per
+    # increment reproduces the observed rate including protocol overhead.
+    tmc_increment_latency: float = 80e-3
+
+    # --- batching (Sec. 5.3).
+    default_batch_limit: int = 16
+
+    geometry: MessageGeometry = field(default_factory=MessageGeometry)
+
+    # ------------------------------------------------------------ helpers
+
+    def enclave_crypto_time(self, payload_bytes: int) -> float:
+        """AEAD cost for one direction of one message inside the enclave."""
+        return self.enclave_crypto_base + self.enclave_crypto_per_byte * payload_bytes
+
+    def host_crypto_time(self, payload_bytes: int) -> float:
+        """Stunnel worker time for one direction of one message."""
+        return self.host_crypto_base + self.host_crypto_per_byte * payload_bytes
+
+    def state_seal_time(self, object_size: int) -> float:
+        return self.state_seal_base + self.state_seal_per_byte * object_size

@@ -1,0 +1,125 @@
+"""Canonical, injective serialization for protocol data.
+
+Every byte string that LCM hashes, MACs or encrypts (operations, protocol
+messages, state blobs) must be produced by an *injective* encoding —
+otherwise two distinct logical values could collide and defeat the hash
+chain.  This module implements a small self-describing binary format
+(bencode-like, but with explicit type tags and 8-byte lengths) for the value
+types the protocol uses:
+
+``None``, ``bool``, ``int``, ``bytes``, ``str``, ``list``/``tuple`` and
+``dict`` (with canonically sorted keys).
+
+The format is deliberately simple and dependency-free; it is not a general
+pickle replacement and refuses unknown types loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LCMError
+
+
+class SerdeError(LCMError):
+    """Raised for unsupported types or malformed encodings."""
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_BYTES = b"B"
+_TAG_STR = b"S"
+_TAG_LIST = b"L"
+_TAG_DICT = b"D"
+
+
+def _encode_length(n: int) -> bytes:
+    return n.to_bytes(8, "big")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes.
+
+    >>> encode([1, b"x"]) != encode([1, b"y"])
+    True
+    """
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        payload = value.to_bytes(16, "big", signed=True)
+        return _TAG_INT + payload
+    if isinstance(value, (bytes, bytearray)):
+        return _TAG_BYTES + _encode_length(len(value)) + bytes(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return _TAG_STR + _encode_length(len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        parts = [encode(item) for item in value]
+        body = b"".join(parts)
+        return _TAG_LIST + _encode_length(len(parts)) + body
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: encode(kv[0]))
+        body = b"".join(encode(k) + encode(v) for k, v in items)
+        return _TAG_DICT + _encode_length(len(items)) + body
+    raise SerdeError(f"unsupported type for canonical encoding: {type(value)!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`.  Raises :class:`SerdeError` on malformed input."""
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise SerdeError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _read(data: bytes, offset: int, n: int) -> bytes:
+    if offset + n > len(data):
+        raise SerdeError("truncated encoding")
+    return data[offset : offset + n]
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
+    tag = _read(data, offset, 1)
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        raw = _read(data, offset, 16)
+        return int.from_bytes(raw, "big", signed=True), offset + 16
+    if tag == _TAG_BYTES:
+        length = int.from_bytes(_read(data, offset, 8), "big")
+        offset += 8
+        return _read(data, offset, length), offset + length
+    if tag == _TAG_STR:
+        length = int.from_bytes(_read(data, offset, 8), "big")
+        offset += 8
+        raw = _read(data, offset, length)
+        return raw.decode("utf-8"), offset + length
+    if tag == _TAG_LIST:
+        count = int.from_bytes(_read(data, offset, 8), "big")
+        offset += 8
+        items = []
+        for _ in range(count):
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        count = int.from_bytes(_read(data, offset, 8), "big")
+        offset += 8
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_at(data, offset)
+            value, offset = _decode_at(data, offset)
+            result[key] = value
+        return result, offset
+    raise SerdeError(f"unknown type tag {tag!r}")

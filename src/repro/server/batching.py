@@ -1,0 +1,60 @@
+"""Bounded request batching (Sec. 5.2/5.3).
+
+The prototype collects incoming INVOKE messages in a bounded queue; once the
+queue reaches its limit *or no more client requests are available*, the
+server performs a single ecall with the whole batch.  The enclave processes
+the batch sequentially, producing one REPLY per request, and the application
+and protocol state is stored **once per batch** — this amortisation is why
+the batching variants scale in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class BatchQueue(Generic[T]):
+    """Collects items and flushes them in bounded batches.
+
+    ``flush_callback`` receives the list of items in arrival order.  The
+    queue auto-flushes when ``limit`` items are pending; callers flush any
+    remainder (the "no more requests available" case) explicitly via
+    :meth:`flush`.
+    """
+
+    def __init__(self, limit: int, flush_callback: Callable[[list[T]], None]) -> None:
+        if limit < 1:
+            raise ConfigurationError("batch limit must be >= 1")
+        self.limit = limit
+        self._flush_callback = flush_callback
+        self._pending: list[T] = []
+        self.batches_flushed = 0
+        self.items_flushed = 0
+
+    def add(self, item: T) -> None:
+        self._pending.append(item)
+        if len(self._pending) >= self.limit:
+            self.flush()
+
+    def flush(self) -> int:
+        """Flush pending items (if any).  Returns the batch size flushed."""
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self.batches_flushed += 1
+        self.items_flushed += len(batch)
+        self._flush_callback(batch)
+        return len(batch)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def mean_batch_size(self) -> float:
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.items_flushed / self.batches_flushed

@@ -1,0 +1,98 @@
+"""Versioned stable storage and the disk timing model.
+
+``StableStorage`` retains *every* blob ever stored.  A correct server's
+``load`` returns the most recent one; keeping the full version history is
+what gives a malicious server its rollback ammunition ("a malicious server
+may still return a correctly protected but outdated state", Sec. 2.3) and
+lets tests assert exactly which stale state was replayed.
+
+``DiskModel`` supplies the timing side for the performance experiments:
+Fig. 5 runs with asynchronous writes (the write syscall returns after
+hitting the page cache), Fig. 6 with fsync per state store, which the paper
+shows flattens every non-batching system to a few hundred ops/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Latency model for one store of a state blob.
+
+    ``async_write_latency`` models a buffered write on the paper's SSD;
+    ``fsync_latency`` the full synchronous flush.  Values are calibrated in
+    :mod:`repro.perf.costs`; these defaults match a SATA SSD of the period.
+    """
+
+    async_write_latency: float = 30e-6
+    fsync_latency: float = 4.0e-3
+    bytes_per_second: float = 450e6  # sequential write bandwidth
+
+    def write_time(self, size_bytes: int, *, fsync: bool) -> float:
+        transfer = size_bytes / self.bytes_per_second
+        if fsync:
+            return self.fsync_latency + transfer
+        return self.async_write_latency + transfer
+
+
+class StableStorage:
+    """Append-only version store with a movable "current" pointer.
+
+    A correct host only ever calls :meth:`store` and :meth:`load`.  The
+    malicious host additionally uses :meth:`version_count`,
+    :meth:`load_version` and :meth:`rollback_to` — the latter repoints
+    "current" at an older version, which is precisely a rollback attack on
+    the next enclave restart.
+    """
+
+    def __init__(self, name: str = "stable-storage") -> None:
+        self.name = name
+        self._versions: list[bytes] = []
+        self._current: int = -1
+        self.stores = 0
+        self.loads = 0
+
+    # -------------------------------------------------- correct-host surface
+
+    def store(self, blob: bytes) -> int:
+        """Persist a blob; returns its version index."""
+        if not isinstance(blob, (bytes, bytearray)):
+            raise StorageError("stable storage holds bytes only")
+        self._versions.append(bytes(blob))
+        self._current = len(self._versions) - 1
+        self.stores += 1
+        return self._current
+
+    def load(self) -> bytes | None:
+        """Return the blob at the current pointer (None if nothing stored)."""
+        self.loads += 1
+        if self._current < 0:
+            return None
+        return self._versions[self._current]
+
+    # ------------------------------------------------ malicious-host surface
+
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    def load_version(self, index: int) -> bytes:
+        try:
+            return self._versions[index]
+        except IndexError as exc:
+            raise StorageError(f"no stored version {index}") from exc
+
+    def rollback_to(self, index: int) -> None:
+        """Repoint "current" at an older version (rollback attack setup)."""
+        if not 0 <= index < len(self._versions):
+            raise StorageError(f"no stored version {index}")
+        self._current = index
+
+    def latest_index(self) -> int:
+        return self._current
+
+    def total_bytes(self) -> int:
+        return sum(len(blob) for blob in self._versions)

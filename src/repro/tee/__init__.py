@@ -1,0 +1,29 @@
+"""Trusted-execution-environment substrate (software model of Sec. 2.2).
+
+The paper's protocol relies only on the *abstract* TEE contract, not on SGX
+specifics: isolation of a trusted execution context ``T``, volatile protected
+memory that vanishes at the end of an epoch, a program-bound key derivation
+``get-key(T, P)``, and remote attestation.  This package enforces exactly
+that contract in software:
+
+- :mod:`repro.tee.platform` — the TEE platform: measurement-keyed key
+  derivation, report key, quoting enclave, enclave factory;
+- :mod:`repro.tee.enclave` — trusted execution context lifecycle (create /
+  start / stop / restart, epochs, volatile memory, ecall dispatch, ocalls);
+- :mod:`repro.tee.sgx` — SGX-flavoured cost model: EPC capacity, paging
+  penalties and the std::map memory overhead measured in Sec. 6.2.
+"""
+
+from repro.tee.enclave import Enclave, EnclaveProgram, EnclaveState, HostInterface
+from repro.tee.platform import TeePlatform
+from repro.tee.sgx import EpcModel, MapMemoryModel
+
+__all__ = [
+    "TeePlatform",
+    "Enclave",
+    "EnclaveProgram",
+    "EnclaveState",
+    "HostInterface",
+    "EpcModel",
+    "MapMemoryModel",
+]

@@ -1,0 +1,142 @@
+"""The TEE platform: key derivation, attestation roots, enclave factory.
+
+One :class:`TeePlatform` instance models one physical SGX-capable machine.
+Its ``platform_secret`` is the hardware root of trust: sealing keys derive
+from it, so an enclave restarted *on the same platform with the same
+program* recovers the same sealing key (Sec. 4.4), while any other platform
+or program obtains an unrelated key — this is what binds sealed state to
+hardware and what migration (Sec. 4.6.2) must explicitly work around.
+
+Multiple platforms may share an :class:`~repro.crypto.attestation.EpidGroup`
+(they are all "genuine Intel hardware"); quotes then verify against the
+group without identifying the platform.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import random
+from typing import Callable
+
+from repro.crypto.aead import AeadKey
+from repro.crypto.attestation import (
+    EpidGroup,
+    QuotingEnclave,
+    Report,
+    make_report,
+    measure_program,
+)
+from repro.crypto.keys import derive_key
+from repro.tee.enclave import Enclave, EnclaveEnv, EnclaveProgram, HostInterface
+
+
+class TeePlatform:
+    """A single TEE-capable machine.
+
+    Parameters
+    ----------
+    epid_group:
+        Attestation group this platform belongs to.  Platforms in the same
+        group produce mutually indistinguishable quotes.
+    seed:
+        Optional deterministic seed for reproducible tests.  Without a seed
+        the platform secret comes from the OS CSPRNG.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, epid_group: EpidGroup | None = None, seed: int | None = None) -> None:
+        self.platform_id = next(self._ids)
+        if seed is None:
+            self._platform_secret = os.urandom(32)
+        else:
+            self._platform_secret = hashlib.sha256(
+                b"lcm-platform-seed" + seed.to_bytes(8, "big", signed=True)
+            ).digest()
+        self._report_key = hashlib.sha256(b"lcm-report-key" + self._platform_secret).digest()
+        self.epid_group = epid_group or EpidGroup()
+        self._quoting_enclave = QuotingEnclave(self._report_key, self.epid_group)
+        self._rng = random.Random(self._platform_secret)
+        self.enclaves: list[Enclave] = []
+
+    # ------------------------------------------------------------------ keys
+
+    def _sealing_key(self, measurement: bytes, developer: str, *context: bytes,
+                     policy: str = "identity") -> AeadKey:
+        """Implement ``get-key(T, P)`` for both SGX sealing policies.
+
+        ``identity`` sealing keys bind to the exact program measurement;
+        ``developer`` sealing keys bind to the signer identity, so any
+        enclave by the same developer can unseal (Sec. 5.1.3).
+        """
+        if policy == "identity":
+            binding: bytes = measurement
+        elif policy == "developer":
+            binding = hashlib.sha256(b"lcm-dev" + developer.encode()).digest()
+        else:
+            raise ValueError(f"unknown sealing policy {policy!r}")
+        return derive_key(
+            self._platform_secret, binding, *context, label=f"kS@{self.platform_id}"
+        )
+
+    # -------------------------------------------------------------- enclaves
+
+    def create_enclave(
+        self,
+        program_factory: Callable[[], EnclaveProgram],
+        host: HostInterface,
+        *,
+        sealing_policy: str = "identity",
+    ) -> Enclave:
+        """Instantiate a trusted execution context with program ``P``.
+
+        The measurement is computed from the program's declared code bytes,
+        mirroring the SIGSTRUCT measurement check at load time (Sec. 5.1.1).
+        """
+        prototype = program_factory()
+        measurement = measure_program(prototype.PROGRAM_CODE, prototype.DEVELOPER)
+        developer = prototype.DEVELOPER
+
+        def env_factory(enclave: Enclave) -> EnclaveEnv:
+            def get_key(*context: bytes, policy: str = "identity") -> AeadKey:
+                return self._sealing_key(measurement, developer, *context, policy=policy)
+
+            def create_report(user_data: bytes) -> Report:
+                return make_report(measurement, developer, user_data, self._report_key)
+
+            def secure_random(n: int) -> bytes:
+                return bytes(self._rng.getrandbits(8) for _ in range(n))
+
+            return EnclaveEnv(
+                measurement=measurement,
+                epoch=enclave.epoch,
+                get_key=get_key,
+                create_report=create_report,
+                host=host,
+                secure_random=secure_random,
+            )
+
+        enclave = Enclave(
+            enclave_id=len(self.enclaves) + 1,
+            measurement=measurement,
+            developer=developer,
+            program_factory=program_factory,
+            env_factory=env_factory,
+            host=host,
+        )
+        self.enclaves.append(enclave)
+        return enclave
+
+    # ------------------------------------------------------------ attestation
+
+    def quote(self, report: Report):
+        """Run the quoting enclave over a report (Sec. 5.1.2 step 3)."""
+        return self._quoting_enclave.quote(report)
+
+    @staticmethod
+    def expected_measurement(program_factory: Callable[[], EnclaveProgram]) -> bytes:
+        """What a relying party with prior knowledge of ``P`` expects to see."""
+        prototype = program_factory()
+        return measure_program(prototype.PROGRAM_CODE, prototype.DEVELOPER)

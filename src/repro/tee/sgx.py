@@ -1,0 +1,100 @@
+"""SGX-specific resource models: EPC paging and enclave heap overhead.
+
+Sec. 6.2 of the paper reports two hardware effects that shape its
+preliminary experiment:
+
+1. **Heap overhead** — a ``std::map<std::string, std::string>`` KVS uses
+   ~134% more memory than the raw key+value payload (~280 bytes for a
+   40 B key + 100 B value pair, plus 48 bytes of red-black-tree node
+   metadata).  For 300 000 objects the paper measured 93 MB of enclave heap
+   against ~40 MB expected.
+2. **EPC paging** — the enclave page cache is capped (128 MB architectural;
+   ~93 MB usable), and once the working set exceeds it the SGX driver swaps
+   pages through the memory-encryption engine, inflating operation latency
+   by up to 240%.
+
+Both are modelled here so the Sec. 6.2 benchmark can regenerate the
+knee-shaped latency curve and the memory-overhead figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MIB = 1024 * 1024
+
+#: Architectural EPC size on the paper's i7-6700 (Sec. 5.1.1).
+EPC_TOTAL_BYTES = 128 * MIB
+#: Usable EPC after SGX metadata.  The paper's knee sits right after the
+#: 300k-object working set (~98 MB of std::map heap), so the usable EPC is
+#: modelled just above it.
+EPC_USABLE_BYTES = 99 * MIB
+
+
+@dataclass(frozen=True)
+class MapMemoryModel:
+    """Heap cost of the prototype's ``std::map``-backed KVS.
+
+    Calibrated to the paper's measurement: the two strings of a
+    40+100-byte pair consume ~280 bytes (allocation header + capacity
+    slack per ``std::string``), and the map adds a fixed 48-byte tree-node
+    overhead per object — 328 bytes total, i.e. ~134% over the 140-byte
+    payload.
+    """
+
+    per_string_overhead: int = 68   # header + capacity slack per std::string
+    allocator_alignment: int = 8
+    node_overhead: int = 48         # red-black tree node bookkeeping
+
+    def _string_bytes(self, length: int) -> int:
+        raw = length + self.per_string_overhead
+        # round up to the allocator bucket
+        return -(-raw // self.allocator_alignment) * self.allocator_alignment
+
+    def object_bytes(self, key_size: int, value_size: int) -> int:
+        """Total enclave heap bytes for one key-value pair."""
+        return (
+            self._string_bytes(key_size)
+            + self._string_bytes(value_size)
+            + self.node_overhead
+        )
+
+    def heap_bytes(self, objects: int, key_size: int, value_size: int) -> int:
+        return objects * self.object_bytes(key_size, value_size)
+
+    def overhead_fraction(self, key_size: int, value_size: int) -> float:
+        """Heap overhead relative to the raw payload (paper: ~1.34)."""
+        payload = key_size + value_size
+        return self.object_bytes(key_size, value_size) / payload - 1.0
+
+
+@dataclass
+class EpcModel:
+    """Latency inflation once the enclave working set spills out of the EPC.
+
+    The penalty model is a saturating ramp: below ``usable_bytes`` there is
+    no penalty; beyond it, the probability that a random access touches an
+    evicted page grows with the overflow fraction, and each miss costs a
+    page swap through the memory-encryption engine.  The ``max_penalty``
+    asymptote is calibrated to the paper's observed +240% latency.
+    """
+
+    usable_bytes: int = EPC_USABLE_BYTES
+    max_penalty: float = 2.4        # +240% latency at full thrash
+    ramp_sharpness: float = 3.0
+
+    def miss_fraction(self, working_set_bytes: int) -> float:
+        """Fraction of accesses that hit an evicted page."""
+        if working_set_bytes <= self.usable_bytes:
+            return 0.0
+        overflow = (working_set_bytes - self.usable_bytes) / working_set_bytes
+        # With uniform access, the resident fraction is usable/working_set;
+        # sharpen slightly to model driver eviction policy inefficiency.
+        return min(1.0, overflow * self.ramp_sharpness)
+
+    def latency_multiplier(self, working_set_bytes: int) -> float:
+        """Multiplier on per-operation latency (1.0 = no paging)."""
+        return 1.0 + self.max_penalty * self.miss_fraction(working_set_bytes)
+
+    def fits(self, working_set_bytes: int) -> bool:
+        return working_set_bytes <= self.usable_bytes

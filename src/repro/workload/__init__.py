@@ -1,0 +1,34 @@
+"""Workload generation (the paper's YCSB substitute, Sec. 6.1).
+
+- :mod:`repro.workload.zipf` — the scrambled-zipfian key chooser YCSB uses
+  for its default request distribution;
+- :mod:`repro.workload.ycsb` — the core workload presets (A-F), record
+  generation and operation streams.  The evaluation uses workload A:
+  a 50/50 mix of PUT and GET over 1000 objects with 40-byte keys.
+"""
+
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    Workload,
+    WorkloadGenerator,
+)
+from repro.workload.zipf import ScrambledZipfian, UniformChooser, ZipfianGenerator
+
+__all__ = [
+    "Workload",
+    "WorkloadGenerator",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "ZipfianGenerator",
+    "ScrambledZipfian",
+    "UniformChooser",
+]

@@ -1,0 +1,156 @@
+"""YCSB-style core workloads (Cooper et al., SoCC 2010; paper Sec. 6.1).
+
+A :class:`Workload` fixes the read/update/insert/scan mix, the request
+distribution and record geometry; :class:`WorkloadGenerator` turns it into
+a deterministic stream of KVS operations.  The evaluation's configuration
+is workload A (50% reads, 50% updates, zipfian) over 1000 records with
+40-byte keys and object sizes from 100 to 2500 bytes.
+
+Scans are mapped to multi-GET sequences since the paper's KVS interface is
+GET/PUT/DEL only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.kvstore.kvs import get, put
+from repro.workload.zipf import ScrambledZipfian, UniformChooser
+
+DEFAULT_KEY_SIZE = 40
+DEFAULT_VALUE_SIZE = 100
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One YCSB core-workload definition."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    read_modify_write_proportion: float = 0.0
+    distribution: str = "zipfian"  # or "uniform", "latest"
+    record_count: int = 1000
+    key_size: int = DEFAULT_KEY_SIZE
+    value_size: int = DEFAULT_VALUE_SIZE
+    max_scan_length: int = 10
+
+    def with_params(self, **overrides) -> "Workload":
+        """Derive a variant (e.g. a different object size for Fig. 4)."""
+        return replace(self, **overrides)
+
+    def proportions(self) -> list[tuple[str, float]]:
+        return [
+            ("read", self.read_proportion),
+            ("update", self.update_proportion),
+            ("insert", self.insert_proportion),
+            ("scan", self.scan_proportion),
+            ("rmw", self.read_modify_write_proportion),
+        ]
+
+
+WORKLOAD_A = Workload("A", read_proportion=0.5, update_proportion=0.5)
+WORKLOAD_B = Workload("B", read_proportion=0.95, update_proportion=0.05)
+WORKLOAD_C = Workload("C", read_proportion=1.0, update_proportion=0.0)
+WORKLOAD_D = Workload(
+    "D", read_proportion=0.95, update_proportion=0.0, insert_proportion=0.05,
+    distribution="latest",
+)
+WORKLOAD_E = Workload(
+    "E", read_proportion=0.0, update_proportion=0.0, insert_proportion=0.05,
+    scan_proportion=0.95,
+)
+WORKLOAD_F = Workload(
+    "F", read_proportion=0.5, update_proportion=0.0,
+    read_modify_write_proportion=0.5,
+)
+
+
+class WorkloadGenerator:
+    """Deterministic operation stream for one workload configuration."""
+
+    def __init__(self, workload: Workload, *, seed: int = 0) -> None:
+        self.workload = workload
+        self._rng = random.Random(seed)
+        self._inserted = workload.record_count
+        if workload.distribution == "zipfian":
+            self._chooser = ScrambledZipfian(workload.record_count, seed=seed + 1)
+        elif workload.distribution == "uniform":
+            self._chooser = UniformChooser(workload.record_count, seed=seed + 1)
+        elif workload.distribution == "latest":
+            # "latest" favours recently inserted records; approximate with
+            # zipfian over ranks counted from the newest record.
+            self._chooser = ScrambledZipfian(workload.record_count, seed=seed + 1)
+        else:
+            raise ValueError(f"unknown distribution {workload.distribution!r}")
+
+    # ------------------------------------------------------------- records
+
+    def key_for(self, rank: int) -> str:
+        """YCSB-style key: "user" + fixed-width rank, padded to key_size.
+
+        The rank is zero-padded to a fixed width so distinct ranks can never
+        collide after padding (e.g. rank 10 vs. rank 100).
+        """
+        base = f"user{rank:012d}"
+        return base.ljust(self.workload.key_size, "x")[: self.workload.key_size]
+
+    def value(self) -> str:
+        """A fresh value of the configured object size."""
+        size = self.workload.value_size
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        return "".join(self._rng.choice(alphabet) for _ in range(size))
+
+    def load_operations(self) -> list[tuple]:
+        """The load phase: one PUT per record."""
+        return [
+            put(self.key_for(rank), self.value())
+            for rank in range(self.workload.record_count)
+        ]
+
+    # ---------------------------------------------------------------- stream
+
+    def _choose_verb(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for verb, proportion in self.workload.proportions():
+            cumulative += proportion
+            if roll < cumulative:
+                return verb
+        return "read"
+
+    def next_operations(self) -> list[tuple]:
+        """Operations for one logical request (scans expand to several)."""
+        verb = self._choose_verb()
+        if verb == "read":
+            return [get(self.key_for(self._choose_key()))]
+        if verb == "update":
+            return [put(self.key_for(self._choose_key()), self.value())]
+        if verb == "insert":
+            self._inserted += 1
+            return [put(self.key_for(self._inserted - 1), self.value())]
+        if verb == "scan":
+            start = self._choose_key()
+            length = self._rng.randint(1, self.workload.max_scan_length)
+            count = self.workload.record_count
+            return [get(self.key_for((start + offset) % count)) for offset in range(length)]
+        if verb == "rmw":
+            key = self.key_for(self._choose_key())
+            return [get(key), put(key, self.value())]
+        raise AssertionError(f"unhandled verb {verb}")
+
+    def _choose_key(self) -> int:
+        if self.workload.distribution == "latest":
+            rank = self._chooser.next()
+            return (self._inserted - 1 - rank) % max(self._inserted, 1)
+        return self._chooser.next()
+
+    def operations(self, count: int) -> list[tuple]:
+        """A flat stream of at least ``count`` operations."""
+        stream: list[tuple] = []
+        while len(stream) < count:
+            stream.extend(self.next_operations())
+        return stream[:count]

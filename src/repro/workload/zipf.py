@@ -1,0 +1,83 @@
+"""Zipfian key choosers, following YCSB's generator design.
+
+YCSB requests keys with a zipfian popularity distribution (constant 0.99)
+and *scrambles* the mapping from rank to key with a hash so that popular
+keys are spread across the keyspace rather than clustered at the low ids.
+We implement the same two-stage construction:
+
+- :class:`ZipfianGenerator` — Gray et al.'s rejection-free inverse-CDF
+  approximation, the algorithm YCSB itself uses;
+- :class:`ScrambledZipfian` — FNV-hash scrambling on top;
+- :class:`UniformChooser` — the uniform alternative for workloads that
+  request it.
+
+All choosers are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+ZIPFIAN_CONSTANT = 0.99
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 bytes (YCSB's scrambling hash)."""
+    result = _FNV_OFFSET
+    for byte in value.to_bytes(8, "little", signed=False):
+        result ^= byte
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class ZipfianGenerator:
+    """Zipf-distributed ranks in ``[0, items)`` (Gray et al. method)."""
+
+    def __init__(self, items: int, *, theta: float = ZIPFIAN_CONSTANT, seed: int = 0) -> None:
+        if items < 1:
+            raise ValueError("need at least one item")
+        self.items = items
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / items) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.items * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class ScrambledZipfian:
+    """Zipfian ranks scrambled across the keyspace (YCSB default)."""
+
+    def __init__(self, items: int, *, seed: int = 0) -> None:
+        self.items = items
+        self._zipf = ZipfianGenerator(items, seed=seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.items
+
+
+class UniformChooser:
+    """Uniformly random ranks (YCSB's "uniform" request distribution)."""
+
+    def __init__(self, items: int, *, seed: int = 0) -> None:
+        self.items = items
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.items)

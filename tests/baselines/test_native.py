@@ -1,0 +1,51 @@
+"""Native baseline: correct operation, persistence, zero attack resistance."""
+
+from repro.baselines import NativeKvsServer
+from repro.kvstore import delete, get, put
+
+
+class TestOperation:
+    def test_put_get(self):
+        server = NativeKvsServer()
+        server.execute(put("k", "v"))
+        assert server.execute(get("k")) == "v"
+
+    def test_delete(self):
+        server = NativeKvsServer()
+        server.execute(put("k", "v"))
+        assert server.execute(delete("k")) == "v"
+        assert server.execute(get("k")) is None
+
+    def test_request_counter(self):
+        server = NativeKvsServer()
+        server.execute(get("a"))
+        server.execute(get("b"))
+        assert server.requests_handled == 2
+
+
+class TestPersistence:
+    def test_restart_restores_latest_snapshot(self):
+        server = NativeKvsServer()
+        server.execute(put("k", "v"))
+        server.restart()
+        assert server.execute(get("k")) == "v"
+
+    def test_restart_with_empty_storage(self):
+        server = NativeKvsServer()
+        server.restart()
+        assert server.execute(get("k")) is None
+
+
+class TestNoDefences:
+    def test_rollback_is_silent(self):
+        server = NativeKvsServer()
+        server.execute(put("balance", "100"))
+        server.execute(put("balance", "50"))
+        server.rollback(0)  # no exception anywhere
+        assert server.execute(get("balance")) == "100"
+
+    def test_direct_state_tampering_is_silent(self):
+        server = NativeKvsServer()
+        server.execute(put("balance", "100"))
+        server.tamper_state("balance", "1000000")
+        assert server.execute(get("balance")) == "1000000"

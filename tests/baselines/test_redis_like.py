@@ -1,0 +1,73 @@
+"""Redis-like baseline: AOF persistence, group commit, silent truncation."""
+
+import pytest
+
+from repro.baselines import RedisLikeServer
+from repro.kvstore import delete, get, put
+
+
+class TestOperation:
+    def test_put_get(self):
+        server = RedisLikeServer()
+        server.execute(put("k", "v"))
+        assert server.execute(get("k")) == "v"
+
+    def test_reads_not_logged(self):
+        server = RedisLikeServer()
+        server.execute(get("a"))
+        server.execute(get("b"))
+        assert server.append_log == []
+
+    def test_writes_logged_in_order(self):
+        server = RedisLikeServer()
+        server.execute(put("a", "1"))
+        server.execute(delete("a"))
+        assert len(server.append_log) == 2
+
+
+class TestPersistence:
+    def test_restart_replays_log(self):
+        server = RedisLikeServer()
+        server.execute(put("a", "1"))
+        server.execute(put("b", "2"))
+        server.execute(delete("a"))
+        server.restart()
+        assert server.execute(get("a")) is None
+        assert server.execute(get("b")) == "2"
+
+    def test_restart_with_empty_log(self):
+        server = RedisLikeServer()
+        server.restart()
+        assert server.execute(get("x")) is None
+
+
+class TestGroupCommit:
+    def test_flush_covers_all_pending_writes(self):
+        server = RedisLikeServer()
+        for i in range(5):
+            server.execute(put(f"k{i}", "v"))
+        assert server.group_commit() == 5
+        assert server.flushes == 1
+
+    def test_second_flush_covers_only_new_writes(self):
+        server = RedisLikeServer()
+        server.execute(put("a", "1"))
+        server.group_commit()
+        server.execute(put("b", "2"))
+        server.execute(put("c", "3"))
+        assert server.group_commit() == 2
+
+    def test_reads_do_not_count_toward_commit(self):
+        server = RedisLikeServer()
+        server.execute(put("a", "1"))
+        server.execute(get("a"))
+        assert server.group_commit() == 1
+
+
+class TestNoDefences:
+    def test_log_truncation_is_silent_rollback(self):
+        server = RedisLikeServer()
+        server.execute(put("balance", "100"))
+        server.execute(put("balance", "50"))
+        server.truncate_log(keep=1)
+        assert server.execute(get("balance")) == "100"

@@ -1,0 +1,107 @@
+"""SGX baseline: confidentiality/integrity hold, rollback protection absent."""
+
+import pytest
+
+from repro.baselines.sgx_kvs import SgxKvsClient, bootstrap_sgx_kvs, make_sgx_kvs_factory
+from repro.crypto.aead import AeadKey
+from repro.crypto.attestation import EpidGroup
+from repro.errors import AuthenticationFailure
+from repro.kvstore import KvsFunctionality, get, put
+from repro.server import MaliciousServer, ServerHost
+from repro.tee import TeePlatform
+
+
+def _deploy(malicious=False):
+    platform = TeePlatform(EpidGroup())
+    factory = make_sgx_kvs_factory(KvsFunctionality)
+    host_class = MaliciousServer if malicious else ServerHost
+    host = host_class(platform, factory)
+    host.start()
+    key = bootstrap_sgx_kvs(host)
+    return host, key
+
+
+class TestOperation:
+    def test_put_get_through_enclave(self):
+        host, key = _deploy()
+        client = SgxKvsClient(1, key, host)
+        client.invoke(put("k", "v"))
+        assert client.invoke(get("k")) == "v"
+
+    def test_state_survives_reboot(self):
+        host, key = _deploy()
+        client = SgxKvsClient(1, key, host)
+        client.invoke(put("k", "v"))
+        host.reboot()
+        assert client.invoke(get("k")) == "v"
+
+    def test_batched_ecall(self):
+        host, key = _deploy()
+        from repro import serde
+        from repro.crypto.aead import auth_encrypt
+
+        messages = [
+            (
+                1,
+                auth_encrypt(
+                    serde.encode(["PUT", f"k{i}", "v"]),
+                    key,
+                    associated_data=b"sgx-kvs/request",
+                ),
+            )
+            for i in range(3)
+        ]
+        before = host.stored_versions() if hasattr(host, "stored_versions") else None
+        replies = host.send_invoke_batch(messages)
+        assert len(replies) == 3
+
+
+class TestSecurityProperties:
+    def test_wrong_key_rejected(self):
+        host, key = _deploy()
+        rogue = SgxKvsClient(1, AeadKey(b"\x09" * 16), host)
+        with pytest.raises(AuthenticationFailure):
+            rogue.invoke(get("k"))
+
+    def test_host_cannot_read_state(self):
+        host, key = _deploy()
+        client = SgxKvsClient(1, key, host)
+        client.invoke(put("secret-key", "secret-value"))
+        blob = host.storage.load()
+        assert b"secret-value" not in blob
+        assert b"secret-key" not in blob
+
+    def test_tampered_blob_rejected_on_restart(self):
+        host, key = _deploy(malicious=True)
+        client = SgxKvsClient(1, key, host)
+        client.invoke(put("k", "v"))
+        host.storage.store(b"garbage")
+        with pytest.raises(AuthenticationFailure):
+            host.crash_and_restart()
+
+
+class TestTheMissingDefence:
+    def test_rollback_goes_undetected(self):
+        """The motivating gap: a stale-but-authentic blob is accepted."""
+        host, key = _deploy(malicious=True)
+        client = SgxKvsClient(1, key, host)
+        client.invoke(put("k", "v1"))
+        client.invoke(put("k", "v2"))
+        host.rollback(host.storage.version_count() - 2)
+        assert client.invoke(get("k")) == "v1"  # silently stale
+
+    def test_forking_goes_undetected(self):
+        host, key = _deploy(malicious=True)
+        alice = SgxKvsClient(1, key, host)
+        bob = SgxKvsClient(2, key, host)
+        alice.invoke(put("k", "base"))
+        fork = host.fork()
+        host.route_client(2, fork)
+        alice.invoke(put("k", "alice"))
+        bob.invoke(put("k", "bob"))
+        # both clients see their own divergent reality, no one notices
+        assert alice.invoke(get("k")) == "alice"
+        assert bob.invoke(get("k")) == "bob"
+        # ...and the server can even silently rejoin them
+        host.route_client(2, 0)
+        assert bob.invoke(get("k")) == "alice"

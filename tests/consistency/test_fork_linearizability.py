@@ -1,0 +1,178 @@
+"""Fork-linearizability checker: honest runs, honest forks, join attacks."""
+
+import pytest
+
+from repro.consistency.fork_linearizability import (
+    check_fork_linearizable,
+    views_from_audit_logs,
+)
+from repro.consistency.history import ClientView, OperationRecord
+from repro.core.context import AuditRecord
+from repro.core.hashchain import ChainPoint
+from repro.crypto.hashing import GENESIS_HASH, chain_extend
+from repro.errors import ForkDetected, SecurityViolation
+from repro.kvstore import KvsFunctionality
+from repro import serde
+
+
+def build_log(spec, start_chain=GENESIS_HASH, start_sequence=0):
+    """(client_id, operation, result) triples -> a valid audit log."""
+    log = []
+    value = start_chain
+    functionality = KvsFunctionality()
+    for offset, (client_id, operation, result) in enumerate(spec):
+        sequence = start_sequence + offset + 1
+        op_bytes = serde.encode(list(operation))
+        value = chain_extend(value, op_bytes, sequence, client_id)
+        log.append(
+            AuditRecord(
+                sequence=sequence,
+                client_id=client_id,
+                operation=op_bytes,
+                result=serde.encode(result),
+                chain=value,
+            )
+        )
+    return log
+
+
+def view_from_log(client_id, log):
+    records = [
+        OperationRecord(
+            op_id=r.sequence,
+            client_id=r.client_id,
+            operation=tuple(serde.decode(r.operation)),
+            result=serde.decode(r.result),
+            invoked_at=0,
+            responded_at=0,
+            sequence=r.sequence,
+        )
+        for r in log
+    ]
+    return ClientView(client_id=client_id, records=records)
+
+
+BASE = [
+    (1, ("PUT", "k", "v1"), None),
+    (2, ("GET", "k"), "v1"),
+]
+
+
+class TestHonestExecution:
+    def test_identical_views_pass(self):
+        log = build_log(BASE)
+        views = {1: view_from_log(1, log), 2: view_from_log(2, log)}
+        tree = check_fork_linearizable(views, KvsFunctionality())
+        assert tree.fork_points() == []
+
+    def test_prefix_views_pass(self):
+        log = build_log(BASE + [(1, ("PUT", "k", "v2"), "v1")])
+        views = {1: view_from_log(1, log), 2: view_from_log(2, log[:2])}
+        check_fork_linearizable(views, KvsFunctionality())
+
+    def test_incorrect_result_fails(self):
+        log = build_log([(1, ("PUT", "k", "v"), None), (2, ("GET", "k"), "WRONG")])
+        views = {2: view_from_log(2, log)}
+        with pytest.raises(SecurityViolation):
+            check_fork_linearizable(views, KvsFunctionality())
+
+    def test_missing_own_operation_fails(self):
+        log = build_log(BASE)
+        own = view_from_log(1, log).records
+        views = {1: ClientView(1, [r for r in own if r.client_id != 1])}
+        with pytest.raises(SecurityViolation):
+            check_fork_linearizable(
+                views,
+                KvsFunctionality(),
+                own_operations={1: [r for r in own if r.client_id == 1]},
+            )
+
+
+class TestForks:
+    def _forked_views(self):
+        base = build_log(BASE)
+        branch_a = base + build_log(
+            [(1, ("PUT", "k", "a"), "v1")], start_chain=base[-1].chain, start_sequence=2
+        )
+        branch_b = base + build_log(
+            [(2, ("PUT", "k", "b"), "v1")], start_chain=base[-1].chain, start_sequence=2
+        )
+        return branch_a, branch_b
+
+    def test_clean_fork_passes(self):
+        """Diverged-and-never-joined views ARE fork-linearizable — that is
+        the guarantee's whole point."""
+        branch_a, branch_b = self._forked_views()
+        views = {1: view_from_log(1, branch_a), 2: view_from_log(2, branch_b)}
+        tree = check_fork_linearizable(views, KvsFunctionality())
+        assert tree.fork_points() == [2]
+
+    def test_join_after_fork_fails(self):
+        branch_a, branch_b = self._forked_views()
+        shared_tail = build_log(
+            [(2, ("GET", "k"), "a")],
+            start_chain=branch_a[-1].chain,
+            start_sequence=3,
+        )
+        joined_a = branch_a + shared_tail
+        # client 2's view contains its fork AND the shared tail operation
+        fake_joined_b = branch_b + shared_tail
+        views = {
+            1: view_from_log(1, joined_a),
+            2: view_from_log(2, fake_joined_b),
+        }
+        with pytest.raises(SecurityViolation):
+            # either the join is caught or the replayed results diverge
+            check_fork_linearizable(views, KvsFunctionality())
+
+    def test_real_time_violation_fails(self):
+        log = build_log(BASE)
+        view = view_from_log(1, log)
+        # stamp real times that contradict the serialization order
+        first, second = view.records
+        view.records = [
+            OperationRecord(
+                op_id=first.op_id, client_id=first.client_id,
+                operation=first.operation, result=first.result,
+                invoked_at=10, responded_at=11, sequence=first.sequence,
+            ),
+            OperationRecord(
+                op_id=second.op_id, client_id=second.client_id,
+                operation=second.operation, result=second.result,
+                invoked_at=1, responded_at=2, sequence=second.sequence,
+            ),
+        ]
+        with pytest.raises(SecurityViolation):
+            check_fork_linearizable({1: view}, KvsFunctionality())
+
+
+class TestViewsFromAuditLogs:
+    def test_views_reconstructed_from_points(self):
+        log = build_log(BASE)
+        points = {
+            1: ChainPoint(1, log[0].chain),
+            2: ChainPoint(2, log[1].chain),
+        }
+        views = views_from_audit_logs([log], points, {})
+        assert len(views[1].records) == 1
+        assert len(views[2].records) == 2
+
+    def test_point_on_no_log_rejected(self):
+        log = build_log(BASE)
+        points = {1: ChainPoint(2, b"\x00" * 32)}
+        with pytest.raises(SecurityViolation):
+            views_from_audit_logs([log], points, {})
+
+    def test_multiple_logs_forked(self):
+        base = build_log(BASE)
+        branch = base[:1] + build_log(
+            [(2, ("PUT", "k", "other"), "v1")],
+            start_chain=base[0].chain,
+            start_sequence=1,
+        )
+        points = {
+            1: ChainPoint(2, base[1].chain),
+            2: ChainPoint(2, branch[1].chain),
+        }
+        views = views_from_audit_logs([base, branch], points, {})
+        assert views[1].records[1].operation != views[2].records[1].operation

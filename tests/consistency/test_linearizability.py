@@ -1,0 +1,129 @@
+"""Linearizability checker: classic positive and negative cases."""
+
+import pytest
+
+from repro.consistency.history import OperationRecord
+from repro.consistency.linearizability import is_linearizable, linearization_order
+from repro.kvstore import CounterFunctionality, KvsFunctionality
+
+
+def op(op_id, client, operation, result, invoked, responded):
+    return OperationRecord(
+        op_id=op_id,
+        client_id=client,
+        operation=operation,
+        result=result,
+        invoked_at=invoked,
+        responded_at=responded,
+    )
+
+
+@pytest.fixture
+def kvs():
+    return KvsFunctionality()
+
+
+class TestSequentialHistories:
+    def test_empty_history(self, kvs):
+        assert is_linearizable([], kvs)
+
+    def test_simple_put_get(self, kvs):
+        records = [
+            op(1, 1, ("PUT", "k", "v"), None, 1, 2),
+            op(2, 1, ("GET", "k"), "v", 3, 4),
+        ]
+        assert is_linearizable(records, kvs)
+
+    def test_wrong_result_rejected(self, kvs):
+        records = [
+            op(1, 1, ("PUT", "k", "v"), None, 1, 2),
+            op(2, 1, ("GET", "k"), "WRONG", 3, 4),
+        ]
+        assert not is_linearizable(records, kvs)
+
+    def test_stale_read_after_overwrite_rejected(self, kvs):
+        records = [
+            op(1, 1, ("PUT", "k", "v1"), None, 1, 2),
+            op(2, 1, ("PUT", "k", "v2"), "v1", 3, 4),
+            op(3, 2, ("GET", "k"), "v1", 5, 6),  # stale: must see v2
+        ]
+        assert not is_linearizable(records, kvs)
+
+
+class TestConcurrentHistories:
+    def test_concurrent_put_get_either_order(self, kvs):
+        # GET overlaps the PUT: both None and "v" are linearizable results
+        for observed in (None, "v"):
+            records = [
+                op(1, 1, ("PUT", "k", "v"), None, 1, 4),
+                op(2, 2, ("GET", "k"), observed, 2, 3),
+            ]
+            assert is_linearizable(records, kvs)
+
+    def test_non_overlapping_get_must_see_put(self, kvs):
+        records = [
+            op(1, 1, ("PUT", "k", "v"), None, 1, 2),
+            op(2, 2, ("GET", "k"), None, 3, 4),  # strictly after the PUT
+        ]
+        assert not is_linearizable(records, kvs)
+
+    def test_two_writers_one_reader(self, kvs):
+        # PUT b observed PUT a's value as its previous value, so the only
+        # consistent order is (a, b); the later GET must then see "b".
+        records = [
+            op(1, 1, ("PUT", "k", "a"), None, 1, 5),
+            op(2, 2, ("PUT", "k", "b"), "a", 2, 6),
+            op(3, 3, ("GET", "k"), "b", 7, 8),
+        ]
+        assert is_linearizable(records, kvs)
+
+    def test_two_writers_conflicting_return_values(self, kvs):
+        # both concurrent PUTs claim to have seen an empty store: whichever
+        # is linearized second must have returned the other's value.
+        records = [
+            op(1, 1, ("PUT", "k", "a"), None, 1, 5),
+            op(2, 2, ("PUT", "k", "b"), None, 2, 6),
+        ]
+        assert not is_linearizable(records, kvs)
+
+    def test_counter_increments_with_concurrent_reads(self):
+        counter = CounterFunctionality()
+        records = [
+            op(1, 1, ("INC",), 1, 1, 4),
+            op(2, 2, ("INC",), 2, 2, 5),
+            op(3, 3, ("READ",), 2, 6, 7),
+        ]
+        assert is_linearizable(records, counter)
+
+    def test_counter_impossible_read(self):
+        counter = CounterFunctionality()
+        records = [
+            op(1, 1, ("INC",), 1, 1, 2),
+            op(2, 2, ("READ",), 5, 3, 4),
+        ]
+        assert not is_linearizable(records, counter)
+
+
+class TestWitness:
+    def test_witness_replays_correctly(self, kvs):
+        records = [
+            op(1, 1, ("PUT", "k", "v"), None, 1, 4),
+            op(2, 2, ("GET", "k"), None, 2, 3),
+        ]
+        witness = linearization_order(records, kvs)
+        assert witness is not None
+        # GET returning None must be linearized before the PUT
+        assert [r.op_id for r in witness] == [2, 1]
+
+    def test_no_witness_for_broken_history(self, kvs):
+        records = [
+            op(1, 1, ("GET", "k"), "ghost", 1, 2),
+        ]
+        assert linearization_order(records, kvs) is None
+
+    def test_oversized_history_rejected(self, kvs):
+        records = [
+            op(i, 1, ("GET", "k"), None, i, i) for i in range(1, 70)
+        ]
+        with pytest.raises(RuntimeError):
+            is_linearizable(records, kvs)

@@ -1,0 +1,118 @@
+"""The stability theorem, checked on real protocol executions."""
+
+import pytest
+
+from repro.consistency.history import History
+from repro.consistency.stable_subsequence import (
+    check_stable_subsequence_linearizable,
+    stable_subsequence,
+)
+from repro.kvstore import KvsFunctionality, get, put
+
+from tests.conftest import build_deployment
+
+
+def tracked_invoke(history, client, operation):
+    token = history.invoke(client.client_id, operation)
+    result = client.invoke(operation)
+    history.respond(token, result.result, sequence=result.sequence)
+    return result
+
+
+def bounds(clients):
+    return {client.client_id: client.stable_sequence for client in clients}
+
+
+class TestFiltering:
+    def test_only_owner_certified_operations_included(self):
+        history = History()
+        _, _, clients = build_deployment()
+        alice, bob, carol = clients
+        tracked_invoke(history, alice, put("k", "1"))
+        tracked_invoke(history, bob, put("k", "2"))
+        # nobody has stability knowledge yet
+        assert stable_subsequence(history.records(), bounds(clients)) == []
+        for _ in range(2):
+            for client in clients:
+                client.poll_stability()
+        chosen = stable_subsequence(history.records(), bounds(clients))
+        assert [record.sequence for record in chosen] == [1, 2]
+
+    def test_subsequence_sorted_by_sequence(self):
+        history = History()
+        _, _, clients = build_deployment()
+        alice, bob, _ = clients
+        tracked_invoke(history, bob, put("a", "x"))
+        tracked_invoke(history, alice, put("b", "y"))
+        for _ in range(2):
+            for client in clients:
+                client.poll_stability()
+        chosen = stable_subsequence(history.records(), bounds(clients))
+        sequences = [record.sequence for record in chosen]
+        assert sequences == sorted(sequences)
+
+
+class TestTheorem:
+    def test_honest_run_stable_subsequence_linearizable(self):
+        history = History()
+        _, _, clients = build_deployment()
+        alice, bob, carol = clients
+        tracked_invoke(history, alice, put("k", "1"))
+        tracked_invoke(history, bob, put("k", "2"))
+        tracked_invoke(history, carol, get("k"))
+        tracked_invoke(history, alice, get("k"))
+        for _ in range(2):
+            for client in clients:
+                client.poll_stability()
+        checked = check_stable_subsequence_linearizable(
+            history.records(), bounds(clients), KvsFunctionality()
+        )
+        # at least the first three operations are certified (the last one's
+        # stability may lag one acknowledgement round behind)
+        assert len(checked) >= 3
+        assert [record.sequence for record in checked[:3]] == [1, 2, 3]
+
+    def test_theorem_holds_under_forking_attack(self):
+        """After a fork, only one branch's operations keep stabilising; the
+        majority-stable subsequence stays on that branch and remains
+        linearizable even though the full execution is forked."""
+        history = History()
+        host, _, clients = build_deployment(malicious=True)
+        alice, bob, carol = clients
+        for client in clients:
+            tracked_invoke(history, client, put("base", str(client.client_id)))
+        fork = host.fork()
+        host.route_client(1, fork)  # alice isolated with a minority
+        tracked_invoke(history, alice, put("k", "fork-side"))
+        tracked_invoke(history, bob, put("k", "main-side"))
+        tracked_invoke(history, carol, get("k"))
+        # main branch keeps acknowledging; alice polls in vain
+        for _ in range(3):
+            bob.poll_stability()
+            carol.poll_stability()
+            alice.poll_stability()
+        checked = check_stable_subsequence_linearizable(
+            history.records(), bounds(clients), KvsFunctionality()
+        )
+        # alice's forked write must not be in the stable subsequence
+        assert all(
+            record.operation != ("PUT", "k", "fork-side") for record in checked
+        )
+        # but the main branch's stable prefix is there
+        assert any(
+            record.operation == ("PUT", "k", "main-side") for record in checked
+        )
+
+    def test_counterexample_detected(self):
+        """Sanity: a fabricated 'stable' set with inconsistent results is
+        rejected by the checker."""
+        from repro.consistency.history import OperationRecord
+
+        records = [
+            OperationRecord(1, 1, ("PUT", "k", "v"), None, 1, 2, sequence=1),
+            OperationRecord(2, 2, ("GET", "k"), "WRONG", 3, 4, sequence=2),
+        ]
+        with pytest.raises(AssertionError):
+            check_stable_subsequence_linearizable(
+                records, {1: 2, 2: 2}, KvsFunctionality()
+            )

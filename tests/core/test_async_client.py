@@ -1,0 +1,145 @@
+"""Event-driven client: queuing, verification, stability callbacks."""
+
+import pytest
+
+from repro.errors import InvalidReply
+from repro.core.async_client import AsyncLcmClient
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+def wire_async_client(host, deployment, client_id=1):
+    """An async client whose send() goes straight through the host and
+    whose reply is fed back synchronously (degenerate event loop)."""
+    client = AsyncLcmClient(
+        client_id,
+        deployment.communication_key,
+        send=lambda message: client.on_reply(host.send_invoke(client_id, message)),
+    )
+    return client
+
+
+class TestInvocation:
+    def test_single_operation(self):
+        host, deployment, _ = build_deployment()
+        client = wire_async_client(host, deployment)
+        results = []
+        client.invoke(put("k", "v"), results.append)
+        assert len(results) == 1
+        assert results[0].sequence == 1
+        assert client.completed == 1
+
+    def test_queued_operations_run_in_order(self):
+        host, deployment, _ = build_deployment()
+        client = wire_async_client(host, deployment)
+        results = []
+        client.invoke(put("k", "1"), results.append)
+        client.invoke(put("k", "2"), results.append)
+        client.invoke(get("k"), results.append)
+        assert [r.sequence for r in results] == [1, 2, 3]
+        assert results[2].result == "2"
+
+    def test_queue_holds_while_outstanding(self):
+        host, deployment, _ = build_deployment()
+        held = []
+        client = AsyncLcmClient(
+            1, deployment.communication_key, send=held.append
+        )
+        client.invoke(put("k", "1"), lambda r: None)
+        client.invoke(put("k", "2"), lambda r: None)
+        assert client.busy
+        assert len(held) == 1  # second op waits for the first reply
+
+    def test_interop_with_blocking_clients(self):
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "from-blocking"))
+        async_client = wire_async_client(host, deployment, client_id=2)
+        results = []
+        async_client.invoke(get("k"), results.append)
+        assert results[0].result == "from-blocking"
+        assert results[0].sequence == 2
+
+
+class TestVerification:
+    def test_unsolicited_reply_rejected(self):
+        host, deployment, _ = build_deployment()
+        client = AsyncLcmClient(1, deployment.communication_key, send=lambda m: None)
+        with pytest.raises(InvalidReply):
+            client.on_reply(b"\x00" * 64)
+
+    def test_wrong_context_reply_rejected(self):
+        host, deployment, _ = build_deployment()
+        from repro.core.messages import ReplyPayload
+
+        held = []
+        client = AsyncLcmClient(1, deployment.communication_key, send=held.append)
+        client.invoke(put("k", "v"), lambda r: None)
+        forged = ReplyPayload(
+            sequence=1,
+            chain=b"\x01" * 32,
+            result=b"N",
+            stable_sequence=0,
+            previous_chain=b"\x02" * 32,
+        ).seal(deployment.communication_key)
+        with pytest.raises(InvalidReply):
+            client.on_reply(forged)
+
+    def test_retransmit_sets_retry_marker(self):
+        host, deployment, _ = build_deployment()
+        from repro.core.messages import InvokePayload
+
+        held = []
+        client = AsyncLcmClient(1, deployment.communication_key, send=held.append)
+        client.invoke(put("k", "v"), lambda r: None)
+        assert client.retransmit() is True
+        first = InvokePayload.unseal(held[0], deployment.communication_key)
+        second = InvokePayload.unseal(held[1], deployment.communication_key)
+        assert first.retry is False
+        assert second.retry is True
+
+    def test_retransmit_without_outstanding_is_noop(self):
+        host, deployment, _ = build_deployment()
+        client = AsyncLcmClient(1, deployment.communication_key, send=lambda m: None)
+        assert client.retransmit() is False
+
+
+class TestStabilityCallbacks:
+    def test_callback_fires_when_stable(self):
+        host, deployment, _ = build_deployment(clients=2)
+        alice = wire_async_client(host, deployment, 1)
+        bob = wire_async_client(host, deployment, 2)
+        fired = []
+        target = []
+        alice.invoke(put("k", "v"), lambda r: target.append(r.sequence))
+        alice.when_stable(target[0], fired.append)
+        assert fired == []  # bob has not acknowledged yet
+        from repro.core.context import NOP_OPERATION
+
+        # acknowledgement rounds: both clients poll until q covers target
+        for _ in range(2):
+            alice.invoke(NOP_OPERATION, lambda r: None)
+            bob.invoke(NOP_OPERATION, lambda r: None)
+        alice.invoke(NOP_OPERATION, lambda r: None)
+        assert fired and fired[0] >= target[0]
+
+    def test_callback_fires_immediately_if_already_stable(self):
+        host, deployment, _ = build_deployment(clients=1)
+        alice = wire_async_client(host, deployment, 1)
+        sequences = []
+        alice.invoke(put("k", "v"), lambda r: sequences.append(r.sequence))
+        alice.invoke(get("k"), lambda r: None)  # single client: q advances fast
+        fired = []
+        alice.when_stable(sequences[0], fired.append)
+        assert fired
+
+    def test_pending_callbacks_cleared_after_firing(self):
+        host, deployment, _ = build_deployment(clients=1)
+        alice = wire_async_client(host, deployment, 1)
+        fired = []
+        alice.invoke(put("k", "v"), lambda r: None)
+        alice.when_stable(1, fired.append)
+        alice.invoke(get("k"), lambda r: None)
+        count_after_first = len(fired)
+        alice.invoke(get("k"), lambda r: None)
+        assert len(fired) == count_after_first  # one-shot, not repeated

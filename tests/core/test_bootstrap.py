@@ -1,0 +1,117 @@
+"""Bootstrapping (Sec. 4.3): attestation gates, key distribution."""
+
+import pytest
+
+from repro.crypto.attestation import EpidGroup
+from repro.core import Admin, make_lcm_program_factory
+from repro.errors import AttestationFailure, ConfigurationError
+from repro.kvstore import KvsFunctionality, get, put
+from repro.server import ServerHost
+from repro.tee import TeePlatform
+
+from tests.conftest import build_deployment
+
+
+def _fresh(group=None, platform=None):
+    group = group or EpidGroup()
+    platform = platform or TeePlatform(group)
+    factory = make_lcm_program_factory(KvsFunctionality)
+    host = ServerHost(platform, factory)
+    return group, platform, factory, host
+
+
+class TestHappyPath:
+    def test_bootstrap_provisions_context(self):
+        group, platform, factory, host = _fresh()
+        admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+        deployment = admin.bootstrap(host, client_ids=[1, 2])
+        status = host.enclave.ecall("status", None)
+        assert status["provisioned"]
+        assert status["clients"] == [1, 2]
+        assert deployment.client_ids == [1, 2]
+
+    def test_clients_work_after_bootstrap(self):
+        _, deployment, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v"))
+        assert bob.invoke(get("k")).result == "v"
+
+    def test_keys_are_distinct(self):
+        _, deployment, _ = build_deployment()
+        materials = {
+            deployment.communication_key.material,
+            deployment.state_key.material,
+            deployment.admin_key.material,
+        }
+        assert len(materials) == 3
+
+    def test_bootstrap_starts_stopped_enclave(self):
+        group, platform, factory, host = _fresh()
+        assert not host.enclave.running
+        admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+        admin.bootstrap(host, client_ids=[1])
+        assert host.enclave.running
+
+
+class TestAttestationGates:
+    def test_wrong_program_rejected(self):
+        """If the server instantiated T with some P != LCM, the measurement
+        check during bootstrapping reveals it (Sec. 4.3)."""
+        group, platform, _, _ = _fresh()
+
+        class ImpostorFunctionality(KvsFunctionality):
+            pass
+
+        class ImpostorProgram:
+            PROGRAM_CODE = b"evil-program"
+            DEVELOPER = "mallory"
+
+        impostor_factory = make_lcm_program_factory(KvsFunctionality)
+        # host runs a *different* program than the admin expects
+        evil_factory = lambda: __import__(
+            "repro.core.context", fromlist=["LcmContext"]
+        ).LcmContext(ImpostorFunctionality())
+        evil_factory().PROGRAM_CODE  # sanity: still an LcmContext
+
+        class WrongProgram(
+            __import__("repro.core.context", fromlist=["LcmContext"]).LcmContext
+        ):
+            PROGRAM_CODE = b"lcm-trusted-context-TAMPERED"
+
+        host = ServerHost(platform, lambda: WrongProgram(KvsFunctionality()))
+        admin = Admin(
+            group.verifier(),
+            TeePlatform.expected_measurement(impostor_factory),
+        )
+        with pytest.raises(AttestationFailure):
+            admin.bootstrap(host, client_ids=[1])
+
+    def test_wrong_epid_group_rejected(self):
+        """A quote from outside the trusted attestation group (i.e. not a
+        genuine TEE) must not pass verification."""
+        group_real = EpidGroup(seed=b"real")
+        group_fake = EpidGroup(seed=b"fake")
+        platform = TeePlatform(group_fake)
+        factory = make_lcm_program_factory(KvsFunctionality)
+        host = ServerHost(platform, factory)
+        admin = Admin(
+            group_real.verifier(), TeePlatform.expected_measurement(factory)
+        )
+        with pytest.raises(AttestationFailure):
+            admin.bootstrap(host, client_ids=[1])
+
+    def test_duplicate_client_ids_rejected(self):
+        group, platform, factory, host = _fresh()
+        admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+        with pytest.raises(ConfigurationError):
+            admin.bootstrap(host, client_ids=[1, 1])
+
+
+class TestDeployment:
+    def test_make_client_requires_membership(self):
+        host, deployment, _ = build_deployment()
+        with pytest.raises(ConfigurationError):
+            deployment.make_client(42, host)
+
+    def test_make_all_clients(self):
+        host, deployment, clients = build_deployment(clients=4)
+        assert [c.client_id for c in clients] == [1, 2, 3, 4]

@@ -1,0 +1,178 @@
+"""LCM trusted context (Alg. 2): sequencing, verification, halting, V map."""
+
+import pytest
+
+from repro import serde
+from repro.errors import (
+    ConfigurationError,
+    ForkDetected,
+    ReplayDetected,
+    SecurityViolation,
+)
+from repro.core.context import NOP_OPERATION
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+def raw_invoke(deployment, client_id, operation, tc, hc, retry=False):
+    """Build a sealed INVOKE with explicit (tc, hc) context."""
+    payload = InvokePayload(
+        client_id=client_id,
+        last_sequence=tc,
+        last_chain=hc,
+        operation=serde.encode(list(operation)),
+        retry=retry,
+    )
+    return payload.seal(deployment.communication_key)
+
+
+class TestSequencing:
+    def test_sequence_numbers_are_global_and_increasing(self):
+        _, _, (alice, bob, carol) = build_deployment()
+        assert alice.invoke(put("a", "1")).sequence == 1
+        assert bob.invoke(put("b", "2")).sequence == 2
+        assert carol.invoke(get("a")).sequence == 3
+        assert alice.invoke(get("b")).sequence == 4
+
+    def test_results_follow_functionality(self):
+        _, _, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v1"))
+        assert bob.invoke(put("k", "v2")).result == "v1"
+        assert alice.invoke(get("k")).result == "v2"
+
+    def test_chain_value_advances_every_operation(self):
+        _, _, (alice, *_) = build_deployment()
+        chains = set()
+        for i in range(5):
+            alice.invoke(put(f"k{i}", "v"))
+            chains.add(alice.last_chain)
+        assert len(chains) == 5
+
+    def test_nop_is_sequenced_but_not_applied(self):
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        result = alice.invoke(NOP_OPERATION)
+        assert result.result is None
+        assert result.sequence == 2
+        assert alice.invoke(get("k")).result == "v"
+
+
+class TestVerification:
+    def test_stale_sequence_number_is_replay(self):
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v1"))
+        hc_old = alice.last_chain
+        alice.invoke(put("k", "v2"))
+        stale = raw_invoke(deployment, 1, get("k"), tc=1, hc=hc_old)
+        with pytest.raises(ReplayDetected):
+            host.send_invoke(1, stale)
+
+    def test_matching_sequence_wrong_chain_is_fork(self):
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v1"))
+        forged = raw_invoke(deployment, 1, get("k"), tc=1, hc=b"\x00" * 32)
+        with pytest.raises(ForkDetected):
+            host.send_invoke(1, forged)
+
+    def test_unknown_client_rejected(self):
+        host, deployment, _ = build_deployment()
+        from repro.crypto.hashing import GENESIS_HASH
+
+        ghost = raw_invoke(deployment, 99, get("k"), tc=0, hc=GENESIS_HASH)
+        with pytest.raises(SecurityViolation):
+            host.send_invoke(99, ghost)
+
+    def test_halt_is_permanent(self):
+        host, deployment, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v"))
+        forged = raw_invoke(deployment, 1, get("k"), tc=1, hc=b"\x00" * 32)
+        with pytest.raises(SecurityViolation):
+            host.send_invoke(1, forged)
+        # even honest traffic is refused after the halt
+        with pytest.raises(SecurityViolation):
+            bob.invoke(get("k"))
+
+    def test_unprovisioned_context_refuses_invokes(self):
+        from repro.core import make_lcm_program_factory
+        from repro.crypto.attestation import EpidGroup
+        from repro.kvstore import KvsFunctionality
+        from repro.server import ServerHost
+        from repro.tee import TeePlatform
+
+        platform = TeePlatform(EpidGroup(seed=b"x"))
+        host = ServerHost(platform, make_lcm_program_factory(KvsFunctionality))
+        host.start()
+        with pytest.raises(ConfigurationError):
+            host.send_invoke(1, b"\x00" * 64)
+
+
+class TestStateStores:
+    def test_state_stored_once_per_operation(self):
+        host, _, (alice, *_) = build_deployment()
+        before = host.stored_versions()
+        alice.invoke(put("k", "v"))
+        alice.invoke(get("k"))
+        assert host.stored_versions() == before + 2
+
+    def test_batch_stores_once(self):
+        host, deployment, (alice, bob, _) = build_deployment()
+        messages = [
+            (1, raw_invoke(deployment, 1, put("a", "1"), alice.last_sequence, alice.last_chain)),
+            (2, raw_invoke(deployment, 2, put("b", "2"), bob.last_sequence, bob.last_chain)),
+        ]
+        before = host.stored_versions()
+        replies = host.send_invoke_batch(messages)
+        assert len(replies) == 2
+        assert host.stored_versions() == before + 1
+
+    def test_batch_replies_decode_in_order(self):
+        host, deployment, (alice, bob, _) = build_deployment()
+        messages = [
+            (1, raw_invoke(deployment, 1, put("a", "1"), 0, alice.last_chain)),
+            (2, raw_invoke(deployment, 2, put("b", "2"), 0, bob.last_chain)),
+        ]
+        replies = host.send_invoke_batch(messages)
+        decoded = [
+            ReplyPayload.unseal(reply, deployment.communication_key)
+            for reply in replies
+        ]
+        assert [r.sequence for r in decoded] == [1, 2]
+
+
+class TestStatusAndErrors:
+    def test_status_snapshot(self):
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        status = host.enclave.ecall("status", None)
+        assert status == {
+            "provisioned": True,
+            "sequence": 1,
+            "clients": [1, 2, 3],
+            "halted": False,
+            "migrated_out": False,
+        }
+
+    def test_unknown_ecall(self):
+        host, _, _ = build_deployment()
+        with pytest.raises(ConfigurationError):
+            host.enclave.ecall("frobnicate", None)
+
+    def test_double_provision_rejected(self):
+        host, deployment, _ = build_deployment()
+        with pytest.raises(ConfigurationError):
+            host.enclave.ecall("provision", {"admin_public": b"", "bundle": b""})
+
+    def test_audit_export_requires_audit_mode(self):
+        host, _, _ = build_deployment(audit=False)
+        with pytest.raises(ConfigurationError):
+            host.enclave.ecall("export_audit_log", None)
+
+    def test_audit_log_records_operations(self):
+        host, _, (alice, bob, _) = build_deployment(audit=True)
+        alice.invoke(put("k", "v"))
+        bob.invoke(get("k"))
+        log = host.enclave.ecall("export_audit_log", None)
+        assert [record.sequence for record in log] == [1, 2]
+        assert [record.client_id for record in log] == [1, 2]

@@ -1,0 +1,125 @@
+"""Out-of-band fork detection: tokens, windows, mesh sweeps."""
+
+import pytest
+
+from repro.crypto.aead import AeadKey
+from repro.errors import AuthenticationFailure, ForkDetected
+from repro.core.gossip import (
+    ChainWindow,
+    GossipMesh,
+    compare_windows,
+    cross_check,
+    open_token,
+)
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+@pytest.fixture
+def key():
+    return AeadKey(b"\x05" * 16, label="kC")
+
+
+class TestChainWindow:
+    def test_observe_and_token_round_trip(self, key):
+        window = ChainWindow(client_id=1)
+        window.observe(1, b"\x01" * 32)
+        window.observe(2, b"\x02" * 32)
+        client_id, points = open_token(window.token(key), key)
+        assert client_id == 1
+        assert points == {1: b"\x01" * 32, 2: b"\x02" * 32}
+
+    def test_window_bounded(self, key):
+        window = ChainWindow(client_id=1, capacity=3)
+        for sequence in range(1, 10):
+            window.observe(sequence, bytes([sequence]) * 32)
+        assert len(window.points) == 3
+        assert min(window.points) == 7  # oldest entries evicted
+
+    def test_token_tamper_rejected(self, key):
+        window = ChainWindow(client_id=1)
+        window.observe(1, b"\x01" * 32)
+        token = bytearray(window.token(key))
+        token[15] ^= 0x01
+        with pytest.raises(AuthenticationFailure):
+            open_token(bytes(token), key)
+
+    def test_token_wrong_key_rejected(self, key):
+        window = ChainWindow(client_id=1)
+        window.observe(1, b"\x01" * 32)
+        with pytest.raises(AuthenticationFailure):
+            open_token(window.token(key), AeadKey(b"\x06" * 16))
+
+
+class TestComparison:
+    def test_agreement_returns_none(self, key):
+        a = ChainWindow(client_id=1)
+        b = ChainWindow(client_id=2)
+        for sequence in (1, 2, 3):
+            a.observe(sequence, bytes([sequence]) * 32)
+            b.observe(sequence, bytes([sequence]) * 32)
+        assert compare_windows(a, b) is None
+        assert cross_check(a.token(key), b.token(key), key) is None
+
+    def test_disjoint_windows_return_none(self, key):
+        a = ChainWindow(client_id=1)
+        b = ChainWindow(client_id=2)
+        a.observe(1, b"\x01" * 32)
+        b.observe(2, b"\x02" * 32)
+        assert cross_check(a.token(key), b.token(key), key) is None
+
+    def test_divergence_produces_evidence(self, key):
+        a = ChainWindow(client_id=1)
+        b = ChainWindow(client_id=2)
+        a.observe(5, b"\xaa" * 32)
+        b.observe(5, b"\xbb" * 32)
+        evidence = cross_check(a.token(key), b.token(key), key)
+        assert evidence is not None
+        assert evidence.sequence == 5
+        assert {evidence.client_a, evidence.client_b} == {1, 2}
+        assert "forked" in evidence.describe()
+
+
+class TestGossipMeshEndToEnd:
+    def test_honest_execution_sweeps_clean(self):
+        host, deployment, (alice, bob, carol) = build_deployment()
+        mesh = GossipMesh(deployment.communication_key)
+        for client in (alice, bob, carol):
+            mesh.attach(client)
+        alice.invoke(put("k", "v"))
+        bob.invoke(get("k"))
+        carol.invoke(get("k"))
+        mesh.sweep()  # no exception
+
+    def test_forked_execution_caught_by_gossip(self):
+        """The server forks alice and bob but never rejoins them — the
+        protocol alone cannot flag anything, the out-of-band comparison
+        can, as soon as their windows share a forked sequence number."""
+        host, deployment, (alice, bob, _) = build_deployment(malicious=True)
+        mesh = GossipMesh(deployment.communication_key)
+        for client in (alice, bob):
+            mesh.attach(client)
+        alice.invoke(put("k", "base"))
+        bob.invoke(get("k"))
+        fork = host.fork()
+        host.route_client(2, fork)
+        # both sides advance to the SAME sequence numbers on different forks
+        alice.invoke(put("k", "alice"))
+        bob.invoke(put("k", "bob"))
+        with pytest.raises(ForkDetected):
+            mesh.sweep()
+
+    def test_rollback_visible_through_gossip(self):
+        """After a rollback, a stale client re-executes sequence numbers a
+        fresh client already observed — gossip exposes the conflict."""
+        host, deployment, (alice, bob, _) = build_deployment(malicious=True)
+        mesh = GossipMesh(deployment.communication_key)
+        for client in (alice, bob):
+            mesh.attach(client)
+        alice.invoke(put("k", "v1"))     # seq 1
+        bob.invoke(put("k", "v2"))       # seq 2
+        host.rollback(1)                 # T forgets bob's operation
+        alice.invoke(get("k"))           # re-assigns seq 2 on the rolled-back fork
+        with pytest.raises(ForkDetected):
+            mesh.sweep()

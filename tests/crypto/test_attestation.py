@@ -1,0 +1,95 @@
+"""Attestation: report/quote flow, forgeries, measurement pinning."""
+
+import pytest
+
+from repro.crypto.attestation import (
+    EpidGroup,
+    Quote,
+    QuotingEnclave,
+    make_report,
+    measure_program,
+    verify_report,
+)
+from repro.errors import AttestationFailure
+
+REPORT_KEY = b"\x11" * 32
+NONCE = b"\x99" * 16
+
+
+@pytest.fixture
+def group():
+    return EpidGroup(seed=b"group-seed")
+
+
+@pytest.fixture
+def measurement():
+    return measure_program(b"program-code", "developer")
+
+
+def test_measurement_depends_on_code_and_developer():
+    assert measure_program(b"a", "dev") != measure_program(b"b", "dev")
+    assert measure_program(b"a", "dev1") != measure_program(b"a", "dev2")
+
+
+class TestReport:
+    def test_report_verifies_with_same_key(self, measurement):
+        report = make_report(measurement, "dev", NONCE, REPORT_KEY)
+        assert verify_report(report, REPORT_KEY)
+
+    def test_report_rejected_with_other_key(self, measurement):
+        report = make_report(measurement, "dev", NONCE, REPORT_KEY)
+        assert not verify_report(report, b"\x22" * 32)
+
+
+class TestQuoteFlow:
+    def test_full_flow(self, group, measurement):
+        quoting = QuotingEnclave(REPORT_KEY, group)
+        report = make_report(measurement, "dev", NONCE + b"extra", REPORT_KEY)
+        quote = quoting.quote(report)
+        group.verifier().verify(
+            quote, expected_measurement=measurement, nonce=NONCE
+        )
+
+    def test_quoting_rejects_foreign_report(self, group, measurement):
+        quoting = QuotingEnclave(REPORT_KEY, group)
+        forged = make_report(measurement, "dev", NONCE, b"\x33" * 32)
+        with pytest.raises(AttestationFailure):
+            quoting.quote(forged)
+
+    def test_verifier_rejects_wrong_measurement(self, group, measurement):
+        quoting = QuotingEnclave(REPORT_KEY, group)
+        report = make_report(measurement, "dev", NONCE, REPORT_KEY)
+        quote = quoting.quote(report)
+        with pytest.raises(AttestationFailure):
+            group.verifier().verify(
+                quote,
+                expected_measurement=measure_program(b"other", "dev"),
+                nonce=NONCE,
+            )
+
+    def test_verifier_rejects_stale_nonce(self, group, measurement):
+        quoting = QuotingEnclave(REPORT_KEY, group)
+        report = make_report(measurement, "dev", b"\x01" * 16, REPORT_KEY)
+        quote = quoting.quote(report)
+        with pytest.raises(AttestationFailure):
+            group.verifier().verify(
+                quote, expected_measurement=measurement, nonce=NONCE
+            )
+
+    def test_verifier_rejects_forged_signature(self, group, measurement):
+        quote = Quote(measurement, "dev", NONCE, signature=b"\x00" * 32)
+        with pytest.raises(AttestationFailure):
+            group.verifier().verify(
+                quote, expected_measurement=measurement, nonce=NONCE
+            )
+
+    def test_verifier_rejects_other_group(self, measurement):
+        group_a = EpidGroup(seed=b"a")
+        group_b = EpidGroup(seed=b"b")
+        quoting = QuotingEnclave(REPORT_KEY, group_a)
+        report = make_report(measurement, "dev", NONCE, REPORT_KEY)
+        quote = quoting.quote(report)
+        with pytest.raises(AttestationFailure):
+            group_b.verifier().verify(
+                quote, expected_measurement=measurement, nonce=NONCE
+            )

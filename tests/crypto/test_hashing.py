@@ -1,0 +1,96 @@
+"""Hash chains: determinism, sensitivity, replay, fork copies."""
+
+from repro.crypto.hashing import (
+    GENESIS_HASH,
+    HashChain,
+    chain_extend,
+    replay_chain,
+    secure_hash,
+)
+
+
+class TestChainExtend:
+    def test_deterministic(self):
+        a = chain_extend(GENESIS_HASH, b"op", 1, 2)
+        b = chain_extend(GENESIS_HASH, b"op", 1, 2)
+        assert a == b
+
+    def test_sensitive_to_operation(self):
+        assert chain_extend(GENESIS_HASH, b"op1", 1, 2) != chain_extend(
+            GENESIS_HASH, b"op2", 1, 2
+        )
+
+    def test_sensitive_to_sequence(self):
+        assert chain_extend(GENESIS_HASH, b"op", 1, 2) != chain_extend(
+            GENESIS_HASH, b"op", 2, 2
+        )
+
+    def test_sensitive_to_client(self):
+        assert chain_extend(GENESIS_HASH, b"op", 1, 2) != chain_extend(
+            GENESIS_HASH, b"op", 1, 3
+        )
+
+    def test_sensitive_to_previous(self):
+        h1 = chain_extend(GENESIS_HASH, b"a", 1, 1)
+        assert chain_extend(h1, b"op", 2, 1) != chain_extend(GENESIS_HASH, b"op", 2, 1)
+
+    def test_no_boundary_collision(self):
+        # length prefixing: moving bytes between fields must change the hash
+        assert chain_extend(GENESIS_HASH, b"ab", 1, 1) != chain_extend(
+            GENESIS_HASH + b"a", b"b", 1, 1
+        )
+
+
+class TestHashChain:
+    def test_starts_at_genesis(self):
+        assert HashChain().value == GENESIS_HASH
+
+    def test_extend_updates_value_and_length(self):
+        chain = HashChain()
+        value = chain.extend(b"op", 1, 1)
+        assert chain.value == value
+        assert chain.length == 1
+
+    def test_matches(self):
+        chain = HashChain()
+        chain.extend(b"op", 1, 1)
+        assert chain.matches(chain_extend(GENESIS_HASH, b"op", 1, 1))
+
+    def test_fork_is_independent(self):
+        chain = HashChain()
+        chain.extend(b"op", 1, 1)
+        fork = chain.fork()
+        chain.extend(b"op2", 2, 2)
+        assert fork.length == 1
+        assert fork.value != chain.value
+
+    def test_two_orders_diverge(self):
+        left = HashChain()
+        left.extend(b"a", 1, 1)
+        left.extend(b"b", 2, 2)
+        right = HashChain()
+        right.extend(b"b", 1, 2)
+        right.extend(b"a", 2, 1)
+        assert left.value != right.value
+
+
+class TestReplayChain:
+    def test_replay_matches_incremental(self):
+        operations = [(b"a", 1, 1), (b"b", 2, 2), (b"c", 3, 1)]
+        chain = HashChain()
+        for op, seq, client in operations:
+            chain.extend(op, seq, client)
+        assert replay_chain(operations) == chain.value
+
+    def test_replay_empty(self):
+        assert replay_chain([]) == GENESIS_HASH
+
+    def test_replay_from_midpoint(self):
+        full = [(b"a", 1, 1), (b"b", 2, 2)]
+        mid = replay_chain(full[:1])
+        assert replay_chain(full[1:], start=mid) == replay_chain(full)
+
+
+def test_secure_hash_is_sha256_sized():
+    assert len(secure_hash(b"x")) == 32
+    assert secure_hash(b"x") != secure_hash(b"y")

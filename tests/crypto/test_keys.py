@@ -1,0 +1,53 @@
+"""Key hierarchy: generation, deterministic derivation, domain separation."""
+
+from repro.crypto.aead import auth_decrypt, auth_encrypt
+from repro.crypto.keys import KeyPurpose, derive_key, generate_key
+
+
+class TestGenerate:
+    def test_distinct_keys(self):
+        assert generate_key(KeyPurpose.STATE).material != generate_key(
+            KeyPurpose.STATE
+        ).material
+
+    def test_label_set_from_purpose(self):
+        assert generate_key(KeyPurpose.COMMUNICATION).label == "kC"
+
+    def test_deterministic_rng(self):
+        rng = lambda n: b"\x07" * n
+        assert (
+            generate_key(KeyPurpose.STATE, rng).material
+            == generate_key(KeyPurpose.STATE, rng).material
+        )
+
+
+class TestDerive:
+    def test_deterministic(self):
+        secret = b"platform-secret"
+        a = derive_key(secret, b"measurement", b"context")
+        b = derive_key(secret, b"measurement", b"context")
+        assert a.material == b.material
+
+    def test_different_secret_different_key(self):
+        assert (
+            derive_key(b"secret-a", b"m").material
+            != derive_key(b"secret-b", b"m").material
+        )
+
+    def test_different_context_different_key(self):
+        secret = b"platform-secret"
+        assert (
+            derive_key(secret, b"program-1").material
+            != derive_key(secret, b"program-2").material
+        )
+
+    def test_context_boundaries_injective(self):
+        secret = b"s"
+        assert (
+            derive_key(secret, b"ab", b"c").material
+            != derive_key(secret, b"a", b"bc").material
+        )
+
+    def test_derived_key_usable_for_aead(self):
+        key = derive_key(b"secret", b"ctx")
+        assert auth_decrypt(auth_encrypt(b"m", key), key) == b"m"

@@ -1,0 +1,105 @@
+"""Experiment harness: each figure's runner produces paper-shaped output.
+
+Short simulation windows keep this fast; full-length runs live in
+benchmarks/.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_fig4_object_size,
+    run_fig5_clients_async,
+    run_fig6_clients_sync,
+    run_sec62_enclave_memory,
+    run_sec63_message_overhead,
+    run_sec65_tmc_comparison,
+)
+
+FAST = dict(duration=0.3)
+SMALL_CLIENTS = [1, 8, 32]
+
+
+class TestFig4:
+    def test_series_shape(self):
+        result = run_fig4_object_size(object_sizes=[100, 1000, 2500], **FAST)
+        assert len(result.series["sgx"]) == 3
+        assert len(result.series["lcm"]) == 3
+        assert all(v > 0 for v in result.series["lcm"])
+
+    def test_lcm_below_sgx_everywhere(self):
+        result = run_fig4_object_size(object_sizes=[100, 2500], **FAST)
+        for sgx, lcm in zip(result.series["sgx"], result.series["lcm"]):
+            assert lcm < sgx
+
+    def test_overhead_ratio_reported(self):
+        result = run_fig4_object_size(object_sizes=[100, 2500], **FAST)
+        assert 0 < result.ratios["overhead_smallest"] < 0.5
+        assert 0 < result.ratios["overhead_largest"] < 0.5
+
+
+class TestFig5:
+    def test_all_seven_series_present(self):
+        result = run_fig5_clients_async(client_counts=SMALL_CLIENTS, **FAST)
+        for name in ("sgx", "sgx_batch", "native", "lcm", "lcm_batch", "redis", "sgx_tmc"):
+            assert len(result.series[name]) == 3
+
+    def test_ratio_bands_computed(self):
+        result = run_fig5_clients_async(client_counts=SMALL_CLIENTS, **FAST)
+        low, high = result.ratios["sgx_vs_native"]
+        assert 0 < low <= high < 1.1
+        low, high = result.ratios["lcm_vs_sgx"]
+        assert 0 < low <= high <= 1.0
+
+
+class TestFig6:
+    def test_flatness_flags(self):
+        result = run_fig6_clients_sync(client_counts=SMALL_CLIENTS, duration=1.5)
+        flags = result.ratios["flat_systems"]
+        assert flags["native"] and flags["sgx"] and flags["lcm"] and flags["sgx_tmc"]
+
+    def test_batching_scales_under_fsync(self):
+        result = run_fig6_clients_sync(client_counts=SMALL_CLIENTS, duration=1.5)
+        series = result.series["lcm_batch"]
+        assert series[-1] > series[0] * 3
+
+
+class TestSec62:
+    def test_memory_numbers_near_paper(self):
+        result = run_sec62_enclave_memory()
+        assert result.ratios["map_overhead_fraction"] == pytest.approx(1.34, abs=0.3)
+        assert result.ratios["heap_mb_at_300k"] == pytest.approx(93, rel=0.2)
+        assert result.ratios["knee_after_300k"] is True
+
+    def test_latency_knee_shape(self):
+        result = run_sec62_enclave_memory()
+        multipliers = result.series["latency_multiplier"]
+        objects = result.series["objects"]
+        at_300k = multipliers[objects.index(300_000)]
+        at_1m = multipliers[objects.index(1_000_000)]
+        assert at_300k == 1.0
+        assert at_1m > 2.0
+
+
+class TestSec63:
+    def test_overheads_constant(self):
+        result = run_sec63_message_overhead()
+        assert result.ratios["invoke_constant"] is True
+        assert result.ratios["reply_constant"] is True
+
+    def test_overheads_positive_and_bounded(self):
+        result = run_sec63_message_overhead()
+        assert 0 < result.ratios["invoke_overhead_bytes"] < 300
+        assert 0 < result.ratios["reply_overhead_bytes"] < 300
+
+
+class TestSec65:
+    def test_tmc_flat_and_slow(self):
+        result = run_sec65_tmc_comparison(client_counts=[1, 8], duration=5.0)
+        assert result.ratios["tmc_flat"] is True
+        assert result.ratios["tmc_mean_ops"] < 20
+
+    def test_speedup_band_large(self):
+        result = run_sec65_tmc_comparison(client_counts=[1, 8], duration=5.0)
+        low, high = result.ratios["speedup_band"]
+        assert low > 20
+        assert high > 200

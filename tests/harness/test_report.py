@@ -1,0 +1,69 @@
+"""Report rendering: tables and band comparisons."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import render_series_table, summarize_bands
+
+
+def make_result():
+    return ExperimentResult(
+        experiment="figX",
+        description="demo experiment",
+        parameters={"clients": [1, 2]},
+        series={"clients": [1, 2], "sgx": [1000.0, 2000.0], "lcm": [900.0, 1800.0]},
+        ratios={"lcm_vs_sgx": (0.9, 0.9), "flat": True},
+        paper_expectation={"lcm_vs_sgx": (0.85, 0.95), "flat": True},
+    )
+
+
+class TestRenderSeriesTable:
+    def test_contains_header_and_rows(self):
+        table = render_series_table(make_result(), x_key="clients")
+        lines = table.splitlines()
+        assert any("demo experiment" in line for line in lines)
+        assert any("sgx" in line and "lcm" in line for line in lines)
+        assert any("1,000" in line for line in lines)
+
+    def test_row_count_matches_series(self):
+        table = render_series_table(make_result(), x_key="clients")
+        data_lines = [
+            line for line in table.splitlines() if line and line[0] not in "#-" and "clients" not in line
+        ]
+        assert len(data_lines) == 2
+
+    def test_default_x_key_is_first_series(self):
+        table = render_series_table(make_result())
+        header = [
+            line
+            for line in table.splitlines()
+            if "clients" in line and not line.startswith("#")
+        ][0]
+        assert header.split()[0] == "clients"
+
+
+class TestSummarizeBands:
+    def test_ok_verdict_inside_band(self):
+        summary = summarize_bands(make_result())
+        assert "[OK]" in summary
+        assert "DIVERGES" not in summary
+
+    def test_diverges_verdict_outside_band(self):
+        result = make_result()
+        result.ratios["lcm_vs_sgx"] = (0.2, 0.3)
+        summary = summarize_bands(result, tolerance=0.1)
+        assert "DIVERGES" in summary
+
+    def test_missing_measurement_flagged(self):
+        result = make_result()
+        del result.ratios["flat"]
+        assert "MISSING" in summarize_bands(result)
+
+    def test_boolean_expectations(self):
+        result = make_result()
+        result.ratios["flat"] = False
+        assert "DIVERGES" in summarize_bands(result)
+
+    def test_tolerance_widens_band(self):
+        result = make_result()
+        result.ratios["lcm_vs_sgx"] = (0.7, 0.7)
+        assert "DIVERGES" in summarize_bands(result, tolerance=0.01)
+        assert "DIVERGES" not in summarize_bands(result, tolerance=0.9)

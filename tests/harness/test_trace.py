@@ -1,0 +1,131 @@
+"""Trace export/import: round trips and offline verification."""
+
+import io
+
+import pytest
+
+from repro.consistency.history import History
+from repro.harness.trace import (
+    dump_audit_log,
+    dump_history,
+    load_trace,
+    verify_trace_file,
+)
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+def run_small_deployment():
+    host, _, (alice, bob, _) = build_deployment(audit=True)
+    history = History()
+    for client, operation in [
+        (alice, put("k", "v1")),
+        (bob, get("k")),
+        (alice, put("k", "v2")),
+    ]:
+        token = history.invoke(client.client_id, operation)
+        result = client.invoke(operation)
+        history.respond(token, result.result, sequence=result.sequence)
+    return host, history
+
+
+class TestRoundTrip:
+    def test_history_round_trip(self):
+        _, history = run_small_deployment()
+        stream = io.StringIO()
+        count = dump_history(history, stream)
+        assert count == 3
+        stream.seek(0)
+        operations, audit = load_trace(stream)
+        assert len(operations) == 3
+        assert audit == []
+        assert operations[0].operation == ("PUT", "k", "v1")
+        assert operations[1].result == "v1"
+
+    def test_audit_round_trip(self):
+        host, _ = run_small_deployment()
+        log = host.enclave.ecall("export_audit_log", None)
+        stream = io.StringIO()
+        assert dump_audit_log(log, stream) == 3
+        stream.seek(0)
+        _, loaded = load_trace(stream)
+        assert loaded == log
+
+    def test_combined_file(self):
+        host, history = run_small_deployment()
+        stream = io.StringIO()
+        dump_history(history, stream)
+        dump_audit_log(host.enclave.ecall("export_audit_log", None), stream)
+        stream.seek(0)
+        operations, audit = load_trace(stream)
+        assert len(operations) == 3 and len(audit) == 3
+
+    def test_blank_lines_tolerated(self):
+        stream = io.StringIO("\n\n")
+        assert load_trace(stream) == ([], [])
+
+    def test_unknown_kind_rejected(self):
+        stream = io.StringIO('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError):
+            load_trace(stream)
+
+
+class TestOfflineVerification:
+    def _trace(self):
+        host, history = run_small_deployment()
+        stream = io.StringIO()
+        dump_history(history, stream)
+        dump_audit_log(host.enclave.ecall("export_audit_log", None), stream)
+        stream.seek(0)
+        return stream
+
+    def test_honest_trace_verifies(self):
+        summary = verify_trace_file(self._trace())
+        assert summary == {"operations": 3, "audit_records": 3, "matched": 3}
+
+    def test_tampered_audit_chain_detected(self):
+        from repro.errors import SecurityViolation
+
+        text = self._trace().getvalue()
+        # flip one hex digit inside an audit operation field
+        marker = '"operation_hex": "'
+        index = text.index(marker) + len(marker)
+        flipped = "0" if text[index] != "0" else "1"
+        broken = text[:index] + flipped + text[index + 1:]
+        with pytest.raises(SecurityViolation):
+            verify_trace_file(io.StringIO(broken))
+
+    def test_missing_audit_record_detected(self):
+        text = self._trace().getvalue()
+        lines = [line for line in text.splitlines() if '"kind": "audit"' not in line
+                 or '"sequence": 3' not in line]
+        with pytest.raises(ValueError):
+            verify_trace_file(io.StringIO("\n".join(lines)))
+
+    def test_edited_operation_value_detected(self):
+        """Editing a value inside a traced operation (without touching the
+        audit log) must fail the content cross-check."""
+        text = self._trace().getvalue()
+        broken = text.replace('"v1"', '"v9"', 1)
+        assert broken != text
+        with pytest.raises(ValueError):
+            verify_trace_file(io.StringIO(broken))
+
+    def test_edited_result_detected(self):
+        text = self._trace().getvalue()
+        # bob's GET returned "v1"; rewrite the traced result only
+        broken = text.replace('"result": "v1"', '"result": "v2"', 1)
+        assert broken != text
+        with pytest.raises(ValueError):
+            verify_trace_file(io.StringIO(broken))
+
+    def test_misattributed_operation_detected(self):
+        text = self._trace().getvalue()
+        broken_lines = []
+        for line in text.splitlines():
+            if '"kind": "operation"' in line and '"sequence": 2' in line:
+                line = line.replace('"client_id": 2', '"client_id": 1')
+            broken_lines.append(line)
+        with pytest.raises(ValueError):
+            verify_trace_file(io.StringIO("\n".join(broken_lines)))

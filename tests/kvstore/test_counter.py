@@ -1,0 +1,53 @@
+"""Counter functionality: arithmetic and error handling."""
+
+import pytest
+
+from repro.kvstore import CounterFunctionality
+from repro.kvstore.kvs import UnknownOperation
+
+
+@pytest.fixture
+def counter():
+    return CounterFunctionality()
+
+
+def test_initial_state_zero(counter):
+    assert counter.initial_state() == 0
+
+
+def test_increment(counter):
+    result, state = counter.apply(0, ("INC",))
+    assert result == 1 and state == 1
+
+
+def test_add(counter):
+    result, state = counter.apply(5, ("ADD", 10))
+    assert result == 15 and state == 15
+
+
+def test_add_negative(counter):
+    result, state = counter.apply(5, ("ADD", -7))
+    assert result == -2 and state == -2
+
+
+def test_read_does_not_change_state(counter):
+    result, state = counter.apply(3, ("READ",))
+    assert result == 3 and state == 3
+
+
+def test_sequence_of_operations(counter):
+    state = counter.initial_state()
+    for _ in range(4):
+        _, state = counter.apply(state, ("INC",))
+    result, state = counter.apply(state, ("ADD", 6))
+    assert result == 10
+
+
+def test_unknown_verb(counter):
+    with pytest.raises(UnknownOperation):
+        counter.apply(0, ("MUL", 2))
+
+
+def test_malformed_operation(counter):
+    with pytest.raises(UnknownOperation):
+        counter.apply(0, 42)

@@ -1,0 +1,157 @@
+"""File-store functionality: hierarchy semantics and LCM integration."""
+
+import pytest
+
+from repro.kvstore.filestore import (
+    FileStoreFunctionality,
+    listdir,
+    mkdir,
+    read,
+    remove,
+    stat,
+    write,
+)
+from repro.kvstore.kvs import UnknownOperation
+
+from tests.conftest import build_deployment
+
+
+@pytest.fixture
+def fs():
+    return FileStoreFunctionality()
+
+
+def run(fs, operations):
+    state = fs.initial_state()
+    results = []
+    for operation in operations:
+        result, state = fs.apply(state, operation)
+        results.append(result)
+    return results, state
+
+
+class TestDirectories:
+    def test_root_exists(self, fs):
+        results, _ = run(fs, [stat("/")])
+        assert results == ["dir"]
+
+    def test_mkdir_and_stat(self, fs):
+        results, _ = run(fs, [mkdir("/docs"), stat("/docs")])
+        assert results == [True, "dir"]
+
+    def test_mkdir_existing_returns_false(self, fs):
+        results, _ = run(fs, [mkdir("/docs"), mkdir("/docs")])
+        assert results == [True, False]
+
+    def test_mkdir_creates_parents(self, fs):
+        results, _ = run(fs, [mkdir("/a/b/c"), stat("/a"), stat("/a/b")])
+        assert results == [True, "dir", "dir"]
+
+    def test_list_empty_dir(self, fs):
+        results, _ = run(fs, [mkdir("/docs"), listdir("/docs")])
+        assert results == [True, []]
+
+    def test_list_missing_dir_is_none(self, fs):
+        results, _ = run(fs, [listdir("/nope")])
+        assert results == [None]
+
+    def test_list_shows_immediate_children_only(self, fs):
+        results, _ = run(
+            fs,
+            [
+                write("/docs/a.txt", "A"),
+                write("/docs/sub/b.txt", "B"),
+                listdir("/docs"),
+            ],
+        )
+        assert results[-1] == ["a.txt", "sub"]
+
+
+class TestFiles:
+    def test_write_read_round_trip(self, fs):
+        results, _ = run(fs, [write("/f", "content"), read("/f")])
+        assert results == [None, "content"]
+
+    def test_write_returns_previous_content(self, fs):
+        results, _ = run(fs, [write("/f", "v1"), write("/f", "v2"), read("/f")])
+        assert results == [None, "v1", "v2"]
+
+    def test_write_creates_parent_dirs(self, fs):
+        results, _ = run(fs, [write("/a/b/f", "x"), listdir("/a")])
+        assert results == [None, ["b"]]
+
+    def test_read_missing_is_none(self, fs):
+        results, _ = run(fs, [read("/ghost")])
+        assert results == [None]
+
+    def test_read_directory_is_none(self, fs):
+        results, _ = run(fs, [mkdir("/d"), read("/d")])
+        assert results == [True, None]
+
+    def test_cannot_overwrite_directory_with_file(self, fs):
+        results, state = run(fs, [mkdir("/d"), write("/d", "nope"), stat("/d")])
+        assert results == [True, None, "dir"]
+
+
+class TestRemoval:
+    def test_remove_file(self, fs):
+        results, _ = run(fs, [write("/f", "x"), remove("/f"), stat("/f")])
+        assert results == [None, True, None]
+
+    def test_remove_recursive(self, fs):
+        results, _ = run(
+            fs,
+            [write("/d/a", "1"), write("/d/sub/b", "2"), remove("/d"),
+             stat("/d"), stat("/d/sub/b")],
+        )
+        assert results[-3:] == [True, None, None]
+
+    def test_remove_missing_is_false(self, fs):
+        results, _ = run(fs, [remove("/ghost")])
+        assert results == [False]
+
+    def test_cannot_remove_root(self, fs):
+        results, _ = run(fs, [remove("/"), stat("/")])
+        assert results == [False, "dir"]
+
+
+class TestStateDiscipline:
+    def test_apply_never_mutates_input_state(self, fs):
+        state = fs.initial_state()
+        fs.apply(state, write("/f", "x"))
+        assert state == fs.initial_state()
+
+    def test_paths_normalized(self, fs):
+        results, _ = run(fs, [write("//a///b", "x"), read("/a/b")])
+        assert results == [None, "x"]
+
+    def test_unknown_verb(self, fs):
+        with pytest.raises(UnknownOperation):
+            fs.apply(fs.initial_state(), ("CHMOD", "/f"))
+
+
+class TestUnderLcm:
+    def test_file_store_through_the_protocol(self):
+        """The paper's SUNDR lineage: untrusted file storage with
+        fork-linearizability, via the generic functionality interface."""
+        host, _, (alice, bob, _) = build_deployment(
+            functionality=FileStoreFunctionality
+        )
+        alice.invoke(mkdir("/shared"))
+        alice.invoke(write("/shared/report.txt", "draft-1"))
+        assert bob.invoke(read("/shared/report.txt")).result == "draft-1"
+        assert bob.invoke(listdir("/shared")).result == ["report.txt"]
+        host.reboot()
+        assert alice.invoke(read("/shared/report.txt")).result == "draft-1"
+
+    def test_rollback_detected_for_file_store_too(self):
+        from repro.errors import SecurityViolation
+
+        host, _, (alice, *_) = build_deployment(
+            functionality=FileStoreFunctionality, malicious=True
+        )
+        alice.invoke(write("/f", "v1"))
+        alice.invoke(write("/f", "v2"))
+        host.rollback(host.storage.version_count() - 2)
+        with pytest.raises(SecurityViolation):
+            alice.invoke(read("/f"))

@@ -1,0 +1,82 @@
+"""KVS functionality: GET/PUT/DEL semantics and value immutability."""
+
+import pytest
+
+from repro.kvstore import KvsFunctionality, delete, get, put
+from repro.kvstore.kvs import UnknownOperation
+
+
+@pytest.fixture
+def kvs():
+    return KvsFunctionality()
+
+
+class TestSemantics:
+    def test_initial_state_empty(self, kvs):
+        assert kvs.initial_state() == {}
+
+    def test_get_missing_returns_none(self, kvs):
+        result, state = kvs.apply({}, get("missing"))
+        assert result is None
+        assert state == {}
+
+    def test_put_returns_previous_value(self, kvs):
+        result, state = kvs.apply({}, put("k", "v1"))
+        assert result is None
+        result, state = kvs.apply(state, put("k", "v2"))
+        assert result == "v1"
+        assert state == {"k": "v2"}
+
+    def test_get_after_put(self, kvs):
+        _, state = kvs.apply({}, put("k", "v"))
+        result, _ = kvs.apply(state, get("k"))
+        assert result == "v"
+
+    def test_delete_returns_deleted_value(self, kvs):
+        _, state = kvs.apply({}, put("k", "v"))
+        result, state = kvs.apply(state, delete("k"))
+        assert result == "v"
+        assert state == {}
+
+    def test_delete_missing_is_none(self, kvs):
+        result, state = kvs.apply({"other": "x"}, delete("k"))
+        assert result is None
+        assert state == {"other": "x"}
+
+    def test_operations_accept_list_form(self, kvs):
+        # operations arrive as lists after serde round trips
+        result, state = kvs.apply({}, ["PUT", "k", "v"])
+        assert state == {"k": "v"}
+
+
+class TestImmutability:
+    def test_put_does_not_mutate_input_state(self, kvs):
+        state = {"a": "1"}
+        kvs.apply(state, put("b", "2"))
+        assert state == {"a": "1"}
+
+    def test_delete_does_not_mutate_input_state(self, kvs):
+        state = {"a": "1"}
+        kvs.apply(state, delete("a"))
+        assert state == {"a": "1"}
+
+
+class TestErrors:
+    def test_unknown_verb(self, kvs):
+        with pytest.raises(UnknownOperation):
+            kvs.apply({}, ("EXPLODE", "k"))
+
+    def test_malformed_operation(self, kvs):
+        with pytest.raises(UnknownOperation):
+            kvs.apply({}, "not-a-tuple")
+
+    def test_empty_operation(self, kvs):
+        with pytest.raises(UnknownOperation):
+            kvs.apply({}, ())
+
+
+class TestConstructors:
+    def test_builders_shape(self):
+        assert get("k") == ("GET", "k")
+        assert put("k", "v") == ("PUT", "k", "v")
+        assert delete("k") == ("DEL", "k")

@@ -1,0 +1,109 @@
+"""Channels: FIFO delivery, virtual-time mode, adversarial interference."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.channel import AdversarialChannel, Channel
+from repro.net.latency import BandwidthModel, LatencyModel
+from repro.net.simulation import Simulator
+
+
+class TestChannel:
+    def test_immediate_delivery(self):
+        channel = Channel("c")
+        received = []
+        channel.connect(received.append)
+        channel.send(b"one")
+        channel.send(b"two")
+        assert received == [b"one", b"two"]
+
+    def test_unconnected_send_rejected(self):
+        with pytest.raises(SimulationError):
+            Channel("c").send(b"x")
+
+    def test_counters(self):
+        channel = Channel("c")
+        channel.connect(lambda m: None)
+        channel.send(b"abc")
+        assert channel.sent == 1
+        assert channel.delivered == 1
+        assert channel.bytes_sent == 3
+
+    def test_virtual_time_delivery(self):
+        sim = Simulator()
+        latency = LatencyModel(propagation=1.0, bandwidth=BandwidthModel(1e12))
+        channel = Channel("c", sim=sim, latency=latency)
+        received = []
+        channel.connect(lambda m: received.append((sim.now, m)))
+        channel.send(b"x")
+        sim.run()
+        assert len(received) == 1
+        assert received[0][0] == pytest.approx(1.0)
+        assert received[0][1] == b"x"
+
+    def test_fifo_despite_size_dependent_delay(self):
+        sim = Simulator()
+        # 1 byte/s bandwidth: a big message takes much longer than a small one
+        latency = LatencyModel(propagation=0.0, bandwidth=BandwidthModel(1.0))
+        channel = Channel("c", sim=sim, latency=latency)
+        received = []
+        channel.connect(received.append)
+        channel.send(b"x" * 10)   # would arrive at t=10
+        channel.send(b"y")        # naively at t=11... must not overtake
+        sim.run()
+        assert received == [b"x" * 10, b"y"]
+
+
+class TestAdversarialChannel:
+    def _wire(self):
+        inner = Channel("inner")
+        received = []
+        adversarial = AdversarialChannel(inner)
+        adversarial.connect(received.append)
+        return adversarial, received
+
+    def test_pass_through_by_default(self):
+        channel, received = self._wire()
+        channel.send(b"m")
+        assert received == [b"m"]
+
+    def test_drop(self):
+        channel, received = self._wire()
+        channel.set_interference(lambda m: "drop")
+        channel.send(b"m")
+        assert received == []
+        assert channel.dropped == 1
+
+    def test_hold_and_release(self):
+        channel, received = self._wire()
+        channel.set_interference(lambda m: "hold")
+        channel.send(b"one")
+        channel.send(b"two")
+        assert received == []
+        assert channel.held_count == 2
+        channel.set_interference(None)
+        assert channel.release(1) == 1
+        assert received == [b"one"]
+        assert channel.release() == 1
+        assert received == [b"one", b"two"]
+
+    def test_replay(self):
+        channel, received = self._wire()
+        channel.set_interference(lambda m: "replay")
+        channel.send(b"m")
+        channel.set_interference(None)
+        assert channel.replay_all() == 1
+        assert received == [b"m", b"m"]
+
+    def test_tamper(self):
+        channel, received = self._wire()
+        channel.set_interference(lambda m: bytes([m[0] ^ 0xFF]) + m[1:])
+        channel.send(b"\x00abc")
+        assert received == [b"\xffabc"]
+        assert channel.tampered == 1
+
+    def test_unknown_action_rejected(self):
+        channel, _ = self._wire()
+        channel.set_interference(lambda m: 42)
+        with pytest.raises(SimulationError):
+            channel.send(b"m")

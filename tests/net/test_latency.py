@@ -1,0 +1,45 @@
+"""Latency/bandwidth models: arithmetic and jitter determinism."""
+
+import pytest
+
+from repro.net.latency import GIGABIT_PER_SECOND, BandwidthModel, LatencyModel
+
+
+class TestBandwidth:
+    def test_transfer_time(self):
+        model = BandwidthModel(bytes_per_second=1000.0)
+        assert model.transfer_time(500) == pytest.approx(0.5)
+
+    def test_zero_size(self):
+        assert BandwidthModel().transfer_time(0) == 0.0
+
+    def test_gigabit_constant(self):
+        assert GIGABIT_PER_SECOND == 125_000_000.0
+
+
+class TestLatency:
+    def test_one_way_includes_propagation_and_transfer(self):
+        model = LatencyModel(propagation=1e-3, bandwidth=BandwidthModel(1e6))
+        assert model.one_way(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_round_trip_sums_directions(self):
+        model = LatencyModel(propagation=1e-3, bandwidth=BandwidthModel(1e6))
+        assert model.round_trip(1000, 2000) == pytest.approx(
+            model.one_way(1000) + model.one_way(2000)
+        )
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(propagation=1e-3, jitter_fraction=0.5, seed=3)
+        base = 1e-3 + BandwidthModel().transfer_time(100)
+        for _ in range(100):
+            delay = model.one_way(100)
+            assert base <= delay <= base * 1.5 + 1e-12
+
+    def test_jitter_deterministic_per_seed(self):
+        a = [LatencyModel(jitter_fraction=0.3, seed=5).one_way(10) for _ in range(1)]
+        b = [LatencyModel(jitter_fraction=0.3, seed=5).one_way(10) for _ in range(1)]
+        assert a == b
+
+    def test_no_jitter_is_exact(self):
+        model = LatencyModel(propagation=2e-3, bandwidth=BandwidthModel(1e9))
+        assert model.one_way(0) == 2e-3

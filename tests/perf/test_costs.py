@@ -1,0 +1,69 @@
+"""Cost model: arithmetic, geometry, sanity relations."""
+
+import pytest
+
+from repro.perf.costs import CostModel, MessageGeometry
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+class TestMessageGeometry:
+    def test_request_scales_with_half_object(self):
+        geometry = MessageGeometry()
+        small = geometry.request_bytes(100, lcm=False)
+        large = geometry.request_bytes(2100, lcm=False)
+        assert large - small == 1000
+
+    def test_lcm_adds_constant_metadata(self):
+        geometry = MessageGeometry()
+        for size in (100, 2500):
+            delta_req = geometry.request_bytes(size, lcm=True) - geometry.request_bytes(
+                size, lcm=False
+            )
+            delta_rep = geometry.reply_bytes(size, lcm=True) - geometry.reply_bytes(
+                size, lcm=False
+            )
+            assert delta_req == geometry.lcm_metadata_bytes
+            assert delta_rep == geometry.lcm_metadata_bytes
+
+    def test_request_carries_key(self):
+        geometry = MessageGeometry()
+        assert geometry.request_bytes(0, lcm=False) - geometry.reply_bytes(
+            0, lcm=False
+        ) == geometry.key_bytes
+
+
+class TestCostRelations:
+    def test_crypto_time_scales_with_size(self, costs):
+        assert costs.enclave_crypto_time(2500) > costs.enclave_crypto_time(100)
+
+    def test_host_crypto_cheaper_than_enclave(self, costs):
+        # native OpenSSL in Stunnel vs enclave AES with transition cost
+        assert costs.host_crypto_time(100) < costs.enclave_crypto_time(100)
+
+    def test_fsync_orders_of_magnitude_over_async(self, costs):
+        sync = costs.disk.write_time(356, fsync=True)
+        async_write = costs.disk.write_time(356, fsync=False)
+        assert sync / async_write > 100
+
+    def test_tmc_dominates_everything(self, costs):
+        per_op_enclave = (
+            costs.ecall_overhead
+            + 2 * costs.enclave_crypto_time(200)
+            + costs.kvs_op_time
+        )
+        assert costs.tmc_increment_latency / per_op_enclave > 100
+
+    def test_state_seal_time_positive(self, costs):
+        assert costs.state_seal_time(100) > 0
+        assert costs.state_seal_time(2500) > costs.state_seal_time(100)
+
+    def test_lcm_sync_factor_above_one(self, costs):
+        assert costs.lcm_sync_write_factor > 1.0
+
+    def test_model_is_frozen(self, costs):
+        with pytest.raises(Exception):
+            costs.ecall_overhead = 1.0

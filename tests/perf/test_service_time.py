@@ -1,0 +1,120 @@
+"""Batch service-time arithmetic: hand-computed values against the engine."""
+
+import pytest
+
+from repro.net.simulation import Simulator
+from repro.perf.costs import CostModel
+from repro.perf.model import SYSTEMS, ServerEngine
+
+
+def engine_for(name: str, *, object_size=100, fsync=False):
+    costs = CostModel()
+    return (
+        ServerEngine(
+            Simulator(), SYSTEMS[name], costs, object_size, fsync=fsync
+        ),
+        costs,
+    )
+
+
+def expected_sgx_per_op(costs: CostModel, object_size: int, *, lcm=False) -> float:
+    request = costs.geometry.request_bytes(object_size, lcm=lcm)
+    reply = costs.geometry.reply_bytes(object_size, lcm=lcm)
+    per_op = (
+        costs.frontend_per_request
+        + costs.kvs_op_time
+        + costs.enclave_crypto_time(request)
+        + costs.enclave_crypto_time(reply)
+    )
+    if lcm:
+        per_op += costs.lcm_hash_chain_time + costs.lcm_v_update_time
+    return per_op
+
+
+class TestEnclaveServiceTimes:
+    def test_sgx_single_request(self):
+        engine, costs = engine_for("sgx")
+        per_batch = (
+            costs.ecall_overhead
+            + costs.state_seal_time(100)
+            + costs.disk.write_time(356, fsync=False)
+        )
+        expected = expected_sgx_per_op(costs, 100) + per_batch
+        assert engine._batch_service_time(1) == pytest.approx(expected)
+
+    def test_lcm_adds_protocol_work(self):
+        sgx_engine, costs = engine_for("sgx")
+        lcm_engine, _ = engine_for("lcm")
+        delta = lcm_engine._batch_service_time(1) - sgx_engine._batch_service_time(1)
+        # hash chain + V update + extra seal + metadata crypto
+        metadata_crypto = 2 * costs.enclave_crypto_per_byte * costs.geometry.lcm_metadata_bytes
+        expected_delta = (
+            costs.lcm_hash_chain_time
+            + costs.lcm_v_update_time
+            + costs.lcm_state_seal_extra
+            + metadata_crypto
+        )
+        assert delta == pytest.approx(expected_delta)
+
+    def test_batching_amortises_per_batch_costs(self):
+        engine, costs = engine_for("sgx_batch")
+        k = 16
+        single = engine._batch_service_time(1)
+        batch = engine._batch_service_time(k)
+        per_batch = (
+            costs.ecall_overhead
+            + costs.state_seal_time(100)
+            + costs.disk.write_time(356, fsync=False)
+        )
+        # k requests pay the per-op work k times but the batch cost once
+        assert batch == pytest.approx(single * k - per_batch * (k - 1))
+
+    def test_fsync_adds_full_flush(self):
+        sync_engine, costs = engine_for("sgx", fsync=True)
+        async_engine, _ = engine_for("sgx", fsync=False)
+        delta = sync_engine._batch_service_time(1) - async_engine._batch_service_time(1)
+        expected = costs.disk.write_time(356, fsync=True) - costs.disk.write_time(
+            356, fsync=False
+        )
+        assert delta == pytest.approx(expected)
+
+    def test_lcm_sync_write_factor_applied(self):
+        lcm_engine, costs = engine_for("lcm", fsync=True)
+        sgx_engine, _ = engine_for("sgx", fsync=True)
+        lcm_write = costs.disk.write_time(356, fsync=True) * costs.lcm_sync_write_factor
+        sgx_write = costs.disk.write_time(356, fsync=True)
+        delta = lcm_engine._batch_service_time(1) - sgx_engine._batch_service_time(1)
+        metadata_crypto = 2 * costs.enclave_crypto_per_byte * costs.geometry.lcm_metadata_bytes
+        expected_delta = (
+            costs.lcm_hash_chain_time
+            + costs.lcm_v_update_time
+            + costs.lcm_state_seal_extra
+            + metadata_crypto
+            + (lcm_write - sgx_write)
+        )
+        assert delta == pytest.approx(expected_delta)
+
+    def test_tmc_increment_per_batch(self):
+        tmc_engine, costs = engine_for("sgx_tmc")
+        sgx_engine, _ = engine_for("sgx")
+        delta = tmc_engine._batch_service_time(1) - sgx_engine._batch_service_time(1)
+        assert delta == pytest.approx(costs.tmc_increment_latency)
+
+
+class TestHostServiceTimes:
+    def test_native_per_request(self):
+        engine, costs = engine_for("native")
+        expected = (
+            costs.frontend_per_request
+            + costs.kvs_op_time
+            + costs.disk.write_time(228, fsync=False)
+        )
+        assert engine._batch_service_time(1) == pytest.approx(expected)
+
+    def test_redis_group_commit_shares_one_flush(self):
+        engine, costs = engine_for("redis", fsync=True)
+        k = 10
+        batch = engine._batch_service_time(k)
+        flush = costs.disk.write_time(164, fsync=True)
+        # one shared flush regardless of batch size
+        assert batch < k * (costs.frontend_per_request + costs.kvs_op_time) + 2 * flush

@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property encodes an invariant the protocol's security argument leans
+on: injective serialization, AEAD round trips and tamper evidence, hash
+chain collision-freedom over distinct histories, stability quorum algebra,
+and per-view sequential correctness.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serde
+from repro.crypto.aead import KEY_SIZE, AeadKey, auth_decrypt, auth_encrypt
+from repro.crypto.hashing import GENESIS_HASH, replay_chain
+from repro.errors import AuthenticationFailure
+from repro.core.stability import ClientEntry, majority_quorum, stable_with_quorum
+from repro.kvstore import CounterFunctionality, KvsFunctionality
+
+import pytest
+
+# ----------------------------------------------------------------- strategies
+
+serde_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**120), max_value=2**120)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+keys = st.binary(min_size=KEY_SIZE, max_size=KEY_SIZE).map(AeadKey)
+
+
+# ----------------------------------------------------------------- serde
+
+
+class TestSerdeProperties:
+    @given(serde_values)
+    def test_round_trip(self, value):
+        assert serde.decode(serde.encode(value)) == value
+
+    @given(serde_values, serde_values)
+    def test_injective(self, a, b):
+        if serde.encode(a) == serde.encode(b):
+            assert a == b
+
+    @given(serde_values)
+    def test_deterministic(self, value):
+        assert serde.encode(value) == serde.encode(value)
+
+
+# ----------------------------------------------------------------- aead
+
+
+class TestAeadProperties:
+    @given(keys, st.binary(max_size=512), st.binary(max_size=32))
+    def test_round_trip(self, key, plaintext, associated):
+        box = auth_encrypt(plaintext, key, associated_data=associated)
+        assert auth_decrypt(box, key, associated_data=associated) == plaintext
+
+    @given(
+        keys,
+        st.binary(max_size=128),
+        st.integers(min_value=0),
+        st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=60)
+    def test_any_single_byte_flip_detected(self, key, plaintext, position, delta):
+        box = bytearray(auth_encrypt(plaintext, key))
+        index = position % len(box)
+        box[index] = (box[index] + delta) % 256
+        with pytest.raises(AuthenticationFailure):
+            auth_decrypt(bytes(box), key)
+
+    @given(keys, keys, st.binary(max_size=64))
+    def test_wrong_key_rejected(self, key_a, key_b, plaintext):
+        if key_a.material == key_b.material:
+            return
+        with pytest.raises(AuthenticationFailure):
+            auth_decrypt(auth_encrypt(plaintext, key_a), key_b)
+
+
+# ----------------------------------------------------------------- hash chain
+
+history_entries = st.lists(
+    st.tuples(
+        st.binary(min_size=1, max_size=16),
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=10),
+    ),
+    max_size=8,
+)
+
+
+class TestHashChainProperties:
+    @given(history_entries, history_entries)
+    def test_distinct_histories_distinct_digests(self, a, b):
+        if a != b:
+            assert replay_chain(a) != replay_chain(b)
+
+    @given(history_entries)
+    def test_digest_never_genesis_for_nonempty(self, history):
+        if history:
+            assert replay_chain(history) != GENESIS_HASH
+
+    @given(history_entries, history_entries)
+    def test_chain_is_prefix_composable(self, prefix, suffix):
+        assert replay_chain(prefix + suffix) == replay_chain(
+            suffix, start=replay_chain(prefix)
+        )
+
+
+# ----------------------------------------------------------------- stability
+
+ack_maps = st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=9)
+
+
+def _entries(acks):
+    return {
+        i: ClientEntry(acknowledged=ack, last_sequence=ack)
+        for i, ack in enumerate(acks, start=1)
+    }
+
+
+class TestStabilityProperties:
+    @given(ack_maps)
+    def test_majority_stable_is_acknowledged_by_quorum(self, acks):
+        entries = _entries(acks)
+        q = stable_with_quorum(entries, majority_quorum(len(acks)))
+        supporters = sum(1 for ack in acks if ack >= q)
+        assert supporters >= majority_quorum(len(acks))
+
+    @given(ack_maps)
+    def test_majority_stable_is_maximal(self, acks):
+        entries = _entries(acks)
+        quorum = majority_quorum(len(acks))
+        q = stable_with_quorum(entries, quorum)
+        for candidate in acks:
+            if candidate > q:
+                supporters = sum(1 for ack in acks if ack >= candidate)
+                assert supporters < quorum
+
+    @given(ack_maps, st.integers(min_value=0, max_value=8))
+    def test_monotone_in_acknowledgements(self, acks, index):
+        entries_before = _entries(acks)
+        bumped = list(acks)
+        bumped[index % len(acks)] += 1
+        entries_after = _entries(bumped)
+        quorum = majority_quorum(len(acks))
+        assert stable_with_quorum(entries_after, quorum) >= stable_with_quorum(
+            entries_before, quorum
+        )
+
+    @given(ack_maps)
+    def test_larger_quorum_never_increases_stability(self, acks):
+        entries = _entries(acks)
+        values = [
+            stable_with_quorum(entries, quorum)
+            for quorum in range(1, len(acks) + 1)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+# ----------------------------------------------------------------- functionality
+
+kvs_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("PUT"), st.sampled_from("abc"), st.text(max_size=4)),
+        st.tuples(st.just("GET"), st.sampled_from("abc")),
+        st.tuples(st.just("DEL"), st.sampled_from("abc")),
+    ),
+    max_size=12,
+)
+
+
+class TestFunctionalityProperties:
+    @given(kvs_operations)
+    def test_kvs_matches_dict_semantics(self, operations):
+        kvs = KvsFunctionality()
+        state = kvs.initial_state()
+        model = {}
+        for operation in operations:
+            result, state = kvs.apply(state, operation)
+            verb = operation[0]
+            if verb == "PUT":
+                assert result == model.get(operation[1])
+                model[operation[1]] = operation[2]
+            elif verb == "GET":
+                assert result == model.get(operation[1])
+            else:
+                assert result == model.pop(operation[1], None)
+        assert state == model
+
+    @given(kvs_operations)
+    def test_kvs_state_is_serializable(self, operations):
+        kvs = KvsFunctionality()
+        state = kvs.initial_state()
+        for operation in operations:
+            _, state = kvs.apply(state, operation)
+        assert serde.decode(serde.encode(state)) == state
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=10))
+    def test_counter_sums(self, amounts):
+        counter = CounterFunctionality()
+        state = counter.initial_state()
+        for amount in amounts:
+            result, state = counter.apply(state, ("ADD", amount))
+        assert state == sum(amounts)
+
+
+# ----------------------------------------------------------------- protocol
+
+class TestProtocolProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.sampled_from("abcd"), st.text(max_size=3)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lcm_agrees_with_direct_execution(self, script):
+        """Running any PUT script through the full protocol stack yields the
+        same results and final reads as direct functionality execution."""
+        from tests.conftest import build_deployment
+
+        host, _, clients = build_deployment()
+        kvs = KvsFunctionality()
+        state = kvs.initial_state()
+        from repro.kvstore import get, put
+
+        for client_index, key, value in script:
+            expected, state = kvs.apply(state, put(key, value))
+            result = clients[client_index].invoke(put(key, value))
+            assert result.result == expected
+        for key in "abcd":
+            expected, state = kvs.apply(state, get(key))
+            assert clients[0].invoke(get(key)).result == expected
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_sequence_numbers_dense_and_increasing(self, invokers):
+        from tests.conftest import build_deployment
+        from repro.kvstore import put
+
+        _, _, clients = build_deployment()
+        sequences = [
+            clients[index].invoke(put("k", "v")).sequence for index in invokers
+        ]
+        assert sequences == list(range(1, len(invokers) + 1))

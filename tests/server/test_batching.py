@@ -1,0 +1,61 @@
+"""Batch queue: auto-flush at the limit, manual drain, accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.batching import BatchQueue
+
+
+class TestBatchQueue:
+    def test_auto_flush_at_limit(self):
+        flushed = []
+        queue = BatchQueue(3, flushed.append)
+        for item in range(3):
+            queue.add(item)
+        assert flushed == [[0, 1, 2]]
+        assert queue.pending_count == 0
+
+    def test_manual_flush_of_partial_batch(self):
+        flushed = []
+        queue = BatchQueue(10, flushed.append)
+        queue.add("a")
+        queue.add("b")
+        assert flushed == []
+        assert queue.flush() == 2
+        assert flushed == [["a", "b"]]
+
+    def test_flush_empty_is_noop(self):
+        flushed = []
+        queue = BatchQueue(4, flushed.append)
+        assert queue.flush() == 0
+        assert flushed == []
+        assert queue.batches_flushed == 0
+
+    def test_order_preserved_across_batches(self):
+        flushed = []
+        queue = BatchQueue(2, flushed.append)
+        for item in range(5):
+            queue.add(item)
+        queue.flush()
+        assert flushed == [[0, 1], [2, 3], [4]]
+
+    def test_mean_batch_size(self):
+        flushed = []
+        queue = BatchQueue(2, flushed.append)
+        for item in range(3):
+            queue.add(item)
+        queue.flush()
+        assert queue.mean_batch_size() == pytest.approx(1.5)
+        assert queue.items_flushed == 3
+        assert queue.batches_flushed == 2
+
+    def test_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchQueue(0, lambda batch: None)
+
+    def test_limit_one_flushes_each_item(self):
+        flushed = []
+        queue = BatchQueue(1, flushed.append)
+        queue.add("x")
+        queue.add("y")
+        assert flushed == [["x"], ["y"]]

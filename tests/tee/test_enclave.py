@@ -1,0 +1,133 @@
+"""Enclave lifecycle: epochs, volatile memory, ecall gating, program pinning."""
+
+import pytest
+
+from repro.crypto.attestation import EpidGroup
+from repro.errors import EnclaveError, EnclaveStopped
+from repro.tee import EnclaveState, TeePlatform
+
+
+class EchoProgram:
+    """Minimal program: counts calls in volatile memory."""
+
+    PROGRAM_CODE = b"echo-v1"
+    DEVELOPER = "tests"
+
+    def __init__(self):
+        self.calls = 0
+        self.env = None
+
+    def on_start(self, env):
+        self.env = env
+
+    def ecall(self, name, payload):
+        if name == "bump":
+            self.calls += 1
+            return self.calls
+        if name == "epoch":
+            return self.env.epoch
+        if name == "store":
+            self.env.ocall_store(payload)
+            return True
+        if name == "load":
+            return self.env.ocall_load()
+        raise ValueError(name)
+
+
+class DictHost:
+    def __init__(self):
+        self.blob = None
+
+    def ocall_store(self, blob):
+        self.blob = blob
+
+    def ocall_load(self):
+        return self.blob
+
+
+@pytest.fixture
+def platform():
+    return TeePlatform(EpidGroup(seed=b"g"), seed=9)
+
+
+@pytest.fixture
+def enclave(platform):
+    return platform.create_enclave(EchoProgram, host=DictHost())
+
+
+class TestLifecycle:
+    def test_initial_state(self, enclave):
+        assert enclave.state == EnclaveState.CREATED
+        assert enclave.epoch == 0
+
+    def test_start_opens_epoch(self, enclave):
+        enclave.start()
+        assert enclave.running
+        assert enclave.epoch == 1
+        assert enclave.ecall("epoch", None) == 1
+
+    def test_double_start_rejected(self, enclave):
+        enclave.start()
+        with pytest.raises(EnclaveError):
+            enclave.start()
+
+    def test_stop_then_ecall_rejected(self, enclave):
+        enclave.start()
+        enclave.stop()
+        with pytest.raises(EnclaveStopped):
+            enclave.ecall("bump", None)
+
+    def test_stop_without_start_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.stop()
+
+    def test_restart_loses_volatile_memory(self, enclave):
+        enclave.start()
+        enclave.ecall("bump", None)
+        enclave.ecall("bump", None)
+        enclave.restart()
+        assert enclave.epoch == 2
+        assert enclave.ecall("bump", None) == 1  # fresh program instance
+
+    def test_crash_is_silent_stop(self, enclave):
+        enclave.start()
+        enclave.crash()
+        assert enclave.state == EnclaveState.STOPPED
+        enclave.crash()  # idempotent on stopped enclave
+        assert enclave.state == EnclaveState.STOPPED
+
+    def test_destroyed_enclave_cannot_start(self, enclave):
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.start()
+
+    def test_ecall_counter(self, enclave):
+        enclave.start()
+        enclave.ecall("bump", None)
+        enclave.ecall("bump", None)
+        assert enclave.ecalls == 2
+
+
+class TestOcalls:
+    def test_store_load_through_host(self, enclave):
+        enclave.start()
+        enclave.ecall("store", b"blob")
+        assert enclave.ecall("load", None) == b"blob"
+
+    def test_stored_state_survives_restart_via_host(self, enclave):
+        enclave.start()
+        enclave.ecall("store", b"persisted")
+        enclave.restart()
+        assert enclave.ecall("load", None) == b"persisted"
+
+
+class TestMeasurement:
+    def test_measurement_matches_expected(self, platform, enclave):
+        assert enclave.measurement == TeePlatform.expected_measurement(EchoProgram)
+
+    def test_different_programs_different_measurements(self, platform):
+        class OtherProgram(EchoProgram):
+            PROGRAM_CODE = b"other-v1"
+
+        other = platform.create_enclave(OtherProgram, host=DictHost())
+        assert other.measurement != TeePlatform.expected_measurement(EchoProgram)

@@ -1,0 +1,104 @@
+"""TEE platform: sealing-key binding, attestation wiring, sealing policies."""
+
+import pytest
+
+from repro.crypto.attestation import EpidGroup
+from repro.tee import TeePlatform
+
+from tests.tee.test_enclave import DictHost, EchoProgram
+
+
+class KeyProbeProgram(EchoProgram):
+    """Program that exposes its derived keys for binding tests."""
+
+    PROGRAM_CODE = b"key-probe-v1"
+
+    def ecall(self, name, payload):
+        if name == "sealing_key":
+            return self.env.get_key(b"probe").material
+        if name == "developer_key":
+            return self.env.get_key(b"probe", policy="developer").material
+        if name == "report":
+            return self.env.create_report(payload)
+        if name == "random":
+            return self.env.secure_random(payload)
+        return super().ecall(name, payload)
+
+
+class OtherDeveloperProgram(KeyProbeProgram):
+    PROGRAM_CODE = b"key-probe-v2"
+    DEVELOPER = "someone-else"
+
+
+class SameDeveloperProgram(KeyProbeProgram):
+    PROGRAM_CODE = b"key-probe-v2"  # different code, same developer
+
+
+def _started(platform, program=KeyProbeProgram):
+    enclave = platform.create_enclave(program, host=DictHost())
+    enclave.start()
+    return enclave
+
+
+class TestSealingKeys:
+    def test_same_program_same_platform_same_key(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        a = _started(platform)
+        b = _started(platform)
+        assert a.ecall("sealing_key", None) == b.ecall("sealing_key", None)
+
+    def test_key_stable_across_epochs(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        enclave = _started(platform)
+        first = enclave.ecall("sealing_key", None)
+        enclave.restart()
+        assert enclave.ecall("sealing_key", None) == first
+
+    def test_different_platform_different_key(self):
+        group = EpidGroup(seed=b"g")
+        a = _started(TeePlatform(group, seed=1))
+        b = _started(TeePlatform(group, seed=2))
+        assert a.ecall("sealing_key", None) != b.ecall("sealing_key", None)
+
+    def test_different_program_different_key(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        a = _started(platform, KeyProbeProgram)
+        b = _started(platform, SameDeveloperProgram)
+        assert a.ecall("sealing_key", None) != b.ecall("sealing_key", None)
+
+    def test_developer_sealing_shared_across_programs(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        a = _started(platform, KeyProbeProgram)
+        b = _started(platform, SameDeveloperProgram)
+        assert a.ecall("developer_key", None) == b.ecall("developer_key", None)
+
+    def test_developer_sealing_differs_across_developers(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        a = _started(platform, SameDeveloperProgram)
+        b = _started(platform, OtherDeveloperProgram)
+        assert a.ecall("developer_key", None) != b.ecall("developer_key", None)
+
+
+class TestAttestationWiring:
+    def test_report_to_quote_verifies(self):
+        group = EpidGroup(seed=b"g")
+        platform = TeePlatform(group, seed=1)
+        enclave = _started(platform)
+        nonce = b"\x05" * 16
+        report = enclave.ecall("report", nonce)
+        quote = platform.quote(report)
+        group.verifier().verify(
+            quote,
+            expected_measurement=TeePlatform.expected_measurement(KeyProbeProgram),
+            nonce=nonce,
+        )
+
+    def test_secure_random_is_bytes(self):
+        platform = TeePlatform(EpidGroup(seed=b"g"), seed=1)
+        enclave = _started(platform)
+        value = enclave.ecall("random", 32)
+        assert isinstance(value, bytes) and len(value) == 32
+
+    def test_platform_ids_unique(self):
+        group = EpidGroup(seed=b"g")
+        assert TeePlatform(group).platform_id != TeePlatform(group).platform_id

@@ -1,0 +1,180 @@
+"""Attack scenarios (Sec. 2.3): what LCM detects and baselines miss.
+
+These tests encode the paper's motivating claims:
+
+- a malicious server can roll back / fork / replay against a plain
+  SGX-sealed service **without detection**;
+- the same attacks against LCM are detected by the first client whose
+  context contradicts the rolled-back or forked state, and forked clients'
+  operations cease to become majority-stable.
+"""
+
+import pytest
+
+from repro.baselines.sgx_kvs import SgxKvsClient, bootstrap_sgx_kvs, make_sgx_kvs_factory
+from repro.crypto.attestation import EpidGroup
+from repro.errors import (
+    AuthenticationFailure,
+    ForkDetected,
+    ReplayDetected,
+    RollbackDetected,
+    SecurityViolation,
+)
+from repro.kvstore import KvsFunctionality, get, put
+from repro.server import MaliciousServer
+from repro.tee import TeePlatform
+
+from tests.conftest import build_deployment
+
+
+class TestRollbackAttack:
+    def test_lcm_detects_rollback_on_next_invoke(self):
+        host, _, (alice, *_) = build_deployment(malicious=True)
+        alice.invoke(put("balance", "100"))
+        alice.invoke(put("balance", "50"))   # alice spends money
+        host.rollback(host.storage.version_count() - 2)
+        with pytest.raises(RollbackDetected):
+            alice.invoke(get("balance"))
+
+    def test_lcm_rollback_detected_by_other_client_too(self):
+        host, _, (alice, bob, _) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v1"))
+        bob.invoke(put("k", "v2"))
+        host.rollback(0)  # state right after provisioning... well, first store
+        # bob's context (tc=2) is now ahead of the rolled-back T
+        with pytest.raises(RollbackDetected):
+            bob.invoke(get("k"))
+
+    def test_lcm_halts_permanently_after_detection(self):
+        host, _, (alice, bob, _) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v1"))
+        alice.invoke(put("k", "v2"))
+        host.rollback(host.storage.version_count() - 2)
+        with pytest.raises(SecurityViolation):
+            alice.invoke(get("k"))
+        with pytest.raises(SecurityViolation):
+            bob.invoke(get("k"))
+
+    def test_stale_client_cannot_distinguish_but_stays_fork_consistent(self):
+        """A client whose own context predates the rollback cannot detect it
+        (the theory says so) — but its view stays internally consistent, and
+        any *join* with a fresher client is detected."""
+        host, _, (alice, bob, _) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v1"))          # seq 1: state has k=v1
+        bob.invoke(put("k", "v2"))            # seq 2 — bob is 'fresher'
+        host.rollback(1)                      # back to just after alice's op
+        # alice's (tc=1, hc) matches the rolled-back V: accepted
+        result = alice.invoke(get("k"))
+        assert result.result == "v1"
+        # bob's next operation exposes the fork
+        with pytest.raises(SecurityViolation):
+            bob.invoke(get("k"))
+
+    def test_sgx_baseline_misses_rollback(self):
+        """The identical attack against the plain SGX KVS goes unnoticed —
+        the reason LCM exists."""
+        group = EpidGroup()
+        platform = TeePlatform(group)
+        factory = make_sgx_kvs_factory(KvsFunctionality)
+        server = MaliciousServer(platform, factory)
+        server.start()
+        key = bootstrap_sgx_kvs(server)
+        client = SgxKvsClient(1, key, server)
+        client.invoke(put("balance", "100"))
+        client.invoke(put("balance", "50"))
+        server.rollback(server.storage.version_count() - 2)
+        # no exception, stale data served as if fresh:
+        assert client.invoke(get("balance")) == "100"
+
+
+class TestForkingAttack:
+    def test_partitioned_clients_see_diverged_histories(self):
+        host, _, (alice, bob, _) = build_deployment(malicious=True)
+        alice.invoke(put("k", "base"))
+        bob.invoke(get("k"))
+        fork = host.fork()           # second T instance from current state
+        host.route_client(2, fork)   # bob talks to the fork from now on
+        alice.invoke(put("k", "alice-branch"))
+        bob.invoke(put("k", "bob-branch"))
+        assert alice.invoke(get("k")).result == "alice-branch"
+        assert bob.invoke(get("k")).result == "bob-branch"
+
+    def test_joining_forked_client_is_detected(self):
+        host, _, (alice, bob, _) = build_deployment(malicious=True)
+        alice.invoke(put("k", "base"))
+        bob.invoke(get("k"))
+        fork = host.fork()
+        host.route_client(2, fork)
+        alice.invoke(put("k", "alice-branch"))
+        bob.invoke(put("k", "bob-branch"))
+        # server tries to merge: route bob back to instance 0
+        host.route_client(2, 0)
+        with pytest.raises(SecurityViolation):
+            bob.invoke(get("k"))
+
+    def test_forked_operations_cease_to_become_stable(self):
+        """Sec. 4.5: 'in the case of a forking attack ... the operations of
+        the forked clients will cease to become stable.'"""
+        host, _, (alice, bob, carol) = build_deployment(malicious=True)
+        for client in (alice, bob, carol):
+            client.invoke(put(f"init-{client.client_id}", "x"))
+        fork = host.fork()
+        host.route_client(1, fork)   # alice isolated on the fork
+        result = alice.invoke(put("lonely", "op"))
+        own_sequence = result.sequence
+        # alice polls with dummy ops; bob and carol keep operating on the
+        # main instance, so *their* acknowledgements never reach the fork.
+        assert not alice.wait_until_stable(own_sequence, max_polls=5)
+
+    def test_majority_partition_keeps_making_progress(self):
+        host, _, (alice, bob, carol) = build_deployment(malicious=True)
+        for client in (alice, bob, carol):
+            client.invoke(put(f"init-{client.client_id}", "x"))
+        fork = host.fork()
+        host.route_client(1, fork)
+        # bob + carol are a majority on the main instance: once both have
+        # acknowledged past bob's operation, it becomes majority-stable.
+        result = bob.invoke(put("shared", "v"))
+        carol.invoke(get("shared"))
+        bob.poll_stability()    # bob acknowledges his own op
+        carol.poll_stability()  # carol acknowledges past it -> q advances
+        bob.poll_stability()    # bob learns the new q
+        assert bob.is_stable(result.sequence)
+
+
+class TestReplayAttack:
+    def test_replayed_invoke_detected(self):
+        host, _, (alice, *_) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v"))
+        alice.invoke(get("k"))
+        with pytest.raises(ReplayDetected):
+            host.replay_last_invoke(1)
+
+
+class TestTampering:
+    def test_tampered_invoke_detected(self):
+        host, _, (alice, *_) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v"))
+        host.set_tamper_hook(lambda m: m[:-1] + bytes([m[-1] ^ 0x01]))
+        with pytest.raises(AuthenticationFailure):
+            alice.invoke(get("k"))
+
+    def test_garbage_state_blob_rejected_on_restart(self):
+        host, _, (alice, *_) = build_deployment(malicious=True)
+        alice.invoke(put("k", "v"))
+        host.storage.store(b"not-a-sealed-blob")
+        with pytest.raises(AuthenticationFailure):
+            host.crash_and_restart()
+
+    def test_blob_from_other_platform_rejected(self):
+        """Sealed state is bound to the platform: a blob sealed elsewhere
+        fails to unseal (get-key returns a different kS)."""
+        group = EpidGroup()
+        host_a, _, (alice, *_) = build_deployment(epid_group=group, malicious=True)
+        alice.invoke(put("k", "v"))
+        stolen_blob = host_a.storage.load()
+
+        host_b, _, _ = build_deployment(epid_group=group, malicious=True)
+        host_b.storage.store(stolen_blob)
+        with pytest.raises(AuthenticationFailure):
+            host_b.crash_and_restart()

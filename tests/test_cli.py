@@ -1,0 +1,40 @@
+"""CLI: argument parsing and end-to-end subcommand runs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_only_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "fig99"])
+
+    def test_attack_kind_default(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.kind == "rollback"
+
+
+class TestSubcommands:
+    @pytest.mark.parametrize("kind", ["rollback", "fork", "replay"])
+    def test_attack_detects(self, kind, capsys):
+        assert main(["attack", "--kind", kind]) == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+    def test_cluster_verifies(self, capsys):
+        assert main(["cluster", "--clients", "3", "--ops", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fork-linearizable" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--only", "sec63"]) == 0
+        out = capsys.readouterr().out
+        assert "sec63" in out and "paper" in out
+
+    def test_figures_fast_fig4(self, capsys):
+        assert main(["figures", "--only", "fig4", "--duration", "0.2"]) == 0
+        assert "fig4" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Exception hierarchy: the contracts attack handlers rely on."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.AuthenticationFailure,
+            errors.RollbackDetected,
+            errors.ForkDetected,
+            errors.ReplayDetected,
+            errors.AttestationFailure,
+            errors.InvalidReply,
+            errors.StaleSequenceNumber,
+            errors.SealingError,
+        ],
+    )
+    def test_attack_classes_are_security_violations(self, exc):
+        assert issubclass(exc, errors.SecurityViolation)
+        assert issubclass(exc, errors.LCMError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.EnclaveError,
+            errors.StorageError,
+            errors.MigrationError,
+            errors.MembershipError,
+            errors.SimulationError,
+        ],
+    )
+    def test_operational_classes_are_not_security_violations(self, exc):
+        assert issubclass(exc, errors.LCMError)
+        assert not issubclass(exc, errors.SecurityViolation)
+
+    def test_enclave_stopped_is_enclave_error(self):
+        assert issubclass(errors.EnclaveStopped, errors.EnclaveError)
+
+    def test_catching_security_violation_covers_all_detections(self):
+        """Application code that catches SecurityViolation sees every
+        attack class — the pattern all examples use."""
+        for exc in (
+            errors.RollbackDetected,
+            errors.ForkDetected,
+            errors.ReplayDetected,
+            errors.AuthenticationFailure,
+        ):
+            with pytest.raises(errors.SecurityViolation):
+                raise exc("detected")
+
+    def test_serde_error_is_lcm_error(self):
+        from repro.serde import SerdeError
+
+        assert issubclass(SerdeError, errors.LCMError)

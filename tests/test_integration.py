@@ -1,0 +1,200 @@
+"""End-to-end integration: real protocol runs validated by the checkers.
+
+These tests close the loop the paper argues informally: executions produced
+by LCM — honest, crashed, even actively forked — are fork-linearizable, as
+verified by the offline checker over the enclave audit logs and the
+clients' final (t, h) observations.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency import check_fork_linearizable, views_from_audit_logs
+from repro.consistency.history import History
+from repro.consistency.linearizability import is_linearizable
+from repro.core.hashchain import ChainPoint, verify_audit_chain
+from repro.kvstore import KvsFunctionality, delete, get, put
+from repro.workload import WORKLOAD_A, WorkloadGenerator
+
+from tests.conftest import build_deployment
+
+
+def run_and_check(host, clients, operations_per_client=6, seed=11):
+    """Drive a random interleaving, then verify fork-linearizability."""
+    rng = random.Random(seed)
+    history = History()
+    plan = [
+        client
+        for client in clients
+        for _ in range(operations_per_client)
+    ]
+    rng.shuffle(plan)
+    for step, client in enumerate(plan):
+        if rng.random() < 0.5:
+            operation = put(f"key-{rng.randrange(5)}", f"value-{step}")
+        else:
+            operation = get(f"key-{rng.randrange(5)}")
+        token = history.invoke(client.client_id, operation)
+        result = client.invoke(operation)
+        history.respond(token, result.result, sequence=result.sequence)
+    return finish_check(host, clients, history)
+
+
+def finish_check(host, clients, history):
+    logs = [host.enclave.ecall("export_audit_log", None)]
+    points = {
+        client.client_id: ChainPoint(client.last_sequence, client.last_chain)
+        for client in clients
+    }
+    lookup = {
+        (record.client_id, record.sequence): record
+        for record in history.records()
+        if record.sequence is not None
+    }
+    views = views_from_audit_logs(logs, points, lookup)
+    own = {
+        client.client_id: history.by_client(client.client_id)
+        for client in clients
+    }
+    return check_fork_linearizable(
+        views, KvsFunctionality(), own_operations=own
+    )
+
+
+class TestHonestExecutions:
+    def test_random_interleaving_is_fork_linearizable(self):
+        host, _, clients = build_deployment(audit=True)
+        tree = run_and_check(host, clients)
+        assert tree.fork_points() == []
+
+    def test_sequential_history_is_linearizable(self):
+        """LCM histories are sequential at T, so the plain linearizability
+        checker accepts the recorded global history outright."""
+        host, _, (alice, bob, _) = build_deployment()
+        history = History()
+        for client, operation in [
+            (alice, put("x", "1")),
+            (bob, put("y", "2")),
+            (alice, get("y")),
+            (bob, delete("x")),
+            (alice, get("x")),
+        ]:
+            token = history.invoke(client.client_id, operation)
+            result = client.invoke(operation)
+            history.respond(token, result.result, sequence=result.sequence)
+        assert is_linearizable(history.records(), KvsFunctionality())
+
+    def test_audit_log_chain_is_valid(self):
+        host, _, clients = build_deployment(audit=True)
+        for client in clients:
+            client.invoke(put(f"k{client.client_id}", "v"))
+        verify_audit_chain(host.enclave.ecall("export_audit_log", None))
+
+    def test_stability_eventually_covers_everything(self):
+        """With a correct server and all clients periodically invoking,
+        every operation becomes stable (Sec. 4.5)."""
+        host, _, clients = build_deployment()
+        sequences = [
+            client.invoke(put(f"k{client.client_id}", "v")).sequence
+            for client in clients
+        ]
+        for _ in range(3):
+            for client in clients:
+                client.poll_stability()
+        for client, sequence in zip(clients, sequences):
+            assert client.is_stable(sequence)
+
+    def test_ycsb_workload_end_to_end(self):
+        """A miniature YCSB-A run through the full LCM stack."""
+        host, _, (alice, bob, carol) = build_deployment(audit=True)
+        workload = WORKLOAD_A.with_params(record_count=20, value_size=32)
+        generator = WorkloadGenerator(workload, seed=3)
+        # load phase by alice
+        for operation in generator.load_operations()[:20]:
+            alice.invoke(operation)
+        # run phase round-robin
+        clients = [alice, bob, carol]
+        for index, operation in enumerate(generator.operations(30)):
+            clients[index % 3].invoke(operation)
+        log = host.enclave.ecall("export_audit_log", None)
+        verify_audit_chain(log)
+        assert len(log) == 50
+
+
+class TestForkedExecutions:
+    def test_forked_execution_is_fork_linearizable(self):
+        """Even under an active forking attack, the views presented to the
+        partitioned clients satisfy fork-linearizability — the guarantee is
+        about detectable *joins*, not about preventing the fork."""
+        host, _, (alice, bob, carol) = build_deployment(
+            malicious=True, audit=True
+        )
+        history = History()
+
+        def tracked(client, operation):
+            token = history.invoke(client.client_id, operation)
+            result = client.invoke(operation)
+            history.respond(token, result.result, sequence=result.sequence)
+
+        tracked(alice, put("k", "base"))
+        tracked(bob, get("k"))
+        tracked(carol, get("k"))
+        base_log = list(host.instances[0].enclave._program.audit_log)
+        fork = host.fork()
+        host.route_client(3, fork)  # carol on the fork
+        tracked(alice, put("k", "main-1"))
+        tracked(carol, put("k", "fork-1"))
+        tracked(bob, get("k"))
+        tracked(carol, get("k"))
+
+        main_log = host.instances[0].enclave.ecall("export_audit_log", None)
+        fork_suffix = host.instances[1].enclave.ecall("export_audit_log", None)
+        fork_log = base_log + fork_suffix  # global observer's reconstruction
+        points = {
+            client.client_id: ChainPoint(client.last_sequence, client.last_chain)
+            for client in (alice, bob, carol)
+        }
+        lookup = {
+            (r.client_id, r.sequence): r
+            for r in history.records()
+            if r.sequence is not None
+        }
+        views = views_from_audit_logs([main_log, fork_log], points, lookup)
+        tree = check_fork_linearizable(views, KvsFunctionality())
+        assert tree.fork_points() != []
+
+    def test_fabricated_view_rejected(self):
+        """A chain point that lies on no enclave log means the server
+        invented history — impossible without breaking the TEE."""
+        host, _, (alice, *_) = build_deployment(malicious=True, audit=True)
+        alice.invoke(put("k", "v"))
+        log = host.enclave.ecall("export_audit_log", None)
+        from repro.errors import SecurityViolation
+
+        with pytest.raises(SecurityViolation):
+            views_from_audit_logs(
+                [log], {1: ChainPoint(1, b"\xab" * 32)}, {}
+            )
+
+
+class TestCrashRecoveryIntegration:
+    def test_interleaved_crashes_preserve_consistency(self):
+        host, _, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "1"))
+        host.reboot()
+        bob.invoke(put("k", "2"))
+        host.reboot()
+        result = alice.invoke(get("k"))
+        assert result.result == "2"
+        assert result.sequence == 3
+
+    def test_client_and_server_crash_together(self):
+        from repro.core.client import LcmClient
+
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        checkpoint = alice.checkpoint()
+        host.reboot()
+        revived = LcmClient.recover(1, deployment.communication_key, host, checkpoint)
+        assert revived.invoke(get("k")).result == "v"

@@ -1,0 +1,102 @@
+"""Dynamic group membership (Sec. 4.6.3): joins, removals, key rotation."""
+
+import pytest
+
+from repro.errors import MembershipError, SecurityViolation
+from repro.core.membership import add_client, remove_client
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+class TestJoin:
+    def test_new_client_can_operate(self):
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        dave = add_client(deployment, host, 4, host)
+        assert dave.invoke(get("k")).result == "v"
+
+    def test_new_client_starts_from_zero_context(self):
+        host, deployment, _ = build_deployment()
+        dave = add_client(deployment, host, 4, host)
+        result = dave.invoke(put("dave", "here"))
+        assert result.sequence >= 1
+        assert dave.last_sequence == result.sequence
+
+    def test_duplicate_join_rejected(self):
+        host, deployment, _ = build_deployment()
+        with pytest.raises(MembershipError):
+            add_client(deployment, host, 1, host)
+
+    def test_join_grows_the_stability_quorum(self):
+        """Stability quorum follows |V|: after a join, a majority needs
+        more acknowledgements."""
+        host, deployment, (alice, bob, carol) = build_deployment()
+        for client in (alice, bob, carol):
+            client.invoke(put(f"init-{client.client_id}", "x"))
+        add_client(deployment, host, 4, host)
+        status = host.enclave.ecall("status", None)
+        assert status["clients"] == [1, 2, 3, 4]
+
+
+class TestRemoval:
+    def test_removed_client_locked_out(self):
+        host, deployment, (alice, bob, carol) = build_deployment()
+        alice.invoke(put("k", "v"))
+        remove_client(deployment, host, 3)
+        # carol still holds the old kC: her messages no longer authenticate
+        with pytest.raises(SecurityViolation):
+            carol.invoke(get("k"))
+
+    def test_remaining_clients_rekeyed_transparently(self):
+        host, deployment, (alice, bob, carol) = build_deployment()
+        alice.invoke(put("k", "v"))
+        remove_client(deployment, host, 3)
+        assert alice.invoke(get("k")).result == "v"
+        assert bob.invoke(get("k")).result == "v"
+
+    def test_context_preserved_across_rekey(self):
+        host, deployment, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v1"))
+        remove_client(deployment, host, 3)
+        result = alice.invoke(put("k", "v2"))
+        assert result.result == "v1"
+        assert result.sequence == 2
+
+    def test_removing_unknown_client_rejected(self):
+        host, deployment, _ = build_deployment()
+        with pytest.raises(MembershipError):
+            remove_client(deployment, host, 42)
+
+    def test_removal_shrinks_quorum(self):
+        """With a client removed, majority-stability needs only the two
+        remaining clients' acknowledgements — the departed third can no
+        longer hold stability back."""
+        host, deployment, (alice, bob, carol) = build_deployment()
+        remove_client(deployment, host, 3)
+        r = alice.invoke(put("a", "1"))
+        bob.invoke(put("b", "2"))
+        alice.poll_stability()  # alice acknowledges r
+        bob.poll_stability()    # bob acknowledges past r -> q >= r
+        alice.poll_stability()  # alice learns q
+        assert alice.is_stable(r.sequence)
+
+
+class TestChurn:
+    def test_join_then_remove_then_rejoin(self):
+        host, deployment, (alice, *_) = build_deployment()
+        dave = add_client(deployment, host, 4, host)
+        dave.invoke(put("d", "1"))
+        remove_client(deployment, host, 4)
+        with pytest.raises(SecurityViolation):
+            dave.invoke(get("d"))
+        # rejoin under a fresh identity object (new kC distributed)
+        dave2 = add_client(deployment, host, 4, host)
+        assert dave2.invoke(get("d")).result == "1"
+
+    def test_membership_survives_reboot(self):
+        host, deployment, (alice, *_) = build_deployment()
+        dave = add_client(deployment, host, 4, host)
+        dave.invoke(put("d", "1"))
+        host.reboot()
+        assert dave.invoke(get("d")).result == "1"

@@ -1,0 +1,143 @@
+"""Extended migration scenarios: chains, interplay with membership/crashes."""
+
+import pytest
+
+from repro.crypto.attestation import EpidGroup
+from repro.core import Admin, make_lcm_program_factory, migrate
+from repro.core.membership import add_client, remove_client
+from repro.errors import SecurityViolation
+from repro.kvstore import KvsFunctionality, get, put
+from repro.server import ServerHost
+from repro.tee import TeePlatform
+
+
+def fresh_stack(group, factory):
+    return ServerHost(TeePlatform(group), factory)
+
+
+@pytest.fixture
+def stack():
+    group = EpidGroup()
+    factory = make_lcm_program_factory(KvsFunctionality)
+    origin = fresh_stack(group, factory)
+    admin = Admin(group.verifier(), TeePlatform.expected_measurement(factory))
+    deployment = admin.bootstrap(origin, client_ids=[1, 2])
+    clients = deployment.make_all_clients(origin)
+    return group, factory, origin, deployment, clients
+
+
+class TestMigrationChains:
+    def test_migrate_twice(self, stack):
+        group, factory, origin, deployment, (alice, bob) = stack
+        alice.invoke(put("k", "v"))
+        hop1 = fresh_stack(group, factory)
+        migrate(origin, hop1, group.verifier())
+        alice._transport = hop1
+        bob._transport = hop1
+        alice.invoke(put("k", "v2"))
+        hop2 = fresh_stack(group, factory)
+        migrate(hop1, hop2, group.verifier())
+        alice._transport = hop2
+        bob._transport = hop2
+        result = bob.invoke(get("k"))
+        assert result.result == "v2"
+        assert result.sequence == 3
+
+    def test_each_hop_reseals_under_its_platform(self, stack):
+        group, factory, origin, _, (alice, _) = stack
+        alice.invoke(put("k", "v"))
+        hop1 = fresh_stack(group, factory)
+        migrate(origin, hop1, group.verifier())
+        hop2 = fresh_stack(group, factory)
+        migrate(hop1, hop2, group.verifier())
+        hop2.reboot()  # must recover from its own sealed blob
+        alice._transport = hop2
+        assert alice.invoke(get("k")).result == "v"
+
+    def test_old_hops_all_dead(self, stack):
+        group, factory, origin, _, (alice, _) = stack
+        alice.invoke(put("k", "v"))
+        hop1 = fresh_stack(group, factory)
+        migrate(origin, hop1, group.verifier())
+        hop2 = fresh_stack(group, factory)
+        migrate(hop1, hop2, group.verifier())
+        for dead in (origin, hop1):
+            alice._transport = dead
+            with pytest.raises(SecurityViolation):
+                alice.invoke(get("k"))
+
+
+class TestMigrationMembershipInterplay:
+    def test_member_added_before_migration_works_after(self, stack):
+        group, factory, origin, deployment, (alice, _) = stack
+        alice.invoke(put("k", "v"))
+        carol = add_client(deployment, origin, 3, origin)
+        carol.invoke(get("k"))
+        target = fresh_stack(group, factory)
+        migrate(origin, target, group.verifier())
+        carol._transport = target
+        assert carol.invoke(get("k")).result == "v"
+
+    def test_membership_changes_continue_after_migration(self, stack):
+        group, factory, origin, deployment, (alice, bob) = stack
+        alice.invoke(put("k", "v"))
+        target = fresh_stack(group, factory)
+        migrate(origin, target, group.verifier())
+        alice._transport = target
+        bob._transport = target
+        carol = add_client(deployment, target, 3, target)
+        assert carol.invoke(get("k")).result == "v"
+        remove_client(deployment, target, 3)
+        with pytest.raises(SecurityViolation):
+            carol.invoke(get("k"))
+        assert alice.invoke(get("k")).result == "v"
+
+    def test_removed_client_stays_removed_after_migration(self, stack):
+        group, factory, origin, deployment, (alice, bob) = stack
+        alice.invoke(put("k", "v"))
+        remove_client(deployment, origin, 2)
+        target = fresh_stack(group, factory)
+        migrate(origin, target, group.verifier())
+        alice._transport = target
+        bob._transport = target
+        assert alice.invoke(get("k")).result == "v"
+        with pytest.raises(SecurityViolation):
+            bob.invoke(get("k"))
+
+
+class TestMigrationCrashes:
+    def test_target_crash_after_migration_recovers(self, stack):
+        group, factory, origin, _, (alice, _) = stack
+        alice.invoke(put("k", "v"))
+        target = fresh_stack(group, factory)
+        migrate(origin, target, group.verifier())
+        target.reboot()
+        target.reboot()
+        alice._transport = target
+        assert alice.invoke(get("k")).result == "v"
+
+    def test_retry_extension_still_works_on_target(self, stack):
+        from repro.core.client import LcmClient, TransportTimeout
+
+        group, factory, origin, deployment, (alice, _) = stack
+        alice.invoke(put("k", "v"))
+        target = fresh_stack(group, factory)
+        migrate(origin, target, group.verifier())
+
+        class CrashAfterStore:
+            def __init__(self):
+                self.crashed = False
+
+            def send_invoke(self, client_id, message):
+                reply = target.send_invoke(client_id, message)
+                if not self.crashed:
+                    self.crashed = True
+                    target.reboot()
+                    raise TransportTimeout("lost in crash")
+                return reply
+
+        client = LcmClient.recover(
+            1, deployment.communication_key, CrashAfterStore(), alice.checkpoint()
+        )
+        result = client.invoke(put("k", "v2"))
+        assert result.result == "v"  # original PUT result, not re-executed

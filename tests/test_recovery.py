@@ -1,0 +1,165 @@
+"""Crash tolerance (Sec. 4.4, 4.6.1): reboots, lost replies, retries."""
+
+import pytest
+
+from repro import serde
+from repro.core.client import LcmClient, TransportTimeout
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.kvstore import get, put
+
+from tests.conftest import build_deployment
+
+
+class TestRebootRecovery:
+    def test_state_survives_reboot(self):
+        host, _, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v"))
+        host.reboot()
+        assert bob.invoke(get("k")).result == "v"
+
+    def test_sequence_numbers_continue_after_reboot(self):
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("a", "1"))
+        alice.invoke(put("b", "2"))
+        host.reboot()
+        assert alice.invoke(get("a")).sequence == 3
+
+    def test_chain_continuity_across_reboot(self):
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("a", "1"))
+        chain_before = alice.last_chain
+        host.reboot()
+        alice.invoke(get("a"))
+        assert alice.last_chain != chain_before  # advanced, not reset
+
+    def test_many_reboots(self):
+        host, _, (alice, *_) = build_deployment()
+        for round_number in range(5):
+            alice.invoke(put("counter", str(round_number)))
+            host.reboot()
+        assert alice.invoke(get("counter")).result == "4"
+
+    def test_reboot_before_any_operation(self):
+        host, _, (alice, *_) = build_deployment()
+        host.reboot()
+        assert alice.invoke(put("k", "v")).sequence == 1
+
+
+class TestRetryExtension:
+    """Sec. 4.6.1's two crash cases, driven through a crashing transport."""
+
+    def test_crash_before_store_reprocesses_operation(self):
+        """T crashes before the store completes: the retry finds V
+        unchanged and the operation is executed normally."""
+        host, deployment, (alice, *_) = build_deployment()
+
+        class CrashBeforeStore:
+            def __init__(self):
+                self.crashed = False
+
+            def send_invoke(self, client_id, message):
+                if not self.crashed:
+                    self.crashed = True
+                    # the INVOKE never reaches T; the server crashes and
+                    # restarts, losing the message entirely.
+                    host.reboot()
+                    raise TransportTimeout("server crashed mid-request")
+                return host.send_invoke(client_id, message)
+
+        client = LcmClient(1, deployment.communication_key, CrashBeforeStore())
+        result = client.invoke(put("k", "v"))
+        assert result.sequence == 1
+        assert client.invoke(get("k")).result == "v"
+
+    def test_crash_after_store_resends_recorded_reply(self):
+        """T crashes after storing but before the REPLY reaches the client:
+        the retry-marked resend gets the recorded result from V instead of
+        being flagged as a rollback."""
+        host, deployment, (alice, *_) = build_deployment()
+
+        class CrashAfterStore:
+            def __init__(self):
+                self.crashed = False
+                self.deliveries = 0
+
+            def send_invoke(self, client_id, message):
+                self.deliveries += 1
+                reply = host.send_invoke(client_id, message)  # T processed it
+                if not self.crashed:
+                    self.crashed = True
+                    host.reboot()
+                    raise TransportTimeout("reply lost in crash")
+                return reply
+
+        transport = CrashAfterStore()
+        client = LcmClient(1, deployment.communication_key, transport)
+        result = client.invoke(put("k", "unique-value"))
+        assert result.sequence == 1
+        assert transport.deliveries == 2
+        # the state was applied exactly once
+        assert client.invoke(get("k")).result == "unique-value"
+        assert client.last_sequence == 2
+
+    def test_retry_reply_reproduces_original_result(self):
+        """The stored-result path must return the *original* result, not
+        re-execute the operation (which could differ for non-idempotent
+        ops like PUT returning the previous value)."""
+        host, deployment, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "first"))
+
+        class CrashAfterStore:
+            def __init__(self):
+                self.crashed = False
+
+            def send_invoke(self, client_id, message):
+                reply = host.send_invoke(client_id, message)
+                if not self.crashed:
+                    self.crashed = True
+                    raise TransportTimeout("lost")
+                return reply
+
+        client = LcmClient.recover(
+            1, deployment.communication_key, CrashAfterStore(), alice.checkpoint()
+        )
+        result = client.invoke(put("k", "second"))
+        # PUT returns the previous value; re-execution would return "second"
+        assert result.result == "first"
+
+    def test_unmarked_duplicate_is_still_replay(self):
+        """Only retry-marked resends take the recorded-reply path; a
+        malicious duplicate without the marker halts T."""
+        host, deployment, (alice, *_) = build_deployment()
+        operation = serde.encode(["PUT", "k", "v"])
+        payload = InvokePayload(
+            client_id=1,
+            last_sequence=0,
+            last_chain=alice.last_chain,
+            operation=operation,
+            retry=False,
+        )
+        message = payload.seal(deployment.communication_key)
+        host.send_invoke(1, message)
+        from repro.errors import ReplayDetected
+
+        with pytest.raises(ReplayDetected):
+            host.send_invoke(1, message)
+
+    def test_retry_marked_duplicate_returns_same_reply(self):
+        host, deployment, (alice, *_) = build_deployment()
+        operation = serde.encode(["PUT", "k", "v"])
+        marked = InvokePayload(
+            client_id=1,
+            last_sequence=0,
+            last_chain=alice.last_chain,
+            operation=operation,
+            retry=True,
+        ).seal(deployment.communication_key)
+        first = ReplyPayload.unseal(
+            host.send_invoke(1, marked), deployment.communication_key
+        )
+        second = ReplyPayload.unseal(
+            host.send_invoke(1, marked), deployment.communication_key
+        )
+        assert first.sequence == second.sequence
+        assert first.result == second.result
+        assert first.chain == second.chain

@@ -1,0 +1,90 @@
+"""Canonical serialization: round trips, injectivity, malformed input."""
+
+import pytest
+
+from repro import serde
+from repro.serde import SerdeError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**100,
+            -(2**100),
+            b"",
+            b"\x00\xff" * 10,
+            "",
+            "hello",
+            "unicode: éè中文",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", [1, [2]]],
+            {},
+            {"a": 1, "b": [2, 3]},
+            {1: "one", "two": 2},
+            {"nested": {"deep": {"deeper": [b"bytes"]}}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert serde.decode(serde.encode(value)) == value
+
+    def test_tuples_decode_as_lists(self):
+        assert serde.decode(serde.encode((1, 2))) == [1, 2]
+
+    def test_dict_key_order_canonical(self):
+        a = serde.encode({"x": 1, "y": 2})
+        b = serde.encode({"y": 2, "x": 1})
+        assert a == b
+
+
+class TestInjectivity:
+    def test_bytes_vs_str(self):
+        assert serde.encode(b"abc") != serde.encode("abc")
+
+    def test_boundary_shifting(self):
+        assert serde.encode([b"ab", b"c"]) != serde.encode([b"a", b"bc"])
+
+    def test_int_vs_bool(self):
+        assert serde.encode(1) != serde.encode(True)
+        assert serde.encode(0) != serde.encode(False)
+
+    def test_empty_containers_distinct(self):
+        assert serde.encode([]) != serde.encode({})
+        assert serde.encode(None) != serde.encode([])
+
+    def test_nested_structure_distinct(self):
+        assert serde.encode([[1], 2]) != serde.encode([1, [2]])
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(SerdeError):
+            serde.encode(object())
+
+    def test_float_rejected(self):
+        with pytest.raises(SerdeError):
+            serde.encode(1.5)
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerdeError):
+            serde.decode(b"Zjunk")
+
+    def test_truncated(self):
+        encoded = serde.encode([1, 2, 3])
+        with pytest.raises(SerdeError):
+            serde.decode(encoded[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerdeError):
+            serde.decode(serde.encode(1) + b"x")
+
+    def test_empty_input(self):
+        with pytest.raises(SerdeError):
+            serde.decode(b"")

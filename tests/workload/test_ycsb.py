@@ -1,0 +1,115 @@
+"""YCSB workloads: presets, mixes, record geometry, determinism."""
+
+import collections
+
+import pytest
+
+from repro.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    Workload,
+    WorkloadGenerator,
+)
+
+
+class TestPresets:
+    def test_workload_a_is_50_50(self):
+        assert WORKLOAD_A.read_proportion == 0.5
+        assert WORKLOAD_A.update_proportion == 0.5
+
+    def test_workload_c_read_only(self):
+        assert WORKLOAD_C.read_proportion == 1.0
+
+    def test_paper_geometry_defaults(self):
+        # Sec. 6.1: 1000 objects, 40-byte keys, 100-byte values
+        assert WORKLOAD_A.record_count == 1000
+        assert WORKLOAD_A.key_size == 40
+        assert WORKLOAD_A.value_size == 100
+
+    def test_with_params_derives_variant(self):
+        variant = WORKLOAD_A.with_params(value_size=2500)
+        assert variant.value_size == 2500
+        assert WORKLOAD_A.value_size == 100  # original untouched
+
+
+class TestRecords:
+    def test_key_size_exact(self):
+        gen = WorkloadGenerator(WORKLOAD_A, seed=1)
+        assert len(gen.key_for(0)) == 40
+        assert len(gen.key_for(999)) == 40
+
+    def test_keys_unique(self):
+        gen = WorkloadGenerator(WORKLOAD_A, seed=1)
+        keys = {gen.key_for(rank) for rank in range(1000)}
+        assert len(keys) == 1000
+
+    def test_value_size_exact(self):
+        for size in (100, 2500):
+            gen = WorkloadGenerator(WORKLOAD_A.with_params(value_size=size), seed=1)
+            assert len(gen.value()) == size
+
+    def test_load_phase_covers_all_records(self):
+        gen = WorkloadGenerator(WORKLOAD_A, seed=1)
+        load = gen.load_operations()
+        assert len(load) == 1000
+        assert all(op[0] == "PUT" for op in load)
+
+
+class TestOperationStream:
+    def test_mix_close_to_50_50(self):
+        gen = WorkloadGenerator(WORKLOAD_A, seed=2)
+        verbs = collections.Counter(op[0] for op in gen.operations(4000))
+        assert verbs["GET"] / 4000 == pytest.approx(0.5, abs=0.05)
+        assert verbs["PUT"] / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_read_heavy_workload_b(self):
+        gen = WorkloadGenerator(WORKLOAD_B, seed=2)
+        verbs = collections.Counter(op[0] for op in gen.operations(4000))
+        assert verbs["GET"] / 4000 == pytest.approx(0.95, abs=0.03)
+
+    def test_scan_workload_expands_to_gets(self):
+        gen = WorkloadGenerator(WORKLOAD_E, seed=3)
+        operations = gen.operations(500)
+        assert all(op[0] in ("GET", "PUT") for op in operations)
+        assert sum(1 for op in operations if op[0] == "GET") > 400
+
+    def test_rmw_workload_pairs_get_put(self):
+        gen = WorkloadGenerator(WORKLOAD_F, seed=4)
+        batch = gen.next_operations()
+        while len(batch) == 1:
+            batch = gen.next_operations()
+        assert batch[0][0] == "GET"
+        assert batch[1][0] == "PUT"
+        assert batch[0][1] == batch[1][1]  # same key
+
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(WORKLOAD_A, seed=7).operations(100)
+        b = WorkloadGenerator(WORKLOAD_A, seed=7).operations(100)
+        assert a == b
+
+    def test_operations_exact_count(self):
+        gen = WorkloadGenerator(WORKLOAD_E, seed=1)
+        assert len(gen.operations(123)) == 123
+
+    def test_keys_stay_in_record_space(self):
+        gen = WorkloadGenerator(WORKLOAD_A, seed=5)
+        valid_keys = {gen.key_for(rank) for rank in range(1000)}
+        for op in gen.operations(500):
+            assert op[1] in valid_keys
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(WORKLOAD_A.with_params(distribution="exotic"))
+
+    def test_insert_workload_grows_keyspace(self):
+        workload = Workload(
+            "insert-heavy", read_proportion=0.0, update_proportion=0.0,
+            insert_proportion=1.0, record_count=10,
+        )
+        gen = WorkloadGenerator(workload, seed=6)
+        operations = gen.operations(5)
+        inserted_keys = {op[1] for op in operations}
+        assert len(inserted_keys) == 5

@@ -1,0 +1,83 @@
+"""Zipfian choosers: determinism, bounds, skew, scrambling."""
+
+import collections
+
+import pytest
+
+from repro.workload.zipf import (
+    ScrambledZipfian,
+    UniformChooser,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestZipfianGenerator:
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, seed=1)
+        for _ in range(1000):
+            assert 0 <= gen.next() < 100
+
+    def test_deterministic_per_seed(self):
+        a = ZipfianGenerator(100, seed=5)
+        b = ZipfianGenerator(100, seed=5)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_skew_favours_low_ranks(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        top_ten = sum(counts[rank] for rank in range(10))
+        # with theta=0.99 the top-10 ranks draw a large share of requests
+        assert top_ten / 20_000 > 0.25
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=3)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        assert counts[0] == max(counts.values())
+
+    def test_single_item(self):
+        gen = ZipfianGenerator(1, seed=4)
+        assert all(gen.next() == 0 for _ in range(20))
+
+    def test_invalid_items_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+
+class TestScrambledZipfian:
+    def test_values_in_range(self):
+        gen = ScrambledZipfian(100, seed=1)
+        for _ in range(1000):
+            assert 0 <= gen.next() < 100
+
+    def test_hot_keys_spread_across_keyspace(self):
+        gen = ScrambledZipfian(1000, seed=2)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        hottest = [key for key, _ in counts.most_common(5)]
+        # scrambling must not leave all hot keys clustered at low ids
+        assert max(hottest) > 100
+
+    def test_still_skewed_after_scrambling(self):
+        gen = ScrambledZipfian(1000, seed=3)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        top_share = counts.most_common(1)[0][1] / 20_000
+        assert top_share > 0.05
+
+
+class TestUniformChooser:
+    def test_values_in_range(self):
+        gen = UniformChooser(50, seed=1)
+        for _ in range(500):
+            assert 0 <= gen.next() < 50
+
+    def test_roughly_uniform(self):
+        gen = UniformChooser(10, seed=2)
+        counts = collections.Counter(gen.next() for _ in range(10_000))
+        assert min(counts.values()) > 700
+        assert max(counts.values()) < 1300
+
+
+def test_fnv_hash_deterministic_and_spreading():
+    assert fnv1a_64(1) == fnv1a_64(1)
+    assert fnv1a_64(1) != fnv1a_64(2)
+    assert fnv1a_64(123456) < 2**64
