@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Run the protocol microbenchmarks and write ``BENCH_micro.json``.
+
+Gives every PR a comparable perf trajectory: run from the repo root as
+
+    PYTHONPATH=src python benchmarks/run_micro.py [--output BENCH_micro.json]
+
+Preferred path: pytest-benchmark, whose full stats JSON is written
+verbatim (plus a compact ``summary`` section).  If pytest-benchmark is
+not installed, a minimal best-of-N timer fallback measures the same
+scenarios directly so the file is always produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = "benchmarks/bench_protocol_micro.py"
+
+
+def _summarize(benchmarks: list[dict]) -> dict:
+    return {
+        bench["name"]: {
+            "median_us": round(bench["stats"]["median"] * 1e6, 2),
+            "mean_us": round(bench["stats"]["mean"] * 1e6, 2),
+            "min_us": round(bench["stats"]["min"] * 1e6, 2),
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in benchmarks
+    }
+
+
+def run_with_pytest_benchmark() -> dict | None:
+    """Run under pytest-benchmark; returns its JSON document or None."""
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            "-q",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit("microbenchmark run failed")
+    with open(json_path) as handle:
+        document = json.load(handle)
+    document["summary"] = _summarize(document["benchmarks"])
+    document["runner"] = "pytest-benchmark"
+    return document
+
+
+def run_with_timer_fallback() -> dict:
+    """Best-of-N timeit over the same scenarios, no plugins required."""
+    import timeit
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from tests.conftest import build_deployment
+    from repro import serde
+    from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+    from repro.crypto.hashing import GENESIS_HASH, chain_extend
+    from repro.kvstore import get, put
+
+    key = AeadKey(b"\x01" * 16)
+    payload_2500 = b"x" * 2500
+    _, _, (alice, *_) = build_deployment()
+    alice.invoke(put("k", "v" * 100))
+    state = {f"user{i:012d}": "v" * 100 for i in range(100)}
+    operation = serde.encode(["PUT", "k" * 40, "v" * 100])
+
+    scenarios = {
+        "test_micro_aead_encrypt_100b": lambda: auth_encrypt(b"x" * 100, key),
+        "test_micro_aead_round_trip_2500b": lambda: auth_decrypt(
+            auth_encrypt(payload_2500, key), key
+        ),
+        "test_micro_hash_chain_extend": lambda: chain_extend(
+            GENESIS_HASH, operation, 1, 1
+        ),
+        "test_micro_serde_encode_state": lambda: serde.encode(state),
+        "test_micro_full_invoke_round_trip": lambda: alice.invoke(get("k")),
+    }
+    summary = {}
+    for name, fn in scenarios.items():
+        fn()  # warm caches the way the pytest fixtures would
+        number = 200
+        best = min(timeit.repeat(fn, number=number, repeat=5)) / number
+        summary[name] = {"best_us": round(best * 1e6, 2), "iterations": number}
+    return {"runner": "timer-fallback", "summary": summary}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_micro.json"),
+        help="where to write the results (default: repo root)",
+    )
+    args = parser.parse_args()
+    document = run_with_pytest_benchmark()
+    if document is None:
+        document = run_with_timer_fallback()
+    document.setdefault("machine_info", {}).setdefault(
+        "python", platform.python_version()
+    )
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, stats in sorted(document["summary"].items()):
+        print(f"  {name}: {stats}")
+
+
+if __name__ == "__main__":
+    main()

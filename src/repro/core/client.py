@@ -22,7 +22,7 @@ before store) or re-sends the stored reply (crash after store).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Protocol
 
 from repro import serde
@@ -38,15 +38,42 @@ class TransportTimeout(LCMError):
     """The transport gave up waiting for a REPLY (crash / lost message)."""
 
 
+#: Canonical bytes of recently invoked operations.  Only tuples whose
+#: elements are all str/bytes are memoized: those types are unambiguous as
+#: dict keys, whereas e.g. ``True`` and ``1`` compare equal but encode
+#: differently.  Cleared wholesale when full.
+_OP_ENCODE_CACHE: dict[tuple, bytes] = {}
+_OP_ENCODE_CACHE_MAX = 512
+
+
+def _encode_operation(operation: Any) -> bytes:
+    if type(operation) is tuple and all(
+        type(item) in (str, bytes) for item in operation
+    ):
+        cached = _OP_ENCODE_CACHE.get(operation)
+        if cached is None:
+            cached = serde.encode(operation)
+            if len(_OP_ENCODE_CACHE) >= _OP_ENCODE_CACHE_MAX:
+                _OP_ENCODE_CACHE.clear()
+            _OP_ENCODE_CACHE[operation] = cached
+        return cached
+    return serde.encode(operation)  # tuples encode as lists
+
+
 class Transport(Protocol):
     """How a client reaches the server (Fig. 2's message path)."""
 
     def send_invoke(self, client_id: int, message: bytes) -> bytes: ...
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class LcmResult:
-    """The response event of Alg. 1: ``(r, t, q)``."""
+    """The response event of Alg. 1: ``(r, t, q)``.
+
+    Slots (not frozen) keep construction cheap on the hot path; treat
+    instances as immutable.  ``unsafe_hash`` preserves the seed's
+    hashability (like the seed, hashing raises for unhashable results).
+    """
 
     result: Any
     sequence: int
@@ -108,9 +135,7 @@ class LcmClient:
         :class:`TransportTimeout` if the server stayed unreachable through
         all retry attempts.
         """
-        operation_bytes = serde.encode(
-            list(operation) if isinstance(operation, tuple) else operation
-        )
+        operation_bytes = _encode_operation(operation)
         attempts = 0
         retry = False
         while True:

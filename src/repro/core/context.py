@@ -29,6 +29,63 @@ Extensions implemented:
 
 Once any verification fails the context **halts permanently** (the
 pseudocode's ``assert``): every later ecall raises the recorded violation.
+
+Sealed-blob layout (static/dynamic split, incremental sealing)
+--------------------------------------------------------------
+
+The stored blob is ``serde([key_blob, static_blob, dynamic_blob])``:
+
+``key_blob``
+    ``kP`` sealed under the platform sealing key ``kS`` — recomputed only
+    when ``kP`` or ``kS`` changes (provision, migration import, restore).
+``static_blob``
+    ``(kC, kA, quorum)`` sealed under ``kP`` — configuration that changes
+    only on provision, membership change, key rotation or migration, so
+    the per-operation seal reuses the cached box instead of re-encrypting
+    and re-serializing it.
+``dynamic_blob``
+    ``serde([state_box, {client_id: row_record}, manifest_tag])`` — the
+    mutable state, sealed *incrementally*; a section is regenerated only
+    when it changed since the last seal.
+
+    ``state_box`` is ``s`` stream-encrypted under ``kP``
+    (:func:`~repro.crypto.aead.stream_encrypt` — confidentiality from the
+    keystream, integrity from the manifest tag below).
+
+    ``row_record`` is ``serde([acknowledged, reply_box])`` where
+    ``reply_box`` is the *exact REPLY message* the context last sent that
+    client, already sealed under ``kC``.  Every datum of a ``V`` row
+    except the acknowledged marker — ``(t, h, r)`` — is carried by that
+    REPLY, so storing its box verbatim makes the per-invoke row seal a
+    concatenation plus one hash instead of a fresh encryption.  This
+    leaks nothing new: all group clients share ``kC`` and can already
+    read each other's REPLY boxes off the wire.  The plaintext
+    acknowledged marker reveals only a sequence number, the same class of
+    metadata :meth:`_ecall_status` exposes.  Rows for clients that never
+    received a REPLY (fresh provision/join, migration import, kC
+    rotation) hold a synthesized REPLY box with ``q = 0`` and an empty
+    previous-chain echo, which no client accepts as a live reply because
+    the previous-chain check fails.
+
+``manifest_tag`` restores the atomicity a single box used to provide: it
+is an HMAC under ``kP`` (domain-separated from box tags by its
+associated-data string) over the SHA-256 hashes of ``static_blob``,
+``state_box`` and every ``row_record`` in canonical order.  A host that
+splices sections from different seals — say, ``s`` from version 10 with
+``V`` from version 12, or a pre-rotation static config with a
+post-rotation dynamic layer — or tampers with a plaintext acknowledged
+marker produces a manifest mismatch and the restore raises
+:class:`~repro.errors.AuthenticationFailure`.  Clients hold ``kC`` and
+could mint plausible REPLY boxes, but they cannot forge the ``kP``
+manifest tag, so stored rows are exactly as unforgeable as before.
+Replaying one *complete* old blob remains possible, exactly as with the
+monolithic layout; that is the rollback attack LCM detects through
+client verification, not through sealing.
+
+Reusing a cached box verbatim across seals is safe: the identical
+(key, nonce, plaintext) box carries no new information, and any change to
+the protected content invalidates the cache and forces a fresh seal
+under a fresh nonce.
 """
 
 from __future__ import annotations
@@ -36,8 +93,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from hashlib import sha256 as _sha256
+
 from repro import serde
-from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.crypto.aead import (
+    AeadKey,
+    auth_decrypt,
+    auth_encrypt,
+    mac_tag,
+    stream_decrypt,
+    stream_encrypt,
+    verify_mac_tag,
+)
 from repro.crypto.dh import DhKeyPair, public_from_bytes
 from repro.crypto.hashing import GENESIS_HASH, chain_extend
 from repro.errors import (
@@ -61,10 +128,82 @@ from repro.core.stability import (
 from repro.tee.enclave import EnclaveEnv
 
 _KEY_BLOB_AD = b"lcm/state-key"
-_STATE_BLOB_AD = b"lcm/state"
+_STATIC_BLOB_AD = b"lcm/state-static"
+#: mac_tag domain for the dynamic-section manifest; must never be passed
+#: to auth_encrypt/auth_decrypt (see repro.crypto.aead.mac_tag).
+_MANIFEST_AD = b"lcm/state-manifest"
 _PROVISION_AD = b"lcm/provision"
 _ADMIN_AD = b"lcm/admin"
 _MIGRATION_AD = b"lcm/migration"
+
+def _list_header(count: int) -> bytes:
+    """Container framing sourced from serde so the knowledge stays there."""
+    buf = bytearray()
+    serde.encode_list_header(buf, count)
+    return bytes(buf)
+
+
+_DICT_HEADERS: dict[int, bytes] = {}
+
+
+def _dict_header(count: int) -> bytes:
+    header = _DICT_HEADERS.get(count)
+    if header is None:
+        buf = bytearray()
+        serde.encode_dict_header(buf, count)
+        header = _DICT_HEADERS[count] = bytes(buf)
+    return header
+
+
+_TWO_LIST_HEADER = _list_header(2)
+_THREE_LIST_HEADER = _list_header(3)
+
+
+#: Canonical serde encoding of one bytes value (``B || len || value``) —
+#: exactly serde.encode's bytes fast path; aliased so the wire knowledge
+#: stays in serde.
+_frame_bytes = serde.encode
+
+
+def _row_record(acknowledged: int, reply_box: bytes) -> bytes:
+    """Canonical serde bytes of ``[acknowledged, reply_box]``."""
+    try:
+        encoded_ack = acknowledged.to_bytes(16, "big", signed=True)
+    except OverflowError:
+        raise serde.SerdeError(
+            "acknowledged marker exceeds the canonical 128-bit range"
+        ) from None
+    return (
+        _TWO_LIST_HEADER
+        + b"I"
+        + encoded_ack
+        + b"B"
+        + len(reply_box).to_bytes(8, "big")
+        + reply_box
+    )
+
+
+#: Decoded forms of recently seen operation encodings (real workloads repeat
+#: operations heavily).  Only flat lists of scalars are memoized so a
+#: functionality that mutates nested operation structure cannot corrupt the
+#: cache; stored and returned lists are distinct copies.  Keyed by canonical
+#: bytes, which are unambiguous.  Cleared wholesale when full.
+_OP_DECODE_CACHE: dict[bytes, list] = {}
+_OP_DECODE_CACHE_MAX = 1024
+
+
+def _decode_operation(data: bytes) -> Any:
+    cached = _OP_DECODE_CACHE.get(data)
+    if cached is not None:
+        return cached.copy()
+    value = serde.decode(data)
+    if type(value) is list and all(
+        type(item) in (str, bytes, int, bool) or item is None for item in value
+    ):
+        if len(_OP_DECODE_CACHE) >= _OP_DECODE_CACHE_MAX:
+            _OP_DECODE_CACHE.clear()
+        _OP_DECODE_CACHE[data] = value.copy()
+    return value
 
 #: Protocol-level dummy operation: sequenced and hash-chained like any other
 #: operation, but not passed to ``F``.  Used for stability polling.
@@ -119,12 +258,43 @@ class LcmContext:
         self._chain = GENESIS_HASH                   # h
         self._entries: dict[int, ClientEntry] = {}   # V
         self._state: Any = None                      # s
+        # seal caches (see module docstring): reusable sealed boxes for
+        # kP-under-kS, the static config, the service state, and each V row.
+        self._key_blob: bytes | None = None
+        self._static_blob: bytes | None = None
+        self._static_blob_hash: bytes | None = None  # framed, manifest input
+        # client_id -> (encoded id, blob piece ``enc_id || framed record``,
+        # manifest piece ``enc_id || framed record hash``), kept in
+        # canonical (encoded-id) order so seals join without sorting;
+        # ids in _dirty_rows need resealing before the next store
+        self._row_seals: dict[int, tuple[bytes, bytes, bytes]] = {}
+        self._dirty_rows: set[int] = set()
+        self._rows_unsorted = False
+        # (framed state box, framed box hash) — valid while self._state is
+        # the exact object it sealed.  Safe because Functionality.apply must
+        # not mutate state in place: read-only operations return the same
+        # object, so their seals reuse the cached box.
+        self._state_seal: tuple[bytes, bytes] | None = None
+        self._state_seal_obj: Any = None
+        self._state_enc_audit: bytes | None = None  # audit-mode mutation check
         self._provisioned = False
         self._halted: SecurityViolation | None = None
         self._dh: DhKeyPair | None = None
         self._migration_nonce: bytes | None = None
         self._migrated_out = False
         self.audit_log: list[AuditRecord] = []
+        self._handlers: dict[str, Callable[[Any], Any]] = {
+            "invoke": self._ecall_invoke,
+            "invoke_batch": self._ecall_invoke_batch,
+            "attest": self._ecall_attest,
+            "provision": self._ecall_provision,
+            "admin": self._ecall_admin,
+            "status": self._ecall_status,
+            "migration_challenge": self._ecall_migration_challenge,
+            "migration_export": self._ecall_migration_export,
+            "migration_import": self._ecall_migration_import,
+            "export_audit_log": self._ecall_export_audit,
+        }
 
     # ------------------------------------------------------------- lifecycle
 
@@ -142,52 +312,278 @@ class LcmContext:
         """Unseal and adopt a stored state (possibly rolled back by S —
         LCM detects that later, through client verification)."""
         try:
-            blob_key, blob_state = serde.decode(blob)
+            blob_key, blob_static, blob_dynamic = serde.decode(blob)
         except Exception as exc:  # malformed outer framing
             raise AuthenticationFailure(f"stored blob malformed: {exc}") from exc
         key_material = auth_decrypt(
             blob_key, self._sealing_key, associated_data=_KEY_BLOB_AD
         )
         self._state_key = AeadKey(key_material, label="kP")
-        plain = auth_decrypt(
-            blob_state, self._state_key, associated_data=_STATE_BLOB_AD
+        static_plain = auth_decrypt(
+            blob_static, self._state_key, associated_data=_STATIC_BLOB_AD
         )
-        state, wire_entries, kc_material, ka_material, quorum = serde.decode(plain)
-        self._state = state
-        self._entries = {
-            client_id: ClientEntry.from_wire(entry)
-            for client_id, entry in wire_entries.items()
-        }
+        kc_material, ka_material, quorum = serde.decode(static_plain)
+        try:
+            state_box, row_boxes, tag = serde.decode(blob_dynamic)
+            manifest = self._build_manifest(
+                _frame_bytes(_sha256(blob_static).digest()),
+                _frame_bytes(_sha256(state_box).digest()),
+                sorted(
+                    serde.encode(client_id)
+                    + _frame_bytes(_sha256(record).digest())
+                    for client_id, record in row_boxes.items()
+                ),
+            )
+        except Exception as exc:  # malformed dynamic framing
+            raise AuthenticationFailure(
+                f"stored dynamic section malformed: {exc}"
+            ) from exc
+        if not isinstance(tag, bytes) or not verify_mac_tag(
+            tag, manifest, self._state_key, associated_data=_MANIFEST_AD
+        ):
+            raise AuthenticationFailure(
+                "sealed state manifest MAC mismatch "
+                "(sections were spliced or tampered)"
+            )
         self._communication_key = AeadKey(kc_material, label="kC")
         self._admin_key = AeadKey(ka_material, label="kA")
         self._quorum_override = quorum if quorum else None
+        # manifest verified above: the stream-encrypted state section and
+        # the per-row REPLY boxes are authentic, so unseal and adopt them
+        self._state = serde.decode(stream_decrypt(state_box, self._state_key))
+        entries: dict[int, ClientEntry] = {}
+        try:
+            records = {
+                client_id: serde.decode(record)
+                for client_id, record in row_boxes.items()
+            }
+        except Exception as exc:
+            raise AuthenticationFailure(
+                f"stored row record malformed: {exc}"
+            ) from exc
+        for client_id, (acknowledged, reply_box) in records.items():
+            reply = ReplyPayload.unseal(reply_box, self._communication_key)
+            entries[client_id] = ClientEntry(
+                acknowledged=acknowledged,
+                last_sequence=reply.sequence,
+                last_chain=reply.chain,
+                last_result=reply.result,
+            )
+        self._reset_entries(entries)
+        # The unsealed sections are exactly what the next seal would produce
+        # — adopt them so the first post-restore store reuses them verbatim.
+        self._key_blob = _frame_bytes(blob_key)
+        self._static_blob = _frame_bytes(blob_static)
+        self._static_blob_hash = _frame_bytes(_sha256(blob_static).digest())
+        self._state_seal = (
+            _frame_bytes(state_box),
+            _frame_bytes(_sha256(state_box).digest()),
+        )
+        self._state_seal_obj = self._state
+        # Adopt the rows in canonical order, NOT the stored dict order: the
+        # manifest MAC is order-independent (both sides sort), so a host
+        # could reorder the records; trusting its order would make our own
+        # next seal emit a manifest that no longer matches its rows.
+        adopted = sorted(
+            (serde.encode(client_id), client_id, record)
+            for client_id, record in row_boxes.items()
+        )
+        for enc_id, client_id, record in adopted:
+            self._row_seals[client_id] = (
+                enc_id,
+                enc_id + _frame_bytes(record),
+                enc_id + _frame_bytes(_sha256(record).digest()),
+            )
+        self._dirty_rows.clear()
+        self._rows_unsorted = False
         if self._entries:
             _, top = argmax_entry(self._entries)
             self._sequence = top.last_sequence
             self._chain = top.last_chain
         self._provisioned = True
 
-    def _sealed_blob(self) -> bytes:
-        """Seal (s, V, kC, kA) under kP, and kP under kS."""
-        wire_entries = {
-            client_id: entry.to_wire() for client_id, entry in self._entries.items()
-        }
-        plain = serde.encode(
+    # ------------------------------------------------------------ seal caches
+
+    def _set_entry(self, client_id: int, entry: ClientEntry) -> None:
+        """Update one row of V; its stored record is rebuilt at the next
+        seal (with a synthesized REPLY box — the invoke path instead calls
+        :meth:`_store_row_seal` with the real one)."""
+        entries = self._entries
+        if client_id not in entries:
+            self._rows_unsorted = True  # new row lands out of canonical order
+        entries[client_id] = entry
+        self._dirty_rows.add(client_id)
+
+    def _store_row_seal(
+        self, client_id: int, acknowledged: int, reply_box: bytes
+    ) -> None:
+        """Cache the stored form of one V row from its REPLY box."""
+        record = _row_record(acknowledged, reply_box)
+        cached = self._row_seals.get(client_id)
+        enc_id = cached[0] if cached is not None else serde.encode(client_id)
+        self._row_seals[client_id] = (
+            enc_id,
+            enc_id + _frame_bytes(record),
+            enc_id + _frame_bytes(_sha256(record).digest()),
+        )
+
+    def _reset_entries(self, entries: dict[int, ClientEntry]) -> None:
+        """Replace V wholesale (provision / restore / migration import)."""
+        self._entries = dict(entries)
+        self._row_seals = {}
+        self._dirty_rows = set(entries)
+        self._rows_unsorted = True
+
+    def _remove_entry(self, client_id: int) -> None:
+        del self._entries[client_id]
+        self._row_seals.pop(client_id, None)
+        self._dirty_rows.discard(client_id)
+
+    def _invalidate_seal_caches(self) -> None:
+        """Drop every cached box (the keys they were sealed under changed)."""
+        self._key_blob = None
+        self._static_blob = None
+        self._static_blob_hash = None
+        self._state_seal = None
+        self._state_seal_obj = None
+        self._row_seals = {}
+        self._dirty_rows = set(self._entries)
+        self._rows_unsorted = True
+
+    # ----------------------------------------------------------------- sealing
+
+    def _refresh_dynamic_seals(self) -> None:
+        """Reseal exactly the dynamic sections that changed since last seal."""
+        state = self._state
+        if self._state_seal is None or state is not self._state_seal_obj:
+            encoded_state = serde.encode(state)
+            box = stream_encrypt(encoded_state, self._state_key)
+            self._state_seal = (
+                _frame_bytes(box),
+                _frame_bytes(_sha256(box).digest()),
+            )
+            self._state_seal_obj = state
+            if self._audit:
+                self._state_enc_audit = encoded_state
+        elif (
+            self._audit
+            and self._state_enc_audit is not None  # restore adopts no audit copy
+            and serde.encode(state) != self._state_enc_audit
+        ):
+            # The object-identity cache assumes Functionality.apply never
+            # mutates state in place (its documented contract).  Audit mode
+            # pays for a re-encode to catch violations loudly instead of
+            # sealing stale state that a restore would silently resurrect.
+            raise ConfigurationError(
+                "functionality mutated the service state in place; "
+                "the sealed state would go stale (see Functionality.apply)"
+            )
+        if self._dirty_rows:
+            # rows dirtied outside the invoke path (provision, membership
+            # change, kC rotation, migration import) get a synthesized
+            # REPLY box; its empty previous-chain echo means no client
+            # ever accepts it as a live reply
+            entries = self._entries
+            kc = self._communication_key
+            for client_id in sorted(self._dirty_rows):
+                entry = entries[client_id]
+                box = ReplyPayload(
+                    sequence=entry.last_sequence,
+                    chain=entry.last_chain,
+                    result=entry.last_result,
+                    stable_sequence=0,
+                    previous_chain=b"",
+                ).seal(kc)
+                self._store_row_seal(client_id, entry.acknowledged, box)
+            self._dirty_rows.clear()
+        if self._rows_unsorted:
+            self._row_seals = dict(
+                sorted(self._row_seals.items(), key=lambda item: item[1][0])
+            )
+            self._rows_unsorted = False
+
+    @staticmethod
+    def _build_manifest(
+        framed_static_hash: bytes,
+        framed_state_hash: bytes,
+        pieces: list[bytes],
+    ) -> bytes:
+        """Serde bytes of ``[static_blob_hash, state_box_hash,
+        {client_id: row_record_hash}]``.
+
+        The static-config hash binds the dynamic layer to the exact static
+        section it was sealed next to (a kC rotation changes both, and the
+        manifest stops a host from pairing a retired static blob with a
+        newer dynamic layer).  ``pieces`` holds ``enc_id || framed hash``
+        chunks sorted by encoded id; seal and restore must build identical
+        bytes.
+        """
+        return b"".join(
             [
-                self._state,
-                wire_entries,
-                self._communication_key.material,
-                self._admin_key.material,
-                self._quorum_override or 0,
+                _THREE_LIST_HEADER,
+                framed_static_hash,
+                framed_state_hash,
+                _dict_header(len(pieces)),
+                *pieces,
             ]
         )
-        blob_state = auth_encrypt(
-            plain, self._state_key, associated_data=_STATE_BLOB_AD
+
+    def _dynamic_blob(self) -> bytes:
+        """Assemble ``serde([state_box, {id: row_record}, manifest_tag])``
+        from the cached section pieces, resealing only what changed.
+
+        Only called from :meth:`_sealed_blob`, which guarantees the static
+        blob (and its hash) exist first.
+        """
+        self._refresh_dynamic_seals()
+        rows = self._row_seals.values()  # already in canonical order
+        framed_state_box, framed_state_hash = self._state_seal
+        manifest = self._build_manifest(
+            self._static_blob_hash, framed_state_hash, [row[2] for row in rows]
         )
-        blob_key = auth_encrypt(
-            self._state_key.material, self._sealing_key, associated_data=_KEY_BLOB_AD
+        tag = mac_tag(manifest, self._state_key, associated_data=_MANIFEST_AD)
+        return b"".join(
+            [
+                _THREE_LIST_HEADER,
+                framed_state_box,
+                _dict_header(len(rows)),
+                *[row[1] for row in rows],
+                _frame_bytes(tag),
+            ]
         )
-        return serde.encode([blob_key, blob_state])
+
+    def _sealed_blob(self) -> bytes:
+        """Seal the mutable sections that changed; reuse the cached static
+        config and kP-under-kS boxes unless they were invalidated."""
+        if self._key_blob is None:
+            self._key_blob = _frame_bytes(
+                auth_encrypt(
+                    self._state_key.material,
+                    self._sealing_key,
+                    associated_data=_KEY_BLOB_AD,
+                )
+            )
+        if self._static_blob is None:
+            static_plain = serde.encode(
+                [
+                    self._communication_key.material,
+                    self._admin_key.material,
+                    self._quorum_override or 0,
+                ]
+            )
+            box = auth_encrypt(
+                static_plain, self._state_key, associated_data=_STATIC_BLOB_AD
+            )
+            self._static_blob = _frame_bytes(box)
+            self._static_blob_hash = _frame_bytes(_sha256(box).digest())
+        return b"".join(
+            [
+                _THREE_LIST_HEADER,
+                self._key_blob,
+                self._static_blob,
+                _frame_bytes(self._dynamic_blob()),
+            ]
+        )
 
     def _seal_and_store(self) -> None:
         """Seal the state and persist it through the (untrusted) host."""
@@ -199,19 +595,7 @@ class LcmContext:
         """Dispatch one enclave call; refuses everything once halted."""
         if self._halted is not None:
             raise type(self._halted)(f"context halted: {self._halted}")
-        handlers: dict[str, Callable[[Any], Any]] = {
-            "invoke": self._ecall_invoke,
-            "invoke_batch": self._ecall_invoke_batch,
-            "attest": self._ecall_attest,
-            "provision": self._ecall_provision,
-            "admin": self._ecall_admin,
-            "status": self._ecall_status,
-            "migration_challenge": self._ecall_migration_challenge,
-            "migration_export": self._ecall_migration_export,
-            "migration_import": self._ecall_migration_import,
-            "export_audit_log": self._ecall_export_audit,
-        }
-        handler = handlers.get(name)
+        handler = self._handlers.get(name)
         if handler is None:
             raise ConfigurationError(f"unknown ecall {name!r}")
         return handler(payload)
@@ -241,8 +625,9 @@ class LcmContext:
         self._communication_key = AeadKey(kc_material, label="kC")
         self._admin_key = AeadKey(ka_material, label="kA")
         self._quorum_override = quorum if quorum else None
-        self._entries = {client_id: ClientEntry() for client_id in client_ids}
+        self._reset_entries({client_id: ClientEntry() for client_id in client_ids})
         self._state = self._functionality.initial_state()
+        self._invalidate_seal_caches()
         self._provisioned = True
         self._seal_and_store()
         return True
@@ -320,7 +705,7 @@ class LcmContext:
 
         # Execute, sequence and chain the operation.
         self._sequence += 1
-        operation = serde.decode(invoke.operation)
+        operation = _decode_operation(invoke.operation)
         if self._is_nop(operation):
             result: Any = None
         else:
@@ -329,11 +714,14 @@ class LcmContext:
             self._chain, invoke.operation, self._sequence, invoke.client_id
         )
         result_bytes = serde.encode(result)
-        self._entries[invoke.client_id] = ClientEntry(
-            acknowledged=invoke.last_sequence,
-            last_sequence=self._sequence,
-            last_chain=self._chain,
-            last_result=result_bytes,
+        self._set_entry(
+            invoke.client_id,
+            ClientEntry(
+                acknowledged=invoke.last_sequence,
+                last_sequence=self._sequence,
+                last_chain=self._chain,
+                last_result=result_bytes,
+            ),
         )
         stable = stable_with_quorum(self._entries, self._quorum())
         if self._audit:
@@ -353,7 +741,11 @@ class LcmContext:
             stable_sequence=stable,
             previous_chain=invoke.last_chain,
         )
-        return reply.seal(self._communication_key)
+        box = reply.seal(self._communication_key)
+        # the REPLY box doubles as the stored form of this client's V row
+        self._store_row_seal(invoke.client_id, invoke.last_sequence, box)
+        self._dirty_rows.discard(invoke.client_id)
+        return box
 
     def _resend_reply(self, invoke: InvokePayload, entry: ClientEntry) -> bytes:
         """Reproduce the lost REPLY from the V[i] record (retry extension)."""
@@ -397,15 +789,20 @@ class LcmContext:
             (_, client_id) = request
             if client_id in self._entries:
                 raise MembershipError(f"client {client_id} already in the group")
-            self._entries[client_id] = ClientEntry()
+            self._set_entry(client_id, ClientEntry())
             self._seal_and_store()
             return True
         if verb == "REMOVE_CLIENT":
             (_, client_id, new_kc_material) = request
             if client_id not in self._entries:
                 raise MembershipError(f"client {client_id} not in the group")
-            del self._entries[client_id]
+            self._remove_entry(client_id)
             self._communication_key = AeadKey(new_kc_material, label="kC")
+            # kC rotated: the static config and every stored row (REPLY
+            # boxes under the old kC) must be resealed
+            self._static_blob = None
+            self._static_blob_hash = None
+            self._dirty_rows.update(self._entries)
             self._seal_and_store()
             return True
         raise MembershipError(f"unknown admin request {verb!r}")
@@ -475,11 +872,14 @@ class LcmContext:
         self._communication_key = AeadKey(kc, label="kC")
         self._admin_key = AeadKey(ka, label="kA")
         self._state = state
-        self._entries = {
-            client_id: ClientEntry.from_wire(entry)
-            for client_id, entry in wire_entries.items()
-        }
+        self._reset_entries(
+            {
+                client_id: ClientEntry.from_wire(entry)
+                for client_id, entry in wire_entries.items()
+            }
+        )
         self._quorum_override = quorum if quorum else None
+        self._invalidate_seal_caches()
         if self._entries:
             _, top = argmax_entry(self._entries)
             self._sequence = top.last_sequence

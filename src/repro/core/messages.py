@@ -32,10 +32,36 @@ from repro.errors import InvalidReply
 _INVOKE_AD = b"lcm/invoke"
 _REPLY_AD = b"lcm/reply"
 
+# Hand-rolled fast paths below produce the exact canonical serde bytes of
+# the documented field lists (verified against serde in the test suite);
+# decoding falls back to the generic serde walk on any layout surprise.
+_INVOKE_PREFIX = (
+    b"L" + (6).to_bytes(8, "big") + b"S" + (6).to_bytes(8, "big") + b"INVOKE" + b"I"
+)
+_REPLY_PREFIX = (
+    b"L" + (6).to_bytes(8, "big") + b"S" + (5).to_bytes(8, "big") + b"REPLY" + b"I"
+)
 
-@dataclass(frozen=True)
+
+class _Fallback(Exception):
+    """Internal: fast-path decode did not match; use the generic decoder."""
+
+
+_INVOKE_PREFIX_LEN = len(_INVOKE_PREFIX) + 16  # prefix plus the first int
+_REPLY_PREFIX_LEN = len(_REPLY_PREFIX) + 16
+_ORD_B = ord("B")
+_ORD_I = ord("I")
+
+
+@dataclass(slots=True, unsafe_hash=True)
 class InvokePayload:
-    """Plaintext content of an INVOKE message."""
+    """Plaintext content of an INVOKE message.
+
+    Slots (not frozen) keep construction cheap — payloads are created four
+    times per protocol round trip and a frozen ``__init__`` (which routes
+    through ``object.__setattr__``) costs several times a plain one.
+    Treat instances as immutable.
+    """
 
     client_id: int
     last_sequence: int        # tc
@@ -44,19 +70,64 @@ class InvokePayload:
     retry: bool = False
 
     def encode(self) -> bytes:
-        return serde.encode(
-            [
-                "INVOKE",
-                self.last_sequence,
-                self.last_chain,
-                self.operation,
-                self.client_id,
-                self.retry,
-            ]
-        )
+        try:
+            return (
+                _INVOKE_PREFIX
+                + self.last_sequence.to_bytes(16, "big", signed=True)
+                + b"B" + len(self.last_chain).to_bytes(8, "big") + self.last_chain
+                + b"B" + len(self.operation).to_bytes(8, "big") + self.operation
+                + b"I" + self.client_id.to_bytes(16, "big", signed=True)
+                + (b"T" if self.retry else b"F")
+            )
+        except OverflowError:
+            raise serde.SerdeError(
+                "INVOKE sequence/client id exceeds the canonical 128-bit range"
+            ) from None
 
     @classmethod
     def decode(cls, data: bytes) -> "InvokePayload":
+        try:
+            # Field reads are inlined (two decodes run per round trip);
+            # IndexError from a short message falls back like a tag mismatch.
+            size = len(data)
+            if size < _INVOKE_PREFIX_LEN or not data.startswith(_INVOKE_PREFIX):
+                raise _Fallback
+            tc = int.from_bytes(
+                data[_INVOKE_PREFIX_LEN - 16 : _INVOKE_PREFIX_LEN], "big", signed=True
+            )
+            if data[_INVOKE_PREFIX_LEN] != _ORD_B:
+                raise _Fallback
+            start = _INVOKE_PREFIX_LEN + 9
+            end = start + int.from_bytes(data[_INVOKE_PREFIX_LEN + 1 : start], "big")
+            if end > size:
+                raise _Fallback
+            hc = data[start:end]
+            if data[end] != _ORD_B:
+                raise _Fallback
+            start = end + 9
+            end = start + int.from_bytes(data[end + 1 : start], "big")
+            if end > size:
+                raise _Fallback
+            op = data[start:end]
+            if data[end] != _ORD_I or end + 18 != size:
+                raise _Fallback
+            client_id = int.from_bytes(data[end + 1 : end + 17], "big", signed=True)
+            retry_tag = data[size - 1]
+            if retry_tag == 84:  # "T"
+                retry = True
+            elif retry_tag == 70:  # "F"
+                retry = False
+            else:
+                raise _Fallback
+            return cls(
+                client_id=client_id,
+                last_sequence=tc,
+                last_chain=hc,
+                operation=op,
+                retry=retry,
+            )
+        except (_Fallback, IndexError):
+            pass
         tag, tc, hc, op, client_id, retry = serde.decode(data)
         if tag != "INVOKE":
             raise InvalidReply(f"expected INVOKE payload, got {tag!r}")
@@ -76,9 +147,13 @@ class InvokePayload:
         return cls.decode(auth_decrypt(box, key, associated_data=_INVOKE_AD))
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ReplyPayload:
-    """Plaintext content of a REPLY message."""
+    """Plaintext content of a REPLY message.
+
+    Slots (not frozen) for the same hot-path reason as
+    :class:`InvokePayload`; treat instances as immutable.
+    """
 
     sequence: int             # t
     chain: bytes              # h
@@ -87,19 +162,60 @@ class ReplyPayload:
     previous_chain: bytes     # h'c — echo of the client's hc
 
     def encode(self) -> bytes:
-        return serde.encode(
-            [
-                "REPLY",
-                self.sequence,
-                self.chain,
-                self.result,
-                self.stable_sequence,
-                self.previous_chain,
-            ]
-        )
+        try:
+            return (
+                _REPLY_PREFIX
+                + self.sequence.to_bytes(16, "big", signed=True)
+                + b"B" + len(self.chain).to_bytes(8, "big") + self.chain
+                + b"B" + len(self.result).to_bytes(8, "big") + self.result
+                + b"I" + self.stable_sequence.to_bytes(16, "big", signed=True)
+                + b"B" + len(self.previous_chain).to_bytes(8, "big")
+                + self.previous_chain
+            )
+        except OverflowError:
+            raise serde.SerdeError(
+                "REPLY sequence number exceeds the canonical 128-bit range"
+            ) from None
 
     @classmethod
     def decode(cls, data: bytes) -> "ReplyPayload":
+        try:
+            size = len(data)
+            if size < _REPLY_PREFIX_LEN or not data.startswith(_REPLY_PREFIX):
+                raise _Fallback
+            t = int.from_bytes(
+                data[_REPLY_PREFIX_LEN - 16 : _REPLY_PREFIX_LEN], "big", signed=True
+            )
+            if data[_REPLY_PREFIX_LEN] != _ORD_B:
+                raise _Fallback
+            start = _REPLY_PREFIX_LEN + 9
+            end = start + int.from_bytes(data[_REPLY_PREFIX_LEN + 1 : start], "big")
+            if end > size:
+                raise _Fallback
+            h = data[start:end]
+            if data[end] != _ORD_B:
+                raise _Fallback
+            start = end + 9
+            end = start + int.from_bytes(data[end + 1 : start], "big")
+            if end > size:
+                raise _Fallback
+            r = data[start:end]
+            if data[end] != _ORD_I or end + 17 + 9 > size:
+                raise _Fallback
+            q = int.from_bytes(data[end + 1 : end + 17], "big", signed=True)
+            offset = end + 17
+            if data[offset] != _ORD_B:
+                raise _Fallback
+            start = offset + 9
+            end = start + int.from_bytes(data[offset + 1 : start], "big")
+            if end != size:
+                raise _Fallback
+            prev = data[start:end]
+            return cls(
+                sequence=t, chain=h, result=r, stable_sequence=q, previous_chain=prev
+            )
+        except (_Fallback, IndexError):
+            pass
         tag, t, h, r, q, prev = serde.decode(data)
         if tag != "REPLY":
             raise InvalidReply(f"expected REPLY payload, got {tag!r}")

@@ -31,7 +31,7 @@ from repro.crypto.hashing import GENESIS_HASH
 from repro.errors import ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientEntry:
     """One row of the protocol-state map ``V``."""
 
@@ -61,9 +61,8 @@ def stable_with_quorum(entries: dict[int, ClientEntry], quorum: int) -> int:
         raise ConfigurationError(
             f"quorum {quorum} out of range for {len(entries)} clients"
         )
-    acknowledged = sorted(
-        (entry.acknowledged for entry in entries.values()), reverse=True
-    )
+    acknowledged = [entry.acknowledged for entry in entries.values()]
+    acknowledged.sort(reverse=True)
     return acknowledged[quorum - 1]
 
 

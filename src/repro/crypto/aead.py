@@ -21,17 +21,37 @@ Wire layout of a sealed box::
 
 so the constant ciphertext expansion is 28 bytes, comparable to GCM's
 12-byte IV + 16-byte tag.
+
+Implementation notes on the hot path (the wire format above is pinned by
+golden-vector tests and unchanged):
+
+- :class:`AeadKey` derives its encrypt/MAC subkeys and the HMAC key
+  schedule once at construction instead of on every box;
+- the keystream is produced in whole 32-byte blocks with one-shot SHA-256
+  calls and a single ``join``, and XORed against the payload as one big
+  integer rather than byte by byte;
+- a small bounded cache keeps recently generated keystreams keyed by
+  (subkey, nonce).  In this in-process simulation every box is encrypted
+  by one party and decrypted by another within the same interpreter, so
+  the decrypt side's keystream is a cache hit.  Reuse is safe because the
+  cached bytes are only ever applied to the same (key, nonce) pair that
+  produced them.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
-import itertools
 import os
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import AuthenticationFailure, ConfigurationError
+
+try:  # optional vector XOR for large payloads; the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
 
 KEY_SIZE = 16  # bytes; matches the paper's 128-bit keys
 NONCE_SIZE = 12
@@ -40,28 +60,155 @@ OVERHEAD = NONCE_SIZE + TAG_SIZE
 
 _BLOCK = hashlib.sha256().digest_size
 
+_sha256 = hashlib.sha256
+_join = b"".join
 
-def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """Generate ``length`` bytes of SHA-256 counter-mode keystream."""
-    out = bytearray()
-    for counter in itertools.count():
-        if len(out) >= length:
-            break
-        block = hashlib.sha256(
-            b"lcm-ctr" + key + nonce + counter.to_bytes(8, "big")
-        ).digest()
-        out.extend(block)
-    return bytes(out[:length])
+#: Precomputed big-endian counter suffixes for the common keystream lengths
+#: (4096 blocks = 128 KiB); longer streams fall back to generating counters.
+_COUNTERS = tuple(counter.to_bytes(8, "big") for counter in range(4096))
+
+#: Recently generated keystreams, keyed by (enc subkey, nonce).  Bounded by
+#: entry count and total bytes; evicted FIFO.
+_KS_CACHE: dict[tuple[bytes, bytes], bytes] = {}
+_KS_CACHE_MAX_ENTRIES = 256
+_KS_CACHE_MAX_BYTES = 4 * 1024 * 1024
+_ks_cache_bytes = 0
 
 
-def _mac(key: bytes, nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:
-    payload = (
-        len(associated_data).to_bytes(8, "big")
-        + associated_data
-        + nonce
-        + ciphertext
-    )
-    return hmac.new(key, payload, hashlib.sha256).digest()[:TAG_SIZE]
+def _keystream(
+    key: bytes,
+    nonce: bytes,
+    length: int,
+    base: "hashlib._Hash | None" = None,
+    cache: bool = True,
+) -> bytes:
+    """Generate ``length`` bytes of SHA-256 counter-mode keystream.
+
+    ``base`` is an optional SHA-256 state already fed with
+    ``b"lcm-ctr" + key`` (cached per :class:`AeadKey`); cloning it per
+    block skips re-hashing the constant prefix and yields identical bytes.
+    ``cache=False`` skips storing the stream (for boxes that are never
+    decrypted by an in-process peer, e.g. sealed state sections).
+    """
+    global _ks_cache_bytes
+    if length <= 0:
+        return b""
+    nblocks = -(-length // _BLOCK)
+    cache_key = (key, nonce)
+    cached = _KS_CACHE.get(cache_key)
+    if cached is not None and len(cached) >= length:
+        return cached[:length] if len(cached) != length else cached
+    if nblocks <= len(_COUNTERS):
+        counters = _COUNTERS[:nblocks]
+    else:
+        counters = [counter.to_bytes(8, "big") for counter in range(nblocks)]
+    if base is not None:
+        seeded = base.copy()
+        seeded.update(nonce)
+        clone = seeded.copy
+        blocks = []
+        append = blocks.append
+        for counter in counters:
+            block = clone()
+            block.update(counter)
+            append(block.digest())
+        stream = _join(blocks)
+    else:
+        prefix = b"lcm-ctr" + key + nonce
+        stream = _join([_sha256(prefix + counter).digest() for counter in counters])
+    if cache and len(stream) <= _KS_CACHE_MAX_BYTES:
+        if cached is not None:
+            _ks_cache_bytes -= len(cached)
+        _KS_CACHE[cache_key] = stream
+        _ks_cache_bytes += len(stream)
+        while (
+            len(_KS_CACHE) > _KS_CACHE_MAX_ENTRIES
+            or _ks_cache_bytes > _KS_CACHE_MAX_BYTES
+        ) and len(_KS_CACHE) > 1:
+            # evict oldest-first; the just-inserted entry is newest, and the
+            # >1 guard means it is never evicted before its decrypt-side hit
+            oldest = next(iter(_KS_CACHE))
+            _ks_cache_bytes -= len(_KS_CACHE.pop(oldest))
+    return stream[:length] if len(stream) != length else stream
+
+
+#: Above this size numpy's vectorised byte XOR beats the big-int route.
+_NP_XOR_THRESHOLD = 256
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR ``data`` against ``stream[:len(data)]`` in one vector operation."""
+    length = len(data)
+    if _np is not None and length >= _NP_XOR_THRESHOLD:
+        a = _np.frombuffer(data, dtype=_np.uint8)
+        b = _np.frombuffer(stream, dtype=_np.uint8, count=length)
+        return (a ^ b).tobytes()
+    if len(stream) != length:
+        stream = stream[:length]
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(length, "big")
+
+
+#: Fresh-nonce pool: one os.urandom syscall buys 512 nonces.  The bytes are
+#: CSPRNG output either way; buffering them only amortises the syscall.
+#: ``list.pop`` is atomic under the GIL (two threads never receive the same
+#: nonce; a racing refill merely adds extra fresh nonces), and the pid guard
+#: discards the pool in forked children so a child never replays nonces the
+#: parent also hands out — nonce reuse under one key would be a two-time pad.
+_NONCE_POOL: list[bytes] = []
+_nonce_pid = 0
+
+
+def _fresh_nonce() -> bytes:
+    global _nonce_pid
+    pid = os.getpid()
+    if pid != _nonce_pid:
+        _NONCE_POOL.clear()
+        _nonce_pid = pid
+    try:
+        return _NONCE_POOL.pop()
+    except IndexError:
+        chunk = os.urandom(NONCE_SIZE * 512)
+        _NONCE_POOL.extend(
+            chunk[i : i + NONCE_SIZE] for i in range(0, len(chunk), NONCE_SIZE)
+        )
+        return _NONCE_POOL.pop()
+
+
+def _hmac_pad_states(key: bytes) -> tuple["hashlib._Hash", "hashlib._Hash"]:
+    """SHA-256 states pre-fed with the HMAC inner/outer pads for ``key``.
+
+    Cloning these per MAC skips the per-call key schedule; the digests are
+    byte-identical to ``hmac.new(key, payload, sha256)``.
+    """
+    padded = key + b"\x00" * (64 - len(key))
+    inner = _sha256(bytes(b ^ 0x36 for b in padded))
+    outer = _sha256(bytes(b ^ 0x5C for b in padded))
+    return inner, outer
+
+
+def _tag_for(key: "AeadKey", nonce, associated_data: bytes, ciphertext) -> bytes:
+    """Truncated ``HMAC-SHA-256(mac_key, len(ad) || ad || nonce || ct)``.
+
+    Byte-identical to ``hmac.new(mac_key, framed, sha256)`` (test-pinned),
+    built from cloned pad states instead of a per-call key schedule.  The
+    associated-data strings are a handful of protocol constants, so the
+    inner state pre-fed with ``len(ad) || ad`` is cached per key and only
+    the nonce and ciphertext are hashed per call.
+    """
+    inners = key._mac_inners
+    seeded = inners.get(associated_data)
+    if seeded is None:
+        seeded = key._mac_pads[0].copy()
+        seeded.update(len(associated_data).to_bytes(8, "big") + associated_data)
+        inners[associated_data] = seeded
+    mac = seeded.copy()
+    mac.update(nonce)
+    mac.update(ciphertext)
+    tag = key._mac_pads[1].copy()
+    tag.update(mac.digest())
+    return tag.digest()[:TAG_SIZE]
 
 
 @dataclass(frozen=True)
@@ -71,7 +218,8 @@ class AeadKey:
     The subkeys are derived from the root key material, so two
     :class:`AeadKey` objects built from the same bytes are interchangeable —
     a property the protocol uses when the sealing key is re-derived after a
-    restart (Sec. 4.4).
+    restart (Sec. 4.4).  Derivation happens once at construction; the HMAC
+    key schedule is likewise precomputed and cloned per MAC.
     """
 
     material: bytes
@@ -82,20 +230,34 @@ class AeadKey:
             raise ConfigurationError(
                 f"AEAD keys must be {KEY_SIZE} bytes, got {len(self.material)}"
             )
+        object.__setattr__(
+            self, "_enc_key", hashlib.sha256(b"lcm-enc" + self.material).digest()
+        )
+        object.__setattr__(
+            self, "_mac_key", hashlib.sha256(b"lcm-mac" + self.material).digest()
+        )
+        object.__setattr__(self, "_mac_pads", _hmac_pad_states(self._mac_key))
+        object.__setattr__(self, "_mac_inners", {})
+        object.__setattr__(
+            self, "_ctr_base", hashlib.sha256(b"lcm-ctr" + self._enc_key)
+        )
 
     @classmethod
-    def generate(cls, label: str = "", rng: "os.urandom.__class__ | None" = None) -> "AeadKey":
+    def generate(
+        cls, label: str = "", rng: Callable[[int], bytes] | None = None
+    ) -> "AeadKey":
         """Generate a fresh random key (uses the OS CSPRNG by default)."""
         material = rng(KEY_SIZE) if rng is not None else os.urandom(KEY_SIZE)
         return cls(material=material, label=label)
 
-    @property
-    def _enc_key(self) -> bytes:
-        return hashlib.sha256(b"lcm-enc" + self.material).digest()
+    def __reduce__(self):
+        # The derived-state caches hold live hashlib objects, which cannot
+        # be pickled/copied; rebuild from the key material instead (two
+        # AeadKeys from the same bytes are interchangeable by design).
+        return (AeadKey, (self.material, self.label))
 
-    @property
-    def _mac_key(self) -> bytes:
-        return hashlib.sha256(b"lcm-mac" + self.material).digest()
+    def __deepcopy__(self, _memo) -> "AeadKey":
+        return AeadKey(self.material, label=self.label)
 
     def hex(self) -> str:
         return self.material.hex()
@@ -119,12 +281,12 @@ def auth_encrypt(
     nonce for deterministic tests; production callers leave it ``None``.
     """
     if nonce is None:
-        nonce = os.urandom(NONCE_SIZE)
+        nonce = _fresh_nonce()
     elif len(nonce) != NONCE_SIZE:
         raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
-    stream = _keystream(key._enc_key, nonce, len(plaintext))
-    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
-    tag = _mac(key._mac_key, nonce, associated_data, ciphertext)
+    stream = _keystream(key._enc_key, nonce, len(plaintext), key._ctr_base)
+    ciphertext = _xor_bytes(plaintext, stream)
+    tag = _tag_for(key, nonce, associated_data, ciphertext)
     return nonce + ciphertext + tag
 
 
@@ -142,11 +304,66 @@ def auth_decrypt(
     """
     if len(box) < OVERHEAD:
         raise AuthenticationFailure("ciphertext too short to be authentic")
-    nonce = box[:NONCE_SIZE]
-    ciphertext = box[NONCE_SIZE:-TAG_SIZE]
-    tag = box[-TAG_SIZE:]
-    expected = _mac(key._mac_key, nonce, associated_data, ciphertext)
+    view = memoryview(box)  # avoid copying the ciphertext slice twice
+    nonce = bytes(view[:NONCE_SIZE])
+    ciphertext = view[NONCE_SIZE:-TAG_SIZE]
+    tag = bytes(view[-TAG_SIZE:])
+    expected = _tag_for(key, nonce, associated_data, ciphertext)
     if not hmac.compare_digest(tag, expected):
         raise AuthenticationFailure("MAC verification failed")
-    stream = _keystream(key._enc_key, nonce, len(ciphertext))
-    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+    stream = _keystream(key._enc_key, nonce, len(ciphertext), key._ctr_base)
+    return _xor_bytes(ciphertext, stream)
+
+
+def stream_encrypt(
+    plaintext: bytes, key: AeadKey, *, nonce: bytes | None = None
+) -> bytes:
+    """Encrypt WITHOUT authentication: returns ``nonce || ciphertext``.
+
+    Confidentiality only — the caller MUST cover the returned box with an
+    external MAC (:func:`mac_tag`) before trusting :func:`stream_decrypt`
+    output.  The trusted context uses this for sealed-state sections whose
+    integrity the manifest tag provides; protocol messages keep the full
+    AEAD.  Keystreams are not cached: these boxes are only decrypted on
+    restore, never by an in-process peer.
+    """
+    if nonce is None:
+        nonce = _fresh_nonce()
+    elif len(nonce) != NONCE_SIZE:
+        raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
+    stream = _keystream(
+        key._enc_key, nonce, len(plaintext), key._ctr_base, cache=False
+    )
+    return nonce + _xor_bytes(plaintext, stream)
+
+
+def stream_decrypt(box: bytes, key: AeadKey) -> bytes:
+    """Inverse of :func:`stream_encrypt`.  No integrity check — only call
+    after the box was authenticated externally (manifest tag)."""
+    if len(box) < NONCE_SIZE:
+        raise AuthenticationFailure("stream box shorter than its nonce")
+    nonce = box[:NONCE_SIZE]
+    ciphertext = box[NONCE_SIZE:]
+    stream = _keystream(
+        key._enc_key, nonce, len(ciphertext), key._ctr_base, cache=False
+    )
+    return _xor_bytes(ciphertext, stream)
+
+
+def mac_tag(data: bytes, key: AeadKey, *, associated_data: bytes = b"") -> bytes:
+    """Standalone 16-byte authentication tag over ``data`` (no encryption).
+
+    Used by the trusted context to bind the independently sealed sections of
+    its state blob into one atomic unit.  Domain separation from box tags is
+    by the associated-data value: callers must use an ``associated_data``
+    string never passed to :func:`auth_encrypt`/:func:`auth_decrypt`, since
+    the MAC framing is the same with an empty nonce.
+    """
+    return _tag_for(key, b"", associated_data, data)
+
+
+def verify_mac_tag(
+    tag: bytes, data: bytes, key: AeadKey, *, associated_data: bytes = b""
+) -> bool:
+    """Constant-time check of a :func:`mac_tag` tag."""
+    return hmac.compare_digest(tag, _tag_for(key, b"", associated_data, data))

@@ -18,6 +18,7 @@ pure function underneath it, used directly by the checker in
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass, field
 
 #: The initial chain value h0 (Alg. 1: "initially hc = h0").  Any fixed,
@@ -74,8 +75,8 @@ class HashChain:
         return HashChain(value=self.value, length=self.length)
 
     def matches(self, other_value: bytes) -> bool:
-        """Constant-time-ish comparison against another chain value."""
-        return self.value == other_value
+        """Constant-time comparison against another chain value."""
+        return hmac.compare_digest(self.value, other_value)
 
 
 def replay_chain(

@@ -34,7 +34,14 @@ class Functionality(Protocol):
         """``exec_F``: return ``(result, next_state)``.
 
         Implementations must not mutate ``state`` in place — the trusted
-        context relies on value semantics when it seals snapshots.
+        context relies on value semantics when it seals snapshots.  In
+        particular, the per-operation seal caches the encrypted state
+        section by object identity: returning the same object after an
+        in-place mutation persists the *pre-mutation* state, which a later
+        restore silently resurrects.  Audit mode (``audit=True``) detects
+        such violations and raises; production mode trusts this contract
+        for speed.  Read-modify-write operations must copy
+        (``next_state = dict(state)``), as the bundled functionalities do.
         """
         ...
 

@@ -12,6 +12,14 @@ types the protocol uses:
 
 The format is deliberately simple and dependency-free; it is not a general
 pickle replacement and refuses unknown types loudly.
+
+The encoder writes into a single ``bytearray`` (:func:`encode_into`), so
+nested containers produce no intermediate byte strings; the decoder walks a
+``memoryview`` and only materialises bytes at the leaves.  Callers that
+cache pre-encoded fragments (the trusted context caches per-client rows of
+``V``) can assemble containers themselves with :func:`encode_list_header` /
+:func:`encode_dict_header` — the framing is ``tag || count`` followed by the
+encoded items, with dict items sorted by their encoded keys.
 """
 
 from __future__ import annotations
@@ -34,92 +42,196 @@ _TAG_STR = b"S"
 _TAG_LIST = b"L"
 _TAG_DICT = b"D"
 
+_ORD_NONE = _TAG_NONE[0]
+_ORD_TRUE = _TAG_TRUE[0]
+_ORD_FALSE = _TAG_FALSE[0]
+_ORD_INT = _TAG_INT[0]
+_ORD_BYTES = _TAG_BYTES[0]
+_ORD_STR = _TAG_STR[0]
+_ORD_LIST = _TAG_LIST[0]
+_ORD_DICT = _TAG_DICT[0]
+
+#: Canonical integers are fixed-width 128-bit two's complement.
+INT_MIN = -(2**127)
+INT_MAX = 2**127 - 1
+
 
 def _encode_length(n: int) -> bytes:
     return n.to_bytes(8, "big")
 
 
 def encode(value: Any) -> bytes:
+    """Canonical bytes of ``value``.
+
+    Scalar fast paths skip the buffer round trip; their output is pinned
+    byte-identical to :func:`encode_into` by the golden-vector tests.
+    """
+    kind = type(value)  # exact type: bool must NOT take the int path
+    if kind is bytes:
+        return _TAG_BYTES + len(value).to_bytes(8, "big") + value
+    if kind is str:
+        raw = value.encode("utf-8")
+        return _TAG_STR + len(raw).to_bytes(8, "big") + raw
+    if kind is int:
+        try:
+            return _TAG_INT + value.to_bytes(16, "big", signed=True)
+        except OverflowError:
+            raise SerdeError(
+                f"integer {value} exceeds the canonical 128-bit range "
+                f"[{INT_MIN}, {INT_MAX}]"
+            ) from None
+    return _encode_general(value)
+
+
+def _encode_general(value: Any) -> bytes:
     """Serialize ``value`` to canonical bytes.
 
     >>> encode([1, b"x"]) != encode([1, b"y"])
     True
     """
+    buf = bytearray()
+    encode_into(buf, value)
+    return bytes(buf)
+
+
+def encode_into(buf: bytearray, value: Any) -> None:
+    """Append the canonical encoding of ``value`` to ``buf``.
+
+    Produces exactly the bytes :func:`encode` would, without building
+    intermediate objects for nested containers.
+    """
     if value is None:
-        return _TAG_NONE
+        buf += _TAG_NONE
+        return
     if value is True:
-        return _TAG_TRUE
+        buf += _TAG_TRUE
+        return
     if value is False:
-        return _TAG_FALSE
+        buf += _TAG_FALSE
+        return
     if isinstance(value, int):
-        payload = value.to_bytes(16, "big", signed=True)
-        return _TAG_INT + payload
+        try:
+            payload = value.to_bytes(16, "big", signed=True)
+        except OverflowError:
+            raise SerdeError(
+                f"integer {value} exceeds the canonical 128-bit range "
+                f"[{INT_MIN}, {INT_MAX}]"
+            ) from None
+        buf += _TAG_INT
+        buf += payload
+        return
     if isinstance(value, (bytes, bytearray)):
-        return _TAG_BYTES + _encode_length(len(value)) + bytes(value)
+        buf += _TAG_BYTES
+        buf += len(value).to_bytes(8, "big")
+        buf += value
+        return
     if isinstance(value, str):
         raw = value.encode("utf-8")
-        return _TAG_STR + _encode_length(len(raw)) + raw
+        buf += _TAG_STR
+        buf += len(raw).to_bytes(8, "big")
+        buf += raw
+        return
     if isinstance(value, (list, tuple)):
-        parts = [encode(item) for item in value]
-        body = b"".join(parts)
-        return _TAG_LIST + _encode_length(len(parts)) + body
+        buf += _TAG_LIST
+        buf += len(value).to_bytes(8, "big")
+        for item in value:
+            encode_into(buf, item)
+        return
     if isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: encode(kv[0]))
-        body = b"".join(encode(k) + encode(v) for k, v in items)
-        return _TAG_DICT + _encode_length(len(items)) + body
+        items = [(encode(key), item) for key, item in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        buf += _TAG_DICT
+        buf += len(items).to_bytes(8, "big")
+        for encoded_key, item in items:
+            buf += encoded_key
+            encode_into(buf, item)
+        return
     raise SerdeError(f"unsupported type for canonical encoding: {type(value)!r}")
+
+
+def encode_list_header(buf: bytearray, count: int) -> None:
+    """Append the framing of a ``count``-item list; the caller appends the
+    encoded items."""
+    buf += _TAG_LIST
+    buf += count.to_bytes(8, "big")
+
+
+def encode_dict_header(buf: bytearray, count: int) -> None:
+    """Append the framing of a ``count``-item dict; the caller appends
+    encoded ``key || value`` pairs sorted by encoded key."""
+    buf += _TAG_DICT
+    buf += count.to_bytes(8, "big")
 
 
 def decode(data: bytes) -> Any:
     """Inverse of :func:`encode`.  Raises :class:`SerdeError` on malformed input."""
-    value, offset = _decode_at(data, 0)
-    if offset != len(data):
-        raise SerdeError(f"{len(data) - offset} trailing bytes after value")
+    view = memoryview(data)
+    value, offset = _decode_at(view, 0)
+    if offset != len(view):
+        raise SerdeError(f"{len(view) - offset} trailing bytes after value")
     return value
 
 
-def _read(data: bytes, offset: int, n: int) -> bytes:
-    if offset + n > len(data):
+def _decode_at(data: memoryview, offset: int) -> tuple[Any, int]:
+    # Bounds checks are inlined (not via _read): this function runs twice
+    # per protocol round trip and a helper call per field is measurable.
+    size = len(data)
+    if offset >= size:
         raise SerdeError("truncated encoding")
-    return data[offset : offset + n]
-
-
-def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
-    tag = _read(data, offset, 1)
+    tag = data[offset]
     offset += 1
-    if tag == _TAG_NONE:
-        return None, offset
-    if tag == _TAG_TRUE:
-        return True, offset
-    if tag == _TAG_FALSE:
-        return False, offset
-    if tag == _TAG_INT:
-        raw = _read(data, offset, 16)
-        return int.from_bytes(raw, "big", signed=True), offset + 16
-    if tag == _TAG_BYTES:
-        length = int.from_bytes(_read(data, offset, 8), "big")
-        offset += 8
-        return _read(data, offset, length), offset + length
-    if tag == _TAG_STR:
-        length = int.from_bytes(_read(data, offset, 8), "big")
-        offset += 8
-        raw = _read(data, offset, length)
-        return raw.decode("utf-8"), offset + length
-    if tag == _TAG_LIST:
-        count = int.from_bytes(_read(data, offset, 8), "big")
-        offset += 8
+    if tag == _ORD_INT:
+        end = offset + 16
+        if end > size:
+            raise SerdeError("truncated encoding")
+        return int.from_bytes(data[offset:end], "big", signed=True), end
+    if tag == _ORD_BYTES:
+        header_end = offset + 8
+        if header_end > size:
+            raise SerdeError("truncated encoding")
+        end = header_end + int.from_bytes(data[offset:header_end], "big")
+        if end > size:
+            raise SerdeError("truncated encoding")
+        return bytes(data[header_end:end]), end
+    if tag == _ORD_STR:
+        header_end = offset + 8
+        if header_end > size:
+            raise SerdeError("truncated encoding")
+        end = header_end + int.from_bytes(data[offset:header_end], "big")
+        if end > size:
+            raise SerdeError("truncated encoding")
+        try:
+            return str(data[header_end:end], "utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise SerdeError(f"malformed utf-8 in string: {exc}") from exc
+    if tag == _ORD_LIST:
+        header_end = offset + 8
+        if header_end > size:
+            raise SerdeError("truncated encoding")
+        count = int.from_bytes(data[offset:header_end], "big")
+        offset = header_end
         items = []
+        append = items.append
         for _ in range(count):
             item, offset = _decode_at(data, offset)
-            items.append(item)
+            append(item)
         return items, offset
-    if tag == _TAG_DICT:
-        count = int.from_bytes(_read(data, offset, 8), "big")
-        offset += 8
+    if tag == _ORD_DICT:
+        header_end = offset + 8
+        if header_end > size:
+            raise SerdeError("truncated encoding")
+        count = int.from_bytes(data[offset:header_end], "big")
+        offset = header_end
         result = {}
         for _ in range(count):
             key, offset = _decode_at(data, offset)
             value, offset = _decode_at(data, offset)
             result[key] = value
         return result, offset
-    raise SerdeError(f"unknown type tag {tag!r}")
+    if tag == _ORD_NONE:
+        return None, offset
+    if tag == _ORD_TRUE:
+        return True, offset
+    if tag == _ORD_FALSE:
+        return False, offset
+    raise SerdeError(f"unknown type tag {bytes([tag])!r}")

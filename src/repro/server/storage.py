@@ -6,6 +6,15 @@ what gives a malicious server its rollback ammunition ("a malicious server
 may still return a correctly protected but outdated state", Sec. 2.3) and
 lets tests assert exactly which stale state was replayed.
 
+Since the trusted context seals its state as ``[key_blob, static_blob,
+dynamic_blob]``, consecutive per-operation versions share a long common
+prefix (the key and static-config boxes change only on membership or key
+events).  The store exploits that: each version is kept as a delta against
+the previously appended one — ``(shared prefix length, suffix bytes)`` —
+with a full snapshot every :data:`SNAPSHOT_INTERVAL` versions so any
+version reconstructs in a bounded number of joins.  The external contract
+is unchanged: ``load``/``load_version`` return the exact bytes stored.
+
 ``DiskModel`` supplies the timing side for the performance experiments:
 Fig. 5 runs with asynchronous writes (the write syscall returns after
 hitting the page cache), Fig. 6 with fsync per state store, which the paper
@@ -14,9 +23,38 @@ shows flattens every non-batching system to a few hundred ops/s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import StorageError
+
+try:  # vectorised first-mismatch scan; the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
+#: Every Nth version is stored in full, bounding delta-chain reconstruction.
+SNAPSHOT_INTERVAL = 64
+
+
+def _common_prefix_length(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of two byte strings."""
+    n = min(len(a), len(b))
+    if a[:n] == b[:n]:
+        return n
+    if _np is not None and n > 64:
+        mismatch = (
+            _np.frombuffer(a, dtype=_np.uint8, count=n)
+            != _np.frombuffer(b, dtype=_np.uint8, count=n)
+        )
+        return int(mismatch.argmax())  # the all-equal case returned above
+    lo, hi = 0, n
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a[:mid] == b[:mid]:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
 
 
 @dataclass(frozen=True)
@@ -51,7 +89,11 @@ class StableStorage:
 
     def __init__(self, name: str = "stable-storage") -> None:
         self.name = name
-        self._versions: list[bytes] = []
+        # (shared prefix length vs the previously appended version, suffix);
+        # snapshot versions have shared length 0
+        self._records: list[tuple[int, bytes]] = []
+        self._lengths: list[int] = []
+        self._tail: bytes = b""  # full bytes of the newest version
         self._current: int = -1
         self.stores = 0
         self.loads = 0
@@ -62,8 +104,15 @@ class StableStorage:
         """Persist a blob; returns its version index."""
         if not isinstance(blob, (bytes, bytearray)):
             raise StorageError("stable storage holds bytes only")
-        self._versions.append(bytes(blob))
-        self._current = len(self._versions) - 1
+        blob = bytes(blob)
+        if self._records and len(self._records) % SNAPSHOT_INTERVAL:
+            shared = _common_prefix_length(self._tail, blob)
+        else:
+            shared = 0
+        self._records.append((shared, blob[shared:]))
+        self._lengths.append(len(blob))
+        self._tail = blob
+        self._current = len(self._records) - 1
         self.stores += 1
         return self._current
 
@@ -72,22 +121,30 @@ class StableStorage:
         self.loads += 1
         if self._current < 0:
             return None
-        return self._versions[self._current]
+        return self.load_version(self._current)
 
     # ------------------------------------------------ malicious-host surface
 
     def version_count(self) -> int:
-        return len(self._versions)
+        return len(self._records)
 
     def load_version(self, index: int) -> bytes:
-        try:
-            return self._versions[index]
-        except IndexError as exc:
-            raise StorageError(f"no stored version {index}") from exc
+        if not 0 <= index < len(self._records):
+            raise StorageError(f"no stored version {index}")
+        if index == len(self._records) - 1:
+            return self._tail
+        base = index
+        while self._records[base][0]:
+            base -= 1
+        blob = self._records[base][1]
+        for position in range(base + 1, index + 1):
+            shared, suffix = self._records[position]
+            blob = blob[:shared] + suffix
+        return blob
 
     def rollback_to(self, index: int) -> None:
         """Repoint "current" at an older version (rollback attack setup)."""
-        if not 0 <= index < len(self._versions):
+        if not 0 <= index < len(self._records):
             raise StorageError(f"no stored version {index}")
         self._current = index
 
@@ -95,4 +152,9 @@ class StableStorage:
         return self._current
 
     def total_bytes(self) -> int:
-        return sum(len(blob) for blob in self._versions)
+        """Logical bytes across all versions (as if each were stored whole)."""
+        return sum(self._lengths)
+
+    def physical_bytes(self) -> int:
+        """Bytes actually retained after prefix-sharing delta compression."""
+        return sum(len(suffix) for _, suffix in self._records)

@@ -1,0 +1,109 @@
+"""Golden vectors for the INVOKE/REPLY wire format.
+
+The payload classes encode and decode through hand-rolled fast paths;
+these vectors (generated from the seed implementation) and the
+generic-serde cross-checks prove the fast paths emit and accept exactly
+the canonical bytes.
+"""
+
+from repro import serde
+from repro.core.messages import InvokePayload, ReplyPayload
+from repro.crypto.hashing import GENESIS_HASH
+
+INVOKE_GOLDEN = bytes.fromhex(
+    "4c0000000000000006530000000000000006494e564f4b454900000000000000"
+    "0000000000000000034200000000000000205a051da39d33a5022dbe99662029"
+    "001b67cac23823f7b69c411d5146c14f91644200000000000000026f70490000"
+    "000000000000000000000000000754"
+)
+REPLY_GOLDEN = bytes.fromhex(
+    "4c00000000000000065300000000000000055245504c59490000000000000000"
+    "0000000000000009420000000000000020050505050505050505050505050505"
+    "0505050505050505050505050505050505420000000000000001724900000000"
+    "0000000000000000000000044200000000000000205a051da39d33a5022dbe99"
+    "662029001b67cac23823f7b69c411d5146c14f9164"
+)
+
+
+class TestInvokeWire:
+    def test_encode_matches_golden(self):
+        payload = InvokePayload(
+            client_id=7,
+            last_sequence=3,
+            last_chain=GENESIS_HASH,
+            operation=b"op",
+            retry=True,
+        )
+        assert payload.encode() == INVOKE_GOLDEN
+
+    def test_encode_matches_generic_serde(self):
+        payload = InvokePayload(
+            client_id=-5,
+            last_sequence=2**90,
+            last_chain=b"\x00" * 32,
+            operation=b"\xffop" * 40,
+            retry=False,
+        )
+        assert payload.encode() == serde.encode(
+            [
+                "INVOKE",
+                payload.last_sequence,
+                payload.last_chain,
+                payload.operation,
+                payload.client_id,
+                payload.retry,
+            ]
+        )
+
+    def test_fast_decode_matches_golden(self):
+        decoded = InvokePayload.decode(INVOKE_GOLDEN)
+        assert decoded == InvokePayload(
+            client_id=7,
+            last_sequence=3,
+            last_chain=GENESIS_HASH,
+            operation=b"op",
+            retry=True,
+        )
+
+    def test_generic_fallback_agrees_with_fast_path(self):
+        """Bytes produced by generic serde (not the hand-rolled writer)
+        decode to the same payload."""
+        fields = ["INVOKE", 12, b"\x01" * 32, b"operation", 3, False]
+        assert InvokePayload.decode(serde.encode(fields)) == InvokePayload(
+            client_id=3,
+            last_sequence=12,
+            last_chain=b"\x01" * 32,
+            operation=b"operation",
+            retry=False,
+        )
+
+
+class TestReplyWire:
+    def test_encode_matches_golden(self):
+        payload = ReplyPayload(
+            sequence=9,
+            chain=b"\x05" * 32,
+            result=b"r",
+            stable_sequence=4,
+            previous_chain=GENESIS_HASH,
+        )
+        assert payload.encode() == REPLY_GOLDEN
+
+    def test_fast_decode_matches_golden(self):
+        decoded = ReplyPayload.decode(REPLY_GOLDEN)
+        assert decoded.sequence == 9
+        assert decoded.chain == b"\x05" * 32
+        assert decoded.result == b"r"
+        assert decoded.stable_sequence == 4
+        assert decoded.previous_chain == GENESIS_HASH
+
+    def test_encode_decode_round_trip_varied_sizes(self):
+        for result_size in (0, 1, 100, 5000):
+            payload = ReplyPayload(
+                sequence=1,
+                chain=b"\x02" * 32,
+                result=b"x" * result_size,
+                stable_sequence=0,
+                previous_chain=b"\x03" * 32,
+            )
+            assert ReplyPayload.decode(payload.encode()) == payload

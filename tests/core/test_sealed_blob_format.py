@@ -1,0 +1,264 @@
+"""The split sealed-blob layout: restore, tamper evidence, splice evidence.
+
+The stored blob is ``serde([key_blob, static_blob, dynamic_blob])`` with
+the dynamic layer sealed incrementally per section (see the
+:mod:`repro.core.context` module docstring).  These tests prove the
+format change keeps the paper's guarantees: a context restores faithfully
+across epoch restarts, key rotation and migration, and any bit of
+tampering — including splicing *authentic* sections from different
+versions — is detected at restore time.
+"""
+
+import pytest
+
+from repro import serde
+from repro.crypto.attestation import EpidGroup
+from repro.core import Admin, make_lcm_program_factory, migrate
+from repro.errors import AuthenticationFailure
+from repro.kvstore import KvsFunctionality, delete, get, put
+from repro.server import ServerHost
+from repro.tee import TeePlatform
+
+from tests.conftest import build_deployment
+
+
+def _sections(blob: bytes):
+    """Decode a stored blob into (key_blob, static_blob, dynamic_blob)."""
+    return serde.decode(blob)
+
+
+def _dynamic_sections(dynamic_blob: bytes):
+    """Decode a dynamic layer into (state_box, row_records, manifest_tag)."""
+    return serde.decode(dynamic_blob)
+
+
+class TestRestoreAcrossEpochs:
+    def test_full_state_and_entries_survive_restart(self):
+        host, _, (alice, bob, carol) = build_deployment()
+        alice.invoke(put("a", "1"))
+        bob.invoke(put("b", "2"))
+        carol.invoke(delete("a"))
+        host.reboot()
+        assert alice.invoke(get("b")).result == "2"
+        assert bob.invoke(get("a")).result is None
+        assert carol.invoke(get("b")).sequence == 6
+
+    def test_restart_after_restart(self):
+        """The restore path adopts the unsealed sections verbatim; a second
+        restart must restore from a blob built out of those adopted caches."""
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v1"))
+        host.reboot()
+        alice.invoke(put("k", "v2"))
+        host.reboot()
+        assert alice.invoke(get("k")).result == "v2"
+
+    def test_static_sections_are_reused_between_versions(self):
+        """Consecutive versions share the key and static-config boxes
+        byte-for-byte — the point of the static/dynamic split — which the
+        delta-compressed storage turns into physical savings."""
+        host, _, (alice, *_) = build_deployment()
+        for i in range(8):
+            alice.invoke(put("k", f"v{i}"))
+        storage = host.storage
+        first = _sections(storage.load_version(storage.version_count() - 2))
+        second = _sections(storage.load_version(storage.version_count() - 1))
+        assert first[0] == second[0]  # key blob identical
+        assert first[1] == second[1]  # static config box identical
+        assert first[2] != second[2]  # dynamic layer resealed
+        assert storage.physical_bytes() < storage.total_bytes()
+
+    def test_unchanged_state_section_is_reused_for_reads(self):
+        """A read-only operation reseals its V row but not the service
+        state section."""
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        alice.invoke(get("k"))
+        alice.invoke(get("k"))
+        storage = host.storage
+        prev = _dynamic_sections(
+            _sections(storage.load_version(storage.version_count() - 2))[2]
+        )
+        last = _dynamic_sections(
+            _sections(storage.load_version(storage.version_count() - 1))[2]
+        )
+        assert prev[0] == last[0]  # state box reused
+        assert prev[1] != last[1]  # the reader's row changed
+        assert prev[2] != last[2]  # manifest tag follows the row
+
+    def test_restore_after_membership_change_and_kc_rotation(self):
+        """kC rotation forces every stored row to reseal under the new key;
+        a restart afterwards must still restore the whole V."""
+        from repro.core.membership import remove_client
+
+        host, deployment, (alice, bob, carol) = build_deployment()
+        alice.invoke(put("k", "v"))
+        remove_client(deployment, host, carol.client_id)
+        bob.invoke(put("k2", "w"))
+        host.reboot()
+        assert alice.invoke(get("k2")).result == "w"
+        assert bob.invoke(get("k")).result == "v"
+
+
+class TestTamperEvidence:
+    def test_any_flipped_byte_is_rejected_at_restore(self):
+        """Sample byte positions across the whole blob (key blob, static
+        blob, state box, row records including the plaintext acknowledged
+        markers, manifest tag): every flip must fail authentication."""
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v" * 50))
+        alice.invoke(get("k"))
+        good = host.storage.load()
+        for offset in range(0, len(good), 23):
+            tampered = bytearray(good)
+            tampered[offset] ^= 0x01
+            host.storage.store(bytes(tampered))
+            with pytest.raises(AuthenticationFailure):
+                host.reboot()
+            host.storage.store(good)  # make the good blob current again
+            host.reboot()
+
+    def test_truncated_dynamic_section_rejected(self):
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "v"))
+        key_blob, static_blob, dynamic_blob = _sections(host.storage.load())
+        host.storage.store(
+            serde.encode([key_blob, static_blob, dynamic_blob[:-20]])
+        )
+        with pytest.raises(AuthenticationFailure):
+            host.reboot()
+
+
+class TestSpliceEvidence:
+    """Mix-and-match of *authentic* sections from different versions —
+    the attack the manifest tag exists to stop."""
+
+    def _two_versions(self):
+        host, _, (alice, *_) = build_deployment()
+        alice.invoke(put("k", "old"))
+        alice.invoke(get("k"))
+        earlier = host.storage.load()
+        alice.invoke(put("k", "new"))
+        alice.invoke(get("k"))
+        later = host.storage.load()
+        return host, earlier, later
+
+    def test_spliced_state_section_rejected(self):
+        """Service state from version N, V rows from version M: the
+        classic stale-read rollback a monolithic seal would also stop."""
+        host, earlier, later = self._two_versions()
+        key_blob, static_blob, dyn_later = _sections(later)
+        old_state_box = _dynamic_sections(_sections(earlier)[2])[0]
+        _, rows, tag = _dynamic_sections(dyn_later)
+        hybrid = serde.encode(
+            [key_blob, static_blob, serde.encode([old_state_box, rows, tag])]
+        )
+        host.storage.store(hybrid)
+        with pytest.raises(AuthenticationFailure, match="manifest"):
+            host.reboot()
+
+    def test_spliced_row_record_rejected(self):
+        """One client's stored row replaced by its own older (authentic)
+        record — per-row rollback must be as detectable as whole-blob
+        rollback."""
+        host, earlier, later = self._two_versions()
+        key_blob, static_blob, dyn_later = _sections(later)
+        old_rows = _dynamic_sections(_sections(earlier)[2])[1]
+        state_box, rows, tag = _dynamic_sections(dyn_later)
+        victim = next(iter(rows))
+        spliced_rows = dict(rows)
+        spliced_rows[victim] = old_rows[victim]
+        hybrid = serde.encode(
+            [key_blob, static_blob, serde.encode([state_box, spliced_rows, tag])]
+        )
+        host.storage.store(hybrid)
+        with pytest.raises(AuthenticationFailure, match="manifest"):
+            host.reboot()
+
+    def test_spliced_static_section_rejected(self):
+        """A retired static config (pre-kC-rotation) paired with a newer
+        dynamic layer must fail the manifest, not just the row unsealing —
+        even a rowless group would otherwise silently revive the old kC."""
+        from repro.core.membership import remove_client
+
+        host, deployment, (alice, _bob, carol) = build_deployment()
+        alice.invoke(put("k", "v"))
+        before_rotation = host.storage.load()
+        remove_client(deployment, host, carol.client_id)
+        alice.invoke(put("k", "w"))
+        after_rotation = host.storage.load()
+        key_blob, _old_static, _ = _sections(before_rotation)
+        _, _new_static, dyn = _sections(after_rotation)
+        hybrid = serde.encode([key_blob, _old_static, dyn])
+        host.storage.store(hybrid)
+        with pytest.raises(AuthenticationFailure, match="manifest"):
+            host.reboot()
+
+    def test_dropped_row_rejected(self):
+        host, _earlier, later = self._two_versions()
+        key_blob, static_blob, dyn = _sections(later)
+        state_box, rows, tag = _dynamic_sections(dyn)
+        shrunk = dict(rows)
+        shrunk.pop(next(iter(shrunk)))
+        hybrid = serde.encode(
+            [key_blob, static_blob, serde.encode([state_box, shrunk, tag])]
+        )
+        host.storage.store(hybrid)
+        with pytest.raises(AuthenticationFailure, match="manifest"):
+            host.reboot()
+
+
+class TestReorderedRows:
+    def test_host_reordered_rows_do_not_poison_future_seals(self):
+        """The manifest check is order-independent (both sides sort), so a
+        host may present the authentic row records in any dict order.  The
+        restore must re-canonicalize rather than adopt that order —
+        otherwise its own next seal emits rows and manifest out of sync and
+        the context can never restore its own blob again."""
+        host, _, (alice, bob, _) = build_deployment()
+        alice.invoke(put("k", "v"))
+        bob.invoke(get("k"))
+        key_blob, static_blob, dyn = _sections(host.storage.load())
+        state_box, rows, tag = _dynamic_sections(dyn)
+        # hand-assemble the dynamic section with the row records in reverse
+        # canonical order (serde.encode would re-sort a dict)
+        buf = bytearray()
+        serde.encode_list_header(buf, 3)
+        buf += serde.encode(state_box)
+        serde.encode_dict_header(buf, len(rows))
+        for enc_id, client_id in sorted(
+            ((serde.encode(cid), cid) for cid in rows), reverse=True
+        ):
+            buf += enc_id
+            buf += serde.encode(rows[client_id])
+        buf += serde.encode(tag)
+        host.storage.store(serde.encode([key_blob, static_blob, bytes(buf)]))
+        host.reboot()  # authentic content: restore succeeds
+        alice.invoke(put("k", "w"))  # reseal from the adopted sections
+        host.reboot()  # the context's own blob must restore
+        assert alice.invoke(get("k")).result == "w"
+
+
+class TestRestoreAcrossMigration:
+    def test_target_restores_from_its_own_sealed_blob(self):
+        """After a migration the target seals in the new format under its
+        own platform keys; a target restart must restore faithfully."""
+        group = EpidGroup()
+        factory = make_lcm_program_factory(KvsFunctionality)
+        origin = ServerHost(TeePlatform(group), factory)
+        target = ServerHost(TeePlatform(group), factory)
+        admin = Admin(
+            group.verifier(), TeePlatform.expected_measurement(factory)
+        )
+        deployment = admin.bootstrap(origin, client_ids=[1, 2])
+        alice, bob = deployment.make_all_clients(origin)
+        alice.invoke(put("k", "v"))
+        bob.invoke(put("k2", "w"))
+        migrate(origin, target, group.verifier())
+        alice._transport = target
+        bob._transport = target
+        alice.invoke(put("k3", "x"))
+        target.reboot()
+        assert bob.invoke(get("k")).result == "v"
+        assert alice.invoke(get("k3")).result == "x"
+        assert alice.last_sequence == 5
