@@ -59,13 +59,20 @@ def run_with_pytest_benchmark() -> dict | None:
         capture_output=True,
         text=True,
     )
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stdout + proc.stderr)
-        raise SystemExit("microbenchmark run failed")
-    with open(json_path) as handle:
-        document = json.load(handle)
+    try:
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit("microbenchmark run failed")
+        with open(json_path) as handle:
+            document = json.load(handle)
+    finally:
+        pathlib.Path(json_path).unlink(missing_ok=True)
     document["summary"] = _summarize(document["benchmarks"])
     document["runner"] = "pytest-benchmark"
+    # drop the raw per-round timing arrays: tens of thousands of floats
+    # that would bloat the committed perf record; the stats keep the story
+    for bench in document["benchmarks"]:
+        bench["stats"].pop("data", None)
     return document
 
 
