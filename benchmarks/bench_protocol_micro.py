@@ -93,3 +93,34 @@ def test_micro_batched_invoke(benchmark):
 
     replies = benchmark.pedantic(one_batch, rounds=20, iterations=1)
     assert len(replies) == 16
+
+
+def test_micro_shard_scaling(benchmark):
+    """A fixed uniform workload over 2 sharded groups vs. the same keys
+    funneled through 1 group — the per-round cost of the routed path,
+    provisioning excluded (clusters are reused across rounds)."""
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    clusters = {
+        shards: ShardedCluster(shards=shards, clients=4, seed=shards)
+        for shards in (1, 2)
+    }
+    routers = {shards: ShardRouter(cluster) for shards, cluster in clusters.items()}
+
+    def one_round():
+        elapsed = {}
+        for shards, cluster in clusters.items():
+            router = routers[shards]
+            start = cluster.sim.now
+            for client_id in cluster.client_ids:
+                for i in range(4):
+                    # fixed key set: state size (and so per-round cost)
+                    # reaches steady state after the first round
+                    router.submit(client_id, put(f"k-{i}", "v" * 64))
+            cluster.run()
+            elapsed[shards] = cluster.sim.now - start
+        return elapsed
+
+    elapsed = benchmark.pedantic(one_round, rounds=10, iterations=1)
+    # two groups drain the same offered load in less virtual time
+    assert elapsed[2] < elapsed[1]

@@ -9,6 +9,11 @@ Preferred path: pytest-benchmark, whose full stats JSON is written
 verbatim (plus a compact ``summary`` section).  If pytest-benchmark is
 not installed, a minimal best-of-N timer fallback measures the same
 scenarios directly so the file is always produced.
+
+``--quick`` is the CI smoke mode: it always uses the timer fallback with
+a handful of iterations per scenario, finishing in seconds — enough to
+prove every scenario still runs and to eyeball order-of-magnitude
+regressions, not to commit as the perf record.
 """
 
 from __future__ import annotations
@@ -76,7 +81,7 @@ def run_with_pytest_benchmark() -> dict | None:
     return document
 
 
-def run_with_timer_fallback() -> dict:
+def run_with_timer_fallback(*, quick: bool = False) -> dict:
     """Best-of-N timeit over the same scenarios, no plugins required."""
     import timeit
 
@@ -87,6 +92,7 @@ def run_with_timer_fallback() -> dict:
     from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
     from repro.crypto.hashing import GENESIS_HASH, chain_extend
     from repro.kvstore import get, put
+    from repro.sharding import ShardRouter, ShardedCluster
 
     key = AeadKey(b"\x01" * 16)
     payload_2500 = b"x" * 2500
@@ -94,6 +100,25 @@ def run_with_timer_fallback() -> dict:
     alice.invoke(put("k", "v" * 100))
     state = {f"user{i:012d}": "v" * 100 for i in range(100)}
     operation = serde.encode(["PUT", "k" * 40, "v" * 100])
+
+    # sharded-path round: the same uniform load routed over 1 and 2 groups
+    # (provisioning excluded; clusters persist across iterations, and the
+    # fixed key set keeps state size — so per-round cost — stationary)
+    shard_clusters = {
+        shards: ShardedCluster(shards=shards, clients=4, seed=shards)
+        for shards in (1, 2)
+    }
+    shard_routers = {
+        shards: ShardRouter(cluster) for shards, cluster in shard_clusters.items()
+    }
+
+    def shard_scaling():
+        for shards, cluster in shard_clusters.items():
+            router = shard_routers[shards]
+            for client_id in cluster.client_ids:
+                for i in range(4):
+                    router.submit(client_id, put(f"k-{i}", "v" * 64))
+            cluster.run()
 
     scenarios = {
         "test_micro_aead_encrypt_100b": lambda: auth_encrypt(b"x" * 100, key),
@@ -105,27 +130,44 @@ def run_with_timer_fallback() -> dict:
         ),
         "test_micro_serde_encode_state": lambda: serde.encode(state),
         "test_micro_full_invoke_round_trip": lambda: alice.invoke(get("k")),
+        "test_micro_shard_scaling": shard_scaling,
     }
+    number = 5 if quick else 200
+    repeat = 2 if quick else 5
     summary = {}
     for name, fn in scenarios.items():
         fn()  # warm caches the way the pytest fixtures would
-        number = 200
-        best = min(timeit.repeat(fn, number=number, repeat=5)) / number
+        best = min(timeit.repeat(fn, number=number, repeat=repeat)) / number
         summary[name] = {"best_us": round(best * 1e6, 2), "iterations": number}
-    return {"runner": "timer-fallback", "summary": summary}
+    runner = "timer-fallback-quick" if quick else "timer-fallback"
+    return {"runner": runner, "summary": summary}
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default=str(REPO_ROOT / "BENCH_micro.json"),
-        help="where to write the results (default: repo root)",
+        default=None,
+        help="where to write the results (default: BENCH_micro.json in "
+        "the repo root; BENCH_micro_quick.json with --quick, so smoke "
+        "numbers never clobber the committed perf record)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: timer fallback with a few iterations per "
+        "scenario (seconds, not minutes); not for the committed record",
     )
     args = parser.parse_args()
-    document = run_with_pytest_benchmark()
-    if document is None:
-        document = run_with_timer_fallback()
+    if args.output is None:
+        name = "BENCH_micro_quick.json" if args.quick else "BENCH_micro.json"
+        args.output = str(REPO_ROOT / name)
+    if args.quick:
+        document = run_with_timer_fallback(quick=True)
+    else:
+        document = run_with_pytest_benchmark()
+        if document is None:
+            document = run_with_timer_fallback()
     document.setdefault("machine_info", {}).setdefault(
         "python", platform.python_version()
     )

@@ -14,6 +14,11 @@ Subcommands::
     python -m repro.cli cluster [--clients N] [--ops N]
         Run the real protocol over the simulated network and verify
         fork-linearizability of the resulting execution.
+
+    python -m repro.cli shard [--shards N] [--clients N] [--ops N]
+        Run a uniform YCSB mix across N sharded LCM groups (with a
+        mid-run migration-driven rebalance unless --no-rebalance) and
+        verify every shard's execution.
 """
 
 from __future__ import annotations
@@ -135,6 +140,43 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_shard_scaling
+
+    if args.shards < 1 or args.clients < 1 or args.ops < 1:
+        print("shard: --shards, --clients and --ops must all be >= 1")
+        return 2
+    result = run_shard_scaling(
+        shard_counts=[1, args.shards] if args.shards > 1 else [1],
+        clients=args.clients,
+        requests_per_client=args.ops,
+        rebalance=args.rebalance,
+        seed=args.seed,
+    )
+    for shards, rate, moved, violations in zip(
+        result.series["shards"],
+        result.series["ops_per_second"],
+        result.series["rebalances"],
+        result.series["violations"],
+    ):
+        note = f" ({moved} rebalance)" if moved else ""
+        if violations:
+            note += f" [{violations} VIOLATION(S)]"
+        print(f"{shards} shard(s): {rate:,.0f} ops/s simulated{note}")
+    speedup = result.ratios["speedup_at_max"]
+    if not result.ratios["zero_violations"]:
+        print(
+            f"aggregate speedup at {result.series['shards'][-1]} shards: "
+            f"{speedup:.2f}x; CONSISTENCY VIOLATIONS DETECTED (see above)"
+        )
+        return 1
+    print(
+        f"aggregate speedup at {result.series['shards'][-1]} shards: "
+        f"{speedup:.2f}x; all shards verified fork-linearizable"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LCM (DSN 2017) reproduction toolkit"
@@ -160,6 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--ops", type=int, default=6)
     cluster.add_argument("--seed", type=int, default=0)
     cluster.set_defaults(handler=_cmd_cluster)
+
+    shard = sub.add_parser(
+        "shard", help="sharded-group scaling run + per-shard checker"
+    )
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--clients", type=int, default=24)
+    shard.add_argument("--ops", type=int, default=16,
+                       help="logical YCSB requests per client")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--no-rebalance", dest="rebalance",
+                       action="store_false",
+                       help="skip the mid-run shard migration")
+    shard.set_defaults(handler=_cmd_shard)
     return parser
 
 

@@ -20,6 +20,7 @@ attack):
 
 from repro.consistency.fork_linearizability import (
     ForkTree,
+    check_cluster_execution,
     check_fork_linearizable,
     views_from_audit_logs,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "OperationRecord",
     "ClientView",
     "is_linearizable",
+    "check_cluster_execution",
     "check_fork_linearizable",
     "views_from_audit_logs",
     "ForkTree",

@@ -230,3 +230,33 @@ def _check_no_join(view_a: ClientView, view_b: ClientView) -> None:
             f"diverge at position {common} but later share {len(joined)} "
             "operation(s): forks were joined"
         )
+
+
+def check_cluster_execution(
+    logs: list[list[AuditRecord]],
+    clients: dict[int, Any],
+    history: Any,
+    functionality: Functionality,
+) -> ForkTree:
+    """Assemble the Sec. 3.2.1 checker inputs from live cluster objects.
+
+    The one place the evidence construction lives, shared by every cluster
+    runtime (the single-group ``SimulatedCluster``, the per-shard
+    ``ShardRouter`` checks): ``clients`` maps client id to any object
+    exposing ``last_sequence``/``last_chain``; ``history`` is the
+    :class:`~repro.consistency.history.History` recorded while the
+    execution ran.  Returns the :class:`ForkTree` or raises the first
+    :class:`~repro.errors.SecurityViolation` found.
+    """
+    points = {
+        client_id: ChainPoint(client.last_sequence, client.last_chain)
+        for client_id, client in clients.items()
+    }
+    lookup = {
+        (record.client_id, record.sequence): record
+        for record in history.records()
+        if record.sequence is not None
+    }
+    own = {client_id: history.by_client(client_id) for client_id in clients}
+    views = views_from_audit_logs(logs, points, lookup)
+    return check_fork_linearizable(views, functionality, own_operations=own)

@@ -22,6 +22,7 @@ before store) or re-sends the stored reply (crash after store).
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass
 from typing import Any, Protocol
 
@@ -41,8 +42,10 @@ class TransportTimeout(LCMError):
 #: Canonical bytes of recently invoked operations.  Only tuples whose
 #: elements are all str/bytes are memoized: those types are unambiguous as
 #: dict keys, whereas e.g. ``True`` and ``1`` compare equal but encode
-#: differently.  Cleared wholesale when full.
-_OP_ENCODE_CACHE: dict[tuple, bytes] = {}
+#: differently.  A proper LRU (ordered dict, move-to-end on hit, evict the
+#: least recent when full) so a zipfian key set larger than the capacity
+#: keeps its hot head cached instead of thrashing wholesale.
+_OP_ENCODE_CACHE: collections.OrderedDict[tuple, bytes] = collections.OrderedDict()
 _OP_ENCODE_CACHE_MAX = 512
 
 
@@ -54,8 +57,10 @@ def _encode_operation(operation: Any) -> bytes:
         if cached is None:
             cached = serde.encode(operation)
             if len(_OP_ENCODE_CACHE) >= _OP_ENCODE_CACHE_MAX:
-                _OP_ENCODE_CACHE.clear()
+                _OP_ENCODE_CACHE.popitem(last=False)
             _OP_ENCODE_CACHE[operation] = cached
+        else:
+            _OP_ENCODE_CACHE.move_to_end(operation)
         return cached
     return serde.encode(operation)  # tuples encode as lists
 

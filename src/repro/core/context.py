@@ -90,6 +90,7 @@ under a fresh nonce.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -187,21 +188,24 @@ def _row_record(acknowledged: int, reply_box: bytes) -> bytes:
 #: operations heavily).  Only flat lists of scalars are memoized so a
 #: functionality that mutates nested operation structure cannot corrupt the
 #: cache; stored and returned lists are distinct copies.  Keyed by canonical
-#: bytes, which are unambiguous.  Cleared wholesale when full.
-_OP_DECODE_CACHE: dict[bytes, list] = {}
+#: bytes, which are unambiguous.  A proper LRU (ordered dict, move-to-end on
+#: hit, least-recent eviction) so a zipfian key set larger than the capacity
+#: keeps its hot head cached instead of thrashing wholesale.
+_OP_DECODE_CACHE: collections.OrderedDict[bytes, list] = collections.OrderedDict()
 _OP_DECODE_CACHE_MAX = 1024
 
 
 def _decode_operation(data: bytes) -> Any:
     cached = _OP_DECODE_CACHE.get(data)
     if cached is not None:
+        _OP_DECODE_CACHE.move_to_end(data)
         return cached.copy()
     value = serde.decode(data)
     if type(value) is list and all(
         type(item) in (str, bytes, int, bool) or item is None for item in value
     ):
         if len(_OP_DECODE_CACHE) >= _OP_DECODE_CACHE_MAX:
-            _OP_DECODE_CACHE.clear()
+            _OP_DECODE_CACHE.popitem(last=False)
         _OP_DECODE_CACHE[data] = value.copy()
     return value
 
@@ -264,12 +268,18 @@ class LcmContext:
         self._static_blob: bytes | None = None
         self._static_blob_hash: bytes | None = None  # framed, manifest input
         # client_id -> (encoded id, blob piece ``enc_id || framed record``,
-        # manifest piece ``enc_id || framed record hash``), kept in
-        # canonical (encoded-id) order so seals join without sorting;
-        # ids in _dirty_rows need resealing before the next store
+        # manifest piece ``enc_id || framed record hash``); ids in
+        # _dirty_rows need resealing before the next store.  The assembly
+        # buffers below mirror the rows in canonical (encoded-id) order so
+        # the per-invoke seal patches the changed row's slot in place —
+        # O(1) Python work per operation — instead of re-joining every row;
+        # _rows_unsorted marks them stale (membership events, restore).
         self._row_seals: dict[int, tuple[bytes, bytes, bytes]] = {}
         self._dirty_rows: set[int] = set()
         self._rows_unsorted = False
+        self._row_index: dict[int, int] = {}
+        self._row_blob_pieces: list[bytes] = []
+        self._row_manifest_pieces: list[bytes] = []
         # (framed state box, framed box hash) — valid while self._state is
         # the exact object it sealed.  Safe because Functionality.apply must
         # not mutate state in place: read-only operations return the same
@@ -395,7 +405,7 @@ class LcmContext:
                 enc_id + _frame_bytes(_sha256(record).digest()),
             )
         self._dirty_rows.clear()
-        self._rows_unsorted = False
+        self._rebuild_row_arrays()
         if self._entries:
             _, top = argmax_entry(self._entries)
             self._sequence = top.last_sequence
@@ -417,15 +427,35 @@ class LcmContext:
     def _store_row_seal(
         self, client_id: int, acknowledged: int, reply_box: bytes
     ) -> None:
-        """Cache the stored form of one V row from its REPLY box."""
+        """Cache the stored form of one V row from its REPLY box, patching
+        the assembly buffers' slot for that row in place (the O(1) hot
+        path; only membership-scale events rebuild the buffers)."""
         record = _row_record(acknowledged, reply_box)
         cached = self._row_seals.get(client_id)
         enc_id = cached[0] if cached is not None else serde.encode(client_id)
-        self._row_seals[client_id] = (
-            enc_id,
-            enc_id + _frame_bytes(record),
-            enc_id + _frame_bytes(_sha256(record).digest()),
-        )
+        blob_piece = enc_id + _frame_bytes(record)
+        manifest_piece = enc_id + _frame_bytes(_sha256(record).digest())
+        self._row_seals[client_id] = (enc_id, blob_piece, manifest_piece)
+        if not self._rows_unsorted:
+            slot = self._row_index.get(client_id)
+            if slot is None:
+                self._rows_unsorted = True  # row not laid out yet
+            else:
+                self._row_blob_pieces[slot] = blob_piece
+                self._row_manifest_pieces[slot] = manifest_piece
+
+    def _rebuild_row_arrays(self) -> None:
+        """Re-derive the canonical row layout (sorted by encoded id) after
+        a membership-scale event: provision, join/leave, restore,
+        migration import, kC rotation."""
+        items = sorted(self._row_seals.items(), key=lambda item: item[1][0])
+        self._row_seals = dict(items)
+        self._row_index = {
+            client_id: slot for slot, (client_id, _) in enumerate(items)
+        }
+        self._row_blob_pieces = [row[1] for _, row in items]
+        self._row_manifest_pieces = [row[2] for _, row in items]
+        self._rows_unsorted = False
 
     def _reset_entries(self, entries: dict[int, ClientEntry]) -> None:
         """Replace V wholesale (provision / restore / migration import)."""
@@ -438,6 +468,7 @@ class LcmContext:
         del self._entries[client_id]
         self._row_seals.pop(client_id, None)
         self._dirty_rows.discard(client_id)
+        self._rows_unsorted = True  # slot layout changed
 
     def _invalidate_seal_caches(self) -> None:
         """Drop every cached box (the keys they were sealed under changed)."""
@@ -449,6 +480,9 @@ class LcmContext:
         self._row_seals = {}
         self._dirty_rows = set(self._entries)
         self._rows_unsorted = True
+        self._row_index = {}
+        self._row_blob_pieces = []
+        self._row_manifest_pieces = []
 
     # ----------------------------------------------------------------- sealing
 
@@ -497,10 +531,7 @@ class LcmContext:
                 self._store_row_seal(client_id, entry.acknowledged, box)
             self._dirty_rows.clear()
         if self._rows_unsorted:
-            self._row_seals = dict(
-                sorted(self._row_seals.items(), key=lambda item: item[1][0])
-            )
-            self._rows_unsorted = False
+            self._rebuild_row_arrays()
 
     @staticmethod
     def _build_manifest(
@@ -518,15 +549,14 @@ class LcmContext:
         chunks sorted by encoded id; seal and restore must build identical
         bytes.
         """
-        return b"".join(
-            [
-                _THREE_LIST_HEADER,
-                framed_static_hash,
-                framed_state_hash,
-                _dict_header(len(pieces)),
-                *pieces,
-            ]
-        )
+        parts = [
+            _THREE_LIST_HEADER,
+            framed_static_hash,
+            framed_state_hash,
+            _dict_header(len(pieces)),
+        ]
+        parts += pieces  # C-level extend: no per-row Python iteration
+        return b"".join(parts)
 
     def _dynamic_blob(self) -> bytes:
         """Assemble ``serde([state_box, {id: row_record}, manifest_tag])``
@@ -536,21 +566,22 @@ class LcmContext:
         blob (and its hash) exist first.
         """
         self._refresh_dynamic_seals()
-        rows = self._row_seals.values()  # already in canonical order
         framed_state_box, framed_state_hash = self._state_seal
+        # the assembly buffers are already canonical: the per-invoke path
+        # patched only the changed row's slot, so no re-sort or per-row
+        # re-join happens here — just two C-level joins over cached pieces
         manifest = self._build_manifest(
-            self._static_blob_hash, framed_state_hash, [row[2] for row in rows]
+            self._static_blob_hash, framed_state_hash, self._row_manifest_pieces
         )
         tag = mac_tag(manifest, self._state_key, associated_data=_MANIFEST_AD)
-        return b"".join(
-            [
-                _THREE_LIST_HEADER,
-                framed_state_box,
-                _dict_header(len(rows)),
-                *[row[1] for row in rows],
-                _frame_bytes(tag),
-            ]
-        )
+        parts = [
+            _THREE_LIST_HEADER,
+            framed_state_box,
+            _dict_header(len(self._row_blob_pieces)),
+        ]
+        parts += self._row_blob_pieces
+        parts.append(_frame_bytes(tag))
+        return b"".join(parts)
 
     def _sealed_blob(self) -> bytes:
         """Seal the mutable sections that changed; reuse the cached static

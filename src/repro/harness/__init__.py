@@ -13,6 +13,7 @@ from repro.harness.experiments import (
     run_sec62_enclave_memory,
     run_sec63_message_overhead,
     run_sec65_tmc_comparison,
+    run_shard_scaling,
 )
 from repro.harness.report import render_series_table, summarize_bands
 
@@ -23,6 +24,7 @@ __all__ = [
     "run_sec62_enclave_memory",
     "run_sec63_message_overhead",
     "run_sec65_tmc_comparison",
+    "run_shard_scaling",
     "render_series_table",
     "summarize_bands",
 ]

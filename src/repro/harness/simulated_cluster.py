@@ -27,7 +27,7 @@ from repro.core.client import LcmResult
 from repro.kvstore import KvsFunctionality
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
-from repro.net.simulation import Simulator
+from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
 from repro.server import ServerHost
 from repro.tee import TeePlatform
 
@@ -138,7 +138,9 @@ class SimulatedCluster:
             self._maybe_dispatch()
 
         # model a small enclave service interval so more requests can queue
-        self.sim.schedule(50e-6 * len(batch), deliver, label="enclave-batch")
+        self.sim.schedule(
+            ENCLAVE_SERVICE_INTERVAL * len(batch), deliver, label="enclave-batch"
+        )
 
     # ------------------------------------------------------------ workload
 
@@ -161,22 +163,9 @@ class SimulatedCluster:
 
     def check_fork_linearizable(self):
         """Validate the execution with the offline checker."""
-        from repro.consistency import check_fork_linearizable, views_from_audit_logs
-        from repro.core.hashchain import ChainPoint
+        from repro.consistency import check_cluster_execution
         from repro.kvstore import KvsFunctionality as Kvs
 
-        points = {
-            client_id: ChainPoint(client.last_sequence, client.last_chain)
-            for client_id, client in self.clients.items()
-        }
-        lookup = {
-            (record.client_id, record.sequence): record
-            for record in self.history.records()
-            if record.sequence is not None
-        }
-        views = views_from_audit_logs([self.audit_log()], points, lookup)
-        own = {
-            client_id: self.history.by_client(client_id)
-            for client_id in self.clients
-        }
-        return check_fork_linearizable(views, Kvs(), own_operations=own)
+        return check_cluster_execution(
+            [self.audit_log()], self.clients, self.history, Kvs()
+        )

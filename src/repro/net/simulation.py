@@ -26,6 +26,13 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 
+#: Virtual enclave service time per request in a batch, shared by every
+#: cluster runtime that schedules batch delivery on this clock
+#: (``SimulatedCluster``, ``ShardedCluster``).  Harness code estimating
+#: run length (e.g. a mid-run rebalance point) must reference it rather
+#: than hardcode a copy.
+ENCLAVE_SERVICE_INTERVAL = 50e-6
+
 
 @dataclass(order=True)
 class Event:

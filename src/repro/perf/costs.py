@@ -114,6 +114,15 @@ class CostModel:
         )
     )
 
+    # --- sealed-store geometry.  StableStorage persists consecutive sealed
+    # blobs as prefix deltas (key/static boxes change only on membership or
+    # key events), so a steady-state per-op store writes the changed V row
+    # — a REPLY box carrying the object — plus the manifest reseal, not the
+    # whole blob.  The disk charge uses the delta size; the full size is
+    # kept for cold stores and diagnostics.
+    sealed_blob_base: int = 256   # full blob: key/static/state boxes + framing
+    sealed_delta_base: int = 96   # per-op delta: changed row + manifest tag
+
     # --- trusted monotonic counter.  The paper measured 60 ms per SGX TMC
     # increment on Windows but observed ~12 ops/s end to end; 80 ms per
     # increment reproduces the observed rate including protocol overhead.
@@ -136,3 +145,13 @@ class CostModel:
 
     def state_seal_time(self, object_size: int) -> float:
         return self.state_seal_base + self.state_seal_per_byte * object_size
+
+    def sealed_store_bytes(self, object_size: int, *, delta: bool = True) -> int:
+        """Bytes one per-op state store writes to disk.
+
+        ``delta=True`` (the steady state) charges the prefix-compressed
+        suffix StableStorage actually appends; ``delta=False`` the whole
+        sealed blob (first store of an epoch, membership/key events).
+        """
+        base = self.sealed_delta_base if delta else self.sealed_blob_base
+        return base + object_size

@@ -140,7 +140,11 @@ class ServerEngine:
                 per_batch += costs.lcm_state_seal_extra
             if spec.tmc:
                 per_batch += costs.tmc_increment_latency
-            write_time = costs.disk.write_time(256 + z, fsync=self._fsync)
+            # StableStorage delta-compresses consecutive sealed blobs, so
+            # the steady-state store hits the disk with the suffix only
+            write_time = costs.disk.write_time(
+                costs.sealed_store_bytes(z), fsync=self._fsync
+            )
             if spec.lcm and self._fsync:
                 write_time *= costs.lcm_sync_write_factor
             per_batch += write_time

@@ -158,3 +158,14 @@ class StableStorage:
     def physical_bytes(self) -> int:
         """Bytes actually retained after prefix-sharing delta compression."""
         return sum(len(suffix) for _, suffix in self._records)
+
+    def last_delta_bytes(self) -> int | None:
+        """Bytes the most recent store physically appended (its suffix).
+
+        This is the quantity the :class:`DiskModel` charges a steady-state
+        sync write for (``CostModel.sealed_store_bytes``): the sealed-blob
+        prefix shared with the previous version never hits the disk again.
+        """
+        if not self._records:
+            return None
+        return len(self._records[-1][1])

@@ -1,0 +1,39 @@
+"""Sharded group runtime: many LCM groups over one partitioned keyspace.
+
+The paper protects a *single* enclave-hosted functionality; its client
+scaling results (Figs. 5/6) saturate at the one-group ceiling because the
+whole keyspace funnels through one single-threaded trusted context.  This
+package runs **many LCM groups side by side**:
+
+- :mod:`~repro.sharding.partitioner` — a consistent-hash keyspace
+  partitioner with virtual nodes (:class:`HashRing`);
+- :mod:`~repro.sharding.cluster` — :class:`ShardedCluster`, provisioning N
+  independent groups (own platform, host, sealed storage, batch queue)
+  over the discrete-event simulator, with migration-driven rebalancing;
+- :mod:`~repro.sharding.router` — :class:`ShardRouter`, the client facade
+  that routes single-key operations, fans multi-key/scan requests out
+  across shards concurrently, and merges per-shard fork-linearizability
+  evidence into one :class:`ShardedVerdict`.
+
+Every shard individually keeps LCM's rollback/forking guarantees; the
+compound system adds horizontal scale without weakening any of them.
+"""
+
+from repro.sharding.cluster import ShardedCluster, ShardedStats
+from repro.sharding.partitioner import HashRing
+from repro.sharding.router import (
+    ShardRouter,
+    ShardVerdict,
+    ShardedVerdict,
+    routing_key,
+)
+
+__all__ = [
+    "HashRing",
+    "ShardedCluster",
+    "ShardedStats",
+    "ShardRouter",
+    "ShardVerdict",
+    "ShardedVerdict",
+    "routing_key",
+]

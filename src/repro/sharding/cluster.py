@@ -1,0 +1,467 @@
+"""N independent LCM groups over one discrete-event simulator.
+
+Each *shard* is a complete Fig. 3 deployment — its own
+:class:`~repro.tee.platform.TeePlatform`, :class:`~repro.server.ServerHost`
+with sealed storage, bounded batch queue, and per-client
+:class:`~repro.core.async_client.AsyncLcmClient` machines — bootstrapped by
+its own admin with its own key set.  A consistent-hash ring
+(:class:`~repro.sharding.partitioner.HashRing`) assigns every key to
+exactly one shard, so the compound system serves a partitioned keyspace
+while every shard individually retains LCM's rollback/forking detection.
+
+Shards share nothing but the virtual clock: an attack on one shard (or its
+rebalancing) never blocks the others, which is what makes aggregate
+throughput scale with the shard count (the per-group enclave is the
+single-threaded bottleneck of Sec. 6.4).
+
+Rebalancing
+-----------
+``rebalance(shard_id)`` moves a shard's key range onto fresh hardware by
+driving the paper's migration machinery (Sec. 4.6.2 /
+:mod:`repro.core.migration`): a new platform + host pair is stood up, the
+origin context attests it and hands over ``(kP, kC, kA, s, V)`` through the
+attested DH channel, and the origin permanently stops serving.  Clients are
+untouched — their ``(tc, hc)`` still verify against the migrated ``V`` — so
+rollback and forking detection hold *through* the resharding event.  If the
+shard's enclave is mid-batch the request is deferred until the batch
+completes, mirroring "T stops processing requests" only at a batch
+boundary.
+
+Adversarial shards
+------------------
+``malicious_shards`` provisions chosen shards on a
+:class:`~repro.server.MaliciousServer` so attack tests can fork or roll
+back *one* shard while the rest stay honest; violations detected during
+the run (by a shard's context or by a client) are recorded per shard
+instead of aborting the simulation, letting the router attribute the
+failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consistency.history import History
+from repro.core import Admin, make_lcm_program_factory, migrate
+from repro.core.async_client import AsyncLcmClient
+from repro.core.context import AuditRecord
+from repro.crypto.attestation import EpidGroup
+from repro.errors import ConfigurationError, SecurityViolation
+from repro.kvstore import KvsFunctionality
+from repro.net.channel import Channel
+from repro.net.latency import LatencyModel
+from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
+from repro.server import MaliciousServer, ServerHost
+from repro.sharding.partitioner import HashRing
+from repro.tee import TeePlatform
+
+
+@dataclass
+class ShardedStats:
+    """Aggregate and per-shard counters kept while the cluster runs."""
+
+    operations_completed: int = 0
+    rebalances: int = 0
+    per_shard_operations: dict[int, int] = field(default_factory=dict)
+    per_shard_batches: dict[int, int] = field(default_factory=dict)
+
+    def mean_batch_size(self, shard_id: int) -> float:
+        """Completed operations per enclave batch on one shard (the
+        emergent Sec. 5.3 batching, per group)."""
+        batches = self.per_shard_batches.get(shard_id, 0)
+        if not batches:
+            return 0.0
+        return self.per_shard_operations.get(shard_id, 0) / batches
+
+
+@dataclass
+class _Fork:
+    """One forked enclave instance of a malicious shard, plus the log
+    prefix the primary had executed when the fork was seeded (the global
+    observer's reconstruction, as in the attack tests)."""
+
+    instance_index: int
+    log_prefix: list[AuditRecord]
+
+
+class _Shard:
+    """Runtime state of one LCM group inside the sharded cluster."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.platform: TeePlatform | None = None
+        self.host: Any = None
+        self.deployment = None
+        self.history = History()
+        self.clients: dict[int, AsyncLcmClient] = {}
+        self.up: dict[int, Channel] = {}
+        self.down: dict[int, Channel] = {}
+        self.batch_pending: list[tuple[int, bytes]] = []
+        self.enclave_busy = False
+        self.rebalance_requested = False
+        self.violation: SecurityViolation | None = None
+        self.audit_prefix: list[AuditRecord] = []  # from migrated-out origins
+        self.retired_hosts: list[Any] = []
+        self.forks: list[_Fork] = []
+
+
+class ShardedCluster:
+    """``shards`` LCM groups + ``clients`` logical clients, one keyspace.
+
+    Every logical client id is provisioned in *every* group (sequence
+    numbers and hash chains are per-group protocol state, so each
+    (client, shard) pair runs its own Alg. 1 machine); the
+    :class:`~repro.sharding.router.ShardRouter` facade picks the machine
+    matching a key's owning shard.
+
+    Parameters
+    ----------
+    shards, clients:
+        Number of LCM groups and of logical clients (ids 1..n).
+    virtual_nodes:
+        Ring smoothness knob, see :class:`HashRing`.
+    batch_limit:
+        Per-shard bounded batch queue size (Sec. 5.3).
+    malicious_shards:
+        Shard ids provisioned on a :class:`MaliciousServer` (attack tests).
+    """
+
+    #: Virtual enclave service time per request in a batch (the shared
+    #: virtual-clock constant); harness code estimating run length (e.g.
+    #: a mid-run rebalance point) must use this rather than hardcode its
+    #: own copy.
+    SERVICE_INTERVAL = ENCLAVE_SERVICE_INTERVAL
+
+    def __init__(
+        self,
+        shards: int = 4,
+        clients: int = 4,
+        *,
+        functionality: Callable[[], Any] = KvsFunctionality,
+        virtual_nodes: int = 64,
+        batch_limit: int = 16,
+        latency: LatencyModel | None = None,
+        audit: bool = True,
+        seed: int = 0,
+        malicious_shards: tuple[int, ...] = (),
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if clients < 1:
+            raise ConfigurationError("need at least one client")
+        unknown = [s for s in malicious_shards if not 0 <= s < shards]
+        if unknown:
+            raise ConfigurationError(f"malicious shard ids out of range: {unknown}")
+        self.sim = Simulator()
+        self.stats = ShardedStats()
+        self.ring = HashRing(range(shards), virtual_nodes=virtual_nodes)
+        self.group = EpidGroup()
+        self._functionality = functionality
+        self._audit = audit
+        self._batch_limit = batch_limit
+        self._seed = seed
+        self._latency = latency or LatencyModel(
+            propagation=200e-6, jitter_fraction=0.3, seed=seed
+        )
+        self._factory = make_lcm_program_factory(functionality, audit=audit)
+        self._client_ids = list(range(1, clients + 1))
+        self._shards: list[_Shard] = [
+            self._provision_shard(shard_id, malicious=shard_id in malicious_shards)
+            for shard_id in range(shards)
+        ]
+        for shard in self._shards:
+            self.stats.per_shard_operations[shard.shard_id] = 0
+            self.stats.per_shard_batches[shard.shard_id] = 0
+
+    # --------------------------------------------------------- provisioning
+
+    def _platform_seed(self, shard_id: int, generation: int) -> int:
+        """Collision-free platform seed per (shard, hardware generation):
+        arithmetic formulas (``seed*k + shard``) collide across streams as
+        shard counts grow, and equal seeds would mean equal sealing keys
+        on two live shards."""
+        material = f"{self._seed}:{shard_id}:{generation}".encode()
+        # 56 bits: TeePlatform packs the seed as a signed 64-bit int
+        return int.from_bytes(hashlib.sha256(material).digest()[:7], "big")
+
+    def _provision_shard(self, shard_id: int, *, malicious: bool) -> _Shard:
+        shard = _Shard(shard_id)
+        shard.platform = TeePlatform(
+            self.group, seed=self._platform_seed(shard_id, 0)
+        )
+        if malicious:
+            shard.host = MaliciousServer(shard.platform, self._factory)
+        else:
+            shard.host = ServerHost(shard.platform, self._factory)
+        admin = Admin(
+            self.group.verifier(), TeePlatform.expected_measurement(self._factory)
+        )
+        shard.deployment = admin.bootstrap(shard.host, client_ids=self._client_ids)
+        for client_id in self._client_ids:
+            up = Channel(
+                f"c{client_id}->s{shard_id}", sim=self.sim, latency=self._latency
+            )
+            down = Channel(
+                f"s{shard_id}->c{client_id}", sim=self.sim, latency=self._latency
+            )
+            up.connect(self._make_ingress(shard, client_id))
+            client = AsyncLcmClient(
+                client_id, shard.deployment.communication_key, send=up.send
+            )
+            down.connect(self._make_reply_handler(shard, client))
+            shard.up[client_id] = up
+            shard.down[client_id] = down
+            shard.clients[client_id] = client
+        return shard
+
+    # -------------------------------------------------------------- serving
+
+    def _make_ingress(self, shard: _Shard, client_id: int):
+        def ingress(message: bytes) -> None:
+            shard.batch_pending.append((client_id, message))
+            self._maybe_dispatch(shard)
+
+        return ingress
+
+    def _make_reply_handler(self, shard: _Shard, client: AsyncLcmClient):
+        def on_reply(reply_box: bytes) -> None:
+            try:
+                client.on_reply(reply_box)
+            except SecurityViolation as violation:
+                # client-side detection (forked/rolled-back reply): record
+                # it against this shard; the rest of the cluster keeps going
+                if shard.violation is None:
+                    shard.violation = violation
+
+        return on_reply
+
+    def _maybe_dispatch(self, shard: _Shard) -> None:
+        """Flush a batch when the shard's enclave is idle (Sec. 5.3)."""
+        if shard.enclave_busy or shard.violation or not shard.batch_pending:
+            return
+        batch = shard.batch_pending[: self._batch_limit]
+        del shard.batch_pending[: len(batch)]
+        shard.enclave_busy = True
+        self.stats.per_shard_batches[shard.shard_id] += 1
+        try:
+            replies = self._send_batch(shard, batch)
+        except SecurityViolation as violation:
+            # server-side detection: the shard's context halted; record and
+            # stop dispatching to this shard (pending requests stay queued)
+            shard.violation = violation
+            shard.enclave_busy = False
+            return
+
+        def deliver() -> None:
+            for (client_id, _), reply in zip(batch, replies):
+                shard.down[client_id].send(reply)
+            shard.enclave_busy = False
+            if shard.rebalance_requested:
+                shard.rebalance_requested = False
+                if shard.violation is None and not shard.forks:
+                    self._do_rebalance(shard)
+                # else: the shard halted or forked while the request was
+                # deferred — abandon the move (the violation/fork evidence
+                # is already attributed to the shard)
+            self._maybe_dispatch(shard)
+
+        # small enclave service interval so more requests can queue up
+        self.sim.schedule(
+            self.SERVICE_INTERVAL * len(batch),
+            deliver,
+            label=f"shard{shard.shard_id}-batch",
+        )
+
+    @staticmethod
+    def _send_batch(shard: _Shard, batch: list[tuple[int, bytes]]) -> list[bytes]:
+        host = shard.host
+        if hasattr(host, "send_invoke_batch"):
+            return host.send_invoke_batch(batch)
+        # MaliciousServer routes per client and has no batch entry point
+        return [host.send_invoke(client_id, message) for client_id, message in batch]
+
+    # ----------------------------------------------------------- rebalancing
+
+    def rebalance(self, shard_id: int) -> bool:
+        """Move one shard's key range onto fresh hardware via migration.
+
+        Runs immediately when the shard's enclave is idle; otherwise the
+        request is deferred to the next batch boundary.  Returns True if
+        the migration ran synchronously.  A deferred request is abandoned
+        if the shard halts on a violation (or grows forked instances)
+        before the boundary — the same states this method raises
+        :class:`ConfigurationError` for synchronously; watch
+        ``stats.rebalances`` (and :meth:`shard_violation`) to tell whether
+        a deferred move actually ran.
+        """
+        shard = self._shard(shard_id)
+        if shard.violation is not None:
+            raise ConfigurationError(
+                f"shard {shard_id} halted on {shard.violation!r}; not rebalancing"
+            )
+        if shard.enclave_busy:
+            shard.rebalance_requested = True
+            return False
+        self._do_rebalance(shard)
+        return True
+
+    def schedule_rebalance(self, delay: float, shard_id: int) -> None:
+        """Request a rebalance at a virtual-time offset (mid-workload).
+
+        Runs immediately when the shard's enclave is idle at fire time;
+        otherwise it is deferred to the next batch boundary.  If the shard
+        has halted on a violation (or grown forked instances) by then, the
+        move is quietly abandoned — raising inside the simulator callback
+        would abort every other shard's run, and the shard's evidence is
+        already attributed by the router."""
+        shard = self._shard(shard_id)
+
+        def fire() -> None:
+            if shard.violation is not None or shard.forks:
+                return
+            if shard.enclave_busy:
+                shard.rebalance_requested = True
+            else:
+                self._do_rebalance(shard)
+
+        self.sim.schedule(delay, fire, label=f"rebalance-{shard_id}")
+
+    def _do_rebalance(self, shard: _Shard) -> None:
+        if shard.forks:
+            # migration hands over one context; the forked instances (and
+            # their audit evidence) cannot follow it onto the new hardware
+            raise ConfigurationError(
+                f"shard {shard.shard_id} has {len(shard.forks)} live forked "
+                "instance(s); their evidence would not survive a migration"
+            )
+        origin = shard.host
+        if self._audit:
+            # the origin halts once it has exported its state, so capture
+            # its audit evidence (verification mode only) before migrating
+            shard.audit_prefix = shard.audit_prefix + list(
+                origin.enclave.ecall("export_audit_log", None)
+            )
+        platform = TeePlatform(
+            self.group,
+            seed=self._platform_seed(
+                shard.shard_id, len(shard.retired_hosts) + 1
+            ),
+        )
+        target = ServerHost(platform, self._factory)
+        migrate(origin, target, self.group.verifier())
+        shard.retired_hosts.append(origin)
+        shard.platform = platform
+        shard.host = target
+        shard.rebalance_requested = False
+        self.stats.rebalances += 1
+
+    # ------------------------------------------------------------ adversary
+
+    def fork_shard(self, shard_id: int, *, from_version: int | None = None) -> int:
+        """Fork one (malicious) shard's context; returns the new instance
+        index.  Use :meth:`route_client` to partition that shard's clients
+        between the instances."""
+        shard = self._shard(shard_id)
+        if not isinstance(shard.host, MaliciousServer):
+            raise ConfigurationError(f"shard {shard_id} is not malicious")
+        log_prefix: list[AuditRecord] = []
+        if self._audit:
+            log_prefix = list(shard.host.enclave.ecall("export_audit_log", None))
+        instance_index = shard.host.fork(from_version)
+        if self._audit:
+            # the fork restored the sealed state at ``from_version``: its
+            # reconstructed log is the primary's records up to that
+            # state's sequence, not everything the primary executed by
+            # fork time
+            instance = shard.host.instances[instance_index]
+            seeded = instance.enclave.ecall("status", None)["sequence"]
+            log_prefix = [
+                record for record in log_prefix if record.sequence <= seeded
+            ]
+        shard.forks.append(_Fork(instance_index, log_prefix))
+        return instance_index
+
+    def route_client(self, shard_id: int, client_id: int, instance_index: int) -> None:
+        """Pin one client of a malicious shard to a forked instance."""
+        shard = self._shard(shard_id)
+        if not isinstance(shard.host, MaliciousServer):
+            raise ConfigurationError(f"shard {shard_id} is not malicious")
+        shard.host.route_client(client_id, instance_index)
+
+    # -------------------------------------------------------------- running
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drive the simulation until all submitted work completes."""
+        self.sim.run(max_events=max_events)
+
+    # -------------------------------------------------------------- queries
+
+    def _shard(self, shard_id: int) -> _Shard:
+        if not 0 <= shard_id < len(self._shards):
+            raise ConfigurationError(f"no shard {shard_id}")
+        return self._shards[shard_id]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def client_ids(self) -> list[int]:
+        return list(self._client_ids)
+
+    def shard_host(self, shard_id: int):
+        """The (current) untrusted host serving one shard."""
+        return self._shard(shard_id).host
+
+    def shard_deployment(self, shard_id: int):
+        """One shard's admin-side deployment handle (keys, client ids)."""
+        return self._shard(shard_id).deployment
+
+    def shard_clients(self, shard_id: int) -> dict[int, AsyncLcmClient]:
+        """The per-shard protocol client machines, by logical client id."""
+        return dict(self._shard(shard_id).clients)
+
+    def client_machine(self, shard_id: int, client_id: int) -> AsyncLcmClient:
+        """One (client, shard) protocol machine, without copying the map
+        (the router's per-operation hot path)."""
+        return self._shard(shard_id).clients[client_id]
+
+    @property
+    def audit(self) -> bool:
+        """Whether the shards run in audit (verification) mode."""
+        return self._audit
+
+    def shard_history(self, shard_id: int) -> History:
+        """The invocation/response history recorded against one shard."""
+        return self._shard(shard_id).history
+
+    def shard_violation(self, shard_id: int) -> SecurityViolation | None:
+        """The first violation detected on this shard during the run."""
+        return self._shard(shard_id).violation
+
+    def functionality(self):
+        """A fresh functionality instance (for the offline checkers)."""
+        return self._functionality()
+
+    def audit_logs(self, shard_id: int) -> list[list[AuditRecord]]:
+        """All audit logs a global observer holds for one shard.
+
+        The primary log spans every migration the shard went through
+        (prefixes captured at each rebalance, then the live context);
+        forked instances contribute one reconstructed log each, their
+        prefix captured when the fork was seeded.
+        """
+        if not self._audit:
+            raise ConfigurationError("cluster was not created in audit mode")
+        shard = self._shard(shard_id)
+        primary = shard.audit_prefix + list(
+            shard.host.enclave.ecall("export_audit_log", None)
+        )
+        logs = [primary]
+        for fork in shard.forks:
+            instance = shard.host.instances[fork.instance_index]
+            suffix = list(instance.enclave.ecall("export_audit_log", None))
+            logs.append(list(fork.log_prefix) + suffix)
+        return logs

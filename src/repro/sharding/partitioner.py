@@ -1,0 +1,126 @@
+"""Consistent-hash keyspace partitioner with virtual nodes.
+
+One LCM group protects one functionality instance, so scaling past the
+single-group ceiling of Figs. 5/6 means running many groups side by side
+with the keyspace partitioned across them.  :class:`HashRing` supplies the
+partitioning: every shard owns ``virtual_nodes`` points on a 64-bit ring
+(derived by hashing ``shard:replica``), and a key belongs to the shard
+owning the first ring point at or after the key's own hash.
+
+Virtual nodes smooth the per-shard share of the keyspace (a handful of raw
+points per shard gives wildly uneven arcs; 64+ points per shard keeps the
+imbalance within a few tens of percent), and consistent hashing keeps
+reassignment minimal: adding or removing one shard only moves the keys on
+the arcs that shard gains or loses, never reshuffling the whole keyspace.
+
+The ring is pure deterministic arithmetic — no protocol state — so the
+router, the cluster runtime and offline tooling can all derive the same
+key→shard mapping independently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigurationError
+
+#: Ring positions are the first 8 bytes of a SHA-256, i.e. 64-bit points.
+_POINT_BYTES = 8
+
+
+def _point(data: bytes) -> int:
+    return int.from_bytes(
+        hashlib.sha256(data).digest()[:_POINT_BYTES], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Iterable of shard identifiers (ints in the cluster runtime, but any
+        object with a stable ``repr`` works).
+    virtual_nodes:
+        Ring points per shard.  More points → smoother balance, slightly
+        larger lookup table; lookups stay O(log(shards · virtual_nodes)).
+    """
+
+    def __init__(self, shards, *, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be positive")
+        self._virtual_nodes = virtual_nodes
+        self._points: list[int] = []
+        self._owners: dict[int, object] = {}
+        self._shards: list = []
+        for shard in shards:
+            self.add_shard(shard)
+        if not self._shards:
+            raise ConfigurationError("a hash ring needs at least one shard")
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def shards(self) -> list:
+        """Shard ids currently on the ring, in insertion order."""
+        return list(self._shards)
+
+    @property
+    def virtual_nodes(self) -> int:
+        return self._virtual_nodes
+
+    def add_shard(self, shard) -> None:
+        """Place a shard's virtual nodes on the ring."""
+        if shard in self._shards:
+            raise ConfigurationError(f"shard {shard!r} already on the ring")
+        for replica in range(self._virtual_nodes):
+            point = _point(f"{shard!r}:{replica}".encode())
+            # SHA-256 collisions between distinct labels are out of scope;
+            # identical labels would mean a duplicate shard id (refused above)
+            bisect.insort(self._points, point)
+            self._owners[point] = shard
+        self._shards.append(shard)
+
+    def remove_shard(self, shard) -> None:
+        """Take a shard's virtual nodes off the ring."""
+        if shard not in self._shards:
+            raise ConfigurationError(f"shard {shard!r} is not on the ring")
+        if len(self._shards) == 1:
+            raise ConfigurationError("cannot remove the last shard")
+        for replica in range(self._virtual_nodes):
+            point = _point(f"{shard!r}:{replica}".encode())
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+            del self._owners[point]
+        self._shards.remove(shard)
+
+    # --------------------------------------------------------------- lookups
+
+    def owner(self, key) -> object:
+        """The shard owning ``key`` (str or bytes)."""
+        if isinstance(key, str):
+            key = key.encode()
+        point = _point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[self._points[index]]
+
+    def distribution(self, keys) -> dict:
+        """Count how many of ``keys`` each shard owns (balance diagnostics)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def arc_fractions(self) -> dict:
+        """Fraction of the ring (by arc length) each shard owns."""
+        full = 1 << (_POINT_BYTES * 8)
+        fractions = {shard: 0.0 for shard in self._shards}
+        points = self._points
+        for index, point in enumerate(points):
+            previous = points[index - 1] if index else points[-1] - full
+            fractions[self._owners[point]] += (point - previous) / full
+        return fractions

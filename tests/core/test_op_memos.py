@@ -1,0 +1,93 @@
+"""Operation encode/decode memos: LRU behaviour under overflowing key sets.
+
+The memos used to be bounded dicts cleared wholesale when full, which a
+YCSB zipfian key set larger than the capacity thrashes (every wrap drops
+the hot head along with the cold tail).  They are now proper LRUs:
+move-to-end on hit, least-recently-used eviction on insert.
+"""
+
+import pytest
+
+from repro import serde
+from repro.core import client as client_module
+from repro.core import context as context_module
+from repro.core.client import _encode_operation
+from repro.core.context import _decode_operation
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    client_module._OP_ENCODE_CACHE.clear()
+    context_module._OP_DECODE_CACHE.clear()
+    yield
+    client_module._OP_ENCODE_CACHE.clear()
+    context_module._OP_DECODE_CACHE.clear()
+
+
+class TestEncodeMemo:
+    def test_memoized_encoding_is_canonical(self):
+        operation = ("PUT", "key", "value")
+        assert _encode_operation(operation) == serde.encode(list(operation))
+        assert operation in client_module._OP_ENCODE_CACHE
+
+    def test_hot_key_survives_cache_overflow(self):
+        capacity = client_module._OP_ENCODE_CACHE_MAX
+        hot = ("GET", "hot-key")
+        _encode_operation(hot)
+        for index in range(capacity + 50):
+            _encode_operation(("GET", f"cold-{index}"))
+            _encode_operation(hot)  # zipfian head: touched every round
+        assert hot in client_module._OP_ENCODE_CACHE
+
+    def test_least_recent_entry_is_evicted_first(self):
+        capacity = client_module._OP_ENCODE_CACHE_MAX
+        first, second = ("GET", "first"), ("GET", "second")
+        _encode_operation(first)
+        _encode_operation(second)
+        _encode_operation(first)  # refresh: second is now least recent
+        for index in range(capacity - 2):
+            _encode_operation(("GET", f"filler-{index}"))
+        _encode_operation(("GET", "overflow"))  # evicts exactly one entry
+        assert first in client_module._OP_ENCODE_CACHE
+        assert second not in client_module._OP_ENCODE_CACHE
+
+    def test_cache_never_exceeds_capacity(self):
+        capacity = client_module._OP_ENCODE_CACHE_MAX
+        for index in range(capacity * 2):
+            _encode_operation(("GET", f"k-{index}"))
+        assert len(client_module._OP_ENCODE_CACHE) == capacity
+
+    def test_mixed_type_tuples_bypass_the_memo(self):
+        _encode_operation(("COUNTER", 1))
+        assert len(client_module._OP_ENCODE_CACHE) == 0
+
+
+class TestDecodeMemo:
+    def test_returns_distinct_copies(self):
+        data = serde.encode(["PUT", "k", "v"])
+        first = _decode_operation(data)
+        second = _decode_operation(data)
+        assert first == second == ["PUT", "k", "v"]
+        assert first is not second
+        first.append("mutated")
+        assert _decode_operation(data) == ["PUT", "k", "v"]
+
+    def test_hot_encoding_survives_cache_overflow(self):
+        capacity = context_module._OP_DECODE_CACHE_MAX
+        hot = serde.encode(["GET", "hot-key"])
+        _decode_operation(hot)
+        for index in range(capacity + 50):
+            _decode_operation(serde.encode(["GET", f"cold-{index}"]))
+            _decode_operation(hot)
+        assert hot in context_module._OP_DECODE_CACHE
+
+    def test_cache_never_exceeds_capacity(self):
+        capacity = context_module._OP_DECODE_CACHE_MAX
+        for index in range(capacity + 100):
+            _decode_operation(serde.encode(["GET", f"k-{index}"]))
+        assert len(context_module._OP_DECODE_CACHE) == capacity
+
+    def test_nested_operations_bypass_the_memo(self):
+        data = serde.encode(["BATCH", ["GET", "k"]])
+        assert _decode_operation(data) == ["BATCH", ["GET", "k"]]
+        assert data not in context_module._OP_DECODE_CACHE

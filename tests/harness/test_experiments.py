@@ -13,6 +13,7 @@ from repro.harness.experiments import (
     run_sec62_enclave_memory,
     run_sec63_message_overhead,
     run_sec65_tmc_comparison,
+    run_shard_scaling,
 )
 
 FAST = dict(duration=0.3)
@@ -103,3 +104,33 @@ class TestSec65:
         low, high = result.ratios["speedup_band"]
         assert low > 20
         assert high > 200
+
+
+class TestShardScaling:
+    def test_four_shards_beat_acceptance_bar(self):
+        """ISSUE criterion: >=2.5x aggregate simulated throughput at four
+        shards under a uniform YCSB mix, with a rebalance mid-run and zero
+        consistency-check violations."""
+        result = run_shard_scaling(
+            shard_counts=[1, 4], clients=24, requests_per_client=16
+        )
+        assert result.ratios["speedup_at_max"] >= 2.5
+        assert result.ratios["zero_violations"] is True
+        assert result.series["rebalances"] == [1, 1]
+
+    def test_throughput_monotone_in_shards(self):
+        result = run_shard_scaling(
+            shard_counts=[1, 2], clients=16, requests_per_client=10,
+            rebalance=False,
+        )
+        rates = result.series["ops_per_second"]
+        assert rates[1] > rates[0]
+        assert result.series["rebalances"] == [0, 0]
+
+    @pytest.mark.slow
+    def test_full_default_run(self):
+        result = run_shard_scaling()
+        speedups = result.ratios["speedup_by_shards"]
+        assert speedups[2] > 1.5
+        assert speedups[4] >= 2.5
+        assert result.ratios["zero_violations"] is True

@@ -37,7 +37,7 @@ class TestEnclaveServiceTimes:
         per_batch = (
             costs.ecall_overhead
             + costs.state_seal_time(100)
-            + costs.disk.write_time(356, fsync=False)
+            + costs.disk.write_time(costs.sealed_store_bytes(100), fsync=False)
         )
         expected = expected_sgx_per_op(costs, 100) + per_batch
         assert engine._batch_service_time(1) == pytest.approx(expected)
@@ -64,7 +64,7 @@ class TestEnclaveServiceTimes:
         per_batch = (
             costs.ecall_overhead
             + costs.state_seal_time(100)
-            + costs.disk.write_time(356, fsync=False)
+            + costs.disk.write_time(costs.sealed_store_bytes(100), fsync=False)
         )
         # k requests pay the per-op work k times but the batch cost once
         assert batch == pytest.approx(single * k - per_batch * (k - 1))
@@ -73,16 +73,16 @@ class TestEnclaveServiceTimes:
         sync_engine, costs = engine_for("sgx", fsync=True)
         async_engine, _ = engine_for("sgx", fsync=False)
         delta = sync_engine._batch_service_time(1) - async_engine._batch_service_time(1)
-        expected = costs.disk.write_time(356, fsync=True) - costs.disk.write_time(
-            356, fsync=False
-        )
+        expected = costs.disk.write_time(
+            costs.sealed_store_bytes(100), fsync=True
+        ) - costs.disk.write_time(costs.sealed_store_bytes(100), fsync=False)
         assert delta == pytest.approx(expected)
 
     def test_lcm_sync_write_factor_applied(self):
         lcm_engine, costs = engine_for("lcm", fsync=True)
         sgx_engine, _ = engine_for("sgx", fsync=True)
-        lcm_write = costs.disk.write_time(356, fsync=True) * costs.lcm_sync_write_factor
-        sgx_write = costs.disk.write_time(356, fsync=True)
+        lcm_write = costs.disk.write_time(costs.sealed_store_bytes(100), fsync=True) * costs.lcm_sync_write_factor
+        sgx_write = costs.disk.write_time(costs.sealed_store_bytes(100), fsync=True)
         delta = lcm_engine._batch_service_time(1) - sgx_engine._batch_service_time(1)
         metadata_crypto = 2 * costs.enclave_crypto_per_byte * costs.geometry.lcm_metadata_bytes
         expected_delta = (

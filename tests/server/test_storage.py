@@ -69,6 +69,16 @@ class TestStableStorage:
         assert storage.total_bytes() == 3
         assert storage.latest_index() == 0
 
+    def test_last_delta_bytes_tracks_the_persisted_suffix(self):
+        storage = StableStorage()
+        assert storage.last_delta_bytes() is None
+        storage.store(b"shared-prefix|old-tail")
+        assert storage.last_delta_bytes() == len(b"shared-prefix|old-tail")
+        storage.store(b"shared-prefix|new-tail!")
+        # only the diverging suffix is physically appended
+        assert storage.last_delta_bytes() == len(b"new-tail!")
+        assert storage.load() == b"shared-prefix|new-tail!"
+
 
 class TestDiskModel:
     def test_async_much_faster_than_fsync(self):

@@ -1,0 +1,87 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sharding.partitioner import HashRing
+
+KEYS = [f"user{i:012d}" for i in range(2000)]
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.owner(k) for k in KEYS[:200]] == [b.owner(k) for k in KEYS[:200]]
+
+    def test_str_and_bytes_keys_agree(self):
+        ring = HashRing(range(4))
+        for key in KEYS[:50]:
+            assert ring.owner(key) == ring.owner(key.encode())
+
+    def test_every_key_owned_by_a_known_shard(self):
+        ring = HashRing(range(5))
+        shards = set(ring.shards)
+        assert all(ring.owner(k) in shards for k in KEYS[:500])
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing([0])
+        assert all(ring.owner(k) == 0 for k in KEYS[:100])
+
+
+class TestBalance:
+    def test_virtual_nodes_smooth_the_split(self):
+        counts = HashRing(range(4), virtual_nodes=128).distribution(KEYS)
+        expected = len(KEYS) / 4
+        for shard, count in counts.items():
+            assert 0.5 * expected < count < 1.6 * expected, (shard, counts)
+
+    def test_more_virtual_nodes_tighter_arcs(self):
+        def spread(virtual_nodes):
+            fractions = HashRing(
+                range(4), virtual_nodes=virtual_nodes
+            ).arc_fractions()
+            return max(fractions.values()) - min(fractions.values())
+
+        assert spread(256) < spread(4)
+
+    def test_arc_fractions_sum_to_one(self):
+        fractions = HashRing(range(6), virtual_nodes=32).arc_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestMembership:
+    def test_adding_a_shard_moves_only_its_gain(self):
+        ring = HashRing(range(4))
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.add_shard(4)
+        moved = [k for k in KEYS if ring.owner(k) != before[k]]
+        # only keys the new shard gained may move, and they all move to it
+        assert all(ring.owner(k) == 4 for k in moved)
+        assert 0 < len(moved) < len(KEYS) / 2
+
+    def test_removing_a_shard_strands_no_keys(self):
+        ring = HashRing(range(4))
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove_shard(2)
+        for key in KEYS:
+            owner = ring.owner(key)
+            assert owner != 2
+            if before[key] != 2:
+                assert owner == before[key]  # unaffected keys stay put
+
+    def test_duplicate_and_unknown_shards_refused(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ConfigurationError):
+            ring.add_shard(1)
+        with pytest.raises(ConfigurationError):
+            ring.remove_shard(9)
+
+    def test_last_shard_cannot_be_removed(self):
+        ring = HashRing([0])
+        with pytest.raises(ConfigurationError):
+            ring.remove_shard(0)
+
+    def test_empty_ring_refused(self):
+        with pytest.raises(ConfigurationError):
+            HashRing([])

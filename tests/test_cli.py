@@ -30,6 +30,17 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "fork-linearizable" in out
 
+    def test_shard_scales_and_verifies(self, capsys):
+        assert main(["shard", "--shards", "2", "--clients", "8", "--ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s):" in out and "2 shard(s):" in out
+        assert "rebalance" in out
+        assert "all shards verified fork-linearizable" in out
+
+    def test_shard_rejects_nonsense_counts(self, capsys):
+        assert main(["shard", "--shards", "0"]) == 2
+        assert "must all be >= 1" in capsys.readouterr().out
+
     def test_figures_single(self, capsys):
         assert main(["figures", "--only", "sec63"]) == 0
         out = capsys.readouterr().out

@@ -49,6 +49,14 @@ class TestExamples:
         assert "execution is fork-linearizable" in proc.stdout
         assert "rejects tampered trace" in proc.stdout
 
+    def test_sharded_cluster(self):
+        proc = run_example("sharded_cluster.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "rebalance completed mid-workload" in proc.stdout
+        assert "shards verified fork-linearizable" in proc.stdout
+        assert "DETECTED" in proc.stdout                    # forked shard caught
+        assert "honest shards still verify" in proc.stdout
+
     def test_ycsb_evaluation_fast_mode(self):
         proc = run_example("ycsb_evaluation.py")
         assert proc.returncode == 0, proc.stderr
