@@ -120,6 +120,18 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
                     router.submit(client_id, put(f"k-{i}", "v" * 64))
             cluster.run()
 
+    # batched-invoke family: one ecall per batch at sizes 1/8/32 (the
+    # Sec. 5.2/5.3 amortisation curve the batch crypto pipeline targets)
+    from benchmarks.bench_protocol_micro import _batched_invoke_round
+
+    batch_deployments = {
+        size: build_deployment(clients=size) for size in (1, 8, 32)
+    }
+
+    def batched(size):
+        host, deployment, clients = batch_deployments[size]
+        return lambda: _batched_invoke_round(host, deployment, clients)
+
     scenarios = {
         "test_micro_aead_encrypt_100b": lambda: auth_encrypt(b"x" * 100, key),
         "test_micro_aead_round_trip_2500b": lambda: auth_decrypt(
@@ -130,6 +142,9 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         ),
         "test_micro_serde_encode_state": lambda: serde.encode(state),
         "test_micro_full_invoke_round_trip": lambda: alice.invoke(get("k")),
+        "test_micro_batched_invoke_sizes[1]": batched(1),
+        "test_micro_batched_invoke_sizes[8]": batched(8),
+        "test_micro_batched_invoke_sizes[32]": batched(32),
         "test_micro_shard_scaling": shard_scaling,
     }
     number = 5 if quick else 200
@@ -141,6 +156,54 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         summary[name] = {"best_us": round(best * 1e6, 2), "iterations": number}
     runner = "timer-fallback-quick" if quick else "timer-fallback"
     return {"runner": runner, "summary": summary}
+
+
+def _bench_value(stats: dict) -> float | None:
+    """One representative µs value from a summary entry, whichever runner
+    produced it (pytest-benchmark medians, timer-fallback bests)."""
+    for field in ("median_us", "best_us", "mean_us"):
+        if field in stats:
+            return stats[field]
+    return None
+
+
+def compare_against_record(document: dict, record_path: str) -> None:
+    """Print per-bench ratios of this run vs a committed record.
+
+    Ratio > 1 means this run is faster (record/new); the committed
+    record's runner metadata is echoed so cross-runner comparisons
+    (median vs best-of) are visible at a glance.  This is the one-command
+    regression check future PRs run:
+
+        PYTHONPATH=src python benchmarks/run_micro.py --quick \
+            --compare BENCH_micro.json
+    """
+    with open(record_path) as handle:
+        record = json.load(handle)
+    record_summary = record.get("summary", {})
+    print(
+        f"\ncomparison vs {record_path} "
+        f"(record runner: {record.get('runner', '?')}, "
+        f"this run: {document.get('runner', '?')}; ratio >1 = faster now)"
+    )
+    for name in sorted(set(document["summary"]) | set(record_summary)):
+        new_stats = document["summary"].get(name)
+        old_stats = record_summary.get(name)
+        if new_stats is None or old_stats is None:
+            print(
+                f"  {name}: only in "
+                f"{'this run' if old_stats is None else 'the record'}"
+            )
+            continue
+        new_value = _bench_value(new_stats)
+        old_value = _bench_value(old_stats)
+        if not new_value or not old_value:
+            continue
+        ratio = old_value / new_value
+        print(
+            f"  {name}: {old_value:.2f}us -> {new_value:.2f}us "
+            f"({ratio:.2f}x)"
+        )
 
 
 def main() -> None:
@@ -157,6 +220,14 @@ def main() -> None:
         action="store_true",
         help="CI smoke mode: timer fallback with a few iterations per "
         "scenario (seconds, not minutes); not for the committed record",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="RECORD_JSON",
+        default=None,
+        help="after running, print per-bench ratios vs a committed "
+        "record (e.g. BENCH_micro.json) so perf regressions show up in "
+        "one command",
     )
     args = parser.parse_args()
     if args.output is None:
@@ -177,6 +248,8 @@ def main() -> None:
     print(f"wrote {args.output}")
     for name, stats in sorted(document["summary"].items()):
         print(f"  {name}: {stats}")
+    if args.compare:
+        compare_against_record(document, args.compare)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,8 @@ from repro.crypto.aead import AeadKey
 from repro.crypto.hashing import GENESIS_HASH
 from repro.errors import InvalidReply
 from repro.core.client import LcmResult
-from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.client import _decode_result
+from repro.core.messages import InvokePayload, unseal_reply
 from repro.core.stability import StabilityTracker
 
 CompletionCallback = Callable[[LcmResult], Any]
@@ -129,27 +130,29 @@ class AsyncLcmClient:
         """Feed an incoming REPLY; verifies, completes, and pumps the queue."""
         if self._outstanding is None:
             raise InvalidReply("REPLY received with no outstanding INVOKE")
-        reply = ReplyPayload.unseal(reply_box, self._key)
-        if reply.previous_chain != self._last_chain:
+        sequence, chain, result_bytes, stable_sequence, previous_chain = (
+            unseal_reply(reply_box, self._key)
+        )
+        if previous_chain != self._last_chain:
             raise InvalidReply(
                 "REPLY does not extend this client's context "
                 "(previous chain value mismatch)"
             )
-        if reply.sequence <= self._last_sequence:
+        if sequence <= self._last_sequence:
             raise InvalidReply("non-increasing sequence number")
-        if reply.stable_sequence < self._stable_sequence:
+        if stable_sequence < self._stable_sequence:
             raise InvalidReply("majority-stable sequence number decreased")
         operation, on_complete = self._outstanding
         self._outstanding = None
-        self._last_sequence = reply.sequence
-        self._last_chain = reply.chain
-        self._stable_sequence = max(self._stable_sequence, reply.stable_sequence)
-        self.stability.observe(reply.sequence, reply.stable_sequence)
+        self._last_sequence = sequence
+        self._last_chain = chain
+        self._stable_sequence = max(self._stable_sequence, stable_sequence)
+        self.stability.observe(sequence, stable_sequence)
         self.completed += 1
         result = LcmResult(
-            result=serde.decode(reply.result),
-            sequence=reply.sequence,
-            stable_sequence=reply.stable_sequence,
+            result=_decode_result(result_bytes),
+            sequence=sequence,
+            stable_sequence=stable_sequence,
         )
         self._fire_stability_callbacks()
         on_complete(result)

@@ -31,7 +31,7 @@ from repro.crypto.aead import AeadKey
 from repro.crypto.hashing import GENESIS_HASH
 from repro.errors import InvalidReply, LCMError
 from repro.core.context import NOP_OPERATION
-from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.messages import InvokePayload, unseal_reply
 from repro.core.stability import StabilityTracker
 
 
@@ -47,6 +47,26 @@ class TransportTimeout(LCMError):
 #: keeps its hot head cached instead of thrashing wholesale.
 _OP_ENCODE_CACHE: collections.OrderedDict[tuple, bytes] = collections.OrderedDict()
 _OP_ENCODE_CACHE_MAX = 512
+
+#: Decoded forms of recently seen REPLY results, mirroring the operation
+#: memo: real workloads read the same hot values over and over, and only
+#: immutable scalars are cached (a list/dict result is never shared).
+_RESULT_DECODE_CACHE: collections.OrderedDict[bytes, Any] = collections.OrderedDict()
+_RESULT_DECODE_CACHE_MAX = 512
+_MISS = object()
+
+
+def _decode_result(data: bytes) -> Any:
+    value = _RESULT_DECODE_CACHE.get(data, _MISS)
+    if value is not _MISS:
+        _RESULT_DECODE_CACHE.move_to_end(data)
+        return value
+    value = serde.decode(data)
+    if type(value) in (str, bytes, int, bool) or value is None:
+        if len(_RESULT_DECODE_CACHE) >= _RESULT_DECODE_CACHE_MAX:
+            _RESULT_DECODE_CACHE.popitem(last=False)
+        _RESULT_DECODE_CACHE[data] = value
+    return value
 
 
 def _encode_operation(operation: Any) -> bytes:
@@ -164,31 +184,37 @@ class LcmClient:
             return self._complete(operation, reply_box)
 
     def _complete(self, operation: Any, reply_box: bytes) -> LcmResult:
-        reply = ReplyPayload.unseal(reply_box, self._key)
+        sequence, chain, result_bytes, stable_sequence, previous_chain = (
+            unseal_reply(reply_box, self._key)
+        )
         # assert h'c = hc — pairs the REPLY with our INVOKE and rejects
         # replies minted against any other history.
-        if reply.previous_chain != self._last_chain:
+        if previous_chain != self._last_chain:
             raise InvalidReply(
                 "REPLY does not extend this client's context "
                 "(previous chain value mismatch)"
             )
-        if reply.sequence <= self._last_sequence:
+        if sequence <= self._last_sequence:
             raise InvalidReply(
-                f"non-increasing sequence number {reply.sequence} "
+                f"non-increasing sequence number {sequence} "
                 f"(last was {self._last_sequence})"
             )
-        if reply.stable_sequence < self._stable_sequence:
+        if stable_sequence < self._stable_sequence:
             raise InvalidReply("majority-stable sequence number decreased")
-        self._last_sequence = reply.sequence
-        self._last_chain = reply.chain
-        self._stable_sequence = max(self._stable_sequence, reply.stable_sequence)
-        result = serde.decode(reply.result)
+        self._last_sequence = sequence
+        self._last_chain = chain
+        if stable_sequence > self._stable_sequence:
+            self._stable_sequence = stable_sequence
         outcome = LcmResult(
-            result=result,
-            sequence=reply.sequence,
-            stable_sequence=reply.stable_sequence,
+            result=_decode_result(result_bytes),
+            sequence=sequence,
+            stable_sequence=stable_sequence,
         )
-        self.stability.observe(reply.sequence, reply.stable_sequence)
+        # inlined StabilityTracker.observe (hot path)
+        stability = self.stability
+        stability.own_sequences.append(sequence)
+        if stable_sequence > stability.stable_sequence:
+            stability.stable_sequence = stable_sequence
         self.completed_operations.append((operation, outcome))
         return outcome
 

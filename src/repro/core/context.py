@@ -91,6 +91,7 @@ under a fresh nonce.
 from __future__ import annotations
 
 import collections
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -107,7 +108,7 @@ from repro.crypto.aead import (
     verify_mac_tag,
 )
 from repro.crypto.dh import DhKeyPair, public_from_bytes
-from repro.crypto.hashing import GENESIS_HASH, chain_extend
+from repro.crypto.hashing import GENESIS_HASH, chain_extend, secure_hash_many
 from repro.errors import (
     AuthenticationFailure,
     ConfigurationError,
@@ -119,7 +120,14 @@ from repro.errors import (
     StaleSequenceNumber,
 )
 from repro.kvstore.functionality import Functionality
-from repro.core.messages import InvokePayload, ReplyPayload
+from repro.core.messages import (
+    ReplyPayload,
+    encode_reply,
+    seal_replies,
+    seal_reply,
+    unseal_invoke,
+    unseal_invokes,
+)
 from repro.core.stability import (
     ClientEntry,
     argmax_entry,
@@ -165,6 +173,10 @@ _THREE_LIST_HEADER = _list_header(3)
 #: stays in serde.
 _frame_bytes = serde.encode
 
+#: Framing prefix of a 32-byte hash value (``B || len(32)``), precomputed
+#: for the per-invoke manifest-piece path.
+_HASH_FRAME = b"B" + (32).to_bytes(8, "big")
+
 
 def _row_record(acknowledged: int, reply_box: bytes) -> bytes:
     """Canonical serde bytes of ``[acknowledged, reply_box]``."""
@@ -194,6 +206,14 @@ def _row_record(acknowledged: int, reply_box: bytes) -> bytes:
 _OP_DECODE_CACHE: collections.OrderedDict[bytes, list] = collections.OrderedDict()
 _OP_DECODE_CACHE_MAX = 1024
 
+#: Canonical encodings of recently produced scalar results (hot values
+#: repeat under real workloads).  Key types are restricted to those that
+#: are unambiguous as dict keys — ``True`` and ``1`` compare equal but
+#: encode differently, so ``bool`` stays out (its type check fails).
+_RESULT_ENCODE_CACHE: collections.OrderedDict = collections.OrderedDict()
+_RESULT_ENCODE_CACHE_MAX = 512
+_SCALAR_RESULT_TYPES = (str, bytes, int)
+
 
 def _decode_operation(data: bytes) -> Any:
     cached = _OP_DECODE_CACHE.get(data)
@@ -212,6 +232,8 @@ def _decode_operation(data: bytes) -> Any:
 #: Protocol-level dummy operation: sequenced and hash-chained like any other
 #: operation, but not passed to ``F``.  Used for stability polling.
 NOP_OPERATION = ("__LCM_NOP__",)
+
+_NOP_VERB = NOP_OPERATION[0]
 
 _NOP_BYTES = serde.encode(list(NOP_OPERATION))
 
@@ -261,6 +283,11 @@ class LcmContext:
         self._sequence = 0                           # t
         self._chain = GENESIS_HASH                   # h
         self._entries: dict[int, ClientEntry] = {}   # V
+        # sorted mirror of V's acknowledged column, maintained by bisect
+        # per op so per-invoke stability is O(log n) instead of a sort
+        self._acks: list[int] = []
+        # quorum size memo; invalidated on any membership-size change
+        self._quorum_cache: int | None = None
         self._state: Any = None                      # s
         # seal caches (see module docstring): reusable sealed boxes for
         # kP-under-kS, the static config, the service state, and each V row.
@@ -419,8 +446,14 @@ class LcmContext:
         seal (with a synthesized REPLY box — the invoke path instead calls
         :meth:`_store_row_seal` with the real one)."""
         entries = self._entries
-        if client_id not in entries:
+        acks = self._acks
+        previous = entries.get(client_id)
+        if previous is None:
             self._rows_unsorted = True  # new row lands out of canonical order
+            self._quorum_cache = None
+        else:
+            del acks[bisect_left(acks, previous.acknowledged)]
+        insort(acks, entry.acknowledged)
         entries[client_id] = entry
         self._dirty_rows.add(client_id)
 
@@ -431,10 +464,76 @@ class LcmContext:
         the assembly buffers' slot for that row in place (the O(1) hot
         path; only membership-scale events rebuild the buffers)."""
         record = _row_record(acknowledged, reply_box)
+        self._install_row_seal(client_id, record, _sha256(record).digest())
+
+    def _store_row_seals(self, pending: dict[int, tuple[int, bytes]]) -> None:
+        """Reseal a whole batch of V rows, hashing every record in one
+        pass (the coalesced per-batch form of :meth:`_store_row_seal`).
+
+        The loop is :meth:`_install_row_seal` unrolled with the per-batch
+        constants hoisted; the produced pieces are byte-identical.
+        """
+        if not pending:
+            return
+        row_seals = self._row_seals
+        ids = []
+        blobs = []
+        record_views = []
+        for client_id, (acknowledged, reply_box) in pending.items():
+            cached = row_seals.get(client_id)
+            enc_id = cached[0] if cached is not None else serde.encode(client_id)
+            try:
+                encoded_ack = acknowledged.to_bytes(16, "big", signed=True)
+            except OverflowError:
+                raise serde.SerdeError(
+                    "acknowledged marker exceeds the canonical 128-bit range"
+                ) from None
+            # _row_record's bytes assembled in one pass, framed in place
+            # (record length = header 9 + I 17 + B 9 + box)
+            blob_piece = (
+                enc_id
+                + b"B"
+                + (35 + len(reply_box)).to_bytes(8, "big")
+                + _TWO_LIST_HEADER
+                + b"I"
+                + encoded_ack
+                + b"B"
+                + len(reply_box).to_bytes(8, "big")
+                + reply_box
+            )
+            ids.append((client_id, enc_id))
+            blobs.append(blob_piece)
+            # hash the record bytes straight out of the assembled piece
+            record_views.append(memoryview(blob_piece)[len(enc_id) + 9 :])
+        digests = secure_hash_many(record_views)
+        row_index = self._row_index
+        blob_pieces = self._row_blob_pieces
+        manifest_pieces = self._row_manifest_pieces
+        discard = self._dirty_rows.discard
+        unsorted = self._rows_unsorted
+        for (client_id, enc_id), blob_piece, digest in zip(ids, blobs, digests):
+            manifest_piece = enc_id + _HASH_FRAME + digest
+            row_seals[client_id] = (enc_id, blob_piece, manifest_piece)
+            if not unsorted:
+                slot = row_index.get(client_id)
+                if slot is None:
+                    unsorted = self._rows_unsorted = True
+                else:
+                    blob_pieces[slot] = blob_piece
+                    manifest_pieces[slot] = manifest_piece
+            discard(client_id)
+
+    def _install_row_seal(
+        self, client_id: int, record: bytes, digest: bytes
+    ) -> None:
         cached = self._row_seals.get(client_id)
         enc_id = cached[0] if cached is not None else serde.encode(client_id)
-        blob_piece = enc_id + _frame_bytes(record)
-        manifest_piece = enc_id + _frame_bytes(_sha256(record).digest())
+        # inlined serde bytes framing (``B || len || value``), identical to
+        # _frame_bytes and pinned by the sealed-blob golden tests
+        blob_piece = (
+            enc_id + b"B" + len(record).to_bytes(8, "big") + record
+        )
+        manifest_piece = enc_id + _HASH_FRAME + digest
         self._row_seals[client_id] = (enc_id, blob_piece, manifest_piece)
         if not self._rows_unsorted:
             slot = self._row_index.get(client_id)
@@ -460,12 +559,16 @@ class LcmContext:
     def _reset_entries(self, entries: dict[int, ClientEntry]) -> None:
         """Replace V wholesale (provision / restore / migration import)."""
         self._entries = dict(entries)
+        self._acks = sorted(entry.acknowledged for entry in entries.values())
+        self._quorum_cache = None
         self._row_seals = {}
         self._dirty_rows = set(entries)
         self._rows_unsorted = True
 
     def _remove_entry(self, client_id: int) -> None:
-        del self._entries[client_id]
+        entry = self._entries.pop(client_id)
+        del self._acks[bisect_left(self._acks, entry.acknowledged)]
+        self._quorum_cache = None
         self._row_seals.pop(client_id, None)
         self._dirty_rows.discard(client_id)
         self._rows_unsorted = True  # slot layout changed
@@ -676,12 +779,37 @@ class LcmContext:
         return reply
 
     def _ecall_invoke_batch(self, messages: list[bytes]):
-        """Batched processing (Sec. 5.2): state is stored once per batch."""
-        replies = [self._process_invoke(message) for message in messages]
+        """Batched processing (Sec. 5.2): one crypto pass per direction,
+        one dynamic-layer seal and one state store for the whole batch.
+
+        All INVOKE boxes are verified and decrypted in a single batch
+        call before any operation executes, so a batch containing a
+        forged message is rejected wholesale (the per-message path
+        rejects exactly that message; either way no forged operation
+        runs and the context does not halt).  All REPLY boxes are
+        sealed in one batch call, and the per-client row-slot patches
+        are coalesced so a client invoked twice in a batch is resealed
+        once.  An *authenticated* verification failure mid-batch still
+        halts the context immediately — operations already executed in
+        the batch are abandoned unsealed, exactly as before.
+        """
+        if not self._provisioned:
+            raise ConfigurationError("context not provisioned")
+        invokes = unseal_invokes(messages, self._communication_key)
+        execute = self._execute_invoke
+        outcomes = [execute(invoke) for invoke in invokes]
+        boxes = seal_replies(
+            [encoded for encoded, _ in outcomes], self._communication_key
+        )
+        pending: dict[int, tuple[int, bytes]] = {}
+        for (_, row), box in zip(outcomes, boxes):
+            if row is not None:
+                pending[row[0]] = (row[1], box)  # later reply supersedes
+        self._store_row_seals(pending)
         if self._piggyback_state:
-            return {"replies": replies, "state": self._sealed_blob()}
+            return {"replies": boxes, "state": self._sealed_blob()}
         self._seal_and_store()
-        return replies
+        return boxes
 
     def _process_invoke(self, message: bytes) -> bytes:
         if not self._provisioned:
@@ -692,102 +820,149 @@ class LcmContext:
         # it would let anyone deny service with one forged packet.  Halting
         # is reserved for *authenticated* context mismatches below, which
         # prove a rollback/forking attack.
-        invoke = InvokePayload.unseal(message, self._communication_key)
-        entry = self._entries.get(invoke.client_id)
+        fields = unseal_invoke(message, self._communication_key)
+        encoded, row = self._execute_invoke(fields)
+        box = seal_reply(encoded, self._communication_key)
+        if row is not None:
+            client_id, acknowledged = row
+            self._store_row_seal(client_id, acknowledged, box)
+            self._dirty_rows.discard(client_id)
+        return box
+
+    def _execute_invoke(
+        self, fields: tuple[int, int, bytes, bytes, bool]
+    ) -> tuple[bytes, tuple[int, int] | None]:
+        """Verify, execute and chain one decoded INVOKE (Alg. 2 body).
+
+        ``fields`` is the ``(i, tc, hc, o, retry)`` tuple from
+        :func:`~repro.core.messages.decode_invoke`.  Returns the
+        canonically encoded plaintext reply and, for fresh executions,
+        the ``(client_id, acknowledged)`` pair whose V row the caller
+        must reseal with the sealed reply box (resends reuse the stored
+        row).
+        """
+        client_id, last_sequence, last_chain, operation_bytes, retry = fields
+        entry = self._entries.get(client_id)
         if entry is None:
             raise self._halt(
-                SecurityViolation(f"unknown client {invoke.client_id}")
+                SecurityViolation(f"unknown client {client_id}")
             )
 
         # Sec. 4.6.1 retry, case "crashed after store": the operation was
         # executed and recorded but the REPLY was lost.  Detect it by the
         # acknowledged marker and re-send the stored reply.
         if (
-            invoke.retry
-            and entry.acknowledged == invoke.last_sequence
-            and entry.last_sequence > invoke.last_sequence
+            retry
+            and entry.acknowledged == last_sequence
+            and entry.last_sequence > last_sequence
         ):
-            return self._resend_reply(invoke, entry)
+            return self._resend_reply(last_chain, entry), None
 
         # The verification at the heart of the protocol:
         # assert V[i] = (*, tc, hc)
-        if entry.last_sequence != invoke.last_sequence:
-            if invoke.last_sequence < entry.last_sequence:
+        if entry.last_sequence != last_sequence:
+            if last_sequence < entry.last_sequence:
                 raise self._halt(
                     ReplayDetected(
-                        f"client {invoke.client_id} presented stale sequence "
-                        f"{invoke.last_sequence} < {entry.last_sequence}"
+                        f"client {client_id} presented stale sequence "
+                        f"{last_sequence} < {entry.last_sequence}"
                     )
                 )
             raise self._halt(
                 RollbackDetected(
-                    f"client {invoke.client_id} is ahead of T "
-                    f"({invoke.last_sequence} > {entry.last_sequence}): "
+                    f"client {client_id} is ahead of T "
+                    f"({last_sequence} > {entry.last_sequence}): "
                     "T's state was rolled back"
                 )
             )
-        if entry.last_chain != invoke.last_chain:
+        if entry.last_chain != last_chain:
             raise self._halt(
                 ForkDetected(
-                    f"client {invoke.client_id} hash-chain value diverges from V: "
+                    f"client {client_id} hash-chain value diverges from V: "
                     "histories have forked"
                 )
             )
 
         # Execute, sequence and chain the operation.
-        self._sequence += 1
-        operation = _decode_operation(invoke.operation)
-        if self._is_nop(operation):
-            result: Any = None
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        cached_op = _OP_DECODE_CACHE.get(operation_bytes)  # inlined hit path
+        if cached_op is not None:
+            _OP_DECODE_CACHE.move_to_end(operation_bytes)
+            operation = cached_op.copy()
+        else:
+            operation = _decode_operation(operation_bytes)
+        result: Any
+        if type(operation) is list:  # the canonical decode shape
+            if len(operation) == 1 and operation[0] == _NOP_VERB:
+                result = None
+            else:
+                result, self._state = self._functionality.apply(
+                    self._state, operation
+                )
+        elif self._is_nop(operation):
+            result = None
         else:
             result, self._state = self._functionality.apply(self._state, operation)
-        self._chain = chain_extend(
-            self._chain, invoke.operation, self._sequence, invoke.client_id
-        )
-        result_bytes = serde.encode(result)
-        self._set_entry(
-            invoke.client_id,
-            ClientEntry(
-                acknowledged=invoke.last_sequence,
-                last_sequence=self._sequence,
-                last_chain=self._chain,
-                last_result=result_bytes,
-            ),
-        )
-        stable = stable_with_quorum(self._entries, self._quorum())
+        chain = chain_extend(self._chain, operation_bytes, sequence, client_id)
+        self._chain = chain
+        if type(result) in _SCALAR_RESULT_TYPES:  # memoized scalar encode
+            result_bytes = _RESULT_ENCODE_CACHE.get(result)
+            if result_bytes is None:
+                result_bytes = serde.encode(result)
+                if len(_RESULT_ENCODE_CACHE) >= _RESULT_ENCODE_CACHE_MAX:
+                    _RESULT_ENCODE_CACHE.popitem(last=False)
+                _RESULT_ENCODE_CACHE[result] = result_bytes
+            else:
+                _RESULT_ENCODE_CACHE.move_to_end(result)
+        else:
+            result_bytes = serde.encode(result)
+        # update V[i] in place: the row object is owned by this context
+        # (every external entry set goes through _set_entry/_reset_entries
+        # with fresh ClientEntry objects), so mutating it is equivalent to
+        # replacing it minus one allocation.  The dirty mark stays load-
+        # bearing: if a later operation in this batch aborts the ecall
+        # before the row's REPLY box is sealed, the next seal synthesizes
+        # a box for this row instead of persisting a stale one.
+        acks = self._acks
+        del acks[bisect_left(acks, entry.acknowledged)]
+        insort(acks, last_sequence)
+        entry.acknowledged = last_sequence
+        entry.last_sequence = sequence
+        entry.last_chain = chain
+        entry.last_result = result_bytes
+        self._dirty_rows.add(client_id)
         if self._audit:
             self.audit_log.append(
                 AuditRecord(
-                    sequence=self._sequence,
-                    client_id=invoke.client_id,
-                    operation=invoke.operation,
+                    sequence=sequence,
+                    client_id=client_id,
+                    operation=operation_bytes,
                     result=result_bytes,
-                    chain=self._chain,
+                    chain=chain,
                 )
             )
-        reply = ReplyPayload(
-            sequence=self._sequence,
-            chain=self._chain,
-            result=result_bytes,
-            stable_sequence=stable,
-            previous_chain=invoke.last_chain,
+        quorum = self._quorum_cache  # inlined _stable(); V is non-empty here
+        if quorum is None:
+            quorum = self._quorum()
+        encoded = encode_reply(
+            sequence, chain, result_bytes, acks[len(acks) - quorum], last_chain
         )
-        box = reply.seal(self._communication_key)
-        # the REPLY box doubles as the stored form of this client's V row
-        self._store_row_seal(invoke.client_id, invoke.last_sequence, box)
-        self._dirty_rows.discard(invoke.client_id)
-        return box
+        # the sealed REPLY box doubles as the stored form of this client's
+        # V row; the caller seals it (per box or as part of a batch pass)
+        # and feeds it back through _store_row_seal
+        return encoded, (client_id, last_sequence)
 
-    def _resend_reply(self, invoke: InvokePayload, entry: ClientEntry) -> bytes:
-        """Reproduce the lost REPLY from the V[i] record (retry extension)."""
-        reply = ReplyPayload(
-            sequence=entry.last_sequence,
-            chain=entry.last_chain,
-            result=entry.last_result,
-            stable_sequence=stable_with_quorum(self._entries, self._quorum()),
-            previous_chain=invoke.last_chain,
+    def _resend_reply(self, last_chain: bytes, entry: ClientEntry) -> bytes:
+        """Reproduce the lost REPLY from the V[i] record (retry extension),
+        as canonical encoded bytes."""
+        return encode_reply(
+            entry.last_sequence,
+            entry.last_chain,
+            entry.last_result,
+            self._stable(),
+            last_chain,
         )
-        return reply.seal(self._communication_key)
 
     @staticmethod
     def _is_nop(operation: Any) -> bool:
@@ -798,9 +973,23 @@ class LcmContext:
         )
 
     def _quorum(self) -> int:
-        if self._quorum_override is not None:
-            return min(self._quorum_override, len(self._entries))
-        return majority_quorum(len(self._entries))
+        quorum = self._quorum_cache
+        if quorum is None:
+            if self._quorum_override is not None:
+                quorum = min(self._quorum_override, len(self._entries))
+            else:
+                quorum = majority_quorum(len(self._entries))
+            self._quorum_cache = quorum
+        return quorum
+
+    def _stable(self) -> int:
+        """``majority-stable(V)`` from the sorted acknowledged mirror —
+        equal to ``stable_with_quorum(self._entries, self._quorum())``
+        (property-tested) at O(1) per call."""
+        acks = self._acks
+        if not acks:
+            return 0
+        return acks[len(acks) - self._quorum()]
 
     def _halt(self, violation: SecurityViolation) -> SecurityViolation:
         """Record the violation and refuse all further processing."""

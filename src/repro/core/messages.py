@@ -23,10 +23,17 @@ experiment: the number of bytes an LCM message adds over a bare
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro import serde
-from repro.crypto.aead import AeadKey, auth_decrypt, auth_encrypt
+from repro.crypto.aead import (
+    AeadKey,
+    auth_decrypt,
+    auth_decrypt_batch,
+    auth_encrypt,
+    auth_encrypt_batch,
+)
 from repro.errors import InvalidReply
 
 _INVOKE_AD = b"lcm/invoke"
@@ -52,6 +59,134 @@ _REPLY_PREFIX_LEN = len(_REPLY_PREFIX) + 16
 _ORD_B = ord("B")
 _ORD_I = ord("I")
 
+_int_from_bytes = int.from_bytes
+
+# Zero-copy field readers (struct reads straight out of the buffer; the
+# slice + int.from_bytes route allocates an intermediate bytes per field).
+_read_u64 = struct.Struct(">Q").unpack_from
+_read_2u64 = struct.Struct(">QQ").unpack_from
+
+#: ``B || len(32)`` — the framing of a 32-byte chain value, precomputed
+#: because every hash-chain field the protocol emits is SHA-256 sized.
+_CHAIN_FRAME = b"B" + (32).to_bytes(8, "big")
+
+
+def _read_i128(data: bytes, offset: int) -> int:
+    """The canonical 16-byte big-endian signed int at ``offset``."""
+    hi, lo = _read_2u64(data, offset)
+    value = (hi << 64) | lo
+    if hi >> 63:
+        value -= 1 << 128
+    return value
+
+
+def decode_invoke(data: bytes) -> tuple[int, int, bytes, bytes, bool]:
+    """Decode canonical INVOKE bytes to ``(i, tc, hc, o, retry)``.
+
+    Tuple-returning core of :meth:`InvokePayload.decode` — the trusted
+    context's batch loop consumes the fields directly, skipping one
+    object construction per message.
+    """
+    try:
+        # Field reads are inlined (two decodes run per round trip);
+        # IndexError/struct.error from a short message falls back like a
+        # tag mismatch.
+        size = len(data)
+        if size < _INVOKE_PREFIX_LEN or not data.startswith(_INVOKE_PREFIX):
+            raise _Fallback
+        tc = _read_i128(data, _INVOKE_PREFIX_LEN - 16)
+        if data[_INVOKE_PREFIX_LEN] != _ORD_B:
+            raise _Fallback
+        start = _INVOKE_PREFIX_LEN + 9
+        end = start + _read_u64(data, _INVOKE_PREFIX_LEN + 1)[0]
+        if end > size:
+            raise _Fallback
+        hc = data[start:end]
+        if data[end] != _ORD_B:
+            raise _Fallback
+        start = end + 9
+        end = start + _read_u64(data, end + 1)[0]
+        if end > size:
+            raise _Fallback
+        op = data[start:end]
+        if data[end] != _ORD_I or end + 18 != size:
+            raise _Fallback
+        client_id = _read_i128(data, end + 1)
+        retry_tag = data[size - 1]
+        if retry_tag == 84:  # "T"
+            return client_id, tc, hc, op, True
+        if retry_tag == 70:  # "F"
+            return client_id, tc, hc, op, False
+        raise _Fallback
+    except (_Fallback, IndexError, struct.error):
+        pass
+    tag, tc, hc, op, client_id, retry = serde.decode(data)
+    if tag != "INVOKE":
+        raise InvalidReply(f"expected INVOKE payload, got {tag!r}")
+    return client_id, tc, hc, op, retry
+
+
+def decode_reply(data: bytes) -> tuple[int, bytes, bytes, int, bytes]:
+    """Decode canonical REPLY bytes to ``(t, h, r, q, h'c)`` — the
+    tuple-returning core of :meth:`ReplyPayload.decode` (the client hot
+    path consumes the fields directly)."""
+    try:
+        size = len(data)
+        if size < _REPLY_PREFIX_LEN or not data.startswith(_REPLY_PREFIX):
+            raise _Fallback
+        t = _read_i128(data, _REPLY_PREFIX_LEN - 16)
+        if data[_REPLY_PREFIX_LEN] != _ORD_B:
+            raise _Fallback
+        start = _REPLY_PREFIX_LEN + 9
+        end = start + _read_u64(data, _REPLY_PREFIX_LEN + 1)[0]
+        if end > size:
+            raise _Fallback
+        h = data[start:end]
+        if data[end] != _ORD_B:
+            raise _Fallback
+        start = end + 9
+        end = start + _read_u64(data, end + 1)[0]
+        if end > size:
+            raise _Fallback
+        r = data[start:end]
+        if data[end] != _ORD_I or end + 17 + 9 > size:
+            raise _Fallback
+        q = _read_i128(data, end + 1)
+        offset = end + 17
+        if data[offset] != _ORD_B:
+            raise _Fallback
+        start = offset + 9
+        end = start + _read_u64(data, offset + 1)[0]
+        if end != size:
+            raise _Fallback
+        return t, h, r, q, data[start:end]
+    except (_Fallback, IndexError, struct.error):
+        pass
+    tag, t, h, r, q, prev = serde.decode(data)
+    if tag != "REPLY":
+        raise InvalidReply(f"expected REPLY payload, got {tag!r}")
+    return t, h, r, q, prev
+
+
+def unseal_reply(box: bytes, key: AeadKey) -> tuple[int, bytes, bytes, int, bytes]:
+    """Verify, decrypt and decode one REPLY box to its field tuple."""
+    return decode_reply(auth_decrypt(box, key, associated_data=_REPLY_AD))
+
+
+def unseal_invoke(box: bytes, key: AeadKey) -> tuple[int, int, bytes, bytes, bool]:
+    """Verify, decrypt and decode one INVOKE box to its field tuple."""
+    return decode_invoke(auth_decrypt(box, key, associated_data=_INVOKE_AD))
+
+
+def unseal_invokes(
+    boxes: list[bytes], key: AeadKey
+) -> list[tuple[int, int, bytes, bytes, bool]]:
+    """Verify, decrypt and decode a whole INVOKE batch to field tuples
+    (one AEAD pass; all-or-nothing MAC check, see
+    :func:`~repro.crypto.aead.auth_decrypt_batch`)."""
+    plains = auth_decrypt_batch(boxes, key, associated_data=_INVOKE_AD)
+    return [decode_invoke(plain) for plain in plains]
+
 
 @dataclass(slots=True, unsafe_hash=True)
 class InvokePayload:
@@ -70,11 +205,17 @@ class InvokePayload:
     retry: bool = False
 
     def encode(self) -> bytes:
+        chain = self.last_chain
         try:
             return (
                 _INVOKE_PREFIX
                 + self.last_sequence.to_bytes(16, "big", signed=True)
-                + b"B" + len(self.last_chain).to_bytes(8, "big") + self.last_chain
+                + (
+                    _CHAIN_FRAME
+                    if len(chain) == 32
+                    else b"B" + len(chain).to_bytes(8, "big")
+                )
+                + chain
                 + b"B" + len(self.operation).to_bytes(8, "big") + self.operation
                 + b"I" + self.client_id.to_bytes(16, "big", signed=True)
                 + (b"T" if self.retry else b"F")
@@ -86,51 +227,7 @@ class InvokePayload:
 
     @classmethod
     def decode(cls, data: bytes) -> "InvokePayload":
-        try:
-            # Field reads are inlined (two decodes run per round trip);
-            # IndexError from a short message falls back like a tag mismatch.
-            size = len(data)
-            if size < _INVOKE_PREFIX_LEN or not data.startswith(_INVOKE_PREFIX):
-                raise _Fallback
-            tc = int.from_bytes(
-                data[_INVOKE_PREFIX_LEN - 16 : _INVOKE_PREFIX_LEN], "big", signed=True
-            )
-            if data[_INVOKE_PREFIX_LEN] != _ORD_B:
-                raise _Fallback
-            start = _INVOKE_PREFIX_LEN + 9
-            end = start + int.from_bytes(data[_INVOKE_PREFIX_LEN + 1 : start], "big")
-            if end > size:
-                raise _Fallback
-            hc = data[start:end]
-            if data[end] != _ORD_B:
-                raise _Fallback
-            start = end + 9
-            end = start + int.from_bytes(data[end + 1 : start], "big")
-            if end > size:
-                raise _Fallback
-            op = data[start:end]
-            if data[end] != _ORD_I or end + 18 != size:
-                raise _Fallback
-            client_id = int.from_bytes(data[end + 1 : end + 17], "big", signed=True)
-            retry_tag = data[size - 1]
-            if retry_tag == 84:  # "T"
-                retry = True
-            elif retry_tag == 70:  # "F"
-                retry = False
-            else:
-                raise _Fallback
-            return cls(
-                client_id=client_id,
-                last_sequence=tc,
-                last_chain=hc,
-                operation=op,
-                retry=retry,
-            )
-        except (_Fallback, IndexError):
-            pass
-        tag, tc, hc, op, client_id, retry = serde.decode(data)
-        if tag != "INVOKE":
-            raise InvalidReply(f"expected INVOKE payload, got {tag!r}")
+        client_id, tc, hc, op, retry = decode_invoke(data)
         return cls(
             client_id=client_id,
             last_sequence=tc,
@@ -145,6 +242,55 @@ class InvokePayload:
     @classmethod
     def unseal(cls, box: bytes, key: AeadKey) -> "InvokePayload":
         return cls.decode(auth_decrypt(box, key, associated_data=_INVOKE_AD))
+
+
+def encode_reply(
+    sequence: int,
+    chain: bytes,
+    result: bytes,
+    stable_sequence: int,
+    previous_chain: bytes,
+) -> bytes:
+    """Canonical REPLY bytes from bare fields.
+
+    The trusted context's batch path encodes straight from its protocol
+    variables (no intermediate :class:`ReplyPayload` per operation);
+    :meth:`ReplyPayload.encode` delegates here so there is exactly one
+    codec.
+    """
+    try:
+        return (
+            _REPLY_PREFIX
+            + sequence.to_bytes(16, "big", signed=True)
+            + (
+                _CHAIN_FRAME
+                if len(chain) == 32
+                else b"B" + len(chain).to_bytes(8, "big")
+            )
+            + chain
+            + b"B" + len(result).to_bytes(8, "big") + result
+            + b"I" + stable_sequence.to_bytes(16, "big", signed=True)
+            + (
+                _CHAIN_FRAME
+                if len(previous_chain) == 32
+                else b"B" + len(previous_chain).to_bytes(8, "big")
+            )
+            + previous_chain
+        )
+    except OverflowError:
+        raise serde.SerdeError(
+            "REPLY sequence number exceeds the canonical 128-bit range"
+        ) from None
+
+
+def seal_reply(encoded: bytes, key: AeadKey) -> bytes:
+    """Seal one canonically encoded REPLY under ``kC``."""
+    return auth_encrypt(encoded, key, associated_data=_REPLY_AD)
+
+
+def seal_replies(encoded: list[bytes], key: AeadKey) -> list[bytes]:
+    """Seal a batch of canonically encoded REPLYs in one AEAD pass."""
+    return auth_encrypt_batch(encoded, key, associated_data=_REPLY_AD)
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -162,63 +308,17 @@ class ReplyPayload:
     previous_chain: bytes     # h'c — echo of the client's hc
 
     def encode(self) -> bytes:
-        try:
-            return (
-                _REPLY_PREFIX
-                + self.sequence.to_bytes(16, "big", signed=True)
-                + b"B" + len(self.chain).to_bytes(8, "big") + self.chain
-                + b"B" + len(self.result).to_bytes(8, "big") + self.result
-                + b"I" + self.stable_sequence.to_bytes(16, "big", signed=True)
-                + b"B" + len(self.previous_chain).to_bytes(8, "big")
-                + self.previous_chain
-            )
-        except OverflowError:
-            raise serde.SerdeError(
-                "REPLY sequence number exceeds the canonical 128-bit range"
-            ) from None
+        return encode_reply(
+            self.sequence,
+            self.chain,
+            self.result,
+            self.stable_sequence,
+            self.previous_chain,
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "ReplyPayload":
-        try:
-            size = len(data)
-            if size < _REPLY_PREFIX_LEN or not data.startswith(_REPLY_PREFIX):
-                raise _Fallback
-            t = int.from_bytes(
-                data[_REPLY_PREFIX_LEN - 16 : _REPLY_PREFIX_LEN], "big", signed=True
-            )
-            if data[_REPLY_PREFIX_LEN] != _ORD_B:
-                raise _Fallback
-            start = _REPLY_PREFIX_LEN + 9
-            end = start + int.from_bytes(data[_REPLY_PREFIX_LEN + 1 : start], "big")
-            if end > size:
-                raise _Fallback
-            h = data[start:end]
-            if data[end] != _ORD_B:
-                raise _Fallback
-            start = end + 9
-            end = start + int.from_bytes(data[end + 1 : start], "big")
-            if end > size:
-                raise _Fallback
-            r = data[start:end]
-            if data[end] != _ORD_I or end + 17 + 9 > size:
-                raise _Fallback
-            q = int.from_bytes(data[end + 1 : end + 17], "big", signed=True)
-            offset = end + 17
-            if data[offset] != _ORD_B:
-                raise _Fallback
-            start = offset + 9
-            end = start + int.from_bytes(data[offset + 1 : start], "big")
-            if end != size:
-                raise _Fallback
-            prev = data[start:end]
-            return cls(
-                sequence=t, chain=h, result=r, stable_sequence=q, previous_chain=prev
-            )
-        except (_Fallback, IndexError):
-            pass
-        tag, t, h, r, q, prev = serde.decode(data)
-        if tag != "REPLY":
-            raise InvalidReply(f"expected REPLY payload, got {tag!r}")
+        t, h, r, q, prev = decode_reply(data)
         return cls(
             sequence=t, chain=h, result=r, stable_sequence=q, previous_chain=prev
         )

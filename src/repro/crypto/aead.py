@@ -27,15 +27,29 @@ golden-vector tests and unchanged):
 
 - :class:`AeadKey` derives its encrypt/MAC subkeys and the HMAC key
   schedule once at construction instead of on every box;
-- the keystream is produced in whole 32-byte blocks with one-shot SHA-256
-  calls and a single ``join``, and XORed against the payload as one big
-  integer rather than byte by byte;
+- the keystream is produced in whole 32-byte blocks through the pluggable
+  block-loop backend of :mod:`repro.crypto.fastpath` (compiled C when
+  available, hashlib otherwise), and XORed against the payload as one big
+  integer or numpy vector rather than byte by byte;
 - a small bounded cache keeps recently generated keystreams keyed by
   (subkey, nonce).  In this in-process simulation every box is encrypted
   by one party and decrypted by another within the same interpreter, so
   the decrypt side's keystream is a cache hit.  Reuse is safe because the
   cached bytes are only ever applied to the same (key, nonce) pair that
-  produced them.
+  produced them;
+- :func:`auth_encrypt_batch` / :func:`auth_decrypt_batch` process a whole
+  invoke batch in one pass: a single backend call generates the keystream
+  for every box (one concatenated counter table), one vector XOR covers
+  the joined payloads, and the MACs are emitted/verified with the per-key
+  pad states shared across the batch.  Each box's wire bytes are
+  byte-identical to the per-box functions given the same (key, nonce,
+  plaintext, associated data).
+
+Batch tamper contract: :func:`auth_decrypt_batch` verifies **every** MAC
+before releasing any plaintext, and a single tampered box rejects the
+whole batch (the raised error names the first offending index).  The
+trusted context relies on this all-or-nothing property: no operation from
+a batch containing a forged message is ever executed.
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.crypto import fastpath as _fastpath
 from repro.errors import AuthenticationFailure, ConfigurationError
 
 try:  # optional vector XOR for large payloads; the image bakes numpy in
@@ -63,10 +78,6 @@ _BLOCK = hashlib.sha256().digest_size
 _sha256 = hashlib.sha256
 _join = b"".join
 
-#: Precomputed big-endian counter suffixes for the common keystream lengths
-#: (4096 blocks = 128 KiB); longer streams fall back to generating counters.
-_COUNTERS = tuple(counter.to_bytes(8, "big") for counter in range(4096))
-
 #: Recently generated keystreams, keyed by (enc subkey, nonce).  Bounded by
 #: entry count and total bytes; evicted FIFO.
 _KS_CACHE: dict[tuple[bytes, bytes], bytes] = {}
@@ -75,61 +86,103 @@ _KS_CACHE_MAX_BYTES = 4 * 1024 * 1024
 _ks_cache_bytes = 0
 
 
-def _keystream(
-    key: bytes,
-    nonce: bytes,
-    length: int,
-    base: "hashlib._Hash | None" = None,
-    cache: bool = True,
-) -> bytes:
-    """Generate ``length`` bytes of SHA-256 counter-mode keystream.
+def _cache_store(cache_key: tuple[bytes, bytes], stream: bytes) -> None:
+    """Insert one generated keystream, evicting oldest-first past the caps.
 
-    ``base`` is an optional SHA-256 state already fed with
-    ``b"lcm-ctr" + key`` (cached per :class:`AeadKey`); cloning it per
-    block skips re-hashing the constant prefix and yields identical bytes.
-    ``cache=False`` skips storing the stream (for boxes that are never
-    decrypted by an in-process peer, e.g. sealed state sections).
+    Eviction frees an extra eighth of the entry budget in one sweep so a
+    full cache pays the scan once per ~32 inserts instead of per insert.
     """
     global _ks_cache_bytes
+    if len(stream) > _KS_CACHE_MAX_BYTES:
+        return
+    cache = _KS_CACHE
+    previous = cache.get(cache_key)
+    if previous is not None:
+        _ks_cache_bytes -= len(previous)
+    cache[cache_key] = stream
+    _ks_cache_bytes += len(stream)
+    if len(cache) > _KS_CACHE_MAX_ENTRIES or _ks_cache_bytes > _KS_CACHE_MAX_BYTES:
+        # evict oldest-first down to 7/8 of the caps; the just-inserted
+        # entry is newest, and the >1 guard means it is never evicted
+        # before its decrypt-side hit
+        entry_floor = _KS_CACHE_MAX_ENTRIES - _KS_CACHE_MAX_ENTRIES // 8
+        byte_floor = _KS_CACHE_MAX_BYTES - _KS_CACHE_MAX_BYTES // 8
+        while (
+            len(cache) > entry_floor or _ks_cache_bytes > byte_floor
+        ) and len(cache) > 1:
+            oldest = next(iter(cache))
+            _ks_cache_bytes -= len(cache.pop(oldest))
+
+
+def _generate_stream(key: "AeadKey", nonce: bytes, nblocks: int) -> bytes:
+    """``nblocks`` fresh keystream blocks through the fastpath backend."""
+    backend = _fastpath.BACKEND
+    if backend.native:
+        return backend.blocks(key._ctr_prefix + nonce, nblocks)
+    seeded = key._ctr_base.copy()
+    seeded.update(nonce)
+    return backend.blocks(key._ctr_prefix + nonce, nblocks, seeded=seeded)
+
+
+def _keystream(
+    key: "AeadKey",
+    nonce: bytes,
+    length: int,
+    cache: bool = True,
+) -> bytes:
+    """``length`` bytes of SHA-256 counter-mode keystream for one box.
+
+    The block loop itself runs in the selected
+    :mod:`~repro.crypto.fastpath` backend; every backend produces the
+    same bytes (``SHA-256(b"lcm-ctr" || enc_key || nonce || counter)``
+    per 32-byte block).  ``cache=False`` skips storing the stream (for
+    boxes that are never decrypted by an in-process peer, e.g. sealed
+    state sections).
+    """
     if length <= 0:
         return b""
-    nblocks = -(-length // _BLOCK)
-    cache_key = (key, nonce)
+    cache_key = (key._enc_key, nonce)
     cached = _KS_CACHE.get(cache_key)
     if cached is not None and len(cached) >= length:
         return cached[:length] if len(cached) != length else cached
-    if nblocks <= len(_COUNTERS):
-        counters = _COUNTERS[:nblocks]
-    else:
-        counters = [counter.to_bytes(8, "big") for counter in range(nblocks)]
-    if base is not None:
-        seeded = base.copy()
-        seeded.update(nonce)
-        clone = seeded.copy
-        blocks = []
-        append = blocks.append
-        for counter in counters:
-            block = clone()
-            block.update(counter)
-            append(block.digest())
-        stream = _join(blocks)
-    else:
-        prefix = b"lcm-ctr" + key + nonce
-        stream = _join([_sha256(prefix + counter).digest() for counter in counters])
-    if cache and len(stream) <= _KS_CACHE_MAX_BYTES:
-        if cached is not None:
-            _ks_cache_bytes -= len(cached)
-        _KS_CACHE[cache_key] = stream
-        _ks_cache_bytes += len(stream)
-        while (
-            len(_KS_CACHE) > _KS_CACHE_MAX_ENTRIES
-            or _ks_cache_bytes > _KS_CACHE_MAX_BYTES
-        ) and len(_KS_CACHE) > 1:
-            # evict oldest-first; the just-inserted entry is newest, and the
-            # >1 guard means it is never evicted before its decrypt-side hit
-            oldest = next(iter(_KS_CACHE))
-            _ks_cache_bytes -= len(_KS_CACHE.pop(oldest))
+    stream = _generate_stream(key, nonce, -(-length // _BLOCK))
+    if cache:
+        _cache_store(cache_key, stream)
     return stream[:length] if len(stream) != length else stream
+
+
+def _keystreams(
+    key: "AeadKey",
+    nonces: list[bytes],
+    lengths: list[int],
+    cache: bool = True,
+) -> list[bytes]:
+    """Per-box keystreams for a batch, generating every cache miss in one
+    backend call over a single concatenated counter table."""
+    enc_key = key._enc_key
+    streams: list[bytes | None] = []
+    miss_slots: list[int] = []
+    for nonce, length in zip(nonces, lengths):
+        cached = _KS_CACHE.get((enc_key, nonce)) if length else b""
+        if cached is not None and len(cached) >= length:
+            streams.append(cached)
+        else:
+            streams.append(None)
+            miss_slots.append(len(streams) - 1)
+    if miss_slots:
+        prefix = key._ctr_prefix
+        counts = [-(-lengths[slot] // _BLOCK) for slot in miss_slots]
+        joined = _fastpath.BACKEND.blocks_many(
+            [prefix + nonces[slot] for slot in miss_slots], counts
+        )
+        offset = 0
+        for slot, nblocks in zip(miss_slots, counts):
+            stream = joined[offset : offset + nblocks * _BLOCK]
+            offset += nblocks * _BLOCK
+            streams[slot] = stream
+            if cache:
+                _cache_store((enc_key, nonces[slot]), stream)
+    return streams
 
 
 #: Above this size numpy's vectorised byte XOR beats the big-int route.
@@ -160,20 +213,34 @@ _NONCE_POOL: list[bytes] = []
 _nonce_pid = 0
 
 
-def _fresh_nonce() -> bytes:
+def _refill_pool(minimum: int) -> None:
+    """Top the pool up to at least ``minimum`` nonces, discarding it
+    first if this process is a fork (see the pool comment above)."""
     global _nonce_pid
     pid = os.getpid()
     if pid != _nonce_pid:
         _NONCE_POOL.clear()
         _nonce_pid = pid
-    try:
-        return _NONCE_POOL.pop()
-    except IndexError:
+    while len(_NONCE_POOL) < minimum:
         chunk = os.urandom(NONCE_SIZE * 512)
         _NONCE_POOL.extend(
             chunk[i : i + NONCE_SIZE] for i in range(0, len(chunk), NONCE_SIZE)
         )
-        return _NONCE_POOL.pop()
+
+
+def _fresh_nonce() -> bytes:
+    if os.getpid() != _nonce_pid or not _NONCE_POOL:
+        _refill_pool(1)
+    return _NONCE_POOL.pop()
+
+
+def _fresh_nonces(count: int) -> list[bytes]:
+    """``count`` pool nonces in one slice (the batch paths' fast path)."""
+    if os.getpid() != _nonce_pid or len(_NONCE_POOL) < count:
+        _refill_pool(count)
+    taken = _NONCE_POOL[-count:] if count else []
+    del _NONCE_POOL[len(_NONCE_POOL) - count :]
+    return taken
 
 
 def _hmac_pad_states(key: bytes) -> tuple["hashlib._Hash", "hashlib._Hash"]:
@@ -211,6 +278,51 @@ def _tag_for(key: "AeadKey", nonce, associated_data: bytes, ciphertext) -> bytes
     return tag.digest()[:TAG_SIZE]
 
 
+def _mac_frame(key: "AeadKey", associated_data: bytes) -> bytes:
+    """Cached ``len(ad) || ad`` framing prefix for batch MAC passes."""
+    frame = key._mac_frames.get(associated_data)
+    if frame is None:
+        frame = len(associated_data).to_bytes(8, "big") + associated_data
+        key._mac_frames[associated_data] = frame
+    return frame
+
+
+def _tags_for_batch(
+    key: "AeadKey", associated_data: bytes, segments: list
+) -> list[bytes]:
+    """Truncated tags over ``frame || segment`` for every segment.
+
+    ``segment`` is the contiguous ``nonce || ciphertext`` run of one box,
+    so the digests equal :func:`_tag_for` byte for byte.  One backend
+    call emits the whole batch when the compiled backend is active; the
+    fallback shares the pre-fed inner states exactly like
+    :func:`_tag_for`.
+    """
+    hmac_tags = _fastpath.BACKEND.hmac_tags
+    if hmac_tags is not None:
+        frame = _mac_frame(key, associated_data)
+        return [
+            digest[:TAG_SIZE]
+            for digest in hmac_tags(key._mac_key, frame, segments)
+        ]
+    inners = key._mac_inners
+    seeded = inners.get(associated_data)
+    if seeded is None:
+        seeded = key._mac_pads[0].copy()
+        seeded.update(_mac_frame(key, associated_data))
+        inners[associated_data] = seeded
+    clone = seeded.copy
+    outer = key._mac_pads[1].copy
+    tags = []
+    for segment in segments:
+        mac = clone()
+        mac.update(segment)
+        tag = outer()
+        tag.update(mac.digest())
+        tags.append(tag.digest()[:TAG_SIZE])
+    return tags
+
+
 @dataclass(frozen=True)
 class AeadKey:
     """A 128-bit symmetric key with independent encrypt/MAC subkeys.
@@ -238,6 +350,8 @@ class AeadKey:
         )
         object.__setattr__(self, "_mac_pads", _hmac_pad_states(self._mac_key))
         object.__setattr__(self, "_mac_inners", {})
+        object.__setattr__(self, "_mac_frames", {})
+        object.__setattr__(self, "_ctr_prefix", b"lcm-ctr" + self._enc_key)
         object.__setattr__(
             self, "_ctr_base", hashlib.sha256(b"lcm-ctr" + self._enc_key)
         )
@@ -284,10 +398,86 @@ def auth_encrypt(
         nonce = _fresh_nonce()
     elif len(nonce) != NONCE_SIZE:
         raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
-    stream = _keystream(key._enc_key, nonce, len(plaintext), key._ctr_base)
+    backend = _fastpath.BACKEND
+    if backend.native:
+        # inlined CBackend.seal_box: one Python frame per box (this runs
+        # four times per protocol round trip)
+        frame = key._mac_frames.get(associated_data)
+        if frame is None:
+            frame = _mac_frame(key, associated_data)
+        ffi = backend._ffi
+        size = len(plaintext)
+        out = bytearray(OVERHEAD + size)
+        backend._lib.lcm_seal_box(
+            key._enc_key, key._mac_key, nonce,
+            frame, len(frame),
+            plaintext if type(plaintext) is bytes else ffi.from_buffer(plaintext),
+            size,
+            ffi.from_buffer(out),
+        )
+        return bytes(out)
+    stream = _keystream(key, nonce, len(plaintext))
     ciphertext = _xor_bytes(plaintext, stream)
     tag = _tag_for(key, nonce, associated_data, ciphertext)
     return nonce + ciphertext + tag
+
+
+def auth_encrypt_batch(
+    plaintexts: list[bytes],
+    key: AeadKey,
+    *,
+    associated_data: bytes = b"",
+    nonces: list[bytes] | None = None,
+) -> list[bytes]:
+    """Encrypt a whole batch of boxes under one key in one crypto pass.
+
+    Semantically equivalent to ``[auth_encrypt(p, key, ...) for p in
+    plaintexts]`` — per-box wire bytes are identical given the same
+    nonces — but the keystream for every box is generated in a single
+    backend call over one concatenated counter table, the payloads are
+    XORed as one joined buffer, and the MAC pass shares its pad states
+    across the batch.  ``nonces`` pins the per-box nonces for tests;
+    production callers leave it ``None`` (fresh pool nonces).
+    """
+    count = len(plaintexts)
+    if nonces is None:
+        nonces = _fresh_nonces(count)
+    else:
+        if len(nonces) != count:
+            raise ConfigurationError(
+                f"{count} plaintexts but {len(nonces)} nonces"
+            )
+        for nonce in nonces:
+            if len(nonce) != NONCE_SIZE:
+                raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
+    if not count:
+        return []
+    seal_boxes = _fastpath.BACKEND.seal_boxes
+    if seal_boxes is not None:
+        return seal_boxes(
+            key._enc_key,
+            key._mac_key,
+            nonces,
+            _mac_frame(key, associated_data),
+            plaintexts,
+        )
+    lengths = [len(plaintext) for plaintext in plaintexts]
+    streams = _keystreams(key, nonces, lengths)
+    total = sum(lengths)
+    joined_ct = _xor_bytes(
+        _join(plaintexts),
+        _join(
+            stream[:length] if len(stream) != length else stream
+            for stream, length in zip(streams, lengths)
+        ),
+    ) if total else b""
+    segments = []  # nonce || ciphertext, the box minus its tag
+    offset = 0
+    for nonce, length in zip(nonces, lengths):
+        segments.append(nonce + joined_ct[offset : offset + length])
+        offset += length
+    tags = _tags_for_batch(key, associated_data, segments)
+    return [segment + tag for segment, tag in zip(segments, tags)]
 
 
 def auth_decrypt(
@@ -304,6 +494,25 @@ def auth_decrypt(
     """
     if len(box) < OVERHEAD:
         raise AuthenticationFailure("ciphertext too short to be authentic")
+    backend = _fastpath.BACKEND
+    if backend.native:
+        # inlined CBackend.open_box (the length guard ran above)
+        frame = key._mac_frames.get(associated_data)
+        if frame is None:
+            frame = _mac_frame(key, associated_data)
+        ffi = backend._ffi
+        size = len(box)
+        out = bytearray(size - OVERHEAD)
+        ok = backend._lib.lcm_open_box(
+            key._enc_key, key._mac_key,
+            frame, len(frame),
+            box if type(box) is bytes else ffi.from_buffer(box),
+            size,
+            ffi.from_buffer(out),
+        )
+        if ok != 0:
+            raise AuthenticationFailure("MAC verification failed")
+        return bytes(out)
     view = memoryview(box)  # avoid copying the ciphertext slice twice
     nonce = bytes(view[:NONCE_SIZE])
     ciphertext = view[NONCE_SIZE:-TAG_SIZE]
@@ -311,8 +520,78 @@ def auth_decrypt(
     expected = _tag_for(key, nonce, associated_data, ciphertext)
     if not hmac.compare_digest(tag, expected):
         raise AuthenticationFailure("MAC verification failed")
-    stream = _keystream(key._enc_key, nonce, len(ciphertext), key._ctr_base)
+    stream = _keystream(key, nonce, len(ciphertext))
     return _xor_bytes(ciphertext, stream)
+
+
+def auth_decrypt_batch(
+    boxes: list[bytes],
+    key: AeadKey,
+    *,
+    associated_data: bytes = b"",
+) -> list[bytes]:
+    """Verify and decrypt a batch of boxes in one crypto pass.
+
+    All-or-nothing: every MAC is verified **before** any plaintext is
+    produced, and a single forged/tampered box raises
+    :class:`~repro.errors.AuthenticationFailure` (naming the first bad
+    index) for the whole batch.  Callers that want per-box rejection use
+    :func:`auth_decrypt` per box; the trusted context deliberately wants
+    the batch semantics (no operation from a batch containing a forged
+    message executes).
+    """
+    if not boxes:
+        return []
+    open_boxes = _fastpath.BACKEND.open_boxes
+    if open_boxes is not None:
+        plaintexts, bad = open_boxes(
+            key._enc_key, key._mac_key, _mac_frame(key, associated_data), boxes
+        )
+        if plaintexts is None:
+            if len(boxes[bad]) < OVERHEAD:
+                raise AuthenticationFailure(
+                    f"box {bad} of batch too short to be authentic"
+                )
+            raise AuthenticationFailure(
+                f"MAC verification failed for box {bad} of batch"
+            )
+        return plaintexts
+    views = []
+    for index, box in enumerate(boxes):
+        if len(box) < OVERHEAD:
+            raise AuthenticationFailure(
+                f"box {index} of batch too short to be authentic"
+            )
+        views.append(memoryview(box))
+    segments = [view[:-TAG_SIZE] for view in views]
+    expected = _tags_for_batch(key, associated_data, segments)
+    bad = -1
+    compare = hmac.compare_digest
+    for index, (view, tag) in enumerate(zip(views, expected)):
+        # constant-time per box; scan every box before failing so the
+        # error index leaks nothing an attacker does not already control
+        if not compare(view[-TAG_SIZE:], tag) and bad < 0:
+            bad = index
+    if bad >= 0:
+        raise AuthenticationFailure(
+            f"MAC verification failed for box {bad} of batch"
+        )
+    nonces = [bytes(view[:NONCE_SIZE]) for view in views]
+    lengths = [len(view) - OVERHEAD for view in views]
+    streams = _keystreams(key, nonces, lengths)
+    joined_pt = _xor_bytes(
+        _join(view[NONCE_SIZE:-TAG_SIZE] for view in views),
+        _join(
+            stream[:length] if len(stream) != length else stream
+            for stream, length in zip(streams, lengths)
+        ),
+    ) if any(lengths) else b""
+    plaintexts = []
+    offset = 0
+    for length in lengths:
+        plaintexts.append(joined_pt[offset : offset + length])
+        offset += length
+    return plaintexts
 
 
 def stream_encrypt(
@@ -331,9 +610,19 @@ def stream_encrypt(
         nonce = _fresh_nonce()
     elif len(nonce) != NONCE_SIZE:
         raise ConfigurationError(f"nonce must be {NONCE_SIZE} bytes")
-    stream = _keystream(
-        key._enc_key, nonce, len(plaintext), key._ctr_base, cache=False
-    )
+    backend = _fastpath.BACKEND
+    if backend.native:
+        size = len(plaintext)
+        out = bytearray(NONCE_SIZE + size)
+        backend._lib.lcm_stream_box(
+            key._enc_key, nonce,
+            plaintext if type(plaintext) is bytes
+            else backend._ffi.from_buffer(plaintext),
+            size,
+            backend._ffi.from_buffer(out),
+        )
+        return bytes(out)
+    stream = _keystream(key, nonce, len(plaintext), cache=False)
     return nonce + _xor_bytes(plaintext, stream)
 
 
@@ -344,9 +633,7 @@ def stream_decrypt(box: bytes, key: AeadKey) -> bytes:
         raise AuthenticationFailure("stream box shorter than its nonce")
     nonce = box[:NONCE_SIZE]
     ciphertext = box[NONCE_SIZE:]
-    stream = _keystream(
-        key._enc_key, nonce, len(ciphertext), key._ctr_base, cache=False
-    )
+    stream = _keystream(key, nonce, len(ciphertext), cache=False)
     return _xor_bytes(ciphertext, stream)
 
 

@@ -21,14 +21,31 @@ import hashlib
 import hmac
 from dataclasses import dataclass, field
 
+from repro.crypto import fastpath as _fastpath
+
 #: The initial chain value h0 (Alg. 1: "initially hc = h0").  Any fixed,
 #: publicly-known constant works; we use the hash of a domain-separation tag.
 GENESIS_HASH: bytes = hashlib.sha256(b"lcm-genesis").digest()
 
 
 def secure_hash(data: bytes) -> bytes:
-    """Collision-resistant hash (SHA-256, as in the paper's implementation)."""
+    """Collision-resistant hash (SHA-256, as in the paper's implementation).
+
+    Stays on hashlib: for one-shot digests of short inputs the stdlib's
+    OpenSSL binding beats the cffi crossing of the fastpath backend (the
+    backend wins only where it amortizes calls across blocks or boxes).
+    """
     return hashlib.sha256(data).digest()
+
+
+def secure_hash_many(segments: list[bytes]) -> list[bytes]:
+    """SHA-256 of every segment, amortizing the native crossing when the
+    compiled fastpath backend is active (one C call per batch)."""
+    many = _fastpath.BACKEND.sha256_many
+    if many is not None and len(segments) > 2:
+        return many(segments)
+    sha256 = hashlib.sha256
+    return [sha256(segment).digest() for segment in segments]
 
 
 def _encode_field(data: bytes) -> bytes:
@@ -41,10 +58,27 @@ def chain_extend(previous: bytes, operation: bytes, sequence: int, client_id: in
 
     The paper writes plain concatenation; we length-prefix each field so no
     two distinct (h, o, t, i) tuples can collide by boundary shifting.
+    The compiled fastpath backend builds the framing and hashes in one
+    native call (byte-identical, cross-checked by the golden vectors);
+    both routes raise OverflowError for fields outside the 64-bit framing.
     """
+    backend = _fastpath.BACKEND
+    if backend.chain_extend is not None:
+        # inlined CBackend.chain_extend: one Python frame per step (this
+        # runs twice per protocol round trip, client and context side)
+        out = bytearray(32)
+        backend._lib.lcm_chain_extend(
+            previous, len(previous),
+            operation, len(operation),
+            sequence, client_id,
+            backend._ffi.from_buffer(out),
+        )
+        return bytes(out)
     payload = (
-        _encode_field(previous)
-        + _encode_field(operation)
+        len(previous).to_bytes(8, "big")
+        + previous
+        + len(operation).to_bytes(8, "big")
+        + operation
         + sequence.to_bytes(8, "big")
         + client_id.to_bytes(8, "big")
     )

@@ -83,3 +83,10 @@ class MembershipError(LCMError):
 
 class SimulationError(LCMError):
     """The discrete-event simulator was driven incorrectly."""
+
+
+class ShardUnavailable(LCMError):
+    """An operation was routed to a shard that has halted on a detected
+    violation.  Raised by the router's fail-fast check instead of letting
+    the request queue forever behind a stopped dispatcher; carries the
+    shard id in its message so callers can re-route or surface it."""

@@ -16,7 +16,6 @@ consistency checkers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.crypto.attestation import EpidGroup
@@ -27,24 +26,41 @@ from repro.core.client import LcmResult
 from repro.kvstore import KvsFunctionality
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
-from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
+from repro.net.simulation import Simulator
 from repro.server import ServerHost
+from repro.server.dispatch import GroupDispatcher
 from repro.tee import TeePlatform
 
 
-@dataclass
 class ClusterStats:
-    """Counters the cluster keeps while running."""
+    """Counters the cluster keeps while running.
 
-    operations_completed: int = 0
-    batches: int = 0
-    batch_sizes: list[int] = field(default_factory=list)
+    Batch statistics delegate to the dispatcher's bounded
+    :class:`~repro.server.batching.BatchSizeHistogram` (one source, O(1)
+    memory over arbitrarily long runs — the old per-batch size list grew
+    linearly).
+    """
+
+    def __init__(self, dispatcher: GroupDispatcher) -> None:
+        self.operations_completed = 0
+        self._dispatcher = dispatcher
+
+    @property
+    def batches(self) -> int:
+        return self._dispatcher.batches
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
-            return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self._dispatcher.histogram.mean
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._dispatcher.histogram.max_size
+
+    @property
+    def batch_size_histogram(self) -> dict[int, int]:
+        """``{batch size: count}`` — the full (bounded) distribution."""
+        return self._dispatcher.histogram.as_dict()
 
 
 class SimulatedCluster:
@@ -74,7 +90,6 @@ class SimulatedCluster:
         seed: int = 0,
     ) -> None:
         self.sim = Simulator()
-        self.stats = ClusterStats()
         self._latency = latency or LatencyModel(
             propagation=200e-6, jitter_fraction=0.3, seed=seed
         )
@@ -89,12 +104,17 @@ class SimulatedCluster:
         self.history = History()
         self._history_tokens: dict[int, list[int]] = {i: [] for i in range(1, clients + 1)}
 
-        # --- wiring: per-client up/down channels + server batch queue -----
+        # --- wiring: per-client up/down channels + the shared dispatcher --
         self._up: dict[int, Channel] = {}
         self._down: dict[int, Channel] = {}
-        self._batch_pending: list[tuple[int, bytes]] = []
-        self._enclave_busy = False
-        self._batch_limit = batch_limit
+        self.dispatcher = GroupDispatcher(
+            sim=self.sim,
+            send_batch=self.host.send_invoke_batch,
+            deliver=self._deliver,
+            batch_limit=batch_limit,
+            label="enclave-batch",
+        )
+        self.stats = ClusterStats(self.dispatcher)
         self.clients: dict[int, AsyncLcmClient] = {}
 
         for client_id in range(1, clients + 1):
@@ -114,33 +134,15 @@ class SimulatedCluster:
     # ------------------------------------------------------------- serving
 
     def _make_server_ingress(self, client_id: int):
+        dispatcher = self.dispatcher
+
         def ingress(message: bytes) -> None:
-            self._batch_pending.append((client_id, message))
-            self._maybe_dispatch()
+            dispatcher.enqueue(client_id, message)
 
         return ingress
 
-    def _maybe_dispatch(self) -> None:
-        """Flush a batch when the enclave is idle (Sec. 5.3 semantics)."""
-        if self._enclave_busy or not self._batch_pending:
-            return
-        batch = self._batch_pending[: self._batch_limit]
-        del self._batch_pending[: len(batch)]
-        self._enclave_busy = True
-        self.stats.batches += 1
-        self.stats.batch_sizes.append(len(batch))
-        replies = self.host.send_invoke_batch(batch)
-
-        def deliver() -> None:
-            for (client_id, _), reply in zip(batch, replies):
-                self._down[client_id].send(reply)
-            self._enclave_busy = False
-            self._maybe_dispatch()
-
-        # model a small enclave service interval so more requests can queue
-        self.sim.schedule(
-            ENCLAVE_SERVICE_INTERVAL * len(batch), deliver, label="enclave-batch"
-        )
+    def _deliver(self, client_id: int, reply: bytes) -> None:
+        self._down[client_id].send(reply)
 
     # ------------------------------------------------------------ workload
 

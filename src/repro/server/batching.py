@@ -17,6 +17,38 @@ from repro.errors import ConfigurationError
 T = TypeVar("T")
 
 
+class BatchSizeHistogram:
+    """Bounded batch-size statistics: ``{size: count}`` plus totals.
+
+    Replaces the unbounded per-batch size list the cluster runtimes used
+    to keep — the number of distinct sizes is capped by the batch limit,
+    so memory stays O(limit) over arbitrarily long runs while the mean,
+    max and full distribution remain available.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.batches = 0
+        self.items = 0
+
+    def record(self, size: int) -> None:
+        self.batches += 1
+        self.items += size
+        self.counts[size] = self.counts.get(size, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.items / self.batches if self.batches else 0.0
+
+    @property
+    def max_size(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def as_dict(self) -> dict[int, int]:
+        """Size -> count snapshot (sorted by size for stable output)."""
+        return {size: self.counts[size] for size in sorted(self.counts)}
+
+
 class BatchQueue(Generic[T]):
     """Collects items and flushes them in bounded batches.
 
@@ -24,9 +56,19 @@ class BatchQueue(Generic[T]):
     queue auto-flushes when ``limit`` items are pending; callers flush any
     remainder (the "no more requests available" case) explicitly via
     :meth:`flush`.
+
+    A consumer that gates batch formation on external state (the shared
+    :class:`~repro.server.dispatch.GroupDispatcher`, whose enclave may be
+    busy) constructs the queue without a callback and drains it with
+    :meth:`take` instead; both drain paths feed the same counters and
+    :class:`BatchSizeHistogram`, so batch statistics come from one place.
     """
 
-    def __init__(self, limit: int, flush_callback: Callable[[list[T]], None]) -> None:
+    def __init__(
+        self,
+        limit: int,
+        flush_callback: Callable[[list[T]], None] | None = None,
+    ) -> None:
         if limit < 1:
             raise ConfigurationError("batch limit must be >= 1")
         self.limit = limit
@@ -34,21 +76,38 @@ class BatchQueue(Generic[T]):
         self._pending: list[T] = []
         self.batches_flushed = 0
         self.items_flushed = 0
+        self.histogram = BatchSizeHistogram()
 
     def add(self, item: T) -> None:
         self._pending.append(item)
-        if len(self._pending) >= self.limit:
+        if self._flush_callback is not None and len(self._pending) >= self.limit:
             self.flush()
 
     def flush(self) -> int:
         """Flush pending items (if any).  Returns the batch size flushed."""
         if not self._pending:
             return 0
+        if self._flush_callback is None:
+            raise ConfigurationError(
+                "queue was built without a flush callback; drain with take()"
+            )
         batch, self._pending = self._pending, []
         self.batches_flushed += 1
         self.items_flushed += len(batch)
+        self.histogram.record(len(batch))
         self._flush_callback(batch)
         return len(batch)
+
+    def take(self) -> list[T]:
+        """Pop up to ``limit`` pending items, counting them as flushed."""
+        pending = self._pending
+        batch = pending[: self.limit]
+        if batch:
+            del pending[: len(batch)]
+            self.batches_flushed += 1
+            self.items_flushed += len(batch)
+            self.histogram.record(len(batch))
+        return batch
 
     @property
     def pending_count(self) -> int:

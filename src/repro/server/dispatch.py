@@ -1,0 +1,165 @@
+"""The per-group batch dispatch loop (Sec. 5.3), shared by every cluster.
+
+``SimulatedCluster`` and ``ShardedCluster`` used to carry near-identical
+~60-line ``_maybe_dispatch`` bodies — batch slicing, enclave-busy gating,
+deliver scheduling on the virtual clock — differing only in how a
+detected violation is recorded.  :class:`GroupDispatcher` is that loop,
+extracted once: the cluster runtimes supply the transport (``send_batch``
+into their host, ``deliver`` back onto their per-client channels) and
+optional hooks, so Sec. 5.2/5.3 batching changes land in one place and
+reach every runtime at once.
+
+Dispatch semantics (unchanged from the paper's prototype):
+
+- requests queue in a bounded :class:`~repro.server.batching.BatchQueue`;
+- a batch is cut whenever the enclave is idle and requests are pending —
+  up to ``batch_limit`` of them ("once the queue reaches its limit *or no
+  more client requests are available*", Sec. 5.3);
+- the whole batch enters the enclave in one ecall; replies are delivered
+  after a virtual service interval proportional to the batch size, after
+  which the loop immediately tries to cut the next batch;
+- a :class:`~repro.errors.SecurityViolation` raised by the enclave halts
+  the dispatcher: pending requests stay queued, nothing further enters
+  the enclave.  With an ``on_violation`` hook the violation is recorded
+  and the simulation continues (the sharded runtime's per-shard
+  attribution); without one it propagates (the single-group runtime's
+  fail-stop behaviour).
+
+Batch-size statistics live in the queue's
+:class:`~repro.server.batching.BatchSizeHistogram` — one bounded source
+both cluster stats objects read from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SecurityViolation
+from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
+from repro.server.batching import BatchQueue, BatchSizeHistogram
+
+
+class GroupDispatcher:
+    """One LCM group's request-batching loop over the virtual clock.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator shared by the cluster.
+    send_batch:
+        ``(batch: list[(client_id, message)]) -> list[reply]`` — one ecall
+        into the group's enclave (or the malicious server's per-client
+        fallback).
+    deliver:
+        ``(client_id, reply) -> None`` — route one reply onto the
+        client's downlink channel.
+    batch_limit:
+        Bounded batch queue size (Sec. 5.3).
+    label:
+        Event label for the simulator agenda (diagnostics).
+    service_interval:
+        Virtual enclave service time per request in a batch.
+    on_violation:
+        Optional hook for a :class:`SecurityViolation` raised by
+        ``send_batch``.  When set, the dispatcher halts itself, calls the
+        hook and returns (the cluster records the violation); when
+        ``None`` the exception propagates.
+    on_idle:
+        Optional hook that runs each time the enclave goes idle after a
+        delivery, *before* the next batch is cut — the sharded runtime
+        runs deferred rebalances at exactly this batch boundary.
+    """
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        send_batch: Callable[[list[tuple[int, bytes]]], list[bytes]],
+        deliver: Callable[[int, bytes], None],
+        batch_limit: int = 16,
+        label: str = "enclave-batch",
+        service_interval: float = ENCLAVE_SERVICE_INTERVAL,
+        on_violation: Callable[[SecurityViolation], None] | None = None,
+        on_idle: Callable[[], None] | None = None,
+    ) -> None:
+        self.queue: BatchQueue[tuple[int, bytes]] = BatchQueue(batch_limit)
+        self.busy = False
+        self.halted = False
+        self._sim = sim
+        self._send_batch = send_batch
+        self._deliver = deliver
+        self._label = label
+        self._service_interval = service_interval
+        self._on_violation = on_violation
+        self._on_idle = on_idle
+
+    # ---------------------------------------------------------------- intake
+
+    def enqueue(self, client_id: int, message: bytes) -> None:
+        """Queue one INVOKE and cut a batch if the enclave is idle."""
+        self.queue.add((client_id, message))
+        self.maybe_dispatch()
+
+    def halt(self) -> None:
+        """Stop cutting batches (pending requests stay queued).
+
+        Called by the cluster when a violation is detected outside the
+        ecall itself — e.g. a client rejecting a forked reply."""
+        self.halted = True
+
+    @property
+    def healthy(self) -> bool:
+        """False once the dispatcher halted on a detected violation."""
+        return not self.halted
+
+    # -------------------------------------------------------------- dispatch
+
+    def maybe_dispatch(self) -> None:
+        """Cut and serve one batch if the enclave is idle (Sec. 5.3)."""
+        if self.busy or self.halted or not self.queue.pending_count:
+            return
+        batch = self.queue.take()
+        self.busy = True
+        try:
+            replies = self._send_batch(batch)
+        except SecurityViolation as violation:
+            # server-side detection: the context halted mid-batch; stop
+            # dispatching (pending requests stay queued) and either let
+            # the cluster record it or fail the whole run
+            self.busy = False
+            self.halt()
+            if self._on_violation is None:
+                raise
+            self._on_violation(violation)
+            return
+
+        def deliver() -> None:
+            for (client_id, _), reply in zip(batch, replies):
+                self._deliver(client_id, reply)
+            self.busy = False
+            if self._on_idle is not None:
+                self._on_idle()
+            self.maybe_dispatch()
+
+        # model the enclave service interval so more requests can queue
+        self._sim.schedule(
+            self._service_interval * len(batch), deliver, label=self._label
+        )
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def batches(self) -> int:
+        return self.queue.batches_flushed
+
+    @property
+    def items(self) -> int:
+        return self.queue.items_flushed
+
+    @property
+    def histogram(self) -> BatchSizeHistogram:
+        return self.queue.histogram
+
+    @property
+    def pending(self) -> int:
+        return self.queue.pending_count

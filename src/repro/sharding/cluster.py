@@ -40,7 +40,7 @@ failure.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.consistency.history import History
@@ -54,26 +54,43 @@ from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
 from repro.server import MaliciousServer, ServerHost
+from repro.server.dispatch import GroupDispatcher
 from repro.sharding.partitioner import HashRing
 from repro.tee import TeePlatform
 
 
-@dataclass
 class ShardedStats:
-    """Aggregate and per-shard counters kept while the cluster runs."""
+    """Aggregate and per-shard counters kept while the cluster runs.
 
-    operations_completed: int = 0
-    rebalances: int = 0
-    per_shard_operations: dict[int, int] = field(default_factory=dict)
-    per_shard_batches: dict[int, int] = field(default_factory=dict)
+    Per-shard batch counts delegate to each shard dispatcher's bounded
+    :class:`~repro.server.batching.BatchSizeHistogram`, the single source
+    of batch statistics for every cluster runtime."""
+
+    def __init__(self, dispatchers: dict[int, GroupDispatcher]) -> None:
+        self.operations_completed = 0
+        self.rebalances = 0
+        self.per_shard_operations = {shard_id: 0 for shard_id in dispatchers}
+        self._dispatchers = dispatchers
+
+    @property
+    def per_shard_batches(self) -> dict[int, int]:
+        return {
+            shard_id: dispatcher.batches
+            for shard_id, dispatcher in self._dispatchers.items()
+        }
+
+    def batch_size_histogram(self, shard_id: int) -> dict[int, int]:
+        """One shard's ``{batch size: count}`` distribution (bounded)."""
+        dispatcher = self._dispatchers.get(shard_id)
+        return dispatcher.histogram.as_dict() if dispatcher else {}
 
     def mean_batch_size(self, shard_id: int) -> float:
         """Completed operations per enclave batch on one shard (the
         emergent Sec. 5.3 batching, per group)."""
-        batches = self.per_shard_batches.get(shard_id, 0)
-        if not batches:
+        dispatcher = self._dispatchers.get(shard_id)
+        if dispatcher is None or not dispatcher.batches:
             return 0.0
-        return self.per_shard_operations.get(shard_id, 0) / batches
+        return self.per_shard_operations.get(shard_id, 0) / dispatcher.batches
 
 
 @dataclass
@@ -98,13 +115,21 @@ class _Shard:
         self.clients: dict[int, AsyncLcmClient] = {}
         self.up: dict[int, Channel] = {}
         self.down: dict[int, Channel] = {}
-        self.batch_pending: list[tuple[int, bytes]] = []
-        self.enclave_busy = False
+        self.dispatcher: GroupDispatcher | None = None
         self.rebalance_requested = False
         self.violation: SecurityViolation | None = None
         self.audit_prefix: list[AuditRecord] = []  # from migrated-out origins
         self.retired_hosts: list[Any] = []
         self.forks: list[_Fork] = []
+
+    @property
+    def enclave_busy(self) -> bool:
+        return self.dispatcher.busy
+
+    @property
+    def healthy(self) -> bool:
+        """False once a violation was detected on this shard."""
+        return self.violation is None
 
 
 class ShardedCluster:
@@ -155,7 +180,6 @@ class ShardedCluster:
         if unknown:
             raise ConfigurationError(f"malicious shard ids out of range: {unknown}")
         self.sim = Simulator()
-        self.stats = ShardedStats()
         self.ring = HashRing(range(shards), virtual_nodes=virtual_nodes)
         self.group = EpidGroup()
         self._functionality = functionality
@@ -171,9 +195,9 @@ class ShardedCluster:
             self._provision_shard(shard_id, malicious=shard_id in malicious_shards)
             for shard_id in range(shards)
         ]
-        for shard in self._shards:
-            self.stats.per_shard_operations[shard.shard_id] = 0
-            self.stats.per_shard_batches[shard.shard_id] = 0
+        self.stats = ShardedStats(
+            {shard.shard_id: shard.dispatcher for shard in self._shards}
+        )
 
     # --------------------------------------------------------- provisioning
 
@@ -199,6 +223,20 @@ class ShardedCluster:
             self.group.verifier(), TeePlatform.expected_measurement(self._factory)
         )
         shard.deployment = admin.bootstrap(shard.host, client_ids=self._client_ids)
+        shard.dispatcher = GroupDispatcher(
+            sim=self.sim,
+            send_batch=lambda batch, shard=shard: self._send_batch(shard, batch),
+            deliver=lambda client_id, reply, shard=shard: shard.down[
+                client_id
+            ].send(reply),
+            batch_limit=self._batch_limit,
+            label=f"shard{shard_id}-batch",
+            service_interval=self.SERVICE_INTERVAL,
+            on_violation=lambda violation, shard=shard: self._record_violation(
+                shard, violation
+            ),
+            on_idle=lambda shard=shard: self._at_batch_boundary(shard),
+        )
         for client_id in self._client_ids:
             up = Channel(
                 f"c{client_id}->s{shard_id}", sim=self.sim, latency=self._latency
@@ -219,9 +257,10 @@ class ShardedCluster:
     # -------------------------------------------------------------- serving
 
     def _make_ingress(self, shard: _Shard, client_id: int):
+        dispatcher = shard.dispatcher
+
         def ingress(message: bytes) -> None:
-            shard.batch_pending.append((client_id, message))
-            self._maybe_dispatch(shard)
+            dispatcher.enqueue(client_id, message)
 
         return ingress
 
@@ -232,47 +271,29 @@ class ShardedCluster:
             except SecurityViolation as violation:
                 # client-side detection (forked/rolled-back reply): record
                 # it against this shard; the rest of the cluster keeps going
-                if shard.violation is None:
-                    shard.violation = violation
+                self._record_violation(shard, violation)
 
         return on_reply
 
-    def _maybe_dispatch(self, shard: _Shard) -> None:
-        """Flush a batch when the shard's enclave is idle (Sec. 5.3)."""
-        if shard.enclave_busy or shard.violation or not shard.batch_pending:
-            return
-        batch = shard.batch_pending[: self._batch_limit]
-        del shard.batch_pending[: len(batch)]
-        shard.enclave_busy = True
-        self.stats.per_shard_batches[shard.shard_id] += 1
-        try:
-            replies = self._send_batch(shard, batch)
-        except SecurityViolation as violation:
-            # server-side detection: the shard's context halted; record and
-            # stop dispatching to this shard (pending requests stay queued)
+    def _record_violation(
+        self, shard: _Shard, violation: SecurityViolation
+    ) -> None:
+        """Attribute a detected violation to its shard and stop its
+        dispatcher; pending requests stay queued, the rest of the cluster
+        keeps going."""
+        if shard.violation is None:
             shard.violation = violation
-            shard.enclave_busy = False
-            return
+        shard.dispatcher.halt()
 
-        def deliver() -> None:
-            for (client_id, _), reply in zip(batch, replies):
-                shard.down[client_id].send(reply)
-            shard.enclave_busy = False
-            if shard.rebalance_requested:
-                shard.rebalance_requested = False
-                if shard.violation is None and not shard.forks:
-                    self._do_rebalance(shard)
-                # else: the shard halted or forked while the request was
-                # deferred — abandon the move (the violation/fork evidence
-                # is already attributed to the shard)
-            self._maybe_dispatch(shard)
-
-        # small enclave service interval so more requests can queue up
-        self.sim.schedule(
-            self.SERVICE_INTERVAL * len(batch),
-            deliver,
-            label=f"shard{shard.shard_id}-batch",
-        )
+    def _at_batch_boundary(self, shard: _Shard) -> None:
+        """Dispatcher idle hook: run a deferred rebalance, if any."""
+        if shard.rebalance_requested:
+            shard.rebalance_requested = False
+            if shard.violation is None and not shard.forks:
+                self._do_rebalance(shard)
+            # else: the shard halted or forked while the request was
+            # deferred — abandon the move (the violation/fork evidence
+            # is already attributed to the shard)
 
     @staticmethod
     def _send_batch(shard: _Shard, batch: list[tuple[int, bytes]]) -> list[bytes]:
@@ -440,6 +461,13 @@ class ShardedCluster:
     def shard_violation(self, shard_id: int) -> SecurityViolation | None:
         """The first violation detected on this shard during the run."""
         return self._shard(shard_id).violation
+
+    def shard_healthy(self, shard_id: int) -> bool:
+        """False once a violation was detected on this shard — its
+        dispatcher is halted and anything submitted to it would queue
+        forever.  The router checks this flag to fail fast instead of
+        queueing silently (full failover/retry is a ROADMAP item)."""
+        return self._shard(shard_id).healthy
 
     def functionality(self):
         """A fresh functionality instance (for the offline checkers)."""

@@ -34,6 +34,7 @@ from repro.errors import (
     EnclaveError,
     LCMError,
     SecurityViolation,
+    ShardUnavailable,
 )
 from repro.sharding.cluster import ShardedCluster
 
@@ -140,8 +141,22 @@ class ShardRouter:
         operation: Any,
         on_complete: Callable[[LcmResult], Any] | None = None,
     ) -> int:
-        """Queue an operation on an explicit shard (keyless ops, tests)."""
+        """Queue an operation on an explicit shard (keyless ops, tests).
+
+        Fails fast with :class:`~repro.errors.ShardUnavailable` when the
+        target shard has halted on a detected violation — its dispatcher
+        no longer cuts batches, so the request would otherwise queue
+        forever.  Full failover/retry against a re-provisioned group
+        stays a ROADMAP item; in a :meth:`submit_many` fan-out the
+        operations already handed to healthy shards proceed normally.
+        """
         cluster = self.cluster
+        if not cluster.shard_healthy(shard_id):
+            raise ShardUnavailable(
+                f"shard {shard_id} halted on "
+                f"{cluster.shard_violation(shard_id)!r}; failing fast "
+                "instead of queueing behind a stopped dispatcher"
+            )
         history = cluster.shard_history(shard_id)
         token = history.invoke(client_id, operation)
         self.operations_submitted += 1

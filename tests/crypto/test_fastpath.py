@@ -1,0 +1,169 @@
+"""The pluggable keystream/MAC backend: selection and byte-identity.
+
+Every backend must produce identical keystream blocks, HMAC tags and
+fused boxes — the golden-vector tests pin the wire format under whichever
+backend is active; this file cross-checks the backends against each other
+and against independent stdlib computations.
+"""
+
+import hashlib
+import hmac
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.crypto import fastpath
+from repro.errors import ConfigurationError
+
+ENC_KEY = hashlib.sha256(b"lcm-enc" + b"\x05" * 16).digest()
+MAC_KEY = hashlib.sha256(b"lcm-mac" + b"\x05" * 16).digest()
+NONCE = bytes(range(12))
+PREFIX = b"lcm-ctr" + ENC_KEY + NONCE
+
+
+def _reference_blocks(prefix: bytes, nblocks: int) -> bytes:
+    return b"".join(
+        hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+        for counter in range(nblocks)
+    )
+
+
+def _all_backends():
+    return [fastpath._get_backend(name) for name in fastpath.available_backends()]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("nblocks", [0, 1, 2, 5, 33, 200])
+    def test_blocks_identical_across_backends(self, nblocks):
+        expected = _reference_blocks(PREFIX, nblocks)
+        for backend in _all_backends():
+            assert backend.blocks(PREFIX, nblocks) == expected, backend.name
+
+    @pytest.mark.parametrize(
+        "prefix_len",
+        # straddles the one-block, two-block and buffered-update shapes
+        [0, 7, 40, 47, 48, 55, 56, 60, 64, 100],
+    )
+    def test_blocks_at_every_prefix_shape(self, prefix_len):
+        prefix = bytes(range(256))[:prefix_len]
+        expected = _reference_blocks(prefix, 4)
+        for backend in _all_backends():
+            assert backend.blocks(prefix, 4) == expected, backend.name
+
+    def test_blocks_many_identical_across_backends(self):
+        prefixes = [b"lcm-ctr" + ENC_KEY + os.urandom(12) for _ in range(9)]
+        counts = [1, 4, 9, 0, 2, 130, 3, 5, 5]
+        expected = b"".join(
+            _reference_blocks(p, n) for p, n in zip(prefixes, counts)
+        )
+        for backend in _all_backends():
+            assert backend.blocks_many(prefixes, counts) == expected, backend.name
+
+    def test_native_hmac_matches_stdlib(self):
+        backend = fastpath._get_backend("c")
+        if backend is None:
+            pytest.skip("compiled backend unavailable")
+        frame = (10).to_bytes(8, "big") + b"lcm/invoke"
+        segments = [os.urandom(151) for _ in range(7)] + [b"", os.urandom(3000)]
+        expected = [
+            hmac.new(MAC_KEY, frame + seg, hashlib.sha256).digest()
+            for seg in segments
+        ]
+        assert backend.hmac_tags(MAC_KEY, frame, segments) == expected
+        for seg, want in zip(segments, expected):
+            assert backend.hmac3(MAC_KEY, frame, b"", seg) == want
+
+    def test_native_sha256_matches_stdlib(self):
+        backend = fastpath._get_backend("c")
+        if backend is None:
+            pytest.skip("compiled backend unavailable")
+        blobs = [b"", b"x", os.urandom(200), os.urandom(5000)]
+        assert backend.sha256_many(blobs) == [
+            hashlib.sha256(blob).digest() for blob in blobs
+        ]
+        assert backend.sha256_oneshot(blobs[2]) == hashlib.sha256(blobs[2]).digest()
+
+
+class TestSelection:
+    def test_available_backends_always_include_pure_python(self):
+        names = fastpath.available_backends()
+        assert "python" in names and "python-batch" in names
+
+    def test_select_and_restore(self):
+        previous = fastpath.active_backend()
+        try:
+            assert fastpath.select_backend("python").name == "python"
+            assert fastpath.active_backend().name == "python"
+            assert fastpath.select_backend("python-batch").name == "python-batch"
+            default = fastpath.select_backend(None)
+            assert default.name in ("c", "python-batch")
+        finally:
+            fastpath.BACKEND = previous
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fastpath.select_backend("turbo")
+
+    def test_env_override_pins_backend_at_import(self):
+        """A subprocess with REPRO_FASTPATH=python must select the pure
+        backend and still reproduce the golden wire bytes."""
+        code = (
+            "from repro.crypto import fastpath\n"
+            "assert fastpath.active_backend().name == 'python'\n"
+            "from repro.crypto.aead import AeadKey, auth_encrypt\n"
+            "box = auth_encrypt(b'', AeadKey(b'\\x01\\x02' * 8),"
+            " nonce=bytes(range(12)))\n"
+            "assert box == bytes.fromhex("
+            "'000102030405060708090a0b60c1683d24bb18fd554a81c49850e290')\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ, REPRO_FASTPATH="python")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+
+class TestFusedBoxes:
+    def test_fused_seal_open_match_composed_path(self):
+        backend = fastpath._get_backend("c")
+        if backend is None:
+            pytest.skip("compiled backend unavailable")
+        frame = (2).to_bytes(8, "big") + b"ad"
+        for size in [0, 1, 31, 32, 300, 1024, 1025, 5000]:
+            plaintext = os.urandom(size)
+            nonce = os.urandom(12)
+            box = backend.seal_box(ENC_KEY, MAC_KEY, nonce, frame, plaintext)
+            # manual composition from the block loop + stdlib HMAC
+            stream = _reference_blocks(b"lcm-ctr" + ENC_KEY + nonce, -(-size // 32))
+            ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+            tag = hmac.new(
+                MAC_KEY, frame + nonce + ciphertext, hashlib.sha256
+            ).digest()[:16]
+            assert box == nonce + ciphertext + tag
+            assert backend.open_box(ENC_KEY, MAC_KEY, frame, box) == plaintext
+        bad = box[:-1] + bytes([box[-1] ^ 1])
+        assert backend.open_box(ENC_KEY, MAC_KEY, frame, bad) is None
+
+    def test_fused_batch_entry_points(self):
+        backend = fastpath._get_backend("c")
+        if backend is None:
+            pytest.skip("compiled backend unavailable")
+        frame = (1).to_bytes(8, "big") + b"z"
+        plaintexts = [os.urandom(s) for s in (0, 17, 200, 1030)]
+        nonces = [os.urandom(12) for _ in plaintexts]
+        boxes = backend.seal_boxes(ENC_KEY, MAC_KEY, nonces, frame, plaintexts)
+        assert boxes == [
+            backend.seal_box(ENC_KEY, MAC_KEY, n, frame, p)
+            for n, p in zip(nonces, plaintexts)
+        ]
+        opened, bad = backend.open_boxes(ENC_KEY, MAC_KEY, frame, boxes)
+        assert bad == -1 and opened == plaintexts
+        tampered = list(boxes)
+        tampered[2] = tampered[2][:-1] + bytes([tampered[2][-1] ^ 1])
+        opened, bad = backend.open_boxes(ENC_KEY, MAC_KEY, frame, tampered)
+        assert opened is None and bad == 2

@@ -56,7 +56,7 @@ class TestBatching:
             for _ in range(4):
                 cluster.submit(client_id, get("x"))
         cluster.run()
-        assert max(cluster.stats.batch_sizes) <= 4
+        assert cluster.stats.max_batch_size <= 4
 
     def test_state_stores_amortised_by_batching(self):
         batched = SimulatedCluster(clients=6, batch_limit=16, seed=6)

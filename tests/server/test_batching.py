@@ -59,3 +59,59 @@ class TestBatchQueue:
         queue.add("x")
         queue.add("y")
         assert flushed == [["x"], ["y"]]
+
+
+class TestBatchSizeHistogram:
+    def test_record_and_stats(self):
+        from repro.server.batching import BatchSizeHistogram
+
+        histogram = BatchSizeHistogram()
+        assert histogram.mean == 0.0 and histogram.max_size == 0
+        for size in (3, 1, 3, 5):
+            histogram.record(size)
+        assert histogram.batches == 4
+        assert histogram.items == 12
+        assert histogram.mean == pytest.approx(3.0)
+        assert histogram.max_size == 5
+        assert histogram.as_dict() == {1: 1, 3: 2, 5: 1}
+
+    def test_memory_stays_bounded_by_distinct_sizes(self):
+        from repro.server.batching import BatchSizeHistogram
+
+        histogram = BatchSizeHistogram()
+        for _ in range(100_000):
+            histogram.record(16)
+        assert histogram.batches == 100_000
+        assert len(histogram.counts) == 1  # O(distinct sizes), not O(batches)
+
+
+class TestTakeDrain:
+    def test_take_is_bounded_and_counts_into_histogram(self):
+        queue = BatchQueue(3)
+        for i in range(7):
+            queue.add(i)
+        assert queue.pending_count == 7  # no callback: no auto-flush
+        assert queue.take() == [0, 1, 2]
+        assert queue.take() == [3, 4, 5]
+        assert queue.take() == [6]
+        assert queue.take() == []
+        assert queue.batches_flushed == 3
+        assert queue.items_flushed == 7
+        assert queue.histogram.as_dict() == {1: 1, 3: 2}
+
+    def test_flush_without_callback_is_rejected(self):
+        from repro.errors import ConfigurationError
+
+        queue = BatchQueue(2)
+        queue.add("x")
+        with pytest.raises(ConfigurationError):
+            queue.flush()
+
+    def test_callback_flush_feeds_same_histogram(self):
+        batches = []
+        queue = BatchQueue(2, batches.append)
+        for i in range(5):
+            queue.add(i)
+        queue.flush()
+        assert batches == [[0, 1], [2, 3], [4]]
+        assert queue.histogram.as_dict() == {1: 1, 2: 2}

@@ -1,0 +1,164 @@
+"""The shared per-group dispatcher and its cluster-runtime parity.
+
+The acceptance bar for the dispatch unification: exactly one dispatch
+loop implementation, used by both ``SimulatedCluster`` and
+``ShardedCluster`` — so a 1-shard sharded cluster must produce *batch
+stats identical* to the single-group harness on the same trace.
+"""
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.kvstore import get, put
+from repro.net.simulation import Simulator
+from repro.server.dispatch import GroupDispatcher
+
+
+class TestGroupDispatcher:
+    def _dispatcher(self, sim, replies_log, batch_limit=4, **kwargs):
+        def send_batch(batch):
+            return [message.upper() for _, message in batch]
+
+        def deliver(client_id, reply):
+            replies_log.append((client_id, reply))
+
+        return GroupDispatcher(
+            sim=sim,
+            send_batch=send_batch,
+            deliver=deliver,
+            batch_limit=batch_limit,
+            **kwargs,
+        )
+
+    def test_batches_respect_limit_and_arrival_order(self):
+        sim = Simulator()
+        log = []
+        dispatcher = self._dispatcher(sim, log, batch_limit=2)
+        for i in range(5):
+            dispatcher.enqueue(i, b"m%d" % i)
+        sim.run()
+        assert [cid for cid, _ in log] == [0, 1, 2, 3, 4]
+        assert log[0] == (0, b"M0")
+        assert dispatcher.batches == 3
+        assert dispatcher.histogram.as_dict() == {1: 1, 2: 2}
+        assert dispatcher.histogram.max_size == 2
+
+    def test_service_interval_scales_with_batch_size(self):
+        sim = Simulator()
+        log = []
+        dispatcher = self._dispatcher(
+            sim, log, batch_limit=8, service_interval=1.0
+        )
+        for i in range(3):
+            dispatcher.enqueue(i, b"x")
+        sim.run()
+        # first batch has size 1 (cut on first enqueue), second size 2
+        assert sim.now == pytest.approx(3.0)
+
+    def test_violation_without_hook_propagates_and_halts(self):
+        sim = Simulator()
+
+        def send_batch(batch):
+            raise SecurityViolation("boom")
+
+        dispatcher = GroupDispatcher(
+            sim=sim, send_batch=send_batch, deliver=lambda c, r: None,
+            batch_limit=4,
+        )
+        with pytest.raises(SecurityViolation):
+            dispatcher.enqueue(1, b"m")
+        assert dispatcher.halted and not dispatcher.healthy
+        # pending requests stay queued, nothing further dispatches
+        dispatcher.enqueue(2, b"n")
+        assert dispatcher.pending == 1
+        assert dispatcher.batches == 1
+
+    def test_violation_hook_records_and_halts_quietly(self):
+        sim = Simulator()
+        seen = []
+
+        def send_batch(batch):
+            raise SecurityViolation("boom")
+
+        dispatcher = GroupDispatcher(
+            sim=sim, send_batch=send_batch, deliver=lambda c, r: None,
+            batch_limit=4, on_violation=seen.append,
+        )
+        dispatcher.enqueue(1, b"m")
+        assert len(seen) == 1 and isinstance(seen[0], SecurityViolation)
+        assert dispatcher.halted
+
+    def test_on_idle_runs_at_batch_boundaries(self):
+        sim = Simulator()
+        boundaries = []
+        log = []
+        dispatcher = self._dispatcher(
+            sim, log, batch_limit=2, on_idle=lambda: boundaries.append(sim.now)
+        )
+        for i in range(4):
+            dispatcher.enqueue(i, b"x")
+        sim.run()
+        assert len(boundaries) == dispatcher.batches
+
+
+class TestDispatcherParity:
+    """1-shard ShardedCluster == SimulatedCluster on the same trace."""
+
+    TRACE = [
+        (client_id, operation)
+        for client_id in range(1, 5)
+        for operation in (
+            put("alpha", "1"), get("alpha"), put("beta", "2"),
+            get("missing"), put("alpha", "3"), get("beta"),
+        )
+    ]
+
+    def _run_simulated(self):
+        from repro.harness.simulated_cluster import SimulatedCluster
+
+        cluster = SimulatedCluster(clients=4, batch_limit=4, seed=7)
+        for client_id, operation in self.TRACE:
+            cluster.submit(client_id, operation)
+        cluster.run()
+        return cluster
+
+    def _run_sharded(self):
+        from repro.sharding import ShardRouter, ShardedCluster
+
+        cluster = ShardedCluster(shards=1, clients=4, batch_limit=4, seed=7)
+        router = ShardRouter(cluster)
+        for client_id, operation in self.TRACE:
+            router.submit_to_shard(0, client_id, operation)
+        cluster.run()
+        return cluster
+
+    def test_identical_batch_stats_on_same_trace(self):
+        simulated = self._run_simulated()
+        sharded = self._run_sharded()
+        assert simulated.stats.operations_completed == len(self.TRACE)
+        assert sharded.stats.operations_completed == len(self.TRACE)
+        assert (
+            simulated.stats.batches == sharded.stats.per_shard_batches[0]
+        )
+        assert simulated.stats.batch_size_histogram == (
+            sharded.stats.batch_size_histogram(0)
+        )
+        assert simulated.stats.mean_batch_size == pytest.approx(
+            sharded.stats.mean_batch_size(0)
+        )
+
+    def test_both_runtimes_share_the_dispatcher_implementation(self):
+        """The duplicated ``_maybe_dispatch`` bodies are gone: both
+        cluster runtimes drive GroupDispatcher instances."""
+        from repro.harness.simulated_cluster import SimulatedCluster
+        from repro.sharding import ShardedCluster
+
+        assert not hasattr(SimulatedCluster, "_maybe_dispatch")
+        assert not hasattr(ShardedCluster, "_maybe_dispatch")
+        simulated = SimulatedCluster(clients=2)
+        sharded = ShardedCluster(shards=2, clients=2)
+        assert isinstance(simulated.dispatcher, GroupDispatcher)
+        for shard_id in range(sharded.shard_count):
+            assert isinstance(
+                sharded._shard(shard_id).dispatcher, GroupDispatcher
+            )

@@ -417,3 +417,61 @@ class TestGoldenWire:
                 payload.retry,
             ]
         )
+
+
+class TestRouterFailFast:
+    """A halted shard must fail fast at the router instead of queueing
+    requests forever behind its stopped dispatcher."""
+
+    def _halted_cluster(self):
+        cluster, router = build(
+            shards=3, clients=3, seed=11, malicious_shards=(1,)
+        )
+        victim_keys = keys_owned_by(cluster, 1, 3)
+        for client_id in cluster.client_ids:
+            router.submit(client_id, put(victim_keys[0], f"base-{client_id}"))
+        cluster.run()
+        fork = cluster.fork_shard(1)
+        cluster.route_client(1, 3, fork)
+        router.submit(1, put(victim_keys[1], "main-side"))
+        router.submit(3, put(victim_keys[2], "fork-side"))
+        cluster.run()
+        cluster.route_client(1, 3, 0)  # join the forks: client 3 detects
+        router.submit(3, get(victim_keys[0]))
+        cluster.run()
+        assert not cluster.shard_healthy(1)
+        return cluster, router, victim_keys
+
+    def test_submit_to_halted_shard_raises_dedicated_error(self):
+        from repro.errors import ShardUnavailable
+
+        cluster, router, victim_keys = self._halted_cluster()
+        submitted_before = router.operations_submitted
+        with pytest.raises(ShardUnavailable, match="shard 1"):
+            router.submit(2, put(victim_keys[1], "stuck"))
+        # nothing was queued: the count did not move and the pending
+        # queue of the halted shard stayed empty
+        assert router.operations_submitted == submitted_before
+        assert cluster._shard(1).dispatcher.pending == 0
+
+    def test_healthy_shards_still_serve(self):
+        cluster, router, _ = self._halted_cluster()
+        healthy = next(
+            shard_id
+            for shard_id in range(cluster.shard_count)
+            if cluster.shard_healthy(shard_id)
+        )
+        keys = keys_owned_by(cluster, healthy, 1, prefix="ok")
+        results = []
+        router.submit_to_shard(
+            healthy, 2, put(keys[0], "alive"), results.append
+        )
+        cluster.run()
+        assert len(results) == 1
+
+    def test_healthy_flag_tracks_violations(self):
+        cluster, router = build(shards=2, clients=2, seed=3)
+        assert all(
+            cluster.shard_healthy(shard_id)
+            for shard_id in range(cluster.shard_count)
+        )
