@@ -157,3 +157,67 @@ def test_micro_shard_scaling(benchmark):
     elapsed = benchmark.pedantic(one_round, rounds=10, iterations=1)
     # two groups drain the same offered load in less virtual time
     assert elapsed[2] < elapsed[1]
+
+
+def _handoff_pair(keys=100):
+    """Two live single-group deployments in one attestation group, with a
+    populated keyspace and the arc list that moves the lower half of the
+    ring."""
+    from repro.crypto.attestation import EpidGroup
+    from repro.crypto.hashing import RING_SPAN
+    from repro.tee import TeePlatform
+
+    group = EpidGroup()
+    host_a, _, (alice, *_) = build_deployment(
+        epid_group=group, platform=TeePlatform(group, seed=71)
+    )
+    host_b, _, _ = build_deployment(
+        epid_group=group, platform=TeePlatform(group, seed=72)
+    )
+    for i in range(keys):
+        alice.invoke(put(f"user{i:012d}", "v" * 64))
+    return host_a, host_b, group.verifier(), [[0, RING_SPAN // 2]]
+
+
+def test_micro_key_handoff_round_trip(benchmark):
+    """One elastic-resharding handoff there and back: mutual attestation,
+    arc filtering inside both enclaves, sealed bundle transfer, chained
+    import/export and a state seal on each side.  Bouncing the same arcs
+    A→B→A keeps the states stationary across rounds."""
+    from repro.core.migration import migrate_keys
+
+    host_a, host_b, verifier, arcs = _handoff_pair()
+
+    def bounce():
+        moved_out = migrate_keys(host_a, host_b, verifier, arcs)
+        moved_back = migrate_keys(host_b, host_a, verifier, arcs)
+        return moved_out, moved_back
+
+    moved_out, moved_back = benchmark.pedantic(
+        bounce, rounds=15, iterations=1, warmup_rounds=2
+    )
+    assert moved_out == moved_back > 0
+
+
+def test_micro_elastic_reshard(benchmark):
+    """A full control-plane split + merge on a quiet populated cluster:
+    group provisioning, quiescence barrier, per-arc handoffs and the two
+    ring swaps.  Each round adds one shard and removes it again, so the
+    cluster returns to its starting shape."""
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    cluster = ShardedCluster(shards=2, clients=4, seed=31)
+    router = ShardRouter(cluster)
+    for client_id in cluster.client_ids:
+        for i in range(25):
+            router.submit(client_id, put(f"user{client_id}-{i:04d}", "v" * 64))
+    cluster.run()
+
+    def split_and_merge():
+        new_id = cluster.add_shard()
+        cluster.remove_shard(new_id)
+        return new_id
+
+    benchmark.pedantic(split_and_merge, rounds=10, iterations=1, warmup_rounds=1)
+    assert cluster.shard_count == 2
+    assert cluster.stats.keys_migrated > 0

@@ -120,6 +120,20 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
                     router.submit(client_id, put(f"k-{i}", "v" * 64))
             cluster.run()
 
+    # elastic resharding: a control-plane split + merge on a quiet
+    # populated cluster (provision, quiescence barrier, per-arc handoffs,
+    # two ring swaps); the cluster returns to 2 shards every iteration
+    elastic_cluster = ShardedCluster(shards=2, clients=4, seed=31)
+    elastic_router = ShardRouter(elastic_cluster)
+    for client_id in elastic_cluster.client_ids:
+        for i in range(25):
+            elastic_router.submit(client_id, put(f"user{client_id}-{i:04d}", "v" * 64))
+    elastic_cluster.run()
+
+    def elastic_reshard():
+        new_id = elastic_cluster.add_shard()
+        elastic_cluster.remove_shard(new_id)
+
     # batched-invoke family: one ecall per batch at sizes 1/8/32 (the
     # Sec. 5.2/5.3 amortisation curve the batch crypto pipeline targets)
     from benchmarks.bench_protocol_micro import _batched_invoke_round
@@ -146,14 +160,17 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         "test_micro_batched_invoke_sizes[8]": batched(8),
         "test_micro_batched_invoke_sizes[32]": batched(32),
         "test_micro_shard_scaling": shard_scaling,
+        "test_micro_elastic_reshard": elastic_reshard,
     }
+    slow_scenarios = {"test_micro_elastic_reshard"}  # tens of ms per call
     number = 5 if quick else 200
     repeat = 2 if quick else 5
     summary = {}
     for name, fn in scenarios.items():
         fn()  # warm caches the way the pytest fixtures would
-        best = min(timeit.repeat(fn, number=number, repeat=repeat)) / number
-        summary[name] = {"best_us": round(best * 1e6, 2), "iterations": number}
+        iterations = min(number, 5) if name in slow_scenarios else number
+        best = min(timeit.repeat(fn, number=iterations, repeat=repeat)) / iterations
+        summary[name] = {"best_us": round(best * 1e6, 2), "iterations": iterations}
     runner = "timer-fallback-quick" if quick else "timer-fallback"
     return {"runner": runner, "summary": summary}
 

@@ -16,9 +16,17 @@ Subcommands::
         fork-linearizability of the resulting execution.
 
     python -m repro.cli shard [--shards N] [--clients N] [--ops N]
-        Run a uniform YCSB mix across N sharded LCM groups (with a
-        mid-run migration-driven rebalance unless --no-rebalance) and
-        verify every shard's execution.
+                              [--distribution uniform|zipfian]
+        Run a YCSB mix across N sharded LCM groups (with a mid-run
+        migration-driven rebalance unless --no-rebalance) and verify
+        every shard's execution; zipfian mixes also report per-shard
+        load skew.
+
+    python -m repro.cli elastic [--clients N] [--ops N]
+        Drive a YCSB-A trace through a live cluster while the control
+        plane splits the ring, merges it back, crashes a shard and
+        recovers it — then verify the merged evidence across every
+        generation.
 """
 
 from __future__ import annotations
@@ -151,15 +159,19 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         clients=args.clients,
         requests_per_client=args.ops,
         rebalance=args.rebalance,
+        distribution=args.distribution,
         seed=args.seed,
     )
-    for shards, rate, moved, violations in zip(
+    for shards, rate, moved, violations, skew in zip(
         result.series["shards"],
         result.series["ops_per_second"],
         result.series["rebalances"],
         result.series["violations"],
+        result.series["load_skew"],
     ):
         note = f" ({moved} rebalance)" if moved else ""
+        if shards > 1:
+            note += f" [load skew {skew:.2f}x]"
         if violations:
             note += f" [{violations} VIOLATION(S)]"
         print(f"{shards} shard(s): {rate:,.0f} ops/s simulated{note}")
@@ -173,6 +185,45 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     print(
         f"aggregate speedup at {result.series['shards'][-1]} shards: "
         f"{speedup:.2f}x; all shards verified fork-linearizable"
+    )
+    return 0
+
+
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_elastic_scaling
+
+    if args.clients < 1 or args.ops < 1:
+        print("elastic: --clients and --ops must be >= 1")
+        return 2
+    result = run_elastic_scaling(
+        clients=args.clients,
+        requests_per_client=args.ops,
+        seed=args.seed,
+    )
+    labels = {"add": "split", "remove": "merge", "recover": "recover"}
+    for kind, shard_id, ok, at, moved in zip(
+        result.series["event"],
+        result.series["event_shard"],
+        result.series["event_ok"],
+        result.series["event_completed_at"],
+        result.series["event_keys_moved"],
+    ):
+        note = f", {moved} keys handed off" if moved else ""
+        status = f"completed at {at * 1e3:.2f} ms" if ok else "ABORTED"
+        print(f"{labels.get(kind, kind)} shard {shard_id}: {status}{note}")
+    ratios = result.ratios
+    print(
+        f"{ratios['requests_completed']} requests completed "
+        f"({ratios['ops_per_second']:,.0f} ops/s simulated); "
+        f"{ratios['operations_parked']} parked during outages, "
+        f"{ratios['operations_replayed']} replayed"
+    )
+    if not ratios["zero_violations"] or not ratios["all_requests_completed"]:
+        print("ELASTIC RUN FAILED: violations or lost requests (see above)")
+        return 1
+    print(
+        "all generations verified fork-linearizable "
+        "(evidence spans the split, the merge and the recovery)"
     )
     return 0
 
@@ -214,7 +265,21 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--no-rebalance", dest="rebalance",
                        action="store_false",
                        help="skip the mid-run shard migration")
+    shard.add_argument("--distribution", choices=["uniform", "zipfian"],
+                       default="uniform",
+                       help="request-key distribution (zipfian skews "
+                       "per-shard load)")
     shard.set_defaults(handler=_cmd_shard)
+
+    elastic = sub.add_parser(
+        "elastic",
+        help="split/merge/crash+recover a live cluster + merged checker",
+    )
+    elastic.add_argument("--clients", type=int, default=16)
+    elastic.add_argument("--ops", type=int, default=40,
+                         help="logical YCSB requests per client")
+    elastic.add_argument("--seed", type=int, default=0)
+    elastic.set_defaults(handler=_cmd_elastic)
     return parser
 
 

@@ -77,6 +77,16 @@ def _record_key(record: OperationRecord) -> bytes:
     )
 
 
+#: Response timestamp of a synthesised record (one missing from the
+#: recorded history — e.g. a sequenced key-range handoff, which no client
+#: invoked).  Paired with ``invoked_at=0`` it makes the record concurrent
+#: with *every* other operation: no timing metadata exists for it, so the
+#: real-time check must not invent precedence constraints from it.  (A
+#: zero/zero pair would instead place it before every real operation and
+#: reject any view where it appears later — a false violation.)
+_UNTIMED_RESPONSE = 1 << 62
+
+
 def views_from_audit_logs(
     logs: list[list[AuditRecord]],
     client_points: dict[int, ChainPoint],
@@ -96,7 +106,7 @@ def views_from_audit_logs(
     history_records:
         Lookup from ``(client_id, sequence)`` to the globally recorded
         :class:`OperationRecord` (for real-time metadata).  Entries missing
-        from the lookup are synthesised with zero timestamps.
+        from the lookup are synthesised as concurrent-with-everything.
 
     Raises :class:`SecurityViolation` if a client's point lies on *no*
     log — meaning the server invented a history even the TEE never
@@ -128,7 +138,7 @@ def views_from_audit_logs(
                     operation=serde.decode(audit.operation),
                     result=serde.decode(audit.result),
                     invoked_at=0,
-                    responded_at=0,
+                    responded_at=_UNTIMED_RESPONSE,
                     sequence=audit.sequence,
                 )
             records.append(record)

@@ -86,6 +86,14 @@ class AsyncLcmClient:
     def busy(self) -> bool:
         return self._outstanding is not None
 
+    @property
+    def queued(self) -> int:
+        """Operations invoked but not yet sent (waiting on the
+        outstanding one).  ``busy is False and queued == 0`` means this
+        machine is fully drained — the control plane's quiescence
+        condition during elastic resharding."""
+        return len(self._queue)
+
     def invoke(self, operation: Any, on_complete: CompletionCallback) -> None:
         """Queue an operation; ``on_complete`` fires when its REPLY lands."""
         self._queue.append((operation, on_complete))

@@ -107,8 +107,13 @@ from repro.crypto.aead import (
     stream_encrypt,
     verify_mac_tag,
 )
-from repro.crypto.dh import DhKeyPair, public_from_bytes
-from repro.crypto.hashing import GENESIS_HASH, chain_extend, secure_hash_many
+from repro.crypto.dh import DhKeyPair, PUBLIC_KEY_BYTES, public_from_bytes
+from repro.crypto.hashing import (
+    GENESIS_HASH,
+    RING_SPAN,
+    chain_extend,
+    secure_hash_many,
+)
 from repro.errors import (
     AuthenticationFailure,
     ConfigurationError,
@@ -119,7 +124,11 @@ from repro.errors import (
     SecurityViolation,
     StaleSequenceNumber,
 )
-from repro.kvstore.functionality import Functionality
+from repro.kvstore.functionality import (
+    Functionality,
+    HANDOFF_EXPORT_VERB,
+    HANDOFF_IMPORT_VERB,
+)
 from repro.core.messages import (
     ReplyPayload,
     encode_reply,
@@ -144,6 +153,14 @@ _MANIFEST_AD = b"lcm/state-manifest"
 _PROVISION_AD = b"lcm/provision"
 _ADMIN_AD = b"lcm/admin"
 _MIGRATION_AD = b"lcm/migration"
+_HANDOFF_AD = b"lcm/handoff"
+
+#: Reserved client id under which key-range handoff operations are
+#: sequenced into the hash chain and audit log.  Real group members get
+#: ids >= 1 (the bootstrap convention throughout the repo), so handoff
+#: records never collide with a client's own operations and the offline
+#: checkers treat them as ordinary third-party history entries.
+HANDOFF_CLIENT_ID = 0
 
 def _list_header(count: int) -> bytes:
     """Container framing sourced from serde so the knowledge stays there."""
@@ -318,6 +335,7 @@ class LcmContext:
         self._halted: SecurityViolation | None = None
         self._dh: DhKeyPair | None = None
         self._migration_nonce: bytes | None = None
+        self._handoff_nonce: bytes | None = None
         self._migrated_out = False
         self.audit_log: list[AuditRecord] = []
         self._handlers: dict[str, Callable[[Any], Any]] = {
@@ -330,6 +348,9 @@ class LcmContext:
             "migration_challenge": self._ecall_migration_challenge,
             "migration_export": self._ecall_migration_export,
             "migration_import": self._ecall_migration_import,
+            "handoff_challenge": self._ecall_handoff_challenge,
+            "handoff_export": self._ecall_handoff_export,
+            "handoff_import": self._ecall_handoff_import,
             "export_audit_log": self._ecall_export_audit,
         }
 
@@ -1107,6 +1128,124 @@ class LcmContext:
         self._provisioned = True
         self._seal_and_store()
         return True
+
+    # ------------------------------------------------- key-range handoff
+
+    def _verify_handoff_peer(self, payload: dict):
+        """Shared mutual-attestation step of the handoff ecalls: verify
+        the peer's quote against our own challenge nonce and return the
+        DH public key it binds.
+
+        Both sides run it — unlike whole-context migration (where only
+        the origin verifies, because the target is unprovisioned and has
+        nothing to lose), a handoff *into a live group* must never accept
+        items from anything but a genuine LCM enclave, or an untrusted
+        host could inject arbitrary keys into a serving state.
+        """
+        from repro.crypto.attestation import Quote, QuoteVerifier
+
+        if not self._provisioned:
+            raise ConfigurationError("only a provisioned context takes part in a handoff")
+        if HANDOFF_CLIENT_ID in self._entries:
+            raise ConfigurationError(
+                f"client id {HANDOFF_CLIENT_ID} is reserved for handoff records"
+            )
+        if self._handoff_nonce is None:
+            raise ConfigurationError("handoff before challenge")
+        if self._dh is None:
+            raise ConfigurationError("handoff before attestation")
+        verifier: QuoteVerifier = payload["verifier"]
+        quote: Quote = payload["quote"]
+        verifier.verify(
+            quote,
+            expected_measurement=self._env.measurement,
+            nonce=self._handoff_nonce,
+        )
+        return public_from_bytes(quote.user_data[16 : 16 + PUBLIC_KEY_BYTES])
+
+    def _sequence_handoff(self, operation: list, result: Any) -> None:
+        """Fold a handoff operation into the chain exactly like a client
+        operation (fresh sequence number, chain extension, audit record),
+        so the offline checkers replay it and any tampering with the
+        moved items diverges the chain."""
+        operation_bytes = serde.encode(operation)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        self._chain = chain_extend(
+            self._chain, operation_bytes, sequence, HANDOFF_CLIENT_ID
+        )
+        if self._audit:
+            self.audit_log.append(
+                AuditRecord(
+                    sequence=sequence,
+                    client_id=HANDOFF_CLIENT_ID,
+                    operation=operation_bytes,
+                    result=serde.encode(result),
+                    chain=self._chain,
+                )
+            )
+
+    @staticmethod
+    def _check_arcs(arcs: Any) -> list:
+        checked = []
+        for arc in arcs:
+            lo, hi = arc
+            if (
+                type(lo) is not int
+                or type(hi) is not int
+                or not 0 <= lo < hi <= RING_SPAN
+            ):
+                raise ConfigurationError(f"malformed handoff arc {arc!r}")
+            checked.append([lo, hi])
+        return checked
+
+    def _ecall_handoff_challenge(self, _payload: Any) -> bytes:
+        """Either side: emit a nonce for the peer to attest against."""
+        if not self._provisioned:
+            raise ConfigurationError("only a provisioned context takes part in a handoff")
+        self._handoff_nonce = self._env.secure_random(16)
+        return self._handoff_nonce
+
+    def _ecall_handoff_export(self, payload: dict) -> dict:
+        """Source side: verify the peer, cut the keys on the requested
+        ring arcs out of the service state, and seal them to the peer.
+
+        Unlike :meth:`_ecall_migration_export` the context keeps serving
+        afterwards — only the reassigned arcs leave.  The export is
+        chained as a sequenced operation *before* the bundle is released,
+        so a source that is later rolled back past the handoff is caught
+        by its own clients exactly as for any other lost operation.
+        """
+        peer_public = self._verify_handoff_peer(payload)
+        arcs = self._check_arcs(payload["arcs"])
+        channel = self._dh.shared_key(peer_public)
+        operation = [HANDOFF_EXPORT_VERB, arcs]
+        items, next_state = self._functionality.apply(self._state, operation)
+        self._state = next_state
+        self._sequence_handoff(operation, items)
+        sealed = auth_encrypt(
+            serde.encode([items]), channel, associated_data=_HANDOFF_AD
+        )
+        self._handoff_nonce = None
+        self._seal_and_store()
+        return {"bundle": sealed, "moved": len(items)}
+
+    def _ecall_handoff_import(self, payload: dict) -> int:
+        """Target side: verify the peer, open the bundle over the DH
+        channel, and install the items as a sequenced operation."""
+        peer_public = self._verify_handoff_peer(payload)
+        channel = self._dh.shared_key(peer_public)
+        plain = auth_decrypt(
+            payload["bundle"], channel, associated_data=_HANDOFF_AD
+        )
+        (items,) = serde.decode(plain)
+        operation = [HANDOFF_IMPORT_VERB, items]
+        count, next_state = self._functionality.apply(self._state, operation)
+        self._state = next_state
+        self._sequence_handoff(operation, count)
+        self._handoff_nonce = None
+        self._seal_and_store()
+        return count
 
     # -------------------------------------------------------------- queries
 

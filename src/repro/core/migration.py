@@ -62,3 +62,61 @@ def migrate(origin_host, target_host, quote_verifier: QuoteVerifier) -> None:
     imported = target_host.enclave.ecall("migration_import", export)
     if imported is not True:
         raise MigrationError("target refused the migration bundle")
+
+
+def migrate_keys(
+    source_host, target_host, quote_verifier: QuoteVerifier, arcs
+) -> int:
+    """Hand the keys on ``arcs`` from one *live* group to another.
+
+    The elastic-resharding counterpart of :func:`migrate`: both contexts
+    are provisioned and keep serving afterwards; only the service-state
+    entries whose ring position falls on one of the ``[lo, hi)`` arc
+    intervals move.  The handshake is mutually attested — each side
+    challenges the other and verifies its quote before trusting anything
+    — because unlike whole-context migration the receiver is a live group
+    whose state an untrusted host must not be able to inject into:
+
+    1. source emits a challenge; target attests against it (the quote
+       binds a fresh DH public key), and emits its own challenge;
+    2. source attests against the target's challenge the same way;
+    3. source verifies the target's quote, removes the arc keys from its
+       state as a sequenced, chained handoff operation, and seals them to
+       the attested DH channel;
+    4. target verifies the source's quote, opens the bundle over the same
+       channel, and installs the items as its own sequenced operation.
+
+    Both sides chain their half of the handoff into their audit history,
+    so the moved items are bound into *two* hash chains and any
+    tampering, replay, or post-handoff rollback is detected by the usual
+    client verification.  Returns the number of keys moved.
+
+    Raises :class:`~repro.errors.MigrationError` on a broken handshake
+    and propagates attestation/authentication failures from the contexts.
+    """
+    for host, role in ((source_host, "source"), (target_host, "target")):
+        if not host.enclave.running:
+            raise MigrationError(f"{role} enclave is not running")
+    source_nonce = source_host.enclave.ecall("handoff_challenge", None)
+    target_report = target_host.enclave.ecall("attest", source_nonce)
+    target_quote = target_host.platform.quote(target_report)
+    target_nonce = target_host.enclave.ecall("handoff_challenge", None)
+    source_report = source_host.enclave.ecall("attest", target_nonce)
+    source_quote = source_host.platform.quote(source_report)
+    export = source_host.enclave.ecall(
+        "handoff_export",
+        {"quote": target_quote, "verifier": quote_verifier, "arcs": arcs},
+    )
+    installed = target_host.enclave.ecall(
+        "handoff_import",
+        {
+            "quote": source_quote,
+            "verifier": quote_verifier,
+            "bundle": export["bundle"],
+        },
+    )
+    if installed != export["moved"]:
+        raise MigrationError(
+            f"target installed {installed} of {export['moved']} handed-off keys"
+        )
+    return installed

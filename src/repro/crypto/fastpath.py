@@ -68,7 +68,6 @@ class PythonBackend:
     #: Optional accelerated primitives; ``None`` means the caller keeps
     #: its own hashlib path (see aead._tag_for).
     hmac3: Callable[[bytes, bytes, bytes, bytes], bytes] | None = None
-    hmac_tags: Callable[[bytes, bytes, list], list[bytes]] | None = None
     sha256_oneshot: Callable[[bytes], bytes] | None = None
     #: Fused whole-box AEAD primitives (keystream + XOR + MAC in one C
     #: call); ``None`` means the AEAD layer composes them from the block
@@ -106,6 +105,50 @@ class PythonBackend:
             self.blocks(prefix, count)
             for prefix, count in zip(prefixes, counts)
         )
+
+    # The batch HMAC pass: the C backend computes tags for a whole invoke
+    # batch in one native call; the pure-Python backends amortize the
+    # expensive part instead — the HMAC key schedule and the framed inner
+    # state are built once per (key, frame) and *cloned* per segment, so
+    # each additional tag costs two hash updates and two finalizations
+    # rather than a full ``hmac.new`` (byte-identical, test-pinned).
+
+    #: (mac_key, frame) -> SHA-256 states (inner pre-fed with pads+frame,
+    #: outer pre-fed with pads); tiny — a handful of protocol constants
+    #: per key — but bounded anyway, evicted FIFO.
+    _HMAC_STATE_CACHE_MAX = 64
+
+    def __init__(self) -> None:
+        self._hmac_states: dict[tuple[bytes, bytes], tuple] = {}
+
+    def _hmac_seeds(self, key: bytes, frame: bytes):
+        cached = self._hmac_states.get((key, frame))
+        if cached is not None:
+            return cached
+        padded = key + b"\x00" * (64 - len(key))
+        inner = _sha256(bytes(b ^ 0x36 for b in padded))
+        inner.update(frame)
+        outer = _sha256(bytes(b ^ 0x5C for b in padded))
+        if len(self._hmac_states) >= self._HMAC_STATE_CACHE_MAX:
+            self._hmac_states.pop(next(iter(self._hmac_states)))
+        self._hmac_states[(key, frame)] = (inner, outer)
+        return inner, outer
+
+    def hmac_tags(self, key: bytes, frame: bytes, segments: list) -> list[bytes]:
+        """Full ``HMAC-SHA256(key, frame || segment)`` digests for every
+        segment, sharing one key schedule across the batch."""
+        inner, outer = self._hmac_seeds(key, frame)
+        clone = inner.copy
+        outer_clone = outer.copy
+        tags = []
+        append = tags.append
+        for segment in segments:
+            mac = clone()
+            mac.update(segment)
+            tag = outer_clone()
+            tag.update(mac.digest())
+            append(tag.digest())
+        return tags
 
 
 class BatchPythonBackend(PythonBackend):

@@ -48,6 +48,29 @@ def secure_hash_many(segments: list[bytes]) -> list[bytes]:
     return [sha256(segment).digest() for segment in segments]
 
 
+#: Width of a consistent-hash ring position (64-bit points).
+RING_POINT_BYTES = 8
+
+#: Exclusive upper bound of the ring's point space.
+RING_SPAN = 1 << (RING_POINT_BYTES * 8)
+
+
+def ring_point(data: bytes | str) -> int:
+    """64-bit consistent-hash ring position of ``data`` (str keys hash
+    as their UTF-8 bytes).
+
+    Lives here (not in :mod:`repro.sharding`) because both the keyspace
+    partitioner and the trusted context's key-range handoff must derive
+    the *same* point for a key without importing each other: the enclave
+    filters its service state by ring membership when it exports the keys
+    on reassigned arcs, and the router must agree on the result.  The
+    str normalization lives here too, for the same reason.
+    """
+    if isinstance(data, str):
+        data = data.encode()
+    return int.from_bytes(hashlib.sha256(data).digest()[:RING_POINT_BYTES], "big")
+
+
 def _encode_field(data: bytes) -> bytes:
     """Length-prefix a field so concatenation is injective."""
     return len(data).to_bytes(8, "big") + data

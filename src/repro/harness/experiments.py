@@ -313,6 +313,7 @@ def run_shard_scaling(
     requests_per_client: int = 40,
     object_size: int = 100,
     rebalance: bool = True,
+    distribution: str = "uniform",
     seed: int = 0,
 ) -> ExperimentResult:
     """Beyond the paper: aggregate throughput of N LCM groups side by side.
@@ -320,12 +321,19 @@ def run_shard_scaling(
     Figs. 5/6 stop at the one-group ceiling — a single trusted context
     serialises every request.  Here the keyspace is consistent-hash
     partitioned across ``shard_counts`` independent groups
-    (:mod:`repro.sharding`) and closed-loop clients drive a *uniform* YCSB
+    (:mod:`repro.sharding`) and closed-loop clients drive a YCSB
     workload-A mix through the shard router under virtual time.  With
     ``rebalance`` one shard is migrated onto fresh hardware mid-run
     (Sec. 4.6.2 machinery), and every configuration must come out
     fork-linearizable on every shard — scaling never trades away the
     guarantees.
+
+    ``distribution`` selects the request-key distribution: ``"uniform"``
+    (the original sweep) or ``"zipfian"`` (YCSB-A's native skew).  A
+    zipfian mix concentrates load on the shards owning the hot keys, so
+    the per-shard ``load_skew`` series — max over mean per-shard
+    operations, 1.0 = perfectly balanced — surfaces the partitioner's
+    balance limits as the shard count grows.
     """
     from repro.net.latency import LatencyModel
     from repro.sharding import ShardRouter, ShardedCluster
@@ -333,7 +341,7 @@ def run_shard_scaling(
 
     counts = shard_counts or SHARD_COUNTS
     workload = WORKLOAD_A.with_params(
-        distribution="uniform", value_size=object_size
+        distribution=distribution, value_size=object_size
     )
     series: dict[str, list] = {
         "shards": list(counts),
@@ -341,6 +349,8 @@ def run_shard_scaling(
         "simulated_seconds": [],
         "rebalances": [],
         "violations": [],
+        "load_skew": [],
+        "per_shard_share": [],
     }
     for shard_count in counts:
         cluster = ShardedCluster(
@@ -400,6 +410,16 @@ def run_shard_scaling(
         series["simulated_seconds"].append(elapsed)
         series["rebalances"].append(cluster.stats.rebalances)
         series["violations"].append(len(verdict.violations))
+        per_shard = [
+            cluster.stats.per_shard_operations[shard_id]
+            for shard_id in cluster.shard_ids
+        ]
+        total = sum(per_shard) or 1
+        mean = total / len(per_shard)
+        series["load_skew"].append(max(per_shard) / mean)
+        series["per_shard_share"].append(
+            [round(count / total, 4) for count in per_shard]
+        )
     baseline = series["ops_per_second"][0]
     speedups = [
         rate / baseline if baseline else 0.0
@@ -407,24 +427,172 @@ def run_shard_scaling(
     ]
     return ExperimentResult(
         experiment="shard_scaling",
-        description="Aggregate throughput of N sharded LCM groups (uniform YCSB-A)",
+        description=(
+            f"Aggregate throughput of N sharded LCM groups "
+            f"({distribution} YCSB-A)"
+        ),
         parameters={
             "shards": list(counts),
             "clients": clients,
             "requests_per_client": requests_per_client,
             "object_size": object_size,
             "rebalance": rebalance,
+            "distribution": distribution,
         },
         series=series,
         ratios={
             "speedup_by_shards": dict(zip(counts, speedups)),
             "speedup_at_max": speedups[-1],
             "zero_violations": not any(series["violations"]),
+            "load_skew_by_shards": dict(zip(counts, series["load_skew"])),
+            "max_load_skew": max(series["load_skew"]),
         },
         paper_expectation={
             # not a paper figure: the ISSUE's acceptance bar for this repo
             "speedup_at_max": 2.5,
             "zero_violations": True,
+        },
+    )
+
+
+# ------------------------------------------------- elastic scaling (new)
+
+
+def run_elastic_scaling(
+    *,
+    shards: int = 2,
+    clients: int = 16,
+    requests_per_client: int = 40,
+    object_size: int = 100,
+    distribution: str = "zipfian",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Elastic control plane under fire: split, merge, crash + recover.
+
+    One YCSB-A trace (zipfian by default — the workload's native skew)
+    runs closed-loop against a live cluster while the control plane
+    reshapes it mid-flight:
+
+    - ~20% in, a **split**: ``add_shard`` grows the ring by one group,
+      handing over only the keys on the arcs the new shard gains;
+    - ~45% in, a **merge**: ``remove_shard`` retires one of the original
+      groups, handing its arcs to the survivors;
+    - ~70% in, a **crash**: one shard's hardware dies abruptly;
+    - ~85% in, a **recovery**: the dead shard is re-bootstrapped as a
+      fresh generation (fresh keys + attestation, clients re-enrolled)
+      and the router replays everything the outage parked.
+
+    The acceptance bar: every logical request completes, and the merged
+    verdict — audit evidence spanning the handoffs, the removed shard's
+    retired logs, and both generations of the crashed shard — shows zero
+    fork-linearizability violations.
+    """
+    from repro.net.latency import LatencyModel
+    from repro.sharding import ShardRouter, ShardedCluster
+    from repro.workload.ycsb import WORKLOAD_A, WorkloadGenerator
+
+    if shards < 2:
+        raise ValueError("the merge phase needs at least two initial shards")
+    cluster = ShardedCluster(
+        shards=shards,
+        clients=clients,
+        seed=seed,
+        latency=LatencyModel(propagation=100e-6, jitter_fraction=0.2, seed=seed),
+    )
+    router = ShardRouter(cluster, failover=True)
+    workload = WORKLOAD_A.with_params(
+        distribution=distribution, value_size=object_size
+    )
+    generator = WorkloadGenerator(workload, seed=seed)
+    streams = {
+        client_id: [
+            generator.next_operations() for _ in range(requests_per_client)
+        ]
+        for client_id in cluster.client_ids
+    }
+    completed = {"requests": 0}
+
+    def start(client_id: int) -> None:
+        def pump(result=None) -> None:
+            if result is not None:
+                completed["requests"] += 1
+            stream = streams[client_id]
+            if not stream:
+                return
+            request = stream.pop(0)
+            if len(request) == 1:
+                router.submit(client_id, request[0], pump)
+            else:
+                router.submit_many(client_id, request, pump)
+
+        pump()
+
+    for client_id in cluster.client_ids:
+        start(client_id)
+
+    estimated = (
+        clients * requests_per_client * ShardedCluster.SERVICE_INTERVAL / shards
+    )
+    split_id = cluster.add_shard(at=0.20 * estimated)
+    merged_id = shards - 1              # retire the last original group
+    cluster.remove_shard(merged_id, at=0.45 * estimated)
+    crashed_id = 0
+    cluster.schedule_crash(0.70 * estimated, crashed_id)
+    cluster.recover_shard(crashed_id, at=0.85 * estimated)
+    cluster.run()
+
+    verdict = router.verdict()
+    elapsed = cluster.sim.now
+    total_requests = clients * requests_per_client
+    reports = cluster.control.reports
+    series: dict[str, list] = {
+        "event": [report.kind for report in reports],
+        "event_shard": [report.shard_id for report in reports],
+        "event_ok": [report.completed for report in reports],
+        "event_completed_at": [report.completed_at for report in reports],
+        "event_keys_moved": [report.keys_moved for report in reports],
+        "violations_by_shard": [
+            len(verdict.shards[shard_id].generations)
+            - sum(g.ok for g in verdict.shards[shard_id].generations)
+            for shard_id in sorted(verdict.shards)
+        ],
+    }
+    return ExperimentResult(
+        experiment="elastic_scaling",
+        description=(
+            "Split, merge and crash+recover on a live sharded cluster "
+            f"({distribution} YCSB-A)"
+        ),
+        parameters={
+            "shards": shards,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "object_size": object_size,
+            "distribution": distribution,
+            "split_shard": split_id,
+            "merged_shard": merged_id,
+            "crashed_shard": crashed_id,
+        },
+        series=series,
+        ratios={
+            "ops_per_second": (
+                cluster.stats.operations_completed / elapsed if elapsed else 0.0
+            ),
+            "requests_completed": completed["requests"],
+            "all_requests_completed": completed["requests"] == total_requests,
+            "reshards_completed": cluster.stats.reshards,
+            "recoveries_completed": cluster.stats.recoveries,
+            "keys_migrated": cluster.stats.keys_migrated,
+            "operations_parked": router.operations_parked,
+            "operations_replayed": router.operations_replayed,
+            "zero_violations": verdict.ok,
+        },
+        paper_expectation={
+            # not a paper figure: the ISSUE's acceptance bar for this PR
+            "zero_violations": True,
+            "all_requests_completed": True,
+            "reshards_completed": 2,
+            "recoveries_completed": 1,
         },
     )
 

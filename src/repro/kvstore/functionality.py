@@ -21,6 +21,24 @@ from repro import serde
 #: use (verb, *args) tuples.
 Operation = Any
 
+#: Protocol-level key-range handoff verbs (elastic resharding).  The
+#: trusted context builds these operations itself during an attested
+#: handoff (never from client INVOKEs) and sequences them into the hash
+#: chain, so the offline checkers replay them through ``apply`` like any
+#: other operation.  A functionality that supports handoff implements
+#: both verbs; one that does not simply rejects them and the handoff
+#: fails cleanly before any state moves.
+#:
+#: ``(HANDOFF_EXPORT_VERB, [[lo, hi], ...])``
+#:     Remove every key whose :func:`~repro.crypto.hashing.ring_point`
+#:     falls in one of the half-open ``[lo, hi)`` ring intervals; the
+#:     result is the removed items as a sorted ``[[key, value], ...]``
+#:     list.
+#: ``(HANDOFF_IMPORT_VERB, [[key, value], ...])``
+#:     Install the items; the result is the number installed.
+HANDOFF_EXPORT_VERB = "__LCM_EXPORT_RANGE__"
+HANDOFF_IMPORT_VERB = "__LCM_IMPORT_RANGE__"
+
 
 @runtime_checkable
 class Functionality(Protocol):

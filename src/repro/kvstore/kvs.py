@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.crypto.hashing import ring_point
 from repro.errors import LCMError
+from repro.kvstore.functionality import HANDOFF_EXPORT_VERB, HANDOFF_IMPORT_VERB
 
 
 class UnknownOperation(LCMError):
@@ -26,6 +28,13 @@ class UnknownOperation(LCMError):
 GET = "GET"
 PUT = "PUT"
 DEL = "DEL"
+
+
+def _on_arcs(point: int, arcs) -> bool:
+    for lo, hi in arcs:
+        if lo <= point < hi:
+            return True
+    return False
 
 
 def get(key: str) -> tuple:
@@ -69,4 +78,24 @@ class KvsFunctionality:
             next_state = dict(state)
             previous = next_state.pop(key)
             return previous, next_state
+        if verb == HANDOFF_EXPORT_VERB:
+            # elastic resharding: drop exactly the keys on the reassigned
+            # ring arcs; the sorted result is what the peer group installs
+            # (and what the offline checkers replay deterministically)
+            (_, arcs) = operation
+            exported = sorted(
+                key for key in state if _on_arcs(ring_point(key), arcs)
+            )
+            if not exported:
+                return [], state
+            next_state = dict(state)
+            return [[key, next_state.pop(key)] for key in exported], next_state
+        if verb == HANDOFF_IMPORT_VERB:
+            (_, items) = operation
+            if not items:
+                return 0, state
+            next_state = dict(state)
+            for key, value in items:
+                next_state[key] = value
+            return len(items), next_state
         raise UnknownOperation(f"unknown verb {verb!r}")

@@ -48,6 +48,13 @@ class Channel:
         """Attach the receiving endpoint."""
         self._handler = handler
 
+    @property
+    def pending(self) -> int:
+        """Messages sent but not yet delivered (in flight on the wire).
+        The elastic control plane polls this to know when a shard's
+        links have drained before a handoff or recovery."""
+        return self.sent - self.delivered
+
     def send(self, message: bytes) -> None:
         if self._handler is None:
             raise SimulationError(f"channel {self.name!r} has no receiver")

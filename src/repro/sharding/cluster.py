@@ -40,7 +40,7 @@ failure.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.consistency.history import History
@@ -48,7 +48,7 @@ from repro.core import Admin, make_lcm_program_factory, migrate
 from repro.core.async_client import AsyncLcmClient
 from repro.core.context import AuditRecord
 from repro.crypto.attestation import EpidGroup
-from repro.errors import ConfigurationError, SecurityViolation
+from repro.errors import ConfigurationError, LCMError, SecurityViolation
 from repro.kvstore import KvsFunctionality
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
@@ -69,8 +69,18 @@ class ShardedStats:
     def __init__(self, dispatchers: dict[int, GroupDispatcher]) -> None:
         self.operations_completed = 0
         self.rebalances = 0
+        self.reshards = 0          # completed add/remove ring changes
+        self.recoveries = 0        # completed generation bumps
+        self.keys_migrated = 0     # keys handed off between live groups
         self.per_shard_operations = {shard_id: 0 for shard_id in dispatchers}
-        self._dispatchers = dispatchers
+        self._dispatchers = dict(dispatchers)
+
+    def register_shard(self, shard_id: int, dispatcher: GroupDispatcher) -> None:
+        """Track a shard added (or re-provisioned) at runtime.  Historical
+        per-shard counters survive a recovery — they describe the shard
+        id, not one hardware generation."""
+        self.per_shard_operations.setdefault(shard_id, 0)
+        self._dispatchers[shard_id] = dispatcher
 
     @property
     def per_shard_batches(self) -> dict[int, int]:
@@ -103,11 +113,45 @@ class _Fork:
     log_prefix: list[AuditRecord]
 
 
-class _Shard:
-    """Runtime state of one LCM group inside the sharded cluster."""
+@dataclass(frozen=True)
+class FrozenClientPoint:
+    """One retired client machine's final observed ``(t, h)`` point —
+    the only part of the machine the offline checkers read.  Retiring
+    just the point (instead of the machine) lets the dead generation's
+    host/channel/dispatcher graph be garbage collected."""
 
-    def __init__(self, shard_id: int) -> None:
+    last_sequence: int
+    last_chain: bytes
+
+
+@dataclass
+class GenerationEvidence:
+    """Frozen fork-linearizability evidence of one retired shard
+    generation (a removed shard, or the pre-recovery life of a shard).
+
+    ``logs`` is ``None`` when the generation died holding a live
+    violation (the enclave refuses exports once halted — the violation
+    *is* the evidence) or when the cluster does not run in audit mode.
+    ``clients`` hold each client machine's final ``(t, h)`` point,
+    frozen at retirement (the links were drained first, so no late
+    reply can advance them); they anchor the checker exactly as the
+    live machines would.
+    """
+
+    shard_id: int
+    generation: int
+    logs: list[list[AuditRecord]] | None
+    clients: dict[int, FrozenClientPoint]
+    history: History
+    violation: LCMError | None = None
+
+
+class _Shard:
+    """Runtime state of one LCM group generation inside the cluster."""
+
+    def __init__(self, shard_id: int, generation: int = 0) -> None:
         self.shard_id = shard_id
+        self.generation = generation
         self.platform: TeePlatform | None = None
         self.host: Any = None
         self.deployment = None
@@ -118,6 +162,8 @@ class _Shard:
         self.dispatcher: GroupDispatcher | None = None
         self.rebalance_requested = False
         self.violation: SecurityViolation | None = None
+        self.crashed = False
+        self.crash_logs: list[list[AuditRecord]] | None = None
         self.audit_prefix: list[AuditRecord] = []  # from migrated-out origins
         self.retired_hosts: list[Any] = []
         self.forks: list[_Fork] = []
@@ -128,8 +174,37 @@ class _Shard:
 
     @property
     def healthy(self) -> bool:
-        """False once a violation was detected on this shard."""
-        return self.violation is None
+        """False once a violation was detected on this shard or its
+        hardware crashed; either way the dispatcher is halted."""
+        return self.violation is None and not self.crashed
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is moving anywhere on this shard: enclave
+        idle, batch queue empty, every client machine idle with an empty
+        internal queue, and no message in flight on any link.  The
+        control plane's quiescence condition (a batch boundary with
+        nothing pending)."""
+        dispatcher = self.dispatcher
+        if dispatcher.busy or dispatcher.pending:
+            return False
+        for machine in self.clients.values():
+            if machine.busy or machine.queued:
+                return False
+        return self.links_drained
+
+    @property
+    def links_drained(self) -> bool:
+        """True when no INVOKE or REPLY is in flight on this shard's
+        channels (the weaker recovery barrier: a dead shard never goes
+        fully ``drained``, but its wire eventually empties)."""
+        for channel in self.up.values():
+            if channel.pending:
+                return False
+        for channel in self.down.values():
+            if channel.pending:
+                return False
+        return True
 
 
 class ShardedCluster:
@@ -185,19 +260,36 @@ class ShardedCluster:
         self._functionality = functionality
         self._audit = audit
         self._batch_limit = batch_limit
+        self._virtual_nodes = virtual_nodes
         self._seed = seed
         self._latency = latency or LatencyModel(
             propagation=200e-6, jitter_fraction=0.3, seed=seed
         )
         self._factory = make_lcm_program_factory(functionality, audit=audit)
         self._client_ids = list(range(1, clients + 1))
-        self._shards: list[_Shard] = [
-            self._provision_shard(shard_id, malicious=shard_id in malicious_shards)
+        #: next platform seed serial per shard id — every TeePlatform a
+        #: shard id ever gets (initial, rebalance target, recovered
+        #: generation) consumes one, so sealing keys never repeat.
+        self._hardware_serials: dict[int, int] = {}
+        self._next_shard_id = shards
+        self._retired: list[GenerationEvidence] = []
+        self._fenced: set[int] = set()
+        self._reconfig_listeners: list[Callable[[str, tuple[int, ...]], None]] = []
+        self._shards: dict[int, _Shard] = {
+            shard_id: self._provision_shard(
+                shard_id, malicious=shard_id in malicious_shards
+            )
             for shard_id in range(shards)
-        ]
+        }
         self.stats = ShardedStats(
-            {shard.shard_id: shard.dispatcher for shard in self._shards}
+            {
+                shard.shard_id: shard.dispatcher
+                for shard in self._shards.values()
+            }
         )
+        from repro.sharding.controlplane import ControlPlane
+
+        self.control = ControlPlane(self)
 
     # --------------------------------------------------------- provisioning
 
@@ -210,10 +302,17 @@ class ShardedCluster:
         # 56 bits: TeePlatform packs the seed as a signed 64-bit int
         return int.from_bytes(hashlib.sha256(material).digest()[:7], "big")
 
-    def _provision_shard(self, shard_id: int, *, malicious: bool) -> _Shard:
-        shard = _Shard(shard_id)
+    def _next_serial(self, shard_id: int) -> int:
+        serial = self._hardware_serials.get(shard_id, 0)
+        self._hardware_serials[shard_id] = serial + 1
+        return serial
+
+    def _provision_shard(
+        self, shard_id: int, *, malicious: bool, generation: int = 0
+    ) -> _Shard:
+        shard = _Shard(shard_id, generation)
         shard.platform = TeePlatform(
-            self.group, seed=self._platform_seed(shard_id, 0)
+            self.group, seed=self._platform_seed(shard_id, self._next_serial(shard_id))
         )
         if malicious:
             shard.host = MaliciousServer(shard.platform, self._factory)
@@ -289,7 +388,7 @@ class ShardedCluster:
         """Dispatcher idle hook: run a deferred rebalance, if any."""
         if shard.rebalance_requested:
             shard.rebalance_requested = False
-            if shard.violation is None and not shard.forks:
+            if shard.healthy and not shard.forks:
                 self._do_rebalance(shard)
             # else: the shard halted or forked while the request was
             # deferred — abandon the move (the violation/fork evidence
@@ -318,9 +417,10 @@ class ShardedCluster:
         a deferred move actually ran.
         """
         shard = self._shard(shard_id)
-        if shard.violation is not None:
+        if not shard.healthy:
+            cause = repr(shard.violation) if shard.violation else "crashed"
             raise ConfigurationError(
-                f"shard {shard_id} halted on {shard.violation!r}; not rebalancing"
+                f"shard {shard_id} is down ({cause}); not rebalancing"
             )
         if shard.enclave_busy:
             shard.rebalance_requested = True
@@ -340,7 +440,7 @@ class ShardedCluster:
         shard = self._shard(shard_id)
 
         def fire() -> None:
-            if shard.violation is not None or shard.forks:
+            if not shard.healthy or shard.forks:
                 return
             if shard.enclave_busy:
                 shard.rebalance_requested = True
@@ -367,7 +467,7 @@ class ShardedCluster:
         platform = TeePlatform(
             self.group,
             seed=self._platform_seed(
-                shard.shard_id, len(shard.retired_hosts) + 1
+                shard.shard_id, self._next_serial(shard.shard_id)
             ),
         )
         target = ServerHost(platform, self._factory)
@@ -377,6 +477,162 @@ class ShardedCluster:
         shard.host = target
         shard.rebalance_requested = False
         self.stats.rebalances += 1
+
+    # ----------------------------------------- elastic membership & recovery
+
+    def add_shard(self, *, at: float | None = None) -> int:
+        """Grow the ring by one shard at runtime; returns its id.
+
+        The new group is provisioned immediately (own platform, host,
+        sealed storage, client machines) but owns no keys until the
+        control plane has quiesced the shards losing arcs, handed the
+        keys on exactly those arcs over through the attested
+        :func:`~repro.core.migration.migrate_keys` channel, and swapped
+        the ring — all at a batch boundary, so rollback/fork detection
+        holds across the move.  ``at`` defers the data movement to a
+        virtual-time offset (mid-workload); on a quiet cluster the whole
+        operation runs synchronously.
+        """
+        return self.control.add_shard(at=at)
+
+    def remove_shard(self, shard_id: int, *, at: float | None = None):
+        """Shrink the ring by one shard at runtime.
+
+        The departing group's arcs are handed to the surviving owners
+        (per-key sealed handoff between live groups), its audit evidence
+        is retired into the cluster record — the router's merged verdict
+        keeps checking it — and its host shuts down.  Returns the
+        control-plane report describing the move.
+        """
+        return self.control.remove_shard(shard_id, at=at)
+
+    def recover_shard(self, shard_id: int, *, at: float | None = None):
+        """Re-bootstrap a halted or crashed shard as a fresh generation.
+
+        A fresh platform + host is attested and provisioned with fresh
+        keys (``kP``/``kC``/``kA``) and every client re-enrolled from a
+        clean chain — the old generation's evidence is retired for the
+        merged verdict, and the router replays the operations the outage
+        parked.  Returns the control-plane report.
+        """
+        return self.control.recover_shard(shard_id, at=at)
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Fault injection: the shard's hardware dies abruptly.
+
+        The enclave's volatile memory is lost and its dispatcher halts —
+        pending requests stay queued forever and the router fails fast
+        (or parks, in failover mode) until :meth:`recover_shard`
+        re-provisions the group.  Replies already on the wire still
+        arrive.  In audit mode the global observer's reconstruction of
+        the audit evidence is captured first, exactly as for forks and
+        rebalances, so the crashed generation remains checkable.
+        """
+        shard = self._shard(shard_id)
+        if not shard.healthy:
+            raise ConfigurationError(
+                f"shard {shard_id} is already down; nothing to crash"
+            )
+        if self._audit:
+            shard.crash_logs = self.audit_logs(shard_id)
+        shard.crashed = True
+        shard.dispatcher.halt()
+        shard.host.enclave.crash()
+
+    def schedule_crash(self, delay: float, shard_id: int) -> None:
+        """Crash a shard at a virtual-time offset (mid-workload).  Skipped
+        quietly if the shard already halted on a violation by then."""
+        def fire() -> None:
+            shard = self._shards.get(shard_id)
+            if shard is not None and shard.healthy:
+                self.crash_shard(shard_id)
+
+        self.sim.schedule(delay, fire, label=f"crash-{shard_id}")
+
+    def _allocate_shard_id(self) -> int:
+        shard_id = self._next_shard_id
+        self._next_shard_id = shard_id + 1
+        return shard_id
+
+    def _provision_new_shard(self) -> int:
+        """Stand up a brand-new (honest) group, off-ring; control-plane
+        use only — the ring swap happens after the arc handoff."""
+        shard_id = self._allocate_shard_id()
+        shard = self._provision_shard(shard_id, malicious=False)
+        self._shards[shard_id] = shard
+        self.stats.register_shard(shard_id, shard.dispatcher)
+        return shard_id
+
+    def _retire_generation(self, shard: _Shard) -> GenerationEvidence:
+        """Freeze a generation's evidence into the cluster record."""
+        logs: list[list[AuditRecord]] | None = None
+        if shard.violation is None and self._audit:
+            # crash_shard captured the observer's reconstruction; a live
+            # (healthy, quiesced) generation exports directly
+            logs = self.audit_logs(shard.shard_id)
+        evidence = GenerationEvidence(
+            shard_id=shard.shard_id,
+            generation=shard.generation,
+            logs=logs,
+            clients={
+                client_id: FrozenClientPoint(
+                    machine.last_sequence, machine.last_chain
+                )
+                for client_id, machine in shard.clients.items()
+            },
+            history=shard.history,
+            violation=shard.violation,
+        )
+        self._retired.append(evidence)
+        return evidence
+
+    def _remove_shard_now(self, shard_id: int) -> None:
+        """Retire a (quiesced, already drained-of-keys) shard's evidence
+        and shut its group down.  Control-plane use only."""
+        shard = self._shard(shard_id)
+        self._retire_generation(shard)
+        shard.host.shutdown()
+        del self._shards[shard_id]
+
+    def _recover_shard_now(self, shard_id: int) -> _Shard:
+        """Replace a dead shard with a freshly bootstrapped generation.
+        Control-plane use only (the barrier lives there)."""
+        shard = self._shard(shard_id)
+        if shard.healthy:
+            raise ConfigurationError(
+                f"shard {shard_id} is healthy; only a halted or crashed "
+                "shard can be recovered"
+            )
+        self._retire_generation(shard)
+        fresh = self._provision_shard(
+            shard_id, malicious=False, generation=shard.generation + 1
+        )
+        self._shards[shard_id] = fresh
+        self.stats.register_shard(shard_id, fresh.dispatcher)
+        self.stats.recoveries += 1
+        return fresh
+
+    # ------------------------------------------------- reconfiguration bus
+
+    @property
+    def fenced_shards(self) -> set[int]:
+        """Shards currently fenced by an in-progress control-plane
+        operation: the router parks new submissions to them until the
+        ``resharded`` notification.  Read-only to callers."""
+        return self._fenced
+
+    def subscribe_reconfiguration(
+        self, listener: Callable[[str, tuple[int, ...]], None]
+    ) -> None:
+        """Register for control-plane events: ``("resharded", ids)`` after
+        a ring change unfences its shards, ``("recovered", (id,))`` after
+        a generation bump.  The shard router uses these to replay parked
+        and orphaned operations."""
+        self._reconfig_listeners.append(listener)
+
+    def _notify_reconfiguration(self, event: str, shard_ids) -> None:
+        for listener in list(self._reconfig_listeners):
+            listener(event, tuple(shard_ids))
 
     # ------------------------------------------------------------ adversary
 
@@ -420,13 +676,44 @@ class ShardedCluster:
     # -------------------------------------------------------------- queries
 
     def _shard(self, shard_id: int) -> _Shard:
-        if not 0 <= shard_id < len(self._shards):
+        shard = self._shards.get(shard_id)
+        if shard is None:
             raise ConfigurationError(f"no shard {shard_id}")
-        return self._shards[shard_id]
+        return shard
 
     @property
     def shard_count(self) -> int:
         return len(self._shards)
+
+    @property
+    def shard_ids(self) -> list[int]:
+        """Live shard ids, ascending.  Contiguous from 0 until the first
+        runtime ``add_shard``/``remove_shard`` makes them sparse."""
+        return sorted(self._shards)
+
+    def is_live(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    @property
+    def verdict_shard_ids(self) -> list[int]:
+        """Every shard id carrying evidence: live shards plus retired
+        generations (removed shards, pre-recovery lives)."""
+        ids = set(self._shards)
+        ids.update(evidence.shard_id for evidence in self._retired)
+        return sorted(ids)
+
+    def shard_generation(self, shard_id: int) -> int:
+        """The live generation number of a shard (0 until recovered)."""
+        return self._shard(shard_id).generation
+
+    def retired_generations(self, shard_id: int) -> list[GenerationEvidence]:
+        """Frozen evidence of this shard id's retired generations, oldest
+        first (empty for a shard that never crashed or was removed)."""
+        return [
+            evidence
+            for evidence in self._retired
+            if evidence.shard_id == shard_id
+        ]
 
     @property
     def client_ids(self) -> list[int]:
@@ -463,10 +750,11 @@ class ShardedCluster:
         return self._shard(shard_id).violation
 
     def shard_healthy(self, shard_id: int) -> bool:
-        """False once a violation was detected on this shard — its
-        dispatcher is halted and anything submitted to it would queue
-        forever.  The router checks this flag to fail fast instead of
-        queueing silently (full failover/retry is a ROADMAP item)."""
+        """False once a violation was detected on this shard or its
+        hardware crashed — its dispatcher is halted and anything
+        submitted to it would queue forever.  The router checks this
+        flag to fail fast (or, in failover mode, to park the operation
+        for replay once :meth:`recover_shard` re-provisions the group)."""
         return self._shard(shard_id).healthy
 
     def functionality(self):
@@ -484,6 +772,10 @@ class ShardedCluster:
         if not self._audit:
             raise ConfigurationError("cluster was not created in audit mode")
         shard = self._shard(shard_id)
+        if shard.crash_logs is not None:
+            # the enclave died with its volatile memory; these are the
+            # global observer's reconstruction captured at crash time
+            return [list(log) for log in shard.crash_logs]
         primary = shard.audit_prefix + list(
             shard.host.enclave.ecall("export_audit_log", None)
         )

@@ -1,0 +1,354 @@
+"""Elastic shard membership + recovery control plane.
+
+PR 2's runtime could move a *whole* shard's range onto fresh hardware
+(:meth:`~repro.sharding.cluster.ShardedCluster.rebalance`), but the ring
+itself was fixed at construction and a halted shard stayed dead.  This
+module adds the missing runtime operations:
+
+``add_shard``
+    Grow the ring by one group.  Only the keys on the arcs the new shard
+    *gains* move (``HashRing.arc_diff``); each losing group hands exactly
+    those keys over through the mutually attested
+    :func:`~repro.core.migration.migrate_keys` channel as sequenced,
+    hash-chained operations, so rollback/fork detection holds across the
+    handoff on both sides.
+
+``remove_shard``
+    Shrink the ring.  The departing group's arcs are handed to the
+    surviving owners the same way; its audit evidence is retired into the
+    cluster record (the router's merged verdict keeps checking it) and
+    its host shuts down.
+
+``recover_shard``
+    Re-bootstrap a halted or crashed group as a fresh *generation*: new
+    platform, fresh ``kP``/``kC``/``kA`` under a fresh attestation, every
+    client re-enrolled from a clean hash chain.  The old generation's
+    evidence is retired, and the router replays the operations the
+    outage parked.
+
+Quiescence discipline
+---------------------
+A handoff between two live groups is only safe when neither side has an
+operation in flight that could observe the keyspace mid-move (an INVOKE
+executing on the source *after* its keys left would see a hole).  The
+control plane therefore runs every reshard through a barrier:
+
+1. **fence** — the involved shards are marked fenced; the router parks
+   new submissions to them (completions of in-flight operations are
+   unaffected);
+2. **drain** — the plan waits, polling on the virtual clock, until every
+   involved shard sits at a batch boundary with nothing pending: enclave
+   idle, batch queue empty, client machines idle, links empty;
+3. **act** — the per-arc handoffs run, the ring is swapped atomically,
+   the shards are unfenced and the router replays the parked operations
+   against the *new* ring.
+
+The barrier makes the reshard a linearization point: every operation
+submitted before the fence completes against the old ring, everything
+parked lands on the new one.  Plans queue — at most one reconfiguration
+runs at a time — and a plan whose shard dies while fenced aborts cleanly
+instead of stalling the cluster.
+
+Recovery uses the weaker barrier only (drained links, so a reply still
+on the wire cannot race the replay): a dead shard never quiesces fully.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.migration import migrate_keys
+from repro.errors import ConfigurationError, LCMError
+from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL
+from repro.sharding.partitioner import ArcMove, HashRing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.cluster import ShardedCluster
+
+
+@dataclass
+class ReshardReport:
+    """Outcome record of one control-plane operation."""
+
+    kind: str                      # "add" | "remove" | "recover"
+    shard_id: int
+    #: keys moved per peer shard (sources for add, targets for remove)
+    moved: dict[int, int] = field(default_factory=dict)
+    completed: bool = False
+    aborted: str | None = None
+    #: set only for completed plans (None records an aborted one)
+    completed_at: float | None = None
+    #: arcs whose keys moved but could not be handed back when the plan
+    #: failed mid-way: ``(source, target, arcs)`` — their keys live on
+    #: ``target`` while the (unswapped) ring still routes them to
+    #: ``source``.  Empty unless an abort's compensation also failed.
+    orphaned: list[tuple[int, int, list]] = field(default_factory=list)
+
+    @property
+    def keys_moved(self) -> int:
+        return sum(self.moved.values())
+
+
+@dataclass
+class _Plan:
+    kind: str
+    shard_id: int
+    report: ReshardReport
+    synchronous: bool = True
+    # resolved at start():
+    involved: tuple[int, ...] = ()
+    pairs: list[tuple[int, int, list[list[int]]]] = field(default_factory=list)
+    ring_after: HashRing | None = None
+
+
+def _arcs_by_peer(moves: list[ArcMove], *, group_by: str) -> dict:
+    grouped: dict[object, list[list[int]]] = {}
+    for move in moves:
+        peer = getattr(move, group_by)
+        grouped.setdefault(peer, []).append([move.start, move.end])
+    return grouped
+
+
+class ControlPlane:
+    """Sequencer for runtime ring changes and shard recovery.
+
+    One instance per :class:`ShardedCluster` (``cluster.control``); the
+    cluster's ``add_shard``/``remove_shard``/``recover_shard`` methods
+    delegate here.  Operations queue FIFO and run one at a time; each is
+    tracked by a :class:`ReshardReport` kept in :attr:`reports`.
+    """
+
+    #: Poll period of the quiescence barrier — one virtual enclave
+    #: service slot, so the barrier re-checks at batch-boundary rhythm.
+    POLL_INTERVAL = ENCLAVE_SERVICE_INTERVAL
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self._cluster = cluster
+        self._queue: collections.deque[_Plan] = collections.deque()
+        self._active: _Plan | None = None
+        self.reports: list[ReshardReport] = []
+
+    # ------------------------------------------------------------- public
+
+    def add_shard(self, *, at: float | None = None) -> int:
+        """Provision a new group now; hand it its arcs at the barrier.
+        Returns the new shard id immediately (the shard serves nothing
+        until the ring swap)."""
+        shard_id = self._cluster._provision_new_shard()
+        self._submit(_Plan("add", shard_id, self._new_report("add", shard_id)), at)
+        return shard_id
+
+    def remove_shard(self, shard_id: int, *, at: float | None = None) -> ReshardReport:
+        self._cluster._shard(shard_id)  # fail fast on unknown ids
+        plan = _Plan("remove", shard_id, self._new_report("remove", shard_id))
+        self._submit(plan, at)
+        return plan.report
+
+    def recover_shard(self, shard_id: int, *, at: float | None = None) -> ReshardReport:
+        self._cluster._shard(shard_id)
+        plan = _Plan("recover", shard_id, self._new_report("recover", shard_id))
+        self._submit(plan, at)
+        return plan.report
+
+    @property
+    def busy(self) -> bool:
+        """True while a reconfiguration is active or queued."""
+        return self._active is not None or bool(self._queue)
+
+    def _new_report(self, kind: str, shard_id: int) -> ReshardReport:
+        report = ReshardReport(kind=kind, shard_id=shard_id)
+        self.reports.append(report)
+        return report
+
+    # --------------------------------------------------------- scheduling
+
+    def _submit(self, plan: _Plan, at: float | None) -> None:
+        if at is None:
+            self._enqueue(plan)
+        else:
+            plan.synchronous = False
+            self._cluster.sim.schedule(
+                at, lambda: self._enqueue(plan), label=f"controlplane-{plan.kind}"
+            )
+
+    def _enqueue(self, plan: _Plan) -> None:
+        self._queue.append(plan)
+        if self._active is None:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        while self._queue and self._active is None:
+            plan = self._queue.popleft()
+            self._active = plan
+            try:
+                self._start(plan)
+            except ConfigurationError:
+                self._active = None
+                plan.report.aborted = "refused"
+                if plan.synchronous:
+                    raise
+            if self._active is None:
+                continue  # plan finished (or aborted) synchronously
+
+    def _start(self, plan: _Plan) -> None:
+        cluster = self._cluster
+        if plan.kind == "recover":
+            shard = cluster._shard(plan.shard_id)
+            if shard.healthy:
+                raise ConfigurationError(
+                    f"shard {plan.shard_id} is healthy; only a halted or "
+                    "crashed shard can be recovered"
+                )
+            plan.involved = (plan.shard_id,)
+        elif plan.kind == "add":
+            ring_after = cluster.ring.copy()
+            ring_after.add_shard(plan.shard_id)
+            moves = HashRing.arc_diff(cluster.ring, ring_after)
+            sources = _arcs_by_peer(moves, group_by="source")
+            plan.pairs = [
+                (source, plan.shard_id, arcs)
+                for source, arcs in sorted(sources.items())
+            ]
+            plan.ring_after = ring_after
+            plan.involved = tuple(sorted({plan.shard_id, *sources}))
+        else:  # remove
+            shard = cluster._shard(plan.shard_id)
+            if not shard.healthy:
+                raise ConfigurationError(
+                    f"shard {plan.shard_id} is down; recover it before "
+                    "removing it (its keys must be handed off live)"
+                )
+            if shard.forks:
+                raise ConfigurationError(
+                    f"shard {plan.shard_id} has live forked instances; "
+                    "their evidence would not survive removal"
+                )
+            if cluster.shard_count < 2:
+                raise ConfigurationError("cannot remove the last shard")
+            ring_after = cluster.ring.copy()
+            ring_after.remove_shard(plan.shard_id)
+            moves = HashRing.arc_diff(cluster.ring, ring_after)
+            targets = _arcs_by_peer(moves, group_by="target")
+            plan.pairs = [
+                (plan.shard_id, target, arcs)
+                for target, arcs in sorted(targets.items())
+            ]
+            plan.ring_after = ring_after
+            plan.involved = tuple(sorted({plan.shard_id, *targets}))
+        if plan.kind != "recover":
+            cluster._fenced.update(plan.involved)
+        self._poll()
+
+    # -------------------------------------------------------------- barrier
+
+    def _quiet(self, plan: _Plan) -> bool:
+        cluster = self._cluster
+        if plan.kind == "recover":
+            return cluster._shard(plan.shard_id).links_drained
+        return all(
+            cluster._shard(shard_id).drained for shard_id in plan.involved
+        )
+
+    def _poll(self) -> None:
+        plan = self._active
+        cluster = self._cluster
+        if plan.kind != "recover":
+            dead = [
+                shard_id
+                for shard_id in plan.involved
+                if not cluster.shard_healthy(shard_id)
+            ]
+            if dead:
+                # a fenced shard died mid-barrier: the handoff can no
+                # longer run (its enclave refuses ecalls) — abort instead
+                # of polling forever behind machines that will never drain
+                self._finish(
+                    plan, aborted=f"shard(s) {dead} went down during the barrier"
+                )
+                return
+        if not self._quiet(plan):
+            cluster.sim.schedule(
+                self.POLL_INTERVAL, self._poll, label="controlplane-barrier"
+            )
+            return
+        try:
+            self._act(plan)
+        except BaseException:
+            self._finish(plan, aborted="failed")
+            raise
+        self._finish(plan)
+
+    # --------------------------------------------------------------- action
+
+    def _act(self, plan: _Plan) -> None:
+        cluster = self._cluster
+        if plan.kind == "recover":
+            cluster._recover_shard_now(plan.shard_id)
+            return
+        verifier = cluster.group.verifier()
+        handed_over: list[tuple[int, int, list]] = []
+        try:
+            for source_id, target_id, arcs in plan.pairs:
+                moved = migrate_keys(
+                    cluster.shard_host(source_id),
+                    cluster.shard_host(target_id),
+                    verifier,
+                    arcs,
+                )
+                handed_over.append((source_id, target_id, arcs))
+                peer = source_id if plan.kind == "add" else target_id
+                plan.report.moved[peer] = moved
+                cluster.stats.keys_migrated += moved
+        except BaseException:
+            # the ring never swaps on failure, so keys already handed
+            # over would be stranded on a peer the ring does not route
+            # to — hand them back before aborting
+            self._compensate(plan, handed_over)
+            raise
+        if plan.kind == "remove":
+            cluster._remove_shard_now(plan.shard_id)
+        cluster.ring = plan.ring_after
+        cluster.stats.reshards += 1
+
+    def _compensate(self, plan: _Plan, handed_over) -> None:
+        """Best-effort unwind of a partially executed reshard: migrate
+        each already-moved arc set back to its (still ring-routed)
+        source.  An arc whose return handoff also fails — typically
+        because one of the enclaves died — is recorded on the report as
+        orphaned instead of raising over the original error."""
+        cluster = self._cluster
+        verifier = cluster.group.verifier()
+        for source_id, target_id, arcs in reversed(handed_over):
+            try:
+                moved = migrate_keys(
+                    cluster.shard_host(target_id),
+                    cluster.shard_host(source_id),
+                    verifier,
+                    arcs,
+                )
+            except LCMError:
+                plan.report.orphaned.append((source_id, target_id, arcs))
+                continue
+            peer = source_id if plan.kind == "add" else target_id
+            plan.report.moved.pop(peer, None)
+            cluster.stats.keys_migrated += moved
+
+    def _finish(self, plan: _Plan, aborted: str | None = None) -> None:
+        cluster = self._cluster
+        cluster._fenced.difference_update(plan.involved)
+        plan.report.aborted = aborted
+        plan.report.completed = aborted is None
+        plan.report.completed_at = cluster.sim.now if aborted is None else None
+        self._active = None
+        event = "recovered" if plan.kind == "recover" else "resharded"
+        try:
+            if aborted is None:
+                cluster._notify_reconfiguration(event, plan.involved)
+            else:
+                # unfenced shards may hold parked work either way
+                cluster._notify_reconfiguration("resharded", plan.involved)
+        finally:
+            # queued plans must run even if a listener misbehaves
+            self._start_next()

@@ -21,18 +21,31 @@ key→shard mapping independently.
 from __future__ import annotations
 
 import bisect
-import hashlib
+from dataclasses import dataclass
 
+from repro.crypto.hashing import RING_SPAN, ring_point as _point
 from repro.errors import ConfigurationError
 
-#: Ring positions are the first 8 bytes of a SHA-256, i.e. 64-bit points.
-_POINT_BYTES = 8
 
+@dataclass(frozen=True)
+class ArcMove:
+    """One ring arc whose ownership differs between two ring states.
 
-def _point(data: bytes) -> int:
-    return int.from_bytes(
-        hashlib.sha256(data).digest()[:_POINT_BYTES], "big"
-    )
+    ``[start, end)`` is a non-wrapping half-open interval of 64-bit ring
+    positions (a reassigned span crossing zero is emitted as two moves);
+    every key whose :func:`~repro.crypto.hashing.ring_point` falls inside
+    it is owned by ``source`` on the *before* ring and ``target`` on the
+    *after* ring.
+    """
+
+    start: int
+    end: int
+    source: object
+    target: object
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
 
 
 class HashRing:
@@ -100,8 +113,6 @@ class HashRing:
 
     def owner(self, key) -> object:
         """The shard owning ``key`` (str or bytes)."""
-        if isinstance(key, str):
-            key = key.encode()
         point = _point(key)
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
@@ -117,10 +128,65 @@ class HashRing:
 
     def arc_fractions(self) -> dict:
         """Fraction of the ring (by arc length) each shard owns."""
-        full = 1 << (_POINT_BYTES * 8)
+        full = RING_SPAN
         fractions = {shard: 0.0 for shard in self._shards}
         points = self._points
         for index, point in enumerate(points):
             previous = points[index - 1] if index else points[-1] - full
             fractions[self._owners[point]] += (point - previous) / full
         return fractions
+
+    # ------------------------------------------------------------ reassignment
+
+    @staticmethod
+    def key_point(key) -> int:
+        """The 64-bit ring position of a key (str or bytes)."""
+        return _point(key)
+
+    def copy(self) -> "HashRing":
+        """An independent ring with the same membership and smoothness."""
+        return HashRing(self._shards, virtual_nodes=self._virtual_nodes)
+
+    def _owner_at(self, point: int):
+        """The shard owning an absolute ring position."""
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    @staticmethod
+    def arc_diff(before: "HashRing", after: "HashRing") -> list[ArcMove]:
+        """The ring arcs whose owner differs between two ring states.
+
+        This is the *only* key movement a membership change requires: a
+        key whose point lies on no returned arc has the same owner on both
+        rings.  Consistent hashing guarantees the moves are minimal —
+        adding one shard yields arcs whose ``target`` is always the new
+        shard, removing one yields arcs whose ``source`` is always the
+        removed shard, and no arc ever moves between two surviving shards
+        (property-tested in ``tests/sharding``).
+
+        Arcs are emitted as non-wrapping ``[start, end)`` intervals in
+        ascending order; the wraparound span is split at zero.
+        """
+        boundaries = sorted({*before._points, *after._points})
+        if not boundaries:
+            return []
+        moves: list[ArcMove] = []
+
+        def emit(start: int, end: int) -> None:
+            if start >= end:
+                return
+            source = before._owner_at(start)
+            target = after._owner_at(start)
+            if source != target:
+                moves.append(ArcMove(start, end, source, target))
+
+        # the wrap segment [last, RING_SPAN) ∪ [0, first) has one owner
+        # per ring (everything past the last point maps to the first);
+        # emit it as two non-wrapping arcs
+        emit(0, boundaries[0])
+        for index, start in enumerate(boundaries[:-1]):
+            emit(start, boundaries[index + 1])
+        emit(boundaries[-1], RING_SPAN)
+        return moves

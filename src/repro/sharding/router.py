@@ -54,15 +54,12 @@ def routing_key(operation: Any) -> str | bytes:
 
 
 @dataclass
-class ShardVerdict:
-    """Fork-linearizability outcome for one shard.
+class GenerationVerdict:
+    """Fork-linearizability outcome for one generation of a shard: its
+    pre-recovery life, a removed shard's final evidence, or the live
+    group."""
 
-    ``violation`` is usually a :class:`SecurityViolation`; a stopped
-    enclave whose evidence is unreachable surfaces as the
-    :class:`~repro.errors.EnclaveError` that export raised.
-    """
-
-    shard_id: int
+    generation: int
     fork_tree: ForkTree | None = None
     violation: LCMError | None = None
 
@@ -73,6 +70,39 @@ class ShardVerdict:
     @property
     def fork_points(self) -> list[int]:
         return self.fork_tree.fork_points() if self.fork_tree else []
+
+
+@dataclass
+class ShardVerdict:
+    """Fork-linearizability outcome for one shard id, merged across every
+    generation that id ever ran (crash/recovery bumps the generation;
+    each generation is an independent group with its own keys and chain,
+    so each is checked against a fresh initial state).
+
+    ``violation`` is the first violation found in any generation —
+    usually a :class:`SecurityViolation`; a stopped enclave whose
+    evidence is unreachable surfaces as the
+    :class:`~repro.errors.EnclaveError` that export raised.
+    ``fork_tree`` is the newest generation's tree (single-generation
+    shards: exactly the pre-elastic behaviour).
+    """
+
+    shard_id: int
+    fork_tree: ForkTree | None = None
+    violation: LCMError | None = None
+    generations: list[GenerationVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    @property
+    def fork_points(self) -> list[int]:
+        """Fork depths observed in any generation of this shard."""
+        points = set(self.fork_tree.fork_points() if self.fork_tree else [])
+        for generation in self.generations:
+            points.update(generation.fork_points)
+        return sorted(points)
 
 
 @dataclass
@@ -104,9 +134,22 @@ class ShardedVerdict:
 
 
 class ShardRouter:
-    """Route operations from logical clients to their owning shards."""
+    """Route operations from logical clients to their owning shards.
 
-    def __init__(self, cluster: ShardedCluster) -> None:
+    With ``failover=True`` the router additionally *parks* operations it
+    cannot currently deliver — submissions to a shard that is fenced by
+    an in-progress control-plane reshard, or (failover mode) to a shard
+    that halted or crashed — and replays them when the cluster announces
+    the reconfiguration finished.  Replayed single-key operations are
+    re-routed through the *current* ring, so work parked across an
+    ``add_shard``/``remove_shard`` lands on the new owner, and work
+    parked across a crash lands on the recovered generation's fresh
+    protocol machines.  Operations that were already in flight on a
+    shard when it crashed (invoked but never answered) are tracked and
+    replayed the same way.
+    """
+
+    def __init__(self, cluster: ShardedCluster, *, failover: bool = False) -> None:
         if not cluster.audit:
             # verdict() feeds every shard's audit logs to the checker and
             # promises not to raise; require the evidence up front
@@ -114,8 +157,26 @@ class ShardRouter:
                 "ShardRouter needs a cluster created in audit mode"
             )
         self.cluster = cluster
+        self.failover = failover
         self.operations_submitted = 0
         self.fanout_requests = 0
+        self.operations_parked = 0
+        self.operations_replayed = 0
+        self.operations_dropped = 0
+        #: (shard_id, client_id, operation, error) for every operation a
+        #: replay could not deliver (e.g. pinned to a since-removed
+        #: shard, or its shard died again before the replay) — dropped
+        #: with attribution instead of raising inside a simulator event
+        self.replay_failures: list[tuple[int, int, Any, LCMError]] = []
+        #: parked work per shard id: (client_id, operation, on_complete,
+        #: reroute) — reroute=True re-resolves the owner at replay time
+        self._parked: dict[int, list[tuple]] = {}
+        #: submissions invoked on a machine but not yet completed, in
+        #: submission order: {submission_id: (shard_id, client_id,
+        #: operation, on_complete, reroute)}
+        self._inflight: dict[int, tuple] = {}
+        self._next_submission = 0
+        cluster.subscribe_reconfiguration(self._on_reconfiguration)
 
     # ------------------------------------------------------------ submitting
 
@@ -129,10 +190,13 @@ class ShardRouter:
         operation: Any,
         on_complete: Callable[[LcmResult], Any] | None = None,
     ) -> int:
-        """Queue a single-key operation; returns the owning shard id."""
-        return self.submit_to_shard(
-            self.owner(operation), client_id, operation, on_complete
-        )
+        """Queue a single-key operation; returns the owning shard id (the
+        owner at submission time — a parked operation may land elsewhere
+        after a reshard)."""
+        shard_id = self.owner(operation)
+        if self._defer(shard_id, client_id, operation, on_complete, reroute=True):
+            return shard_id
+        return self._dispatch(shard_id, client_id, operation, on_complete, True)
 
     def submit_to_shard(
         self,
@@ -144,24 +208,61 @@ class ShardRouter:
         """Queue an operation on an explicit shard (keyless ops, tests).
 
         Fails fast with :class:`~repro.errors.ShardUnavailable` when the
-        target shard has halted on a detected violation — its dispatcher
-        no longer cuts batches, so the request would otherwise queue
-        forever.  Full failover/retry against a re-provisioned group
-        stays a ROADMAP item; in a :meth:`submit_many` fan-out the
-        operations already handed to healthy shards proceed normally.
+        target shard has halted on a detected violation or crashed — its
+        dispatcher no longer cuts batches, so the request would otherwise
+        queue forever.  A router built with ``failover=True`` parks the
+        operation instead and replays it once the shard is recovered; in
+        a :meth:`submit_many` fan-out the operations already handed to
+        healthy shards proceed normally either way.
         """
+        if self._defer(shard_id, client_id, operation, on_complete, reroute=False):
+            return shard_id
+        return self._dispatch(shard_id, client_id, operation, on_complete, False)
+
+    def _defer(
+        self, shard_id: int, client_id: int, operation, on_complete, *, reroute
+    ) -> bool:
+        """Park the operation if its shard cannot take it right now.
+        Returns True when parked; raises when the shard is down and the
+        router is not in failover mode."""
         cluster = self.cluster
+        if shard_id in cluster.fenced_shards:
+            self._park(shard_id, client_id, operation, on_complete, reroute)
+            return True
         if not cluster.shard_healthy(shard_id):
+            if self.failover:
+                self._park(shard_id, client_id, operation, on_complete, reroute)
+                return True
+            violation = cluster.shard_violation(shard_id)
+            cause = repr(violation) if violation else "a hardware crash"
             raise ShardUnavailable(
-                f"shard {shard_id} halted on "
-                f"{cluster.shard_violation(shard_id)!r}; failing fast "
-                "instead of queueing behind a stopped dispatcher"
+                f"shard {shard_id} halted on {cause}; failing fast "
+                "instead of queueing behind a stopped dispatcher "
+                "(failover=True parks and replays instead)"
             )
+        return False
+
+    def _park(self, shard_id, client_id, operation, on_complete, reroute) -> None:
+        self.operations_parked += 1
+        self._parked.setdefault(shard_id, []).append(
+            (client_id, operation, on_complete, reroute)
+        )
+
+    def _dispatch(
+        self, shard_id: int, client_id: int, operation, on_complete, reroute
+    ) -> int:
+        cluster = self.cluster
         history = cluster.shard_history(shard_id)
         token = history.invoke(client_id, operation)
         self.operations_submitted += 1
+        submission = self._next_submission
+        self._next_submission = submission + 1
+        self._inflight[submission] = (
+            shard_id, client_id, operation, on_complete, reroute,
+        )
 
         def complete(result: LcmResult) -> None:
+            self._inflight.pop(submission, None)
             history.respond(token, result.result, sequence=result.sequence)
             cluster.stats.operations_completed += 1
             cluster.stats.per_shard_operations[shard_id] += 1
@@ -170,6 +271,59 @@ class ShardRouter:
 
         cluster.client_machine(shard_id, client_id).invoke(operation, complete)
         return shard_id
+
+    # --------------------------------------------------------------- replay
+
+    def _on_reconfiguration(self, event: str, shard_ids: tuple[int, ...]) -> None:
+        if event == "recovered":
+            # operations lost in flight were submitted before anything
+            # could be parked against the outage: replay them first so
+            # per-client order is preserved on the fresh machines
+            self._replay_inflight(shard_ids)
+        self._replay_parked(shard_ids)
+
+    def _replay_one(
+        self, shard_id: int, client_id: int, operation, on_complete, reroute
+    ) -> None:
+        """Resubmit one parked/lost operation.  Replay runs inside the
+        cluster's reconfiguration callback (a simulator event): raising
+        there would abort every other shard's run and wedge the
+        control-plane queue, so an undeliverable operation — pinned to a
+        since-removed shard, or whose shard died again before the replay
+        — is dropped with attribution instead."""
+        try:
+            if reroute:
+                self.submit(client_id, operation, on_complete)
+            else:
+                self.submit_to_shard(shard_id, client_id, operation, on_complete)
+        except LCMError as error:
+            self.operations_dropped += 1
+            self.replay_failures.append((shard_id, client_id, operation, error))
+        else:
+            self.operations_replayed += 1
+
+    def _replay_inflight(self, shard_ids: tuple[int, ...]) -> None:
+        lost = [
+            (submission, entry)
+            for submission, entry in self._inflight.items()
+            if entry[0] in shard_ids
+        ]
+        for submission, entry in lost:
+            del self._inflight[submission]
+            shard_id, client_id, operation, on_complete, reroute = entry
+            self._replay_one(shard_id, client_id, operation, on_complete, reroute)
+
+    def _replay_parked(self, shard_ids: tuple[int, ...]) -> None:
+        for shard_id in shard_ids:
+            parked = self._parked.pop(shard_id, None)
+            if not parked:
+                continue
+            for client_id, operation, on_complete, reroute in parked:
+                self._replay_one(shard_id, client_id, operation, on_complete, reroute)
+
+    def parked_operations(self, shard_id: int) -> int:
+        """Operations currently parked against one shard id."""
+        return len(self._parked.get(shard_id, ()))
 
     def submit_many(
         self,
@@ -224,9 +378,15 @@ class ShardRouter:
     # ---------------------------------------------------------- verification
 
     def verdict(self) -> ShardedVerdict:
-        """Check every shard's evidence; never raises, reports per shard."""
+        """Check every shard's evidence; never raises, reports per shard.
+
+        Covers every shard id that ever carried evidence: live shards,
+        removed shards (their final audit logs were retired at removal)
+        and, for shards that crashed and were recovered, each generation
+        independently — merged into one :class:`ShardVerdict` per id.
+        """
         merged = ShardedVerdict()
-        for shard_id in range(self.cluster.shard_count):
+        for shard_id in self.cluster.verdict_shard_ids:
             merged.shards[shard_id] = self._check_shard(shard_id)
         return merged
 
@@ -246,12 +406,39 @@ class ShardRouter:
 
     def _check_shard(self, shard_id: int) -> ShardVerdict:
         cluster = self.cluster
+        generations = [
+            self._check_generation(
+                evidence.generation,
+                evidence.logs,
+                evidence.clients,
+                evidence.history,
+                evidence.violation,
+            )
+            for evidence in cluster.retired_generations(shard_id)
+        ]
+        if cluster.is_live(shard_id):
+            generations.append(self._check_live_generation(shard_id))
+        violation = next(
+            (gen.violation for gen in generations if gen.violation is not None),
+            None,
+        )
+        tree = next(
+            (gen.fork_tree for gen in reversed(generations) if gen.fork_tree),
+            None,
+        )
+        return ShardVerdict(
+            shard_id, fork_tree=tree, violation=violation, generations=generations
+        )
+
+    def _check_live_generation(self, shard_id: int) -> GenerationVerdict:
+        cluster = self.cluster
+        generation = cluster.shard_generation(shard_id)
         live = cluster.shard_violation(shard_id)
         if live is not None:
             # the shard's context (or a client) already caught the attack
             # during the run; its enclave refuses further ecalls, so the
             # live violation *is* the evidence
-            return ShardVerdict(shard_id, violation=live)
+            return GenerationVerdict(generation, violation=live)
         try:
             tree = check_cluster_execution(
                 cluster.audit_logs(shard_id),
@@ -262,5 +449,25 @@ class ShardRouter:
         except (SecurityViolation, EnclaveError) as violation:
             # EnclaveError: a stopped/crashed enclave whose audit log is
             # unreachable — report it against the shard, never raise
-            return ShardVerdict(shard_id, violation=violation)
-        return ShardVerdict(shard_id, fork_tree=tree)
+            return GenerationVerdict(generation, violation=violation)
+        return GenerationVerdict(generation, fork_tree=tree)
+
+    def _check_generation(
+        self, generation: int, logs, clients, history, violation
+    ) -> GenerationVerdict:
+        if violation is not None:
+            return GenerationVerdict(generation, violation=violation)
+        if logs is None:
+            return GenerationVerdict(
+                generation,
+                violation=EnclaveError(
+                    f"generation {generation} retired without audit evidence"
+                ),
+            )
+        try:
+            tree = check_cluster_execution(
+                logs, clients, history, self.cluster.functionality()
+            )
+        except (SecurityViolation, EnclaveError) as caught:
+            return GenerationVerdict(generation, violation=caught)
+        return GenerationVerdict(generation, fork_tree=tree)

@@ -75,6 +75,40 @@ class TestBackendEquivalence:
         for seg, want in zip(segments, expected):
             assert backend.hmac3(MAC_KEY, frame, b"", seg) == want
 
+    def test_batch_hmac_matches_stdlib_on_every_backend(self):
+        """Every backend — the pure-Python ones included since the batch
+        HMAC pass landed there — emits stdlib-identical full digests and
+        shares its key schedule safely across calls and keys."""
+        frame = (10).to_bytes(8, "big") + b"lcm/invoke"
+        segments = [os.urandom(151) for _ in range(7)] + [b"", os.urandom(3000)]
+        expected = [
+            hmac.new(MAC_KEY, frame + seg, hashlib.sha256).digest()
+            for seg in segments
+        ]
+        other_key = hashlib.sha256(b"other").digest()
+        for backend in _all_backends():
+            assert backend.hmac_tags is not None, backend.name
+            assert backend.hmac_tags(MAC_KEY, frame, segments) == expected, backend.name
+            # repeat (cached key schedule) and an interleaved second key
+            assert backend.hmac_tags(other_key, frame, segments[:2]) == [
+                hmac.new(other_key, frame + seg, hashlib.sha256).digest()
+                for seg in segments[:2]
+            ], backend.name
+            assert backend.hmac_tags(MAC_KEY, frame, segments) == expected, backend.name
+
+    def test_batch_hmac_accepts_memoryview_segments(self):
+        """The AEAD batch decryptor feeds memoryview segments (the box
+        minus its tag); every backend must accept them."""
+        frame = (9).to_bytes(8, "big") + b"lcm/reply"
+        payloads = [os.urandom(60) for _ in range(4)]
+        expected = [
+            hmac.new(MAC_KEY, frame + payload, hashlib.sha256).digest()
+            for payload in payloads
+        ]
+        views = [memoryview(payload) for payload in payloads]
+        for backend in _all_backends():
+            assert backend.hmac_tags(MAC_KEY, frame, views) == expected, backend.name
+
     def test_native_sha256_matches_stdlib(self):
         backend = fastpath._get_backend("c")
         if backend is None:

@@ -7,6 +7,7 @@ benchmarks/.
 import pytest
 
 from repro.harness.experiments import (
+    run_elastic_scaling,
     run_fig4_object_size,
     run_fig5_clients_async,
     run_fig6_clients_sync,
@@ -127,6 +128,24 @@ class TestShardScaling:
         assert rates[1] > rates[0]
         assert result.series["rebalances"] == [0, 0]
 
+    def test_zipfian_mix_reports_load_skew(self):
+        """ROADMAP item: zipfian mixes skew shard load; the sweep must
+        surface the partitioner's balance limits instead of hiding them
+        behind a uniform mix."""
+        result = run_shard_scaling(
+            shard_counts=[1, 4], clients=12, requests_per_client=12,
+            distribution="zipfian", rebalance=False,
+        )
+        assert result.parameters["distribution"] == "zipfian"
+        skews = result.series["load_skew"]
+        assert skews[0] == pytest.approx(1.0)       # one shard: no skew
+        assert skews[1] > 1.0                        # hot keys concentrate
+        shares = result.series["per_shard_share"][1]
+        assert len(shares) == 4
+        assert sum(shares) == pytest.approx(1.0, abs=0.01)
+        assert result.ratios["max_load_skew"] == max(skews)
+        assert result.ratios["zero_violations"] is True
+
     @pytest.mark.slow
     def test_full_default_run(self):
         result = run_shard_scaling()
@@ -134,3 +153,32 @@ class TestShardScaling:
         assert speedups[2] > 1.5
         assert speedups[4] >= 2.5
         assert result.ratios["zero_violations"] is True
+
+
+class TestElasticScaling:
+    def test_split_merge_crash_recover_with_zero_violations(self):
+        """ISSUE acceptance criterion: the elastic run (split -> merge ->
+        crash+recover under YCSB-A) finishes every request with zero
+        fork-linearizability violations across every generation."""
+        result = run_elastic_scaling(clients=8, requests_per_client=20)
+        assert result.ratios["zero_violations"] is True
+        assert result.ratios["all_requests_completed"] is True
+        assert result.ratios["requests_completed"] == 8 * 20
+        assert result.ratios["reshards_completed"] == 2
+        assert result.ratios["recoveries_completed"] == 1
+        assert result.series["event"] == ["add", "remove", "recover"]
+        assert all(at is not None for at in result.series["event_completed_at"])
+        assert sum(result.series["violations_by_shard"]) == 0
+
+    def test_outage_parks_and_replays_through_the_router(self):
+        result = run_elastic_scaling(clients=8, requests_per_client=20)
+        assert result.ratios["operations_parked"] > 0
+        assert (
+            result.ratios["operations_replayed"]
+            >= result.ratios["operations_parked"]
+        )
+        assert result.ratios["keys_migrated"] > 0
+
+    def test_single_shard_refused(self):
+        with pytest.raises(ValueError, match="two initial shards"):
+            run_elastic_scaling(shards=1)

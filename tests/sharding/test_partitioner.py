@@ -1,7 +1,10 @@
 """Consistent-hash ring: determinism, balance, minimal movement."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.crypto.hashing import RING_SPAN
 from repro.errors import ConfigurationError
 from repro.sharding.partitioner import HashRing
 
@@ -85,3 +88,86 @@ class TestMembership:
     def test_empty_ring_refused(self):
         with pytest.raises(ConfigurationError):
             HashRing([])
+
+
+def _keys_on_arcs(moves):
+    return {
+        key
+        for key in KEYS
+        if any(
+            move.start <= HashRing.key_point(key) < move.end for move in moves
+        )
+    }
+
+
+class TestArcDiff:
+    """``arc_diff`` is the control plane's movement contract: adding or
+    removing a shard reassigns a minimal key set, and *no key ever moves
+    between two surviving shards*."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=8),
+        new_shard=st.integers(min_value=100, max_value=120),
+        virtual_nodes=st.sampled_from([4, 16, 64]),
+    )
+    def test_add_moves_only_arcs_gained_by_the_new_shard(
+        self, shards, new_shard, virtual_nodes
+    ):
+        before = HashRing(range(shards), virtual_nodes=virtual_nodes)
+        after = before.copy()
+        after.add_shard(new_shard)
+        moves = HashRing.arc_diff(before, after)
+        # every reassigned arc lands on the new shard, from a live source
+        assert all(move.target == new_shard for move in moves)
+        assert all(move.source != new_shard for move in moves)
+        # exactness: the keys on the moved arcs are exactly the keys
+        # whose owner changed — nothing else moves anywhere
+        changed = {k for k in KEYS if before.owner(k) != after.owner(k)}
+        assert _keys_on_arcs(moves) == changed
+        assert all(after.owner(k) == new_shard for k in changed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shards=st.integers(min_value=2, max_value=8),
+        data=st.data(),
+        virtual_nodes=st.sampled_from([4, 16, 64]),
+    )
+    def test_remove_moves_only_the_removed_shards_arcs(
+        self, shards, data, virtual_nodes
+    ):
+        removed = data.draw(st.integers(min_value=0, max_value=shards - 1))
+        before = HashRing(range(shards), virtual_nodes=virtual_nodes)
+        after = before.copy()
+        after.remove_shard(removed)
+        moves = HashRing.arc_diff(before, after)
+        assert all(move.source == removed for move in moves)
+        assert all(move.target != removed for move in moves)
+        changed = {k for k in KEYS if before.owner(k) != after.owner(k)}
+        assert _keys_on_arcs(moves) == changed
+        assert all(before.owner(k) == removed for k in changed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(shards=st.integers(min_value=1, max_value=10))
+    def test_arcs_are_disjoint_ascending_and_in_range(self, shards):
+        before = HashRing(range(shards), virtual_nodes=16)
+        after = before.copy()
+        after.add_shard(99)
+        moves = HashRing.arc_diff(before, after)
+        previous_end = 0
+        for move in moves:
+            assert 0 <= move.start < move.end <= RING_SPAN
+            assert move.start >= previous_end  # ascending, non-overlapping
+            previous_end = move.end
+
+    def test_identical_rings_diff_to_nothing(self):
+        ring = HashRing(range(5))
+        assert HashRing.arc_diff(ring, ring.copy()) == []
+
+    def test_round_trip_add_then_remove_restores_ownership(self):
+        ring = HashRing(range(4))
+        grown = ring.copy()
+        grown.add_shard(4)
+        shrunk = grown.copy()
+        shrunk.remove_shard(4)
+        assert HashRing.arc_diff(ring, shrunk) == []

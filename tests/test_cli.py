@@ -41,6 +41,27 @@ class TestSubcommands:
         assert main(["shard", "--shards", "0"]) == 2
         assert "must all be >= 1" in capsys.readouterr().out
 
+    def test_shard_zipfian_reports_load_skew(self, capsys):
+        assert main(
+            ["shard", "--shards", "2", "--clients", "6", "--ops", "5",
+             "--distribution", "zipfian", "--no-rebalance"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load skew" in out
+        assert "all shards verified fork-linearizable" in out
+
+    def test_elastic_reshapes_and_verifies(self, capsys):
+        assert main(["elastic", "--clients", "6", "--ops", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "split shard" in out
+        assert "merge shard" in out
+        assert "recover shard" in out
+        assert "all generations verified fork-linearizable" in out
+
+    def test_elastic_rejects_nonsense_counts(self, capsys):
+        assert main(["elastic", "--clients", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().out
+
     def test_figures_single(self, capsys):
         assert main(["figures", "--only", "sec63"]) == 0
         out = capsys.readouterr().out

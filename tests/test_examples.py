@@ -57,6 +57,15 @@ class TestExamples:
         assert "DETECTED" in proc.stdout                    # forked shard caught
         assert "honest shards still verify" in proc.stdout
 
+    def test_elastic_scaling(self):
+        proc = run_example("elastic_scaling.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "split: shard 2 joined the ring" in proc.stdout
+        assert "after the split every read hits: True" in proc.stdout
+        assert "merge: shard 1 left the ring" in proc.stdout
+        assert "re-bootstrapped as generation 1" in proc.stdout
+        assert "verified fork-linearizable" in proc.stdout
+
     def test_ycsb_evaluation_fast_mode(self):
         proc = run_example("ycsb_evaluation.py")
         assert proc.returncode == 0, proc.stderr
