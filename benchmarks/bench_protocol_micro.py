@@ -199,6 +199,40 @@ def test_micro_key_handoff_round_trip(benchmark):
     assert moved_out == moved_back > 0
 
 
+def test_micro_cross_shard_txn(benchmark):
+    """One two-participant atomic commit through the router's 2PC
+    coordinator: two prepares and two decisions — four sequenced LCM
+    operations over two groups — per round, clusters reused across
+    rounds so the cost is the steady-state transaction path."""
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    cluster = ShardedCluster(shards=2, clients=4, seed=41)
+    router = ShardRouter(cluster)
+    keys, index = [], 0
+    while len(keys) < 2:
+        key = f"txnkey-{index}"
+        index += 1
+        if not keys or cluster.ring.owner(key) != cluster.ring.owner(keys[0]):
+            keys.append(key)
+    for key in keys:
+        router.submit(1, put(key, "v" * 64))
+    cluster.run()
+
+    def one_txn():
+        done = {}
+        router.submit_txn(
+            1,
+            [put(keys[0], "v" * 64), put(keys[1], "v" * 64)],
+            lambda result: done.setdefault("r", result),
+        )
+        cluster.run()
+        return done["r"]
+
+    result = benchmark.pedantic(one_txn, rounds=15, iterations=1, warmup_rounds=3)
+    assert result.committed
+    assert router.transactions_aborted == 0
+
+
 def test_micro_elastic_reshard(benchmark):
     """A full control-plane split + merge on a quiet populated cluster:
     group provisioning, quiescence barrier, per-arc handoffs and the two

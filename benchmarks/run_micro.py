@@ -29,6 +29,20 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILE = "benchmarks/bench_protocol_micro.py"
 
+#: The invoke-path family the CI regression gate watches (the cluster
+#: scenarios are orders of magnitude larger and too schedule-dependent
+#: for a tight multiplicative gate).
+INVOKE_PATH_GATE = (
+    "test_micro_aead_encrypt_100b",
+    "test_micro_aead_round_trip_2500b",
+    "test_micro_hash_chain_extend",
+    "test_micro_serde_encode_state",
+    "test_micro_full_invoke_round_trip",
+    "test_micro_batched_invoke_sizes[1]",
+    "test_micro_batched_invoke_sizes[8]",
+    "test_micro_batched_invoke_sizes[32]",
+)
+
 
 def _summarize(benchmarks: list[dict]) -> dict:
     return {
@@ -134,6 +148,28 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         new_id = elastic_cluster.add_shard()
         elastic_cluster.remove_shard(new_id)
 
+    # cross-shard transaction: one 2PC round (two prepares + two
+    # decisions over two live groups) through the router coordinator
+    txn_cluster = ShardedCluster(shards=2, clients=4, seed=41)
+    txn_router = ShardRouter(txn_cluster)
+    txn_keys, txn_index = [], 0
+    while len(txn_keys) < 2:
+        candidate = f"txnkey-{txn_index}"
+        txn_index += 1
+        if not txn_keys or txn_cluster.ring.owner(candidate) != txn_cluster.ring.owner(
+            txn_keys[0]
+        ):
+            txn_keys.append(candidate)
+    for txn_key in txn_keys:
+        txn_router.submit(1, put(txn_key, "v" * 64))
+    txn_cluster.run()
+
+    def cross_shard_txn():
+        txn_router.submit_txn(
+            1, [put(txn_keys[0], "v" * 64), put(txn_keys[1], "v" * 64)]
+        )
+        txn_cluster.run()
+
     # batched-invoke family: one ecall per batch at sizes 1/8/32 (the
     # Sec. 5.2/5.3 amortisation curve the batch crypto pipeline targets)
     from benchmarks.bench_protocol_micro import _batched_invoke_round
@@ -160,6 +196,7 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         "test_micro_batched_invoke_sizes[8]": batched(8),
         "test_micro_batched_invoke_sizes[32]": batched(32),
         "test_micro_shard_scaling": shard_scaling,
+        "test_micro_cross_shard_txn": cross_shard_txn,
         "test_micro_elastic_reshard": elastic_reshard,
     }
     slow_scenarios = {"test_micro_elastic_reshard"}  # tens of ms per call
@@ -168,7 +205,15 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
     summary = {}
     for name, fn in scenarios.items():
         fn()  # warm caches the way the pytest fixtures would
-        iterations = min(number, 5) if name in slow_scenarios else number
+        if name in slow_scenarios:
+            iterations = min(number, 5)
+        elif quick and name in INVOKE_PATH_GATE:
+            # the gated microsecond-scale family gets extra iterations
+            # even in quick mode: 5-shot timings swing far beyond the
+            # 1.3x gate, and 50 iterations still cost only milliseconds
+            iterations = 50
+        else:
+            iterations = number
         best = min(timeit.repeat(fn, number=iterations, repeat=repeat)) / iterations
         summary[name] = {"best_us": round(best * 1e6, 2), "iterations": iterations}
     runner = "timer-fallback-quick" if quick else "timer-fallback"
@@ -184,16 +229,20 @@ def _bench_value(stats: dict) -> float | None:
     return None
 
 
-def compare_against_record(document: dict, record_path: str) -> None:
+def compare_against_record(document: dict, record_path: str) -> dict[str, float]:
     """Print per-bench ratios of this run vs a committed record.
 
     Ratio > 1 means this run is faster (record/new); the committed
     record's runner metadata is echoed so cross-runner comparisons
-    (median vs best-of) are visible at a glance.  This is the one-command
-    regression check future PRs run:
+    (median vs best-of) are visible at a glance.  Returns the
+    ``{bench: ratio}`` map (the ``--gate`` check consumes it).  This is
+    the one-command regression check future PRs run (CI gates the full
+    pytest-benchmark run — same warm-median statistic as the record;
+    ``--quick`` comparisons are informational, the 2 µs-scale scenarios
+    are too noisy under the fallback timer for a 1.3x bound):
 
-        PYTHONPATH=src python benchmarks/run_micro.py --quick \
-            --compare BENCH_micro.json
+        PYTHONPATH=src python benchmarks/run_micro.py \
+            --compare BENCH_micro.json --gate 1.3
     """
     with open(record_path) as handle:
         record = json.load(handle)
@@ -203,6 +252,7 @@ def compare_against_record(document: dict, record_path: str) -> None:
         f"(record runner: {record.get('runner', '?')}, "
         f"this run: {document.get('runner', '?')}; ratio >1 = faster now)"
     )
+    ratios: dict[str, float] = {}
     for name in sorted(set(document["summary"]) | set(record_summary)):
         new_stats = document["summary"].get(name)
         old_stats = record_summary.get(name)
@@ -217,10 +267,59 @@ def compare_against_record(document: dict, record_path: str) -> None:
         if not new_value or not old_value:
             continue
         ratio = old_value / new_value
+        ratios[name] = ratio
         print(
             f"  {name}: {old_value:.2f}us -> {new_value:.2f}us "
             f"({ratio:.2f}x)"
         )
+    return ratios
+
+
+def apply_gate(ratios: dict[str, float], gate: float) -> bool:
+    """The CI regression gate: fail when any invoke-path bench ran more
+    than ``gate`` times slower than the committed record, *after*
+    normalizing out the family-wide speed shift.
+
+    The committed record is measured on a different machine (and
+    possibly a different statistic — pytest-benchmark medians vs the
+    fallback's best-of) than the CI runner, so absolute ratios carry a
+    uniform machine factor.  Dividing each bench's ratio by the gated
+    family's median ratio cancels that factor: a runner that is 1.5x
+    slower across the board stays green, while a change that slows
+    *one* path (a new branch in the invoke loop, a crypto fast-path
+    falling back) still shows up as that bench regressing against its
+    siblings.  Only the microsecond-scale invoke-path family is gated —
+    the multi-ms cluster scenarios swing too much with scheduling noise
+    for a tight multiplicative bound.
+    """
+    gated = {
+        name: ratio
+        for name, ratio in ratios.items()
+        if name in INVOKE_PATH_GATE
+    }
+    if not gated:
+        print("gate skipped: no invoke-path benches in common with the record")
+        return True
+    ordered = sorted(gated.values())
+    family = ordered[len(ordered) // 2]  # median machine-shift estimate
+    regressed = {
+        name: ratio / family
+        for name, ratio in gated.items()
+        if ratio / family < 1.0 / gate
+    }
+    if not regressed:
+        print(
+            f"gate ok: no invoke-path bench regressed beyond {gate:.2f}x "
+            f"(family speed shift {family:.2f}x normalized out)"
+        )
+        return True
+    print(f"GATE FAILED: invoke-path regressions beyond {gate:.2f}x:")
+    for name, normalized in sorted(regressed.items()):
+        print(
+            f"  {name}: {1 / normalized:.2f}x slower than the record "
+            f"after normalizing the family speed shift ({family:.2f}x)"
+        )
+    return False
 
 
 def main() -> None:
@@ -246,7 +345,18 @@ def main() -> None:
         "record (e.g. BENCH_micro.json) so perf regressions show up in "
         "one command",
     )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="with --compare: exit non-zero when any invoke-path "
+        "microbench ran more than RATIO x slower than the record "
+        "(the CI regression gate; e.g. --gate 1.3)",
+    )
     args = parser.parse_args()
+    if args.gate is not None and args.compare is None:
+        parser.error("--gate requires --compare")
     if args.output is None:
         name = "BENCH_micro_quick.json" if args.quick else "BENCH_micro.json"
         args.output = str(REPO_ROOT / name)
@@ -266,7 +376,9 @@ def main() -> None:
     for name, stats in sorted(document["summary"].items()):
         print(f"  {name}: {stats}")
     if args.compare:
-        compare_against_record(document, args.compare)
+        ratios = compare_against_record(document, args.compare)
+        if args.gate is not None and not apply_gate(ratios, args.gate):
+            raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,14 @@ Subcommands::
         plane splits the ring, merges it back, crashes a shard and
         recovers it — then verify the merged evidence across every
         generation.
+
+    python -m repro.cli txn [--shards N] [--clients N] [--ops N]
+                            [--txn-fraction F] [--no-faults]
+        Run a transactional YCSB mix where multi-key requests commit
+        atomically across shards through the router's 2PC coordinator,
+        inject the crash-at-prepare and crash-after-decision fault
+        windows, and verify per-shard fork-linearizability plus
+        cross-shard transaction atomicity.
 """
 
 from __future__ import annotations
@@ -228,6 +236,47 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_txn(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_cross_shard
+
+    if args.shards < 2 or args.clients < 1 or args.ops < 1:
+        print("txn: --shards must be >= 2, --clients and --ops >= 1")
+        return 2
+    result = run_cross_shard(
+        shards=args.shards,
+        clients=args.clients,
+        requests_per_client=args.ops,
+        txn_fraction=args.txn_fraction,
+        faults=args.faults,
+        seed=args.seed,
+    )
+    ratios = result.ratios
+    for kind, shard_id in zip(result.series["fault"], result.series["fault_shard"]):
+        print(f"injected {kind} on shard {shard_id} (recovered)")
+    print(
+        f"{ratios['requests_completed']} requests completed "
+        f"({ratios['ops_per_second']:,.0f} ops/s simulated); "
+        f"{ratios['transactions_committed']} transactions committed across "
+        f"up to {ratios['max_participants']} shards, "
+        f"{ratios['conflict_retries']} conflict-aborts retried, "
+        f"{ratios['lock_retries']} locked single-key reads retried"
+    )
+    if (
+        not ratios["zero_violations"]
+        or not ratios["all_requests_completed"]
+        or not ratios["spans_multiple_shards"]
+    ):
+        print("CROSS-SHARD RUN FAILED: violations, lost requests or no "
+              "multi-shard transaction (see above)")
+        return 1
+    print(
+        "all shards fork-linearizable and every decided transaction "
+        "atomic across shard histories "
+        f"({ratios['cross_shard_txns']} cross-shard transactions checked)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LCM (DSN 2017) reproduction toolkit"
@@ -280,6 +329,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="logical YCSB requests per client")
     elastic.add_argument("--seed", type=int, default=0)
     elastic.set_defaults(handler=_cmd_elastic)
+
+    txn = sub.add_parser(
+        "txn",
+        help="cross-shard atomic-commit run + merged transaction checker",
+    )
+    txn.add_argument("--shards", type=int, default=3)
+    txn.add_argument("--clients", type=int, default=12)
+    txn.add_argument("--ops", type=int, default=30,
+                     help="logical requests per client")
+    txn.add_argument("--txn-fraction", type=float, default=0.35,
+                     help="fraction of requests run as multi-key transactions")
+    txn.add_argument("--no-faults", dest="faults", action="store_false",
+                     help="skip the crash-at-prepare / crash-after-decision "
+                     "fault injection")
+    txn.add_argument("--seed", type=int, default=0)
+    txn.set_defaults(handler=_cmd_txn)
     return parser
 
 

@@ -15,7 +15,11 @@ attack):
 - :mod:`repro.consistency.fork_linearizability` — checks a set of client
   views (derived from enclave audit logs + client observations) for
   fork-linearizability: per-view correctness, own-operation inclusion,
-  real-time order, and the no-join property across forks.
+  real-time order, and the no-join property across forks;
+- :mod:`repro.consistency.transactions` — cross-shard transaction
+  atomicity over the per-shard audit logs: all-or-nothing decisions,
+  coordinator consistency, and detection of a forked shard withholding
+  a completed decision from some clients.
 """
 
 from repro.consistency.fork_linearizability import (
@@ -30,8 +34,16 @@ from repro.consistency.stable_subsequence import (
     check_stable_subsequence_linearizable,
     stable_subsequence,
 )
+from repro.consistency.transactions import (
+    CoordinatorDecision,
+    TxnEvidence,
+    check_transaction_atomicity,
+)
 
 __all__ = [
+    "CoordinatorDecision",
+    "TxnEvidence",
+    "check_transaction_atomicity",
     "History",
     "OperationRecord",
     "ClientView",

@@ -1,0 +1,198 @@
+"""Cross-shard transaction atomicity checking.
+
+The per-shard checker (:mod:`repro.consistency.fork_linearizability`)
+certifies each LCM group's history independently; it cannot see that a
+transaction spanning two groups committed on one and vanished on the
+other, because each half is a perfectly well-formed operation in its own
+chain.  This module adds the missing cross-shard phase: it extracts the
+transaction lifecycle records (prepare / commit / abort, see
+:mod:`repro.kvstore.functionality`) from every audit log a global
+observer holds — live generations, their forked instances, and retired
+generations — and verifies, against the coordinator's decision log:
+
+1. **no divergent applied decisions** — no transaction has a commit
+   *applied* in one history and an abort *applied* in another (any
+   shard, any generation, any fork instance);
+2. **coordinator consistency** — every applied decision matches what the
+   coordinator decided, and no history carries a decision for a
+   transaction the coordinator never ran (decisions cannot be forged —
+   they are kC-sealed client operations — so a mismatch means the
+   evidence was tampered with or a client went rogue);
+3. **no withheld decisions** — for every transaction whose decision
+   fully completed at the coordinator, every *live* history of a
+   participant shard that contains the prepare must also contain the
+   decision.  This is the fork detector: a forked enclave instance
+   serving some clients a history where the transaction is still
+   prepared — while the primary applied the commit — is exactly "the
+   shard answered commit to one client and abort (by omission) to
+   another".  Histories of *crashed* generations are exempt: their
+   decision was physically lost with the hardware, and the coordinator's
+   replay lands on the next generation (where rule 2 still checks it).
+
+Violations are reported as :class:`~repro.errors.TxnAtomicityViolation`
+values (never raised from here — the router's merged verdict collects
+them per run, and ``check_fork_linearizable`` raises the first one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import serde
+from repro.core.context import AuditRecord
+from repro.errors import TxnAtomicityViolation
+from repro.kvstore.functionality import (
+    TXN_ABORTED,
+    TXN_COMMITTED,
+    TXN_PREPARED,
+    parse_txn_operation,
+)
+
+
+@dataclass
+class CoordinatorDecision:
+    """One entry of the coordinator's decision log."""
+
+    txn_id: str
+    decision: str                 # "C" | "A"
+    participants: tuple[int, ...]  # shard ids the prepare went to
+    complete: bool                # every decision round-tripped
+
+
+@dataclass
+class TxnEvidence:
+    """One audit log a global observer holds, tagged with provenance.
+
+    ``live`` is True for the current generation's histories (the primary
+    and any forked instances) — the ones rule 3 applies to; retired
+    generations (crashes, removals) pass ``live=False``.
+    """
+
+    shard_id: int
+    log: list[AuditRecord]
+    live: bool
+
+
+@dataclass
+class _TxnTrace:
+    """What one log says about one transaction."""
+
+    #: a prepare that *voted PREPARED* (and so holds locks awaiting a
+    #: decision) — a conflict-rejected prepare locks nothing and is
+    #: legitimately never followed by a decision
+    prepared: bool = False
+    #: decisions present in the log (any result — a no-op replay still
+    #: proves the decision was shown to this history)
+    decisions: set[str] = field(default_factory=set)
+    #: decisions that actually mutated state (result marker COMMITTED /
+    #: ABORTED rather than ALREADY / UNKNOWN)
+    applied: set[str] = field(default_factory=set)
+
+
+def _extract_traces(log: list[AuditRecord]) -> dict[str, _TxnTrace]:
+    traces: dict[str, _TxnTrace] = {}
+    for record in log:
+        try:
+            operation = serde.decode(record.operation)
+        except Exception:
+            continue  # chain verification elsewhere flags malformed logs
+        parsed = parse_txn_operation(operation)
+        if parsed is None:
+            continue
+        kind, txn_id, _payload = parsed
+        trace = traces.get(txn_id)
+        if trace is None:
+            trace = traces[txn_id] = _TxnTrace()
+        try:
+            result = serde.decode(record.result)
+        except Exception:
+            result = None
+        if kind == "prepare":
+            if isinstance(result, list) and result and result[0] == TXN_PREPARED:
+                trace.prepared = True
+            continue
+        decision = "C" if kind == "commit" else "A"
+        trace.decisions.add(decision)
+        if isinstance(result, list) and result:
+            if result[0] == TXN_COMMITTED:
+                trace.applied.add("C")
+            elif result[0] == TXN_ABORTED:
+                trace.applied.add("A")
+    return traces
+
+
+def check_transaction_atomicity(
+    evidence: list[TxnEvidence],
+    decisions: dict[str, CoordinatorDecision],
+) -> list[TxnAtomicityViolation]:
+    """Run the three cross-shard checks; returns violations, never raises."""
+    violations: list[TxnAtomicityViolation] = []
+    per_log = [
+        (entry, _extract_traces(entry.log)) for entry in evidence
+    ]
+
+    # 1 + 2: applied decisions agree globally and with the coordinator
+    applied_by_txn: dict[str, dict[str, list[int]]] = {}
+    for entry, traces in per_log:
+        for txn_id, trace in traces.items():
+            for decision in trace.applied:
+                applied_by_txn.setdefault(txn_id, {}).setdefault(
+                    decision, []
+                ).append(entry.shard_id)
+            coordinated = decisions.get(txn_id)
+            if trace.decisions and coordinated is None:
+                violations.append(
+                    TxnAtomicityViolation(
+                        f"shard {entry.shard_id} history carries a decision "
+                        f"for transaction {txn_id!r} the coordinator never "
+                        "ran"
+                    )
+                )
+    for txn_id, applied in applied_by_txn.items():
+        if len(applied) > 1:
+            violations.append(
+                TxnAtomicityViolation(
+                    f"transaction {txn_id!r} has a commit applied on shard(s) "
+                    f"{sorted(applied.get('C', []))} and an abort applied on "
+                    f"shard(s) {sorted(applied.get('A', []))}"
+                )
+            )
+            continue
+        coordinated = decisions.get(txn_id)
+        if coordinated is None:
+            continue  # already reported per log above
+        (decision,) = applied
+        if decision != coordinated.decision:
+            violations.append(
+                TxnAtomicityViolation(
+                    f"transaction {txn_id!r} was "
+                    f"{'committed' if decision == 'C' else 'aborted'} on "
+                    f"shard(s) {sorted(applied[decision])} but the "
+                    "coordinator decided "
+                    f"{'commit' if coordinated.decision == 'C' else 'abort'}"
+                )
+            )
+
+    # 3: no live history may withhold a completed decision from a prepare
+    for entry, traces in per_log:
+        if not entry.live:
+            continue
+        for txn_id, trace in traces.items():
+            if not trace.prepared or trace.decisions:
+                continue
+            coordinated = decisions.get(txn_id)
+            if coordinated is None or not coordinated.complete:
+                continue  # genuinely still in flight (or unknown: rule 2)
+            if entry.shard_id not in coordinated.participants:
+                continue
+            violations.append(
+                TxnAtomicityViolation(
+                    f"a live history of shard {entry.shard_id} holds the "
+                    f"prepare of transaction {txn_id!r} but never saw its "
+                    "completed "
+                    f"{'commit' if coordinated.decision == 'C' else 'abort'} "
+                    "— a forked instance is withholding the decision from "
+                    "its clients"
+                )
+            )
+    return violations

@@ -112,6 +112,7 @@ from repro.crypto.hashing import (
     GENESIS_HASH,
     RING_SPAN,
     chain_extend,
+    ring_point,
     secure_hash_many,
 )
 from repro.errors import (
@@ -161,6 +162,30 @@ _HANDOFF_AD = b"lcm/handoff"
 #: records never collide with a client's own operations and the offline
 #: checkers treat them as ordinary third-party history entries.
 HANDOFF_CLIENT_ID = 0
+
+
+class _HandoffSession:
+    """One cached handoff channel to an attested peer enclave.
+
+    Established during a full mutually attested handshake and kept in
+    volatile memory only (an epoch restart forgets it — the next handoff
+    re-attests).  ``send``/``recv`` are per-direction sequence numbers
+    folded into the bundle's associated data, so a host replaying an old
+    sealed bundle over the cached channel fails authentication exactly
+    as a forged bundle would.
+    """
+
+    __slots__ = ("channel", "send", "recv")
+
+    def __init__(self, channel: AeadKey) -> None:
+        self.channel = channel
+        self.send = 0
+        self.recv = 0
+
+
+def _session_ad(counter: int) -> bytes:
+    return _HANDOFF_AD + b"/session/" + counter.to_bytes(8, "big")
+
 
 def _list_header(count: int) -> bytes:
     """Container framing sourced from serde so the knowledge stays there."""
@@ -336,6 +361,7 @@ class LcmContext:
         self._dh: DhKeyPair | None = None
         self._migration_nonce: bytes | None = None
         self._handoff_nonce: bytes | None = None
+        self._handoff_sessions: dict[bytes, _HandoffSession] = {}
         self._migrated_out = False
         self.audit_log: list[AuditRecord] = []
         self._handlers: dict[str, Callable[[Any], Any]] = {
@@ -351,6 +377,8 @@ class LcmContext:
             "handoff_challenge": self._ecall_handoff_challenge,
             "handoff_export": self._ecall_handoff_export,
             "handoff_import": self._ecall_handoff_import,
+            "handoff_session_check": self._ecall_handoff_session_check,
+            "txn_status": self._ecall_txn_status,
             "export_audit_log": self._ecall_export_audit,
         }
 
@@ -1161,7 +1189,8 @@ class LcmContext:
             expected_measurement=self._env.measurement,
             nonce=self._handoff_nonce,
         )
-        return public_from_bytes(quote.user_data[16 : 16 + PUBLIC_KEY_BYTES])
+        peer_bytes = quote.user_data[16 : 16 + PUBLIC_KEY_BYTES]
+        return public_from_bytes(peer_bytes), peer_bytes
 
     def _sequence_handoff(self, operation: list, result: Any) -> None:
         """Fold a handoff operation into the chain exactly like a client
@@ -1206,6 +1235,68 @@ class LcmContext:
         self._handoff_nonce = self._env.secure_random(16)
         return self._handoff_nonce
 
+    def _guard_undecided_arcs(self, arcs: list) -> None:
+        """Refuse to export arcs holding keys locked by a prepared-but-
+        undecided transaction.  The decision for those keys is addressed
+        to *this* group's hash chain; moving them mid-lifecycle would
+        strand the prepare on one chain and its decision on another.
+        The control plane's barrier waits for transactions to resolve
+        before handing arcs over — this check is the enclave-side
+        enforcement of the same rule.
+        """
+        locked = getattr(self._functionality, "locked_keys", None)
+        if locked is None:
+            return
+        held = locked(self._state)
+        if not held:
+            return
+        stranded = sorted(
+            key
+            for key in held
+            if any(lo <= ring_point(key) < hi for lo, hi in arcs)
+        )
+        if stranded:
+            raise ConfigurationError(
+                f"arcs hold {len(stranded)} key(s) locked by prepared-but-"
+                f"undecided transaction(s) {sorted(set(held[k] for k in stranded))}; "
+                "refusing to hand them off before their decision lands"
+            )
+
+    def _cache_handoff_session(
+        self, peer_bytes: bytes, channel: AeadKey
+    ) -> _HandoffSession:
+        """Remember the attested channel for session reuse; bounded so
+        long-lived groups never accumulate stale per-handshake entries
+        (each full handshake mints fresh peer DH keys)."""
+        while len(self._handoff_sessions) >= 32:
+            self._handoff_sessions.pop(next(iter(self._handoff_sessions)))
+        session = self._handoff_sessions[peer_bytes] = _HandoffSession(channel)
+        return session
+
+    def _handoff_session(self, payload: dict) -> _HandoffSession:
+        if not self._provisioned:
+            raise ConfigurationError(
+                "only a provisioned context takes part in a handoff"
+            )
+        if HANDOFF_CLIENT_ID in self._entries:
+            # same precondition the full-handshake path enforces: handoff
+            # records are sequenced under the reserved client id, which
+            # must not collide with a real member enrolled since the
+            # session was established
+            raise ConfigurationError(
+                f"client id {HANDOFF_CLIENT_ID} is reserved for handoff records"
+            )
+        session = self._handoff_sessions.get(payload["session_peer"])
+        if session is None:
+            raise ConfigurationError("unknown handoff session peer")
+        return session
+
+    def _ecall_handoff_session_check(self, peer: bytes) -> bool:
+        """Whether this context still holds a cached handoff channel for
+        ``peer`` (an epoch restart wipes them).  The session-reuse path
+        probes both sides *before* the export removes any key."""
+        return self._provisioned and peer in self._handoff_sessions
+
     def _ecall_handoff_export(self, payload: dict) -> dict:
         """Source side: verify the peer, cut the keys on the requested
         ring arcs out of the service state, and seal them to the peer.
@@ -1215,29 +1306,58 @@ class LcmContext:
         chained as a sequenced operation *before* the bundle is released,
         so a source that is later rolled back past the handoff is caught
         by its own clients exactly as for any other lost operation.
+
+        Two channel modes: a full mutually attested handshake (payload
+        carries ``quote``/``verifier``), which also caches the derived
+        channel per peer for later reuse; or a cached session (payload
+        carries ``session_peer``), which skips the four DH operations and
+        seals under the cached key with a per-direction sequence number
+        in the associated data (replay-proof without fresh nonces from
+        attestation).
         """
-        peer_public = self._verify_handoff_peer(payload)
         arcs = self._check_arcs(payload["arcs"])
-        channel = self._dh.shared_key(peer_public)
+        if "session_peer" in payload:
+            session = self._handoff_session(payload)
+            channel = session.channel
+            associated_data = _session_ad(session.send)
+        else:
+            peer_public, peer_bytes = self._verify_handoff_peer(payload)
+            channel = self._dh.shared_key(peer_public)
+            session = self._cache_handoff_session(peer_bytes, channel)
+            associated_data = _HANDOFF_AD
+        self._guard_undecided_arcs(arcs)
         operation = [HANDOFF_EXPORT_VERB, arcs]
         items, next_state = self._functionality.apply(self._state, operation)
         self._state = next_state
         self._sequence_handoff(operation, items)
         sealed = auth_encrypt(
-            serde.encode([items]), channel, associated_data=_HANDOFF_AD
+            serde.encode([items]), channel, associated_data=associated_data
         )
+        if "session_peer" in payload:
+            session.send += 1
         self._handoff_nonce = None
         self._seal_and_store()
         return {"bundle": sealed, "moved": len(items)}
 
     def _ecall_handoff_import(self, payload: dict) -> int:
-        """Target side: verify the peer, open the bundle over the DH
-        channel, and install the items as a sequenced operation."""
-        peer_public = self._verify_handoff_peer(payload)
-        channel = self._dh.shared_key(peer_public)
-        plain = auth_decrypt(
-            payload["bundle"], channel, associated_data=_HANDOFF_AD
-        )
+        """Target side: verify the peer (or reuse the cached session),
+        open the bundle over the channel, and install the items as a
+        sequenced operation."""
+        if "session_peer" in payload:
+            session = self._handoff_session(payload)
+            plain = auth_decrypt(
+                payload["bundle"],
+                session.channel,
+                associated_data=_session_ad(session.recv),
+            )
+            session.recv += 1
+        else:
+            peer_public, peer_bytes = self._verify_handoff_peer(payload)
+            channel = self._dh.shared_key(peer_public)
+            self._cache_handoff_session(peer_bytes, channel)
+            plain = auth_decrypt(
+                payload["bundle"], channel, associated_data=_HANDOFF_AD
+            )
         (items,) = serde.decode(plain)
         operation = [HANDOFF_IMPORT_VERB, items]
         count, next_state = self._functionality.apply(self._state, operation)
@@ -1257,6 +1377,23 @@ class LcmContext:
             "clients": sorted(self._entries),
             "halted": self._halted is not None,
             "migrated_out": self._migrated_out,
+        }
+
+    def _ecall_txn_status(self, _payload: Any) -> dict:
+        """Transaction-lifecycle snapshot: prepared-but-undecided
+        transactions and the number of keys they hold locked.  Read by
+        the dispatcher's batch-boundary gate and the control plane's
+        quiescence barrier (neither may treat a boundary as cuttable
+        while a prepare awaits its decision).  Exposes only ids and
+        counts — the same metadata class as :meth:`_ecall_status`.
+        """
+        helper = getattr(self._functionality, "pending_transactions", None)
+        if not self._provisioned or helper is None:
+            return {"pending": {}, "locked_keys": 0}
+        pending = helper(self._state)
+        return {
+            "pending": {txn_id: len(keys) for txn_id, keys in pending.items()},
+            "locked_keys": sum(len(keys) for keys in pending.values()),
         }
 
     def _ecall_export_audit(self, _payload: Any) -> list[AuditRecord]:

@@ -57,6 +57,14 @@ class StaleSequenceNumber(SecurityViolation):
     """A client presented a sequence number inconsistent with V (Alg. 2)."""
 
 
+class TxnAtomicityViolation(SecurityViolation):
+    """A cross-shard transaction's audit evidence is not atomic: its
+    participant histories disagree about the decision (one applied a
+    commit another applied an abort, a decision contradicts the
+    coordinator's log, or a live history — e.g. a forked enclave
+    instance — was shown the prepare but never its completed decision)."""
+
+
 class EnclaveError(LCMError):
     """Lifecycle misuse of a trusted execution context (not an attack)."""
 

@@ -597,6 +597,244 @@ def run_elastic_scaling(
     )
 
 
+# ------------------------------------------------- cross-shard txns (new)
+
+
+def run_cross_shard(
+    *,
+    shards: int = 3,
+    clients: int = 12,
+    requests_per_client: int = 30,
+    txn_fraction: float = 0.35,
+    txn_size: int = 3,
+    object_size: int = 100,
+    distribution: str = "zipfian",
+    faults: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Cross-shard atomic commit under fire: a transactional YCSB mix.
+
+    Closed-loop clients drive a YCSB-A-flavoured stream where a fraction
+    of logical requests are *multi-key transactions* — ``txn_size``
+    distinct keys read-modified-written atomically through the router's
+    two-phase coordinator (:meth:`~repro.sharding.ShardRouter.submit_txn`)
+    — and the rest are ordinary single-key operations (which transparently
+    retry when they land on a key locked by a pending transaction).
+    Conflicting transactions abort deterministically and are resubmitted
+    with a per-client stagger.
+
+    With ``faults`` (the acceptance configuration) the run additionally
+    injects the two classic 2PC crash windows, each followed by a
+    recovery:
+
+    - **crash-at-prepare** — a participant's hardware dies right after
+      the coordinator handed its prepare to the wire: the vote is lost,
+      the failover router replays the prepare onto the recovered
+      generation, and the transaction still decides exactly once;
+    - **crash-after-decision** — a participant dies with the commit in
+      flight: the decision replays after recovery and must be a no-op
+      there (idempotence), never a double-apply.
+
+    The acceptance bar: every logical request completes, transactions
+    span at least two shards, and the merged verdict — per-shard
+    fork-linearizability plus the cross-shard transaction checks — shows
+    zero violations.
+    """
+    from repro.net.latency import LatencyModel
+    from repro.sharding import ShardRouter, ShardedCluster
+    from repro.workload.ycsb import WORKLOAD_A, WorkloadGenerator
+
+    if shards < 2:
+        raise ValueError("cross-shard transactions need at least two shards")
+    cluster = ShardedCluster(
+        shards=shards,
+        clients=clients,
+        seed=seed,
+        latency=LatencyModel(propagation=100e-6, jitter_fraction=0.2, seed=seed),
+    )
+    router = ShardRouter(cluster, failover=True)
+    workload = WORKLOAD_A.with_params(
+        distribution=distribution, value_size=object_size
+    )
+    generator = WorkloadGenerator(workload, seed=seed)
+    import random as _random
+
+    mix = _random.Random(seed + 101)
+
+    def next_request() -> tuple[str, list]:
+        if mix.random() < txn_fraction:
+            # a read-modify-write over txn_size *distinct* keys; key
+            # choice reuses the workload's (zipfian/uniform) chooser so
+            # hot keys collide across clients and conflicts are real
+            chosen: list[str] = []
+            while len(chosen) < txn_size:
+                key = generator.sample_key()
+                if key not in chosen:
+                    chosen.append(key)
+            operations = []
+            for index, key in enumerate(chosen):
+                if index % 2 == 0:
+                    operations.append(("PUT", key, generator.value()))
+                else:
+                    operations.append(("GET", key))
+            return "txn", operations
+        return "plain", generator.next_operations()
+
+    streams = {
+        client_id: [next_request() for _ in range(requests_per_client)]
+        for client_id in cluster.client_ids
+    }
+    completed = {"requests": 0, "txn_requests": 0, "conflict_retries": 0}
+    exhausted: list[str] = []
+    MAX_TXN_ATTEMPTS = 50
+
+    def start(client_id: int) -> None:
+        def pump(_result=None) -> None:
+            stream = streams[client_id]
+            if not stream:
+                return
+            kind, request = stream.pop(0)
+            if kind == "txn":
+                run_txn(request, attempt=0)
+            elif len(request) == 1:
+                router.submit(client_id, request[0], complete_plain)
+            else:
+                router.submit_many(client_id, request, complete_plain)
+
+        def complete_plain(_result) -> None:
+            completed["requests"] += 1
+            pump()
+
+        def run_txn(operations: list, attempt: int) -> None:
+            def on_txn(result) -> None:
+                if result.committed:
+                    completed["requests"] += 1
+                    completed["txn_requests"] += 1
+                    pump()
+                    return
+                if attempt + 1 >= MAX_TXN_ATTEMPTS:
+                    exhausted.append(result.txn_id)
+                    pump()
+                    return
+                completed["conflict_retries"] += 1
+                # deterministic per-client stagger breaks conflict
+                # lockstep without wall-clock randomness
+                delay = (
+                    ShardedCluster.SERVICE_INTERVAL
+                    * (1 + attempt)
+                    * (1.0 + 0.13 * client_id)
+                )
+                cluster.sim.schedule(
+                    delay,
+                    lambda: run_txn(operations, attempt + 1),
+                    label=f"txn-retry-c{client_id}",
+                )
+
+            router.submit_txn(client_id, operations, on_txn)
+
+        pump()
+
+    fault_events: list[tuple[str, int]] = []
+    if faults:
+        cross_seen = {"prepare": 0, "decision": 0}
+
+        def phase_hook(phase: str, record) -> None:
+            if len(record.participants) < 2:
+                return
+            if phase == "prepare-sent":
+                cross_seen["prepare"] += 1
+                if cross_seen["prepare"] == 4 and not fault_events:
+                    victim = sorted(record.participants)[0]
+                    fault_events.append(("crash-at-prepare", victim))
+                    cluster.crash_shard(victim)
+                    cluster.recover_shard(
+                        victim, at=30 * ShardedCluster.SERVICE_INTERVAL
+                    )
+            elif phase == "decision-sent":
+                cross_seen["decision"] += 1
+                if cross_seen["decision"] >= 10 and len(fault_events) == 1:
+                    victim = sorted(record.participants)[-1]
+                    if cluster.shard_healthy(victim) and not cluster.control.busy:
+                        fault_events.append(("crash-after-decision", victim))
+                        cluster.crash_shard(victim)
+                        cluster.recover_shard(
+                            victim, at=30 * ShardedCluster.SERVICE_INTERVAL
+                        )
+
+        router.txn_phase_hook = phase_hook
+
+    for client_id in cluster.client_ids:
+        start(client_id)
+    cluster.run()
+
+    verdict = router.verdict()
+    elapsed = cluster.sim.now
+    total_requests = clients * requests_per_client
+    cross_shard_txns = sum(
+        1
+        for record in router.txn_log.values()
+        if len(record.participants) >= 2
+    )
+    max_participants = max(
+        (len(record.participants) for record in router.txn_log.values()),
+        default=0,
+    )
+    series: dict[str, list] = {
+        "fault": [kind for kind, _ in fault_events],
+        "fault_shard": [shard_id for _, shard_id in fault_events],
+        "violations_by_shard": [
+            0 if verdict.shards[shard_id].ok else 1
+            for shard_id in sorted(verdict.shards)
+        ],
+    }
+    return ExperimentResult(
+        experiment="cross_shard",
+        description=(
+            f"Cross-shard atomic commit over a {distribution} YCSB mix "
+            f"({int(txn_fraction * 100)}% multi-key transactions)"
+        ),
+        parameters={
+            "shards": shards,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "txn_fraction": txn_fraction,
+            "txn_size": txn_size,
+            "object_size": object_size,
+            "distribution": distribution,
+            "faults": faults,
+            "seed": seed,
+        },
+        series=series,
+        ratios={
+            "ops_per_second": (
+                cluster.stats.operations_completed / elapsed if elapsed else 0.0
+            ),
+            "requests_completed": completed["requests"],
+            "all_requests_completed": (
+                completed["requests"] == total_requests and not exhausted
+            ),
+            "txn_requests_completed": completed["txn_requests"],
+            "transactions_committed": router.transactions_committed,
+            "transactions_aborted": router.transactions_aborted,
+            "conflict_retries": completed["conflict_retries"],
+            "cross_shard_txns": cross_shard_txns,
+            "max_participants": max_participants,
+            "spans_multiple_shards": cross_shard_txns > 0,
+            "lock_retries": router.operations_lock_retried,
+            "faults_injected": len(fault_events),
+            "recoveries_completed": cluster.stats.recoveries,
+            "zero_violations": verdict.ok,
+            "txn_violations": len(verdict.txn_violations),
+        },
+        paper_expectation={
+            # not a paper figure: the ISSUE's acceptance bar for this PR
+            "zero_violations": True,
+            "all_requests_completed": True,
+            "spans_multiple_shards": True,
+        },
+    )
+
+
 # ----------------------------------------------------------------- Sec 6.5
 
 

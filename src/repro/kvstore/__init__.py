@@ -11,7 +11,13 @@ application is a key-value store with GET/PUT/DEL (Sec. 5.3).
 """
 
 from repro.kvstore.counter import CounterFunctionality
-from repro.kvstore.functionality import Functionality, Operation
+from repro.kvstore.functionality import (
+    Functionality,
+    Operation,
+    txn_abort,
+    txn_commit,
+    txn_prepare,
+)
 from repro.kvstore.kvs import KvsFunctionality, delete, get, put
 
 __all__ = [
@@ -22,4 +28,7 @@ __all__ = [
     "get",
     "put",
     "delete",
+    "txn_prepare",
+    "txn_commit",
+    "txn_abort",
 ]

@@ -39,6 +39,105 @@ Operation = Any
 HANDOFF_EXPORT_VERB = "__LCM_EXPORT_RANGE__"
 HANDOFF_IMPORT_VERB = "__LCM_IMPORT_RANGE__"
 
+#: Cross-shard transaction verbs (coordinator/participant lifecycle).
+#: Unlike the handoff verbs these *are* ordinary client operations: the
+#: transaction coordinator (the shard router, acting for the client)
+#: submits them through the client's per-shard Alg. 1 machine, so every
+#: prepare and every decision is sequenced, hash-chained and sealed like
+#: any other operation — tampering with either is caught by the checkers
+#: exactly as for a lost PUT.
+#:
+#: ``(TXN_PREPARE_VERB, txn_id, [[verb, key, value?], ...])``
+#:     Phase 1.  Execute the reads, buffer the writes, and lock every
+#:     touched key.  Votes ``[TXN_PREPARED, [result, ...]]`` (the per
+#:     sub-operation results, computed with earlier writes of the same
+#:     transaction visible) when every key is free, or
+#:     ``[TXN_CONFLICT, holder_txn_id]`` — with **no** state change —
+#:     when any key is already locked by another pending transaction.
+#: ``(TXN_COMMIT_VERB, txn_id)``
+#:     Phase 2, commit: apply the buffered writes, release the locks.
+#:     Replays are idempotent: a commit for an already-committed
+#:     transaction answers ``[TXN_ALREADY, "C"]`` without reapplying,
+#:     and one for a transaction this state never prepared (e.g. a
+#:     decision replayed onto a recovered generation) answers
+#:     ``[TXN_UNKNOWN]`` as a no-op.
+#: ``(TXN_ABORT_VERB, txn_id)``
+#:     Phase 2, abort: discard the buffer, release the locks.  Same
+#:     idempotence contract.
+#:
+#: While a key is locked, single-key GET/PUT/DEL on it answer
+#: ``[TXN_LOCKED, holder_txn_id]`` — a deterministic rejection (the
+#: router retries) rather than a blocking wait, because ``apply`` is a
+#: pure state machine.  Rejecting reads too is what makes the committed
+#: transaction atomic for observers: no client can see one shard's half
+#: of a transaction while another shard still holds the other half
+#: prepared.
+TXN_PREPARE_VERB = "__LCM_TXN_PREPARE__"
+TXN_COMMIT_VERB = "__LCM_TXN_COMMIT__"
+TXN_ABORT_VERB = "__LCM_TXN_ABORT__"
+
+#: Result markers (list heads) shared by the participant functionality,
+#: the coordinator and the offline transaction checker.
+TXN_PREPARED = "__LCM_TXN_PREPARED__"
+TXN_CONFLICT = "__LCM_TXN_CONFLICT__"
+TXN_COMMITTED = "__LCM_TXN_COMMITTED__"
+TXN_ABORTED = "__LCM_TXN_ABORTED__"
+TXN_ALREADY = "__LCM_TXN_ALREADY__"
+TXN_UNKNOWN = "__LCM_TXN_UNKNOWN__"
+TXN_LOCKED = "__LCM_TXN_LOCKED__"
+#: Deterministic rejection of any single-key operation naming a key in
+#: the reserved ``__LCM_TXN_`` namespace — the transaction bookkeeping
+#: must be unreachable through the ordinary data path (a client write
+#: there would corrupt the lock table every other check parses).
+TXN_RESERVED = "__LCM_TXN_RESERVED__"
+
+
+def txn_prepare(txn_id: str, operations: list) -> tuple:
+    """Build a participant PREPARE operation from ``(verb, key[, value])``
+    sub-operations (the coordinator's phase-1 message)."""
+    return (TXN_PREPARE_VERB, txn_id, [list(op) for op in operations])
+
+
+def txn_commit(txn_id: str) -> tuple:
+    """Build a participant COMMIT decision."""
+    return (TXN_COMMIT_VERB, txn_id)
+
+
+def txn_abort(txn_id: str) -> tuple:
+    """Build a participant ABORT decision."""
+    return (TXN_ABORT_VERB, txn_id)
+
+
+def parse_txn_operation(operation: Any) -> tuple[str, str, Any] | None:
+    """Decompose a transaction operation into ``(kind, txn_id, payload)``.
+
+    ``kind`` is ``"prepare"`` / ``"commit"`` / ``"abort"``; ``payload``
+    is the sub-operation list for prepares and ``None`` for decisions.
+    Returns ``None`` for anything that is not a transaction operation —
+    the one parser shared by the coordinator, the dispatcher boundary
+    logic and the offline checker, so the wire shape cannot drift.
+    """
+    if not isinstance(operation, (tuple, list)) or not operation:
+        return None
+    verb = operation[0]
+    if verb == TXN_PREPARE_VERB and len(operation) == 3:
+        return ("prepare", operation[1], operation[2])
+    if verb == TXN_COMMIT_VERB and len(operation) == 2:
+        return ("commit", operation[1], None)
+    if verb == TXN_ABORT_VERB and len(operation) == 2:
+        return ("abort", operation[1], None)
+    return None
+
+
+def is_txn_decision(operation: Any) -> bool:
+    """True for COMMIT/ABORT decisions — the operations that must keep
+    flowing to a fenced shard so its prepared transactions can resolve."""
+    return (
+        isinstance(operation, (tuple, list))
+        and len(operation) == 2
+        and (operation[0] == TXN_COMMIT_VERB or operation[0] == TXN_ABORT_VERB)
+    )
+
 
 @runtime_checkable
 class Functionality(Protocol):

@@ -18,7 +18,21 @@ from typing import Any
 
 from repro.crypto.hashing import ring_point
 from repro.errors import LCMError
-from repro.kvstore.functionality import HANDOFF_EXPORT_VERB, HANDOFF_IMPORT_VERB
+from repro.kvstore.functionality import (
+    HANDOFF_EXPORT_VERB,
+    HANDOFF_IMPORT_VERB,
+    TXN_ABORT_VERB,
+    TXN_ABORTED,
+    TXN_ALREADY,
+    TXN_COMMIT_VERB,
+    TXN_COMMITTED,
+    TXN_CONFLICT,
+    TXN_LOCKED,
+    TXN_PREPARE_VERB,
+    TXN_PREPARED,
+    TXN_RESERVED,
+    TXN_UNKNOWN,
+)
 
 
 class UnknownOperation(LCMError):
@@ -28,6 +42,25 @@ class UnknownOperation(LCMError):
 GET = "GET"
 PUT = "PUT"
 DEL = "DEL"
+
+#: Transaction bookkeeping lives *inside* the service state under
+#: reserved keys, so it is sealed, hash-chained and replayed by the
+#: offline checkers exactly like user data — a host that tampers with a
+#: prepared buffer or a recorded decision diverges the chain.  The keys
+#: exist only while non-empty, which keeps the sealed bytes of a
+#: transaction-free state byte-identical to the pre-transaction layout
+#: (and the single-key fast path pays only one failed dict lookup).
+_TXN_PENDING_KEY = "__LCM_TXN_PENDING__"   # txn_id -> [[locks], [writes]]
+_TXN_LOCKS_KEY = "__LCM_TXN_LOCKS__"       # key -> holder txn_id
+_TXN_DECIDED_KEY = "__LCM_TXN_DECIDED__"   # txn_id -> "C" | "A" (bounded)
+_TXN_RESERVED_PREFIX = "__LCM_TXN_"
+
+#: Decision-record retention: enough to make every realistic decision
+#: replay idempotent without growing the sealed state without bound.
+#: Eviction is insertion-ordered, hence deterministic under replay.
+_TXN_DECIDED_MAX = 256
+
+_DELETED = object()  # prepare-overlay tombstone
 
 
 def _on_arcs(point: int, arcs) -> bool:
@@ -64,27 +97,58 @@ class KvsFunctionality:
         verb = operation[0]
         if verb == GET:
             (_, key) = operation
+            if type(key) is str and key.startswith(_TXN_RESERVED_PREFIX):
+                return [TXN_RESERVED, key], state
+            locks = state.get(_TXN_LOCKS_KEY)
+            if locks is not None and key in locks:
+                return [TXN_LOCKED, locks[key]], state
             return state.get(key), state
         if verb == PUT:
             (_, key, value) = operation
+            if type(key) is str and key.startswith(_TXN_RESERVED_PREFIX):
+                return [TXN_RESERVED, key], state
+            locks = state.get(_TXN_LOCKS_KEY)
+            if locks is not None and key in locks:
+                return [TXN_LOCKED, locks[key]], state
             next_state = dict(state)
             previous = next_state.get(key)
             next_state[key] = value
             return previous, next_state
         if verb == DEL:
             (_, key) = operation
+            if type(key) is str and key.startswith(_TXN_RESERVED_PREFIX):
+                return [TXN_RESERVED, key], state
+            locks = state.get(_TXN_LOCKS_KEY)
+            if locks is not None and key in locks:
+                return [TXN_LOCKED, locks[key]], state
             if key not in state:
                 return None, state
             next_state = dict(state)
             previous = next_state.pop(key)
             return previous, next_state
+        if verb == TXN_PREPARE_VERB:
+            (_, txn_id, sub_ops) = operation
+            return self._txn_prepare(state, txn_id, sub_ops)
+        if verb == TXN_COMMIT_VERB:
+            (_, txn_id) = operation
+            return self._txn_decide(state, txn_id, commit=True)
+        if verb == TXN_ABORT_VERB:
+            (_, txn_id) = operation
+            return self._txn_decide(state, txn_id, commit=False)
         if verb == HANDOFF_EXPORT_VERB:
             # elastic resharding: drop exactly the keys on the reassigned
             # ring arcs; the sorted result is what the peer group installs
-            # (and what the offline checkers replay deterministically)
+            # (and what the offline checkers replay deterministically).
+            # Transaction bookkeeping never travels: the reserved keys
+            # describe *this* group's pending lifecycle, not user data.
             (_, arcs) = operation
             exported = sorted(
-                key for key in state if _on_arcs(ring_point(key), arcs)
+                key
+                for key in state
+                if not (
+                    type(key) is str and key.startswith(_TXN_RESERVED_PREFIX)
+                )
+                and _on_arcs(ring_point(key), arcs)
             )
             if not exported:
                 return [], state
@@ -99,3 +163,131 @@ class KvsFunctionality:
                 next_state[key] = value
             return len(items), next_state
         raise UnknownOperation(f"unknown verb {verb!r}")
+
+    # -------------------------------------------- transaction participant
+
+    def _txn_prepare(
+        self, state: dict, txn_id: str, sub_ops: list
+    ) -> tuple[Any, dict]:
+        """Phase 1: execute reads, buffer writes, lock every touched key.
+
+        All-or-nothing within the shard: any conflict (a key locked by
+        another pending transaction, or a duplicate/decided txn id)
+        rejects the whole prepare with **no** state change, so the
+        coordinator's abort needs no cleanup here.
+        """
+        pending = state.get(_TXN_PENDING_KEY)
+        decided = state.get(_TXN_DECIDED_KEY)
+        if (pending is not None and txn_id in pending) or (
+            decided is not None and txn_id in decided
+        ):
+            # a replayed or recycled txn id: never re-lock — the
+            # coordinator treats this as a NO vote and aborts
+            return [TXN_CONFLICT, txn_id], state
+        locks = state.get(_TXN_LOCKS_KEY)
+        overlay: dict = {}
+        touched: list[str] = []
+        writes: list[list] = []
+        results: list = []
+        for sub in sub_ops:
+            sub_verb = sub[0]
+            key = sub[1]
+            if not isinstance(key, (str, bytes)) or (
+                isinstance(key, str) and key.startswith(_TXN_RESERVED_PREFIX)
+            ):
+                raise UnknownOperation(
+                    f"transaction sub-operation key {key!r} is not allowed"
+                )
+            if locks is not None and key in locks:
+                return [TXN_CONFLICT, locks[key]], state
+            if key not in overlay:
+                overlay[key] = state.get(key, _DELETED)
+                touched.append(key)
+            current = overlay[key]
+            current = None if current is _DELETED else current
+            if sub_verb == GET:
+                results.append(current)
+            elif sub_verb == PUT:
+                results.append(current)
+                overlay[key] = sub[2]
+                writes.append([PUT, key, sub[2]])
+            elif sub_verb == DEL:
+                results.append(current)
+                overlay[key] = _DELETED
+                writes.append([DEL, key])
+            else:
+                raise UnknownOperation(
+                    f"transaction sub-operation verb {sub_verb!r} is not allowed"
+                )
+        next_state = dict(state)
+        next_pending = dict(pending) if pending is not None else {}
+        next_pending[txn_id] = [sorted(touched), writes]
+        next_state[_TXN_PENDING_KEY] = next_pending
+        next_locks = dict(locks) if locks is not None else {}
+        for key in touched:
+            next_locks[key] = txn_id
+        next_state[_TXN_LOCKS_KEY] = next_locks
+        return [TXN_PREPARED, results], next_state
+
+    def _txn_decide(
+        self, state: dict, txn_id: str, *, commit: bool
+    ) -> tuple[Any, dict]:
+        """Phase 2: resolve a prepared transaction.  Idempotent under
+        decision replay (failover re-sends decisions after a recovery):
+        a repeated decision answers from the bounded decision record, and
+        a decision for a transaction this state never prepared (a replay
+        onto a fresh generation) is a pure no-op."""
+        pending = state.get(_TXN_PENDING_KEY)
+        if pending is None or txn_id not in pending:
+            decided = state.get(_TXN_DECIDED_KEY)
+            if decided is not None and txn_id in decided:
+                return [TXN_ALREADY, decided[txn_id]], state
+            return [TXN_UNKNOWN], state
+        touched, writes = pending[txn_id]
+        next_state = dict(state)
+        next_pending = dict(pending)
+        del next_pending[txn_id]
+        if next_pending:
+            next_state[_TXN_PENDING_KEY] = next_pending
+        else:
+            del next_state[_TXN_PENDING_KEY]
+        locks = next_state.get(_TXN_LOCKS_KEY)
+        next_locks = dict(locks) if locks is not None else {}
+        for key in touched:
+            if next_locks.get(key) == txn_id:
+                del next_locks[key]
+        if next_locks:
+            next_state[_TXN_LOCKS_KEY] = next_locks
+        else:
+            next_state.pop(_TXN_LOCKS_KEY, None)
+        if commit:
+            for write in writes:
+                if write[0] == PUT:
+                    next_state[write[1]] = write[2]
+                else:  # DEL
+                    next_state.pop(write[1], None)
+        decided = state.get(_TXN_DECIDED_KEY)
+        next_decided = dict(decided) if decided is not None else {}
+        while len(next_decided) >= _TXN_DECIDED_MAX:
+            next_decided.pop(next(iter(next_decided)))
+        next_decided[txn_id] = "C" if commit else "A"
+        next_state[_TXN_DECIDED_KEY] = next_decided
+        return [TXN_COMMITTED if commit else TXN_ABORTED], next_state
+
+    # ------------------------------------------------- lifecycle queries
+
+    @staticmethod
+    def pending_transactions(state: dict) -> dict:
+        """``{txn_id: [locked keys]}`` of prepared-but-undecided
+        transactions — the trusted context's ``txn_status`` ecall and the
+        control plane's quiescence barrier read this."""
+        pending = state.get(_TXN_PENDING_KEY)
+        if not pending:
+            return {}
+        return {txn_id: list(entry[0]) for txn_id, entry in pending.items()}
+
+    @staticmethod
+    def locked_keys(state: dict) -> dict:
+        """``{key: holder txn_id}`` for every currently locked key."""
+        locks = state.get(_TXN_LOCKS_KEY)
+        return dict(locks) if locks else {}

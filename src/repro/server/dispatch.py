@@ -68,6 +68,19 @@ class GroupDispatcher:
         Optional hook that runs each time the enclave goes idle after a
         delivery, *before* the next batch is cut — the sharded runtime
         runs deferred rebalances at exactly this batch boundary.
+    boundary_gate:
+        Optional predicate refining what counts as a *cuttable* batch
+        boundary for ``on_idle``.  A cross-shard transaction's prepare
+        locks keys whose decision is still in flight: the moment between
+        the prepare's batch and the decision's batch is an enclave-idle
+        point but **not** a safe boundary (a rebalance or arc handoff
+        landing there would move keys a pending decision still
+        addresses).  When the gate returns False the idle hook is
+        skipped for this delivery and re-tried at the next one — which is
+        guaranteed to come, because the pending decision itself arrives
+        through this dispatcher (the idle hooks are level-triggered, so
+        nothing is lost by skipping).  Ordinary dispatching is
+        unaffected; only the boundary hook waits.
     """
 
     def __init__(
@@ -81,6 +94,7 @@ class GroupDispatcher:
         service_interval: float = ENCLAVE_SERVICE_INTERVAL,
         on_violation: Callable[[SecurityViolation], None] | None = None,
         on_idle: Callable[[], None] | None = None,
+        boundary_gate: Callable[[], bool] | None = None,
     ) -> None:
         self.queue: BatchQueue[tuple[int, bytes]] = BatchQueue(batch_limit)
         self.busy = False
@@ -92,6 +106,9 @@ class GroupDispatcher:
         self._service_interval = service_interval
         self._on_violation = on_violation
         self._on_idle = on_idle
+        self._boundary_gate = boundary_gate
+        #: deliveries whose boundary hook was withheld mid-transaction
+        self.boundaries_deferred = 0
 
     # ---------------------------------------------------------------- intake
 
@@ -137,14 +154,27 @@ class GroupDispatcher:
             for (client_id, _), reply in zip(batch, replies):
                 self._deliver(client_id, reply)
             self.busy = False
-            if self._on_idle is not None:
-                self._on_idle()
+            self._fire_idle()
             self.maybe_dispatch()
 
         # model the enclave service interval so more requests can queue
         self._sim.schedule(
             self._service_interval * len(batch), deliver, label=self._label
         )
+
+    def _fire_idle(self) -> None:
+        """Run the batch-boundary hook, withholding it while the boundary
+        gate reports the enclave mid-transaction.  No poll is scheduled:
+        the decision that re-opens the gate is itself a message through
+        this dispatcher, so its delivery re-fires the (level-triggered)
+        hook — and a run that ends with an unresolved transaction drains
+        instead of spinning."""
+        if self._on_idle is None:
+            return
+        if self._boundary_gate is None or self._boundary_gate():
+            self._on_idle()
+            return
+        self.boundaries_deferred += 1
 
     # --------------------------------------------------------------- queries
 

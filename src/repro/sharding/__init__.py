@@ -41,10 +41,14 @@ from repro.sharding.router import (
     ShardRouter,
     ShardVerdict,
     ShardedVerdict,
+    TxnRecord,
+    TxnResult,
     routing_key,
 )
 
 __all__ = [
+    "TxnRecord",
+    "TxnResult",
     "ArcMove",
     "ControlPlane",
     "GenerationEvidence",

@@ -335,6 +335,7 @@ class ShardedCluster:
                 shard, violation
             ),
             on_idle=lambda shard=shard: self._at_batch_boundary(shard),
+            boundary_gate=lambda shard=shard: self._txn_boundary_clear(shard),
         )
         for client_id in self._client_ids:
             up = Channel(
@@ -383,6 +384,39 @@ class ShardedCluster:
         if shard.violation is None:
             shard.violation = violation
         shard.dispatcher.halt()
+
+    def _txn_boundary_clear(self, shard: _Shard) -> bool:
+        """Dispatcher boundary gate: an enclave-idle moment between a
+        transaction's prepare and its decision is not a cuttable batch
+        boundary (see :class:`~repro.server.dispatch.GroupDispatcher`).
+        The only boundary action this cluster runs is a deferred
+        rebalance, so the gate is a constant-time open unless one is
+        actually pending — the txn_status ecall stays off the per-batch
+        path.  A halted or crashed shard gates open — its boundary hooks
+        are moot and its enclave refuses ecalls anyway."""
+        if not shard.rebalance_requested:
+            return True
+        if not shard.healthy:
+            return True
+        try:
+            status = shard.host.enclave.ecall("txn_status", None)
+        except LCMError:
+            return True
+        return not status["pending"]
+
+    def shard_txn_pending(self, shard_id: int) -> int:
+        """Prepared-but-undecided transactions on one shard (0 for a
+        down shard — nothing can drain there).  The control plane's
+        quiescence barrier refuses to hand arcs off while this is
+        non-zero; the keys a pending decision addresses are unmovable."""
+        shard = self._shards.get(shard_id)
+        if shard is None or not shard.healthy:
+            return 0
+        try:
+            status = shard.host.enclave.ecall("txn_status", None)
+        except LCMError:
+            return 0
+        return len(status["pending"])
 
     def _at_batch_boundary(self, shard: _Shard) -> None:
         """Dispatcher idle hook: run a deferred rebalance, if any."""

@@ -34,23 +34,37 @@ executing on the source *after* its keys left would see a hole).  The
 control plane therefore runs every reshard through a barrier:
 
 1. **fence** — the involved shards are marked fenced; the router parks
-   new submissions to them (completions of in-flight operations are
-   unaffected);
+   new submissions to them (completions of in-flight operations — and
+   transaction *decisions*, which must reach a prepared participant —
+   are unaffected);
 2. **drain** — the plan waits, polling on the virtual clock, until every
    involved shard sits at a batch boundary with nothing pending: enclave
-   idle, batch queue empty, client machines idle, links empty;
+   idle, batch queue empty, client machines idle, links empty, and **no
+   prepared-but-undecided transaction** (a prepared write's keys are
+   addressed by a decision still to come — they are unmovable until it
+   lands, so the barrier waits it out rather than stranding the prepare
+   on one chain and its decision on another);
 3. **act** — the per-arc handoffs run, the ring is swapped atomically,
    the shards are unfenced and the router replays the parked operations
    against the *new* ring.
 
 The barrier makes the reshard a linearization point: every operation
 submitted before the fence completes against the old ring, everything
-parked lands on the new one.  Plans queue — at most one reconfiguration
-runs at a time — and a plan whose shard dies while fenced aborts cleanly
-instead of stalling the cluster.
+parked lands on the new one.  Plans over **disjoint** shard sets run
+concurrently; plans touching a shard that an active (or earlier-queued)
+plan touches serialize behind it in submission order, so per-shard the
+schedule is still FIFO.  A plan whose shard dies while fenced aborts
+cleanly instead of stalling the cluster.
 
 Recovery uses the weaker barrier only (drained links, so a reply still
 on the wire cannot race the replay): a dead shard never quiesces fully.
+
+Handoff channels are cached across plans
+(:class:`~repro.core.migration.HandoffSessionCache` — the control plane
+owns one): the first handoff between two groups pays the mutual
+attestation, later plans over the same pair reuse the attested channel
+with sequence-numbered bundles, and any generation bump falls back to a
+fresh handshake automatically.
 """
 
 from __future__ import annotations
@@ -59,7 +73,7 @@ import collections
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.migration import migrate_keys
+from repro.core.migration import HandoffSessionCache, migrate_keys
 from repro.errors import ConfigurationError, LCMError
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL
 from repro.sharding.partitioner import ArcMove, HashRing
@@ -91,6 +105,15 @@ class ReshardReport:
         return sum(self.moved.values())
 
 
+class _RingDrift(ConfigurationError):
+    """Internal: a plan's act-time arcs touch shards outside its fenced
+    set.  The scheduler's disjointness admission makes this unreachable
+    (a concurrent plan can only have swapped arcs disjoint from this
+    plan's); it is kept as a safety net and aborts the plan cleanly —
+    no keys have moved when it is raised — instead of crashing the
+    simulation."""
+
+
 @dataclass
 class _Plan:
     kind: str
@@ -99,8 +122,9 @@ class _Plan:
     synchronous: bool = True
     # resolved at start():
     involved: tuple[int, ...] = ()
-    pairs: list[tuple[int, int, list[list[int]]]] = field(default_factory=list)
-    ring_after: HashRing | None = None
+    #: consecutive barrier polls where the only thing keeping the plan
+    #: waiting was a prepared-but-undecided transaction (see _poll)
+    txn_stall: int = 0
 
 
 def _arcs_by_peer(moves: list[ArcMove], *, group_by: str) -> dict:
@@ -112,12 +136,15 @@ def _arcs_by_peer(moves: list[ArcMove], *, group_by: str) -> dict:
 
 
 class ControlPlane:
-    """Sequencer for runtime ring changes and shard recovery.
+    """Scheduler for runtime ring changes and shard recovery.
 
     One instance per :class:`ShardedCluster` (``cluster.control``); the
     cluster's ``add_shard``/``remove_shard``/``recover_shard`` methods
-    delegate here.  Operations queue FIFO and run one at a time; each is
-    tracked by a :class:`ReshardReport` kept in :attr:`reports`.
+    delegate here.  Operations queue in submission order; a plan starts
+    as soon as every shard it involves is free of *earlier* plans (so
+    plans over disjoint shard sets run concurrently while overlapping
+    plans stay FIFO).  Each is tracked by a :class:`ReshardReport` kept
+    in :attr:`reports`.
     """
 
     #: Poll period of the quiescence barrier — one virtual enclave
@@ -127,8 +154,14 @@ class ControlPlane:
     def __init__(self, cluster: "ShardedCluster") -> None:
         self._cluster = cluster
         self._queue: collections.deque[_Plan] = collections.deque()
-        self._active: _Plan | None = None
+        self._active: list[_Plan] = []
+        self._pumping = False
+        self._pump_again = False
         self.reports: list[ReshardReport] = []
+        #: attested handoff channels reused across plans (see module doc)
+        self.handoff_sessions = HandoffSessionCache()
+        #: high-water mark of concurrently running plans (observability)
+        self.max_concurrent = 0
 
     # ------------------------------------------------------------- public
 
@@ -154,8 +187,13 @@ class ControlPlane:
 
     @property
     def busy(self) -> bool:
-        """True while a reconfiguration is active or queued."""
-        return self._active is not None or bool(self._queue)
+        """True while any reconfiguration is active or queued."""
+        return bool(self._active) or bool(self._queue)
+
+    @property
+    def active_count(self) -> int:
+        """Plans currently between fence and finish."""
+        return len(self._active)
 
     def _new_report(self, kind: str, shard_id: int) -> ReshardReport:
         report = ReshardReport(kind=kind, shard_id=shard_id)
@@ -175,22 +213,73 @@ class ControlPlane:
 
     def _enqueue(self, plan: _Plan) -> None:
         self._queue.append(plan)
-        if self._active is None:
-            self._start_next()
+        self._pump()
 
-    def _start_next(self) -> None:
-        while self._queue and self._active is None:
+    def _pump(self) -> None:
+        """Start every queued plan whose involved shards are free.
+
+        Re-entrant-safe: a plan finishing synchronously inside
+        :meth:`_start` (quiet cluster) lands back here; the outer
+        invocation loops instead of recursing.
+        """
+        if self._pumping:
+            self._pump_again = True
+            return
+        self._pumping = True
+        try:
+            self._pump_again = True
+            while self._pump_again:
+                self._pump_again = False
+                self._start_eligible()
+        finally:
+            self._pumping = False
+
+    def _start_eligible(self) -> None:
+        blocked: set[int] = set()
+        for active in self._active:
+            blocked.update(active.involved)
+        waiting: list[_Plan] = []
+        while self._queue:
             plan = self._queue.popleft()
-            self._active = plan
+            estimate = self._estimate_involved(plan)
+            if blocked & estimate:
+                # an earlier plan (active or queued ahead) touches one of
+                # these shards: stay FIFO per shard, block later
+                # overlapping plans behind this one too
+                blocked.update(estimate)
+                waiting.append(plan)
+                continue
+            self._active.append(plan)
             try:
                 self._start(plan)
             except ConfigurationError:
-                self._active = None
+                self._active.remove(plan)
                 plan.report.aborted = "refused"
                 if plan.synchronous:
+                    self._queue.extendleft(reversed(waiting))
                     raise
-            if self._active is None:
-                continue  # plan finished (or aborted) synchronously
+                continue
+            blocked.update(plan.involved)
+        self._queue.extendleft(reversed(waiting))
+
+    def _estimate_involved(self, plan: _Plan) -> set[int]:
+        """The shards a queued plan will touch, best-effort against the
+        current ring (used only for scheduling; the authoritative set is
+        resolved — with validation — when the plan starts)."""
+        cluster = self._cluster
+        if plan.kind == "recover":
+            return {plan.shard_id}
+        ring_after = cluster.ring.copy()
+        try:
+            if plan.kind == "add":
+                ring_after.add_shard(plan.shard_id)
+            else:
+                ring_after.remove_shard(plan.shard_id)
+        except (ConfigurationError, LCMError, KeyError, ValueError):
+            return {plan.shard_id}
+        moves = HashRing.arc_diff(cluster.ring, ring_after)
+        peers = {move.source for move in moves} | {move.target for move in moves}
+        return {plan.shard_id, *peers}
 
     def _start(self, plan: _Plan) -> None:
         cluster = self._cluster
@@ -202,57 +291,50 @@ class ControlPlane:
                     "crashed shard can be recovered"
                 )
             plan.involved = (plan.shard_id,)
-        elif plan.kind == "add":
-            ring_after = cluster.ring.copy()
-            ring_after.add_shard(plan.shard_id)
-            moves = HashRing.arc_diff(cluster.ring, ring_after)
-            sources = _arcs_by_peer(moves, group_by="source")
-            plan.pairs = [
-                (source, plan.shard_id, arcs)
-                for source, arcs in sorted(sources.items())
-            ]
-            plan.ring_after = ring_after
-            plan.involved = tuple(sorted({plan.shard_id, *sources}))
-        else:  # remove
-            shard = cluster._shard(plan.shard_id)
-            if not shard.healthy:
-                raise ConfigurationError(
-                    f"shard {plan.shard_id} is down; recover it before "
-                    "removing it (its keys must be handed off live)"
-                )
-            if shard.forks:
-                raise ConfigurationError(
-                    f"shard {plan.shard_id} has live forked instances; "
-                    "their evidence would not survive removal"
-                )
-            if cluster.shard_count < 2:
-                raise ConfigurationError("cannot remove the last shard")
-            ring_after = cluster.ring.copy()
-            ring_after.remove_shard(plan.shard_id)
-            moves = HashRing.arc_diff(cluster.ring, ring_after)
-            targets = _arcs_by_peer(moves, group_by="target")
-            plan.pairs = [
-                (plan.shard_id, target, arcs)
-                for target, arcs in sorted(targets.items())
-            ]
-            plan.ring_after = ring_after
-            plan.involved = tuple(sorted({plan.shard_id, *targets}))
-        if plan.kind != "recover":
+        else:
+            if plan.kind == "remove":
+                shard = cluster._shard(plan.shard_id)
+                if not shard.healthy:
+                    raise ConfigurationError(
+                        f"shard {plan.shard_id} is down; recover it before "
+                        "removing it (its keys must be handed off live)"
+                    )
+                if shard.forks:
+                    raise ConfigurationError(
+                        f"shard {plan.shard_id} has live forked instances; "
+                        "their evidence would not survive removal"
+                    )
+                if cluster.shard_count - len(
+                    [p for p in self._active if p.kind == "remove" and p is not plan]
+                ) < 2:
+                    raise ConfigurationError("cannot remove the last shard")
+            plan.involved = tuple(sorted(self._estimate_involved(plan)))
             cluster._fenced.update(plan.involved)
-        self._poll()
+        self.max_concurrent = max(self.max_concurrent, len(self._active))
+        self._poll(plan)
 
     # -------------------------------------------------------------- barrier
+
+    #: Consecutive drained-but-transaction-pending polls a plan tolerates
+    #: before aborting.  A healthy transaction leaves this state within a
+    #: few round trips (its decision arrives, making the shard busy then
+    #: quiet); a transaction that can never decide — its coordinator is
+    #: wedged on a participant that died without failover — would
+    #: otherwise keep the barrier polling (and the simulator generating
+    #: events) forever.
+    TXN_STALL_LIMIT = 1000
 
     def _quiet(self, plan: _Plan) -> bool:
         cluster = self._cluster
         if plan.kind == "recover":
             return cluster._shard(plan.shard_id).links_drained
         return all(
-            cluster._shard(shard_id).drained for shard_id in plan.involved
+            cluster._shard(shard_id).drained
+            and cluster.shard_txn_pending(shard_id) == 0
+            for shard_id in plan.involved
         )
 
-    def _poll(self) -> None:
-        plan = self._active
+    def _poll(self, plan: _Plan) -> None:
         cluster = self._cluster
         if plan.kind != "recover":
             dead = [
@@ -269,12 +351,44 @@ class ControlPlane:
                 )
                 return
         if not self._quiet(plan):
+            if plan.kind != "recover" and all(
+                cluster._shard(shard_id).drained for shard_id in plan.involved
+            ):
+                # nothing is moving — only an undecided transaction keeps
+                # the barrier waiting.  Its decision normally arrives
+                # within a few polls; a coordinator that can never decide
+                # must not wedge the control plane (and the simulator)
+                # forever.
+                plan.txn_stall += 1
+                if plan.txn_stall > self.TXN_STALL_LIMIT:
+                    pending = {
+                        shard_id: cluster.shard_txn_pending(shard_id)
+                        for shard_id in plan.involved
+                        if cluster.shard_txn_pending(shard_id)
+                    }
+                    self._finish(
+                        plan,
+                        aborted=(
+                            "prepared-but-undecided transaction(s) on "
+                            f"shard(s) {sorted(pending)} never resolved"
+                        ),
+                    )
+                    return
+            else:
+                plan.txn_stall = 0
             cluster.sim.schedule(
-                self.POLL_INTERVAL, self._poll, label="controlplane-barrier"
+                self.POLL_INTERVAL,
+                lambda: self._poll(plan),
+                label="controlplane-barrier",
             )
             return
         try:
             self._act(plan)
+        except _RingDrift as drift:
+            # raised before any key moved: park-and-replay semantics
+            # still hold, so abort this plan without failing the run
+            self._finish(plan, aborted=str(drift))
+            return
         except BaseException:
             self._finish(plan, aborted="failed")
             raise
@@ -282,20 +396,59 @@ class ControlPlane:
 
     # --------------------------------------------------------------- action
 
+    def _resolve_pairs(
+        self, plan: _Plan
+    ) -> tuple[list[tuple[int, int, list[list[int]]]], HashRing]:
+        """The per-pair arc handoffs and the post-plan ring, computed
+        against the ring as it stands *now* (a concurrent plan over
+        disjoint shards may have swapped it since this plan queued;
+        disjointness guarantees the arcs this plan moves are unaffected)."""
+        cluster = self._cluster
+        ring_after = cluster.ring.copy()
+        if plan.kind == "add":
+            ring_after.add_shard(plan.shard_id)
+        else:
+            ring_after.remove_shard(plan.shard_id)
+        moves = HashRing.arc_diff(cluster.ring, ring_after)
+        touched = {move.source for move in moves} | {
+            move.target for move in moves
+        }
+        if not touched <= set(plan.involved):
+            raise _RingDrift(
+                f"{plan.kind} plan for shard {plan.shard_id} would now touch "
+                f"shard(s) {sorted(touched - set(plan.involved))} outside its "
+                "fenced set"
+            )
+        if plan.kind == "add":
+            sources = _arcs_by_peer(moves, group_by="source")
+            pairs = [
+                (source, plan.shard_id, arcs)
+                for source, arcs in sorted(sources.items())
+            ]
+        else:
+            targets = _arcs_by_peer(moves, group_by="target")
+            pairs = [
+                (plan.shard_id, target, arcs)
+                for target, arcs in sorted(targets.items())
+            ]
+        return pairs, ring_after
+
     def _act(self, plan: _Plan) -> None:
         cluster = self._cluster
         if plan.kind == "recover":
             cluster._recover_shard_now(plan.shard_id)
             return
+        pairs, ring_after = self._resolve_pairs(plan)
         verifier = cluster.group.verifier()
         handed_over: list[tuple[int, int, list]] = []
         try:
-            for source_id, target_id, arcs in plan.pairs:
+            for source_id, target_id, arcs in pairs:
                 moved = migrate_keys(
                     cluster.shard_host(source_id),
                     cluster.shard_host(target_id),
                     verifier,
                     arcs,
+                    sessions=self.handoff_sessions,
                 )
                 handed_over.append((source_id, target_id, arcs))
                 peer = source_id if plan.kind == "add" else target_id
@@ -309,7 +462,7 @@ class ControlPlane:
             raise
         if plan.kind == "remove":
             cluster._remove_shard_now(plan.shard_id)
-        cluster.ring = plan.ring_after
+        cluster.ring = ring_after
         cluster.stats.reshards += 1
 
     def _compensate(self, plan: _Plan, handed_over) -> None:
@@ -327,6 +480,7 @@ class ControlPlane:
                     cluster.shard_host(source_id),
                     verifier,
                     arcs,
+                    sessions=self.handoff_sessions,
                 )
             except LCMError:
                 plan.report.orphaned.append((source_id, target_id, arcs))
@@ -341,7 +495,8 @@ class ControlPlane:
         plan.report.aborted = aborted
         plan.report.completed = aborted is None
         plan.report.completed_at = cluster.sim.now if aborted is None else None
-        self._active = None
+        if plan in self._active:
+            self._active.remove(plan)
         event = "recovered" if plan.kind == "recover" else "resharded"
         try:
             if aborted is None:
@@ -351,4 +506,4 @@ class ControlPlane:
                 cluster._notify_reconfiguration("resharded", plan.involved)
         finally:
             # queued plans must run even if a listener misbehaves
-            self._start_next()
+            self._pump()

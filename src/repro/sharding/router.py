@@ -12,13 +12,27 @@ shards behind the familiar submit-an-operation surface.
   protocol instances, so a logical client legally has one operation in
   flight per shard — and the completion callback fires once every shard
   has answered, with results merged back into submission order;
+- **multi-key atomicity**: :meth:`ShardRouter.submit_txn` runs a
+  multi-key request as a cross-shard *transaction*.  The router is the
+  coordinator of a two-phase commit whose participant verbs are ordinary
+  LCM operations: each shard's prepare locks the touched keys and buffers
+  the writes as a sequenced, hash-chained, sealed operation, and the
+  commit/abort decision lands the same way — so the whole lifecycle is
+  covered by exactly the verification machinery that protects a PUT;
 - **verification** merges per-shard fork-linearizability evidence into a
   single :class:`ShardedVerdict`: each shard's audit logs (spanning
   migrations and forks), client chain points, and recorded history are fed
   to the Sec. 3.2.1 checker, and violations detected live during the run
   (a halting context, a client rejecting a forked reply) are attributed to
   their shard.  One forked shard is therefore detected even when every
-  other shard is honest.
+  other shard is honest.  On top of the per-shard checks, the
+  coordinator's decision log and the per-shard audit logs are fed to the
+  cross-shard transaction checker
+  (:func:`~repro.consistency.transactions.check_transaction_atomicity`),
+  which verifies every decided transaction is atomic *across* the shard
+  histories — all-or-nothing, decisions consistent with the coordinator,
+  and no live history (fork instances included) left holding a prepare
+  whose completed decision it never saw.
 """
 
 from __future__ import annotations
@@ -28,6 +42,11 @@ from typing import Any, Callable
 
 from repro.consistency import check_cluster_execution
 from repro.consistency.fork_linearizability import ForkTree
+from repro.consistency.transactions import (
+    CoordinatorDecision,
+    TxnEvidence,
+    check_transaction_atomicity,
+)
 from repro.core.client import LcmResult
 from repro.errors import (
     ConfigurationError,
@@ -35,6 +54,15 @@ from repro.errors import (
     LCMError,
     SecurityViolation,
     ShardUnavailable,
+    TxnAtomicityViolation,
+)
+from repro.kvstore.functionality import (
+    TXN_LOCKED,
+    TXN_PREPARED,
+    is_txn_decision,
+    txn_abort,
+    txn_commit,
+    txn_prepare,
 )
 from repro.sharding.cluster import ShardedCluster
 
@@ -106,14 +134,67 @@ class ShardVerdict:
 
 
 @dataclass
+class TxnResult:
+    """Outcome of one cross-shard transaction, delivered to the
+    submitter's completion callback."""
+
+    txn_id: str
+    committed: bool
+    #: per-operation results in submission order (reads and the
+    #: previous-value results of writes, computed at prepare time under
+    #: the locks); ``None`` when the transaction aborted
+    results: list | None = None
+    #: the pending transaction a conflicting prepare lost to, when the
+    #: abort was conflict-driven
+    conflict_with: str | None = None
+
+
+@dataclass
+class TxnRecord:
+    """Coordinator-side state of one transaction (the decision log).
+
+    Kept for the lifetime of the router: the offline transaction checker
+    reads it as the coordinator's decision log, and failover replay uses
+    it to re-drive decisions lost to an outage.
+    """
+
+    txn_id: str
+    client_id: int
+    operations: list
+    #: shard id -> indices into ``operations`` (fixed at begin time; a
+    #: reshard cannot move a prepared key out from under the transaction
+    #: because the control-plane barrier waits for pending decisions)
+    participants: dict[int, list[int]] = field(default_factory=dict)
+    votes: dict[int, Any] = field(default_factory=dict)
+    decision: str | None = None            # "C" | "A"
+    pending_decisions: set[int] = field(default_factory=set)
+    conflict_with: str | None = None
+    on_complete: Callable[[TxnResult], Any] | None = None
+    done: bool = False
+
+    @property
+    def committed(self) -> bool:
+        return self.decision == "C"
+
+    @property
+    def complete(self) -> bool:
+        """The decision (if any) round-tripped on every participant."""
+        return self.done
+
+
+@dataclass
 class ShardedVerdict:
     """Per-shard evidence merged into one cluster-level verdict."""
 
     shards: dict[int, ShardVerdict] = field(default_factory=dict)
+    #: cross-shard transaction checks (empty when no transactions ran)
+    txn_violations: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(verdict.ok for verdict in self.shards.values())
+        return not self.txn_violations and all(
+            verdict.ok for verdict in self.shards.values()
+        )
 
     @property
     def violations(self) -> dict[int, LCMError]:
@@ -149,7 +230,13 @@ class ShardRouter:
     replayed the same way.
     """
 
-    def __init__(self, cluster: ShardedCluster, *, failover: bool = False) -> None:
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        *,
+        failover: bool = False,
+        retry_locked: bool = True,
+    ) -> None:
         if not cluster.audit:
             # verdict() feeds every shard's audit logs to the checker and
             # promises not to raise; require the evidence up front
@@ -158,11 +245,32 @@ class ShardRouter:
             )
         self.cluster = cluster
         self.failover = failover
+        #: resubmit a single-key operation that was deterministically
+        #: rejected because its key is locked by a pending transaction
+        #: (the rejection is a real, chained operation either way)
+        self.retry_locked = retry_locked
         self.operations_submitted = 0
         self.fanout_requests = 0
         self.operations_parked = 0
         self.operations_replayed = 0
         self.operations_dropped = 0
+        self.operations_lock_retried = 0
+        self.transactions_started = 0
+        self.transactions_committed = 0
+        self.transactions_aborted = 0
+        self.transactions_parked = 0
+        #: coordinator decision log, by txn id (never pruned: it is the
+        #: evidence the cross-shard transaction checker runs against)
+        self.txn_log: dict[str, TxnRecord] = {}
+        self._txn_counter = 0
+        #: transactions parked whole (a participant fenced or down at
+        #: begin time); re-begun — participants re-resolved — on the
+        #: next reconfiguration event
+        self._parked_txns: list[TxnRecord] = []
+        #: test/fault-injection hook: called with ("prepare-sent" |
+        #: "decision-sent", record) right after the respective phase's
+        #: submissions went out
+        self.txn_phase_hook: Callable[[str, TxnRecord], Any] | None = None
         #: (shard_id, client_id, operation, error) for every operation a
         #: replay could not deliver (e.g. pinned to a since-removed
         #: shard, or its shard died again before the replay) — dropped
@@ -184,11 +292,19 @@ class ShardRouter:
         """The shard id that owns this operation's key."""
         return self.cluster.ring.owner(routing_key(operation))
 
+    #: bound on automatic resubmissions of a lock-rejected operation —
+    #: far beyond any transient prepare->decision window, but finite so a
+    #: transaction stuck forever (participant down, no failover) cannot
+    #: keep the simulator spinning on retries
+    MAX_LOCK_RETRIES = 64
+
     def submit(
         self,
         client_id: int,
         operation: Any,
         on_complete: Callable[[LcmResult], Any] | None = None,
+        *,
+        _lock_attempts: int = 0,
     ) -> int:
         """Queue a single-key operation; returns the owning shard id (the
         owner at submission time — a parked operation may land elsewhere
@@ -196,7 +312,9 @@ class ShardRouter:
         shard_id = self.owner(operation)
         if self._defer(shard_id, client_id, operation, on_complete, reroute=True):
             return shard_id
-        return self._dispatch(shard_id, client_id, operation, on_complete, True)
+        return self._dispatch(
+            shard_id, client_id, operation, on_complete, True, _lock_attempts
+        )
 
     def submit_to_shard(
         self,
@@ -217,7 +335,7 @@ class ShardRouter:
         """
         if self._defer(shard_id, client_id, operation, on_complete, reroute=False):
             return shard_id
-        return self._dispatch(shard_id, client_id, operation, on_complete, False)
+        return self._dispatch(shard_id, client_id, operation, on_complete, False, 0)
 
     def _defer(
         self, shard_id: int, client_id: int, operation, on_complete, *, reroute
@@ -227,6 +345,12 @@ class ShardRouter:
         router is not in failover mode."""
         cluster = self.cluster
         if shard_id in cluster.fenced_shards:
+            if is_txn_decision(operation) and cluster.shard_healthy(shard_id):
+                # a fence parks *new* work, but a commit/abort resolves a
+                # prepare that is already inside the fenced shard — the
+                # barrier's drain is waiting on exactly this decision, so
+                # holding it back would deadlock fence against decision
+                return False
             self._park(shard_id, client_id, operation, on_complete, reroute)
             return True
         if not cluster.shard_healthy(shard_id):
@@ -249,7 +373,13 @@ class ShardRouter:
         )
 
     def _dispatch(
-        self, shard_id: int, client_id: int, operation, on_complete, reroute
+        self,
+        shard_id: int,
+        client_id: int,
+        operation,
+        on_complete,
+        reroute,
+        lock_attempts: int = 0,
     ) -> int:
         cluster = self.cluster
         history = cluster.shard_history(shard_id)
@@ -266,6 +396,33 @@ class ShardRouter:
             history.respond(token, result.result, sequence=result.sequence)
             cluster.stats.operations_completed += 1
             cluster.stats.per_shard_operations[shard_id] += 1
+            if (
+                reroute
+                and self.retry_locked
+                and lock_attempts < self.MAX_LOCK_RETRIES
+                and type(result.result) is list
+                and len(result.result) == 2
+                and result.result[0] == TXN_LOCKED
+                and result.result[1] in self.txn_log
+            ):
+                # the key is locked by a pending transaction: the
+                # rejection is a real chained operation (the checkers
+                # replay it), but the caller asked for the value — retry
+                # once the decision has had wire time to land.  Only
+                # key-routed submissions retry; explicit submit_to_shard
+                # callers (tests, transaction internals) see the marker.
+                # The holder must be a transaction *this* coordinator ran
+                # (it always is — one router per cluster): a stored user
+                # value that merely looks like the marker never matches
+                # a real txn id, so it is delivered, not retried.
+                self.operations_lock_retried += 1
+                self.submit(
+                    client_id,
+                    operation,
+                    on_complete,
+                    _lock_attempts=lock_attempts + 1,
+                )
+                return
             if on_complete is not None:
                 on_complete(result)
 
@@ -281,6 +438,7 @@ class ShardRouter:
             # per-client order is preserved on the fresh machines
             self._replay_inflight(shard_ids)
         self._replay_parked(shard_ids)
+        self._replay_parked_txns()
 
     def _replay_one(
         self, shard_id: int, client_id: int, operation, on_complete, reroute
@@ -375,6 +533,185 @@ class ShardRouter:
 
         return self.submit_many(client_id, [get(key) for key in keys], on_complete)
 
+    # ------------------------------------------------- transaction coordinator
+
+    def submit_txn(
+        self,
+        client_id: int,
+        operations: list,
+        on_complete: Callable[[TxnResult], Any] | None = None,
+    ) -> str:
+        """Run a multi-key request as a cross-shard atomic transaction.
+
+        The router coordinates a two-phase commit on behalf of the
+        client: phase 1 sends each owning shard one PREPARE operation
+        (through the client's per-shard Alg. 1 machine, so it is
+        sequenced, hash-chained and sealed like any PUT) that executes
+        the reads, buffers the writes and locks the touched keys; phase
+        2 sends every prepared participant the COMMIT — or, if any
+        participant voted a conflict, the ABORT.  ``on_complete`` fires
+        with a :class:`TxnResult` once every decision has round-tripped.
+
+        The decision is logged in :attr:`txn_log` before it is sent;
+        on a ``failover=True`` router, decisions lost to a crash are
+        re-driven by the in-flight replay (idempotent on the
+        participant), and a transaction whose participant is fenced or
+        down at begin time is parked whole and re-begun — participants
+        re-resolved against the current ring — after the
+        reconfiguration.  Returns the transaction id.
+        """
+        record = TxnRecord(
+            txn_id=f"txn-{client_id}-{self._txn_counter}",
+            client_id=client_id,
+            operations=[tuple(operation) for operation in operations],
+            on_complete=on_complete,
+        )
+        self._txn_counter += 1
+        if not record.operations:
+            raise ConfigurationError("a transaction needs at least one operation")
+        self.txn_log[record.txn_id] = record
+        self.transactions_started += 1
+        self._txn_begin(record)
+        return record.txn_id
+
+    def _txn_begin(self, record: TxnRecord) -> None:
+        """Resolve participants against the current ring and send the
+        prepares — or park the whole transaction while any participant
+        cannot take one (prepares must not straddle a reconfiguration:
+        half a transaction prepared behind a fence would deadlock the
+        barrier against the missing votes)."""
+        cluster = self.cluster
+        participants: dict[int, list[int]] = {}
+        for index, operation in enumerate(record.operations):
+            participants.setdefault(self.owner(operation), []).append(index)
+        blocked = [
+            shard_id
+            for shard_id in participants
+            if shard_id in cluster.fenced_shards
+            or not cluster.shard_healthy(shard_id)
+        ]
+        if blocked:
+            down = [
+                shard_id
+                for shard_id in blocked
+                if shard_id not in cluster.fenced_shards
+                and not cluster.shard_healthy(shard_id)
+            ]
+            if down and not self.failover:
+                raise ShardUnavailable(
+                    f"transaction {record.txn_id} needs shard(s) {down} "
+                    "which are down (failover=True parks and replays instead)"
+                )
+            self.transactions_parked += 1
+            self._parked_txns.append(record)
+            return
+        record.participants = participants
+        record.votes = {}
+        for shard_id, indices in sorted(participants.items()):
+            prepare = txn_prepare(
+                record.txn_id,
+                [list(record.operations[index]) for index in indices],
+            )
+            self.submit_to_shard(
+                shard_id,
+                record.client_id,
+                prepare,
+                self._make_vote_handler(record, shard_id),
+            )
+        if self.txn_phase_hook is not None:
+            self.txn_phase_hook("prepare-sent", record)
+
+    def _make_vote_handler(self, record: TxnRecord, shard_id: int):
+        def on_vote(result: LcmResult) -> None:
+            record.votes[shard_id] = result.result
+            if len(record.votes) == len(record.participants):
+                self._txn_decide(record)
+
+        return on_vote
+
+    @staticmethod
+    def _voted_prepared(vote: Any) -> bool:
+        return type(vote) is list and bool(vote) and vote[0] == TXN_PREPARED
+
+    def _txn_decide(self, record: TxnRecord) -> None:
+        """All votes are in: log the decision, then drive phase 2."""
+        prepared = [
+            shard_id
+            for shard_id, vote in record.votes.items()
+            if self._voted_prepared(vote)
+        ]
+        commit = len(prepared) == len(record.participants)
+        record.decision = "C" if commit else "A"
+        if not commit:
+            for vote in record.votes.values():
+                if not self._voted_prepared(vote):
+                    if type(vote) is list and len(vote) == 2:
+                        record.conflict_with = vote[1]
+                    break
+        if not prepared:
+            # nothing locked anywhere: the abort is already complete
+            self._txn_finish(record)
+            return
+        record.pending_decisions = set(prepared)
+        decision = (
+            txn_commit(record.txn_id) if commit else txn_abort(record.txn_id)
+        )
+        for shard_id in sorted(prepared):
+            self.submit_to_shard(
+                shard_id,
+                record.client_id,
+                decision,
+                self._make_decision_handler(record, shard_id),
+            )
+        if self.txn_phase_hook is not None:
+            self.txn_phase_hook("decision-sent", record)
+
+    def _make_decision_handler(self, record: TxnRecord, shard_id: int):
+        def on_decided(_result: LcmResult) -> None:
+            record.pending_decisions.discard(shard_id)
+            if not record.pending_decisions:
+                self._txn_finish(record)
+
+        return on_decided
+
+    def _txn_finish(self, record: TxnRecord) -> None:
+        record.done = True
+        results: list | None = None
+        if record.committed:
+            self.transactions_committed += 1
+            results = [None] * len(record.operations)
+            for shard_id, indices in record.participants.items():
+                vote = record.votes[shard_id]
+                for index, value in zip(indices, vote[1]):
+                    results[index] = value
+        else:
+            self.transactions_aborted += 1
+        if record.on_complete is not None:
+            record.on_complete(
+                TxnResult(
+                    txn_id=record.txn_id,
+                    committed=record.committed,
+                    results=results,
+                    conflict_with=record.conflict_with,
+                )
+            )
+
+    def _replay_parked_txns(self) -> None:
+        """Re-begin transactions parked whole against an outage or fence.
+        Runs inside the reconfiguration callback; a transaction that is
+        still blocked simply parks again."""
+        parked, self._parked_txns = self._parked_txns, []
+        for record in parked:
+            try:
+                self._txn_begin(record)
+            except LCMError:
+                # undeliverable now and not parkable (e.g. failover off
+                # and the shard died again): abort with attribution so
+                # the submitter's callback still fires
+                record.decision = "A"
+                self.operations_dropped += 1
+                self._txn_finish(record)
+
     # ---------------------------------------------------------- verification
 
     def verdict(self) -> ShardedVerdict:
@@ -384,10 +721,17 @@ class ShardRouter:
         removed shards (their final audit logs were retired at removal)
         and, for shards that crashed and were recovered, each generation
         independently — merged into one :class:`ShardVerdict` per id.
+        When transactions ran, the coordinator's decision log and every
+        audit log are additionally fed to the cross-shard transaction
+        checker; its findings land in ``txn_violations``.
         """
         merged = ShardedVerdict()
         for shard_id in self.cluster.verdict_shard_ids:
             merged.shards[shard_id] = self._check_shard(shard_id)
+        if self.txn_log:
+            merged.txn_violations = check_transaction_atomicity(
+                self._txn_evidence(), self._coordinator_decisions()
+            )
         return merged
 
     def check_fork_linearizable(self) -> ShardedVerdict:
@@ -402,7 +746,50 @@ class ShardRouter:
             if verdict.violation is not None:
                 cause = verdict.violation
                 raise type(cause)(f"shard {shard_id}: {cause}") from cause
+        if merged.txn_violations:
+            raise merged.txn_violations[0]
         return merged
+
+    def _txn_evidence(self) -> list[TxnEvidence]:
+        """Every audit log a global observer holds, tagged for the
+        transaction checker.  A shard whose enclave halted on a live
+        violation contributes nothing (its log is unreachable and the
+        per-shard verdict already carries the violation); a crashed
+        generation's reconstruction participates as non-live evidence
+        (no decision can land there any more)."""
+        cluster = self.cluster
+        evidence: list[TxnEvidence] = []
+        for shard_id in cluster.verdict_shard_ids:
+            for retired in cluster.retired_generations(shard_id):
+                for log in retired.logs or []:
+                    evidence.append(TxnEvidence(shard_id, log, live=False))
+            if not cluster.is_live(shard_id):
+                continue
+            if cluster.shard_violation(shard_id) is not None:
+                continue
+            try:
+                logs = cluster.audit_logs(shard_id)
+            except LCMError:
+                continue
+            live = cluster.shard_healthy(shard_id)
+            for log in logs:
+                evidence.append(TxnEvidence(shard_id, log, live=live))
+        return evidence
+
+    def _coordinator_decisions(self) -> dict[str, CoordinatorDecision]:
+        """The decision log as the transaction checker consumes it
+        (undecided — in-flight or parked — transactions are absent: no
+        participant can legitimately carry a decision for them yet)."""
+        return {
+            txn_id: CoordinatorDecision(
+                txn_id=txn_id,
+                decision=record.decision,
+                participants=tuple(sorted(record.participants)),
+                complete=record.done,
+            )
+            for txn_id, record in self.txn_log.items()
+            if record.decision is not None
+        }
 
     def _check_shard(self, shard_id: int) -> ShardVerdict:
         cluster = self.cluster

@@ -122,13 +122,20 @@ class WorkloadGenerator:
                 return verb
         return "read"
 
+    def sample_key(self) -> str:
+        """One key drawn from the workload's request distribution —
+        the public sampler for harnesses composing their own request
+        shapes (e.g. multi-key transactions) from the same hot-key
+        skew the plain operation stream has."""
+        return self.key_for(self._choose_key())
+
     def next_operations(self) -> list[tuple]:
         """Operations for one logical request (scans expand to several)."""
         verb = self._choose_verb()
         if verb == "read":
-            return [get(self.key_for(self._choose_key()))]
+            return [get(self.sample_key())]
         if verb == "update":
-            return [put(self.key_for(self._choose_key()), self.value())]
+            return [put(self.sample_key(), self.value())]
         if verb == "insert":
             self._inserted += 1
             return [put(self.key_for(self._inserted - 1), self.value())]

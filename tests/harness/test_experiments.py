@@ -7,6 +7,7 @@ benchmarks/.
 import pytest
 
 from repro.harness.experiments import (
+    run_cross_shard,
     run_elastic_scaling,
     run_fig4_object_size,
     run_fig5_clients_async,
@@ -182,3 +183,38 @@ class TestElasticScaling:
     def test_single_shard_refused(self):
         with pytest.raises(ValueError, match="two initial shards"):
             run_elastic_scaling(shards=1)
+
+
+class TestCrossShard:
+    def test_txn_mix_with_fault_injection_has_zero_violations(self):
+        """ISSUE acceptance criterion: the cross-shard harness completes
+        a multi-key workload spanning >=2 shards with zero consistency
+        violations, including under crash-at-prepare and
+        crash-after-decision fault injection."""
+        result = run_cross_shard(clients=8, requests_per_client=20)
+        assert result.ratios["zero_violations"] is True
+        assert result.ratios["all_requests_completed"] is True
+        assert result.ratios["requests_completed"] == 8 * 20
+        assert result.ratios["spans_multiple_shards"] is True
+        assert result.ratios["max_participants"] >= 2
+        assert result.ratios["faults_injected"] == 2
+        assert result.ratios["recoveries_completed"] == 2
+        assert sorted(result.series["fault"]) == [
+            "crash-after-decision", "crash-at-prepare",
+        ]
+        assert result.ratios["txn_violations"] == 0
+
+    def test_conflicts_really_happen_and_resolve(self):
+        """Zipfian key choice makes transactions collide: the run must
+        show real conflict aborts that all eventually commit on retry."""
+        result = run_cross_shard(
+            clients=10, requests_per_client=15, txn_fraction=0.5, faults=False
+        )
+        assert result.ratios["transactions_aborted"] > 0
+        assert result.ratios["conflict_retries"] > 0
+        assert result.ratios["all_requests_completed"] is True
+        assert result.ratios["zero_violations"] is True
+
+    def test_single_shard_refused(self):
+        with pytest.raises(ValueError, match="two shards"):
+            run_cross_shard(shards=1)

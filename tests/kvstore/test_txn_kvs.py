@@ -1,0 +1,257 @@
+"""Prepared-buffer semantics of the KVS transaction participant.
+
+The participant verbs are pure state-machine logic (they execute inside
+the trusted context like any operation), so their contract is testable
+without a single enclave: prepares lock and buffer atomically or reject
+with no state change, decisions are idempotent, and locked keys reject
+single-key traffic deterministically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serde
+from repro.kvstore import (
+    KvsFunctionality,
+    delete,
+    get,
+    put,
+    txn_abort,
+    txn_commit,
+    txn_prepare,
+)
+from repro.kvstore.functionality import (
+    HANDOFF_EXPORT_VERB,
+    TXN_ABORTED,
+    TXN_ALREADY,
+    TXN_COMMITTED,
+    TXN_CONFLICT,
+    TXN_LOCKED,
+    TXN_PREPARED,
+    TXN_UNKNOWN,
+    is_txn_decision,
+    parse_txn_operation,
+)
+from repro.crypto.hashing import RING_SPAN
+
+
+@pytest.fixture
+def kvs():
+    return KvsFunctionality()
+
+
+def seeded(kvs, items):
+    state = kvs.initial_state()
+    for key, value in items.items():
+        _, state = kvs.apply(state, put(key, value))
+    return state
+
+
+class TestPrepare:
+    def test_prepare_reads_buffer_writes_and_locks(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2"})
+        result, prepared = kvs.apply(
+            state, txn_prepare("t", [get("a"), put("b", "9"), delete("a")])
+        )
+        assert result == [TXN_PREPARED, ["1", "2", "1"]]
+        # nothing applied yet; the buffer and locks live in reserved keys
+        assert prepared["a"] == "1" and prepared["b"] == "2"
+        assert kvs.locked_keys(prepared) == {"a": "t", "b": "t"}
+        assert kvs.pending_transactions(prepared) == {"t": ["a", "b"]}
+        # the untouched original state carries no reserved bookkeeping
+        assert kvs.locked_keys(state) == {}
+
+    def test_intra_txn_writes_visible_to_later_reads(self, kvs):
+        state = seeded(kvs, {"k": "old"})
+        result, _ = kvs.apply(
+            state, txn_prepare("t", [put("k", "new"), get("k"), delete("k"), get("k")])
+        )
+        assert result == [TXN_PREPARED, ["old", "new", "new", None]]
+
+    def test_conflicting_prepare_rejects_without_state_change(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2"})
+        _, prepared = kvs.apply(state, txn_prepare("t1", [put("a", "x")]))
+        result, after = kvs.apply(prepared, txn_prepare("t2", [get("b"), put("a", "y")]))
+        assert result == [TXN_CONFLICT, "t1"]
+        assert after is prepared  # identical object: no state change at all
+        assert kvs.locked_keys(after) == {"a": "t1"}
+
+    def test_duplicate_and_decided_txn_ids_reject(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [put("a", "x")]))
+        result, _ = kvs.apply(prepared, txn_prepare("t", [put("zz", "y")]))
+        assert result == [TXN_CONFLICT, "t"]
+        _, committed = kvs.apply(prepared, txn_commit("t"))
+        result, _ = kvs.apply(committed, txn_prepare("t", [put("zz", "y")]))
+        assert result == [TXN_CONFLICT, "t"]
+
+    def test_locked_key_rejects_single_key_traffic(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [put("a", "x")]))
+        for operation in (get("a"), put("a", "clobber"), delete("a")):
+            result, after = kvs.apply(prepared, operation)
+            assert result == [TXN_LOCKED, "t"]
+            assert after is prepared
+        # other keys flow normally
+        result, _ = kvs.apply(prepared, put("b", "2"))
+        assert result is None
+
+
+class TestDecisions:
+    def test_commit_applies_buffered_writes_and_unlocks(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2"})
+        _, prepared = kvs.apply(
+            state, txn_prepare("t", [put("a", "9"), delete("b")])
+        )
+        result, committed = kvs.apply(prepared, txn_commit("t"))
+        assert result == [TXN_COMMITTED]
+        assert committed["a"] == "9" and "b" not in committed
+        assert kvs.locked_keys(committed) == {}
+        assert kvs.pending_transactions(committed) == {}
+
+    def test_abort_discards_buffer_and_unlocks(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [put("a", "9")]))
+        result, aborted = kvs.apply(prepared, txn_abort("t"))
+        assert result == [TXN_ABORTED]
+        assert aborted["a"] == "1"
+        assert kvs.locked_keys(aborted) == {}
+
+    def test_decision_replay_is_idempotent(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [put("a", "9")]))
+        _, committed = kvs.apply(prepared, txn_commit("t"))
+        result, again = kvs.apply(committed, txn_commit("t"))
+        assert result == [TXN_ALREADY, "C"]
+        assert again is committed
+        # a contradicting late decision is a recorded no-op, not a flip
+        result, still = kvs.apply(committed, txn_abort("t"))
+        assert result == [TXN_ALREADY, "C"]
+        assert still is committed
+
+    def test_decision_for_unknown_txn_is_a_no_op(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        for decision in (txn_commit("ghost"), txn_abort("ghost")):
+            result, after = kvs.apply(state, decision)
+            assert result == [TXN_UNKNOWN]
+            assert after is state
+
+
+class TestReservedNamespace:
+    def test_handoff_export_skips_txn_bookkeeping(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [put("a", "9")]))
+        exported, remaining = kvs.apply(
+            prepared, [HANDOFF_EXPORT_VERB, [[0, RING_SPAN]]]
+        )
+        assert sorted(key for key, _ in exported) == ["a", "b"]
+        assert kvs.pending_transactions(remaining) == {"t": ["a"]}
+
+    def test_plain_ops_cannot_reach_the_reserved_namespace(self, kvs):
+        """Ordinary GET/PUT/DEL on a ``__LCM_TXN_*`` key are rejected
+        deterministically with no state change — a client write there
+        would corrupt the lock table every other check parses."""
+        from repro.kvstore.functionality import TXN_RESERVED
+
+        state = seeded(kvs, {"a": "1"})
+        for operation in (
+            get("__LCM_TXN_PENDING__"),
+            put("__LCM_TXN_LOCKS__", {"a": "forged"}),
+            delete("__LCM_TXN_DECIDED__"),
+        ):
+            result, after = kvs.apply(state, operation)
+            assert result[0] == TXN_RESERVED
+            assert after is state
+
+    def test_handoff_export_tolerates_bytes_keys(self, kvs):
+        """Bytes keys are first-class in the KVS; the reserved-prefix
+        filter must not choke on them mid-reshard."""
+        state = seeded(kvs, {b"binkey": "1", b"other": "2"})
+        _, prepared = kvs.apply(state, txn_prepare("t", [["PUT", b"other", "x"]]))
+        _, committed = kvs.apply(prepared, txn_commit("t"))
+        exported, remaining = kvs.apply(
+            committed, [HANDOFF_EXPORT_VERB, [[0, RING_SPAN]]]
+        )
+        assert {key for key, _ in exported} == {b"binkey", b"other"}
+        # the (string-keyed) decision record stayed behind, untouched
+        assert remaining == {"__LCM_TXN_DECIDED__": {"t": "C"}}
+
+    def test_prepare_refuses_reserved_keys(self, kvs):
+        state = kvs.initial_state()
+        from repro.kvstore.kvs import UnknownOperation
+
+        with pytest.raises(UnknownOperation, match="not allowed"):
+            kvs.apply(state, txn_prepare("t", [put("__LCM_TXN_LOCKS__", "x")]))
+
+    def test_parser_round_trips_builders(self):
+        prepare = txn_prepare("t", [put("k", "v"), get("j")])
+        assert parse_txn_operation(prepare) == (
+            "prepare", "t", [["PUT", "k", "v"], ["GET", "j"]]
+        )
+        assert parse_txn_operation(txn_commit("t")) == ("commit", "t", None)
+        assert parse_txn_operation(txn_abort("t")) == ("abort", "t", None)
+        assert parse_txn_operation(put("k", "v")) is None
+        assert is_txn_decision(txn_commit("t"))
+        assert is_txn_decision(txn_abort("t"))
+        assert not is_txn_decision(prepare)
+        assert not is_txn_decision(get("k"))
+
+    def test_prepared_state_serde_round_trips(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, prepared = kvs.apply(
+            state, txn_prepare("t", [put("a", "9"), put("new", "n")])
+        )
+        assert serde.decode(serde.encode(prepared)) == prepared
+
+
+_keys = st.sampled_from(["k0", "k1", "k2", "k3", "k4"])
+_sub_op = st.one_of(
+    st.tuples(st.just("GET"), _keys),
+    st.tuples(st.just("PUT"), _keys, st.text(max_size=4)),
+    st.tuples(st.just("DEL"), _keys),
+)
+
+
+class TestTxnProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.dictionaries(_keys, st.text(max_size=4), max_size=5),
+        sub_ops=st.lists(_sub_op, min_size=1, max_size=6),
+    )
+    def test_commit_equals_sequential_execution(self, base, sub_ops):
+        """Committing a prepared transaction leaves exactly the state
+        (and produced exactly the results) that running the same
+        operations sequentially would have."""
+        kvs = KvsFunctionality()
+        state = seeded(kvs, base)
+        vote, prepared = kvs.apply(state, txn_prepare("t", list(sub_ops)))
+        assert vote[0] == TXN_PREPARED
+        _, committed = kvs.apply(prepared, txn_commit("t"))
+
+        sequential = state
+        expected_results = []
+        for op in sub_ops:
+            result, sequential = kvs.apply(sequential, op)
+            expected_results.append(result)
+        assert vote[1] == expected_results
+        residue = dict(committed)
+        assert residue.pop("__LCM_TXN_DECIDED__") == {"t": "C"}
+        assert residue == sequential
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.dictionaries(_keys, st.text(max_size=4), max_size=5),
+        sub_ops=st.lists(_sub_op, min_size=1, max_size=6),
+    )
+    def test_abort_restores_the_exact_pre_prepare_state(self, base, sub_ops):
+        kvs = KvsFunctionality()
+        state = seeded(kvs, base)
+        vote, prepared = kvs.apply(state, txn_prepare("t", list(sub_ops)))
+        assert vote[0] == TXN_PREPARED
+        _, aborted = kvs.apply(prepared, txn_abort("t"))
+        # identical user-visible state; the only residue is the bounded
+        # decision record
+        residue = dict(aborted)
+        assert residue.pop("__LCM_TXN_DECIDED__") == {"t": "A"}
+        assert residue == state

@@ -100,6 +100,37 @@ class TestGroupDispatcher:
         sim.run()
         assert len(boundaries) == dispatcher.batches
 
+    def test_boundary_gate_withholds_the_idle_hook_mid_transaction(self):
+        """A closed gate (prepared-but-undecided transaction in the
+        enclave) skips the boundary hook for that delivery; the next
+        delivery with the gate open — the decision's own batch — fires
+        it.  No poll events are scheduled, so a run ending mid-
+        transaction drains instead of spinning."""
+        sim = Simulator()
+        boundaries = []
+        log = []
+        gate = {"open": True}
+        dispatcher = self._dispatcher(
+            sim,
+            log,
+            batch_limit=1,
+            on_idle=lambda: boundaries.append(sim.now),
+            boundary_gate=lambda: gate["open"],
+        )
+        dispatcher.enqueue(1, b"plain")
+        sim.run()
+        assert len(boundaries) == 1
+        gate["open"] = False  # a prepare locked keys; decision pending
+        dispatcher.enqueue(1, b"prepare")
+        sim.run()  # drains — no gate poll keeps the agenda alive
+        assert len(boundaries) == 1
+        assert dispatcher.boundaries_deferred == 1
+        gate["open"] = True  # the decision's batch re-opens the gate
+        dispatcher.enqueue(1, b"commit")
+        sim.run()
+        assert len(boundaries) == 2
+        assert dispatcher.batches == 3
+
 
 class TestDispatcherParity:
     """1-shard ShardedCluster == SimulatedCluster on the same trace."""

@@ -384,11 +384,11 @@ class TestControlPlaneSequencing:
         real_migrate = controlplane.migrate_keys
         calls = {"n": 0}
 
-        def flaky_migrate(source, target, verifier, arcs):
+        def flaky_migrate(source, target, verifier, arcs, **kwargs):
             calls["n"] += 1
             if calls["n"] == 2:  # second forward pair of the remove plan
                 raise MigrationError("injected mid-plan failure")
-            return real_migrate(source, target, verifier, arcs)
+            return real_migrate(source, target, verifier, arcs, **kwargs)
 
         monkeypatch.setattr(controlplane, "migrate_keys", flaky_migrate)
         with pytest.raises(MigrationError, match="injected"):
@@ -417,3 +417,219 @@ class TestControlPlaneSequencing:
         cluster._notify_reconfiguration("resharded", (0,))
         cluster.run()
         assert len(results) == 1
+
+
+class TestConcurrentPlans:
+    """Plans over disjoint shard sets run in parallel; overlapping plans
+    stay FIFO per shard (the satellite's scheduling contract)."""
+
+    def test_disjoint_recoveries_run_concurrently(self):
+        """Two recoveries of different shards have disjoint involved
+        sets; with INVOKEs still on the wire neither barrier is quiet,
+        so both plans must be mid-barrier at once (strict FIFO would
+        hold the second until the first completed)."""
+        cluster, router = build(shards=4, clients=2, seed=30, failover=True)
+        populate(cluster, router, 40)
+        # one op in flight per crashed shard keeps its links un-drained
+        router.submit(1, put(keys_owned_by(cluster, 0, 1)[0], "x"))
+        router.submit(2, put(keys_owned_by(cluster, 2, 1)[0], "x"))
+        cluster.crash_shard(0)
+        cluster.crash_shard(2)
+        cluster.recover_shard(0)
+        cluster.recover_shard(2)
+        assert cluster.control.active_count == 2  # both mid-barrier now
+        cluster.run()
+        assert cluster.stats.recoveries == 2
+        assert cluster.control.max_concurrent == 2
+        # the in-flight ops were replayed onto the fresh generations
+        assert router.operations_replayed >= 2
+        assert router.check_fork_linearizable().ok
+
+    def test_overlapping_plans_serialize_fifo(self):
+        """Two adds overlap (both steal arcs from the same survivors),
+        so they must run one at a time, in submission order."""
+        cluster, router = build(shards=2, clients=2, seed=31)
+        populate(cluster, router, 40)
+        first = cluster.add_shard()
+        second = cluster.add_shard()
+        cluster.run()
+        assert cluster.control.max_concurrent == 1
+        reports = [r for r in cluster.control.reports if r.kind == "add"]
+        assert [r.shard_id for r in reports] == [first, second]
+        assert all(r.completed for r in reports)
+        assert reports[0].completed_at <= reports[1].completed_at
+        assert router.check_fork_linearizable().ok
+
+    def test_plan_queued_behind_overlap_waits_for_it(self):
+        """A remove queued while an overlapping recover is mid-barrier
+        starts only after it finishes; per-shard order is preserved."""
+        cluster, router = build(shards=3, clients=2, seed=32, failover=True)
+        populate(cluster, router, 40)
+        cluster.crash_shard(1)
+        cluster.recover_shard(1, at=0.0005)
+        cluster.remove_shard(1, at=0.0006)  # overlaps: same shard id
+        cluster.run()
+        kinds = [(r.kind, r.completed) for r in cluster.control.reports]
+        assert ("recover", True) in kinds
+        assert ("remove", True) in kinds
+        assert not cluster.is_live(1)
+        assert router.check_fork_linearizable().ok
+
+
+class TestTxnBarrier:
+    """The quiescence barrier treats prepared-but-undecided keys as
+    unmovable: a reshard waits for the decision, and the enclave refuses
+    to export locked arcs outright."""
+
+    def test_reshard_waits_for_pending_decision(self):
+        from repro.kvstore import txn_commit, txn_prepare
+
+        cluster, router = build(shards=2, clients=2, seed=33)
+        populate(cluster, router, 30)
+        key = keys_owned_by(cluster, 0, 1)[0]
+        votes = []
+        router.submit_to_shard(
+            0, 1, txn_prepare("held", [["PUT", key, "vv"]]),
+            lambda r: votes.append(r.result),
+        )
+        cluster.run()
+        assert votes and votes[0][0] == "__LCM_TXN_PREPARED__"
+        assert cluster.shard_txn_pending(0) == 1
+        new_id = cluster.add_shard(at=0.0001)
+        # bounded run (below the stall limit): the barrier must keep
+        # polling, neither completing nor giving up yet
+        cluster.run(max_events=500)
+        report = cluster.control.reports[-1]
+        assert not report.completed and report.aborted is None
+        # the decision unblocks it
+        router.submit_to_shard(0, 1, txn_commit("held"))
+        cluster.run()
+        assert cluster.control.reports[-1].completed
+        assert cluster.shard_txn_pending(0) == 0
+        assert cluster.is_live(new_id)
+        assert router.check_fork_linearizable().ok
+
+    def test_barrier_gives_up_on_a_transaction_that_never_resolves(self):
+        """Liveness: a prepared transaction whose decision can never
+        arrive must not wedge the control plane (and the simulator)
+        forever — after the stall limit the plan aborts with
+        attribution and the run drains."""
+        from repro.kvstore import txn_prepare
+
+        cluster, router = build(shards=2, clients=2, seed=38)
+        populate(cluster, router, 30)
+        key = keys_owned_by(cluster, 0, 1)[0]
+        router.submit_to_shard(0, 1, txn_prepare("stuck", [["PUT", key, "x"]]))
+        cluster.run()
+        cluster.add_shard(at=0.0001)
+        cluster.run()  # must terminate
+        report = cluster.control.reports[-1]
+        assert not report.completed
+        assert "never resolved" in report.aborted
+        assert not cluster.control.busy
+        assert cluster.fenced_shards == set()
+
+    def test_enclave_refuses_exporting_locked_arcs(self):
+        from repro.crypto.hashing import RING_SPAN
+        from repro.kvstore import txn_prepare
+
+        cluster, router = build(shards=2, clients=2, seed=34)
+        populate(cluster, router, 30)
+        key = keys_owned_by(cluster, 0, 1)[0]
+        router.submit_to_shard(0, 1, txn_prepare("held", [["PUT", key, "vv"]]))
+        cluster.run()
+        source = cluster.shard_host(0)
+        target = cluster.shard_host(1)
+        verifier = cluster.group.verifier()
+        source_nonce = source.enclave.ecall("handoff_challenge", None)
+        target_quote = target.platform.quote(
+            target.enclave.ecall("attest", source_nonce)
+        )
+        with pytest.raises(ConfigurationError, match="prepared-but-undecided"):
+            source.enclave.ecall(
+                "handoff_export",
+                {
+                    "quote": target_quote,
+                    "verifier": verifier,
+                    "arcs": [[0, RING_SPAN]],
+                },
+            )
+
+
+class TestHandoffSessionCache:
+    """Satellite: the mutually attested handoff channel is cached per
+    (source, target) pair across plans and rekeyed on generation bumps."""
+
+    def test_merge_reuses_the_split_handshakes(self):
+        """The add's handshakes (survivor -> new shard) are cached as
+        symmetric sessions, so the merge handing the same arcs back runs
+        entirely over cached channels — zero new DH operations."""
+        cluster, router = build(shards=2, clients=2, seed=35)
+        keys = populate(cluster, router, 60)
+        sessions = cluster.control.handoff_sessions
+        new_id = cluster.add_shard()
+        handshakes_after_add = sessions.handshakes
+        assert handshakes_after_add > 0 and sessions.hits == 0
+        cluster.remove_shard(new_id)
+        assert sessions.handshakes == handshakes_after_add
+        assert sessions.hits == handshakes_after_add
+        # data integrity held throughout
+        assert read_all(cluster, router, keys) == {
+            i: f"v{i}" for i in range(60)
+        }
+        assert router.check_fork_linearizable().ok
+
+    def test_generation_bump_falls_back_to_fresh_handshake(self):
+        cluster, router = build(shards=2, clients=2, seed=36, failover=True)
+        populate(cluster, router, 60)
+        sessions = cluster.control.handoff_sessions
+        first = cluster.add_shard()
+        cluster.remove_shard(first)
+        handshakes_before = sessions.handshakes
+        # crash + recover shard 0: fresh platform, fresh enclave — every
+        # cached channel involving it is keyed to a dead host object
+        cluster.crash_shard(0)
+        cluster.recover_shard(0)
+        cluster.run()
+        second = cluster.add_shard()
+        cluster.remove_shard(second)
+        assert sessions.handshakes > handshakes_before
+        assert router.check_fork_linearizable().ok
+
+    def test_epoch_restart_probes_before_exporting(self):
+        """A reboot wipes the enclave's volatile sessions; the session
+        path must notice *before* any key leaves the source and fall
+        back to a full handshake (an export that ran first would strand
+        the keys: retrying it would find them already gone)."""
+        from tests.conftest import build_deployment
+        from repro.core.migration import HandoffSessionCache, migrate_keys
+        from repro.crypto.attestation import EpidGroup
+        from repro.crypto.hashing import RING_SPAN
+        from repro.tee import TeePlatform
+
+        group = EpidGroup()
+        host_a, _, (alice, *_) = build_deployment(
+            epid_group=group, platform=TeePlatform(group, seed=81)
+        )
+        host_b, _, _ = build_deployment(
+            epid_group=group, platform=TeePlatform(group, seed=82)
+        )
+        for i in range(40):
+            alice.invoke(put(f"user{i:012d}", "v"))
+        verifier = group.verifier()
+        arcs = [[0, RING_SPAN // 2]]
+        sessions = HandoffSessionCache()
+        moved_out = migrate_keys(host_a, host_b, verifier, arcs, sessions=sessions)
+        assert sessions.handshakes == 1 and sessions.hits == 0
+        # cached channel serves the way back
+        moved_back = migrate_keys(host_b, host_a, verifier, arcs, sessions=sessions)
+        assert moved_back == moved_out > 0
+        assert sessions.hits == 1 and sessions.handshakes == 1
+        # epoch restart on one side: the probe must catch it up front
+        host_b.reboot()
+        moved_again = migrate_keys(host_a, host_b, verifier, arcs, sessions=sessions)
+        assert moved_again == moved_out
+        assert sessions.handshakes == 2
+        # and the freshly re-attested session is reusable again
+        migrate_keys(host_b, host_a, verifier, arcs, sessions=sessions)
+        assert sessions.hits == 2 and sessions.handshakes == 2

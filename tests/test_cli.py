@@ -62,6 +62,18 @@ class TestSubcommands:
         assert main(["elastic", "--clients", "0"]) == 2
         assert "must be >= 1" in capsys.readouterr().out
 
+    def test_txn_commits_across_shards_and_verifies(self, capsys):
+        assert main(["txn", "--clients", "8", "--ops", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-at-prepare" in out
+        assert "crash-after-decision" in out
+        assert "transactions committed" in out
+        assert "atomic across shard histories" in out
+
+    def test_txn_rejects_nonsense_counts(self, capsys):
+        assert main(["txn", "--shards", "1"]) == 2
+        assert "--shards must be >= 2" in capsys.readouterr().out
+
     def test_figures_single(self, capsys):
         assert main(["figures", "--only", "sec63"]) == 0
         out = capsys.readouterr().out

@@ -57,6 +57,13 @@ class TestExamples:
         assert "DETECTED" in proc.stdout                    # forked shard caught
         assert "honest shards still verify" in proc.stdout
 
+    def test_cross_shard_txn(self):
+        proc = run_example("cross_shard_txn.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "committed=True" in proc.stdout
+        assert "all-or-nothing held" in proc.stdout
+        assert "transactions atomic across" in proc.stdout
+
     def test_elastic_scaling(self):
         proc = run_example("elastic_scaling.py")
         assert proc.returncode == 0, proc.stderr
