@@ -71,23 +71,42 @@ def test_micro_invoke_with_state_growth(benchmark):
 
 
 def _batched_invoke_round(host, deployment, clients):
-    """One full batch round trip: seal per client, one ecall, complete."""
+    """One full batch round trip: seal the batch, one ecall, complete.
+
+    Uses the batch seal API when the revision under test has it (so
+    stash-interleaved A/B runs against older revisions keep working:
+    the old side falls back to per-payload sealing).
+    """
+    import repro.core.messages as messages_mod
     from repro.core.messages import InvokePayload
 
     key = deployment.communication_key
-    messages = []
-    for client in clients:
-        payload = InvokePayload(
+    payloads = [
+        InvokePayload(
             client_id=client.client_id,
             last_sequence=client.last_sequence,
             last_chain=client.last_chain,
             operation=serde.encode(["PUT", "shared", "v"]),
         )
-        messages.append((client.client_id, payload.seal(key)))
+        for client in clients
+    ]
+    seal_invokes = getattr(messages_mod, "seal_invokes", None)
+    if seal_invokes is not None:
+        boxes = seal_invokes(payloads, key)
+    else:
+        boxes = [payload.seal(key) for payload in payloads]
+    messages = [
+        (client.client_id, box) for client, box in zip(clients, boxes)
+    ]
     replies = host.send_invoke_batch(messages)
     # feed the replies back so contexts stay current between rounds
-    for client, reply in zip(clients, replies):
-        client._complete(("PUT", "shared", "v"), reply)
+    unseal_replies = getattr(messages_mod, "unseal_replies", None)
+    if unseal_replies is not None:
+        for client, fields in zip(clients, unseal_replies(replies, key)):
+            client._complete_fields(("PUT", "shared", "v"), fields)
+    else:
+        for client, reply in zip(clients, replies):
+            client._complete(("PUT", "shared", "v"), reply)
     return replies
 
 
@@ -126,6 +145,36 @@ def test_micro_batched_invoke_sizes(benchmark, batch_size):
         one_batch, rounds=30, iterations=1, warmup_rounds=5
     )
     assert len(replies) == batch_size
+
+
+@pytest.mark.slow
+def test_micro_parallel_invoke_4shards(benchmark):
+    """Wall-clock (not virtual-time) cost of one 4-shard trace under the
+    serial vs threaded execution backend.  On a multi-core host the
+    threaded backend overlaps the shards' one-C-call batch ecalls (GIL
+    released inside the C fastpath), so the ratio measures real
+    multi-core scaling; single-core runners skip the speedup assertion
+    (pool overhead with nothing to overlap) but still verify that the
+    audit evidence is byte-identical across backends.  Older revisions
+    without the execution-backend seam skip (stash-interleaved A/B)."""
+    import os
+
+    from repro.harness import experiments
+
+    run_parallel = getattr(experiments, "run_parallel_wallclock", None)
+    if run_parallel is None:
+        pytest.skip("revision predates the execution-backend seam")
+
+    def one_comparison():
+        return run_parallel(shards=4, clients=8, requests_per_client=20)
+
+    result = benchmark.pedantic(
+        one_comparison, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.ratios["identical_digests"]
+    assert result.ratios["zero_violations"]
+    if (os.cpu_count() or 1) >= 2:
+        assert result.ratios["threaded_speedup"] > 1.0
 
 
 def test_micro_shard_scaling(benchmark):

@@ -56,6 +56,32 @@ def _summarize(benchmarks: list[dict]) -> dict:
     }
 
 
+def merge_best_of(documents: list[dict]) -> dict:
+    """Per-bench best (lowest-median) stats across several full runs.
+
+    On a shared/noisy box a single run's medians mix the machine's quiet
+    and busy windows unevenly across benches, which skews the *relative*
+    shape of the record — exactly what the gate's family normalization
+    can't cancel.  Taking each bench's least-contaminated run gives every
+    entry the same "quiet box" baseline.  The merged document keeps the
+    first run's metadata and records how many runs fed the merge.
+    """
+    merged = dict(documents[0])
+    by_name: dict[str, dict] = {}
+    for document in documents:
+        for bench in document.get("benchmarks", []):
+            current = by_name.get(bench["name"])
+            if (
+                current is None
+                or bench["stats"]["median"] < current["stats"]["median"]
+            ):
+                by_name[bench["name"]] = bench
+    merged["benchmarks"] = [by_name[name] for name in sorted(by_name)]
+    merged["summary"] = _summarize(merged["benchmarks"])
+    merged["best_of_runs"] = len(documents)
+    return merged
+
+
 def run_with_pytest_benchmark() -> dict | None:
     """Run under pytest-benchmark; returns its JSON document or None."""
     try:
@@ -253,14 +279,21 @@ def compare_against_record(document: dict, record_path: str) -> dict[str, float]
         f"this run: {document.get('runner', '?')}; ratio >1 = faster now)"
     )
     ratios: dict[str, float] = {}
-    for name in sorted(set(document["summary"]) | set(record_summary)):
-        new_stats = document["summary"].get(name)
+    summary = document.get("summary", {})
+    for name in sorted(set(summary) | set(record_summary)):
+        new_stats = summary.get(name)
         old_stats = record_summary.get(name)
-        if new_stats is None or old_stats is None:
-            print(
-                f"  {name}: only in "
-                f"{'this run' if old_stats is None else 'the record'}"
-            )
+        if old_stats is None:
+            # a bench added after the record was committed (e.g. a new
+            # parallel scenario): nothing to compare against yet, so skip
+            # with a notice instead of failing — the next record refresh
+            # picks it up
+            print(f"  {name}: skipped — not in the committed record "
+                  "(newly added bench; refresh the record to track it)")
+            continue
+        if new_stats is None:
+            print(f"  {name}: skipped — only in the record "
+                  "(not measured by this run)")
             continue
         new_value = _bench_value(new_stats)
         old_value = _bench_value(old_stats)
@@ -338,6 +371,15 @@ def main() -> None:
         "scenario (seconds, not minutes); not for the committed record",
     )
     parser.add_argument(
+        "--best-of",
+        type=int,
+        metavar="N",
+        default=1,
+        help="run the full pytest-benchmark suite N times and keep each "
+        "bench's lowest-median run (use for the committed record on a "
+        "noisy box; ignored with --quick)",
+    )
+    parser.add_argument(
         "--compare",
         metavar="RECORD_JSON",
         default=None,
@@ -363,9 +405,17 @@ def main() -> None:
     if args.quick:
         document = run_with_timer_fallback(quick=True)
     else:
-        document = run_with_pytest_benchmark()
-        if document is None:
-            document = run_with_timer_fallback()
+        documents = []
+        for _ in range(max(1, args.best_of)):
+            document = run_with_pytest_benchmark()
+            if document is None:
+                document = run_with_timer_fallback()
+                documents = [document]
+                break
+            documents.append(document)
+        document = (
+            merge_best_of(documents) if len(documents) > 1 else documents[0]
+        )
     document.setdefault("machine_info", {}).setdefault(
         "python", platform.python_version()
     )

@@ -28,6 +28,11 @@ Subcommands::
         recovers it — then verify the merged evidence across every
         generation.
 
+    python -m repro.cli parallel [--shards N] [--clients N] [--ops N]
+        Run one trace twice — serial vs threaded execution backend —
+        and report *wall-clock* seconds per backend, the speedup, and
+        whether the audit evidence came out byte-identical (it must).
+
     python -m repro.cli txn [--shards N] [--clients N] [--ops N]
                             [--txn-fraction F] [--no-faults]
         Run a transactional YCSB mix where multi-key requests commit
@@ -236,6 +241,49 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.harness.experiments import run_parallel_wallclock
+
+    if args.shards < 1 or args.clients < 1 or args.ops < 1:
+        print("parallel: --shards, --clients and --ops must all be >= 1")
+        return 2
+    cores = os.cpu_count() or 1
+    result = run_parallel_wallclock(
+        shards=args.shards,
+        clients=args.clients,
+        requests_per_client=args.ops,
+        seed=args.seed,
+    )
+    for backend, wall, ops, violations in zip(
+        result.series["backend"],
+        result.series["wall_seconds"],
+        result.series["operations_completed"],
+        result.series["violations"],
+    ):
+        note = f" [{violations} VIOLATION(S)]" if violations else ""
+        print(
+            f"{backend:>8}: {ops} operations in {wall:.3f}s wall "
+            f"({ops / wall:,.0f} ops/s real){note}"
+        )
+    ratios = result.ratios
+    if not ratios["identical_digests"]:
+        print("PARALLEL RUN FAILED: audit evidence differs across backends")
+        return 1
+    if not ratios["zero_violations"]:
+        print("PARALLEL RUN FAILED: consistency violations (see above)")
+        return 1
+    print(
+        f"threaded speedup: {ratios['threaded_speedup']:.2f}x wall-clock "
+        f"on {cores} core(s); audit evidence byte-identical across backends"
+    )
+    if cores < 2:
+        print("(single-core host: no speedup expected — determinism "
+              "contract still verified)")
+    return 0
+
+
 def _cmd_txn(args: argparse.Namespace) -> int:
     from repro.harness.experiments import run_cross_shard
 
@@ -329,6 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="logical YCSB requests per client")
     elastic.add_argument("--seed", type=int, default=0)
     elastic.set_defaults(handler=_cmd_elastic)
+
+    parallel = sub.add_parser(
+        "parallel",
+        help="wall-clock serial-vs-threaded backend comparison",
+    )
+    parallel.add_argument("--shards", type=int, default=4)
+    parallel.add_argument("--clients", type=int, default=8)
+    parallel.add_argument("--ops", type=int, default=60,
+                          help="logical YCSB requests per client")
+    parallel.add_argument("--seed", type=int, default=0)
+    parallel.set_defaults(handler=_cmd_parallel)
 
     txn = sub.add_parser(
         "txn",

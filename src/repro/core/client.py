@@ -184,9 +184,18 @@ class LcmClient:
             return self._complete(operation, reply_box)
 
     def _complete(self, operation: Any, reply_box: bytes) -> LcmResult:
-        sequence, chain, result_bytes, stable_sequence, previous_chain = (
-            unseal_reply(reply_box, self._key)
+        return self._complete_fields(
+            operation, unseal_reply(reply_box, self._key)
         )
+
+    def _complete_fields(
+        self, operation: Any, fields: tuple[int, bytes, bytes, int, bytes]
+    ) -> LcmResult:
+        """Alg. 1's response handling over already-opened REPLY fields
+        (batch drivers open many replies in one call via
+        :func:`~repro.core.messages.unseal_replies`, then complete each
+        client from its field tuple)."""
+        sequence, chain, result_bytes, stable_sequence, previous_chain = fields
         # assert h'c = hc — pairs the REPLY with our INVOKE and rejects
         # replies minted against any other history.
         if previous_chain != self._last_chain:

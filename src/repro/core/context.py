@@ -98,8 +98,12 @@ from typing import Any, Callable
 from hashlib import sha256 as _sha256
 
 from repro import serde
+from repro.crypto import fastpath as _fastpath
 from repro.crypto.aead import (
+    OVERHEAD,
     AeadKey,
+    NonceSequence,
+    _mac_frame,
     auth_decrypt,
     auth_encrypt,
     mac_tag,
@@ -131,6 +135,10 @@ from repro.kvstore.functionality import (
     HANDOFF_IMPORT_VERB,
 )
 from repro.core.messages import (
+    _INVOKE_AD,
+    _INVOKE_PREFIX,
+    _REPLY_AD,
+    _REPLY_PREFIX,
     ReplyPayload,
     encode_reply,
     seal_replies,
@@ -140,9 +148,8 @@ from repro.core.messages import (
 )
 from repro.core.stability import (
     ClientEntry,
-    argmax_entry,
+    PackedRows,
     majority_quorum,
-    stable_with_quorum,
 )
 from repro.tee.enclave import EnclaveEnv
 
@@ -260,7 +267,10 @@ _SCALAR_RESULT_TYPES = (str, bytes, int)
 def _decode_operation(data: bytes) -> Any:
     cached = _OP_DECODE_CACHE.get(data)
     if cached is not None:
-        _OP_DECODE_CACHE.move_to_end(data)
+        try:
+            _OP_DECODE_CACHE.move_to_end(data)
+        except KeyError:  # evicted by a concurrent worker between get and move
+            pass
         return cached.copy()
     value = serde.decode(data)
     if type(value) is list and all(
@@ -324,12 +334,19 @@ class LcmContext:
         self._admin_key: AeadKey | None = None       # kA (admin channel)
         self._sequence = 0                           # t
         self._chain = GENESIS_HASH                   # h
-        self._entries: dict[int, ClientEntry] = {}   # V
-        # sorted mirror of V's acknowledged column, maintained by bisect
-        # per op so per-invoke stability is O(log n) instead of a sort
-        self._acks: list[int] = []
+        # V as packed parallel columns (ids/ack/seq as int64 arrays, chains
+        # as one bytearray of 32-byte cells) so the batched invoke fast
+        # path hands the whole table to the C backend in a single call.
+        # Includes the sorted acknowledged mirror (rows.acks) that keeps
+        # per-invoke stability O(log n).
+        self._rows = PackedRows()                    # V
         # quorum size memo; invalidated on any membership-size change
         self._quorum_cache: int | None = None
+        # deterministic nonce chain for every box sealed on the invoke /
+        # store path; seeded once per epoch in on_start.  Worker threads
+        # (threaded execution backend) never touch the shared process
+        # nonce pool, so serial and threaded runs emit identical bytes.
+        self._nonces: NonceSequence | None = None
         self._state: Any = None                      # s
         # seal caches (see module docstring): reusable sealed boxes for
         # kP-under-kS, the static config, the service state, and each V row.
@@ -388,6 +405,9 @@ class LcmContext:
         """The paper's ``init``: runs at every epoch start."""
         self._env = env
         self._sealing_key = env.get_key(b"lcm-sealing")
+        # drawn unconditionally, before any early return, so the platform
+        # RNG stream stays in the same position on every start path
+        self._nonces = NonceSequence(env.secure_random(32))
         blob = env.ocall_load()
         if blob is None:
             # First epoch ever: wait for the admin to bootstrap us.
@@ -482,10 +502,8 @@ class LcmContext:
             )
         self._dirty_rows.clear()
         self._rebuild_row_arrays()
-        if self._entries:
-            _, top = argmax_entry(self._entries)
-            self._sequence = top.last_sequence
-            self._chain = top.last_chain
+        if len(self._rows):
+            _, self._sequence, self._chain = self._rows.argmax()
         self._provisioned = True
 
     # ------------------------------------------------------------ seal caches
@@ -494,16 +512,20 @@ class LcmContext:
         """Update one row of V; its stored record is rebuilt at the next
         seal (with a synthesized REPLY box — the invoke path instead calls
         :meth:`_store_row_seal` with the real one)."""
-        entries = self._entries
-        acks = self._acks
-        previous = entries.get(client_id)
-        if previous is None:
+        rows = self._rows
+        slot = rows.slot.get(client_id)
+        if slot is None:
+            rows.insert(client_id, entry)
             self._rows_unsorted = True  # new row lands out of canonical order
             self._quorum_cache = None
         else:
-            del acks[bisect_left(acks, previous.acknowledged)]
-        insort(acks, entry.acknowledged)
-        entries[client_id] = entry
+            acks = rows.acks
+            del acks[bisect_left(acks, rows.ack[slot])]
+            insort(acks, entry.acknowledged)
+            rows.ack[slot] = entry.acknowledged
+            rows.seq[slot] = entry.last_sequence
+            rows.chains[slot * 32 : slot * 32 + 32] = entry.last_chain
+            rows.results[slot] = entry.last_result
         self._dirty_rows.add(client_id)
 
     def _store_row_seal(
@@ -607,16 +629,14 @@ class LcmContext:
 
     def _reset_entries(self, entries: dict[int, ClientEntry]) -> None:
         """Replace V wholesale (provision / restore / migration import)."""
-        self._entries = dict(entries)
-        self._acks = sorted(entry.acknowledged for entry in entries.values())
+        self._rows.replace(entries)
         self._quorum_cache = None
         self._row_seals = {}
         self._dirty_rows = set(entries)
         self._rows_unsorted = True
 
     def _remove_entry(self, client_id: int) -> None:
-        entry = self._entries.pop(client_id)
-        del self._acks[bisect_left(self._acks, entry.acknowledged)]
+        self._rows.remove(client_id)
         self._quorum_cache = None
         self._row_seals.pop(client_id, None)
         self._dirty_rows.discard(client_id)
@@ -630,7 +650,7 @@ class LcmContext:
         self._state_seal = None
         self._state_seal_obj = None
         self._row_seals = {}
-        self._dirty_rows = set(self._entries)
+        self._dirty_rows = set(self._rows.client_ids())
         self._rows_unsorted = True
         self._row_index = {}
         self._row_blob_pieces = []
@@ -643,7 +663,9 @@ class LcmContext:
         state = self._state
         if self._state_seal is None or state is not self._state_seal_obj:
             encoded_state = serde.encode(state)
-            box = stream_encrypt(encoded_state, self._state_key)
+            box = stream_encrypt(
+                encoded_state, self._state_key, nonce=self._next_nonce()
+            )
             self._state_seal = (
                 _frame_bytes(box),
                 _frame_bytes(_sha256(box).digest()),
@@ -669,17 +691,17 @@ class LcmContext:
             # change, kC rotation, migration import) get a synthesized
             # REPLY box; its empty previous-chain echo means no client
             # ever accepts it as a live reply
-            entries = self._entries
+            rows = self._rows
             kc = self._communication_key
             for client_id in sorted(self._dirty_rows):
-                entry = entries[client_id]
+                entry = rows.entry(client_id)
                 box = ReplyPayload(
                     sequence=entry.last_sequence,
                     chain=entry.last_chain,
                     result=entry.last_result,
                     stable_sequence=0,
                     previous_chain=b"",
-                ).seal(kc)
+                ).seal(kc, nonce=self._next_nonce())
                 self._store_row_seal(client_id, entry.acknowledged, box)
             self._dirty_rows.clear()
         if self._rows_unsorted:
@@ -744,6 +766,7 @@ class LcmContext:
                     self._state_key.material,
                     self._sealing_key,
                     associated_data=_KEY_BLOB_AD,
+                    nonce=self._next_nonce(),
                 )
             )
         if self._static_blob is None:
@@ -755,7 +778,10 @@ class LcmContext:
                 ]
             )
             box = auth_encrypt(
-                static_plain, self._state_key, associated_data=_STATIC_BLOB_AD
+                static_plain,
+                self._state_key,
+                associated_data=_STATIC_BLOB_AD,
+                nonce=self._next_nonce(),
             )
             self._static_blob = _frame_bytes(box)
             self._static_blob_hash = _frame_bytes(_sha256(box).digest())
@@ -841,20 +867,257 @@ class LcmContext:
         once.  An *authenticated* verification failure mid-batch still
         halts the context immediately — operations already executed in
         the batch are abandoned unsealed, exactly as before.
+
+        When the compiled fastpath backend is active, the whole batch is
+        verified, decoded, Alg.-2-checked against the packed V columns,
+        chained, and resealed in two C calls; Python only runs the
+        functionality and the slow paths (see
+        :meth:`_invoke_batch_native`).  Every other backend runs the
+        per-op loop below with nonces drawn from the same deterministic
+        sequence, so the wire bytes are identical across backends.
         """
         if not self._provisioned:
             raise ConfigurationError("context not provisioned")
+        if messages and self._nonces is not None:
+            backend = _fastpath.BACKEND
+            if backend.invoke_batch_open is not None:
+                outcome = self._invoke_batch_native(backend, messages)
+                if outcome is not None:
+                    return outcome
+                # a non-canonical (but authentic) encoding somewhere in
+                # the batch: fall through and let the generic decoders
+                # produce their exact diagnostics
         invokes = unseal_invokes(messages, self._communication_key)
         execute = self._execute_invoke
         outcomes = [execute(invoke) for invoke in invokes]
+        nonces = self._nonces
         boxes = seal_replies(
-            [encoded for encoded, _ in outcomes], self._communication_key
+            [encoded for encoded, _ in outcomes],
+            self._communication_key,
+            nonces=nonces.take(len(outcomes)) if nonces is not None else None,
         )
         pending: dict[int, tuple[int, bytes]] = {}
         for (_, row), box in zip(outcomes, boxes):
             if row is not None:
                 pending[row[0]] = (row[1], box)  # later reply supersedes
         self._store_row_seals(pending)
+        if self._piggyback_state:
+            return {"replies": boxes, "state": self._sealed_blob()}
+        self._seal_and_store()
+        return boxes
+
+    def _invoke_batch_native(self, backend, messages: list[bytes]):
+        """One-C-call batch processing against the packed V columns.
+
+        Pass A (``lcm_invoke_batch_open``) MAC-scans, decrypts, decodes
+        and Alg.-2-verifies every INVOKE in order, mutating the live V
+        columns, the sorted acknowledged mirror and the (sequence, chain)
+        head exactly as the per-op loop would.  The middle loop below
+        then runs only the functionality (and reads resend results at
+        their in-order positions); pass B (``lcm_invoke_batch_reply``)
+        encodes and seals all replies under deterministically derived
+        nonces.  Returns ``None`` when some box is authentic but not
+        canonically encoded — pass A guarantees it has not touched any
+        state in that case, so the generic path can re-run the batch.
+        """
+        rows = self._rows
+        kc = self._communication_key
+        status, plain, meta, chains_out, sequence, chain_value = (
+            backend.invoke_batch_open(
+                kc._enc_key,
+                kc._mac_key,
+                _mac_frame(kc, _INVOKE_AD),
+                _INVOKE_PREFIX,
+                messages,
+                rows.ids,
+                rows.ack,
+                rows.seq,
+                rows.chains,
+                rows.acks,
+                self._quorum(),
+                self._sequence,
+                self._chain,
+            )
+        )
+        if status <= -2000:  # non-canonical payload: no state was touched
+            return None
+        if status <= -1000:
+            # unauthentic box: rejected wholesale without halting, with
+            # the batch unseal's exact diagnostics (see _process_invoke
+            # for why authentication failures never halt)
+            bad = -1000 - status
+            if len(messages[bad]) < OVERHEAD:
+                raise AuthenticationFailure(
+                    f"box {bad} of batch too short to be authentic"
+                )
+            raise AuthenticationFailure(
+                f"MAC verification failed for box {bad} of batch"
+            )
+        count = status
+        total = len(messages)
+        self._sequence = sequence
+        self._chain = chain_value
+        # middle loop: the only per-op Python work left — run F over the
+        # executed operations (pass A never calls back into Python) and
+        # snapshot resend results at their in-order positions (a later
+        # operation by the same client overwrites the row's result cell)
+        results: list[bytes] = []
+        functionality = self._functionality
+        audit = self._audit
+        dirty_add = self._dirty_rows.add
+        for index in range(count):
+            base = 10 * index
+            if meta[base] == 1:  # retry resend: stored result, no execution
+                results.append(rows.results[meta[base + 1]])
+                continue
+            client_id = meta[base + 2]
+            op_off = meta[base + 4]
+            operation_bytes = plain[op_off : op_off + meta[base + 5]]
+            cached_op = _OP_DECODE_CACHE.get(operation_bytes)
+            if cached_op is not None:
+                try:
+                    _OP_DECODE_CACHE.move_to_end(operation_bytes)
+                except KeyError:
+                    pass
+                operation = cached_op.copy()
+            else:
+                operation = _decode_operation(operation_bytes)
+            result: Any
+            if type(operation) is list:  # the canonical decode shape
+                if len(operation) == 1 and operation[0] == _NOP_VERB:
+                    result = None
+                else:
+                    result, self._state = functionality.apply(
+                        self._state, operation
+                    )
+            elif self._is_nop(operation):
+                result = None
+            else:
+                result, self._state = functionality.apply(self._state, operation)
+            if type(result) in _SCALAR_RESULT_TYPES:  # memoized scalar encode
+                result_bytes = _RESULT_ENCODE_CACHE.get(result)
+                if result_bytes is None:
+                    result_bytes = serde.encode(result)
+                    if len(_RESULT_ENCODE_CACHE) >= _RESULT_ENCODE_CACHE_MAX:
+                        _RESULT_ENCODE_CACHE.popitem(last=False)
+                    _RESULT_ENCODE_CACHE[result] = result_bytes
+                else:
+                    try:
+                        _RESULT_ENCODE_CACHE.move_to_end(result)
+                    except KeyError:
+                        pass
+            else:
+                result_bytes = serde.encode(result)
+            rows.results[meta[base + 1]] = result_bytes
+            dirty_add(client_id)
+            results.append(result_bytes)
+            if audit:
+                self.audit_log.append(
+                    AuditRecord(
+                        sequence=meta[base + 8],
+                        client_id=client_id,
+                        operation=operation_bytes,
+                        result=result_bytes,
+                        chain=chains_out[32 * index : 32 * index + 32],
+                    )
+                )
+        if count < total:
+            # authenticated verification failure at position ``count``:
+            # halt with the per-op loop's exact exception (rows before it
+            # stay committed and unsealed, exactly as before)
+            base = 10 * count
+            code = meta[base]
+            client_id = meta[base + 2]
+            presented = meta[base + 3]
+            if code == -1:
+                raise self._halt(
+                    SecurityViolation(f"unknown client {client_id}")
+                )
+            if code == -2:
+                raise self._halt(
+                    ReplayDetected(
+                        f"client {client_id} presented stale sequence "
+                        f"{presented} < {rows.seq[meta[base + 1]]}"
+                    )
+                )
+            if code == -3:
+                raise self._halt(
+                    RollbackDetected(
+                        f"client {client_id} is ahead of T "
+                        f"({presented} > {rows.seq[meta[base + 1]]}): "
+                        "T's state was rolled back"
+                    )
+                )
+            raise self._halt(
+                ForkDetected(
+                    f"client {client_id} hash-chain value diverges from V: "
+                    "histories have forked"
+                )
+            )
+        nonces = self._nonces
+        sealed = backend.invoke_batch_reply(
+            kc._enc_key,
+            kc._mac_key,
+            _mac_frame(kc, _REPLY_AD),
+            _REPLY_PREFIX,
+            meta,
+            chains_out,
+            plain,
+            results,
+            nonces.seed,
+            nonces.counter,
+        )
+        if sealed is None:  # pragma: no cover - C-side allocation failure
+            encodeds = []
+            for index in range(total):
+                base = 10 * index
+                hc_off = meta[base + 6]
+                encodeds.append(
+                    encode_reply(
+                        meta[base + 8],
+                        chains_out[32 * index : 32 * index + 32],
+                        results[index],
+                        meta[base + 9],
+                        plain[hc_off : hc_off + meta[base + 7]],
+                    )
+                )
+            boxes = seal_replies(encodeds, kc, nonces=nonces.take(total))
+            pending: dict[int, tuple[int, bytes]] = {}
+            for index in range(total):
+                base = 10 * index
+                if meta[base] == 0:
+                    pending[meta[base + 2]] = (meta[base + 3], boxes[index])
+            self._store_row_seals(pending)
+        else:
+            boxes, row_blobs, row_manifests = sealed
+            nonces.counter += total
+            # pass B already built each executed row's sealed-blob pieces;
+            # all that is left is slot bookkeeping (a later reply to the
+            # same client overwrites, exactly like the per-op loop)
+            row_seals = self._row_seals
+            row_index = self._row_index
+            blob_pieces = self._row_blob_pieces
+            manifest_pieces = self._row_manifest_pieces
+            discard = self._dirty_rows.discard
+            unsorted = self._rows_unsorted
+            for index in range(total):
+                base = 10 * index
+                if meta[base] != 0:
+                    continue
+                client_id = meta[base + 2]
+                blob_piece = row_blobs[index]
+                manifest_piece = row_manifests[index]
+                row_seals[client_id] = (
+                    manifest_piece[:17], blob_piece, manifest_piece
+                )
+                if not unsorted:
+                    slot = row_index.get(client_id)
+                    if slot is None:
+                        unsorted = self._rows_unsorted = True
+                    else:
+                        blob_pieces[slot] = blob_piece
+                        manifest_pieces[slot] = manifest_piece
+                discard(client_id)
         if self._piggyback_state:
             return {"replies": boxes, "state": self._sealed_blob()}
         self._seal_and_store()
@@ -871,7 +1134,9 @@ class LcmContext:
         # prove a rollback/forking attack.
         fields = unseal_invoke(message, self._communication_key)
         encoded, row = self._execute_invoke(fields)
-        box = seal_reply(encoded, self._communication_key)
+        box = seal_reply(
+            encoded, self._communication_key, nonce=self._next_nonce()
+        )
         if row is not None:
             client_id, acknowledged = row
             self._store_row_seal(client_id, acknowledged, box)
@@ -891,40 +1156,42 @@ class LcmContext:
         row).
         """
         client_id, last_sequence, last_chain, operation_bytes, retry = fields
-        entry = self._entries.get(client_id)
-        if entry is None:
+        rows = self._rows
+        slot = rows.slot.get(client_id)
+        if slot is None:
             raise self._halt(
                 SecurityViolation(f"unknown client {client_id}")
             )
+        row_sequence = rows.seq[slot]
 
         # Sec. 4.6.1 retry, case "crashed after store": the operation was
         # executed and recorded but the REPLY was lost.  Detect it by the
         # acknowledged marker and re-send the stored reply.
         if (
             retry
-            and entry.acknowledged == last_sequence
-            and entry.last_sequence > last_sequence
+            and rows.ack[slot] == last_sequence
+            and row_sequence > last_sequence
         ):
-            return self._resend_reply(last_chain, entry), None
+            return self._resend_reply(last_chain, rows.entry(client_id)), None
 
         # The verification at the heart of the protocol:
         # assert V[i] = (*, tc, hc)
-        if entry.last_sequence != last_sequence:
-            if last_sequence < entry.last_sequence:
+        if row_sequence != last_sequence:
+            if last_sequence < row_sequence:
                 raise self._halt(
                     ReplayDetected(
                         f"client {client_id} presented stale sequence "
-                        f"{last_sequence} < {entry.last_sequence}"
+                        f"{last_sequence} < {row_sequence}"
                     )
                 )
             raise self._halt(
                 RollbackDetected(
                     f"client {client_id} is ahead of T "
-                    f"({last_sequence} > {entry.last_sequence}): "
+                    f"({last_sequence} > {row_sequence}): "
                     "T's state was rolled back"
                 )
             )
-        if entry.last_chain != last_chain:
+        if rows.chain_at(slot) != last_chain:
             raise self._halt(
                 ForkDetected(
                     f"client {client_id} hash-chain value diverges from V: "
@@ -937,7 +1204,10 @@ class LcmContext:
         self._sequence = sequence
         cached_op = _OP_DECODE_CACHE.get(operation_bytes)  # inlined hit path
         if cached_op is not None:
-            _OP_DECODE_CACHE.move_to_end(operation_bytes)
+            try:
+                _OP_DECODE_CACHE.move_to_end(operation_bytes)
+            except KeyError:  # evicted concurrently by a worker thread
+                pass
             operation = cached_op.copy()
         else:
             operation = _decode_operation(operation_bytes)
@@ -963,23 +1233,23 @@ class LcmContext:
                     _RESULT_ENCODE_CACHE.popitem(last=False)
                 _RESULT_ENCODE_CACHE[result] = result_bytes
             else:
-                _RESULT_ENCODE_CACHE.move_to_end(result)
+                try:
+                    _RESULT_ENCODE_CACHE.move_to_end(result)
+                except KeyError:  # evicted concurrently by a worker thread
+                    pass
         else:
             result_bytes = serde.encode(result)
-        # update V[i] in place: the row object is owned by this context
-        # (every external entry set goes through _set_entry/_reset_entries
-        # with fresh ClientEntry objects), so mutating it is equivalent to
-        # replacing it minus one allocation.  The dirty mark stays load-
+        # update V[i]'s packed cells in place.  The dirty mark stays load-
         # bearing: if a later operation in this batch aborts the ecall
         # before the row's REPLY box is sealed, the next seal synthesizes
         # a box for this row instead of persisting a stale one.
-        acks = self._acks
-        del acks[bisect_left(acks, entry.acknowledged)]
+        acks = rows.acks
+        del acks[bisect_left(acks, rows.ack[slot])]
         insort(acks, last_sequence)
-        entry.acknowledged = last_sequence
-        entry.last_sequence = sequence
-        entry.last_chain = chain
-        entry.last_result = result_bytes
+        rows.ack[slot] = last_sequence
+        rows.seq[slot] = sequence
+        rows.chains[slot * 32 : slot * 32 + 32] = chain
+        rows.results[slot] = result_bytes
         self._dirty_rows.add(client_id)
         if self._audit:
             self.audit_log.append(
@@ -1025,20 +1295,23 @@ class LcmContext:
         quorum = self._quorum_cache
         if quorum is None:
             if self._quorum_override is not None:
-                quorum = min(self._quorum_override, len(self._entries))
+                quorum = min(self._quorum_override, len(self._rows))
             else:
-                quorum = majority_quorum(len(self._entries))
+                quorum = majority_quorum(len(self._rows))
             self._quorum_cache = quorum
         return quorum
 
     def _stable(self) -> int:
         """``majority-stable(V)`` from the sorted acknowledged mirror —
-        equal to ``stable_with_quorum(self._entries, self._quorum())``
+        equal to ``stable_with_quorum(V, self._quorum())``
         (property-tested) at O(1) per call."""
-        acks = self._acks
-        if not acks:
-            return 0
-        return acks[len(acks) - self._quorum()]
+        return self._rows.stable(self._quorum())
+
+    def _next_nonce(self) -> bytes | None:
+        """Next deterministic seal nonce (None → fall back to the shared
+        pool, only before :meth:`on_start` has seeded the sequence)."""
+        nonces = self._nonces
+        return nonces.next() if nonces is not None else None
 
     def _halt(self, violation: SecurityViolation) -> SecurityViolation:
         """Record the violation and refuse all further processing."""
@@ -1056,14 +1329,14 @@ class LcmContext:
         verb = request[0]
         if verb == "ADD_CLIENT":
             (_, client_id) = request
-            if client_id in self._entries:
+            if client_id in self._rows:
                 raise MembershipError(f"client {client_id} already in the group")
             self._set_entry(client_id, ClientEntry())
             self._seal_and_store()
             return True
         if verb == "REMOVE_CLIENT":
             (_, client_id, new_kc_material) = request
-            if client_id not in self._entries:
+            if client_id not in self._rows:
                 raise MembershipError(f"client {client_id} not in the group")
             self._remove_entry(client_id)
             self._communication_key = AeadKey(new_kc_material, label="kC")
@@ -1071,7 +1344,7 @@ class LcmContext:
             # boxes under the old kC) must be resealed
             self._static_blob = None
             self._static_blob_hash = None
-            self._dirty_rows.update(self._entries)
+            self._dirty_rows.update(self._rows.client_ids())
             self._seal_and_store()
             return True
         raise MembershipError(f"unknown admin request {verb!r}")
@@ -1109,7 +1382,8 @@ class LcmContext:
         dh = DhKeyPair.generate(self._env.secure_random(32))
         channel = dh.shared_key(target_public)
         wire_entries = {
-            client_id: entry.to_wire() for client_id, entry in self._entries.items()
+            client_id: entry.to_wire()
+            for client_id, entry in self._rows.to_entries().items()
         }
         bundle = serde.encode(
             [
@@ -1149,10 +1423,8 @@ class LcmContext:
         )
         self._quorum_override = quorum if quorum else None
         self._invalidate_seal_caches()
-        if self._entries:
-            _, top = argmax_entry(self._entries)
-            self._sequence = top.last_sequence
-            self._chain = top.last_chain
+        if len(self._rows):
+            _, self._sequence, self._chain = self._rows.argmax()
         self._provisioned = True
         self._seal_and_store()
         return True
@@ -1174,7 +1446,7 @@ class LcmContext:
 
         if not self._provisioned:
             raise ConfigurationError("only a provisioned context takes part in a handoff")
-        if HANDOFF_CLIENT_ID in self._entries:
+        if HANDOFF_CLIENT_ID in self._rows:
             raise ConfigurationError(
                 f"client id {HANDOFF_CLIENT_ID} is reserved for handoff records"
             )
@@ -1278,7 +1550,7 @@ class LcmContext:
             raise ConfigurationError(
                 "only a provisioned context takes part in a handoff"
             )
-        if HANDOFF_CLIENT_ID in self._entries:
+        if HANDOFF_CLIENT_ID in self._rows:
             # same precondition the full-handshake path enforces: handoff
             # records are sequenced under the reserved client id, which
             # must not collide with a real member enrolled since the
@@ -1374,7 +1646,7 @@ class LcmContext:
         return {
             "provisioned": self._provisioned,
             "sequence": self._sequence,
-            "clients": sorted(self._entries),
+            "clients": self._rows.client_ids(),
             "halted": self._halted is not None,
             "migrated_out": self._migrated_out,
         }

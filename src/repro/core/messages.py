@@ -27,14 +27,18 @@ import struct
 from dataclasses import dataclass
 
 from repro import serde
+from repro.crypto import fastpath as _fastpath
 from repro.crypto.aead import (
+    OVERHEAD,
     AeadKey,
+    _fresh_nonce,
+    _mac_frame,
     auth_decrypt,
     auth_decrypt_batch,
     auth_encrypt,
     auth_encrypt_batch,
 )
-from repro.errors import InvalidReply
+from repro.errors import AuthenticationFailure, InvalidReply
 
 _INVOKE_AD = b"lcm/invoke"
 _REPLY_AD = b"lcm/reply"
@@ -169,8 +173,82 @@ def decode_reply(data: bytes) -> tuple[int, bytes, bytes, int, bytes]:
 
 
 def unseal_reply(box: bytes, key: AeadKey) -> tuple[int, bytes, bytes, int, bytes]:
-    """Verify, decrypt and decode one REPLY box to its field tuple."""
+    """Verify, decrypt and decode one REPLY box to its field tuple.
+
+    With the compiled fastpath backend the MAC check, decrypt and field
+    decode fuse into a single C call (the client completes one reply per
+    operation, so this is half the client's per-op crypto work); any
+    authentic-but-non-canonical payload falls back to the generic
+    decoder on the C-returned plaintext.
+    """
+    open_reply = _fastpath.BACKEND.open_reply
+    if open_reply is not None:
+        if len(box) < OVERHEAD:
+            raise AuthenticationFailure("ciphertext too short to be authentic")
+        plain, meta = open_reply(
+            key._enc_key,
+            key._mac_key,
+            _mac_frame(key, _REPLY_AD),
+            _REPLY_PREFIX,
+            box,
+        )
+        if plain is None:
+            raise AuthenticationFailure("MAC verification failed")
+        if meta is not None:
+            return (
+                meta[0],
+                plain[meta[1] : meta[1] + meta[2]],
+                plain[meta[3] : meta[3] + meta[4]],
+                meta[5],
+                plain[meta[6] : meta[6] + meta[7]],
+            )
+        return decode_reply(plain)
     return decode_reply(auth_decrypt(box, key, associated_data=_REPLY_AD))
+
+
+def unseal_replies(
+    boxes: list[bytes], key: AeadKey
+) -> list[tuple[int, bytes, bytes, int, bytes]]:
+    """Verify, decrypt and decode a whole batch of REPLY boxes in one C
+    call (the client side of an invoke batch: MAC check, keystream, XOR
+    and field decode for every reply share one crossing).
+
+    Semantically identical to ``[unseal_reply(box, key) for box in
+    boxes]``: the first unauthentic box raises with that box's
+    diagnostics, and any authentic-but-non-canonical payload sends the
+    whole batch through the generic per-box decoder.
+    """
+    open_batch = _fastpath.BACKEND.open_reply_batch
+    if open_batch is not None and boxes:
+        opened = open_batch(
+            key._enc_key,
+            key._mac_key,
+            _mac_frame(key, _REPLY_AD),
+            _REPLY_PREFIX,
+            boxes,
+        )
+        if type(opened) is tuple:
+            plain, meta = opened
+            fields = []
+            for index in range(len(boxes)):
+                base = 8 * index
+                fields.append(
+                    (
+                        meta[base],
+                        plain[meta[base + 1] : meta[base + 1] + meta[base + 2]],
+                        plain[meta[base + 3] : meta[base + 3] + meta[base + 4]],
+                        meta[base + 5],
+                        plain[meta[base + 6] : meta[base + 6] + meta[base + 7]],
+                    )
+                )
+            return fields
+        if opened <= -2000:  # non-canonical payload: re-parse generically
+            return [unseal_reply(box, key) for box in boxes]
+        bad = -1000 - opened
+        if len(boxes[bad]) < OVERHEAD:
+            raise AuthenticationFailure("ciphertext too short to be authentic")
+        raise AuthenticationFailure("MAC verification failed")
+    return [unseal_reply(box, key) for box in boxes]
 
 
 def unseal_invoke(box: bytes, key: AeadKey) -> tuple[int, int, bytes, bytes, bool]:
@@ -236,12 +314,90 @@ class InvokePayload:
             retry=retry,
         )
 
-    def seal(self, key: AeadKey) -> bytes:
-        return auth_encrypt(self.encode(), key, associated_data=_INVOKE_AD)
+    def seal(self, key: AeadKey, *, nonce: bytes | None = None) -> bytes:
+        """Encode and seal in one step.
+
+        With the compiled fastpath backend the canonical encode, keystream,
+        XOR and MAC fuse into a single C call — the client builds one
+        INVOKE per attempt, so this removes the other half of its per-op
+        crypto overhead.  Fields outside the C codec's int64 range (never
+        produced by the protocol, whose counters start at zero) take the
+        generic path.
+        """
+        seal_invoke = _fastpath.BACKEND.seal_invoke
+        if (
+            seal_invoke is not None
+            and 0 <= self.last_sequence < 2**63
+            and 0 <= self.client_id < 2**63
+        ):
+            box = seal_invoke(
+                key._enc_key,
+                key._mac_key,
+                nonce if nonce is not None else _fresh_nonce(),
+                _mac_frame(key, _INVOKE_AD),
+                _INVOKE_PREFIX,
+                self.last_sequence,
+                self.last_chain,
+                self.operation,
+                self.client_id,
+                self.retry,
+            )
+            if box is not None:
+                return box
+        return auth_encrypt(
+            self.encode(), key, associated_data=_INVOKE_AD, nonce=nonce
+        )
 
     @classmethod
     def unseal(cls, box: bytes, key: AeadKey) -> "InvokePayload":
         return cls.decode(auth_decrypt(box, key, associated_data=_INVOKE_AD))
+
+
+def seal_invokes(
+    payloads: list[InvokePayload],
+    key: AeadKey,
+    *,
+    nonces: list[bytes] | None = None,
+) -> list[bytes]:
+    """Encode and seal a whole batch of INVOKEs in one C call (the
+    client side of an invoke batch; byte-identical to sealing each
+    payload individually under the same nonces).
+
+    ``nonces`` defaults to fresh random nonces, one per payload.
+    """
+    batch = _fastpath.BACKEND.seal_invoke_batch
+    if batch is not None and all(
+        0 <= payload.last_sequence < 2**63
+        and 0 <= payload.client_id < 2**63
+        for payload in payloads
+    ):
+        if nonces is None:
+            nonces = [_fresh_nonce() for _ in payloads]
+        boxes = batch(
+            key._enc_key,
+            key._mac_key,
+            nonces,
+            _mac_frame(key, _INVOKE_AD),
+            _INVOKE_PREFIX,
+            [
+                (
+                    payload.last_sequence,
+                    payload.last_chain,
+                    payload.operation,
+                    payload.client_id,
+                    payload.retry,
+                )
+                for payload in payloads
+            ],
+        )
+        if boxes is not None:
+            return boxes
+    if nonces is None:
+        return [payload.seal(key) for payload in payloads]
+    return [
+        payload.seal(key, nonce=nonce)
+        for payload, nonce in zip(payloads, nonces)
+    ]
 
 
 def encode_reply(
@@ -283,14 +439,25 @@ def encode_reply(
         ) from None
 
 
-def seal_reply(encoded: bytes, key: AeadKey) -> bytes:
-    """Seal one canonically encoded REPLY under ``kC``."""
-    return auth_encrypt(encoded, key, associated_data=_REPLY_AD)
+def seal_reply(
+    encoded: bytes, key: AeadKey, *, nonce: bytes | None = None
+) -> bytes:
+    """Seal one canonically encoded REPLY under ``kC``.
+
+    ``nonce`` pins the box nonce — the trusted context derives its reply
+    nonces from a per-epoch counter sequence so the sealed bytes are
+    independent of pool state and thread interleaving.
+    """
+    return auth_encrypt(encoded, key, associated_data=_REPLY_AD, nonce=nonce)
 
 
-def seal_replies(encoded: list[bytes], key: AeadKey) -> list[bytes]:
+def seal_replies(
+    encoded: list[bytes], key: AeadKey, *, nonces: list[bytes] | None = None
+) -> list[bytes]:
     """Seal a batch of canonically encoded REPLYs in one AEAD pass."""
-    return auth_encrypt_batch(encoded, key, associated_data=_REPLY_AD)
+    return auth_encrypt_batch(
+        encoded, key, associated_data=_REPLY_AD, nonces=nonces
+    )
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -323,8 +490,10 @@ class ReplyPayload:
             sequence=t, chain=h, result=r, stable_sequence=q, previous_chain=prev
         )
 
-    def seal(self, key: AeadKey) -> bytes:
-        return auth_encrypt(self.encode(), key, associated_data=_REPLY_AD)
+    def seal(self, key: AeadKey, *, nonce: bytes | None = None) -> bytes:
+        return auth_encrypt(
+            self.encode(), key, associated_data=_REPLY_AD, nonce=nonce
+        )
 
     @classmethod
     def unseal(cls, box: bytes, key: AeadKey) -> "ReplyPayload":

@@ -25,6 +25,8 @@ stable among a majority is linearizable", Sec. 3.2.2).
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from repro.crypto.hashing import GENESIS_HASH
@@ -47,6 +49,151 @@ class ClientEntry:
     def from_wire(cls, data: list) -> "ClientEntry":
         ta, t, h, r = data
         return cls(acknowledged=ta, last_sequence=t, last_chain=h, last_result=r)
+
+
+class PackedRows:
+    """``V`` as parallel packed columns instead of a dict of row objects.
+
+    The batched invoke fast path hands the whole table to the native
+    backend in one call: client ids, acknowledged markers and sequence
+    numbers live in ``array('q')`` columns (machine int64, directly
+    addressable from C through the buffer protocol), hash-chain values in
+    one contiguous bytearray of 32-byte cells, and results — variable
+    length, never read by the verification pass — as a plain list of
+    bytes.  ``acks`` mirrors the acknowledged column in sorted order so
+    ``majority-stable(V)`` stays one index per operation, exactly like
+    the sorted-list mirror the dict representation kept.
+
+    Rows are ordered by client id; ``slot`` maps a client id to its row
+    index.  Membership events (insert/remove/replace) re-pack the
+    columns — they are rare and small — while the per-operation path
+    mutates a row's cells in place.
+
+    Sequence numbers and acknowledged markers beyond int64 would overflow
+    the columns; the protocol assigns them incrementally from zero, so the
+    bound is unreachable in practice (client ids outside the range never
+    enter ``V`` — an unknown id is rejected before any row is written).
+    """
+
+    CHAIN_BYTES = 32
+
+    __slots__ = ("ids", "ack", "seq", "chains", "results", "slot", "acks")
+
+    def __init__(self) -> None:
+        self.ids = array("q")
+        self.ack = array("q")
+        self.seq = array("q")
+        self.chains = bytearray()
+        self.results: list[bytes] = []
+        self.slot: dict[int, int] = {}
+        self.acks = array("q")
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self.slot
+
+    def client_ids(self) -> list[int]:
+        """All client ids, ascending (rows are stored in id order)."""
+        return self.ids.tolist()
+
+    def entry(self, client_id: int) -> ClientEntry | None:
+        """A snapshot :class:`ClientEntry` for one row (slow paths only;
+        mutations go through the packed columns, not the snapshot)."""
+        slot = self.slot.get(client_id)
+        if slot is None:
+            return None
+        return ClientEntry(
+            acknowledged=self.ack[slot],
+            last_sequence=self.seq[slot],
+            last_chain=self.chain_at(slot),
+            last_result=self.results[slot],
+        )
+
+    def chain_at(self, slot: int) -> bytes:
+        start = slot * self.CHAIN_BYTES
+        return bytes(self.chains[start : start + self.CHAIN_BYTES])
+
+    def to_entries(self) -> dict[int, ClientEntry]:
+        """The dict-of-rows view (migration export, checkers, tests)."""
+        return {
+            client_id: self.entry(client_id)  # type: ignore[misc]
+            for client_id in self.ids
+        }
+
+    def argmax(self) -> tuple[int, int, bytes]:
+        """``argmax(V)``: (client id, sequence, chain) of the row with the
+        highest last sequence number (recovery, Sec. 4.4)."""
+        if not self.ids:
+            raise ConfigurationError("V is empty")
+        seq = self.seq
+        top = max(range(len(seq)), key=seq.__getitem__)
+        return self.ids[top], seq[top], self.chain_at(top)
+
+    def stable(self, quorum: int) -> int:
+        """``majority-stable(V)`` from the sorted acknowledged mirror."""
+        acks = self.acks
+        if not acks:
+            return 0
+        return acks[len(acks) - quorum]
+
+    # ---------------------------------------------------------- membership
+
+    def replace(self, entries: dict[int, ClientEntry]) -> None:
+        """Adopt a whole new table (provision / restore / migration)."""
+        self.ids = array("q", sorted(entries))
+        self.ack = array("q", (entries[i].acknowledged for i in self.ids))
+        self.seq = array("q", (entries[i].last_sequence for i in self.ids))
+        chains = bytearray()
+        results = []
+        for client_id in self.ids:
+            entry = entries[client_id]
+            chain = entry.last_chain
+            if len(chain) != self.CHAIN_BYTES:
+                raise ConfigurationError(
+                    f"client {client_id} chain value is {len(chain)} bytes; "
+                    f"V rows hold {self.CHAIN_BYTES}-byte hash-chain values"
+                )
+            chains += chain
+            results.append(entry.last_result)
+        self.chains = chains
+        self.results = results
+        self.slot = {client_id: i for i, client_id in enumerate(self.ids)}
+        self.acks = array("q", sorted(self.ack))
+
+    def insert(self, client_id: int, entry: ClientEntry | None = None) -> None:
+        """Add one row (admin join); rows stay packed in id order."""
+        if client_id in self.slot:
+            raise ConfigurationError(f"client {client_id} already has a row")
+        entry = entry if entry is not None else ClientEntry()
+        position = bisect_left(self.ids, client_id)
+        self.ids.insert(position, client_id)
+        self.ack.insert(position, entry.acknowledged)
+        self.seq.insert(position, entry.last_sequence)
+        self.chains[
+            position * self.CHAIN_BYTES : position * self.CHAIN_BYTES
+        ] = entry.last_chain
+        self.results.insert(position, entry.last_result)
+        self.slot = {cid: i for i, cid in enumerate(self.ids)}
+        insort(self.acks, entry.acknowledged)
+
+    def remove(self, client_id: int) -> None:
+        """Drop one row (admin leave)."""
+        position = self.slot.pop(client_id, None)
+        if position is None:
+            raise ConfigurationError(f"client {client_id} has no row")
+        del self.acks[bisect_left(self.acks, self.ack[position])]
+        del self.ids[position]
+        del self.ack[position]
+        del self.seq[position]
+        del self.chains[
+            position * self.CHAIN_BYTES : (position + 1) * self.CHAIN_BYTES
+        ]
+        del self.results[position]
+        self.slot = {cid: i for i, cid in enumerate(self.ids)}
 
 
 def stable_with_quorum(entries: dict[int, ClientEntry], quorum: int) -> int:

@@ -110,8 +110,56 @@ def _cache_store(cache_key: tuple[bytes, bytes], stream: bytes) -> None:
         while (
             len(cache) > entry_floor or _ks_cache_bytes > byte_floor
         ) and len(cache) > 1:
-            oldest = next(iter(cache))
-            _ks_cache_bytes -= len(cache.pop(oldest))
+            # the threaded execution backend seals from worker threads;
+            # another thread may evict the same entry between the iter and
+            # the pop, so both steps tolerate a concurrent mutation
+            try:
+                oldest = next(iter(cache))
+                _ks_cache_bytes -= len(cache.pop(oldest))
+            except (KeyError, RuntimeError, StopIteration):
+                break
+
+
+class NonceSequence:
+    """Deterministic per-context nonce chain for enclave-sealed boxes.
+
+    ``nonce_i = SHA-256(seed || i.to_bytes(8, "big"))[:NONCE_SIZE]`` — the
+    exact derivation the C fast path applies inside
+    ``lcm_invoke_batch_reply``, so a batch of replies sealed by either
+    side of the backend seam carries byte-identical nonces.  The 32-byte
+    seed is drawn once from platform randomness when the enclave context
+    starts; the counter then advances without further entropy draws,
+    which keeps worker-thread sealing off the shared process nonce pool
+    (and therefore keeps the ``serial`` and ``threaded`` execution
+    backends, and every fastpath backend, emitting identical wire bytes).
+    """
+
+    __slots__ = ("seed", "counter")
+
+    def __init__(self, seed: bytes, start: int = 0) -> None:
+        if len(seed) != 32:
+            raise ConfigurationError(
+                f"nonce sequence seeds are 32 bytes, got {len(seed)}"
+            )
+        self.seed = seed
+        self.counter = start
+
+    def next(self) -> bytes:
+        counter = self.counter
+        self.counter = counter + 1
+        return _sha256(
+            self.seed + counter.to_bytes(8, "big")
+        ).digest()[:NONCE_SIZE]
+
+    def take(self, count: int) -> list[bytes]:
+        """``count`` consecutive nonces (one reply batch)."""
+        seed = self.seed
+        counter = self.counter
+        self.counter = counter + count
+        return [
+            _sha256(seed + (counter + i).to_bytes(8, "big")).digest()[:NONCE_SIZE]
+            for i in range(count)
+        ]
 
 
 def _generate_stream(key: "AeadKey", nonce: bytes, nblocks: int) -> bytes:

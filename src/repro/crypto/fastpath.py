@@ -78,6 +78,15 @@ class PythonBackend:
     open_boxes = None
     sha256_many: Callable[[list], list[bytes]] | None = None
     chain_extend: Callable[[bytes, bytes, int, int], bytes] | None = None
+    #: Fused protocol codecs (whole-message or whole-batch field codec +
+    #: AEAD in one C call); ``None`` means the message layer and the
+    #: trusted context run their per-field Python paths instead.
+    seal_invoke = None
+    open_reply = None
+    seal_invoke_batch = None
+    open_reply_batch = None
+    invoke_batch_open = None
+    invoke_batch_reply = None
 
     def blocks(self, prefix: bytes, nblocks: int, *, seeded=None) -> bytes:
         """``nblocks * 32`` keystream bytes for one (key, nonce).
@@ -239,10 +248,79 @@ int lcm_open_boxes(const unsigned char *enc_key,
                    const unsigned char *joined_boxes,
                    const unsigned long long *offsets, size_t n,
                    unsigned char *out_pt);
+int lcm_seal_invoke(const unsigned char *enc_key,
+                    const unsigned char *mac_key,
+                    const unsigned char *nonce,
+                    const unsigned char *frame, size_t frame_len,
+                    const unsigned char *prefix, size_t prefix_len,
+                    long long tc,
+                    const unsigned char *hc, size_t hc_len,
+                    const unsigned char *op, size_t op_len,
+                    long long cid, int retry,
+                    unsigned char *out);
+long long lcm_open_reply(const unsigned char *enc_key,
+                         const unsigned char *mac_key,
+                         const unsigned char *frame, size_t frame_len,
+                         const unsigned char *prefix, size_t prefix_len,
+                         const unsigned char *box, size_t box_len,
+                         unsigned char *out_pt, long long *meta);
+int lcm_seal_invoke_batch(const unsigned char *enc_key,
+                          const unsigned char *mac_key,
+                          const unsigned char *frame, size_t frame_len,
+                          const unsigned char *prefix, size_t prefix_len,
+                          const unsigned char *nonces,
+                          const long long *tcs,
+                          const unsigned char *hcs,
+                          const unsigned long long *hc_offsets,
+                          const unsigned char *ops,
+                          const unsigned long long *op_offsets,
+                          const long long *cids,
+                          const unsigned char *retries,
+                          size_t n,
+                          unsigned char *out_boxes);
+long long lcm_open_reply_batch(const unsigned char *enc_key,
+                               const unsigned char *mac_key,
+                               const unsigned char *frame, size_t frame_len,
+                               const unsigned char *prefix, size_t prefix_len,
+                               const unsigned char *joined_boxes,
+                               const unsigned long long *offsets, size_t n,
+                               unsigned char *out_pt,
+                               long long *meta);
+long long lcm_invoke_batch_open(const unsigned char *enc_key,
+                                const unsigned char *mac_key,
+                                const unsigned char *frame, size_t frame_len,
+                                const unsigned char *prefix, size_t prefix_len,
+                                const unsigned char *joined_boxes,
+                                const unsigned long long *offsets, size_t n,
+                                unsigned char *out_pt,
+                                long long *meta,
+                                unsigned char *chains_out,
+                                const long long *row_ids, size_t nrows,
+                                long long *row_ack, long long *row_seq,
+                                unsigned char *row_chains,
+                                long long *acks,
+                                long long quorum,
+                                long long *sequence_io,
+                                unsigned char *chain_io);
+int lcm_invoke_batch_reply(const unsigned char *enc_key,
+                           const unsigned char *mac_key,
+                           const unsigned char *frame, size_t frame_len,
+                           const unsigned char *prefix, size_t prefix_len,
+                           const long long *meta, size_t n,
+                           const unsigned char *chains,
+                           const unsigned char *pt_in,
+                           const unsigned char *results,
+                           const unsigned long long *result_offsets,
+                           const unsigned char *nonce_seed,
+                           unsigned long long nonce_counter,
+                           unsigned char *out_boxes,
+                           unsigned char *out_rows,
+                           unsigned char *out_manifests);
 """
 
 _C_SOURCE = r"""
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
 
 typedef struct {
@@ -605,7 +683,12 @@ void lcm_sha256_batch(const unsigned char *data,
    and opened by another inside the same interpreter, so the opener's
    keystream is a cache hit.  Reuse is safe because a slot only answers
    for the exact (enc_key, nonce) pair that filled it, and the stream for
-   a pair is deterministic.  All calls run under the GIL, so no locking. */
+   a pair is deterministic.  cffi releases the GIL around these calls and
+   the threaded execution backend runs them concurrently, so the cache is
+   thread-local: a lazily allocated per-thread table (a __thread array of
+   this size could exhaust the static TLS block when the module is
+   dlopened; a __thread pointer cannot).  Allocation failure falls back
+   to uncached streaming. */
 #define KS_SLOTS 512
 #define KS_MAX_STREAM 1024
 
@@ -617,7 +700,14 @@ typedef struct {
     uint8_t stream[KS_MAX_STREAM];
 } ks_slot;
 
-static ks_slot ks_cache[KS_SLOTS];
+static __thread ks_slot *ks_cache_tls = 0;
+
+static ks_slot *ks_cache_get(void)
+{
+    if (!ks_cache_tls)
+        ks_cache_tls = (ks_slot *)calloc(KS_SLOTS, sizeof(ks_slot));
+    return ks_cache_tls;
+}
 
 static size_t ks_index(const unsigned char *nonce)
 {
@@ -666,19 +756,29 @@ static void ctr_xor(const unsigned char *enc_key, const unsigned char *nonce,
     if (!len)
         return;
     if (len <= KS_MAX_STREAM) {
-        ks_slot *slot = &ks_cache[ks_index(nonce)];
-        if (!(slot->valid && slot->nbytes >= len
-              && !memcmp(slot->nonce, nonce, 12)
-              && !memcmp(slot->key, enc_key, 32))) {
-            size_t nblocks = (len + 31) / 32;
-            ctr_blocks(enc_key, nonce, nblocks, slot->stream);
-            memcpy(slot->key, enc_key, 32);
-            memcpy(slot->nonce, nonce, 12);
-            slot->nbytes = (uint32_t)(nblocks * 32);
-            slot->valid = 1;
+        ks_slot *cache = ks_cache_get();
+        if (cache) {
+            ks_slot *slot = &cache[ks_index(nonce)];
+            if (!(slot->valid && slot->nbytes >= len
+                  && !memcmp(slot->nonce, nonce, 12)
+                  && !memcmp(slot->key, enc_key, 32))) {
+                size_t nblocks = (len + 31) / 32;
+                ctr_blocks(enc_key, nonce, nblocks, slot->stream);
+                memcpy(slot->key, enc_key, 32);
+                memcpy(slot->nonce, nonce, 12);
+                slot->nbytes = (uint32_t)(nblocks * 32);
+                slot->valid = 1;
+            }
+            for (k = 0; k < len; k++)
+                out[k] = in[k] ^ slot->stream[k];
+            return;
         }
-        for (k = 0; k < len; k++)
-            out[k] = in[k] ^ slot->stream[k];
+        {
+            uint8_t stream[KS_MAX_STREAM];
+            ctr_blocks(enc_key, nonce, (len + 31) / 32, stream);
+            for (k = 0; k < len; k++)
+                out[k] = in[k] ^ stream[k];
+        }
         return;
     }
     {
@@ -912,6 +1012,661 @@ void lcm_hmac_tags(const unsigned char *key, size_t keylen,
         sha_final(&c, out + 32 * t);
     }
 }
+
+/* ---- batched INVOKE/REPLY protocol codec ---------------------------- */
+
+/* The canonical serde layout for the two protocol messages (pinned by
+   the message-wire golden tests):
+
+   INVOKE  prefix25 || i128(tc) || 'B' len8 hc || 'B' len8 op
+           || 'I' i128(cid) || 'T'/'F'
+   REPLY   prefix24 || i128(t) || 'B' len8 chain || 'B' len8 result
+           || 'I' i128(q) || 'B' len8 prev_chain
+
+   i128 is a 16-byte big-endian two's-complement integer; the prefixes
+   (list header + verb string + leading 'I') are passed in from Python so
+   this code never hard-codes serde framing bytes.  Any deviation from
+   the canonical shape reports "fall back" and the generic Python codec
+   takes over — nothing here extends what the wire accepts. */
+
+static uint64_t load_be64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    int b;
+    for (b = 0; b < 8; b++)
+        v = (v << 8) | p[b];
+    return v;
+}
+
+static void put_be64(unsigned char *p, uint64_t v)
+{
+    int b;
+    for (b = 0; b < 8; b++)
+        p[b] = (uint8_t)(v >> (56 - 8 * b));
+}
+
+/* i128 -> int64, rejecting values that need more than 64 bits. */
+static int i128_to_i64(const unsigned char *p, long long *out)
+{
+    uint64_t hi = load_be64(p);
+    uint64_t lo = load_be64(p + 8);
+    if (hi == 0 && !(lo >> 63)) {
+        *out = (long long)lo;
+        return 0;
+    }
+    if (hi == 0xFFFFFFFFFFFFFFFFULL && (lo >> 63)) {
+        *out = (long long)lo;
+        return 0;
+    }
+    return -1;
+}
+
+static void i64_to_i128(long long value, unsigned char *out)
+{
+    memset(out, value < 0 ? 0xFF : 0x00, 8);
+    put_be64(out + 8, (uint64_t)value);
+}
+
+static long long sorted_find(const long long *xs, size_t n, long long v)
+{
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (xs[mid] < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < n && xs[lo] == v)
+        return (long long)lo;
+    return -1;
+}
+
+/* Delete one occurrence of `value` and insert `fresh`, keeping the
+   sorted acknowledged mirror sorted — the multiset result is identical
+   to Python's del-at-bisect_left + insort. */
+static void acks_replace(long long *acks, size_t n, long long value,
+                         long long fresh)
+{
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (acks[mid] < value)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    memmove(acks + lo, acks + lo + 1, (n - lo - 1) * sizeof(long long));
+    lo = 0;
+    hi = n - 1;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (acks[mid] <= fresh)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    memmove(acks + lo + 1, acks + lo, (n - 1 - lo) * sizeof(long long));
+    acks[lo] = fresh;
+}
+
+/* nonce_i = SHA-256(seed32 || counter_8be)[:12] — the per-context
+   deterministic nonce sequence (40-byte message, one padded block). */
+static void derive_nonce(const unsigned char *seed, uint64_t counter,
+                         unsigned char *out12)
+{
+    uint8_t block[64];
+    uint32_t state[8];
+    uint8_t digest[32];
+    uint64_t bits = 40 * 8;
+    memset(block, 0, 64);
+    memcpy(block, seed, 32);
+    put_be64(block + 32, counter);
+    block[40] = 0x80;
+    put_be64(block + 56, bits);
+    memcpy(state, SHA_IV, sizeof state);
+    sha_compress(state, block);
+    store_be32x8(state, digest);
+    memcpy(out12, digest, 12);
+}
+
+/* Client-side fused INVOKE codec: canonical field encode + seal in one
+   call.  `out` receives prefix_len+52+hc_len+op_len+28 box bytes. */
+int lcm_seal_invoke(const unsigned char *enc_key,
+                    const unsigned char *mac_key,
+                    const unsigned char *nonce,
+                    const unsigned char *frame, size_t frame_len,
+                    const unsigned char *prefix, size_t prefix_len,
+                    long long tc,
+                    const unsigned char *hc, size_t hc_len,
+                    const unsigned char *op, size_t op_len,
+                    long long cid, int retry,
+                    unsigned char *out)
+{
+    size_t pt_len = 52 + prefix_len + hc_len + op_len;
+    unsigned char *pt = (unsigned char *)malloc(pt_len);
+    unsigned char *p = pt;
+    uint32_t ipad_state[8], opad_state[8];
+    if (!pt)
+        return -1;
+    memcpy(p, prefix, prefix_len);
+    p += prefix_len;
+    i64_to_i128(tc, p);
+    p += 16;
+    *p++ = 'B';
+    put_be64(p, (uint64_t)hc_len);
+    p += 8;
+    memcpy(p, hc, hc_len);
+    p += hc_len;
+    *p++ = 'B';
+    put_be64(p, (uint64_t)op_len);
+    p += 8;
+    memcpy(p, op, op_len);
+    p += op_len;
+    *p++ = 'I';
+    i64_to_i128(cid, p);
+    p += 16;
+    *p++ = retry ? 'T' : 'F';
+    memcpy(out, nonce, 12);
+    ctr_xor(enc_key, nonce, pt, pt_len, out + 12);
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    derive_tag16(ipad_state, opad_state, frame, frame_len,
+                 out, 12 + pt_len, out + 12 + pt_len);
+    free(pt);
+    return 0;
+}
+
+/* Client-side fused REPLY open: authenticate, decrypt and parse in one
+   call.  Returns 0 with meta = [t, chain_off, chain_len, result_off,
+   result_len, q, prev_off, prev_len]; -1 on authentication failure
+   (nothing written); -2 when the box is authentic but not canonically
+   shaped (out_pt holds the plaintext; the generic codec re-parses). */
+static long long open_reply_core(const unsigned char *enc_key,
+                                 const uint32_t *ipad_state,
+                                 const uint32_t *opad_state,
+                                 const unsigned char *frame,
+                                 size_t frame_len,
+                                 const unsigned char *prefix,
+                                 size_t prefix_len,
+                                 const unsigned char *box, size_t box_len,
+                                 unsigned char *out_pt, long long *meta)
+{
+    unsigned char tag[16];
+    size_t size, pos;
+    uint64_t flen;
+    long long t, q;
+
+    if (box_len < 28)
+        return -1;
+    derive_tag16(ipad_state, opad_state, frame, frame_len,
+                 box, box_len - 16, tag);
+    if (tag16_differs(tag, box + box_len - 16))
+        return -1;
+    size = box_len - 28;
+    ctr_xor(enc_key, box, box + 12, size, out_pt);
+
+    if (size < prefix_len + 16 + 9 + 9 + 17 + 9
+        || memcmp(out_pt, prefix, prefix_len) != 0)
+        return -2;
+    if (i128_to_i64(out_pt + prefix_len, &t) != 0)
+        return -2;
+    pos = prefix_len + 16;
+    if (out_pt[pos] != 'B')
+        return -2;
+    flen = load_be64(out_pt + pos + 1);
+    pos += 9;
+    if (flen > size - pos)
+        return -2;
+    meta[1] = (long long)pos;
+    meta[2] = (long long)flen;
+    pos += (size_t)flen;
+    if (size - pos < 9 || out_pt[pos] != 'B')
+        return -2;
+    flen = load_be64(out_pt + pos + 1);
+    pos += 9;
+    if (flen > size - pos)
+        return -2;
+    meta[3] = (long long)pos;
+    meta[4] = (long long)flen;
+    pos += (size_t)flen;
+    if (size - pos < 17 + 9 || out_pt[pos] != 'I')
+        return -2;
+    if (i128_to_i64(out_pt + pos + 1, &q) != 0)
+        return -2;
+    pos += 17;
+    if (out_pt[pos] != 'B')
+        return -2;
+    flen = load_be64(out_pt + pos + 1);
+    pos += 9;
+    if (flen != size - pos)
+        return -2;
+    meta[6] = (long long)pos;
+    meta[7] = (long long)flen;
+    meta[0] = t;
+    meta[5] = q;
+    return 0;
+}
+
+long long lcm_open_reply(const unsigned char *enc_key,
+                         const unsigned char *mac_key,
+                         const unsigned char *frame, size_t frame_len,
+                         const unsigned char *prefix, size_t prefix_len,
+                         const unsigned char *box, size_t box_len,
+                         unsigned char *out_pt, long long *meta)
+{
+    uint32_t ipad_state[8], opad_state[8];
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    return open_reply_core(enc_key, ipad_state, opad_state,
+                           frame, frame_len, prefix, prefix_len,
+                           box, box_len, out_pt, meta);
+}
+
+/* Client-side whole-batch INVOKE seal: canonical field encode + seal
+   for n independent invokes in one call (one HMAC pad derivation, one
+   scratch buffer).  Box i is 80+prefix_len+hc_len+op_len bytes, written
+   back to back.  Returns 0, or -1 on allocation failure. */
+int lcm_seal_invoke_batch(const unsigned char *enc_key,
+                          const unsigned char *mac_key,
+                          const unsigned char *frame, size_t frame_len,
+                          const unsigned char *prefix, size_t prefix_len,
+                          const unsigned char *nonces,
+                          const long long *tcs,
+                          const unsigned char *hcs,
+                          const unsigned long long *hc_offsets,
+                          const unsigned char *ops,
+                          const unsigned long long *op_offsets,
+                          const long long *cids,
+                          const unsigned char *retries,
+                          size_t n,
+                          unsigned char *out_boxes)
+{
+    uint32_t ipad_state[8], opad_state[8];
+    unsigned char *scratch;
+    size_t scratch_len = 1;
+    size_t i;
+
+    for (i = 0; i < n; i++) {
+        size_t pt_len = 52 + prefix_len
+            + (size_t)(hc_offsets[i + 1] - hc_offsets[i])
+            + (size_t)(op_offsets[i + 1] - op_offsets[i]);
+        if (pt_len > scratch_len)
+            scratch_len = pt_len;
+    }
+    scratch = (unsigned char *)malloc(scratch_len);
+    if (!scratch)
+        return -1;
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    for (i = 0; i < n; i++) {
+        size_t hc_len = (size_t)(hc_offsets[i + 1] - hc_offsets[i]);
+        size_t op_len = (size_t)(op_offsets[i + 1] - op_offsets[i]);
+        size_t pt_len = 52 + prefix_len + hc_len + op_len;
+        unsigned char *p = scratch;
+
+        memcpy(p, prefix, prefix_len);
+        p += prefix_len;
+        i64_to_i128(tcs[i], p);
+        p += 16;
+        *p++ = 'B';
+        put_be64(p, (uint64_t)hc_len);
+        p += 8;
+        memcpy(p, hcs + hc_offsets[i], hc_len);
+        p += hc_len;
+        *p++ = 'B';
+        put_be64(p, (uint64_t)op_len);
+        p += 8;
+        memcpy(p, ops + op_offsets[i], op_len);
+        p += op_len;
+        *p++ = 'I';
+        i64_to_i128(cids[i], p);
+        p += 16;
+        *p++ = retries[i] ? 'T' : 'F';
+        memcpy(out_boxes, nonces + 12 * i, 12);
+        ctr_xor(enc_key, nonces + 12 * i, scratch, pt_len, out_boxes + 12);
+        derive_tag16(ipad_state, opad_state, frame, frame_len,
+                     out_boxes, 12 + pt_len, out_boxes + 12 + pt_len);
+        out_boxes += 28 + pt_len;
+    }
+    free(scratch);
+    return 0;
+}
+
+/* Client-side whole-batch REPLY open: authenticate, decrypt and parse n
+   independent replies in one call.  Plaintext i occupies
+   [offsets[i]-28*i, offsets[i+1]-28*(i+1)) of out_pt; meta holds 8
+   int64 per reply — [t, chain_off, chain_len, result_off, result_len,
+   q, prev_off, prev_len] with offsets absolute into out_pt.  Returns 0,
+   -1000-i for the first unauthentic box, or -2000-i for the first
+   authentic but non-canonical one (the caller re-parses generically). */
+long long lcm_open_reply_batch(const unsigned char *enc_key,
+                               const unsigned char *mac_key,
+                               const unsigned char *frame, size_t frame_len,
+                               const unsigned char *prefix, size_t prefix_len,
+                               const unsigned char *joined_boxes,
+                               const unsigned long long *offsets, size_t n,
+                               unsigned char *out_pt,
+                               long long *meta)
+{
+    uint32_t ipad_state[8], opad_state[8];
+    size_t i;
+
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    for (i = 0; i < n; i++) {
+        size_t box_len = (size_t)(offsets[i + 1] - offsets[i]);
+        size_t pt_base = (size_t)offsets[i] - 28 * i;
+        long long *m = meta + 8 * i;
+        long long status = open_reply_core(
+            enc_key, ipad_state, opad_state, frame, frame_len,
+            prefix, prefix_len, joined_boxes + offsets[i], box_len,
+            out_pt + pt_base, m);
+        if (status == -1)
+            return -1000 - (long long)i;
+        if (status == -2)
+            return -2000 - (long long)i;
+        m[1] += (long long)pt_base;
+        m[3] += (long long)pt_base;
+        m[6] += (long long)pt_base;
+    }
+    return 0;
+}
+
+/* The enclave's whole-batch INVOKE pass: authenticate and decrypt every
+   box, parse every canonical INVOKE, then run the Alg. 1 verification
+   loop (retry-resend, sequence, hash-chain) against the packed V-table
+   *in place*, assigning global sequence numbers and extending the hash
+   chain for accepted operations.
+
+   meta holds 10 int64 per op:
+     [0] status: 0 execute / 1 resend / -1 unknown client / -2 replay
+         / -3 rollback / -4 fork  (phase 3 parks the retry flag here)
+     [1] V slot (-1 when unknown)   [2] cid   [3] tc
+     [4] op offset  [5] op len  [6] hc offset  [7] hc len
+         (absolute offsets into out_pt)
+     [8] assigned sequence (resend: the row's sequence)
+     [9] majority-stable after this op (resend: at this position)
+
+   Returns the count of ops processed — all n, or the index of the first
+   violating op, whose meta row names the violation (earlier rows are
+   already committed; the caller halts, exactly like the per-op path).
+   Returns -1000-i for the first unauthentic box and -2000-i for the
+   first non-canonical INVOKE, in both cases before any state is
+   touched, so the caller can rerun the batch through the generic path.
+
+   One deliberate divergence from the per-op path: V rows and the hash
+   chain for *all* verified ops are committed before any operation is
+   applied to the service state, so a functionality.apply that raises
+   mid-batch leaves later rows already advanced (the per-op path would
+   have stopped at the raiser).  The ecall aborts either way, before any
+   reply or seal is produced, so nothing inconsistent is ever emitted. */
+long long lcm_invoke_batch_open(const unsigned char *enc_key,
+                                const unsigned char *mac_key,
+                                const unsigned char *frame, size_t frame_len,
+                                const unsigned char *prefix, size_t prefix_len,
+                                const unsigned char *joined_boxes,
+                                const unsigned long long *offsets, size_t n,
+                                unsigned char *out_pt,
+                                long long *meta,
+                                unsigned char *chains_out,
+                                const long long *row_ids, size_t nrows,
+                                long long *row_ack, long long *row_seq,
+                                unsigned char *row_chains,
+                                long long *acks,
+                                long long quorum,
+                                long long *sequence_io,
+                                unsigned char *chain_io)
+{
+    uint32_t ipad_state[8], opad_state[8];
+    unsigned char tag[16];
+    long long bad = -1;
+    size_t i;
+
+    /* authenticate every box before any plaintext exists; a too-short
+       box wins over an earlier bad MAC, matching the AEAD batch-open
+       error report (short scan first, then MAC scan) */
+    for (i = 0; i < n; i++) {
+        if ((size_t)(offsets[i + 1] - offsets[i]) < 28)
+            return -1000 - (long long)i;
+    }
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    for (i = 0; i < n; i++) {
+        const unsigned char *box = joined_boxes + offsets[i];
+        size_t box_len = (size_t)(offsets[i + 1] - offsets[i]);
+        derive_tag16(ipad_state, opad_state, frame, frame_len,
+                     box, box_len - 16, tag);
+        if (tag16_differs(tag, box + box_len - 16) && bad < 0)
+            bad = (long long)i;
+    }
+    if (bad >= 0)
+        return -1000 - bad;
+
+    {
+        unsigned char *pt = out_pt;
+        for (i = 0; i < n; i++) {
+            const unsigned char *box = joined_boxes + offsets[i];
+            size_t box_len = (size_t)(offsets[i + 1] - offsets[i]);
+            ctr_xor(enc_key, box, box + 12, box_len - 28, pt);
+            pt += box_len - 28;
+        }
+    }
+
+    /* parse every INVOKE before touching any state */
+    {
+        size_t pt_off = 0;
+        for (i = 0; i < n; i++) {
+            const unsigned char *pt = out_pt + pt_off;
+            size_t size = (size_t)(offsets[i + 1] - offsets[i]) - 28;
+            long long *m = meta + 10 * i;
+            size_t pos;
+            uint64_t hc_len, op_len;
+            long long tc, cid;
+            if (size < prefix_len + 52
+                || memcmp(pt, prefix, prefix_len) != 0)
+                return -2000 - (long long)i;
+            if (i128_to_i64(pt + prefix_len, &tc) != 0 || tc < 0)
+                return -2000 - (long long)i;
+            pos = prefix_len + 16;
+            if (pt[pos] != 'B')
+                return -2000 - (long long)i;
+            hc_len = load_be64(pt + pos + 1);
+            pos += 9;
+            if (hc_len > size - pos)
+                return -2000 - (long long)i;
+            m[6] = (long long)(pt_off + pos);
+            m[7] = (long long)hc_len;
+            pos += (size_t)hc_len;
+            if (size - pos < 9 || pt[pos] != 'B')
+                return -2000 - (long long)i;
+            op_len = load_be64(pt + pos + 1);
+            pos += 9;
+            if (op_len > size - pos)
+                return -2000 - (long long)i;
+            m[4] = (long long)(pt_off + pos);
+            m[5] = (long long)op_len;
+            pos += (size_t)op_len;
+            if (size - pos != 18 || pt[pos] != 'I')
+                return -2000 - (long long)i;
+            if (i128_to_i64(pt + pos + 1, &cid) != 0 || cid < 0)
+                return -2000 - (long long)i;
+            if (pt[pos + 17] == 'T')
+                m[0] = 1;
+            else if (pt[pos + 17] == 'F')
+                m[0] = 0;
+            else
+                return -2000 - (long long)i;
+            m[2] = cid;
+            m[3] = tc;
+            pt_off += size;
+        }
+    }
+
+    /* Alg. 1 verification in arrival order against the live table */
+    {
+        long long sequence = sequence_io[0];
+        for (i = 0; i < n; i++) {
+            long long *m = meta + 10 * i;
+            long long retry = m[0];
+            long long cid = m[2], tc = m[3];
+            long long slot = sorted_find(row_ids, nrows, cid);
+            m[1] = slot;
+            if (slot < 0) {
+                m[0] = -1;
+                sequence_io[0] = sequence;
+                return (long long)i;
+            }
+            if (retry && row_ack[slot] == tc && row_seq[slot] > tc) {
+                /* Sec. 4.6.1 retry: reproduce the recorded reply */
+                m[0] = 1;
+                m[8] = row_seq[slot];
+                m[9] = acks[nrows - (size_t)quorum];
+                memcpy(chains_out + 32 * i, row_chains + 32 * slot, 32);
+                continue;
+            }
+            if (tc != row_seq[slot]) {
+                m[0] = (tc < row_seq[slot]) ? -2 : -3;
+                sequence_io[0] = sequence;
+                return (long long)i;
+            }
+            if (m[7] != 32
+                || memcmp(out_pt + m[6], row_chains + 32 * slot, 32) != 0) {
+                m[0] = -4;
+                sequence_io[0] = sequence;
+                return (long long)i;
+            }
+            sequence += 1;
+            lcm_chain_extend(chain_io, 32, out_pt + m[4], (size_t)m[5],
+                             (unsigned long long)sequence,
+                             (unsigned long long)cid,
+                             chains_out + 32 * i);
+            memcpy(chain_io, chains_out + 32 * i, 32);
+            acks_replace(acks, nrows, row_ack[slot], tc);
+            row_ack[slot] = tc;
+            row_seq[slot] = sequence;
+            memcpy(row_chains + 32 * slot, chains_out + 32 * i, 32);
+            m[0] = 0;
+            m[8] = sequence;
+            m[9] = acks[nrows - (size_t)quorum];
+        }
+        sequence_io[0] = sequence;
+        return (long long)n;
+    }
+}
+
+/* The enclave's whole-batch REPLY pass: canonical field encode + seal
+   for every reply in one call.  `meta`/`chains`/`pt_in` come from
+   lcm_invoke_batch_open (hc echoes are read straight out of the decoded
+   INVOKE plaintexts); `results` holds the serialized results in batch
+   order; nonces are the deterministic per-context sequence.  Boxes are
+   emitted back to back: box i is prefix_len+120+result_len+hc_len
+   bytes.
+
+   Each reply box is also the payload of that client's sealed V-row
+   record, so the row pieces the sealed-blob assembler needs are built
+   here while the box bytes are hot: per op, out_rows receives the
+   61+box_len-byte blob piece
+
+       enc_id('I'+i128 cid) || 'B'+len8(35+box_len) ||
+       'L'+len8(2) || 'I'+i128(ack) || 'B'+len8(box_len) || box
+
+   and out_manifests the 58-byte manifest piece
+
+       enc_id || 'B'+len8(32) || sha256(blob_piece[26:])
+
+   — byte-for-byte what the Python row-seal builder produces.  Returns
+   0, or -1 on allocation failure (caller falls back). */
+int lcm_invoke_batch_reply(const unsigned char *enc_key,
+                           const unsigned char *mac_key,
+                           const unsigned char *frame, size_t frame_len,
+                           const unsigned char *prefix, size_t prefix_len,
+                           const long long *meta, size_t n,
+                           const unsigned char *chains,
+                           const unsigned char *pt_in,
+                           const unsigned char *results,
+                           const unsigned long long *result_offsets,
+                           const unsigned char *nonce_seed,
+                           unsigned long long nonce_counter,
+                           unsigned char *out_boxes,
+                           unsigned char *out_rows,
+                           unsigned char *out_manifests)
+{
+    uint32_t ipad_state[8], opad_state[8];
+    unsigned char *scratch;
+    size_t scratch_len = 1;
+    size_t i;
+
+    for (i = 0; i < n; i++) {
+        size_t pt_len = 92 + prefix_len
+            + (size_t)(result_offsets[i + 1] - result_offsets[i])
+            + (size_t)meta[10 * i + 7];
+        if (pt_len > scratch_len)
+            scratch_len = pt_len;
+    }
+    scratch = (unsigned char *)malloc(scratch_len);
+    if (!scratch)
+        return -1;
+    hmac_pad_states(mac_key, 32, ipad_state, opad_state);
+    for (i = 0; i < n; i++) {
+        const long long *m = meta + 10 * i;
+        size_t rlen = (size_t)(result_offsets[i + 1] - result_offsets[i]);
+        size_t hc_len = (size_t)m[7];
+        size_t pt_len = 92 + prefix_len + rlen + hc_len;
+        unsigned char *p = scratch;
+        unsigned char nonce[12];
+
+        memcpy(p, prefix, prefix_len);
+        p += prefix_len;
+        i64_to_i128(m[8], p);
+        p += 16;
+        *p++ = 'B';
+        put_be64(p, 32);
+        p += 8;
+        memcpy(p, chains + 32 * i, 32);
+        p += 32;
+        *p++ = 'B';
+        put_be64(p, (uint64_t)rlen);
+        p += 8;
+        memcpy(p, results + result_offsets[i], rlen);
+        p += rlen;
+        *p++ = 'I';
+        i64_to_i128(m[9], p);
+        p += 16;
+        *p++ = 'B';
+        put_be64(p, (uint64_t)hc_len);
+        p += 8;
+        memcpy(p, pt_in + m[6], hc_len);
+
+        derive_nonce(nonce_seed, nonce_counter + i, nonce);
+        memcpy(out_boxes, nonce, 12);
+        ctr_xor(enc_key, nonce, scratch, pt_len, out_boxes + 12);
+        derive_tag16(ipad_state, opad_state, frame, frame_len,
+                     out_boxes, 12 + pt_len, out_boxes + 12 + pt_len);
+        {
+            size_t box_len = 28 + pt_len;
+            unsigned char *rp = out_rows;
+            unsigned char *mp = out_manifests + 58 * i;
+            sha_ctx c;
+            rp[0] = 'I';
+            i64_to_i128(m[2], rp + 1);
+            rp[17] = 'B';
+            put_be64(rp + 18, (uint64_t)(35 + box_len));
+            rp[26] = 'L';
+            put_be64(rp + 27, 2);
+            rp[35] = 'I';
+            i64_to_i128(m[3], rp + 36);
+            rp[52] = 'B';
+            put_be64(rp + 53, (uint64_t)box_len);
+            memcpy(rp + 61, out_boxes, box_len);
+            memcpy(mp, rp, 17);
+            mp[17] = 'B';
+            put_be64(mp + 18, 32);
+            sha_init(&c);
+            sha_update(&c, rp + 26, 35 + box_len);
+            sha_final(&c, mp + 26);
+            out_rows += 61 + box_len;
+        }
+        out_boxes += 28 + pt_len;
+    }
+    free(scratch);
+    return 0;
+}
 """
 
 _BUILD_DIR = pathlib.Path(__file__).resolve().with_name("_fastpath_build")
@@ -935,6 +1690,12 @@ class CBackend:
         self.open_box = self._open_box
         self.seal_boxes = self._seal_boxes
         self.open_boxes = self._open_boxes
+        self.seal_invoke = self._seal_invoke
+        self.open_reply = self._open_reply
+        self.seal_invoke_batch = self._seal_invoke_batch
+        self.open_reply_batch = self._open_reply_batch
+        self.invoke_batch_open = self._invoke_batch_open
+        self.invoke_batch_reply = self._invoke_batch_reply
 
     def blocks(self, prefix: bytes, nblocks: int, *, seeded=None) -> bytes:
         out = bytearray(nblocks * 32)
@@ -1126,6 +1887,250 @@ class CBackend:
             plaintexts.append(view[cursor : cursor + size])
             cursor += size
         return plaintexts, -1
+
+    def _seal_invoke(
+        self, enc_key: bytes, mac_key: bytes, nonce: bytes, frame: bytes,
+        prefix: bytes, tc: int, hc: bytes, op: bytes, cid: int, retry: bool,
+    ) -> bytes | None:
+        """Canonical INVOKE encode + seal in one C call (None: fall back)."""
+        out = bytearray(80 + len(prefix) + len(hc) + len(op))
+        status = self._lib.lcm_seal_invoke(
+            enc_key, mac_key, nonce,
+            frame, len(frame),
+            prefix, len(prefix),
+            tc, hc, len(hc), op, len(op),
+            cid, 1 if retry else 0,
+            self._ffi.from_buffer(out),
+        )
+        return bytes(out) if status == 0 else None
+
+    def _open_reply(
+        self, enc_key: bytes, mac_key: bytes, frame: bytes, prefix: bytes, box
+    ):
+        """Authenticate + decrypt + parse a REPLY in one C call.
+
+        Returns ``(plaintext, meta)`` on a canonical parse, ``(plaintext,
+        None)`` when authentic but non-canonical (generic codec
+        re-parses), ``(None, None)`` on authentication failure.
+        """
+        size = len(box)
+        if size < 28:
+            return None, None
+        out = bytearray(size - 28)
+        meta = array.array("q", bytes(64))
+        if type(box) is not bytes:
+            box = self._ffi.from_buffer(box)
+        status = self._lib.lcm_open_reply(
+            enc_key, mac_key,
+            frame, len(frame),
+            prefix, len(prefix),
+            box, size,
+            self._ffi.from_buffer(out),
+            self._ffi.from_buffer("long long[]", meta),
+        )
+        if status == -1:
+            return None, None
+        if status == -2:
+            return bytes(out), None
+        return bytes(out), meta
+
+    def _seal_invoke_batch(
+        self, enc_key: bytes, mac_key: bytes, nonces: list[bytes],
+        frame: bytes, prefix: bytes, items: list,
+    ) -> list[bytes] | None:
+        """Canonical encode + seal for a whole batch of INVOKEs in one C
+        call; ``items`` holds ``(tc, hc, op, cid, retry)`` per message
+        (None: fall back)."""
+        ffi = self._ffi
+        count = len(items)
+        tcs = array.array("q", bytes(8 * count))
+        cids = array.array("q", bytes(8 * count))
+        retries = bytearray(count)
+        hcs = []
+        ops = []
+        for index, (tc, hc, op, cid, retry) in enumerate(items):
+            tcs[index] = tc
+            cids[index] = cid
+            if retry:
+                retries[index] = 1
+            hcs.append(hc)
+            ops.append(op)
+        hc_offsets = array.array(
+            "Q", chain((0,), accumulate(map(len, hcs)))
+        )
+        op_offsets = array.array(
+            "Q", chain((0,), accumulate(map(len, ops)))
+        )
+        sizes = [
+            80 + len(prefix) + len(hc) + len(op)
+            for hc, op in zip(hcs, ops)
+        ]
+        out = bytearray(sum(sizes))
+        status = self._lib.lcm_seal_invoke_batch(
+            enc_key, mac_key,
+            frame, len(frame),
+            prefix, len(prefix),
+            _join(nonces),
+            ffi.from_buffer("long long[]", tcs),
+            _join(hcs),
+            ffi.from_buffer("unsigned long long[]", hc_offsets),
+            _join(ops),
+            ffi.from_buffer("unsigned long long[]", op_offsets),
+            ffi.from_buffer("long long[]", cids),
+            ffi.from_buffer(retries),
+            count,
+            ffi.from_buffer(out),
+        )
+        if status != 0:
+            return None
+        view = bytes(out)
+        boxes = []
+        cursor = 0
+        for size in sizes:
+            boxes.append(view[cursor : cursor + size])
+            cursor += size
+        return boxes
+
+    def _open_reply_batch(
+        self, enc_key: bytes, mac_key: bytes, frame: bytes, prefix: bytes,
+        boxes: list,
+    ):
+        """Authenticate + decrypt + parse a whole batch of REPLYs in one
+        C call.
+
+        Returns ``(plaintext, meta)`` with 8 int64 of meta per reply
+        (offsets absolute into the joined plaintext) when every box is
+        canonical, or an int status: -1000-i for the first unauthentic
+        box, -2000-i for the first authentic-but-non-canonical one.
+        """
+        ffi = self._ffi
+        count = len(boxes)
+        for index, box in enumerate(boxes):
+            if len(box) < 28:
+                return -1000 - index
+        offsets = array.array(
+            "Q", chain((0,), accumulate(map(len, boxes)))
+        )
+        out_pt = bytearray(offsets[-1] - 28 * count)
+        meta = array.array("q", bytes(64 * count))
+        status = self._lib.lcm_open_reply_batch(
+            enc_key, mac_key,
+            frame, len(frame),
+            prefix, len(prefix),
+            _join(boxes),
+            ffi.from_buffer("unsigned long long[]", offsets),
+            count,
+            ffi.from_buffer(out_pt),
+            ffi.from_buffer("long long[]", meta),
+        )
+        if status != 0:
+            return status
+        return bytes(out_pt), meta
+
+    def _invoke_batch_open(
+        self, enc_key: bytes, mac_key: bytes, frame: bytes, prefix: bytes,
+        boxes: list, ids, ack, seq, chains, acks, quorum: int,
+        sequence: int, chain_value: bytes,
+    ):
+        """Whole-batch INVOKE open + Alg. 1 verification in one C call.
+
+        Mutates the packed V columns (``ack``/``seq``/``chains``/``acks``)
+        in place for accepted operations.  Returns ``(status, plaintext,
+        meta, chains_out, sequence, chain)`` — status as documented on the
+        C function (count, or -1000-i / -2000-i).
+        """
+        ffi = self._ffi
+        count = len(boxes)
+        for index, box in enumerate(boxes):
+            if len(box) < 28:
+                return -1000 - index, b"", None, b"", sequence, chain_value
+        offsets = array.array(
+            "Q", chain((0,), accumulate(map(len, boxes)))
+        )
+        out_pt = bytearray(offsets[-1] - 28 * count)
+        meta = array.array("q", bytes(80 * count))
+        chains_out = bytearray(32 * count)
+        sequence_io = array.array("q", (sequence,))
+        chain_io = bytearray(chain_value)
+        status = self._lib.lcm_invoke_batch_open(
+            enc_key, mac_key,
+            frame, len(frame),
+            prefix, len(prefix),
+            _join(boxes),
+            ffi.from_buffer("unsigned long long[]", offsets),
+            count,
+            ffi.from_buffer(out_pt),
+            ffi.from_buffer("long long[]", meta),
+            ffi.from_buffer(chains_out),
+            ffi.from_buffer("long long[]", ids), len(ids),
+            ffi.from_buffer("long long[]", ack),
+            ffi.from_buffer("long long[]", seq),
+            ffi.from_buffer(chains),
+            ffi.from_buffer("long long[]", acks),
+            quorum,
+            ffi.from_buffer("long long[]", sequence_io),
+            ffi.from_buffer(chain_io),
+        )
+        return (
+            status, bytes(out_pt), meta, bytes(chains_out),
+            sequence_io[0], bytes(chain_io),
+        )
+
+    def _invoke_batch_reply(
+        self, enc_key: bytes, mac_key: bytes, frame: bytes, prefix: bytes,
+        meta, chains_out: bytes, plain: bytes, results: list,
+        nonce_seed: bytes, nonce_counter: int,
+    ) -> tuple[list[bytes], list[bytes], list[bytes]] | None:
+        """Whole-batch REPLY encode + seal in one C call (None: fall back).
+
+        Returns ``(boxes, row_blob_pieces, row_manifest_pieces)`` — the
+        row pieces are the sealed-blob fragments for each reply's V row,
+        built C-side while the box bytes are hot.
+        """
+        ffi = self._ffi
+        count = len(results)
+        result_offsets = array.array(
+            "Q", chain((0,), accumulate(map(len, results)))
+        )
+        base = 120 + len(prefix)
+        sizes = [
+            base + len(results[index]) + meta[10 * index + 7]
+            for index in range(count)
+        ]
+        out = bytearray(sum(sizes))
+        out_rows = bytearray(sum(sizes) + 61 * count)
+        out_manifests = bytearray(58 * count)
+        status = self._lib.lcm_invoke_batch_reply(
+            enc_key, mac_key,
+            frame, len(frame),
+            prefix, len(prefix),
+            ffi.from_buffer("long long[]", meta), count,
+            chains_out, plain,
+            _join(results),
+            ffi.from_buffer("unsigned long long[]", result_offsets),
+            nonce_seed, nonce_counter,
+            ffi.from_buffer(out),
+            ffi.from_buffer(out_rows),
+            ffi.from_buffer(out_manifests),
+        )
+        if status != 0:
+            return None
+        view = bytes(out)
+        rows_view = bytes(out_rows)
+        manifests_view = bytes(out_manifests)
+        boxes = []
+        blobs = []
+        manifests = []
+        cursor = 0
+        row_cursor = 0
+        for index, size in enumerate(sizes):
+            boxes.append(view[cursor : cursor + size])
+            cursor += size
+            row_size = 61 + size
+            blobs.append(rows_view[row_cursor : row_cursor + row_size])
+            row_cursor += row_size
+            manifests.append(manifests_view[58 * index : 58 * index + 58])
+        return boxes, blobs, manifests
 
 
 def _load_compiled(modname: str):

@@ -29,6 +29,7 @@ from repro.net.latency import LatencyModel
 from repro.net.simulation import Simulator
 from repro.server import ServerHost
 from repro.server.dispatch import GroupDispatcher
+from repro.server.execution import make_execution_backend
 from repro.tee import TeePlatform
 
 
@@ -77,6 +78,11 @@ class SimulatedCluster:
     latency:
         Network model for both directions (default: LAN with jitter so
         interleavings are non-trivial but reproducible).
+    execution:
+        Execution-backend name (``"serial"`` | ``"threaded"``) for the
+        batch ecall; ``None`` defers to ``REPRO_EXEC_BACKEND`` and the
+        serial default.  The wire bytes and verdicts are identical
+        either way (see :mod:`repro.server.execution`).
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class SimulatedCluster:
         latency: LatencyModel | None = None,
         audit: bool = True,
         seed: int = 0,
+        execution: str | None = None,
     ) -> None:
         self.sim = Simulator()
         self._latency = latency or LatencyModel(
@@ -107,12 +114,14 @@ class SimulatedCluster:
         # --- wiring: per-client up/down channels + the shared dispatcher --
         self._up: dict[int, Channel] = {}
         self._down: dict[int, Channel] = {}
+        self.execution = make_execution_backend(execution)
         self.dispatcher = GroupDispatcher(
             sim=self.sim,
             send_batch=self.host.send_invoke_batch,
             deliver=self._deliver,
             batch_limit=batch_limit,
             label="enclave-batch",
+            execution=self.execution,
         )
         self.stats = ClusterStats(self.dispatcher)
         self.clients: dict[int, AsyncLcmClient] = {}

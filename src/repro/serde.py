@@ -80,6 +80,38 @@ def encode(value: Any) -> bytes:
                 f"integer {value} exceeds the canonical 128-bit range "
                 f"[{INT_MIN}, {INT_MAX}]"
             ) from None
+    if kind is list:
+        # flat scalar lists (the operation-tuple shape) in one join; any
+        # nested or exotic item bails to the general recursive encoder
+        parts = [_TAG_LIST + len(value).to_bytes(8, "big")]
+        for item in value:
+            kind = type(item)
+            if kind is str:
+                raw = item.encode("utf-8")
+                parts.append(_TAG_STR + len(raw).to_bytes(8, "big") + raw)
+            elif kind is bytes:
+                parts.append(
+                    _TAG_BYTES + len(item).to_bytes(8, "big") + item
+                )
+            elif kind is int:
+                try:
+                    parts.append(
+                        _TAG_INT + item.to_bytes(16, "big", signed=True)
+                    )
+                except OverflowError:
+                    raise SerdeError(
+                        f"integer {item} exceeds the canonical 128-bit "
+                        f"range [{INT_MIN}, {INT_MAX}]"
+                    ) from None
+            elif item is None:
+                parts.append(_TAG_NONE)
+            elif item is True:
+                parts.append(_TAG_TRUE)
+            elif item is False:
+                parts.append(_TAG_FALSE)
+            else:
+                return _encode_general(value)
+        return b"".join(parts)
     return _encode_general(value)
 
 

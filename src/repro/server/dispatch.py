@@ -37,6 +37,7 @@ from typing import Callable
 from repro.errors import SecurityViolation
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
 from repro.server.batching import BatchQueue, BatchSizeHistogram
+from repro.server.execution import SerialBackend
 
 
 class GroupDispatcher:
@@ -81,6 +82,15 @@ class GroupDispatcher:
         through this dispatcher (the idle hooks are level-triggered, so
         nothing is lost by skipping).  Ordinary dispatching is
         unaffected; only the boundary hook waits.
+    execution:
+        The :mod:`~repro.server.execution` backend that runs the batch
+        ecall.  The serial default executes at submit time (historical
+        semantics); the threaded backend runs it on a worker pool and
+        the dispatcher joins the result at the scheduled delivery event,
+        so replies re-enter the virtual-time event order at the batch
+        boundary regardless of wall-clock completion.  A violation
+        raised by the worker is handled at that same boundary with the
+        identical halt/record/propagate policy.
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class GroupDispatcher:
         on_violation: Callable[[SecurityViolation], None] | None = None,
         on_idle: Callable[[], None] | None = None,
         boundary_gate: Callable[[], bool] | None = None,
+        execution=None,
     ) -> None:
         self.queue: BatchQueue[tuple[int, bytes]] = BatchQueue(batch_limit)
         self.busy = False
@@ -107,6 +118,10 @@ class GroupDispatcher:
         self._on_violation = on_violation
         self._on_idle = on_idle
         self._boundary_gate = boundary_gate
+        self._execution = execution if execution is not None else SerialBackend()
+        #: in-flight batch result, joined at the delivery event (and by
+        #: :meth:`quiesce` when a fault is injected mid-flight)
+        self._pending: Callable[[], list[bytes]] | None = None
         #: deliveries whose boundary hook was withheld mid-transaction
         self.boundaries_deferred = 0
 
@@ -138,19 +153,19 @@ class GroupDispatcher:
         batch = self.queue.take()
         self.busy = True
         try:
-            replies = self._send_batch(batch)
+            pending = self._execution.submit(lambda: self._send_batch(batch))
         except SecurityViolation as violation:
-            # server-side detection: the context halted mid-batch; stop
-            # dispatching (pending requests stay queued) and either let
-            # the cluster record it or fail the whole run
-            self.busy = False
-            self.halt()
-            if self._on_violation is None:
-                raise
-            self._on_violation(violation)
+            self._handle_violation(violation)
             return
+        self._pending = pending
 
         def deliver() -> None:
+            self._pending = None
+            try:
+                replies = pending()
+            except SecurityViolation as violation:
+                self._handle_violation(violation)
+                return
             for (client_id, _), reply in zip(batch, replies):
                 self._deliver(client_id, reply)
             self.busy = False
@@ -161,6 +176,39 @@ class GroupDispatcher:
         self._sim.schedule(
             self._service_interval * len(batch), deliver, label=self._label
         )
+
+    def quiesce(self) -> None:
+        """Join any in-flight batch ecall without consuming its delivery.
+
+        Fault injection (``crash_shard``) fires at a virtual time that
+        may fall between a batch's submit and its delivery event.  The
+        serial backend already ran the ecall at submit time, so the
+        crash can only land between ecalls; this blocks until a threaded
+        worker's ecall has likewise left the enclave, preserving the
+        ecall-is-atomic semantics (and keeping the crash path's own
+        audit-export ecall from entering the enclave concurrently).  The
+        joined result is *not* delivered here — the scheduled delivery
+        event re-joins the same future and handles replies or violations
+        exactly as it would have."""
+        pending = self._pending
+        if pending is None:
+            return
+        try:
+            pending()
+        except Exception:
+            pass  # surfaced again (and handled) at the delivery event
+
+    def _handle_violation(self, violation: SecurityViolation) -> None:
+        """Server-side detection: the context halted mid-batch.  Stop
+        dispatching (pending requests stay queued) and either let the
+        cluster record it or fail the whole run.  With the serial
+        backend this fires at submit time; with the threaded backend,
+        at the delivery event where the worker's result is joined."""
+        self.busy = False
+        self.halt()
+        if self._on_violation is None:
+            raise violation
+        self._on_violation(violation)
 
     def _fire_idle(self) -> None:
         """Run the batch-boundary hook, withholding it while the boundary

@@ -90,6 +90,21 @@ class MaliciousServer:
             return outcome["reply"]
         return outcome
 
+    def send_invoke_batch(self, messages: list[tuple[int, bytes]]) -> list[bytes]:
+        """Deliver a batch of INVOKEs, each to whichever instance its
+        client is routed to.
+
+        Part of the required host transport surface.  The Byzantine
+        server multiplexes enclave instances, so a batch may fan out
+        across forks; delivering per message through :meth:`send_invoke`
+        keeps the attack semantics (routing, tampering, recording)
+        identical to the unbatched path.
+        """
+        return [
+            self.send_invoke(client_id, message)
+            for client_id, message in messages
+        ]
+
     def ocall_store(self, blob: bytes) -> None:  # pragma: no cover - compat shim
         self.instances[0].ocall_store(blob)
 

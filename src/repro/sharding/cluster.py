@@ -55,6 +55,7 @@ from repro.net.latency import LatencyModel
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
 from repro.server import MaliciousServer, ServerHost
 from repro.server.dispatch import GroupDispatcher
+from repro.server.execution import make_execution_backend
 from repro.sharding.partitioner import HashRing
 from repro.tee import TeePlatform
 
@@ -226,6 +227,14 @@ class ShardedCluster:
         Per-shard bounded batch queue size (Sec. 5.3).
     malicious_shards:
         Shard ids provisioned on a :class:`MaliciousServer` (attack tests).
+    execution:
+        Execution-backend name (``"serial"`` | ``"threaded"``) shared by
+        every shard dispatcher; ``None`` defers to ``REPRO_EXEC_BACKEND``
+        and the serial default.  Under ``"threaded"`` each shard's batch
+        ecall runs on a worker pool (the C hot path releases the GIL),
+        so distinct shards execute concurrently on a multi-core host
+        while replies still re-enter the virtual-time order at the
+        batch boundary — bytes and verdicts are backend-independent.
     """
 
     #: Virtual enclave service time per request in a batch (the shared
@@ -246,6 +255,7 @@ class ShardedCluster:
         audit: bool = True,
         seed: int = 0,
         malicious_shards: tuple[int, ...] = (),
+        execution: str | None = None,
     ) -> None:
         if shards < 1:
             raise ConfigurationError("need at least one shard")
@@ -267,6 +277,10 @@ class ShardedCluster:
         )
         self._factory = make_lcm_program_factory(functionality, audit=audit)
         self._client_ids = list(range(1, clients + 1))
+        #: one execution backend shared by every shard dispatcher — under
+        #: "threaded" the pool is where cross-shard wall-clock overlap
+        #: happens (each dispatcher still keeps one batch in flight).
+        self.execution = make_execution_backend(execution)
         #: next platform seed serial per shard id — every TeePlatform a
         #: shard id ever gets (initial, rebalance target, recovered
         #: generation) consumes one, so sealing keys never repeat.
@@ -336,6 +350,7 @@ class ShardedCluster:
             ),
             on_idle=lambda shard=shard: self._at_batch_boundary(shard),
             boundary_gate=lambda shard=shard: self._txn_boundary_clear(shard),
+            execution=self.execution,
         )
         for client_id in self._client_ids:
             up = Channel(
@@ -430,11 +445,10 @@ class ShardedCluster:
 
     @staticmethod
     def _send_batch(shard: _Shard, batch: list[tuple[int, bytes]]) -> list[bytes]:
-        host = shard.host
-        if hasattr(host, "send_invoke_batch"):
-            return host.send_invoke_batch(batch)
-        # MaliciousServer routes per client and has no batch entry point
-        return [host.send_invoke(client_id, message) for client_id, message in batch]
+        # send_invoke_batch is part of the required host transport
+        # surface (MaliciousServer fans its batches out per routed
+        # instance internally)
+        return shard.host.send_invoke_batch(batch)
 
     # ----------------------------------------------------------- rebalancing
 
@@ -567,6 +581,10 @@ class ShardedCluster:
             raise ConfigurationError(
                 f"shard {shard_id} is already down; nothing to crash"
             )
+        # a threaded-backend worker may be inside the enclave right now;
+        # the crash lands between ecalls, never mid-ecall (matching the
+        # serial backend, whose ecalls always complete at submit time)
+        shard.dispatcher.quiesce()
         if self._audit:
             shard.crash_logs = self.audit_logs(shard_id)
         shard.crashed = True

@@ -1,0 +1,486 @@
+"""Cross-backend parity: the execution seam must never change the bytes.
+
+The ISSUE's determinism contract: the same trace through the ``serial``
+and ``threaded`` execution backends (:mod:`repro.server.execution`), and
+through the ``c`` and ``python-batch`` crypto fastpaths, must produce
+identical wire bytes, hash chains, audit logs and merged verdicts — a
+fork attack included, which must be detected identically (same shard,
+same violation, same evidence) under the threaded backend.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError, SecurityViolation
+from repro.kvstore import get, put
+from repro.net.simulation import Simulator
+from repro.server.dispatch import GroupDispatcher
+from repro.server.execution import (
+    SerialBackend,
+    ThreadedBackend,
+    make_execution_backend,
+)
+from repro.sharding import ShardRouter, ShardedCluster
+
+BACKENDS = ("serial", "threaded")
+
+
+class _pinned_entropy:
+    """Make one trace's randomness reproducible so its wire bytes can be
+    compared byte-for-byte across execution backends.
+
+    Two sources are pinned: the client-side invoke-nonce pool (random by
+    design — replaced with a counter, still unique per box) and
+    ``os.urandom`` (the bootstrap key material — replaced with a keyed
+    deterministic stream, so both runs derive the *same* communication
+    keys and the same plaintext encrypts to the same box).  Clients seal
+    on the simulator thread in deterministic event order, so the counter
+    assignment itself is backend-independent; worker-thread draws (state
+    sealing under the threaded backend) never reach the fingerprinted
+    bytes but get a lock so concurrent draws stay unique."""
+
+    def __enter__(self):
+        import threading
+
+        import repro.core.messages as messages
+
+        self._messages = messages
+        self._original_fresh = messages._fresh_nonce
+        self._original_urandom = os.urandom
+        nonce_state = {"next": 0}
+
+        def fresh() -> bytes:
+            nonce_state["next"] += 1
+            return nonce_state["next"].to_bytes(12, "big")
+
+        lock = threading.Lock()
+        draw_state = {"next": 0}
+
+        def deterministic_urandom(size: int) -> bytes:
+            with lock:
+                draw_state["next"] += 1
+                serial = draw_state["next"]
+            out = b""
+            block = 0
+            while len(out) < size:
+                out += hashlib.sha256(
+                    b"parity-entropy"
+                    + serial.to_bytes(8, "big")
+                    + block.to_bytes(4, "big")
+                ).digest()
+                block += 1
+            return out[:size]
+
+        # the aead module's nonce pool is module-global and refills from
+        # os.urandom only when low — leftover pool state from earlier
+        # tests would shift this run's draw sequence, so bypass the pool
+        # with an independent counter (distinct range from the client
+        # counter; nonces stay unique)
+        import repro.crypto.aead as aead
+
+        self._aead = aead
+        self._original_aead_fresh = aead._fresh_nonce
+        self._original_aead_freshes = aead._fresh_nonces
+        pool_state = {"next": 1 << 40}
+
+        def pool_fresh() -> bytes:
+            with lock:
+                pool_state["next"] += 1
+                return pool_state["next"].to_bytes(12, "big")
+
+        def pool_freshes(count: int) -> list:
+            return [pool_fresh() for _ in range(count)]
+
+        aead._fresh_nonce = pool_fresh
+        aead._fresh_nonces = pool_freshes
+        messages._fresh_nonce = fresh
+        os.urandom = deterministic_urandom
+        # Admin's rng keyword default bound the real os.urandom at import
+        from repro.core.bootstrap import Admin
+
+        self._admin_init = Admin.__init__
+        self._admin_default = Admin.__init__.__kwdefaults__["rng"]
+        Admin.__init__.__kwdefaults__["rng"] = deterministic_urandom
+        return self
+
+    def __exit__(self, *exc):
+        self._messages._fresh_nonce = self._original_fresh
+        self._aead._fresh_nonce = self._original_aead_fresh
+        self._aead._fresh_nonces = self._original_aead_freshes
+        os.urandom = self._original_urandom
+        self._admin_init.__kwdefaults__["rng"] = self._admin_default
+        return False
+
+
+def _record_wire(cluster):
+    """Wrap every shard host's batch entrypoint so the exact request and
+    reply bytes are captured per shard (one batch in flight per shard, so
+    each shard's log order is deterministic even under the pool)."""
+    wire = {shard_id: [] for shard_id in cluster.shard_ids}
+    for shard_id in cluster.shard_ids:
+        host = cluster.shard_host(shard_id)
+        original = host.send_invoke_batch
+
+        def recording(batch, _original=original, _log=wire[shard_id]):
+            replies = _original(batch)
+            _log.append(
+                (
+                    tuple(message for _, message in batch),
+                    tuple(replies),
+                )
+            )
+            return replies
+
+        host.send_invoke_batch = recording
+    return wire
+
+
+def _audit_digests(cluster, shard_ids=None):
+    digests = {}
+    if shard_ids is None:
+        shard_ids = cluster.shard_ids
+    for shard_id in sorted(shard_ids):
+        digest = hashlib.sha256()
+        for log in cluster.audit_logs(shard_id):
+            for record in log:
+                digest.update(record.sequence.to_bytes(8, "big"))
+                digest.update(record.client_id.to_bytes(8, "big"))
+                digest.update(record.operation)
+                digest.update(record.result)
+                digest.update(record.chain)
+        digests[shard_id] = digest.hexdigest()
+    return digests
+
+
+def _client_chains(cluster):
+    return {
+        (shard_id, client_id): (machine.last_sequence, machine.last_chain)
+        for shard_id in cluster.shard_ids
+        for client_id, machine in cluster.shard_clients(shard_id).items()
+    }
+
+
+def _honest_fingerprint(execution):
+    """One deterministic mixed trace over 3 shards; returns everything
+    that must be backend-independent."""
+    with _pinned_entropy():
+        return _honest_trace(execution)
+
+
+def _honest_trace(execution):
+    cluster = ShardedCluster(shards=3, clients=3, seed=23, execution=execution)
+    wire = _record_wire(cluster)
+    router = ShardRouter(cluster)
+    for client_id in cluster.client_ids:
+        for i in range(8):
+            if i % 2 == 0:
+                router.submit(client_id, put(f"key-{client_id}-{i}", f"v{i}"))
+            else:
+                router.submit(client_id, get(f"key-{client_id}-{i - 1}"))
+    cluster.run()
+    verdict = router.verdict()
+    fingerprint = {
+        "wire": wire,
+        "audit": _audit_digests(cluster),
+        "chains": _client_chains(cluster),
+        "operations": cluster.stats.operations_completed,
+        "verdict_ok": verdict.ok,
+        "forked": verdict.forked_shards,
+    }
+    cluster.execution.shutdown()
+    return fingerprint
+
+
+def _forked_fingerprint(execution):
+    """The fork attack from the sharded attack tests, under a chosen
+    execution backend: shard 1 forks, the server joins the forks back,
+    and the victim client must detect it."""
+    with _pinned_entropy():
+        return _forked_trace(execution)
+
+
+def _forked_trace(execution):
+    cluster = ShardedCluster(
+        shards=3, clients=3, seed=29, malicious_shards=(1,), execution=execution
+    )
+    router = ShardRouter(cluster)
+    victim_keys = []
+    index = 0
+    while len(victim_keys) < 3:
+        key = f"vk-{index}"
+        if cluster.ring.owner(key) == 1:
+            victim_keys.append(key)
+        index += 1
+    for client_id in cluster.client_ids:
+        router.submit(client_id, put(victim_keys[0], f"base-{client_id}"))
+    cluster.run()
+    fork = cluster.fork_shard(1)
+    cluster.route_client(1, 3, fork)
+    router.submit(1, put(victim_keys[1], "main-side"))
+    router.submit(3, put(victim_keys[2], "fork-side"))
+    cluster.run()
+    cluster.route_client(1, 3, 0)  # join the forks back: detection point
+    router.submit(3, get(victim_keys[0]))
+    cluster.run()
+    violation = cluster.shard_violation(1)
+    verdict = router.verdict()
+    fingerprint = {
+        "violation_type": type(violation).__name__,
+        "violation_text": str(violation),
+        "forked": verdict.forked_shards,
+        "honest_ok": (verdict.shards[0].ok, verdict.shards[2].ok),
+        "victim_ok": verdict.shards[1].ok,
+        # the halted enclave refuses audit exports (the violation *is*
+        # the evidence), so only the honest shards' logs are digestible
+        "audit": _audit_digests(cluster, shard_ids=(0, 2)),
+    }
+    cluster.execution.shutdown()
+    return fingerprint
+
+
+class TestSerialThreadedParity:
+    def test_honest_trace_byte_identical(self):
+        serial = _honest_fingerprint("serial")
+        threaded = _honest_fingerprint("threaded")
+        assert serial["wire"] == threaded["wire"]
+        assert serial["audit"] == threaded["audit"]
+        assert serial["chains"] == threaded["chains"]
+        assert serial["operations"] == threaded["operations"]
+        assert serial["verdict_ok"] and threaded["verdict_ok"]
+        assert serial["forked"] == threaded["forked"] == []
+
+    def test_fork_detected_identically_under_threaded_backend(self):
+        serial = _forked_fingerprint("serial")
+        threaded = _forked_fingerprint("threaded")
+        assert serial == threaded
+        assert serial["violation_type"]  # a violation was in fact recorded
+        # a *joined-back* fork surfaces as a shard violation, not a
+        # maintained-fork entry (those only list diverged, unjoined forks)
+        assert serial["forked"] == []
+        assert serial["honest_ok"] == (True, True)
+        assert not serial["victim_ok"]
+
+
+class TestFastpathMatrixParity:
+    #: one digest per (fastpath, execution) cell, computed in a fresh
+    #: interpreter so the fastpath selection is genuinely what the env
+    #: variable says (it is pinned at import time)
+    _DRIVER = r"""
+import hashlib, os, sys
+# pin entropy BEFORE any repro import so import-time default-arg bindings
+# (Admin's rng) capture the deterministic stream too
+_draws = {"next": 0}
+def _det_urandom(size: int) -> bytes:
+    _draws["next"] += 1
+    out = b""
+    block = 0
+    while len(out) < size:
+        out += hashlib.sha256(
+            b"parity-entropy"
+            + _draws["next"].to_bytes(8, "big")
+            + block.to_bytes(4, "big")
+        ).digest()
+        block += 1
+    return out[:size]
+os.urandom = _det_urandom
+from repro.crypto import fastpath
+assert fastpath.active_backend().name == os.environ["REPRO_FASTPATH"]
+import repro.core.messages as messages
+import repro.crypto.aead as aead
+# one shared counter for BOTH fresh-nonce entry points: with the C
+# fastpath the client invoke seal draws via messages._fresh_nonce before
+# the C call; without it the fallback auth_encrypt draws from the aead
+# pool instead — same logical draw site, different module.  Sharing the
+# counter makes the nth invoke get the nth nonce on every fastpath.
+_state = {"next": 0}
+def _pinned() -> bytes:
+    _state["next"] += 1
+    return _state["next"].to_bytes(12, "big")
+messages._fresh_nonce = _pinned
+aead._fresh_nonce = _pinned
+aead._fresh_nonces = lambda count: [_pinned() for _ in range(count)]
+from repro.kvstore import get, put
+from repro.sharding import ShardRouter, ShardedCluster
+cluster = ShardedCluster(shards=2, clients=2, seed=37)
+assert cluster.execution.name == os.environ["REPRO_EXEC_BACKEND"]
+wire = hashlib.sha256()
+for shard_id in cluster.shard_ids:
+    host = cluster.shard_host(shard_id)
+    original = host.send_invoke_batch
+    def recording(batch, _original=original, _sid=shard_id):
+        replies = _original(batch)
+        for (_cid, message), reply in zip(batch, replies):
+            wire.update(_sid.to_bytes(4, "big"))
+            wire.update(message)
+            wire.update(reply)
+        return replies
+    host.send_invoke_batch = recording
+router = ShardRouter(cluster)
+for client_id in cluster.client_ids:
+    for i in range(6):
+        if i % 2 == 0:
+            router.submit(client_id, put(f"m-{client_id}-{i}", f"v{i}"))
+        else:
+            router.submit(client_id, get(f"m-{client_id}-{i - 1}"))
+cluster.run()
+assert router.verdict().ok
+for shard_id in sorted(cluster.shard_ids):
+    for log in cluster.audit_logs(shard_id):
+        for record in log:
+            wire.update(record.operation + record.result + record.chain)
+    for client_id, machine in sorted(cluster.shard_clients(shard_id).items()):
+        wire.update(machine.last_sequence.to_bytes(8, "big"))
+        wire.update(machine.last_chain)
+print(wire.hexdigest())
+"""
+
+    def _cell(self, fastpath_name, execution_name):
+        env = dict(
+            os.environ,
+            REPRO_FASTPATH=fastpath_name,
+            REPRO_EXEC_BACKEND=execution_name,
+        )
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", self._DRIVER],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout.strip()
+
+    def test_wire_identical_across_fastpath_and_execution_matrix(self):
+        from repro.crypto import fastpath
+
+        fastpaths = ["python-batch"]
+        if fastpath._get_backend("c") is not None:
+            fastpaths.insert(0, "c")
+        digests = {
+            (fp, ex): self._cell(fp, ex)
+            for fp in fastpaths
+            for ex in BACKENDS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+
+class TestExecutionBackendUnit:
+    def test_serial_is_default_and_env_selects(self, monkeypatch):
+        # the suite itself may run under REPRO_EXEC_BACKEND (the CI
+        # threaded pass does exactly that) — the default claim is about
+        # an unset environment
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        assert make_execution_backend().name == "serial"
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "threaded")
+        backend = make_execution_backend()
+        assert backend.name == "threaded"
+        backend.shutdown()
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "")
+        assert make_execution_backend().name == "serial"
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "threaded")
+        assert make_execution_backend("serial").name == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown execution"):
+            make_execution_backend("bogus")
+        with pytest.raises(ConfigurationError, match="worker"):
+            ThreadedBackend(workers=0)
+
+    def test_serial_submit_time_semantics(self):
+        backend = SerialBackend()
+        order = []
+        completion = backend.submit(lambda: order.append("ran") or [1])
+        assert order == ["ran"]  # executed at submit, not at completion
+        assert completion() == [1]
+        with pytest.raises(SecurityViolation):
+            backend.submit(self._boom)
+
+    def test_threaded_defers_exception_to_completion(self):
+        backend = ThreadedBackend(workers=1)
+        try:
+            completion = backend.submit(self._boom)
+            with pytest.raises(SecurityViolation):
+                completion()
+            assert backend.submit(lambda: [7])() == [7]
+        finally:
+            backend.shutdown()
+
+    @staticmethod
+    def _boom():
+        raise SecurityViolation("boom")
+
+    def test_dispatcher_handles_threaded_violation_at_delivery(self):
+        """Under the threaded backend a mid-batch violation surfaces when
+        the worker's result is joined at the delivery event — and gets
+        the identical halt/record policy as the serial submit-time path."""
+        backend = ThreadedBackend(workers=1)
+        try:
+            sim = Simulator()
+            seen = []
+
+            def send_batch(batch):
+                raise SecurityViolation("mid-batch")
+
+            dispatcher = GroupDispatcher(
+                sim=sim,
+                send_batch=send_batch,
+                deliver=lambda c, r: None,
+                batch_limit=4,
+                on_violation=seen.append,
+                execution=backend,
+            )
+            dispatcher.enqueue(1, b"m")
+            assert not dispatcher.halted  # not joined yet
+            sim.run()
+            assert len(seen) == 1 and isinstance(seen[0], SecurityViolation)
+            assert dispatcher.halted and not dispatcher.healthy
+        finally:
+            backend.shutdown()
+
+    def test_dispatcher_threaded_violation_without_hook_raises_at_delivery(self):
+        backend = ThreadedBackend(workers=1)
+        try:
+            sim = Simulator()
+
+            def send_batch(batch):
+                raise SecurityViolation("mid-batch")
+
+            dispatcher = GroupDispatcher(
+                sim=sim,
+                send_batch=send_batch,
+                deliver=lambda c, r: None,
+                batch_limit=4,
+                execution=backend,
+            )
+            dispatcher.enqueue(1, b"m")
+            with pytest.raises(SecurityViolation):
+                sim.run()
+            assert dispatcher.halted
+        finally:
+            backend.shutdown()
+
+    def test_dispatcher_threaded_replies_delivered_in_order(self):
+        backend = ThreadedBackend(workers=2)
+        try:
+            sim = Simulator()
+            log = []
+            dispatcher = GroupDispatcher(
+                sim=sim,
+                send_batch=lambda batch: [m.upper() for _, m in batch],
+                deliver=lambda c, r: log.append((c, r)),
+                batch_limit=2,
+                execution=backend,
+            )
+            for i in range(5):
+                dispatcher.enqueue(i, b"m%d" % i)
+            sim.run()
+            assert [cid for cid, _ in log] == [0, 1, 2, 3, 4]
+            assert log[0] == (0, b"M0")
+        finally:
+            backend.shutdown()
