@@ -40,6 +40,13 @@ Subcommands::
         inject the crash-at-prepare and crash-after-decision fault
         windows, and verify per-shard fork-linearizability plus
         cross-shard transaction atomicity.
+
+    python -m repro.cli metrics [--shards N] [--clients N] [--ops N]
+                                [--tracing] [--output FILE]
+        Run a short sharded workload with the observability plane on
+        (streaming verifier included) and dump the cluster's metrics
+        snapshot — counters, gauges, histogram summaries, events and,
+        with --tracing, finished spans — as JSON.
 """
 
 from __future__ import annotations
@@ -325,6 +332,61 @@ def _cmd_txn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import random
+
+    from repro.kvstore import get, put
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    if args.shards < 1 or args.clients < 1 or args.ops < 1:
+        print("metrics: --shards, --clients and --ops must all be >= 1")
+        return 2
+    cluster = ShardedCluster(
+        shards=args.shards, clients=args.clients, seed=args.seed,
+        tracing=args.tracing,
+    )
+    router = ShardRouter(cluster)
+    rng = random.Random(args.seed)
+    keyspace = [f"key-{i}" for i in range(max(8, args.clients * 2))]
+
+    def start(client_id: int, remaining: int) -> None:
+        def pump(_result=None) -> None:
+            nonlocal remaining
+            if remaining <= 0:
+                return
+            remaining -= 1
+            key = rng.choice(keyspace)
+            operation = (
+                put(key, f"v{client_id}-{remaining}")
+                if rng.random() < 0.5
+                else get(key)
+            )
+            router.submit(client_id, operation, pump)
+
+        pump()
+
+    for client_id in cluster.client_ids:
+        start(client_id, args.ops)
+    cluster.run()
+    verdict = router.streaming_verdict()
+    snapshot = cluster.metrics()
+    if args.tracing:
+        snapshot["spans"] = [span.as_dict() for span in cluster.tracer.finished()]
+    rendered = json.dumps(snapshot, indent=2, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"metrics snapshot written to {args.output}")
+    else:
+        print(rendered)
+    if not verdict.ok:
+        print("STREAMING VERIFIER FLAGGED VIOLATIONS (see verifier.* events)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LCM (DSN 2017) reproduction toolkit"
@@ -404,6 +466,23 @@ def build_parser() -> argparse.ArgumentParser:
                      "fault injection")
     txn.add_argument("--seed", type=int, default=0)
     txn.set_defaults(handler=_cmd_txn)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a sharded workload and export the metrics snapshot as JSON",
+    )
+    metrics.add_argument("--shards", type=int, default=2)
+    metrics.add_argument("--clients", type=int, default=8)
+    metrics.add_argument("--ops", type=int, default=20,
+                         help="operations per client")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--tracing", action="store_true",
+                         help="also record per-request spans and include "
+                         "them in the snapshot")
+    metrics.add_argument("--output", default=None,
+                         help="write the JSON snapshot to a file instead "
+                         "of stdout")
+    metrics.set_defaults(handler=_cmd_metrics)
     return parser
 
 

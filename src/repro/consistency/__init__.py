@@ -19,7 +19,13 @@ attack):
 - :mod:`repro.consistency.transactions` — cross-shard transaction
   atomicity over the per-shard audit logs: all-or-nothing decisions,
   coordinator consistency, and detection of a forked shard withholding
-  a completed decision from some clients.
+  a completed decision from some clients;
+- :mod:`repro.consistency.streaming` — the *online* counterpart of the
+  fork-linearizability checker: consumes audit evidence incrementally at
+  batch boundaries, emits violations the moment they are detectable, and
+  garbage-collects evidence below the majority-stable frontier so its
+  memory tracks the unstable suffix rather than the whole history, while
+  producing a verdict provably equal to the post-mortem one.
 """
 
 from repro.consistency.fork_linearizability import (
@@ -32,18 +38,34 @@ from repro.consistency.history import ClientView, History, OperationRecord
 from repro.consistency.linearizability import is_linearizable
 from repro.consistency.stable_subsequence import (
     check_stable_subsequence_linearizable,
+    stable_bound_frontier,
     stable_subsequence,
+)
+from repro.consistency.streaming import (
+    StreamingChecker,
+    StreamingGenerationVerdict,
 )
 from repro.consistency.transactions import (
     CoordinatorDecision,
     TxnEvidence,
+    TxnTrace,
     check_transaction_atomicity,
+    check_txn_traces,
+    trace_txn_operation,
+    withheld_decision,
 )
 
 __all__ = [
     "CoordinatorDecision",
     "TxnEvidence",
+    "TxnTrace",
     "check_transaction_atomicity",
+    "check_txn_traces",
+    "trace_txn_operation",
+    "withheld_decision",
+    "StreamingChecker",
+    "StreamingGenerationVerdict",
+    "stable_bound_frontier",
     "History",
     "OperationRecord",
     "ClientView",

@@ -95,8 +95,24 @@ class History:
     def by_client(self, client_id: int) -> list[OperationRecord]:
         return [r for r in self._records if r.client_id == client_id]
 
+    def records_since(self, offset: int) -> list[OperationRecord]:
+        """Completed records from ``offset`` onwards (incremental reads).
+
+        Records are append-only, so a consumer that remembers how many it
+        has seen can harvest only the new suffix — the streaming verifier
+        does this at every batch boundary.
+        """
+        return self._records[offset:]
+
+    def completed_count(self) -> int:
+        return len(self._records)
+
     def incomplete_count(self) -> int:
         return len(self._pending)
+
+    def pending_clients(self) -> set[int]:
+        """Clients with at least one invocation awaiting its response."""
+        return {client_id for client_id, _, _ in self._pending.values()}
 
     def real_time_pairs(self) -> Iterable[tuple[OperationRecord, OperationRecord]]:
         """All (a, b) pairs with a preceding b in real time."""

@@ -124,6 +124,22 @@ def _key(operation: Any) -> Any:
     return tuple(operation) if isinstance(operation, list) else operation
 
 
+def stable_bound_frontier(stable_bounds: dict[int, int], quorum: int) -> int:
+    """The group-wide majority-stable frontier over per-client bounds.
+
+    ``stable_bounds`` maps client id -> that client's highest known
+    majority-stable sequence (``client.stable_sequence``); the frontier
+    is the highest sequence at least ``quorum`` clients place at or below
+    their bound — i.e. Def. 2's ``majority-stable(V)`` computed from the
+    owners' own accounting rather than the server's V table.  This is the
+    same arithmetic the streaming verifier runs per batch boundary
+    (:meth:`repro.consistency.streaming.StreamingChecker.advance`), via
+    the shared :func:`repro.core.stability.stable_frontier` kernel."""
+    from repro.core.stability import stable_frontier
+
+    return stable_frontier(list(stable_bounds.values()), quorum)
+
+
 def check_stable_subsequence_linearizable(
     records: list[OperationRecord],
     stable_bounds: dict[int, int],

@@ -74,7 +74,7 @@ class TxnEvidence:
 
 
 @dataclass
-class _TxnTrace:
+class TxnTrace:
     """What one log says about one transaction."""
 
     #: a prepare that *voted PREPARED* (and so holds locks awaiting a
@@ -89,61 +89,85 @@ class _TxnTrace:
     applied: set[str] = field(default_factory=set)
 
 
-def _extract_traces(log: list[AuditRecord]) -> dict[str, _TxnTrace]:
-    traces: dict[str, _TxnTrace] = {}
+#: backwards-compatible alias (the class predates the streaming verifier,
+#: which needed it public to accumulate traces incrementally)
+_TxnTrace = TxnTrace
+
+
+def trace_txn_operation(
+    traces: dict[str, TxnTrace], operation: object, result: object
+) -> str | None:
+    """Fold one decoded (operation, result) pair into per-txn traces.
+
+    The shared per-record core of transaction-lifecycle extraction: the
+    post-mortem checker calls it over whole logs, the streaming verifier
+    calls it once per audit record as evidence is harvested.  Returns the
+    transaction id when the record was a lifecycle record, else ``None``.
+    """
+    parsed = parse_txn_operation(operation)
+    if parsed is None:
+        return None
+    kind, txn_id, _payload = parsed
+    trace = traces.get(txn_id)
+    if trace is None:
+        trace = traces[txn_id] = TxnTrace()
+    if kind == "prepare":
+        if isinstance(result, list) and result and result[0] == TXN_PREPARED:
+            trace.prepared = True
+        return txn_id
+    decision = "C" if kind == "commit" else "A"
+    trace.decisions.add(decision)
+    if isinstance(result, list) and result:
+        if result[0] == TXN_COMMITTED:
+            trace.applied.add("C")
+        elif result[0] == TXN_ABORTED:
+            trace.applied.add("A")
+    return txn_id
+
+
+def _extract_traces(log: list[AuditRecord]) -> dict[str, TxnTrace]:
+    traces: dict[str, TxnTrace] = {}
     for record in log:
         try:
             operation = serde.decode(record.operation)
         except Exception:
             continue  # chain verification elsewhere flags malformed logs
-        parsed = parse_txn_operation(operation)
-        if parsed is None:
+        if parse_txn_operation(operation) is None:
             continue
-        kind, txn_id, _payload = parsed
-        trace = traces.get(txn_id)
-        if trace is None:
-            trace = traces[txn_id] = _TxnTrace()
         try:
             result = serde.decode(record.result)
         except Exception:
             result = None
-        if kind == "prepare":
-            if isinstance(result, list) and result and result[0] == TXN_PREPARED:
-                trace.prepared = True
-            continue
-        decision = "C" if kind == "commit" else "A"
-        trace.decisions.add(decision)
-        if isinstance(result, list) and result:
-            if result[0] == TXN_COMMITTED:
-                trace.applied.add("C")
-            elif result[0] == TXN_ABORTED:
-                trace.applied.add("A")
+        trace_txn_operation(traces, operation, result)
     return traces
 
 
-def check_transaction_atomicity(
-    evidence: list[TxnEvidence],
+def check_txn_traces(
+    per_log: list[tuple[int, bool, dict[str, TxnTrace]]],
     decisions: dict[str, CoordinatorDecision],
 ) -> list[TxnAtomicityViolation]:
-    """Run the three cross-shard checks; returns violations, never raises."""
+    """The three cross-shard checks over pre-extracted traces.
+
+    ``per_log`` holds ``(shard_id, live, traces)`` triples in evidence
+    order.  Shared by :func:`check_transaction_atomicity` (which extracts
+    traces from whole logs) and the streaming verifier (which accumulated
+    them record by record) — one rule implementation, two feeding modes.
+    """
     violations: list[TxnAtomicityViolation] = []
-    per_log = [
-        (entry, _extract_traces(entry.log)) for entry in evidence
-    ]
 
     # 1 + 2: applied decisions agree globally and with the coordinator
     applied_by_txn: dict[str, dict[str, list[int]]] = {}
-    for entry, traces in per_log:
+    for shard_id, _live, traces in per_log:
         for txn_id, trace in traces.items():
             for decision in trace.applied:
                 applied_by_txn.setdefault(txn_id, {}).setdefault(
                     decision, []
-                ).append(entry.shard_id)
+                ).append(shard_id)
             coordinated = decisions.get(txn_id)
             if trace.decisions and coordinated is None:
                 violations.append(
                     TxnAtomicityViolation(
-                        f"shard {entry.shard_id} history carries a decision "
+                        f"shard {shard_id} history carries a decision "
                         f"for transaction {txn_id!r} the coordinator never "
                         "ran"
                     )
@@ -174,20 +198,16 @@ def check_transaction_atomicity(
             )
 
     # 3: no live history may withhold a completed decision from a prepare
-    for entry, traces in per_log:
-        if not entry.live:
+    for shard_id, live, traces in per_log:
+        if not live:
             continue
         for txn_id, trace in traces.items():
-            if not trace.prepared or trace.decisions:
+            if withheld_decision(shard_id, txn_id, trace, decisions) is None:
                 continue
-            coordinated = decisions.get(txn_id)
-            if coordinated is None or not coordinated.complete:
-                continue  # genuinely still in flight (or unknown: rule 2)
-            if entry.shard_id not in coordinated.participants:
-                continue
+            coordinated = decisions[txn_id]
             violations.append(
                 TxnAtomicityViolation(
-                    f"a live history of shard {entry.shard_id} holds the "
+                    f"a live history of shard {shard_id} holds the "
                     f"prepare of transaction {txn_id!r} but never saw its "
                     "completed "
                     f"{'commit' if coordinated.decision == 'C' else 'abort'} "
@@ -196,3 +216,35 @@ def check_transaction_atomicity(
                 )
             )
     return violations
+
+
+def withheld_decision(
+    shard_id: int,
+    txn_id: str,
+    trace: TxnTrace,
+    decisions: dict[str, CoordinatorDecision],
+) -> str | None:
+    """Rule-3 predicate for one (live) trace: the completed decision this
+    history is withholding (``"C"``/``"A"``), or ``None`` if the trace is
+    unobjectionable.  Shared with the streaming verifier's online
+    detection pass."""
+    if not trace.prepared or trace.decisions:
+        return None
+    coordinated = decisions.get(txn_id)
+    if coordinated is None or not coordinated.complete:
+        return None  # genuinely still in flight (or unknown: rule 2)
+    if shard_id not in coordinated.participants:
+        return None
+    return coordinated.decision
+
+
+def check_transaction_atomicity(
+    evidence: list[TxnEvidence],
+    decisions: dict[str, CoordinatorDecision],
+) -> list[TxnAtomicityViolation]:
+    """Run the three cross-shard checks; returns violations, never raises."""
+    per_log = [
+        (entry.shard_id, entry.live, _extract_traces(entry.log))
+        for entry in evidence
+    ]
+    return check_txn_traces(per_log, decisions)

@@ -397,6 +397,7 @@ class LcmContext:
             "handoff_session_check": self._ecall_handoff_session_check,
             "txn_status": self._ecall_txn_status,
             "export_audit_log": self._ecall_export_audit,
+            "export_audit_since": self._ecall_export_audit_since,
         }
 
     # ------------------------------------------------------------- lifecycle
@@ -1672,6 +1673,22 @@ class LcmContext:
         if not self._audit:
             raise ConfigurationError("context was not created in audit mode")
         return list(self.audit_log)
+
+    def _ecall_export_audit_since(self, offset: Any) -> list[AuditRecord]:
+        """Incremental audit export: records from ``offset`` onwards.
+
+        The streaming verifier harvests evidence at every batch boundary;
+        re-exporting the whole log each time would make harvesting
+        O(history) — this returns only the suffix past what the caller
+        already holds.  Records are append-only and immutable once
+        sequenced, so ``export_audit_since(k)`` concatenated over time is
+        byte-identical to a final ``export_audit_log``.
+        """
+        if not self._audit:
+            raise ConfigurationError("context was not created in audit mode")
+        if not isinstance(offset, int) or offset < 0:
+            raise ConfigurationError(f"audit export offset {offset!r} is invalid")
+        return list(self.audit_log[offset:])
 
 
 def make_lcm_program_factory(

@@ -196,6 +196,24 @@ class PackedRows:
         self.slot = {cid: i for i, cid in enumerate(self.ids)}
 
 
+def stable_frontier(acknowledged: list[int], quorum: int) -> int:
+    """Largest sequence number at or below ``quorum`` of the given acks.
+
+    The raw-integer core of ``majority-stable(V)``: sort the acknowledged
+    markers and take the ``quorum``-th largest.  Unlike
+    :func:`stable_with_quorum` this tolerates fewer than ``quorum``
+    supporters by returning 0 (nothing is stable yet) — the streaming
+    verifier calls it per audit log, where a freshly forked log may have
+    arbitrarily few supporting clients.
+    """
+    if quorum < 1:
+        raise ConfigurationError(f"quorum {quorum} must be at least 1")
+    if len(acknowledged) < quorum:
+        return 0
+    ordered = sorted(acknowledged, reverse=True)
+    return ordered[quorum - 1]
+
+
 def stable_with_quorum(entries: dict[int, ClientEntry], quorum: int) -> int:
     """Largest sequence number acknowledged by at least ``quorum`` clients.
 
@@ -208,9 +226,9 @@ def stable_with_quorum(entries: dict[int, ClientEntry], quorum: int) -> int:
         raise ConfigurationError(
             f"quorum {quorum} out of range for {len(entries)} clients"
         )
-    acknowledged = [entry.acknowledged for entry in entries.values()]
-    acknowledged.sort(reverse=True)
-    return acknowledged[quorum - 1]
+    return stable_frontier(
+        [entry.acknowledged for entry in entries.values()], quorum
+    )
 
 
 def majority_quorum(n: int) -> int:

@@ -32,6 +32,22 @@ class ExperimentResult:
     series: dict[str, list]
     ratios: dict[str, object] = field(default_factory=dict)
     paper_expectation: dict[str, object] = field(default_factory=dict)
+    #: one observability-plane snapshot (``cluster.metrics()``) captured
+    #: at the end of the run, for cluster-backed experiments — counters,
+    #: gauges, histograms and verifier events, JSON-ready
+    metrics: dict = field(default_factory=dict)
+
+
+def _streaming_parity(cluster, router, verdict) -> bool:
+    """True when the online verdict matches the post-mortem one exactly
+    (see :func:`repro.sharding.observer.parity_report`).  Cluster-backed
+    experiments assert this ratio so every harness scenario doubles as a
+    streaming-equivalence check."""
+    from repro.sharding.observer import parity_report
+
+    if not cluster.observer.enabled:
+        return True
+    return not parity_report(router.streaming_verdict(), verdict)
 
 
 def _band(values: list[float]) -> tuple[float, float]:
@@ -351,7 +367,9 @@ def run_shard_scaling(
         "violations": [],
         "load_skew": [],
         "per_shard_share": [],
+        "streaming_parity": [],
     }
+    metrics_snapshot: dict = {}
     for shard_count in counts:
         cluster = ShardedCluster(
             shards=shard_count,
@@ -416,10 +434,22 @@ def run_shard_scaling(
         ]
         total = sum(per_shard) or 1
         mean = total / len(per_shard)
-        series["load_skew"].append(max(per_shard) / mean)
+        skew = max(per_shard) / mean
+        series["load_skew"].append(skew)
         series["per_shard_share"].append(
             [round(count / total, 4) for count in per_shard]
         )
+        series["streaming_parity"].append(
+            _streaming_parity(cluster, router, verdict)
+        )
+        # balance figures live in the registry too, so one metrics
+        # snapshot carries the whole run's observability surface
+        cluster.metrics_registry.gauge("experiment.load_skew").set(skew)
+        for shard_id, count in zip(cluster.shard_ids, per_shard):
+            cluster.metrics_registry.gauge(
+                "experiment.per_shard_share", shard=str(shard_id)
+            ).set(round(count / total, 4))
+        metrics_snapshot = cluster.metrics()
     baseline = series["ops_per_second"][0]
     speedups = [
         rate / baseline if baseline else 0.0
@@ -446,12 +476,15 @@ def run_shard_scaling(
             "zero_violations": not any(series["violations"]),
             "load_skew_by_shards": dict(zip(counts, series["load_skew"])),
             "max_load_skew": max(series["load_skew"]),
+            "streaming_parity": all(series["streaming_parity"]),
         },
         paper_expectation={
             # not a paper figure: the ISSUE's acceptance bar for this repo
             "speedup_at_max": 2.5,
             "zero_violations": True,
+            "streaming_parity": True,
         },
+        metrics=metrics_snapshot,
     )
 
 
@@ -586,6 +619,7 @@ def run_elastic_scaling(
             "operations_parked": router.operations_parked,
             "operations_replayed": router.operations_replayed,
             "zero_violations": verdict.ok,
+            "streaming_parity": _streaming_parity(cluster, router, verdict),
         },
         paper_expectation={
             # not a paper figure: the ISSUE's acceptance bar for this PR
@@ -593,7 +627,9 @@ def run_elastic_scaling(
             "all_requests_completed": True,
             "reshards_completed": 2,
             "recoveries_completed": 1,
+            "streaming_parity": True,
         },
+        metrics=cluster.metrics(),
     )
 
 
@@ -825,13 +861,16 @@ def run_cross_shard(
             "recoveries_completed": cluster.stats.recoveries,
             "zero_violations": verdict.ok,
             "txn_violations": len(verdict.txn_violations),
+            "streaming_parity": _streaming_parity(cluster, router, verdict),
         },
         paper_expectation={
             # not a paper figure: the ISSUE's acceptance bar for this PR
             "zero_violations": True,
             "all_requests_completed": True,
             "spans_multiple_shards": True,
+            "streaming_parity": True,
         },
+        metrics=cluster.metrics(),
     )
 
 
@@ -880,7 +919,9 @@ def run_parallel_wallclock(
         "operations_completed": [],
         "violations": [],
         "audit_digest": [],
+        "streaming_parity": [],
     }
+    metrics_snapshot: dict = {}
     for backend in backends:
         cluster = ShardedCluster(
             shards=shards,
@@ -930,6 +971,9 @@ def run_parallel_wallclock(
                     digest.update(record.operation)
                     digest.update(record.result)
                     digest.update(record.chain)
+        # parity needs live enclaves, so check before the backend shuts down
+        parity = _streaming_parity(cluster, router, verdict)
+        metrics_snapshot = cluster.metrics()
         cluster.execution.shutdown()
         series["backend"].append(backend)
         series["wall_seconds"].append(wall)
@@ -939,6 +983,7 @@ def run_parallel_wallclock(
         )
         series["violations"].append(len(verdict.violations))
         series["audit_digest"].append(digest.hexdigest())
+        series["streaming_parity"].append(parity)
     wall_by_backend = dict(zip(series["backend"], series["wall_seconds"]))
     speedup = 0.0
     if "serial" in wall_by_backend and "threaded" in wall_by_backend:
@@ -964,12 +1009,15 @@ def run_parallel_wallclock(
             "threaded_speedup": speedup,
             "identical_digests": len(set(series["audit_digest"])) <= 1,
             "zero_violations": not any(series["violations"]),
+            "streaming_parity": all(series["streaming_parity"]),
         },
         paper_expectation={
             # not a paper figure: the ISSUE's acceptance bar for this PR
             "identical_digests": True,
             "zero_violations": True,
+            "streaming_parity": True,
         },
+        metrics=metrics_snapshot,
     )
 
 

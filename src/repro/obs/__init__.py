@@ -1,0 +1,33 @@
+"""Unified observability plane: metrics registry, events, request tracing.
+
+Every layer of the sharded runtime used to keep its own ad-hoc stats —
+router counters, dispatcher batch histograms, control-plane report
+timings, harness series.  This package is the single substrate they all
+write to (and the autoscaler / latency-frontier harness read from):
+
+- :mod:`repro.obs.metrics` — counter/gauge/histogram registry stamped
+  with the simulator's *virtual* clock, plus a bounded event channel for
+  online violation detection;
+- :mod:`repro.obs.tracing` — per-request spans across
+  router -> dispatcher -> enclave batch -> reply delivery (off by
+  default; zero allocations when disabled).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Event,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+]

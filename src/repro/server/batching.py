@@ -48,6 +48,18 @@ class BatchSizeHistogram:
         """Size -> count snapshot (sorted by size for stable output)."""
         return {size: self.counts[size] for size in sorted(self.counts)}
 
+    def export_to(self, histogram) -> None:
+        """Mirror this distribution into a registry histogram
+        (:class:`repro.obs.metrics.Histogram`), wholesale.
+
+        This is the read-through bridge the cluster's snapshot collector
+        uses: the dispatch hot path keeps writing to this object (one
+        dict update per batch, no registry indirection), and the registry
+        copy is refreshed only when a snapshot is taken.  The
+        ``dispatcher.histogram`` / ``queue.histogram`` accessors stay the
+        authoritative source."""
+        histogram.set_from_counts(self.counts)
+
 
 class BatchQueue(Generic[T]):
     """Collects items and flushes them in bounded batches.

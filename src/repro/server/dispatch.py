@@ -69,6 +69,12 @@ class GroupDispatcher:
         Optional hook that runs each time the enclave goes idle after a
         delivery, *before* the next batch is cut — the sharded runtime
         runs deferred rebalances at exactly this batch boundary.
+    on_batch_complete:
+        Optional hook ``(batch_size) -> None`` fired after a batch's
+        replies are delivered but *before* the ``on_idle`` boundary hook
+        — the streaming verifier harvests audit evidence here, so it
+        observes every batch's records before a deferred rebalance or
+        reshard runs at the same boundary.
     boundary_gate:
         Optional predicate refining what counts as a *cuttable* batch
         boundary for ``on_idle``.  A cross-shard transaction's prepare
@@ -104,6 +110,7 @@ class GroupDispatcher:
         service_interval: float = ENCLAVE_SERVICE_INTERVAL,
         on_violation: Callable[[SecurityViolation], None] | None = None,
         on_idle: Callable[[], None] | None = None,
+        on_batch_complete: Callable[[int], None] | None = None,
         boundary_gate: Callable[[], bool] | None = None,
         execution=None,
     ) -> None:
@@ -117,6 +124,7 @@ class GroupDispatcher:
         self._service_interval = service_interval
         self._on_violation = on_violation
         self._on_idle = on_idle
+        self._on_batch_complete = on_batch_complete
         self._boundary_gate = boundary_gate
         self._execution = execution if execution is not None else SerialBackend()
         #: in-flight batch result, joined at the delivery event (and by
@@ -124,6 +132,10 @@ class GroupDispatcher:
         self._pending: Callable[[], list[bytes]] | None = None
         #: deliveries whose boundary hook was withheld mid-transaction
         self.boundaries_deferred = 0
+        #: size of the batch currently delivering replies (None outside
+        #: the delivery loop) — lets the tracer stamp spans with the
+        #: batch they travelled in without tagging each reply
+        self.delivering_batch_size: int | None = None
 
     # ---------------------------------------------------------------- intake
 
@@ -166,9 +178,18 @@ class GroupDispatcher:
             except SecurityViolation as violation:
                 self._handle_violation(violation)
                 return
-            for (client_id, _), reply in zip(batch, replies):
-                self._deliver(client_id, reply)
+            self.delivering_batch_size = len(batch)
+            try:
+                for (client_id, _), reply in zip(batch, replies):
+                    self._deliver(client_id, reply)
+            finally:
+                self.delivering_batch_size = None
             self.busy = False
+            if self._on_batch_complete is not None:
+                # evidence harvest runs before the idle hook: the streaming
+                # verifier must see this batch's audit suffix before a
+                # deferred rebalance folds the live log into the prefix
+                self._on_batch_complete(len(batch))
             self._fire_idle()
             self.maybe_dispatch()
 

@@ -53,9 +53,11 @@ from repro.kvstore import KvsFunctionality
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.server import MaliciousServer, ServerHost
 from repro.server.dispatch import GroupDispatcher
 from repro.server.execution import make_execution_backend
+from repro.sharding.observer import ClusterObserver
 from repro.sharding.partitioner import HashRing
 from repro.tee import TeePlatform
 
@@ -235,6 +237,16 @@ class ShardedCluster:
         so distinct shards execute concurrently on a multi-core host
         while replies still re-enter the virtual-time order at the
         batch boundary — bytes and verdicts are backend-independent.
+    streaming:
+        Run the streaming verifier (:mod:`repro.sharding.observer`)
+        alongside the cluster, harvesting audit evidence at every batch
+        boundary.  Defaults to the ``audit`` flag; pass ``False`` to opt
+        out (e.g. throughput benchmarks).  Requires audit mode either
+        way — without evidence there is nothing to stream.
+    tracing:
+        Record per-request :class:`~repro.obs.tracing.Span` objects
+        (submit → delivery → completion) in :attr:`tracer`.  Off by
+        default; spans cost one dict hit per reply when enabled.
     """
 
     #: Virtual enclave service time per request in a batch (the shared
@@ -256,6 +268,8 @@ class ShardedCluster:
         seed: int = 0,
         malicious_shards: tuple[int, ...] = (),
         execution: str | None = None,
+        streaming: bool | None = None,
+        tracing: bool = False,
     ) -> None:
         if shards < 1:
             raise ConfigurationError("need at least one shard")
@@ -289,6 +303,22 @@ class ShardedCluster:
         self._retired: list[GenerationEvidence] = []
         self._fenced: set[int] = set()
         self._reconfig_listeners: list[Callable[[str, tuple[int, ...]], None]] = []
+        if streaming and not audit:
+            raise ConfigurationError(
+                "streaming verification needs a cluster in audit mode"
+            )
+        #: the unified observability plane: counters/gauges/histograms on
+        #: the simulator's virtual clock, optional per-request spans, and
+        #: the streaming verifier (on by default whenever audit evidence
+        #: exists; ``streaming=False`` opts out, e.g. for benchmarks)
+        self.metrics_registry = MetricsRegistry(clock=lambda: self.sim.now)
+        self.tracer = SpanTracer(clock=lambda: self.sim.now, enabled=tracing)
+        self.observer = ClusterObserver(
+            self,
+            registry=self.metrics_registry,
+            enabled=audit if streaming is None else (streaming and audit),
+        )
+        self.metrics_registry.register_collector(self._collect_stats)
         self._shards: dict[int, _Shard] = {
             shard_id: self._provision_shard(
                 shard_id, malicious=shard_id in malicious_shards
@@ -336,12 +366,21 @@ class ShardedCluster:
             self.group.verifier(), TeePlatform.expected_measurement(self._factory)
         )
         shard.deployment = admin.bootstrap(shard.host, client_ids=self._client_ids)
+        if self.tracer.enabled:
+            def deliver(client_id: int, reply: bytes, shard=shard) -> None:
+                self.tracer.delivered(
+                    shard.shard_id,
+                    client_id,
+                    shard.dispatcher.delivering_batch_size,
+                )
+                shard.down[client_id].send(reply)
+        else:
+            def deliver(client_id: int, reply: bytes, shard=shard) -> None:
+                shard.down[client_id].send(reply)
         shard.dispatcher = GroupDispatcher(
             sim=self.sim,
             send_batch=lambda batch, shard=shard: self._send_batch(shard, batch),
-            deliver=lambda client_id, reply, shard=shard: shard.down[
-                client_id
-            ].send(reply),
+            deliver=deliver,
             batch_limit=self._batch_limit,
             label=f"shard{shard_id}-batch",
             service_interval=self.SERVICE_INTERVAL,
@@ -349,6 +388,11 @@ class ShardedCluster:
                 shard, violation
             ),
             on_idle=lambda shard=shard: self._at_batch_boundary(shard),
+            on_batch_complete=(
+                (lambda size, shard=shard: self.observer.on_batch_boundary(shard))
+                if self.observer.enabled
+                else None
+            ),
             boundary_gate=lambda shard=shard: self._txn_boundary_clear(shard),
             execution=self.execution,
         )
@@ -367,6 +411,7 @@ class ShardedCluster:
             shard.up[client_id] = up
             shard.down[client_id] = down
             shard.clients[client_id] = client
+        self.observer.on_provisioned(shard)
         return shard
 
     # -------------------------------------------------------------- serving
@@ -398,7 +443,17 @@ class ShardedCluster:
         keeps going."""
         if shard.violation is None:
             shard.violation = violation
+            self.metrics_registry.counter(
+                "cluster.violations", shard=str(shard.shard_id)
+            ).inc()
+            self.metrics_registry.emit(
+                "shard-violation",
+                shard=shard.shard_id,
+                generation=shard.generation,
+                violation=repr(violation),
+            )
         shard.dispatcher.halt()
+        self.observer.on_violation(shard)
 
     def _txn_boundary_clear(self, shard: _Shard) -> bool:
         """Dispatcher boundary gate: an enclave-idle moment between a
@@ -590,6 +645,7 @@ class ShardedCluster:
         shard.crashed = True
         shard.dispatcher.halt()
         shard.host.enclave.crash()
+        self.observer.on_crash(shard)
 
     def schedule_crash(self, delay: float, shard_id: int) -> None:
         """Crash a shard at a virtual-time offset (mid-workload).  Skipped
@@ -636,6 +692,7 @@ class ShardedCluster:
             violation=shard.violation,
         )
         self._retired.append(evidence)
+        self.observer.on_retired(shard, evidence)
         return evidence
 
     def _remove_shard_now(self, shard_id: int) -> None:
@@ -837,3 +894,31 @@ class ShardedCluster:
             suffix = list(instance.enclave.ecall("export_audit_log", None))
             logs.append(list(fork.log_prefix) + suffix)
         return logs
+
+    # -------------------------------------------------------- observability
+
+    def _collect_stats(self, registry: MetricsRegistry) -> None:
+        """Collector mirroring :class:`ShardedStats` (and the per-shard
+        batch histograms) into the registry at snapshot time, so pull-style
+        sources need no write-path instrumentation."""
+        stats = self.stats
+        registry.gauge("cluster.operations_completed").set(
+            stats.operations_completed
+        )
+        registry.gauge("cluster.rebalances").set(stats.rebalances)
+        registry.gauge("cluster.reshards").set(stats.reshards)
+        registry.gauge("cluster.recoveries").set(stats.recoveries)
+        registry.gauge("cluster.keys_migrated").set(stats.keys_migrated)
+        registry.gauge("cluster.shards").set(len(self._shards))
+        for shard_id, count in sorted(stats.per_shard_operations.items()):
+            registry.gauge("shard.operations", shard=str(shard_id)).set(count)
+        for shard_id in self.shard_ids:
+            self._shards[shard_id].dispatcher.histogram.export_to(
+                registry.histogram("shard.batch_size", shard=str(shard_id))
+            )
+
+    def metrics(self) -> dict:
+        """One JSON-ready snapshot of the whole observability plane:
+        registered counters/gauges/histograms, collector-backed cluster
+        stats, recent events, all stamped with the virtual clock."""
+        return self.metrics_registry.snapshot()

@@ -125,6 +125,9 @@ class _Plan:
     #: consecutive barrier polls where the only thing keeping the plan
     #: waiting was a prepared-but-undecided transaction (see _poll)
     txn_stall: int = 0
+    #: virtual time the plan entered the barrier (fence), for the
+    #: plan-duration histogram
+    started_at: float | None = None
 
 
 def _arcs_by_peer(moves: list[ArcMove], *, group_by: str) -> dict:
@@ -162,6 +165,10 @@ class ControlPlane:
         self.handoff_sessions = HandoffSessionCache()
         #: high-water mark of concurrently running plans (observability)
         self.max_concurrent = 0
+        #: plan lifecycle metrics in the cluster's registry: completion /
+        #: abort counters and a fence-to-finish duration histogram, each
+        #: labelled by plan kind ("add" | "remove" | "recover")
+        self._registry = cluster.metrics_registry
 
     # ------------------------------------------------------------- public
 
@@ -311,6 +318,10 @@ class ControlPlane:
             plan.involved = tuple(sorted(self._estimate_involved(plan)))
             cluster._fenced.update(plan.involved)
         self.max_concurrent = max(self.max_concurrent, len(self._active))
+        self._registry.gauge("controlplane.max_concurrent").set(
+            self.max_concurrent
+        )
+        plan.started_at = cluster.sim.now
         self._poll(plan)
 
     # -------------------------------------------------------------- barrier
@@ -495,6 +506,16 @@ class ControlPlane:
         plan.report.aborted = aborted
         plan.report.completed = aborted is None
         plan.report.completed_at = cluster.sim.now if aborted is None else None
+        outcome = "completed" if aborted is None else "aborted"
+        self._registry.counter(f"controlplane.plans_{outcome}", kind=plan.kind).inc()
+        if aborted is None:
+            self._registry.counter(
+                "controlplane.keys_moved", kind=plan.kind
+            ).inc(plan.report.keys_moved)
+        if plan.started_at is not None:
+            self._registry.histogram(
+                "controlplane.plan_duration", kind=plan.kind
+            ).observe(round(cluster.sim.now - plan.started_at, 6))
         if plan in self._active:
             self._active.remove(plan)
         event = "recovered" if plan.kind == "recover" else "resharded"

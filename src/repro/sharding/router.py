@@ -249,16 +249,24 @@ class ShardRouter:
         #: rejected because its key is locked by a pending transaction
         #: (the rejection is a real, chained operation either way)
         self.retry_locked = retry_locked
-        self.operations_submitted = 0
-        self.fanout_requests = 0
-        self.operations_parked = 0
-        self.operations_replayed = 0
-        self.operations_dropped = 0
-        self.operations_lock_retried = 0
-        self.transactions_started = 0
-        self.transactions_committed = 0
-        self.transactions_aborted = 0
-        self.transactions_parked = 0
+        #: router counters live in the cluster's metrics registry; the
+        #: historical attribute names stay readable as properties below.
+        #: Hot paths hold the Counter objects directly (one int add).
+        registry = cluster.metrics_registry
+        self._ctr_submitted = registry.counter("router.operations_submitted")
+        self._ctr_fanout = registry.counter("router.fanout_requests")
+        self._ctr_parked = registry.counter("router.operations_parked")
+        self._ctr_replayed = registry.counter("router.operations_replayed")
+        self._ctr_dropped = registry.counter("router.operations_dropped")
+        self._ctr_lock_retried = registry.counter(
+            "router.operations_lock_retried"
+        )
+        self._ctr_txn_started = registry.counter("router.transactions_started")
+        self._ctr_txn_committed = registry.counter(
+            "router.transactions_committed"
+        )
+        self._ctr_txn_aborted = registry.counter("router.transactions_aborted")
+        self._ctr_txn_parked = registry.counter("router.transactions_parked")
         #: coordinator decision log, by txn id (never pruned: it is the
         #: evidence the cross-shard transaction checker runs against)
         self.txn_log: dict[str, TxnRecord] = {}
@@ -285,6 +293,54 @@ class ShardRouter:
         self._inflight: dict[int, tuple] = {}
         self._next_submission = 0
         cluster.subscribe_reconfiguration(self._on_reconfiguration)
+        if cluster.observer.enabled:
+            # the streaming verifier needs the coordinator's decision log
+            # for its online withheld-decision scan and its verdict
+            cluster.observer.attach_decisions(
+                self._coordinator_decisions, lambda: bool(self.txn_log)
+            )
+
+    # ------------------------------------------- counter read-through views
+
+    @property
+    def operations_submitted(self) -> int:
+        return self._ctr_submitted.value
+
+    @property
+    def fanout_requests(self) -> int:
+        return self._ctr_fanout.value
+
+    @property
+    def operations_parked(self) -> int:
+        return self._ctr_parked.value
+
+    @property
+    def operations_replayed(self) -> int:
+        return self._ctr_replayed.value
+
+    @property
+    def operations_dropped(self) -> int:
+        return self._ctr_dropped.value
+
+    @property
+    def operations_lock_retried(self) -> int:
+        return self._ctr_lock_retried.value
+
+    @property
+    def transactions_started(self) -> int:
+        return self._ctr_txn_started.value
+
+    @property
+    def transactions_committed(self) -> int:
+        return self._ctr_txn_committed.value
+
+    @property
+    def transactions_aborted(self) -> int:
+        return self._ctr_txn_aborted.value
+
+    @property
+    def transactions_parked(self) -> int:
+        return self._ctr_txn_parked.value
 
     # ------------------------------------------------------------ submitting
 
@@ -367,7 +423,7 @@ class ShardRouter:
         return False
 
     def _park(self, shard_id, client_id, operation, on_complete, reroute) -> None:
-        self.operations_parked += 1
+        self._ctr_parked.inc()
         self._parked.setdefault(shard_id, []).append(
             (client_id, operation, on_complete, reroute)
         )
@@ -384,7 +440,13 @@ class ShardRouter:
         cluster = self.cluster
         history = cluster.shard_history(shard_id)
         token = history.invoke(client_id, operation)
-        self.operations_submitted += 1
+        self._ctr_submitted.inc()
+        span = cluster.tracer.start(
+            "operation",
+            client_id=client_id,
+            shard_id=shard_id,
+            operation=str(operation[0]) if operation else None,
+        ) if cluster.tracer.enabled else None
         submission = self._next_submission
         self._next_submission = submission + 1
         self._inflight[submission] = (
@@ -396,6 +458,8 @@ class ShardRouter:
             history.respond(token, result.result, sequence=result.sequence)
             cluster.stats.operations_completed += 1
             cluster.stats.per_shard_operations[shard_id] += 1
+            if span is not None:
+                cluster.tracer.finish(span, sequence=result.sequence)
             if (
                 reroute
                 and self.retry_locked
@@ -415,7 +479,7 @@ class ShardRouter:
                 # (it always is — one router per cluster): a stored user
                 # value that merely looks like the marker never matches
                 # a real txn id, so it is delivered, not retried.
-                self.operations_lock_retried += 1
+                self._ctr_lock_retried.inc()
                 self.submit(
                     client_id,
                     operation,
@@ -455,10 +519,10 @@ class ShardRouter:
             else:
                 self.submit_to_shard(shard_id, client_id, operation, on_complete)
         except LCMError as error:
-            self.operations_dropped += 1
+            self._ctr_dropped.inc()
             self.replay_failures.append((shard_id, client_id, operation, error))
         else:
-            self.operations_replayed += 1
+            self._ctr_replayed.inc()
 
     def _replay_inflight(self, shard_ids: tuple[int, ...]) -> None:
         lost = [
@@ -498,7 +562,7 @@ class ShardRouter:
         the order the operations were submitted.  Returns a
         ``{shard_id: operation_count}`` fan-out map.
         """
-        self.fanout_requests += 1
+        self._ctr_fanout.inc()
         if not operations:
             if on_complete is not None:
                 on_complete([])
@@ -570,7 +634,7 @@ class ShardRouter:
         if not record.operations:
             raise ConfigurationError("a transaction needs at least one operation")
         self.txn_log[record.txn_id] = record
-        self.transactions_started += 1
+        self._ctr_txn_started.inc()
         self._txn_begin(record)
         return record.txn_id
 
@@ -602,7 +666,7 @@ class ShardRouter:
                     f"transaction {record.txn_id} needs shard(s) {down} "
                     "which are down (failover=True parks and replays instead)"
                 )
-            self.transactions_parked += 1
+            self._ctr_txn_parked.inc()
             self._parked_txns.append(record)
             return
         record.participants = participants
@@ -678,14 +742,14 @@ class ShardRouter:
         record.done = True
         results: list | None = None
         if record.committed:
-            self.transactions_committed += 1
+            self._ctr_txn_committed.inc()
             results = [None] * len(record.operations)
             for shard_id, indices in record.participants.items():
                 vote = record.votes[shard_id]
                 for index, value in zip(indices, vote[1]):
                     results[index] = value
         else:
-            self.transactions_aborted += 1
+            self._ctr_txn_aborted.inc()
         if record.on_complete is not None:
             record.on_complete(
                 TxnResult(
@@ -709,7 +773,7 @@ class ShardRouter:
                 # and the shard died again): abort with attribution so
                 # the submitter's callback still fires
                 record.decision = "A"
-                self.operations_dropped += 1
+                self._ctr_dropped.inc()
                 self._txn_finish(record)
 
     # ---------------------------------------------------------- verification
@@ -733,6 +797,14 @@ class ShardRouter:
                 self._txn_evidence(), self._coordinator_decisions()
             )
         return merged
+
+    def streaming_verdict(self):
+        """The online verdict the cluster's streaming verifier assembled
+        from evidence harvested at batch boundaries — provably equivalent
+        to :meth:`verdict` (the parity test suite asserts it on every
+        scenario), but available without a post-mortem replay and with
+        violations already emitted as registry events mid-run."""
+        return self.cluster.observer.verdict()
 
     def check_fork_linearizable(self) -> ShardedVerdict:
         """Merged verdict, raising on the first per-shard violation.

@@ -1,0 +1,346 @@
+"""StreamingChecker unit tests: parity with the post-mortem checker,
+online detection, and stable-frontier garbage collection.
+
+Every parity test runs the same evidence through both pipelines — the
+incremental :class:`StreamingChecker` and ``views_from_audit_logs`` +
+``check_fork_linearizable`` — and asserts the verdicts match down to the
+exception type and message.
+"""
+
+import pytest
+
+from repro import serde
+from repro.consistency.fork_linearizability import (
+    check_fork_linearizable,
+    views_from_audit_logs,
+)
+from repro.consistency.stable_subsequence import stable_bound_frontier
+from repro.consistency.streaming import StreamingChecker
+from repro.core.context import AuditRecord
+from repro.core.hashchain import ChainPoint
+from repro.crypto.hashing import GENESIS_HASH, chain_extend
+from repro.errors import SecurityViolation
+from repro.kvstore import KvsFunctionality
+
+
+def build_log(spec, start_chain=GENESIS_HASH, start_sequence=0):
+    """(client_id, operation, result) triples -> a valid audit log."""
+    log = []
+    value = start_chain
+    for offset, (client_id, operation, result) in enumerate(spec):
+        sequence = start_sequence + offset + 1
+        op_bytes = serde.encode(list(operation))
+        value = chain_extend(value, op_bytes, sequence, client_id)
+        log.append(
+            AuditRecord(
+                sequence=sequence,
+                client_id=client_id,
+                operation=op_bytes,
+                result=serde.encode(result),
+                chain=value,
+            )
+        )
+    return log
+
+
+def make_checker(client_ids=(1, 2), events=None):
+    return StreamingChecker(
+        functionality=KvsFunctionality(),
+        client_ids=list(client_ids),
+        on_event=(
+            (lambda name, fields: events.append((name, fields)))
+            if events is not None
+            else None
+        ),
+    )
+
+
+def point_at(log, sequence):
+    return (sequence, log[sequence - 1].chain) if sequence else (0, GENESIS_HASH)
+
+
+def post_mortem_sig(logs, points):
+    """(violation signature, fork points) from the post-mortem pipeline."""
+    chain_points = {
+        client_id: ChainPoint(sequence, chain)
+        for client_id, (sequence, chain) in points.items()
+    }
+    try:
+        views = views_from_audit_logs(logs, chain_points, {})
+        tree = check_fork_linearizable(views, KvsFunctionality())
+        return None, tree.fork_points()
+    except SecurityViolation as violation:
+        return (type(violation).__name__, str(violation)), None
+
+
+def streaming_sig(checker):
+    verdict = checker.result()
+    if verdict.violation is not None:
+        return (
+            (type(verdict.violation).__name__, str(verdict.violation)),
+            None,
+        )
+    return None, verdict.fork_points
+
+
+BASE = [
+    (1, ("PUT", "k", "v1"), None),
+    (2, ("GET", "k"), "v1"),
+]
+
+
+class TestParity:
+    def assert_parity(self, logs, points, client_ids=(1, 2)):
+        checker = make_checker(client_ids)
+        for log in logs:
+            log_id = checker.register_log()
+            checker.feed_records(log_id, log)
+        for client_id, (sequence, chain) in points.items():
+            checker.observe_point(client_id, sequence, chain)
+        checker.advance()
+        assert streaming_sig(checker) == post_mortem_sig(logs, points)
+
+    def test_honest_shared_log(self):
+        log = build_log(BASE)
+        self.assert_parity(
+            [log], {1: point_at(log, 2), 2: point_at(log, 2)}
+        )
+
+    def test_prefix_views(self):
+        log = build_log(BASE + [(1, ("PUT", "k", "v2"), "v1")])
+        self.assert_parity(
+            [log], {1: point_at(log, 3), 2: point_at(log, 2)}
+        )
+
+    def test_clean_fork(self):
+        base = build_log(BASE)
+        branch_a = base + build_log(
+            [(1, ("PUT", "k", "a"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        branch_b = base + build_log(
+            [(2, ("PUT", "k", "b"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        points = {1: point_at(branch_a, 3), 2: point_at(branch_b, 3)}
+        self.assert_parity([branch_a, branch_b], points)
+        # and the fork point itself is the post-mortem's
+        _, fork_points = post_mortem_sig([branch_a, branch_b], points)
+        assert fork_points == [2]
+
+    def test_join_attack(self):
+        base = build_log(BASE)
+        branch_a = base + build_log(
+            [(1, ("PUT", "k", "a"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        branch_b = base + build_log(
+            [(2, ("PUT", "k", "b"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        tail = build_log(
+            [(2, ("GET", "k"), "a")],
+            start_chain=branch_a[-1].chain, start_sequence=3,
+        )
+        joined_a = branch_a + tail
+        fake_joined_b = branch_b + tail
+        points = {1: point_at(joined_a, 4), 2: point_at(fake_joined_b, 4)}
+        sig, _ = post_mortem_sig([joined_a, fake_joined_b], points)
+        assert sig is not None  # the attack IS caught post-mortem...
+        self.assert_parity([joined_a, fake_joined_b], points)
+
+    def test_chain_mismatch(self):
+        log = build_log(BASE)
+        bad = log[:1] + [
+            AuditRecord(
+                sequence=2, client_id=2,
+                operation=log[1].operation, result=log[1].result,
+                chain=b"\x00" * 32,
+            )
+        ]
+        self.assert_parity([bad], {1: point_at(bad, 1), 2: (0, GENESIS_HASH)})
+
+    def test_sequence_gap(self):
+        log = build_log(BASE + [(1, ("PUT", "k", "v2"), "v1")])
+        gapped = [log[0], log[2]]
+        self.assert_parity(
+            [gapped], {1: point_at(log, 1), 2: (0, GENESIS_HASH)}
+        )
+
+    def test_replay_mismatch(self):
+        log = build_log([(1, ("PUT", "k", "v"), None), (2, ("GET", "k"), "WRONG")])
+        self.assert_parity([log], {1: point_at(log, 2), 2: point_at(log, 2)})
+
+    def test_unlocated_point(self):
+        log = build_log(BASE)
+        self.assert_parity(
+            [log], {1: point_at(log, 2), 2: (2, b"\xff" * 32)}
+        )
+
+
+class TestOnlineEvents:
+    def test_fork_divergence_emitted_at_feed_time(self):
+        events = []
+        checker = make_checker(events=events)
+        base = build_log(BASE)
+        branch_a = base + build_log(
+            [(1, ("PUT", "k", "a"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        branch_b = base + build_log(
+            [(2, ("PUT", "k", "b"), "v1")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        checker.feed_records(checker.register_log(), branch_a)
+        assert events == []
+        checker.feed_records(checker.register_log(), branch_b)
+        # detected the moment the diverging position streamed in — no
+        # verdict call needed
+        assert ("fork-divergence", {"log_a": 0, "log_b": 1, "position": 3}) in events
+
+    def test_chain_violation_emitted_at_feed_time(self):
+        events = []
+        checker = make_checker(events=events)
+        log = build_log(BASE)
+        checker.feed_records(
+            checker.register_log(),
+            [log[0], log[0]],  # repeated sequence = gap
+        )
+        assert events and events[0][0] == "chain-violation"
+
+    def test_replay_mismatch_emitted_at_feed_time(self):
+        events = []
+        checker = make_checker(events=events)
+        log = build_log([(1, ("PUT", "k", "v"), None), (2, ("GET", "k"), "BAD")])
+        checker.feed_records(checker.register_log(), log)
+        assert ("replay-mismatch", {"log": 0, "sequence": 2}) in events
+
+
+class TestStableFrontierGC:
+    def _long_log(self, rounds, per_round=4):
+        spec = []
+        for round_number in range(rounds):
+            for client_id in (1, 2):
+                for slot in range(per_round // 2):
+                    key = f"k-{round_number}-{slot}"
+                    spec.append((client_id, ("PUT", key, str(client_id)), None))
+        return build_log(spec)
+
+    def test_retained_evidence_tracks_unstable_suffix(self):
+        checker = make_checker()
+        log = self._long_log(rounds=10)
+        log_id = checker.register_log()
+        chunk = 4
+        max_retained = 0
+        for start in range(0, len(log), chunk):
+            batch = log[start:start + chunk]
+            checker.feed_records(log_id, batch)
+            upto = start + len(batch)
+            checker.observe_point(1, *point_at(log, upto))
+            checker.observe_point(2, *point_at(log, upto))
+            checker.advance()
+            max_retained = max(max_retained, checker.retained_records)
+        assert checker.log_length(log_id) == len(log)
+        # both clients acked everything: the whole log fell below the
+        # floor and was discarded
+        assert checker.floor == len(log)
+        assert checker.retained_records == 0
+        assert max_retained <= chunk
+
+    def test_floor_lags_the_slowest_client(self):
+        checker = make_checker(client_ids=(1, 2, 3))
+        log = self._long_log(rounds=5)
+        log_id = checker.register_log()
+        checker.feed_records(log_id, log)
+        checker.observe_point(1, *point_at(log, len(log)))
+        checker.observe_point(2, *point_at(log, 12))
+        checker.observe_point(3, *point_at(log, 4))
+        checker.advance()
+        # majority (2-of-3) frontier vs all-clients GC floor
+        assert checker.frontier == 12
+        assert checker.floor == 4
+        assert checker.retained_records == len(log) - 4
+
+    def test_verdict_parity_survives_collection(self):
+        checker = make_checker()
+        log = self._long_log(rounds=8)
+        log_id = checker.register_log()
+        for start in range(0, len(log), 4):
+            checker.feed_records(log_id, log[start:start + 4])
+            upto = min(start + 4, len(log))
+            checker.observe_point(1, *point_at(log, upto))
+            checker.observe_point(2, *point_at(log, upto))
+            checker.advance()
+        assert checker.retained_records == 0  # everything GC'd
+        points = {1: point_at(log, len(log)), 2: point_at(log, len(log))}
+        assert streaming_sig(checker) == post_mortem_sig([log], points)
+
+    def test_fork_pins_the_floor(self):
+        """A diverged pair stops the floor at the matched prefix even when
+        every client acked far beyond it — the divergence region must stay
+        comparable."""
+        checker = make_checker()
+        base = build_log(BASE)
+        branch_a = base + build_log(
+            [(1, ("PUT", "k", "a"), "v1"), (1, ("PUT", "k", "a2"), "a")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        branch_b = base + build_log(
+            [(2, ("PUT", "k", "b"), "v1"), (2, ("PUT", "k", "b2"), "b")],
+            start_chain=base[-1].chain, start_sequence=2,
+        )
+        checker.feed_records(checker.register_log(), branch_a)
+        checker.feed_records(checker.register_log(), branch_b)
+        checker.observe_point(1, *point_at(branch_a, 4))
+        checker.observe_point(2, *point_at(branch_b, 4))
+        checker.advance()
+        assert checker.floor == 2  # the common prefix, not the acks
+        assert checker.retained_records > 0
+
+
+class TestForkRegistration:
+    def test_fork_inherits_gc_checkpoint(self):
+        """A fork whose prefix chain-matches the source's checkpoint
+        re-feeds only the retained suffix — registering a fork after GC
+        does not resurrect the discarded prefix."""
+        checker = make_checker()
+        spec = [(1, ("PUT", f"k-{i}", "v"), None) for i in range(20)]
+        log = build_log(spec)
+        log_id = checker.register_log()
+        checker.feed_records(log_id, log)
+        checker.observe_point(1, *point_at(log, 20))
+        checker.observe_point(2, *point_at(log, 16))
+        checker.advance()
+        assert checker.floor == 16
+        fork_id = checker.register_fork(0, list(log))
+        assert checker.log_length(fork_id) == 20
+        # retained: 4 per log (positions 17..20), not 20 + 24
+        assert checker.retained_records == 8
+        assert streaming_sig(checker)[0] is None
+
+    def test_fork_contradicting_checkpoint_is_a_divergence(self):
+        events = []
+        checker = make_checker(events=events)
+        spec = [(1, ("PUT", f"k-{i}", "v"), None) for i in range(10)]
+        log = build_log(spec)
+        other_spec = [(1, ("PUT", f"x-{i}", "v"), None) for i in range(10)]
+        other = build_log(other_spec)
+        log_id = checker.register_log()
+        checker.feed_records(log_id, log)
+        checker.observe_point(1, *point_at(log, 10))
+        checker.observe_point(2, *point_at(log, 10))
+        checker.advance()
+        assert checker.floor == 10
+        checker.register_fork(0, list(other))
+        assert any(name == "fork-divergence" for name, _ in events)
+
+
+class TestStableBoundFrontier:
+    def test_majority_and_full_quorum(self):
+        bounds = {1: 5, 2: 3, 3: 1}
+        assert stable_bound_frontier(bounds, 2) == 3
+        assert stable_bound_frontier(bounds, 3) == 1
+        assert stable_bound_frontier(bounds, 1) == 5
+
+    def test_empty_bounds(self):
+        assert stable_bound_frontier({}, 1) == 0

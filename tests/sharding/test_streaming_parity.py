@@ -1,0 +1,308 @@
+"""End-to-end parity: the streaming verdict equals the post-mortem one.
+
+Every scenario the harness exercises — clean scaling, rebalances,
+elastic membership, crash + recovery, fork attacks, rollback across a
+generation bump, cross-shard transactions with a withheld decision —
+runs once and is judged twice: online (:meth:`ShardRouter.streaming_verdict`)
+and post-mortem (:meth:`ShardRouter.verdict`).  ``parity_report`` must
+come back empty: same violations, same attribution, same fork points,
+same transaction findings.
+
+The suite also pins the online-detection promise (the registry holds the
+verifier's event *before* any verdict is computed) and the memory bound
+(retained evidence tracks the unstable suffix, not the history).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, RollbackDetected
+from repro.kvstore import get, put
+from repro.sharding import ShardRouter, ShardedCluster
+from repro.sharding.observer import parity_report
+
+
+def build(shards=3, clients=3, seed=1, **kwargs):
+    router_kwargs = {
+        key: kwargs.pop(key) for key in ("failover",) if key in kwargs
+    }
+    cluster = ShardedCluster(shards=shards, clients=clients, seed=seed, **kwargs)
+    return cluster, ShardRouter(cluster, **router_kwargs)
+
+
+def keys_owned_by(cluster, shard_id, count, prefix="key"):
+    keys = []
+    index = 0
+    while len(keys) < count:
+        key = f"{prefix}-{index}"
+        if cluster.ring.owner(key) == shard_id:
+            keys.append(key)
+        index += 1
+    return keys
+
+
+def populate(cluster, router, count=24, prefix="user"):
+    keys = [f"{prefix}{i:012d}" for i in range(count)]
+    for key in keys:
+        router.submit(1, put(key, "base"))
+    cluster.run()
+    return keys
+
+
+def keys_by_shard(cluster, keys):
+    grouped = {}
+    for key in keys:
+        grouped.setdefault(cluster.ring.owner(key), []).append(key)
+    return grouped
+
+
+def assert_parity(router):
+    post = router.verdict()
+    streaming = router.streaming_verdict()
+    report = parity_report(streaming, post)
+    assert report == [], report
+    return streaming, post
+
+
+class TestCleanRuns:
+    def test_multi_shard_workload(self):
+        cluster, router = build(shards=3, clients=4, seed=30)
+        for client_id in cluster.client_ids:
+            for index in range(8):
+                router.submit(client_id, put(f"p-{client_id}-{index}", "v"))
+        cluster.run()
+        streaming, post = assert_parity(router)
+        assert streaming.ok and post.ok
+
+    def test_workload_with_midrun_rebalance(self):
+        cluster, router = build(shards=2, clients=4, seed=31)
+        for client_id in cluster.client_ids:
+            for index in range(8):
+                router.submit(client_id, put(f"r-{index}", "v"))
+        cluster.schedule_rebalance(4e-4, shard_id=0)
+        cluster.run()
+        assert cluster.stats.rebalances == 1
+        streaming, post = assert_parity(router)
+        assert streaming.ok
+
+    def test_elastic_membership_changes(self):
+        cluster, router = build(shards=2, clients=3, seed=32, failover=True)
+        populate(cluster, router, 30)
+        added = cluster.add_shard()
+        cluster.remove_shard(added)
+        cluster.crash_shard(0)
+        cluster.recover_shard(0)
+        for client_id in cluster.client_ids:
+            router.submit(client_id, put(f"after-{client_id}", "v"))
+        cluster.run()
+        streaming, post = assert_parity(router)
+        assert streaming.ok
+        # retired generations were streamed and sealed, not re-derived
+        assert len(streaming.shards[0].generations) == 2
+
+
+class TestAttacks:
+    def _forked_cluster(self, seed):
+        cluster, router = build(
+            shards=3, clients=3, seed=seed, malicious_shards=(1,)
+        )
+        victim_keys = keys_owned_by(cluster, 1, 3)
+        for client_id in cluster.client_ids:
+            router.submit(client_id, put(victim_keys[0], f"base-{client_id}"))
+        cluster.run()
+        fork = cluster.fork_shard(1)
+        cluster.route_client(1, 3, fork)
+        router.submit(1, put(victim_keys[1], "main-side"))
+        router.submit(3, put(victim_keys[2], "fork-side"))
+        cluster.run()
+        return cluster, router, victim_keys
+
+    def test_maintained_fork_detected_online(self):
+        cluster, router, _ = self._forked_cluster(seed=33)
+        # online promise: the divergence is already in the event channel,
+        # before any verdict is computed
+        divergences = cluster.metrics_registry.events_named(
+            "verifier.fork-divergence"
+        )
+        assert divergences and divergences[0].fields["shard"] == 1
+        assert (
+            cluster.metrics_registry.counter(
+                "verifier.events", kind="fork-divergence"
+            ).value
+            >= 1
+        )
+        streaming, post = assert_parity(router)
+        assert streaming.forked_shards == [1] == post.forked_shards
+
+    def test_join_attempt(self):
+        cluster, router, victim_keys = self._forked_cluster(seed=34)
+        cluster.route_client(1, 3, 0)  # server joins the forks back
+        router.submit(3, get(victim_keys[0]))
+        cluster.run()
+        streaming, post = assert_parity(router)
+        assert not streaming.ok and not post.ok
+        assert not streaming.shards[1].ok
+        assert streaming.shards[0].ok and streaming.shards[2].ok
+
+    def test_rollback_across_generation_bump(self):
+        """Recovery bumps the generation; a rollback of the *new*
+        generation's sealed state must be attributed to generation 1 by
+        both pipelines."""
+        cluster, router = build(shards=2, clients=1, seed=35, failover=True)
+        populate(cluster, router, 10)
+        cluster.crash_shard(0)
+        cluster.recover_shard(0)
+        keys = keys_owned_by(cluster, 0, 2, prefix="gen1")
+        router.submit(1, put(keys[0], "a"))
+        router.submit(1, put(keys[1], "b"))
+        cluster.run()
+        host = cluster.shard_host(0)
+        host.storage.rollback_to(1)
+        host.reboot()
+        router.submit(1, get(keys[0]))
+        cluster.run()
+        streaming, post = assert_parity(router)
+        generations = streaming.shards[0].generations
+        assert generations[0].ok
+        assert isinstance(generations[1].violation, RollbackDetected)
+
+    def test_crashed_shard_without_recovery(self):
+        cluster, router = build(shards=2, clients=2, seed=36)
+        populate(cluster, router, 10)
+        cluster.crash_shard(0)
+        assert_parity(router)
+
+
+class TestTransactions:
+    def test_clean_cross_shard_txn(self):
+        cluster, router = build(shards=3, clients=4, seed=37)
+        keys = populate(cluster, router)
+        grouped = keys_by_shard(cluster, keys)
+        shard_ids = sorted(grouped)
+        done = {}
+        router.submit_txn(
+            2,
+            [put(grouped[shard_ids[0]][0], "X"), put(grouped[shard_ids[1]][0], "Y")],
+            lambda r: done.setdefault("r", r),
+        )
+        cluster.run()
+        assert done["r"].committed
+        streaming, post = assert_parity(router)
+        assert streaming.ok
+
+    def test_withheld_decision_detected_online(self):
+        """The divergent-decision attack: each per-shard history is clean
+        on its own; only the cross-shard transaction fold catches the
+        withheld decision — online, the moment the decision completes."""
+        cluster, router = build(
+            shards=2, clients=3, seed=13, malicious_shards=(1,)
+        )
+        keys = populate(cluster, router, count=40)
+        grouped = keys_by_shard(cluster, keys)
+        k_honest = grouped[0][0]
+        k_forked = grouped[1][0]
+        k_side = grouped[1][1]
+        forked = {}
+
+        def hook(phase, record):
+            if phase == "decision-sent" and not forked:
+                forked["instance"] = cluster.fork_shard(1)
+                cluster.route_client(1, 3, forked["instance"])
+
+        router.txn_phase_hook = hook
+        done = {}
+        router.submit_txn(
+            2, [put(k_honest, "T"), put(k_forked, "T")],
+            lambda r: done.setdefault("r", r),
+        )
+        cluster.run()
+        router.submit(3, put(k_side, "on-the-fork"))
+        cluster.run()
+        assert done["r"].committed
+        # online promise: the withheld decision is already an event
+        withheld = cluster.metrics_registry.events_named("verifier.txn-withheld")
+        assert withheld and withheld[0].fields["decision"] == "C"
+        streaming, post = assert_parity(router)
+        assert not streaming.ok and not post.ok
+        assert len(streaming.txn_violations) == 1
+
+
+class TestMemoryBound:
+    def test_retained_evidence_tracks_unstable_suffix(self):
+        """ISSUE criterion: a long steady-state run keeps the per-shard
+        retained evidence near the in-flight window while the audit log
+        grows linearly."""
+        cluster, router = build(shards=2, clients=4, seed=38)
+        rounds = 12
+        per_round = 16
+        samples = []
+        for round_number in range(rounds):
+            for index in range(per_round):
+                client_id = cluster.client_ids[index % len(cluster.client_ids)]
+                router.submit(
+                    client_id, put(f"gc-{round_number}-{index}", "v")
+                )
+            cluster.run()
+            samples.append(
+                max(
+                    cluster.observer.retained_records(shard_id)
+                    for shard_id in cluster.shard_ids
+                )
+            )
+        total = sum(
+            len(log) for shard_id in cluster.shard_ids
+            for log in cluster.audit_logs(shard_id)
+        )
+        assert total >= rounds * per_round  # the history kept growing...
+        assert max(samples) <= 2 * per_round  # ...the retained window didn't
+        assert samples[-1] <= 2 * per_round
+        assert_parity(router)
+
+    def test_frontier_and_floor_gauges_track_the_checker(self):
+        cluster, router = build(shards=1, clients=3, seed=39)
+        for client_id in cluster.client_ids:
+            for index in range(6):
+                router.submit(client_id, put(f"fg-{client_id}-{index}", "v"))
+        cluster.run()
+        snapshot = cluster.metrics()
+        frontier = snapshot["gauges"]["verifier.frontier{shard=0}"]
+        floor = snapshot["gauges"]["verifier.floor{shard=0}"]
+        assert frontier >= floor >= 0
+        assert frontier >= 1  # a majority observed something
+
+
+class TestConfiguration:
+    def test_streaming_requires_audit_mode(self):
+        with pytest.raises(ConfigurationError, match="audit"):
+            ShardedCluster(shards=1, clients=2, audit=False, streaming=True)
+
+    def test_opt_out_disables_observer_but_keeps_metrics(self):
+        cluster, router = build(shards=2, clients=2, seed=40, streaming=False)
+        for index in range(4):
+            router.submit(1, put(f"off-{index}", "v"))
+        cluster.run()
+        assert not cluster.observer.enabled
+        snapshot = cluster.metrics()
+        assert snapshot["gauges"]["cluster.operations_completed"] == 4
+        assert not any(key.startswith("verifier.") for key in snapshot["gauges"])
+        with pytest.raises(ConfigurationError, match="disabled"):
+            router.streaming_verdict()
+
+    def test_post_mortem_verdict_unaffected_by_streaming_mode(self):
+        """The post-mortem checker must not depend on the observer: the
+        same seed with streaming on and off yields identical verdicts."""
+        results = {}
+        for streaming in (True, False):
+            cluster, router = build(
+                shards=2, clients=3, seed=41, streaming=streaming
+            )
+            for client_id in cluster.client_ids:
+                for index in range(5):
+                    router.submit(client_id, put(f"s-{index}", "v"))
+            cluster.run()
+            verdict = router.verdict()
+            results[streaming] = (
+                verdict.ok,
+                sorted(verdict.shards),
+                [len(v.generations) for _, v in sorted(verdict.shards.items())],
+            )
+        assert results[True] == results[False]
