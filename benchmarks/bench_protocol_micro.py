@@ -282,6 +282,84 @@ def test_micro_cross_shard_txn(benchmark):
     assert router.transactions_aborted == 0
 
 
+def _group_commit_cluster(shards, seed=47, clients=4):
+    """A persistent cluster with a preloaded key universe and a fixed
+    list of cross-shard key pairs for the group-commit rounds."""
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    cluster = ShardedCluster(shards=shards, clients=clients, seed=seed)
+    router = ShardRouter(cluster)
+    keys = [f"gc-{i:04d}" for i in range(48)]
+    for key in keys:
+        router.submit(1, put(key, "v" * 64))
+    cluster.run()
+    by_shard = {}
+    for key in keys:
+        by_shard.setdefault(cluster.ring.owner(key), []).append(key)
+    shard_ids = sorted(by_shard)
+    pairs = []
+    for index in range(16):
+        shard_a = shard_ids[index % len(shard_ids)]
+        shard_b = shard_ids[(index + 1) % len(shard_ids)]
+        pairs.append(
+            (
+                by_shard[shard_a][index % len(by_shard[shard_a])],
+                by_shard[shard_b][index % len(by_shard[shard_b])],
+            )
+        )
+    return cluster, router, pairs
+
+
+def _group_commit_round(cluster, router, pairs, depth=4):
+    """One pipelined transaction burst: every client keeps ``depth``
+    cross-shard transactions in flight at once, so the coordinator's
+    group commit merges their prepares and decisions into *_MANY sealed
+    operations — one ecall per participant per boundary."""
+    for client_id in cluster.client_ids:
+        for slot in range(depth):
+            key_a, key_b = pairs[
+                (client_id * depth + slot) % len(pairs)
+            ]
+            router.submit_txn(
+                client_id, [put(key_a, "v" * 64), put(key_b, "v" * 64)]
+            )
+    cluster.run()
+
+
+#: virtual-time throughput per shard count, filled by the parametrized
+#: group-commit bench so the 4-shard variant can assert scaling over 2
+_GC_VIRTUAL_TPS = {}
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_micro_txn_group_commit(benchmark, shards):
+    """A pipelined burst of cross-shard transactions per round (4
+    clients x 4 in flight, multi-key mix with some key overlap so lock
+    waiters engage).  Clusters persist across rounds, so the cost is
+    the steady-state grouped transaction path; virtual-time throughput
+    must rise with the shard count."""
+    cluster, router, pairs = _group_commit_cluster(shards)
+    elapsed = {}
+
+    def one_burst():
+        start = cluster.sim.now
+        before = router.transactions_committed + router.transactions_aborted
+        _group_commit_round(cluster, router, pairs)
+        elapsed["virtual"] = cluster.sim.now - start
+        done = router.transactions_committed + router.transactions_aborted
+        return done - before
+
+    finished = benchmark.pedantic(
+        one_burst, rounds=10, iterations=1, warmup_rounds=2
+    )
+    assert finished == len(cluster.client_ids) * 4
+    assert router.transactions_committed > 0
+    assert getattr(router, "txn_group_flushes", 1) > 0
+    _GC_VIRTUAL_TPS[shards] = finished / elapsed["virtual"]
+    if shards == 4 and 2 in _GC_VIRTUAL_TPS:
+        assert _GC_VIRTUAL_TPS[4] > _GC_VIRTUAL_TPS[2]
+
+
 def test_micro_elastic_reshard(benchmark):
     """A full control-plane split + merge on a quiet populated cluster:
     group provisioning, quiescence barrier, per-arc handoffs and the two

@@ -29,9 +29,12 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILE = "benchmarks/bench_protocol_micro.py"
 
-#: The invoke-path family the CI regression gate watches (the cluster
+#: The family the CI regression gate watches: the microsecond-scale
+#: invoke path plus the txn group-commit scoreboard (the other cluster
 #: scenarios are orders of magnitude larger and too schedule-dependent
-#: for a tight multiplicative gate).
+#: for a tight multiplicative gate; group commit is gated because the
+#: whole point of the txn batch codec is that its cost tracks the
+#: invoke path, and the family normalization absorbs the ms scale).
 INVOKE_PATH_GATE = (
     "test_micro_aead_encrypt_100b",
     "test_micro_aead_round_trip_2500b",
@@ -41,6 +44,8 @@ INVOKE_PATH_GATE = (
     "test_micro_batched_invoke_sizes[1]",
     "test_micro_batched_invoke_sizes[8]",
     "test_micro_batched_invoke_sizes[32]",
+    "test_micro_txn_group_commit[2]",
+    "test_micro_txn_group_commit[4]",
 )
 
 
@@ -196,6 +201,20 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         )
         txn_cluster.run()
 
+    # group commit: a pipelined transaction burst per call (4 clients x 4
+    # in flight) so the coordinator merges prepares/decisions into one
+    # sealed *_MANY operation per participant per boundary
+    from benchmarks.bench_protocol_micro import (
+        _group_commit_cluster,
+        _group_commit_round,
+    )
+
+    gc_setups = {shards: _group_commit_cluster(shards) for shards in (2, 4)}
+
+    def group_commit(shards):
+        cluster, router, pairs = gc_setups[shards]
+        return lambda: _group_commit_round(cluster, router, pairs)
+
     # batched-invoke family: one ecall per batch at sizes 1/8/32 (the
     # Sec. 5.2/5.3 amortisation curve the batch crypto pipeline targets)
     from benchmarks.bench_protocol_micro import _batched_invoke_round
@@ -223,9 +242,15 @@ def run_with_timer_fallback(*, quick: bool = False) -> dict:
         "test_micro_batched_invoke_sizes[32]": batched(32),
         "test_micro_shard_scaling": shard_scaling,
         "test_micro_cross_shard_txn": cross_shard_txn,
+        "test_micro_txn_group_commit[2]": group_commit(2),
+        "test_micro_txn_group_commit[4]": group_commit(4),
         "test_micro_elastic_reshard": elastic_reshard,
     }
-    slow_scenarios = {"test_micro_elastic_reshard"}  # tens of ms per call
+    slow_scenarios = {
+        "test_micro_elastic_reshard",  # tens of ms per call
+        "test_micro_txn_group_commit[2]",
+        "test_micro_txn_group_commit[4]",
+    }
     number = 5 if quick else 200
     repeat = 2 if quick else 5
     summary = {}
@@ -321,9 +346,10 @@ def apply_gate(ratios: dict[str, float], gate: float) -> bool:
     slower across the board stays green, while a change that slows
     *one* path (a new branch in the invoke loop, a crypto fast-path
     falling back) still shows up as that bench regressing against its
-    siblings.  Only the microsecond-scale invoke-path family is gated —
-    the multi-ms cluster scenarios swing too much with scheduling noise
-    for a tight multiplicative bound.
+    siblings.  Only the microsecond-scale invoke-path family plus the
+    txn group-commit scoreboard is gated — the remaining multi-ms
+    cluster scenarios swing too much with scheduling noise for a tight
+    multiplicative bound.
     """
     gated = {
         name: ratio

@@ -133,6 +133,110 @@ class _Rec:
         self.responded_at = _UNTIMED_RESPONSE
 
 
+class _RtIndex:
+    """Positional index over completed records' timestamps (check 3).
+
+    A flat segment tree keyed by log position: each set position carries
+    ``(invoked_at, responded_at)``, internal nodes aggregate the max
+    invocation and min response of their range.  The two real-time
+    queries the incremental check needs — "latest invocation strictly
+    before position p" and "leftmost position after p that responded
+    before a threshold" — drop from O(retained records) scans per
+    completion to O(log n).  Positions garbage-collected from the log
+    keep their stale leaves: they sit at or below the GC checkpoint,
+    whose ``gc_max_inv`` summary already dominates their invocations,
+    and every query that looks *rightward* starts above the checkpoint.
+    """
+
+    __slots__ = ("_cap", "_inv", "_resp")
+
+    _NO_RESP = float("inf")
+
+    def __init__(self) -> None:
+        self._cap = 64
+        self._inv = [0.0] * (2 * self._cap)
+        self._resp = [self._NO_RESP] * (2 * self._cap)
+
+    def _grow(self, needed: int) -> None:
+        cap = self._cap
+        while cap < needed:
+            cap *= 2
+        old_inv, old_resp, old_cap = self._inv, self._resp, self._cap
+        self._cap = cap
+        self._inv = [0.0] * (2 * cap)
+        self._resp = [self._NO_RESP] * (2 * cap)
+        self._inv[cap:cap + old_cap] = old_inv[old_cap:2 * old_cap]
+        self._resp[cap:cap + old_cap] = old_resp[old_cap:2 * old_cap]
+        for node in range(cap - 1, 0, -1):
+            self._inv[node] = max(self._inv[2 * node], self._inv[2 * node + 1])
+            self._resp[node] = min(
+                self._resp[2 * node], self._resp[2 * node + 1]
+            )
+
+    def set(self, position: int, invoked_at: float, responded_at: float) -> None:
+        if position > self._cap:
+            self._grow(position)
+        node = self._cap + position - 1
+        self._inv[node] = invoked_at
+        self._resp[node] = responded_at
+        node //= 2
+        while node:
+            self._inv[node] = max(self._inv[2 * node], self._inv[2 * node + 1])
+            self._resp[node] = min(
+                self._resp[2 * node], self._resp[2 * node + 1]
+            )
+            node //= 2
+
+    def max_invoked_before(self, position: int) -> float:
+        """Max ``invoked_at`` over positions ``[1, position - 1]``."""
+        hi = min(position - 1, self._cap)
+        if hi <= 0:
+            return 0.0
+        lo_node = self._cap
+        hi_node = self._cap + hi - 1
+        best = 0.0
+        while lo_node <= hi_node:
+            if lo_node & 1:
+                best = max(best, self._inv[lo_node])
+                lo_node += 1
+            if not hi_node & 1:
+                best = max(best, self._inv[hi_node])
+                hi_node -= 1
+            lo_node //= 2
+            hi_node //= 2
+        return best
+
+    def first_responded_before(
+        self, position: int, threshold: float
+    ) -> int | None:
+        """Leftmost position ``> position`` whose ``responded_at`` is
+        strictly below ``threshold``, or ``None``."""
+        lo = position + 1
+        if lo > self._cap:
+            return None
+        lo_node = self._cap + lo - 1
+        hi_node = 2 * self._cap - 1
+        left: list[int] = []
+        right: list[int] = []
+        while lo_node <= hi_node:
+            if lo_node & 1:
+                left.append(lo_node)
+                lo_node += 1
+            if not hi_node & 1:
+                right.append(hi_node)
+                hi_node -= 1
+            lo_node //= 2
+            hi_node //= 2
+        for node in left + right[::-1]:
+            if self._resp[node] < threshold:
+                while node < self._cap:
+                    node *= 2
+                    if not self._resp[node] < threshold:
+                        node += 1
+                return node - self._cap + 1
+        return None
+
+
 class _LogState:
     """Incremental view of one enclave instance's audit log."""
 
@@ -140,6 +244,7 @@ class _LogState:
         "log_id", "length", "chain_head", "chain_error", "dead",
         "base", "base_chain", "base_state", "base_traces", "gc_max_inv",
         "records", "state", "mismatches", "rt_first", "traces",
+        "rt_index", "open_txns",
     )
 
     def __init__(self, log_id: int, initial_state: Any) -> None:
@@ -160,6 +265,10 @@ class _LogState:
         self.mismatches: dict[int, tuple[Any, Any, Any]] = {}
         self.rt_first: int | None = None  # first position whose prefix violates
         self.traces: dict[str, TxnTrace] = {}
+        self.rt_index = _RtIndex()
+        #: txn ids currently prepared-but-undecided *in this log* — the
+        #: only candidates the withheld-decision scan must revisit
+        self.open_txns: set[str] = set()
 
 
 class _Pair:
@@ -268,6 +377,11 @@ class StreamingChecker:
                 log.state = source.base_state
                 log.base_traces = _copy_traces(source.base_traces)
                 log.traces = _copy_traces(source.base_traces)
+                log.open_txns = {
+                    txn_id
+                    for txn_id, trace in log.traces.items()
+                    if trace.prepared and not trace.decisions
+                }
                 log.gc_max_inv = source.gc_max_inv
                 log.length = source.base
                 log.chain_head = source.base_chain
@@ -341,7 +455,9 @@ class StreamingChecker:
         log.records[position] = rec
         # transaction lifecycle fold (always from the audit bytes, like
         # the post-mortem extractor)
-        trace_txn_operation(log.traces, operation, shown)
+        touched = trace_txn_operation(log.traces, operation, shown)
+        if touched:
+            self._update_open_txns(log, touched)
         # replay through F
         self._replay_one(log, rec)
         # history substitution, if the completion already streamed in
@@ -397,13 +513,21 @@ class StreamingChecker:
                 self._substitute(log, rec, record)
 
     def _substitute(self, log: _LogState, rec: _Rec, record: OperationRecord) -> None:
+        same_view = record.operation == rec.operation_view
         rec.completed = True
         rec.operation_view = record.operation
         rec.result_shown = record.result
         rec.invoked_at = record.invoked_at
         rec.responded_at = record.responded_at
-        new_key = _canonical_key(rec.client_id, record.operation, rec.sequence)
-        new_nop = _is_nop_operation(record.operation)
+        if same_view:
+            # the history shows the very operation the view already held
+            # (the overwhelmingly common case): its canonical key and
+            # nop-ness are unchanged by construction, skip the re-encode
+            new_key = rec.key
+            new_nop = rec.is_nop
+        else:
+            new_key = _canonical_key(rec.client_id, record.operation, rec.sequence)
+            new_nop = _is_nop_operation(record.operation)
         if new_key != rec.key or new_nop != rec.is_nop:
             # the view's operation differs from the audited bytes: the
             # replayed state downstream of this record changes, and so
@@ -440,28 +564,32 @@ class StreamingChecker:
             if other.records.get(position) is not None:
                 self._compare_position(log, other, position, repair=True)
 
+    def _update_open_txns(self, log: _LogState, touched: list[str]) -> None:
+        for txn_id in touched:
+            trace = log.traces[txn_id]
+            if trace.prepared and not trace.decisions:
+                log.open_txns.add(txn_id)
+            else:
+                log.open_txns.discard(txn_id)
+
     def _observe_timing(self, log: _LogState, rec: _Rec) -> None:
         """Real-time check 3, incremental: when a record gains timing,
-        look for a contradiction against the retained suffix plus the
-        discarded prefix's invocation-time summary."""
+        look for a contradiction via the positional timestamp index plus
+        the discarded prefix's invocation-time summary.  The index keeps
+        both directions O(log n) per completion instead of a scan over
+        the retained suffix."""
         s = rec.sequence
         # as the later element: some earlier operation invoked after we
         # responded (prefix max over discarded + retained timed records)
-        max_inv = log.gc_max_inv
-        for seq in range(log.base + 1, s):
-            earlier = log.records.get(seq)
-            if earlier is not None and earlier.completed:
-                max_inv = max(max_inv, earlier.invoked_at)
+        max_inv = max(log.gc_max_inv, log.rt_index.max_invoked_before(s))
         if max_inv > 0 and rec.responded_at < max_inv:
             self._note_rt(log, s)
         # as the earlier element: some later retained operation responded
         # before we were invoked
-        for seq in range(s + 1, log.length + 1):
-            later = log.records.get(seq)
-            if later is not None and later.completed:
-                if later.responded_at < rec.invoked_at:
-                    self._note_rt(log, seq)
-                    break
+        later = log.rt_index.first_responded_before(s, rec.invoked_at)
+        if later is not None:
+            self._note_rt(log, later)
+        log.rt_index.set(s, rec.invoked_at, rec.responded_at)
 
     def _note_rt(self, log: _LogState, position: int) -> None:
         if log.rt_first is None or position < log.rt_first:
@@ -614,6 +742,13 @@ class StreamingChecker:
         """Per-log transaction traces (registration order), equal to the
         post-mortem extraction over the full logs."""
         return [log.traces for log in self._logs]
+
+    def open_txn_traces(self) -> list[tuple[dict[str, TxnTrace], set[str]]]:
+        """Per-log ``(traces, open txn ids)`` pairs.  The open set names
+        the prepared-but-undecided transactions of each log — the only
+        traces the online withheld-decision scan can newly flag — so a
+        boundary with no open transactions costs nothing."""
+        return [(log.traces, log.open_txns) for log in self._logs]
 
     def unlocated_clients(self) -> list[int]:
         """Clients whose current point lies on no log (online detection

@@ -45,7 +45,7 @@ from repro.kvstore.functionality import (
     TXN_ABORTED,
     TXN_COMMITTED,
     TXN_PREPARED,
-    parse_txn_operation,
+    iter_txn_lifecycle,
 )
 
 
@@ -96,33 +96,43 @@ _TxnTrace = TxnTrace
 
 def trace_txn_operation(
     traces: dict[str, TxnTrace], operation: object, result: object
-) -> str | None:
+) -> list[str]:
     """Fold one decoded (operation, result) pair into per-txn traces.
 
     The shared per-record core of transaction-lifecycle extraction: the
     post-mortem checker calls it over whole logs, the streaming verifier
-    calls it once per audit record as evidence is harvested.  Returns the
-    transaction id when the record was a lifecycle record, else ``None``.
+    calls it once per audit record as evidence is harvested.  A grouped
+    operation folds exactly like the equivalent sequence of single ones
+    (both walk :func:`~repro.kvstore.functionality.iter_txn_lifecycle`),
+    so grouped and per-txn evidence reach identical traces — the parity
+    the verdict relies on.  Returns the transaction ids the record
+    touched (empty for non-transaction records).
     """
-    parsed = parse_txn_operation(operation)
-    if parsed is None:
-        return None
-    kind, txn_id, _payload = parsed
-    trace = traces.get(txn_id)
-    if trace is None:
-        trace = traces[txn_id] = TxnTrace()
-    if kind == "prepare":
-        if isinstance(result, list) and result and result[0] == TXN_PREPARED:
-            trace.prepared = True
-        return txn_id
-    decision = "C" if kind == "commit" else "A"
-    trace.decisions.add(decision)
-    if isinstance(result, list) and result:
-        if result[0] == TXN_COMMITTED:
-            trace.applied.add("C")
-        elif result[0] == TXN_ABORTED:
-            trace.applied.add("A")
-    return txn_id
+    touched: list[str] = []
+    for kind, txn_id, _payload, entry_result in iter_txn_lifecycle(
+        operation, result
+    ):
+        touched.append(txn_id)
+        trace = traces.get(txn_id)
+        if trace is None:
+            trace = traces[txn_id] = TxnTrace()
+        if kind == "prepare" or kind == "resolved":
+            # a resolved waiter's vote is its (deferred) prepare outcome
+            if (
+                isinstance(entry_result, list)
+                and entry_result
+                and entry_result[0] == TXN_PREPARED
+            ):
+                trace.prepared = True
+            continue
+        decision = "C" if kind == "commit" else "A"
+        trace.decisions.add(decision)
+        if isinstance(entry_result, list) and entry_result:
+            if entry_result[0] == TXN_COMMITTED:
+                trace.applied.add("C")
+            elif entry_result[0] == TXN_ABORTED:
+                trace.applied.add("A")
+    return touched
 
 
 def _extract_traces(log: list[AuditRecord]) -> dict[str, TxnTrace]:
@@ -132,7 +142,7 @@ def _extract_traces(log: list[AuditRecord]) -> dict[str, TxnTrace]:
             operation = serde.decode(record.operation)
         except Exception:
             continue  # chain verification elsewhere flags malformed logs
-        if parse_txn_operation(operation) is None:
+        if next(iter_txn_lifecycle(operation, None), None) is None:
             continue
         try:
             result = serde.decode(record.result)

@@ -179,6 +179,8 @@ class AsyncLcmClient:
         self._stability_callbacks.append((sequence, callback))
 
     def _fire_stability_callbacks(self) -> None:
+        if not self._stability_callbacks:
+            return
         ready = [
             (sequence, callback)
             for sequence, callback in self._stability_callbacks

@@ -1662,11 +1662,20 @@ class LcmContext:
         """
         helper = getattr(self._functionality, "pending_transactions", None)
         if not self._provisioned or helper is None:
-            return {"pending": {}, "locked_keys": 0}
+            return {"pending": {}, "locked_keys": 0, "waiting": []}
         pending = helper(self._state)
+        waiting_helper = getattr(
+            self._functionality, "waiting_transactions", None
+        )
         return {
             "pending": {txn_id: len(keys) for txn_id, keys in pending.items()},
             "locked_keys": sum(len(keys) for keys in pending.values()),
+            # queued waiters hold no locks, but their prepare is still
+            # addressed at this shard's keys — the quiescence barrier
+            # must not move those keys out from under the queue
+            "waiting": list(waiting_helper(self._state))
+            if waiting_helper is not None
+            else [],
         }
 
     def _ecall_export_audit(self, _payload: Any) -> list[AuditRecord]:

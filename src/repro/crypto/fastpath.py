@@ -38,6 +38,7 @@ from itertools import accumulate, chain
 import os
 import pathlib
 import shutil
+import threading
 from typing import Callable
 
 from repro.errors import ConfigurationError
@@ -1696,6 +1697,52 @@ class CBackend:
         self.open_reply_batch = self._open_reply_batch
         self.invoke_batch_open = self._invoke_batch_open
         self.invoke_batch_reply = self._invoke_batch_reply
+        # Reusable per-thread argument/output buffers for the per-message
+        # wrappers (seal_invoke, open_reply, invoke_batch_open/_reply):
+        # allocating fresh arrays and exporting them through
+        # ``ffi.from_buffer`` costs more than the C work they carry at
+        # typical batch sizes, so the cdata handles are built once and
+        # kept.  Thread-local because the threaded execution backend
+        # seals from worker threads; each buffer is only live within one
+        # wrapper call (callers consume or copy before the next call).
+        self._scratch = threading.local()
+
+    def _batch_scratch(self, count: int) -> dict:
+        """Per-thread scratch sized for ``count`` messages (grown, never
+        shrunk; growing replaces the arrays and their cdata together, so
+        a stale handle can never alias a resized buffer)."""
+        s = self._scratch.__dict__
+        if s.get("cap", 0) < count:
+            ffi = self._ffi
+            cap = max(16, count)
+            s["cap"] = cap
+            s["offsets"] = array.array("Q", bytes(8 * (cap + 1)))
+            s["offsets_cd"] = ffi.from_buffer("unsigned long long[]", s["offsets"])
+            s["roffsets"] = array.array("Q", bytes(8 * (cap + 1)))
+            s["roffsets_cd"] = ffi.from_buffer(
+                "unsigned long long[]", s["roffsets"]
+            )
+            s["meta"] = array.array("q", bytes(80 * cap))
+            s["meta_cd"] = ffi.from_buffer("long long[]", s["meta"])
+            s["chains"] = bytearray(32 * cap)
+            s["chains_cd"] = ffi.from_buffer(s["chains"])
+            s["meta1"] = array.array("q", bytes(64))
+            s["meta1_cd"] = ffi.from_buffer("long long[]", s["meta1"])
+            s["seq_io"] = array.array("q", bytes(8))
+            s["seq_io_cd"] = ffi.from_buffer("long long[]", s["seq_io"])
+            s["chain_io"] = bytearray(32)
+            s["chain_io_cd"] = ffi.from_buffer(s["chain_io"])
+        return s
+
+    def _byte_scratch(self, s: dict, key: str, size: int):
+        """A per-thread output bytearray of at least ``size`` bytes plus
+        its cached cdata handle (grown geometrically on demand)."""
+        buf = s.get(key)
+        if buf is None or len(buf) < size:
+            buf = bytearray(max(1024, 2 * size))
+            s[key] = buf
+            s[key + "_cd"] = self._ffi.from_buffer(buf)
+        return buf, s[key + "_cd"]
 
     def blocks(self, prefix: bytes, nblocks: int, *, seeded=None) -> bytes:
         out = bytearray(nblocks * 32)
@@ -1893,16 +1940,17 @@ class CBackend:
         prefix: bytes, tc: int, hc: bytes, op: bytes, cid: int, retry: bool,
     ) -> bytes | None:
         """Canonical INVOKE encode + seal in one C call (None: fall back)."""
-        out = bytearray(80 + len(prefix) + len(hc) + len(op))
+        size = 80 + len(prefix) + len(hc) + len(op)
+        out, out_cd = self._byte_scratch(self._scratch.__dict__, "seal", size)
         status = self._lib.lcm_seal_invoke(
             enc_key, mac_key, nonce,
             frame, len(frame),
             prefix, len(prefix),
             tc, hc, len(hc), op, len(op),
             cid, 1 if retry else 0,
-            self._ffi.from_buffer(out),
+            out_cd,
         )
-        return bytes(out) if status == 0 else None
+        return bytes(memoryview(out)[:size]) if status == 0 else None
 
     def _open_reply(
         self, enc_key: bytes, mac_key: bytes, frame: bytes, prefix: bytes, box
@@ -1916,8 +1964,8 @@ class CBackend:
         size = len(box)
         if size < 28:
             return None, None
-        out = bytearray(size - 28)
-        meta = array.array("q", bytes(64))
+        s = self._batch_scratch(1)
+        out, out_cd = self._byte_scratch(s, "ropen", size - 28)
         if type(box) is not bytes:
             box = self._ffi.from_buffer(box)
         status = self._lib.lcm_open_reply(
@@ -1925,14 +1973,16 @@ class CBackend:
             frame, len(frame),
             prefix, len(prefix),
             box, size,
-            self._ffi.from_buffer(out),
-            self._ffi.from_buffer("long long[]", meta),
+            out_cd,
+            s["meta1_cd"],
         )
         if status == -1:
             return None, None
         if status == -2:
-            return bytes(out), None
-        return bytes(out), meta
+            return bytes(memoryview(out)[: size - 28]), None
+        # callers (unseal_reply) consume meta before any further backend
+        # call on this thread, so handing out the scratch array is safe
+        return bytes(memoryview(out)[: size - 28]), s["meta1"]
 
     def _seal_invoke_batch(
         self, enc_key: bytes, mac_key: bytes, nonces: list[bytes],
@@ -2044,36 +2094,42 @@ class CBackend:
         for index, box in enumerate(boxes):
             if len(box) < 28:
                 return -1000 - index, b"", None, b"", sequence, chain_value
-        offsets = array.array(
-            "Q", chain((0,), accumulate(map(len, boxes)))
-        )
-        out_pt = bytearray(offsets[-1] - 28 * count)
-        meta = array.array("q", bytes(80 * count))
-        chains_out = bytearray(32 * count)
-        sequence_io = array.array("q", (sequence,))
-        chain_io = bytearray(chain_value)
+        s = self._batch_scratch(count)
+        offsets = s["offsets"]
+        total = 0
+        for index, box in enumerate(boxes):
+            total += len(box)
+            offsets[index + 1] = total
+        pt_size = total - 28 * count
+        out_pt, out_pt_cd = self._byte_scratch(s, "pt", pt_size)
+        s["seq_io"][0] = sequence
+        s["chain_io"][0:32] = chain_value
         status = self._lib.lcm_invoke_batch_open(
             enc_key, mac_key,
             frame, len(frame),
             prefix, len(prefix),
             _join(boxes),
-            ffi.from_buffer("unsigned long long[]", offsets),
+            s["offsets_cd"],
             count,
-            ffi.from_buffer(out_pt),
-            ffi.from_buffer("long long[]", meta),
-            ffi.from_buffer(chains_out),
+            out_pt_cd,
+            s["meta_cd"],
+            s["chains_cd"],
             ffi.from_buffer("long long[]", ids), len(ids),
             ffi.from_buffer("long long[]", ack),
             ffi.from_buffer("long long[]", seq),
             ffi.from_buffer(chains),
             ffi.from_buffer("long long[]", acks),
             quorum,
-            ffi.from_buffer("long long[]", sequence_io),
-            ffi.from_buffer(chain_io),
+            s["seq_io_cd"],
+            s["chain_io_cd"],
         )
         return (
-            status, bytes(out_pt), meta, bytes(chains_out),
-            sequence_io[0], bytes(chain_io),
+            status,
+            bytes(memoryview(out_pt)[:pt_size]),
+            s["meta"],
+            bytes(memoryview(s["chains"])[: 32 * count]),
+            s["seq_io"][0],
+            bytes(s["chain_io"]),
         )
 
     def _invoke_batch_reply(
@@ -2089,35 +2145,48 @@ class CBackend:
         """
         ffi = self._ffi
         count = len(results)
-        result_offsets = array.array(
-            "Q", chain((0,), accumulate(map(len, results)))
+        s = self._batch_scratch(count)
+        meta_cd = (
+            s["meta_cd"]
+            if meta is s["meta"]
+            else ffi.from_buffer("long long[]", meta)
         )
+        result_offsets = s["roffsets"]
+        total = 0
+        for index, result in enumerate(results):
+            total += len(result)
+            result_offsets[index + 1] = total
         base = 120 + len(prefix)
         sizes = [
             base + len(results[index]) + meta[10 * index + 7]
             for index in range(count)
         ]
-        out = bytearray(sum(sizes))
-        out_rows = bytearray(sum(sizes) + 61 * count)
-        out_manifests = bytearray(58 * count)
+        out_size = sum(sizes)
+        rows_size = out_size + 61 * count
+        manifests_size = 58 * count
+        out, out_cd = self._byte_scratch(s, "out", out_size)
+        out_rows, out_rows_cd = self._byte_scratch(s, "rows", rows_size)
+        out_manifests, out_manifests_cd = self._byte_scratch(
+            s, "manifests", manifests_size
+        )
         status = self._lib.lcm_invoke_batch_reply(
             enc_key, mac_key,
             frame, len(frame),
             prefix, len(prefix),
-            ffi.from_buffer("long long[]", meta), count,
+            meta_cd, count,
             chains_out, plain,
             _join(results),
-            ffi.from_buffer("unsigned long long[]", result_offsets),
+            s["roffsets_cd"],
             nonce_seed, nonce_counter,
-            ffi.from_buffer(out),
-            ffi.from_buffer(out_rows),
-            ffi.from_buffer(out_manifests),
+            out_cd,
+            out_rows_cd,
+            out_manifests_cd,
         )
         if status != 0:
             return None
-        view = bytes(out)
-        rows_view = bytes(out_rows)
-        manifests_view = bytes(out_manifests)
+        view = bytes(memoryview(out)[:out_size])
+        rows_view = bytes(memoryview(out_rows)[:rows_size])
+        manifests_view = bytes(memoryview(out_manifests)[:manifests_size])
         boxes = []
         blobs = []
         manifests = []

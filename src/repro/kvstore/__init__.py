@@ -16,7 +16,9 @@ from repro.kvstore.functionality import (
     Operation,
     txn_abort,
     txn_commit,
+    txn_decide_many,
     txn_prepare,
+    txn_prepare_many,
 )
 from repro.kvstore.kvs import KvsFunctionality, delete, get, put
 
@@ -29,6 +31,8 @@ __all__ = [
     "put",
     "delete",
     "txn_prepare",
+    "txn_prepare_many",
     "txn_commit",
     "txn_abort",
+    "txn_decide_many",
 ]

@@ -76,6 +76,26 @@ TXN_PREPARE_VERB = "__LCM_TXN_PREPARE__"
 TXN_COMMIT_VERB = "__LCM_TXN_COMMIT__"
 TXN_ABORT_VERB = "__LCM_TXN_ABORT__"
 
+#: Group-commit verbs (Sec. 5.2/5.3 amortisation applied to the
+#: transaction path).  Each carries *many* transactions' phase-1
+#: prepares (resp. phase-2 decisions) in one sequenced, hash-chained
+#: operation, so a contended boundary costs one sealed ecall per
+#: participant instead of one per transaction.  Entries execute
+#: atomically *per entry*, in list order, and the result is the list of
+#: per-entry results — byte-for-byte the same shapes the single verbs
+#: produce, so the offline checkers replay a grouped operation as the
+#: equivalent sequence of single ones.
+#:
+#: ``(TXN_PREPARE_MANY_VERB, [[txn_id, [[verb, key, value?], ...]], ...])``
+#:     Result: ``[vote, ...]`` — one ``[TXN_PREPARED, results]`` /
+#:     ``[TXN_CONFLICT, holder]`` / ``[TXN_WAITING, holder]`` per entry.
+#: ``(TXN_DECIDE_MANY_VERB, [[txn_id, "C"|"A"], ...])``
+#:     Result: ``[ack, ...]`` — one ``[TXN_COMMITTED]`` etc. per entry;
+#:     an ack may carry a second element listing waiter transactions the
+#:     released locks resolved (see ``TXN_WAITING``).
+TXN_PREPARE_MANY_VERB = "__LCM_TXN_PREPARE_MANY__"
+TXN_DECIDE_MANY_VERB = "__LCM_TXN_DECIDE_MANY__"
+
 #: Result markers (list heads) shared by the participant functionality,
 #: the coordinator and the offline transaction checker.
 TXN_PREPARED = "__LCM_TXN_PREPARED__"
@@ -85,6 +105,17 @@ TXN_ABORTED = "__LCM_TXN_ABORTED__"
 TXN_ALREADY = "__LCM_TXN_ALREADY__"
 TXN_UNKNOWN = "__LCM_TXN_UNKNOWN__"
 TXN_LOCKED = "__LCM_TXN_LOCKED__"
+#: Grouped-prepare vote: the transaction hit a locked key and was queued
+#: in the shard's bounded FIFO waiter queue instead of rejecting.  The
+#: coordinator treats it as a vote still outstanding: when the holder's
+#: decision releases the lock, the participant re-runs the queued
+#: prepare and reports the real vote inside the decision ack's resolved
+#: list (``[TXN_COMMITTED, [[waiter_txn_id, vote], ...]]``).  Deadlock
+#: is avoided deterministically: a transaction only ever waits behind a
+#: holder with a *smaller* txn id, so every waits-for chain strictly
+#: decreases and must terminate.  Only grouped prepares queue — the
+#: single-verb path keeps its historical reject-on-conflict bytes.
+TXN_WAITING = "__LCM_TXN_WAITING__"
 #: Deterministic rejection of any single-key operation naming a key in
 #: the reserved ``__LCM_TXN_`` namespace — the transaction bookkeeping
 #: must be unreachable through the ordinary data path (a client write
@@ -106,6 +137,23 @@ def txn_commit(txn_id: str) -> tuple:
 def txn_abort(txn_id: str) -> tuple:
     """Build a participant ABORT decision."""
     return (TXN_ABORT_VERB, txn_id)
+
+
+def txn_prepare_many(entries: list) -> tuple:
+    """Build a grouped PREPARE from ``(txn_id, sub_ops)`` entries — one
+    sealed operation carrying every buffered prepare for a participant."""
+    return (
+        TXN_PREPARE_MANY_VERB,
+        [[txn_id, [list(op) for op in sub_ops]] for txn_id, sub_ops in entries],
+    )
+
+
+def txn_decide_many(entries: list) -> tuple:
+    """Build a grouped decision from ``(txn_id, "C"|"A")`` entries."""
+    return (
+        TXN_DECIDE_MANY_VERB,
+        [[txn_id, decision] for txn_id, decision in entries],
+    )
 
 
 def parse_txn_operation(operation: Any) -> tuple[str, str, Any] | None:
@@ -130,13 +178,75 @@ def parse_txn_operation(operation: Any) -> tuple[str, str, Any] | None:
 
 
 def is_txn_decision(operation: Any) -> bool:
-    """True for COMMIT/ABORT decisions — the operations that must keep
-    flowing to a fenced shard so its prepared transactions can resolve."""
+    """True for COMMIT/ABORT decisions (single or grouped) — the
+    operations that must keep flowing to a fenced shard so its prepared
+    transactions can resolve."""
+    if not isinstance(operation, (tuple, list)) or len(operation) != 2:
+        return False
+    verb = operation[0]
     return (
-        isinstance(operation, (tuple, list))
-        and len(operation) == 2
-        and (operation[0] == TXN_COMMIT_VERB or operation[0] == TXN_ABORT_VERB)
+        verb == TXN_COMMIT_VERB
+        or verb == TXN_ABORT_VERB
+        or verb == TXN_DECIDE_MANY_VERB
     )
+
+
+def _iter_resolved(entry_result: Any):
+    """Waiter votes piggybacked on one decision ack, if any."""
+    if (
+        isinstance(entry_result, (tuple, list))
+        and len(entry_result) == 2
+        and (entry_result[0] == TXN_COMMITTED or entry_result[0] == TXN_ABORTED)
+        and isinstance(entry_result[1], (tuple, list))
+    ):
+        for waiter_id, vote in entry_result[1]:
+            yield ("resolved", waiter_id, None, vote)
+
+
+def iter_txn_lifecycle(operation: Any, result: Any):
+    """Yield every transaction lifecycle event one sealed operation
+    carries, as ``(kind, txn_id, payload, entry_result)`` tuples.
+
+    ``kind`` is ``"prepare"`` / ``"commit"`` / ``"abort"`` for lifecycle
+    entries (one per transaction for the grouped verbs) and
+    ``"resolved"`` for a waiter vote piggybacked on a decision ack.
+    This is the one fold shared by the coordinator's completion demux,
+    the streaming checker and the post-mortem checker, so the grouped
+    wire shapes cannot drift between them.  Yields nothing for
+    non-transaction operations.
+    """
+    if not isinstance(operation, (tuple, list)) or not operation:
+        return
+    verb = operation[0]
+    if verb == TXN_PREPARE_MANY_VERB and len(operation) == 2:
+        entry_results = result if isinstance(result, (tuple, list)) else ()
+        for index, entry in enumerate(operation[1]):
+            entry_result = (
+                entry_results[index] if index < len(entry_results) else None
+            )
+            yield ("prepare", entry[0], entry[1], entry_result)
+        return
+    if verb == TXN_DECIDE_MANY_VERB and len(operation) == 2:
+        entry_results = result if isinstance(result, (tuple, list)) else ()
+        for index, entry in enumerate(operation[1]):
+            entry_result = (
+                entry_results[index] if index < len(entry_results) else None
+            )
+            yield (
+                "commit" if entry[1] == "C" else "abort",
+                entry[0],
+                None,
+                entry_result,
+            )
+            yield from _iter_resolved(entry_result)
+        return
+    parsed = parse_txn_operation(operation)
+    if parsed is None:
+        return
+    kind, txn_id, payload = parsed
+    yield (kind, txn_id, payload, result)
+    if kind != "prepare":
+        yield from _iter_resolved(result)
 
 
 @runtime_checkable

@@ -27,11 +27,14 @@ from repro.kvstore.functionality import (
     TXN_COMMIT_VERB,
     TXN_COMMITTED,
     TXN_CONFLICT,
+    TXN_DECIDE_MANY_VERB,
     TXN_LOCKED,
+    TXN_PREPARE_MANY_VERB,
     TXN_PREPARE_VERB,
     TXN_PREPARED,
     TXN_RESERVED,
     TXN_UNKNOWN,
+    TXN_WAITING,
 )
 
 
@@ -53,12 +56,25 @@ DEL = "DEL"
 _TXN_PENDING_KEY = "__LCM_TXN_PENDING__"   # txn_id -> [[locks], [writes]]
 _TXN_LOCKS_KEY = "__LCM_TXN_LOCKS__"       # key -> holder txn_id
 _TXN_DECIDED_KEY = "__LCM_TXN_DECIDED__"   # txn_id -> "C" | "A" (bounded)
+_TXN_WAITERS_KEY = "__LCM_TXN_WAITERS__"   # FIFO [[txn_id, sub_ops], ...]
 _TXN_RESERVED_PREFIX = "__LCM_TXN_"
 
 #: Decision-record retention: enough to make every realistic decision
 #: replay idempotent without growing the sealed state without bound.
 #: Eviction is insertion-ordered, hence deterministic under replay.
-_TXN_DECIDED_MAX = 256
+#: The window only needs to cover decisions a coordinator may still
+#: (re-)send — bounded by its in-flight set, since the durable decision
+#: log stops re-driving once the finish record lands.  Retention beyond
+#: that just bloats every sealed state re-encryption: at 256 entries the
+#: decided map dominated the steady-state seal (~8 KB re-encrypted per
+#: operation); 64 keeps a comfortable multiple of any realistic pipeline
+#: depth at a quarter of the footprint.
+_TXN_DECIDED_MAX = 64
+
+#: Waiter-queue bound: a grouped prepare beyond this depth falls back to
+#: the deterministic conflict rejection, so the sealed state stays
+#: bounded even under a pathological pile-up on one key.
+_TXN_WAITERS_MAX = 64
 
 _DELETED = object()  # prepare-overlay tombstone
 
@@ -135,6 +151,24 @@ class KvsFunctionality:
         if verb == TXN_ABORT_VERB:
             (_, txn_id) = operation
             return self._txn_decide(state, txn_id, commit=False)
+        if verb == TXN_PREPARE_MANY_VERB:
+            (_, entries) = operation
+            results = []
+            for txn_id, sub_ops in entries:
+                result, state = self._txn_prepare(
+                    state, txn_id, sub_ops, queue=True
+                )
+                results.append(result)
+            return results, state
+        if verb == TXN_DECIDE_MANY_VERB:
+            (_, entries) = operation
+            results = []
+            for txn_id, decision in entries:
+                result, state = self._txn_decide(
+                    state, txn_id, commit=(decision == "C")
+                )
+                results.append(result)
+            return results, state
         if verb == HANDOFF_EXPORT_VERB:
             # elastic resharding: drop exactly the keys on the reassigned
             # ring arcs; the sorted result is what the peer group installs
@@ -167,7 +201,7 @@ class KvsFunctionality:
     # -------------------------------------------- transaction participant
 
     def _txn_prepare(
-        self, state: dict, txn_id: str, sub_ops: list
+        self, state: dict, txn_id: str, sub_ops: list, *, queue: bool = False
     ) -> tuple[Any, dict]:
         """Phase 1: execute reads, buffer writes, lock every touched key.
 
@@ -175,6 +209,12 @@ class KvsFunctionality:
         another pending transaction, or a duplicate/decided txn id)
         rejects the whole prepare with **no** state change, so the
         coordinator's abort needs no cleanup here.
+
+        With ``queue=True`` (the grouped-prepare path) a lock conflict
+        against an *older* holder parks the prepare in the FIFO waiter
+        queue and votes ``[TXN_WAITING, holder]`` instead of rejecting;
+        the queued prepare re-runs when a decision releases the lock
+        (:meth:`_resolve_waiters`).
         """
         pending = state.get(_TXN_PENDING_KEY)
         decided = state.get(_TXN_DECIDED_KEY)
@@ -183,6 +223,9 @@ class KvsFunctionality:
         ):
             # a replayed or recycled txn id: never re-lock — the
             # coordinator treats this as a NO vote and aborts
+            return [TXN_CONFLICT, txn_id], state
+        waiters = state.get(_TXN_WAITERS_KEY)
+        if waiters is not None and any(w[0] == txn_id for w in waiters):
             return [TXN_CONFLICT, txn_id], state
         locks = state.get(_TXN_LOCKS_KEY)
         overlay: dict = {}
@@ -199,7 +242,12 @@ class KvsFunctionality:
                     f"transaction sub-operation key {key!r} is not allowed"
                 )
             if locks is not None and key in locks:
-                return [TXN_CONFLICT, locks[key]], state
+                holder = locks[key]
+                if queue:
+                    return self._txn_enqueue_waiter(
+                        state, txn_id, sub_ops, holder
+                    )
+                return [TXN_CONFLICT, holder], state
             if key not in overlay:
                 overlay[key] = state.get(key, _DELETED)
                 touched.append(key)
@@ -229,6 +277,61 @@ class KvsFunctionality:
         next_state[_TXN_LOCKS_KEY] = next_locks
         return [TXN_PREPARED, results], next_state
 
+    def _txn_enqueue_waiter(
+        self, state: dict, txn_id: str, sub_ops: list, holder: str
+    ) -> tuple[Any, dict]:
+        """Park a conflicting grouped prepare in the FIFO waiter queue.
+
+        Deterministic deadlock avoidance: a transaction only waits
+        behind a holder with a strictly smaller txn id, so waits-for
+        chains strictly decrease and terminate (a waiter holds no locks
+        of its own, so no local cycle is possible either).  Anything
+        else — queue full, duplicate, or waiting would invert the
+        order — falls back to the historical conflict rejection.
+        """
+        waiters = state.get(_TXN_WAITERS_KEY)
+        if (
+            not txn_id > holder
+            or (waiters is not None and len(waiters) >= _TXN_WAITERS_MAX)
+        ):
+            return [TXN_CONFLICT, holder], state
+        next_state = dict(state)
+        queue = [list(entry) for entry in waiters] if waiters is not None else []
+        queue.append([txn_id, [list(op) for op in sub_ops]])
+        next_state[_TXN_WAITERS_KEY] = queue
+        return [TXN_WAITING, holder], next_state
+
+    def _resolve_waiters(self, state: dict) -> tuple[dict, list]:
+        """Re-run queued prepares after a decision released locks.
+
+        One FIFO pass: a waiter that now prepares takes its locks (and
+        its state change carries forward to later waiters in the same
+        pass); one still behind an older holder stays queued; one whose
+        conflict would invert the id order resolves as a CONFLICT vote.
+        Returns the new state and the ``[txn_id, vote]`` list the
+        decision ack piggybacks back to the coordinator.
+        """
+        waiters = state.get(_TXN_WAITERS_KEY)
+        if not waiters:
+            return state, []
+        work = dict(state)
+        del work[_TXN_WAITERS_KEY]
+        resolved: list = []
+        remaining: list = []
+        for txn_id, sub_ops in waiters:
+            vote, work = self._txn_prepare(work, txn_id, sub_ops)
+            if (
+                vote[0] == TXN_CONFLICT
+                and vote[1] != txn_id
+                and txn_id > vote[1]
+            ):
+                remaining.append([txn_id, sub_ops])
+            else:
+                resolved.append([txn_id, vote])
+        if remaining:
+            work[_TXN_WAITERS_KEY] = remaining
+        return work, resolved
+
     def _txn_decide(
         self, state: dict, txn_id: str, *, commit: bool
     ) -> tuple[Any, dict]:
@@ -242,6 +345,25 @@ class KvsFunctionality:
             decided = state.get(_TXN_DECIDED_KEY)
             if decided is not None and txn_id in decided:
                 return [TXN_ALREADY, decided[txn_id]], state
+            waiters = state.get(_TXN_WAITERS_KEY)
+            if (
+                not commit
+                and waiters is not None
+                and any(w[0] == txn_id for w in waiters)
+            ):
+                # the coordinator aborted a transaction still queued
+                # behind a lock: dequeue it (it holds nothing) and
+                # record the decision so replays answer ALREADY
+                next_state = dict(state)
+                remaining = [list(w) for w in waiters if w[0] != txn_id]
+                if remaining:
+                    next_state[_TXN_WAITERS_KEY] = remaining
+                else:
+                    del next_state[_TXN_WAITERS_KEY]
+                next_state[_TXN_DECIDED_KEY] = self._record_decided(
+                    state, txn_id, "A"
+                )
+                return [TXN_ABORTED], next_state
             return [TXN_UNKNOWN], state
         touched, writes = pending[txn_id]
         next_state = dict(state)
@@ -266,13 +388,27 @@ class KvsFunctionality:
                     next_state[write[1]] = write[2]
                 else:  # DEL
                     next_state.pop(write[1], None)
+        next_state[_TXN_DECIDED_KEY] = self._record_decided(
+            state, txn_id, "C" if commit else "A"
+        )
+        next_state, resolved = self._resolve_waiters(next_state)
+        result: list = [TXN_COMMITTED if commit else TXN_ABORTED]
+        if resolved:
+            # waiter votes ride the decision ack back to the coordinator
+            # (an empty list is omitted so transaction-free and
+            # waiter-free runs keep their historical result bytes)
+            result.append(resolved)
+        return result, next_state
+
+    @staticmethod
+    def _record_decided(state: dict, txn_id: str, decision: str) -> dict:
+        """The bounded, insertion-ordered decision record, updated."""
         decided = state.get(_TXN_DECIDED_KEY)
         next_decided = dict(decided) if decided is not None else {}
         while len(next_decided) >= _TXN_DECIDED_MAX:
             next_decided.pop(next(iter(next_decided)))
-        next_decided[txn_id] = "C" if commit else "A"
-        next_state[_TXN_DECIDED_KEY] = next_decided
-        return [TXN_COMMITTED if commit else TXN_ABORTED], next_state
+        next_decided[txn_id] = decision
+        return next_decided
 
     # ------------------------------------------------- lifecycle queries
 
@@ -291,3 +427,13 @@ class KvsFunctionality:
         """``{key: holder txn_id}`` for every currently locked key."""
         locks = state.get(_TXN_LOCKS_KEY)
         return dict(locks) if locks else {}
+
+    @staticmethod
+    def waiting_transactions(state: dict) -> list:
+        """Queued-waiter txn ids in FIFO order.  A waiter holds no locks
+        but its queued prepare still addresses this shard's keys, so the
+        control plane's quiescence barrier counts waiters as pending."""
+        waiters = state.get(_TXN_WAITERS_KEY)
+        if not waiters:
+            return []
+        return [entry[0] for entry in waiters]

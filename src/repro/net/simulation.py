@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -34,15 +33,40 @@ from repro.errors import SimulationError
 ENCLAVE_SERVICE_INTERVAL = 50e-6
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordering: (time, tiebreak)."""
+    """A scheduled callback.  Ordering: (time, tiebreak).
 
-    time: float
-    tiebreak: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    A plain ``__slots__`` class rather than a dataclass: the agenda heap
+    compares events on every push/pop, and the hand-written ``__lt__``
+    avoids building two field tuples per comparison on the hot path.
+    """
+
+    __slots__ = ("time", "tiebreak", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        tiebreak: int,
+        callback: Callable[[], Any],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.tiebreak = tiebreak
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.tiebreak < other.tiebreak
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, tiebreak={self.tiebreak!r}, "
+            f"label={self.label!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""

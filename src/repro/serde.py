@@ -28,6 +28,20 @@ from typing import Any
 
 from repro.errors import LCMError
 
+try:  # compiled codec (built at first import, cached on disk); the pure
+    # encoder below stays authoritative for every value it declines, and
+    # is registered as the C module's fallback at the end of this module
+    from repro import _serde_native
+
+    _NATIVE = _serde_native.load()
+except Exception:  # pragma: no cover - builder failures degrade silently
+    _NATIVE = None
+
+
+def native_backend_active() -> bool:
+    """True when the compiled codec is loaded (diagnostics / tests)."""
+    return _NATIVE is not None
+
 
 class SerdeError(LCMError):
     """Raised for unsupported types or malformed encodings."""
@@ -122,7 +136,7 @@ def _encode_general(value: Any) -> bytes:
     True
     """
     buf = bytearray()
-    encode_into(buf, value)
+    _encode_into_pure(buf, value)
     return bytes(buf)
 
 
@@ -167,7 +181,7 @@ def encode_into(buf: bytearray, value: Any) -> None:
         buf += _TAG_LIST
         buf += len(value).to_bytes(8, "big")
         for item in value:
-            encode_into(buf, item)
+            _encode_into_pure(buf, item)
         return
     if isinstance(value, dict):
         items = [(encode(key), item) for key, item in value.items()]
@@ -176,9 +190,16 @@ def encode_into(buf: bytearray, value: Any) -> None:
         buf += len(items).to_bytes(8, "big")
         for encoded_key, item in items:
             buf += encoded_key
-            encode_into(buf, item)
+            _encode_into_pure(buf, item)
         return
     raise SerdeError(f"unsupported type for canonical encoding: {type(value)!r}")
+
+
+#: Pure recursion pinned by name: when the compiled codec rebinds the
+#: public ``encode_into`` below, the pure walker must keep calling
+#: *itself* (the C codec routes declined values back here — recursing
+#: through the rebound name would ping-pong between the two forever).
+_encode_into_pure = encode_into
 
 
 def encode_list_header(buf: bytearray, count: int) -> None:
@@ -267,3 +288,24 @@ def _decode_at(data: memoryview, offset: int) -> tuple[Any, int]:
     if tag == _ORD_FALSE:
         return False, offset
     raise SerdeError(f"unknown type tag {bytes([tag])!r}")
+
+
+#: The pure-Python codec, under stable names (tests exercise both
+#: backends through these regardless of which one the public names use).
+encode_pure = encode
+decode_pure = decode
+
+if _NATIVE is not None:
+    # The C codec routes every value it declines (ints beyond 64 bits,
+    # subclasses, depth > 64, malformed blobs, ...) through the pure
+    # functions above, so the public names can *be* the C functions: the
+    # hot path pays no Python wrapper frame, and edge cases keep the
+    # exact pure-path bytes, errors and messages.
+    _NATIVE.set_fallback(encode_pure, decode_pure)
+    encode = _NATIVE.encode
+    decode = _NATIVE.decode
+
+    def encode_into(buf: bytearray, value: Any) -> None:  # noqa: F811
+        """Append the canonical encoding of ``value`` to ``buf``
+        (compiled-codec binding of the pure function above)."""
+        buf += _NATIVE.encode(value)

@@ -28,6 +28,14 @@ Dispatch semantics (unchanged from the paper's prototype):
 Batch-size statistics live in the queue's
 :class:`~repro.server.batching.BatchSizeHistogram` — one bounded source
 both cluster stats objects read from.
+
+The router's transaction group commit composes with this loop rather
+than extending it: a group of prepares/decisions flushed against one
+(client, shard) machine arrives here as *one* queued request (a single
+``TXN_PREPARE_MANY``/``TXN_DECIDE_MANY`` operation), so it crosses the
+boundary as one unit — one queue slot, one slice of the batch, one
+sealed operation in the ecall — and the per-batch service interval is
+paid once for the whole group.
 """
 
 from __future__ import annotations

@@ -39,14 +39,27 @@ SNAPSHOT_INTERVAL = 64
 def _common_prefix_length(a: bytes, b: bytes) -> int:
     """Length of the longest common prefix of two byte strings."""
     n = min(len(a), len(b))
-    if a[:n] == b[:n]:
-        return n
+    if 0 < n <= 1024:
+        # below ~1 KiB a single big-int XOR beats the numpy pass (no
+        # array-object setup); the top set bit locates the first mismatch
+        xor = int.from_bytes(a[:n], "big") ^ int.from_bytes(b[:n], "big")
+        if xor == 0:
+            return n
+        return n - ((xor.bit_length() + 7) >> 3)
     if _np is not None and n > 64:
+        # one vectorised pass, no slice copies (frombuffer is zero-copy);
+        # consecutive sealed blobs usually differ, so the eager equality
+        # slice-compare below would copy both strings just to fail
         mismatch = (
             _np.frombuffer(a, dtype=_np.uint8, count=n)
             != _np.frombuffer(b, dtype=_np.uint8, count=n)
         )
-        return int(mismatch.argmax())  # the all-equal case returned above
+        first = int(mismatch.argmax())
+        if first == 0 and not mismatch[0]:
+            return n  # argmax of all-False is 0: fully shared prefix
+        return first
+    if a[:n] == b[:n]:
+        return n
     lo, hi = 0, n
     while lo < hi:
         mid = (lo + hi + 1) // 2
@@ -87,8 +100,13 @@ class StableStorage:
     the next enclave restart.
     """
 
-    def __init__(self, name: str = "stable-storage") -> None:
+    def __init__(self, name: str = "stable-storage", *, delta: bool = True) -> None:
         self.name = name
+        #: prefix-sharing only pays off when consecutive versions are
+        #: near-copies (sealed state blobs); stores whose versions are
+        #: unrelated records (the coordinator's decision log) pass
+        #: ``delta=False`` and skip the scan — every version is a snapshot
+        self._delta = delta
         # (shared prefix length vs the previously appended version, suffix);
         # snapshot versions have shared length 0
         self._records: list[tuple[int, bytes]] = []
@@ -105,7 +123,7 @@ class StableStorage:
         if not isinstance(blob, (bytes, bytearray)):
             raise StorageError("stable storage holds bytes only")
         blob = bytes(blob)
-        if self._records and len(self._records) % SNAPSHOT_INTERVAL:
+        if self._delta and self._records and len(self._records) % SNAPSHOT_INTERVAL:
             shared = _common_prefix_length(self._tail, blob)
         else:
             shared = 0

@@ -472,7 +472,7 @@ class ShardedCluster:
             status = shard.host.enclave.ecall("txn_status", None)
         except LCMError:
             return True
-        return not status["pending"]
+        return not status["pending"] and not status.get("waiting")
 
     def shard_txn_pending(self, shard_id: int) -> int:
         """Prepared-but-undecided transactions on one shard (0 for a
@@ -486,7 +486,7 @@ class ShardedCluster:
             status = shard.host.enclave.ecall("txn_status", None)
         except LCMError:
             return 0
-        return len(status["pending"])
+        return len(status["pending"]) + len(status.get("waiting", ()))
 
     def _at_batch_boundary(self, shard: _Shard) -> None:
         """Dispatcher idle hook: run a deferred rebalance, if any."""

@@ -109,7 +109,7 @@ class _Stream:
 
     __slots__ = (
         "shard_id", "generation", "checker", "history_offset",
-        "violated", "frozen", "withheld_emitted",
+        "violated", "frozen", "withheld_emitted", "gauges",
     )
 
     def __init__(self, shard_id: int, generation: int, checker: StreamingChecker):
@@ -120,6 +120,9 @@ class _Stream:
         self.violated = False
         self.frozen = False
         self.withheld_emitted: set[str] = set()
+        #: (frontier, floor, retained) gauge triple, resolved once — the
+        #: registry lookup is per-boundary hot
+        self.gauges: tuple | None = None
 
 
 class ClusterObserver:
@@ -285,16 +288,19 @@ class ClusterObserver:
             )
         checker.advance()
         if self._registry is not None:
-            shard_label = str(stream.shard_id)
-            self._registry.gauge("verifier.frontier", shard=shard_label).set(
-                checker.frontier
-            )
-            self._registry.gauge("verifier.floor", shard=shard_label).set(
-                checker.floor
-            )
-            self._registry.gauge(
-                "verifier.retained_records", shard=shard_label
-            ).set(checker.retained_records)
+            if stream.gauges is None:
+                shard_label = str(stream.shard_id)
+                stream.gauges = (
+                    self._registry.gauge("verifier.frontier", shard=shard_label),
+                    self._registry.gauge("verifier.floor", shard=shard_label),
+                    self._registry.gauge(
+                        "verifier.retained_records", shard=shard_label
+                    ),
+                )
+            frontier, floor, retained = stream.gauges
+            frontier.set(checker.frontier)
+            floor.set(checker.floor)
+            retained.set(checker.retained_records)
 
     def _scan_withheld(self, shard: Any) -> None:
         """Online rule-3 scan: a live history holding a prepare whose
@@ -303,16 +309,19 @@ class ClusterObserver:
         stream = self._stream(shard)
         if stream is None or stream.frozen or stream.violated:
             return
+        per_log = stream.checker.open_txn_traces()
+        if not any(open_ids for _traces, open_ids in per_log):
+            return  # nothing prepared-and-undecided: the scan is free
         decisions = self._decisions()
         if not decisions:
             return
         emit = self._make_on_event(stream.shard_id, stream.generation)
-        for traces in stream.checker.txn_traces():
-            for txn_id, trace in traces.items():
+        for traces, open_ids in per_log:
+            for txn_id in sorted(open_ids):
                 if txn_id in stream.withheld_emitted:
                     continue
                 decision = withheld_decision(
-                    shard.shard_id, txn_id, trace, decisions
+                    shard.shard_id, txn_id, traces[txn_id], decisions
                 )
                 if decision is not None:
                     stream.withheld_emitted.add(txn_id)

@@ -19,6 +19,27 @@ shards behind the familiar submit-an-operation surface.
   the writes as a sequenced, hash-chained, sealed operation, and the
   commit/abort decision lands the same way — so the whole lifecycle is
   covered by exactly the verification machinery that protects a PUT;
+- **group commit**: with ``group_commit=True`` (the default) the router
+  amortises the transaction fast path.  While a (client, shard) protocol
+  machine is idle, lifecycle operations take the exact legacy single-verb
+  path — byte-identical evidence, no added latency.  While the machine is
+  busy, prepares and decisions headed for it accumulate in a coordinator
+  buffer and flush as one merged ``TXN_PREPARE_MANY`` /
+  ``TXN_DECIDE_MANY`` operation the moment the in-flight operation
+  completes: one sealed, hash-chained ecall carries a whole boundary's
+  worth of lifecycle traffic per participant.  Lock conflicts no longer
+  bounce: a prepare that loses queues as a FIFO *waiter* inside the
+  shard's sealed state (wound-wait ordered, so waits-for chains are
+  acyclic) and its vote arrives later, piggybacked on the releasing
+  decision's ack;
+- **durable coordination**: every begin and decision is appended to a
+  :class:`~repro.server.storage.StableStorage` decision log *before*
+  phase 2 is driven, so a coordinator that stops between phases can be
+  rebuilt and :meth:`ShardRouter.recover_transactions` re-drives exactly
+  the undecided set (decided-but-unacked transactions re-send their
+  logged decision; begun-but-undecided ones are presumed aborted).
+  Finished transactions are pruned from the in-memory ``txn_log``; the
+  compact per-txn decision summary the checkers need is retained forever;
 - **verification** merges per-shard fork-linearizability evidence into a
   single :class:`ShardedVerdict`: each shard's audit logs (spanning
   migrations and forks), client chain points, and recorded history are fed
@@ -40,6 +61,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import serde
 from repro.consistency import check_cluster_execution
 from repro.consistency.fork_linearizability import ForkTree
 from repro.consistency.transactions import (
@@ -57,13 +79,19 @@ from repro.errors import (
     TxnAtomicityViolation,
 )
 from repro.kvstore.functionality import (
+    TXN_ABORTED,
+    TXN_COMMITTED,
     TXN_LOCKED,
     TXN_PREPARED,
+    TXN_WAITING,
     is_txn_decision,
     txn_abort,
     txn_commit,
+    txn_decide_many,
     txn_prepare,
+    txn_prepare_many,
 )
+from repro.server.storage import StableStorage
 from repro.sharding.cluster import ShardedCluster
 
 
@@ -151,11 +179,13 @@ class TxnResult:
 
 @dataclass
 class TxnRecord:
-    """Coordinator-side state of one transaction (the decision log).
+    """Coordinator-side state of one in-flight transaction.
 
-    Kept for the lifetime of the router: the offline transaction checker
-    reads it as the coordinator's decision log, and failover replay uses
-    it to re-drive decisions lost to an outage.
+    Retained only while the transaction is live: once its decision has
+    durably landed and every participant acked, the record is pruned and
+    a compact :class:`~repro.consistency.transactions.CoordinatorDecision`
+    (the only piece the checkers consume) is kept in its place.  Failover
+    replay uses the live records to re-drive decisions lost to an outage.
     """
 
     txn_id: str
@@ -166,11 +196,17 @@ class TxnRecord:
     #: because the control-plane barrier waits for pending decisions)
     participants: dict[int, list[int]] = field(default_factory=dict)
     votes: dict[int, Any] = field(default_factory=dict)
+    #: participants whose prepare queued behind a lock holder: their vote
+    #: arrives later, piggybacked on the releasing decision's ack
+    waiting: set[int] = field(default_factory=set)
     decision: str | None = None            # "C" | "A"
     pending_decisions: set[int] = field(default_factory=set)
     conflict_with: str | None = None
     on_complete: Callable[[TxnResult], Any] | None = None
     done: bool = False
+    #: single-key operations rejected with TXN_LOCKED naming this txn as
+    #: the holder — resubmitted (FIFO) when the decision completes
+    lock_waiters: list[tuple] = field(default_factory=list)
 
     @property
     def committed(self) -> bool:
@@ -236,6 +272,9 @@ class ShardRouter:
         *,
         failover: bool = False,
         retry_locked: bool = True,
+        group_commit: bool = True,
+        txn_store: StableStorage | None = None,
+        prune_txn_log: bool = True,
     ) -> None:
         if not cluster.audit:
             # verdict() feeds every shard's audit logs to the checker and
@@ -249,6 +288,29 @@ class ShardRouter:
         #: rejected because its key is locked by a pending transaction
         #: (the rejection is a real, chained operation either way)
         self.retry_locked = retry_locked
+        #: accumulate lifecycle operations headed for a busy (client,
+        #: shard) machine and flush them as one merged sealed operation;
+        #: an idle machine takes the byte-identical legacy single verb
+        self.group_commit = group_commit
+        #: drop finished TxnRecords from :attr:`txn_log`, keeping only
+        #: the compact CoordinatorDecision the checkers consume
+        self.prune_txn_log = prune_txn_log
+        #: durable coordinator decision log: ``["B", ...]`` at begin,
+        #: ``["D", txn_id, decision]`` *before* phase 2 is driven,
+        #: ``["F", txn_id]`` once every participant acked — the recovery
+        #: source for :meth:`recover_transactions`
+        self._txn_store = txn_store if txn_store is not None else (
+            StableStorage("txn-decision-log", delta=False)
+        )
+        #: ``F`` records awaiting the next durable store.  While other
+        #: transactions are still in flight a future ``B``/``D`` append is
+        #: guaranteed, so finish records piggyback on it (one store fewer
+        #: per transaction under pipelining); the log quiesces — flushes
+        #: the tail — the moment no transaction remains in flight, and
+        #: any external read of :attr:`txn_store` (a coordinator handover)
+        #: flushes first.  A crash with deferred finishes only re-drives
+        #: their (idempotent) decisions on recovery.
+        self._txn_log_deferred: list[list] = []
         #: router counters live in the cluster's metrics registry; the
         #: historical attribute names stay readable as properties below.
         #: Hot paths hold the Counter objects directly (one int add).
@@ -267,9 +329,22 @@ class ShardRouter:
         )
         self._ctr_txn_aborted = registry.counter("router.transactions_aborted")
         self._ctr_txn_parked = registry.counter("router.transactions_parked")
-        #: coordinator decision log, by txn id (never pruned: it is the
-        #: evidence the cross-shard transaction checker runs against)
+        self._ctr_txn_group_flushes = registry.counter(
+            "router.txn_group_flushes"
+        )
+        self._ctr_txn_group_entries = registry.counter(
+            "router.txn_group_entries"
+        )
+        self._gauge_txn_retained = registry.gauge("router.txn_log_retained")
+        #: live (undecided or unacked) transactions, by txn id; finished
+        #: records are pruned (``prune_txn_log=False`` keeps them)
         self.txn_log: dict[str, TxnRecord] = {}
+        #: the coordinator decision log the checkers consume: one compact
+        #: entry per transaction that reached a decision, never pruned
+        self._decisions_cache: dict[str, CoordinatorDecision] = {}
+        #: lifecycle operations awaiting a busy machine, keyed by
+        #: (shard_id, client_id): {"prepares": [...], "decisions": [...]}
+        self._txn_buffers: dict[tuple[int, int], dict[str, list]] = {}
         self._txn_counter = 0
         #: transactions parked whole (a participant fenced or down at
         #: begin time); re-begun — participants re-resolved — on the
@@ -297,7 +372,8 @@ class ShardRouter:
             # the streaming verifier needs the coordinator's decision log
             # for its online withheld-decision scan and its verdict
             cluster.observer.attach_decisions(
-                self._coordinator_decisions, lambda: bool(self.txn_log)
+                self._coordinator_decisions,
+                lambda: bool(self.txn_log) or bool(self._decisions_cache),
             )
 
     # ------------------------------------------- counter read-through views
@@ -341,6 +417,17 @@ class ShardRouter:
     @property
     def transactions_parked(self) -> int:
         return self._ctr_txn_parked.value
+
+    @property
+    def txn_group_flushes(self) -> int:
+        """Merged lifecycle flushes (grouped operations actually sent)."""
+        return self._ctr_txn_group_flushes.value
+
+    @property
+    def txn_group_entries(self) -> int:
+        """Lifecycle entries that rode a merged flush instead of their
+        own ecall."""
+        return self._ctr_txn_group_entries.value
 
     # ------------------------------------------------------------ submitting
 
@@ -467,28 +554,47 @@ class ShardRouter:
                 and type(result.result) is list
                 and len(result.result) == 2
                 and result.result[0] == TXN_LOCKED
-                and result.result[1] in self.txn_log
             ):
                 # the key is locked by a pending transaction: the
                 # rejection is a real chained operation (the checkers
-                # replay it), but the caller asked for the value — retry
-                # once the decision has had wire time to land.  Only
-                # key-routed submissions retry; explicit submit_to_shard
+                # replay it), but the caller asked for the value.  Only
+                # key-routed submissions wait; explicit submit_to_shard
                 # callers (tests, transaction internals) see the marker.
                 # The holder must be a transaction *this* coordinator ran
                 # (it always is — one router per cluster): a stored user
                 # value that merely looks like the marker never matches
-                # a real txn id, so it is delivered, not retried.
-                self._ctr_lock_retried.inc()
-                self.submit(
-                    client_id,
-                    operation,
-                    on_complete,
-                    _lock_attempts=lock_attempts + 1,
-                )
-                return
+                # a real txn id, so it is delivered, not queued.
+                holder = self.txn_log.get(result.result[1])
+                if holder is not None and not holder.done:
+                    # queue on the holder instead of spinning retries:
+                    # _txn_finish resubmits every waiter the moment the
+                    # decision completes (the historical counter name
+                    # counts queued waits the same as retries)
+                    self._ctr_lock_retried.inc()
+                    holder.lock_waiters.append(
+                        (client_id, operation, on_complete, lock_attempts + 1)
+                    )
+                    return
+                if result.result[1] in self._decisions_cache:
+                    # the holder already decided (record finished or
+                    # pruned): its locks are released, or were claimed by
+                    # a resolved waiter — resubmit and queue on the new
+                    # holder if so
+                    self._ctr_lock_retried.inc()
+                    self.submit(
+                        client_id,
+                        operation,
+                        on_complete,
+                        _lock_attempts=lock_attempts + 1,
+                    )
+                    return
             if on_complete is not None:
                 on_complete(result)
+            if self._txn_buffers:
+                # the machine just went idle (and on_complete may have
+                # buffered lifecycle work against it): flush one merged
+                # operation per direction
+                self._flush_txn_buffer(shard_id, client_id)
 
         cluster.client_machine(shard_id, client_id).invoke(operation, complete)
         return shard_id
@@ -503,6 +609,9 @@ class ShardRouter:
             self._replay_inflight(shard_ids)
         self._replay_parked(shard_ids)
         self._replay_parked_txns()
+        # a crash can swallow the completion that would have flushed a
+        # buffer; drain any buffer whose machine is (now) idle
+        self._flush_idle_buffers()
 
     def _replay_one(
         self, shard_id: int, client_id: int, operation, on_complete, reroute
@@ -616,16 +725,21 @@ class ShardRouter:
         participant voted a conflict, the ABORT.  ``on_complete`` fires
         with a :class:`TxnResult` once every decision has round-tripped.
 
-        The decision is logged in :attr:`txn_log` before it is sent;
-        on a ``failover=True`` router, decisions lost to a crash are
-        re-driven by the in-flight replay (idempotent on the
-        participant), and a transaction whose participant is fenced or
-        down at begin time is parked whole and re-begun — participants
-        re-resolved against the current ring — after the
-        reconfiguration.  Returns the transaction id.
+        The decision is appended to the durable :attr:`txn_store` before
+        it is sent (a stopped coordinator re-drives it via
+        :meth:`recover_transactions`); on a ``failover=True`` router,
+        decisions lost to a participant crash are re-driven by the
+        in-flight replay (idempotent on the participant), and a
+        transaction whose participant is fenced or down at begin time is
+        parked whole and re-begun — participants re-resolved against the
+        current ring — after the reconfiguration.  Returns the
+        transaction id.
         """
         record = TxnRecord(
-            txn_id=f"txn-{client_id}-{self._txn_counter}",
+            # zero-padded so lexicographic txn-id order (the wound-wait
+            # total order the shards' waiter queues rely on) matches
+            # submission order per client
+            txn_id=f"txn-{client_id}-{self._txn_counter:08d}",
             client_id=client_id,
             operations=[tuple(operation) for operation in operations],
             on_complete=on_complete,
@@ -671,34 +785,195 @@ class ShardRouter:
             return
         record.participants = participants
         record.votes = {}
-        for shard_id, indices in sorted(participants.items()):
-            prepare = txn_prepare(
+        record.waiting = set()
+        self._txn_log_append(
+            [
+                "B",
                 record.txn_id,
-                [list(record.operations[index]) for index in indices],
-            )
-            self.submit_to_shard(
-                shard_id,
                 record.client_id,
-                prepare,
-                self._make_vote_handler(record, shard_id),
-            )
+                [list(operation) for operation in record.operations],
+                sorted(
+                    [shard_id, list(indices)]
+                    for shard_id, indices in participants.items()
+                ),
+            ]
+        )
+        for shard_id, indices in sorted(participants.items()):
+            self._txn_send_prepare(record, shard_id, indices)
         if self.txn_phase_hook is not None:
             self.txn_phase_hook("prepare-sent", record)
 
-    def _make_vote_handler(self, record: TxnRecord, shard_id: int):
-        def on_vote(result: LcmResult) -> None:
-            record.votes[shard_id] = result.result
-            if len(record.votes) == len(record.participants):
-                self._txn_decide(record)
+    # --------------------------------------- group commit: buffer and flush
 
-        return on_vote
+    def _txn_send_prepare(
+        self, record: TxnRecord, shard_id: int, indices: list[int]
+    ) -> None:
+        sub_ops = [list(record.operations[index]) for index in indices]
+
+        def on_vote(vote: Any) -> None:
+            self._on_vote(record, shard_id, vote)
+
+        if self._buffer_txn_op(
+            shard_id, record.client_id, "prepares",
+            (record.txn_id, sub_ops, on_vote),
+        ):
+            return
+        self.submit_to_shard(
+            shard_id,
+            record.client_id,
+            txn_prepare(record.txn_id, sub_ops),
+            lambda result: on_vote(result.result),
+        )
+
+    def _txn_send_decision(self, record: TxnRecord, shard_id: int) -> None:
+        def on_ack(ack: Any) -> None:
+            self._on_decision_ack(record, shard_id, ack)
+
+        if self._buffer_txn_op(
+            shard_id, record.client_id, "decisions",
+            (record.txn_id, record.decision, on_ack),
+        ):
+            return
+        operation = (
+            txn_commit(record.txn_id)
+            if record.decision == "C"
+            else txn_abort(record.txn_id)
+        )
+        self.submit_to_shard(
+            shard_id,
+            record.client_id,
+            operation,
+            lambda result: on_ack(result.result),
+        )
+
+    def _buffer_txn_op(
+        self, shard_id: int, client_id: int, kind: str, entry: tuple
+    ) -> bool:
+        """Buffer one lifecycle entry when its machine cannot take it
+        *right now* without queueing.  Returns False — caller submits the
+        legacy single verb, byte-identical to the ungrouped router — when
+        grouping is off, the shard is fenced/down (submit_to_shard owns
+        parking), or the machine is idle."""
+        if not self.group_commit:
+            return False
+        cluster = self.cluster
+        if shard_id in cluster.fenced_shards or not cluster.shard_healthy(
+            shard_id
+        ):
+            return False
+        key = (shard_id, client_id)
+        buffer = self._txn_buffers.get(key)
+        if buffer is None:
+            if not cluster.client_machine(shard_id, client_id).busy:
+                return False
+            buffer = self._txn_buffers[key] = {"prepares": [], "decisions": []}
+        buffer[kind].append(entry)
+        return True
+
+    def _flush_txn_buffer(self, shard_id: int, client_id: int) -> None:
+        """Send everything buffered against one machine: at most one
+        merged decision operation and one merged prepare operation (a
+        singleton flushes as the byte-identical legacy single verb).
+        Decisions go first — they release the locks the prepares behind
+        them may be after."""
+        buffer = self._txn_buffers.pop((shard_id, client_id), None)
+        if buffer is None:
+            return
+        decisions, prepares = buffer["decisions"], buffer["prepares"]
+        if decisions:
+            handlers = [handler for _, _, handler in decisions]
+            if len(decisions) == 1:
+                txn_id, decision, _ = decisions[0]
+                operation = (
+                    txn_commit(txn_id) if decision == "C" else txn_abort(txn_id)
+                )
+            else:
+                self._ctr_txn_group_flushes.inc()
+                self._ctr_txn_group_entries.inc(len(decisions))
+                operation = txn_decide_many(
+                    [(txn_id, decision) for txn_id, decision, _ in decisions]
+                )
+            self._submit_grouped(shard_id, client_id, operation, handlers)
+        if prepares:
+            handlers = [handler for _, _, handler in prepares]
+            if len(prepares) == 1:
+                txn_id, sub_ops, _ = prepares[0]
+                operation = txn_prepare(txn_id, sub_ops)
+            else:
+                self._ctr_txn_group_flushes.inc()
+                self._ctr_txn_group_entries.inc(len(prepares))
+                operation = txn_prepare_many(
+                    [(txn_id, sub_ops) for txn_id, sub_ops, _ in prepares]
+                )
+            self._submit_grouped(shard_id, client_id, operation, handlers)
+
+    def _submit_grouped(
+        self, shard_id: int, client_id: int, operation, handlers: list
+    ) -> None:
+        if len(handlers) == 1:
+            handler = handlers[0]
+            on_complete = lambda result: handler(result.result)
+        else:
+            def on_complete(result: LcmResult) -> None:
+                entry_results = (
+                    result.result if type(result.result) is list else []
+                )
+                for index, handler in enumerate(handlers):
+                    handler(
+                        entry_results[index]
+                        if index < len(entry_results)
+                        else None
+                    )
+
+        self.submit_to_shard(shard_id, client_id, operation, on_complete)
+
+    def _flush_idle_buffers(self) -> None:
+        for shard_id, client_id in list(self._txn_buffers):
+            try:
+                busy = self.cluster.client_machine(shard_id, client_id).busy
+            except (KeyError, LCMError):
+                # the machine's shard/generation is gone: flush anyway —
+                # submit_to_shard parks or drops with attribution
+                busy = False
+            if not busy:
+                self._flush_txn_buffer(shard_id, client_id)
+
+    # ------------------------------------------------ votes and decisions
+
+    def _on_vote(self, record: TxnRecord, shard_id: int, vote: Any) -> None:
+        if record.decision is not None or record.done:
+            # a waiter resolution that raced the abort we already sent to
+            # this (waiting) shard — the abort releases whatever the
+            # resolution locked, nothing left to coordinate
+            return
+        if type(vote) is list and len(vote) == 2 and vote[0] == TXN_WAITING:
+            # the prepare queued behind vote[1]'s locks; the real vote
+            # arrives on the releasing decision's ack
+            record.waiting.add(shard_id)
+        else:
+            record.votes[shard_id] = vote
+            record.waiting.discard(shard_id)
+        self._maybe_decide(record)
+
+    def _maybe_decide(self, record: TxnRecord) -> None:
+        """Decide as soon as every participant has answered (vote or
+        queued-as-waiter).  A conflict vote aborts immediately — waiting
+        shards get the abort too, which dequeues their waiter; a commit
+        needs every participant actually prepared, so it waits for
+        queued prepares to resolve."""
+        if len(record.votes) + len(record.waiting) < len(record.participants):
+            return
+        if all(self._voted_prepared(vote) for vote in record.votes.values()):
+            if record.waiting:
+                return
+        self._txn_decide(record)
 
     @staticmethod
     def _voted_prepared(vote: Any) -> bool:
         return type(vote) is list and bool(vote) and vote[0] == TXN_PREPARED
 
     def _txn_decide(self, record: TxnRecord) -> None:
-        """All votes are in: log the decision, then drive phase 2."""
+        """Log the decision durably, then drive phase 2."""
         prepared = [
             shard_id
             for shard_id, vote in record.votes.items()
@@ -712,44 +987,89 @@ class ShardRouter:
                     if type(vote) is list and len(vote) == 2:
                         record.conflict_with = vote[1]
                     break
-        if not prepared:
-            # nothing locked anywhere: the abort is already complete
+        self._txn_log_append(["D", record.txn_id, record.decision])
+        self._decisions_cache[record.txn_id] = CoordinatorDecision(
+            txn_id=record.txn_id,
+            decision=record.decision,
+            participants=tuple(sorted(record.participants)),
+            complete=False,
+        )
+        # an abort also goes to shards whose prepare is still queued as a
+        # waiter — it dequeues the waiter (or aborts the prepare, if the
+        # waiter resolved in the meantime)
+        targets = set(prepared) | (record.waiting if not commit else set())
+        if not targets:
+            # nothing locked or queued anywhere: already complete
             self._txn_finish(record)
             return
-        record.pending_decisions = set(prepared)
-        decision = (
-            txn_commit(record.txn_id) if commit else txn_abort(record.txn_id)
-        )
-        for shard_id in sorted(prepared):
-            self.submit_to_shard(
-                shard_id,
-                record.client_id,
-                decision,
-                self._make_decision_handler(record, shard_id),
-            )
+        record.pending_decisions = set(targets)
+        for shard_id in sorted(targets):
+            self._txn_send_decision(record, shard_id)
         if self.txn_phase_hook is not None:
             self.txn_phase_hook("decision-sent", record)
 
-    def _make_decision_handler(self, record: TxnRecord, shard_id: int):
-        def on_decided(_result: LcmResult) -> None:
-            record.pending_decisions.discard(shard_id)
-            if not record.pending_decisions:
-                self._txn_finish(record)
+    def _on_decision_ack(
+        self, record: TxnRecord, shard_id: int, ack: Any
+    ) -> None:
+        if (
+            type(ack) is list
+            and len(ack) == 2
+            and ack[0] in (TXN_COMMITTED, TXN_ABORTED)
+            and type(ack[1]) is list
+        ):
+            # releasing the locks resolved queued waiters: the ack
+            # piggybacks their (txn_id, vote) outcomes — route each to
+            # its own transaction as the deferred prepare vote
+            self._on_resolved_votes(shard_id, ack[1])
+        record.pending_decisions.discard(shard_id)
+        if not record.pending_decisions and not record.done:
+            self._txn_finish(record)
 
-        return on_decided
+    def _on_resolved_votes(self, shard_id: int, resolved: list) -> None:
+        for item in resolved:
+            if not (type(item) is list and len(item) == 2):
+                continue
+            waiter_id, vote = item
+            waiter = self.txn_log.get(waiter_id)
+            if waiter is not None:
+                self._on_vote(waiter, shard_id, vote)
 
     def _txn_finish(self, record: TxnRecord) -> None:
         record.done = True
+        self._txn_log_deferred.append(["F", record.txn_id])
+        if record.decision is not None:
+            self._decisions_cache[record.txn_id] = CoordinatorDecision(
+                txn_id=record.txn_id,
+                decision=record.decision,
+                participants=tuple(sorted(record.participants)),
+                complete=True,
+            )
         results: list | None = None
         if record.committed:
             self._ctr_txn_committed.inc()
-            results = [None] * len(record.operations)
-            for shard_id, indices in record.participants.items():
-                vote = record.votes[shard_id]
-                for index, value in zip(indices, vote[1]):
-                    results[index] = value
+            if all(
+                shard_id in record.votes for shard_id in record.participants
+            ):
+                results = [None] * len(record.operations)
+                for shard_id, indices in record.participants.items():
+                    vote = record.votes[shard_id]
+                    for index, value in zip(indices, vote[1]):
+                        results[index] = value
+            # else: a recovered record re-drove the commit without the
+            # votes that carried the read results — committed, results
+            # unknown to this coordinator incarnation
         else:
             self._ctr_txn_aborted.inc()
+        if self.prune_txn_log:
+            self.txn_log.pop(record.txn_id, None)
+            self._gauge_txn_retained.set(len(self.txn_log))
+        waiters, record.lock_waiters = record.lock_waiters, []
+        for client_id, operation, on_complete, attempts in waiters:
+            # the decision completed: the locks that bounced these
+            # single-key operations are released — resubmit in FIFO order
+            self.submit(
+                client_id, operation, on_complete, _lock_attempts=attempts
+            )
         if record.on_complete is not None:
             record.on_complete(
                 TxnResult(
@@ -759,6 +1079,142 @@ class ShardRouter:
                     conflict_with=record.conflict_with,
                 )
             )
+        # ``on_complete`` may have pipelined further transactions (whose
+        # ``B`` append already carried the deferred finishes); if none are
+        # in flight any more, no future append is coming — flush the tail
+        # so a clean shutdown leaves a complete log
+        self._txn_log_quiesce()
+
+    # ----------------------------------------------- durability and recovery
+
+    @property
+    def txn_store(self) -> StableStorage:
+        """The durable decision log.  Reading it flushes any deferred
+        finish records first, so a handed-over store is always complete."""
+        self._txn_log_flush()
+        return self._txn_store
+
+    def _txn_log_append(self, entry: list) -> None:
+        """Durably store ``entry``, carrying any deferred finish records
+        in the same version (each stored blob is a *list* of records)."""
+        records = self._txn_log_deferred
+        if records:
+            self._txn_log_deferred = []
+            records.append(entry)
+        else:
+            records = [entry]
+        self._txn_store.store(serde.encode(records))
+
+    def _txn_log_flush(self) -> None:
+        if self._txn_log_deferred:
+            records, self._txn_log_deferred = self._txn_log_deferred, []
+            self._txn_store.store(serde.encode(records))
+
+    def _txn_log_quiesce(self) -> None:
+        if self._txn_log_deferred and not any(
+            not record.done for record in self.txn_log.values()
+        ):
+            self._txn_log_flush()
+
+    def recover_transactions(self) -> dict[str, list[str]]:
+        """Re-drive every transaction the durable log left unfinished.
+
+        Meant for a fresh router attached to the same (recovered) cluster
+        after the previous coordinator stopped mid-transaction, handed
+        the predecessor's :attr:`txn_store`.  Replays the log:
+
+        - ``B`` without ``D`` — phase 1 was interrupted before a decision
+          was durable: **presumed abort**.  The abort is logged, then
+          sent to every participant (a participant that never prepared
+          answers UNKNOWN; one still holding locks releases them).
+        - ``D`` without ``F`` — decided but not every participant acked:
+          the logged decision is re-sent to every participant
+          (idempotent: a participant that already applied it answers
+          ALREADY).
+        - ``F`` — nothing to do.
+
+        Returns ``{"redriven": [...], "presumed_aborted": [...]}`` and
+        fires each re-driven transaction's normal completion path, so
+        :meth:`verdict` sees a complete decision log afterwards.
+        """
+        begun: dict[str, tuple] = {}
+        decided: dict[str, str] = {}
+        finished: set[str] = set()
+        for version in range(self._txn_store.version_count()):
+            blob = serde.decode(self._txn_store.load_version(version))
+            # each version stores a list of records (deferred finishes
+            # piggyback on the next append); a bare record still decodes
+            records = [blob] if blob and type(blob[0]) is str else blob
+            for entry in records:
+                tag = entry[0]
+                if tag == "B":
+                    begun[entry[1]] = (entry[2], entry[3], entry[4])
+                elif tag == "D":
+                    decided[entry[1]] = entry[2]
+                elif tag == "F":
+                    finished.add(entry[1])
+        redriven: list[str] = []
+        presumed_aborted: list[str] = []
+        for txn_id, (client_id, operations, participants) in begun.items():
+            # never mint an id the durable log already carries
+            try:
+                self._txn_counter = max(
+                    self._txn_counter, int(txn_id.rsplit("-", 1)[1]) + 1
+                )
+            except ValueError:
+                pass
+            if txn_id in finished or txn_id in self.txn_log:
+                if txn_id in decided and txn_id not in self._decisions_cache:
+                    # finished before the crash: nothing to re-drive, but
+                    # the checkers still need the compact decision entry
+                    # to validate the decisions participant histories
+                    # already carry
+                    self._decisions_cache[txn_id] = CoordinatorDecision(
+                        txn_id=txn_id,
+                        decision=decided[txn_id],
+                        participants=tuple(
+                            sorted(shard_id for shard_id, _ in participants)
+                        ),
+                        complete=True,
+                    )
+                continue
+            record = TxnRecord(
+                txn_id=txn_id,
+                client_id=client_id,
+                operations=[tuple(operation) for operation in operations],
+                participants={
+                    shard_id: list(indices)
+                    for shard_id, indices in participants
+                },
+            )
+            self.txn_log[txn_id] = record
+            decision = decided.get(txn_id)
+            if decision is None:
+                record.decision = "A"
+                self._txn_log_append(["D", txn_id, "A"])
+                presumed_aborted.append(txn_id)
+            else:
+                record.decision = decision
+                redriven.append(txn_id)
+            self._decisions_cache[txn_id] = CoordinatorDecision(
+                txn_id=txn_id,
+                decision=record.decision,
+                participants=tuple(sorted(record.participants)),
+                complete=False,
+            )
+            record.pending_decisions = set(record.participants)
+            for shard_id in sorted(record.participants):
+                self._txn_send_decision(record, shard_id)
+        return {"redriven": redriven, "presumed_aborted": presumed_aborted}
+
+    def coordinator_decision(self, txn_id: str) -> CoordinatorDecision | None:
+        """The compact decision entry for one transaction (survives
+        pruning), or None while it is undecided/unknown."""
+        return self._decisions_cache.get(txn_id)
+
+    def coordinator_decisions(self) -> dict[str, CoordinatorDecision]:
+        """A snapshot of the full compact decision log."""
+        return dict(self._decisions_cache)
 
     def _replay_parked_txns(self) -> None:
         """Re-begin transactions parked whole against an outage or fence.
@@ -792,7 +1248,7 @@ class ShardRouter:
         merged = ShardedVerdict()
         for shard_id in self.cluster.verdict_shard_ids:
             merged.shards[shard_id] = self._check_shard(shard_id)
-        if self.txn_log:
+        if self.txn_log or self._decisions_cache:
             merged.txn_violations = check_transaction_atomicity(
                 self._txn_evidence(), self._coordinator_decisions()
             )
@@ -851,17 +1307,11 @@ class ShardRouter:
     def _coordinator_decisions(self) -> dict[str, CoordinatorDecision]:
         """The decision log as the transaction checker consumes it
         (undecided — in-flight or parked — transactions are absent: no
-        participant can legitimately carry a decision for them yet)."""
-        return {
-            txn_id: CoordinatorDecision(
-                txn_id=txn_id,
-                decision=record.decision,
-                participants=tuple(sorted(record.participants)),
-                complete=record.done,
-            )
-            for txn_id, record in self.txn_log.items()
-            if record.decision is not None
-        }
+        participant can legitimately carry a decision for them yet).
+        Returns the live compact cache, not a copy: the streaming
+        observer reads it at every batch boundary and the checkers only
+        ever read."""
+        return self._decisions_cache
 
     def _check_shard(self, shard_id: int) -> ShardVerdict:
         cluster = self.cluster

@@ -1,0 +1,386 @@
+"""Grouped lifecycle verbs and the wound-wait waiter queue.
+
+The group-commit verbs (``TXN_PREPARE_MANY`` / ``TXN_DECIDE_MANY``) and
+the FIFO waiter queue are pure state-machine logic like every other
+participant verb, so their contracts are testable without an enclave:
+
+- a grouped operation folds exactly like the equivalent sequence of
+  single-verb operations (per-entry results in list order, same final
+  state) — the byte-level parity the checkers rely on;
+- a conflicting grouped prepare queues behind a strictly-smaller holder
+  id (wound-wait: waits-for chains strictly decrease, so they are
+  acyclic) instead of rejecting, holds no locks while queued, and its
+  vote rides the releasing decision's ack in FIFO order;
+- every queued waiter eventually resolves — FIFO wakeup is
+  starvation-free.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import (
+    KvsFunctionality,
+    get,
+    put,
+    txn_abort,
+    txn_commit,
+    txn_decide_many,
+    txn_prepare,
+    txn_prepare_many,
+)
+from repro.kvstore.functionality import (
+    TXN_ABORTED,
+    TXN_ALREADY,
+    TXN_COMMITTED,
+    TXN_CONFLICT,
+    TXN_PREPARED,
+    TXN_WAITING,
+    iter_txn_lifecycle,
+)
+from repro.kvstore.kvs import _TXN_WAITERS_MAX
+
+
+@pytest.fixture
+def kvs():
+    return KvsFunctionality()
+
+
+def seeded(kvs, items):
+    state = kvs.initial_state()
+    for key, value in items.items():
+        _, state = kvs.apply(state, put(key, value))
+    return state
+
+
+class TestGroupedPrepare:
+    def test_disjoint_entries_match_sequential_singles(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2", "c": "3"})
+        entries = [
+            ("t-1", [get("a"), put("a", "x")]),
+            ("t-2", [put("b", "y")]),
+            ("t-3", [get("c")]),
+        ]
+        grouped_result, grouped_state = kvs.apply(
+            state, txn_prepare_many(entries)
+        )
+        single_state = state
+        single_results = []
+        for txn_id, sub_ops in entries:
+            result, single_state = kvs.apply(
+                single_state, txn_prepare(txn_id, sub_ops)
+            )
+            single_results.append(result)
+        assert grouped_result == single_results
+        assert grouped_state == single_state
+
+    def test_conflicting_entry_queues_and_holds_no_locks(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        result, state = kvs.apply(
+            state,
+            txn_prepare_many(
+                [("t-1", [put("a", "x")]), ("t-2", [put("a", "y")])]
+            ),
+        )
+        assert result == [
+            [TXN_PREPARED, ["1"]],
+            [TXN_WAITING, "t-1"],
+        ]
+        # the waiter is queued, visible to the quiescence barrier, and
+        # owns no locks while it waits
+        assert kvs.waiting_transactions(state) == ["t-2"]
+        assert kvs.locked_keys(state) == {"a": "t-1"}
+
+    def test_wound_wait_never_queues_behind_a_larger_id(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        result, state = kvs.apply(
+            state,
+            txn_prepare_many(
+                [("t-9", [put("a", "x")]), ("t-2", [put("a", "y")])]
+            ),
+        )
+        # t-2 < t-9: waiting would invert the id order (and allow
+        # waits-for cycles), so it falls back to the conflict rejection
+        assert result == [
+            [TXN_PREPARED, ["1"]],
+            [TXN_CONFLICT, "t-9"],
+        ]
+        assert kvs.waiting_transactions(state) == []
+
+    def test_duplicate_waiter_id_rejects(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, state = kvs.apply(
+            state,
+            txn_prepare_many(
+                [("t-1", [put("a", "x")]), ("t-2", [put("a", "y")])]
+            ),
+        )
+        result, _ = kvs.apply(
+            state, txn_prepare_many([("t-2", [put("a", "z")])])
+        )
+        assert result == [[TXN_CONFLICT, "t-2"]]
+
+    def test_waiter_queue_is_bounded(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, state = kvs.apply(state, txn_prepare("t-000", [put("a", "x")]))
+        for index in range(_TXN_WAITERS_MAX):
+            result, state = kvs.apply(
+                state,
+                txn_prepare_many([(f"t-{index + 1:03d}", [put("a", "y")])]),
+            )
+            assert result[0][0] == TXN_WAITING
+        overflow, state = kvs.apply(
+            state, txn_prepare_many([("t-999", [put("a", "z")])])
+        )
+        assert overflow == [[TXN_CONFLICT, "t-000"]]
+        assert len(kvs.waiting_transactions(state)) == _TXN_WAITERS_MAX
+
+
+class TestGroupedDecide:
+    def prepared_pair(self, kvs):
+        state = seeded(kvs, {"a": "1", "b": "2"})
+        _, state = kvs.apply(state, txn_prepare("t-1", [put("a", "x")]))
+        _, state = kvs.apply(state, txn_prepare("t-2", [put("b", "y")]))
+        return state
+
+    def test_grouped_decisions_match_sequential_singles(self, kvs):
+        state = self.prepared_pair(kvs)
+        grouped_result, grouped_state = kvs.apply(
+            state, txn_decide_many([("t-1", "C"), ("t-2", "A")])
+        )
+        single_state = state
+        single_results = []
+        for operation in (txn_commit("t-1"), txn_abort("t-2")):
+            result, single_state = kvs.apply(single_state, operation)
+            single_results.append(result)
+        assert grouped_result == single_results
+        assert grouped_state == single_state
+        assert grouped_state["a"] == "x" and grouped_state["b"] == "2"
+
+    def test_grouped_decision_replay_is_idempotent(self, kvs):
+        state = self.prepared_pair(kvs)
+        _, state = kvs.apply(
+            state, txn_decide_many([("t-1", "C"), ("t-2", "A")])
+        )
+        replay, replay_state = kvs.apply(
+            state, txn_decide_many([("t-1", "C"), ("t-2", "A")])
+        )
+        assert replay == [[TXN_ALREADY, "C"], [TXN_ALREADY, "A"]]
+        assert replay_state == state
+
+    def test_decision_releases_locks_for_later_entries_in_the_group(
+        self, kvs
+    ):
+        """Entries execute in list order with the state threaded through:
+        a decision earlier in the group unlocks keys a later grouped
+        prepare (same boundary, prepares flushed after decisions) can
+        then take."""
+        state = seeded(kvs, {"a": "1"})
+        _, state = kvs.apply(state, txn_prepare("t-1", [put("a", "x")]))
+        _, state = kvs.apply(state, txn_decide_many([("t-1", "C")]))
+        result, _ = kvs.apply(state, txn_prepare_many([("t-2", [get("a")])]))
+        assert result == [[TXN_PREPARED, ["x"]]]
+
+
+class TestWaiterResolution:
+    def test_commit_resolves_waiters_fifo_on_the_ack(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, state = kvs.apply(
+            state,
+            txn_prepare_many(
+                [
+                    ("t-1", [put("a", "x")]),
+                    ("t-2", [put("a", "y")]),
+                    ("t-3", [get("a")]),
+                ]
+            ),
+        )
+        assert kvs.waiting_transactions(state) == ["t-2", "t-3"]
+        result, state = kvs.apply(state, txn_commit("t-1"))
+        # t-2 takes the lock; t-3 re-queues behind it (t-3 > t-2), so
+        # exactly one waiter resolves on this ack — FIFO order
+        assert result == [
+            TXN_COMMITTED,
+            [["t-2", [TXN_PREPARED, ["x"]]]],
+        ]
+        assert kvs.waiting_transactions(state) == ["t-3"]
+        result, state = kvs.apply(state, txn_commit("t-2"))
+        assert result == [
+            TXN_COMMITTED,
+            [["t-3", [TXN_PREPARED, ["y"]]]],
+        ]
+        assert kvs.waiting_transactions(state) == []
+
+    def test_abort_of_a_waiting_txn_dequeues_it(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        _, state = kvs.apply(
+            state,
+            txn_prepare_many(
+                [("t-1", [put("a", "x")]), ("t-2", [put("a", "y")])]
+            ),
+        )
+        result, state = kvs.apply(state, txn_abort("t-2"))
+        assert result == [TXN_ABORTED]
+        assert kvs.waiting_transactions(state) == []
+        # the dequeue is recorded: replays answer ALREADY, and the id
+        # can never sneak back into the queue
+        replay, _ = kvs.apply(state, txn_abort("t-2"))
+        assert replay == [TXN_ALREADY, "A"]
+
+    def test_lifecycle_iterator_sees_grouped_and_resolved_events(self, kvs):
+        state = seeded(kvs, {"a": "1"})
+        prepare = txn_prepare_many(
+            [("t-1", [put("a", "x")]), ("t-2", [put("a", "y")])]
+        )
+        prepare_result, state = kvs.apply(state, prepare)
+        commit = txn_commit("t-1")
+        commit_result, state = kvs.apply(state, commit)
+        prepare_events = list(iter_txn_lifecycle(prepare, prepare_result))
+        assert [(kind, txn) for kind, txn, _, _ in prepare_events] == [
+            ("prepare", "t-1"),
+            ("prepare", "t-2"),
+        ]
+        commit_events = list(iter_txn_lifecycle(commit, commit_result))
+        assert [(kind, txn) for kind, txn, _, _ in commit_events] == [
+            ("commit", "t-1"),
+            ("resolved", "t-2"),
+        ]
+        assert commit_events[1][3] == [TXN_PREPARED, ["x"]]
+
+
+KEYS = ["k0", "k1", "k2", "k3"]
+
+
+def _sub_ops(draw):
+    return draw(
+        st.lists(
+            st.sampled_from(KEYS).flatmap(
+                lambda key: st.sampled_from(
+                    [("GET", key), ("PUT", key, f"v-{key}")]
+                )
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+
+
+class TestGroupProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_disjoint_grouped_prepare_equals_sequential(self, data):
+        """Grouped prepare ≡ the same prepares one verb at a time, for
+        any group whose entries touch disjoint key sets (no entry can
+        queue, so the single-verb path is defined for every entry)."""
+        kvs = KvsFunctionality()
+        state = seeded(kvs, {key: f"init-{key}" for key in KEYS})
+        count = data.draw(st.integers(min_value=1, max_value=4))
+        available = list(KEYS)
+        entries = []
+        for index in range(count):
+            if not available:
+                break
+            picked = data.draw(
+                st.lists(
+                    st.sampled_from(available),
+                    min_size=1,
+                    max_size=min(2, len(available)),
+                    unique=True,
+                )
+            )
+            for key in picked:
+                available.remove(key)
+            sub_ops = [
+                data.draw(
+                    st.sampled_from(
+                        [("GET", key), ("PUT", key, f"w{index}-{key}")]
+                    )
+                )
+                for key in picked
+            ]
+            entries.append((f"t-{index}", sub_ops))
+        grouped_result, grouped_state = kvs.apply(
+            state, txn_prepare_many(entries)
+        )
+        single_state = state
+        single_results = []
+        for txn_id, sub_ops in entries:
+            result, single_state = kvs.apply(
+                single_state, txn_prepare(txn_id, sub_ops)
+            )
+            single_results.append(result)
+        assert grouped_result == single_results
+        assert grouped_state == single_state
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_grouped_decisions_equal_sequential(self, data):
+        """Grouped decide ≡ the same decisions one verb at a time, for
+        any decision list (decisions never conflict with each other)."""
+        kvs = KvsFunctionality()
+        state = seeded(kvs, {key: f"init-{key}" for key in KEYS})
+        for index, key in enumerate(KEYS):
+            _, state = kvs.apply(
+                state, txn_prepare(f"t-{index}", [put(key, f"w-{key}")])
+            )
+        ids = [f"t-{index}" for index in range(len(KEYS))] + ["t-unknown"]
+        entries = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(ids), st.sampled_from(["C", "A"])),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        grouped_result, grouped_state = kvs.apply(
+            state, txn_decide_many(entries)
+        )
+        single_state = state
+        single_results = []
+        for txn_id, decision in entries:
+            operation = (
+                txn_commit(txn_id) if decision == "C" else txn_abort(txn_id)
+            )
+            result, single_state = kvs.apply(single_state, operation)
+            single_results.append(result)
+        assert grouped_result == single_results
+        assert grouped_state == single_state
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        waiter_count=st.integers(min_value=1, max_value=8),
+        decisions=st.lists(st.sampled_from(["C", "A"]), min_size=9, max_size=9),
+    )
+    def test_fifo_wakeup_is_starvation_free(self, waiter_count, decisions):
+        """Every queued waiter eventually resolves: repeatedly deciding
+        whichever transaction currently holds the contended lock drains
+        the queue in FIFO order, regardless of the decision mix."""
+        kvs = KvsFunctionality()
+        state = seeded(kvs, {"hot": "0"})
+        _, state = kvs.apply(state, txn_prepare("t-000", [put("hot", "w0")]))
+        queued = []
+        for index in range(waiter_count):
+            txn_id = f"t-{index + 1:03d}"
+            result, state = kvs.apply(
+                state,
+                txn_prepare_many([(txn_id, [put("hot", f"w{index + 1}")])]),
+            )
+            assert result[0][0] == TXN_WAITING
+            queued.append(txn_id)
+        resolved_order = []
+        holder = "t-000"
+        for step, decision in enumerate(decisions):
+            operation = (
+                txn_commit(holder) if decision == "C" else txn_abort(holder)
+            )
+            result, state = kvs.apply(state, operation)
+            assert result[0] in (TXN_COMMITTED, TXN_ABORTED)
+            if len(result) == 1:
+                break  # queue drained: no waiter resolved on this ack
+            (entry,) = result[1]  # exactly one: the rest re-queue FIFO
+            txn_id, vote = entry
+            assert vote[0] == TXN_PREPARED
+            resolved_order.append(txn_id)
+            holder = txn_id
+        assert resolved_order == queued
+        assert kvs.waiting_transactions(state) == []
+        assert kvs.locked_keys(state) == {}

@@ -225,6 +225,50 @@ class TestTransactions:
         assert not streaming.ok and not post.ok
         assert len(streaming.txn_violations) == 1
 
+    def test_withheld_grouped_decision_detected_online(self):
+        """The same attack against the group-commit plane: pipelined
+        transactions merge their decisions into one sealed operation; a
+        fork taken while merged decisions are still queued withholds all
+        of them from the pinned client.  The streaming verifier folds the
+        grouped evidence exactly like the post-mortem checker — the
+        online events fire and the two verdicts agree."""
+        cluster, router = build(
+            shards=2, clients=4, seed=13, malicious_shards=(1,)
+        )
+        keys = populate(cluster, router, count=60)
+        grouped = keys_by_shard(cluster, keys)
+        pairs = list(zip(grouped[0], grouped[1]))[:5]
+        k_side = grouped[1][10]
+        forked = {}
+        decisions_seen = {"count": 0}
+
+        def hook(phase, record):
+            if phase != "decision-sent":
+                return
+            decisions_seen["count"] += 1
+            if decisions_seen["count"] == 2 and not forked:
+                forked["instance"] = cluster.fork_shard(1)
+                cluster.route_client(1, 3, forked["instance"])
+
+        router.txn_phase_hook = hook
+        done = {}
+        for index, (k_a, k_b) in enumerate(pairs):
+            router.submit_txn(
+                2,
+                [put(k_a, f"A{index}"), put(k_b, f"B{index}")],
+                lambda r, index=index: done.setdefault(index, r),
+            )
+        cluster.run()
+        router.submit(3, put(k_side, "on-the-fork"))
+        cluster.run()
+        assert all(r.committed for r in done.values())
+        assert router.txn_group_flushes > 0
+        withheld = cluster.metrics_registry.events_named("verifier.txn-withheld")
+        assert withheld and withheld[0].fields["decision"] == "C"
+        streaming, post = assert_parity(router)
+        assert not streaming.ok and not post.ok
+        assert streaming.txn_violations
+
 
 class TestMemoryBound:
     def test_retained_evidence_tracks_unstable_suffix(self):

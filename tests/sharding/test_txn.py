@@ -25,7 +25,13 @@ from repro.sharding import ShardRouter, ShardedCluster
 def build(shards=3, clients=4, seed=5, **kwargs):
     router_kwargs = {
         key: kwargs.pop(key)
-        for key in ("failover", "retry_locked")
+        for key in (
+            "failover",
+            "retry_locked",
+            "group_commit",
+            "txn_store",
+            "prune_txn_log",
+        )
         if key in kwargs
     }
     cluster = ShardedCluster(shards=shards, clients=clients, seed=seed, **kwargs)
@@ -72,8 +78,11 @@ class TestCommit:
         # per-operation results in submission order: the read, then the
         # previous values the writes observed under the locks
         assert result.results == ["base", "base", "base"]
-        record = router.txn_log[result.txn_id]
-        assert sorted(record.participants) == shard_ids
+        # the live record is pruned once the decision completed; the
+        # compact decision entry is the durable trace
+        decision = router.coordinator_decision(result.txn_id)
+        assert decision is not None and decision.complete
+        assert sorted(decision.participants) == shard_ids
         read = {}
         router.submit(3, get(k_a), lambda r: read.setdefault("a", r.result))
         router.submit(3, get(k_b), lambda r: read.setdefault("b", r.result))

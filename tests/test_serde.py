@@ -88,3 +88,102 @@ class TestErrors:
     def test_empty_input(self):
         with pytest.raises(SerdeError):
             serde.decode(b"")
+
+
+class TestNativeBackendParity:
+    """The compiled codec must be observationally identical to the pure
+    one: same bytes, same values, same errors.  Skipped where the C
+    extension could not be built (the pure path is then the only path)."""
+
+    pytestmark = pytest.mark.skipif(
+        not serde.native_backend_active(),
+        reason="compiled serde backend not available",
+    )
+
+    VALUES = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**63 - 1,
+        -(2**63),
+        2**64,          # beyond int64: C declines, fallback encodes
+        2**127 - 1,
+        -(2**127),
+        b"",
+        b"\x00\xff" * 33,
+        "",
+        "kéy ☃ \U0001f512",
+        [],
+        [1, "two", b"three", None, True],
+        (4, (5, (6,))),
+        {},
+        {"b": 1, "a": 2, b"a": 3, 0: 4, True: 5},
+        {"outer": {"inner": [1, {"deep": b"x"}]}},
+        [{"k": i, "v": [i, str(i), bytes([i])]} for i in range(40)],
+    ]
+
+    @pytest.mark.parametrize("value", VALUES, ids=repr)
+    def test_encode_bytes_identical(self, value):
+        assert serde.encode(value) == serde.encode_pure(value)
+
+    @pytest.mark.parametrize("value", VALUES, ids=repr)
+    def test_decode_values_identical(self, value):
+        blob = serde.encode_pure(value)
+        native = serde.decode(blob)
+        pure = serde.decode_pure(blob)
+        assert native == pure
+        # exact types too: bool is not int, bytes is not bytearray
+        assert _type_shape(native) == _type_shape(pure)
+
+    def test_public_names_are_the_compiled_functions(self):
+        assert serde.encode is serde._NATIVE.encode
+        assert serde.decode is serde._NATIVE.decode
+
+    @pytest.mark.parametrize(
+        "blob",
+        [b"", b"Zjunk", b"I\x00", b"L" + (1).to_bytes(8, "big"),
+         b"S" + (2).to_bytes(8, "big") + b"\xff\xfe", b"N trailing"],
+        ids=["empty", "unknown-tag", "short-int", "short-list",
+             "bad-utf8", "trailing"],
+    )
+    def test_malformed_errors_identical(self, blob):
+        with pytest.raises(SerdeError) as native_err:
+            serde.decode(blob)
+        with pytest.raises(SerdeError) as pure_err:
+            serde.decode_pure(blob)
+        assert str(native_err.value) == str(pure_err.value)
+
+    def test_unsupported_errors_identical(self):
+        for value in (1.5, object(), {1, 2}, 2**128, [-(2**200)]):
+            with pytest.raises(SerdeError) as native_err:
+                serde.encode(value)
+            with pytest.raises(SerdeError) as pure_err:
+                serde.encode_pure(value)
+            assert str(native_err.value) == str(pure_err.value)
+
+    def test_lone_surrogate_goes_to_pure_error(self):
+        # the pure path lets the codec's UnicodeEncodeError escape; the
+        # compiled path must surface the very same error, not its own
+        with pytest.raises(UnicodeEncodeError) as native_err:
+            serde.encode("bad \ud800 string")
+        with pytest.raises(UnicodeEncodeError) as pure_err:
+            serde.encode_pure("bad \ud800 string")
+        assert str(native_err.value) == str(pure_err.value)
+
+    def test_encode_into_matches(self):
+        buf = bytearray(b"prefix")
+        serde.encode_into(buf, {"k": [1, b"v"]})
+        assert bytes(buf) == b"prefix" + serde.encode_pure({"k": [1, b"v"]})
+
+
+def _type_shape(value):
+    """A nested type fingerprint (decode must preserve exact types)."""
+    if isinstance(value, list):
+        return (list, [_type_shape(item) for item in value])
+    if isinstance(value, dict):
+        return (dict, sorted(
+            (repr(k), _type_shape(v)) for k, v in value.items()
+        ))
+    return type(value)
