@@ -37,7 +37,19 @@ this file in place, so the same harness can time an older revision
 (arm ``off`` degrades gracefully when ``repro.obs`` does not exist)
 and the per-round medians are comparable across the stash boundary.
 
+``--guard tracing`` runs the *other* A/B: a sharded closed-loop round
+with tracing + push export fully ON versus the identical round with
+both OFF (streaming verification off in both arms, so the comparison
+isolates the span/stage/export machinery).  Tracing is opt-in and
+allowed to cost something — stage stamps are wall-clock reads inside
+the ecall and every span is a dict — but the cost must stay *bounded*:
+the documented bound is 1.60x median per-round ratio (default
+threshold for this guard).  What it catches: an exporter flush or
+stage probe accidentally becoming super-linear in batch size, or
+tracing overhead creeping from "bounded tax" toward "2x the run".
+
     PYTHONPATH=src:. python benchmarks/ab_guard.py [--threshold 1.05]
+    PYTHONPATH=src:. python benchmarks/ab_guard.py --guard tracing
 """
 
 from __future__ import annotations
@@ -132,6 +144,71 @@ ITERATIONS = {
     "batched_invoke_sizes[32]": 20,
 }
 
+# ------------------------------------------------------- tracing guard
+
+TRACING_SCENARIO = "sharded_closed_loop_round"
+TRACING_ITERATIONS = 3
+#: documented bound for the tracing-on arm: opt-in instrumentation may
+#: tax the run, but the tax must stay bounded (see module docstring)
+TRACING_THRESHOLD = 1.60
+
+
+def _build_tracing_arm(enabled: bool):
+    """A sharded closed-loop round with the tracing plane on or off.
+
+    ``streaming=False`` in both arms so the ratio isolates spans, stage
+    probes and the batch-boundary export flush — not the verifier.
+    """
+    from repro.kvstore import get, put
+    from repro.sharding import ShardRouter, ShardedCluster
+
+    export = None
+    if enabled:
+        from repro.obs.export import RingSink
+
+        export = RingSink(capacity=4096)
+    cluster = ShardedCluster(
+        shards=2, clients=4, seed=11, streaming=False,
+        tracing=enabled, export=export,
+    )
+    router = ShardRouter(cluster)
+    keys = [f"guard-{index}" for index in range(8)]
+
+    def round_fn() -> None:
+        for client_id in cluster.client_ids:
+            for key in keys:
+                router.submit(client_id, put(key, "v"))
+                router.submit(client_id, get(key))
+        cluster.run()
+
+    round_fn()  # warm: provision channels, seal caches, first batches
+    return round_fn
+
+
+def run_interleaved_tracing(*, rounds: int, warmup: int) -> dict:
+    """ABBA-interleaved tracing-on vs tracing-off closed-loop rounds."""
+    import gc
+
+    arm_fns = {"on": _build_tracing_arm(True), "off": _build_tracing_arm(False)}
+    timings = {"on": [], "off": []}
+    ratios = []
+    for round_number in range(warmup + rounds):
+        order = ("on", "off") if round_number % 2 == 0 else ("off", "on")
+        gc.collect()
+        gc.disable()
+        try:
+            per_op = {
+                arm: _time_round(arm_fns[arm], TRACING_ITERATIONS)
+                for arm in order
+            }
+        finally:
+            gc.enable()
+        if round_number >= warmup:
+            timings["on"].append(per_op["on"])
+            timings["off"].append(per_op["off"])
+            ratios.append(per_op["on"] / per_op["off"])
+    return {"timings": timings, "ratios": ratios}
+
 
 def run_arm(name: str, *, rounds: int, warmup: int) -> dict[str, list[float]]:
     """Time one arm in isolation (the stash-interleaved single-arm mode)."""
@@ -199,20 +276,76 @@ def main() -> None:
         help="untimed warmup rounds before measurement (default 2)",
     )
     parser.add_argument(
-        "--threshold", type=float, default=1.05,
+        "--threshold", type=float, default=None,
         help="fail when median(on)/median(off) exceeds this (default "
-        "1.05, the within-noise bound)",
+        "1.05 for --guard hotpath — the within-noise bound — and "
+        f"{TRACING_THRESHOLD} for --guard tracing, the documented "
+        "bounded-tax ceiling)",
+    )
+    parser.add_argument(
+        "--guard", choices=("hotpath", "tracing"), default="hotpath",
+        help="hotpath: registry-free invoke path with the plane merely "
+        "alive in-process (gated-instrumentation guard); tracing: "
+        "sharded closed-loop round with tracing+export ON vs OFF "
+        "(bounded-overhead guard for the opt-in plane)",
     )
     parser.add_argument(
         "--arm", choices=("on", "off"), default=None,
         help="time a single arm and print its medians as JSON — the "
-        "stash-interleaved mode for comparing against older revisions",
+        "stash-interleaved mode for comparing against older revisions "
+        "(--guard hotpath only)",
     )
     parser.add_argument(
         "--output", default=None,
         help="also write the result document to this JSON file",
     )
     args = parser.parse_args()
+    if args.threshold is None:
+        args.threshold = TRACING_THRESHOLD if args.guard == "tracing" else 1.05
+
+    if args.guard == "tracing":
+        if args.arm is not None:
+            parser.error("--arm only applies to --guard hotpath")
+        result = run_interleaved_tracing(rounds=args.rounds, warmup=args.warmup)
+        median_on = statistics.median(result["timings"]["on"])
+        median_off = statistics.median(result["timings"]["off"])
+        ratio = statistics.median(result["ratios"])
+        document = {
+            "guard": "tracing",
+            "threshold": args.threshold,
+            "rounds": args.rounds,
+            "scenarios": {
+                TRACING_SCENARIO: {
+                    "median_on_us": round(median_on * 1e6, 2),
+                    "median_off_us": round(median_off * 1e6, 2),
+                    "median_round_ratio": round(ratio, 4),
+                    "round_ratios": [
+                        round(value, 4) for value in result["ratios"]
+                    ],
+                },
+            },
+        }
+        verdict = "ok" if ratio <= args.threshold else "FAILED"
+        print(
+            f"  {TRACING_SCENARIO}: on={median_on * 1e6:.2f}us "
+            f"off={median_off * 1e6:.2f}us "
+            f"median round ratio={ratio:.3f}x [{verdict}]"
+        )
+        if args.output:
+            pathlib.Path(args.output).write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+        if ratio > args.threshold:
+            print(
+                f"AB GUARD FAILED: tracing-on overhead {ratio:.3f}x beyond "
+                f"the documented {args.threshold:.2f}x bound"
+            )
+            raise SystemExit(1)
+        print(
+            f"ab guard ok: tracing+export overhead bounded "
+            f"(<= {args.threshold:.2f}x median round ratio)"
+        )
+        return
 
     if args.arm is not None:
         timings = run_arm(args.arm, rounds=args.rounds, warmup=args.warmup)

@@ -378,14 +378,26 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     import random
 
     from repro.kvstore import get, put
+    from repro.obs.export import CallbackSink, JsonlSink, reconcile_stream
     from repro.sharding import ShardRouter, ShardedCluster
 
     if args.shards < 1 or args.clients < 1 or args.ops < 1:
         print("metrics: --shards, --clients and --ops must all be >= 1")
         return 2
+    export = None
+    if args.follow:
+        # push-based telemetry: batch-boundary flushes go to a JSONL file
+        # (reconciled against the final snapshot below) or straight to
+        # stdout as one JSON record per line
+        if args.output:
+            export = JsonlSink(args.output)
+        else:
+            export = CallbackSink(
+                lambda record: print(json.dumps(record, default=str))
+            )
     cluster = ShardedCluster(
         shards=args.shards, clients=args.clients, seed=args.seed,
-        tracing=args.tracing,
+        tracing=args.tracing, export=export,
     )
     router = ShardRouter(cluster)
     rng = random.Random(args.seed)
@@ -414,13 +426,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     snapshot = cluster.metrics()
     if args.tracing:
         snapshot["spans"] = [span.as_dict() for span in cluster.tracer.finished()]
-    rendered = json.dumps(snapshot, indent=2, default=str)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(rendered + "\n")
-        print(f"metrics snapshot written to {args.output}")
-    else:
-        print(rendered)
+    if cluster.exporter is not None:
+        # terminal snapshot + close accounting ride the stream itself
+        cluster.exporter.close(snapshot)
+    if args.follow and args.output:
+        with open(args.output, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        problems = reconcile_stream(records, snapshot)
+        if problems:
+            for problem in problems:
+                print(f"RECONCILE: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"{len(records)} telemetry records streamed to {args.output}; "
+            "stream reconciles exactly with the final snapshot"
+        )
+    elif not args.follow:
+        rendered = json.dumps(snapshot, indent=2, default=str)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"metrics snapshot written to {args.output}")
+        else:
+            print(rendered)
     if not verdict.ok:
         print("STREAMING VERIFIER FLAGGED VIOLATIONS (see verifier.* events)",
               file=sys.stderr)
@@ -539,7 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "them in the snapshot")
     metrics.add_argument("--output", default=None,
                          help="write the JSON snapshot to a file instead "
-                         "of stdout")
+                         "of stdout (with --follow: the JSONL stream "
+                         "destination)")
+    metrics.add_argument("--follow", action="store_true",
+                         help="stream telemetry records (events + counter "
+                         "deltas) at every batch boundary instead of only "
+                         "printing the final snapshot; with --output FILE "
+                         "the JSONL stream is re-read and reconciled "
+                         "against the final snapshot")
     metrics.set_defaults(handler=_cmd_metrics)
     return parser
 

@@ -92,6 +92,7 @@ from __future__ import annotations
 
 import collections
 from bisect import bisect_left, insort
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -319,13 +320,20 @@ class LcmContext:
 
     def __init__(self, functionality: Functionality, *, audit: bool = False,
                  quorum_override: int | None = None,
-                 piggyback_state: bool = False) -> None:
+                 piggyback_state: bool = False,
+                 stage_probe: Callable[[dict], Any] | None = None) -> None:
         self._functionality = functionality
         self._audit = audit
         self._quorum_override = quorum_override
         # Sec. 5.2 optimisation: return the sealed state with the reply
         # instead of an ocall, eliminating one enclave transition.
         self._piggyback_state = piggyback_state
+        # enclave-depth tracing opt-in: when set, each invoke batch
+        # reports its wall-clock stage durations (unseal / execute /
+        # reply_seal / state_seal, plus per-op execute) through this
+        # callable before the ecall returns.  None (the default) keeps
+        # the batch path at a single attribute test.
+        self._stage_probe = stage_probe
         # volatile protected memory M — lost at epoch end
         self._env: EnclaveEnv | None = None
         self._sealing_key: AeadKey | None = None     # kS
@@ -888,9 +896,23 @@ class LcmContext:
                 # a non-canonical (but authentic) encoding somewhere in
                 # the batch: fall through and let the generic decoders
                 # produce their exact diagnostics
+        probe = self._stage_probe
+        timed = probe is not None
+        if timed:
+            wall_start = _perf_counter()
         invokes = unseal_invokes(messages, self._communication_key)
         execute = self._execute_invoke
-        outcomes = [execute(invoke) for invoke in invokes]
+        if timed:
+            t_unseal = _perf_counter()
+            per_op: list[float] = []
+            outcomes = []
+            for invoke in invokes:
+                op_start = _perf_counter()
+                outcomes.append(execute(invoke))
+                per_op.append(_perf_counter() - op_start)
+            t_execute = _perf_counter()
+        else:
+            outcomes = [execute(invoke) for invoke in invokes]
         nonces = self._nonces
         boxes = seal_replies(
             [encoded for encoded, _ in outcomes],
@@ -902,10 +924,57 @@ class LcmContext:
             if row is not None:
                 pending[row[0]] = (row[1], box)  # later reply supersedes
         self._store_row_seals(pending)
+        if timed:
+            t_reply = _perf_counter()
         if self._piggyback_state:
-            return {"replies": boxes, "state": self._sealed_blob()}
+            outcome = {"replies": boxes, "state": self._sealed_blob()}
+            if timed:
+                probe(self._stage_record(
+                    "python-batch", len(messages), per_op,
+                    wall_start, t_unseal, t_execute, t_reply, _perf_counter(),
+                ))
+            return outcome
         self._seal_and_store()
+        if timed:
+            probe(self._stage_record(
+                "python-batch", len(messages), per_op,
+                wall_start, t_unseal, t_execute, t_reply, _perf_counter(),
+            ))
         return boxes
+
+    @staticmethod
+    def _stage_record(
+        path: str,
+        ops: int,
+        per_op: list[float],
+        wall_start: float,
+        t_unseal: float,
+        t_execute: float,
+        t_reply: float,
+        t_store: float,
+    ) -> dict:
+        """One batch's enclave stage timings, with identical fields on
+        the native and python-batch paths (only ``path`` tells them
+        apart) so spans look the same whichever backend sealed them:
+        ``unseal`` covers MAC-scan/decrypt/decode (native pass A also
+        folds the Alg.-2 check in here; the generic loop verifies inside
+        ``execute``), ``execute`` the per-op middle loop (itemised per
+        operation in ``per_op_execute``), ``reply_seal`` reply encoding
+        + sealing and
+        row-slot bookkeeping, ``state_seal`` the dynamic-layer seal and
+        store.  All durations are wall-clock seconds measured inside the
+        ecall."""
+        return {
+            "path": path,
+            "ops": ops,
+            "unseal": t_unseal - wall_start,
+            "execute": t_execute - t_unseal,
+            "reply_seal": t_reply - t_execute,
+            "state_seal": t_store - t_reply,
+            "per_op_execute": per_op,
+            "wall_start": wall_start,
+            "wall_total": t_store - wall_start,
+        }
 
     def _invoke_batch_native(self, backend, messages: list[bytes]):
         """One-C-call batch processing against the packed V columns.
@@ -921,6 +990,10 @@ class LcmContext:
         canonically encoded — pass A guarantees it has not touched any
         state in that case, so the generic path can re-run the batch.
         """
+        probe = self._stage_probe
+        timed = probe is not None
+        if timed:
+            wall_start = _perf_counter()
         rows = self._rows
         kc = self._communication_key
         status, plain, meta, chains_out, sequence, chain_value = (
@@ -940,8 +1013,10 @@ class LcmContext:
                 self._chain,
             )
         )
+        if timed:
+            t_unseal = _perf_counter()
         if status <= -2000:  # non-canonical payload: no state was touched
-            return None
+            return None  # (the generic re-run stamps its own stage record)
         if status <= -1000:
             # unauthentic box: rejected wholesale without halting, with
             # the batch unseal's exact diagnostics (see _process_invoke
@@ -963,13 +1038,18 @@ class LcmContext:
         # snapshot resend results at their in-order positions (a later
         # operation by the same client overwrites the row's result cell)
         results: list[bytes] = []
+        per_op: list[float] = []
         functionality = self._functionality
         audit = self._audit
         dirty_add = self._dirty_rows.add
         for index in range(count):
+            if timed:
+                op_start = _perf_counter()
             base = 10 * index
             if meta[base] == 1:  # retry resend: stored result, no execution
                 results.append(rows.results[meta[base + 1]])
+                if timed:
+                    per_op.append(_perf_counter() - op_start)
                 continue
             client_id = meta[base + 2]
             op_off = meta[base + 4]
@@ -1022,6 +1102,10 @@ class LcmContext:
                         chain=chains_out[32 * index : 32 * index + 32],
                     )
                 )
+            if timed:
+                per_op.append(_perf_counter() - op_start)
+        if timed:
+            t_execute = _perf_counter()
         if count < total:
             # authenticated verification failure at position ``count``:
             # halt with the per-op loop's exact exception (rows before it
@@ -1119,9 +1203,22 @@ class LcmContext:
                         blob_pieces[slot] = blob_piece
                         manifest_pieces[slot] = manifest_piece
                 discard(client_id)
+        if timed:
+            t_reply = _perf_counter()
         if self._piggyback_state:
-            return {"replies": boxes, "state": self._sealed_blob()}
+            outcome = {"replies": boxes, "state": self._sealed_blob()}
+            if timed:
+                probe(self._stage_record(
+                    "native-batch", total, per_op,
+                    wall_start, t_unseal, t_execute, t_reply, _perf_counter(),
+                ))
+            return outcome
         self._seal_and_store()
+        if timed:
+            probe(self._stage_record(
+                "native-batch", total, per_op,
+                wall_start, t_unseal, t_execute, t_reply, _perf_counter(),
+            ))
         return boxes
 
     def _process_invoke(self, message: bytes) -> bytes:
@@ -1706,12 +1803,17 @@ def make_lcm_program_factory(
     audit: bool = False,
     quorum_override: int | None = None,
     piggyback_state: bool = False,
+    stage_probe: Callable[[dict], Any] | None = None,
 ) -> Callable[[], LcmContext]:
     """Build the program factory handed to the TEE platform.
 
     The factory is invoked at every epoch start, so each epoch begins with
     pristine volatile memory — persistent identity lives only in the sealed
-    blob, exactly as the paper requires.
+    blob, exactly as the paper requires.  ``stage_probe`` rides the
+    factory (not the instance) for the same reason: every program object
+    a platform ever creates — initial bootstrap, rebalance target,
+    recovered generation — reports its batch stage timings through the
+    one cluster-owned probe.
     """
 
     def factory() -> LcmContext:
@@ -1720,6 +1822,7 @@ def make_lcm_program_factory(
             audit=audit,
             quorum_override=quorum_override,
             piggyback_state=piggyback_state,
+            stage_probe=stage_probe,
         )
 
     return factory

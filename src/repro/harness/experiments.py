@@ -331,6 +331,7 @@ def run_shard_scaling(
     rebalance: bool = True,
     distribution: str = "uniform",
     seed: int = 0,
+    export=None,
 ) -> ExperimentResult:
     """Beyond the paper: aggregate throughput of N LCM groups side by side.
 
@@ -350,6 +351,13 @@ def run_shard_scaling(
     the per-shard ``load_skew`` series — max over mean per-shard
     operations, 1.0 = perfectly balanced — surfaces the partitioner's
     balance limits as the shard count grows.
+
+    ``export`` (a sink or sink list, see :mod:`repro.obs.export`)
+    attaches a push exporter to the *final* shard count of the sweep —
+    the configuration whose metrics snapshot the result carries — and
+    closes it with that snapshot, so a caller gets one reconcilable
+    telemetry stream per sweep rather than interleaved streams from
+    every configuration.
     """
     from repro.net.latency import LatencyModel
     from repro.sharding import ShardRouter, ShardedCluster
@@ -370,7 +378,7 @@ def run_shard_scaling(
         "streaming_parity": [],
     }
     metrics_snapshot: dict = {}
-    for shard_count in counts:
+    for index, shard_count in enumerate(counts):
         cluster = ShardedCluster(
             shards=shard_count,
             clients=clients,
@@ -378,6 +386,7 @@ def run_shard_scaling(
             latency=LatencyModel(
                 propagation=100e-6, jitter_fraction=0.2, seed=seed
             ),
+            export=export if index == len(counts) - 1 else None,
         )
         router = ShardRouter(cluster)
         # same seed for every shard count: identical request streams, so
@@ -450,6 +459,8 @@ def run_shard_scaling(
                 "experiment.per_shard_share", shard=str(shard_id)
             ).set(round(count / total, 4))
         metrics_snapshot = cluster.metrics()
+        if cluster.exporter is not None:
+            cluster.exporter.close(metrics_snapshot)
     baseline = series["ops_per_second"][0]
     speedups = [
         rate / baseline if baseline else 0.0

@@ -6,28 +6,48 @@ timings, harness series.  This package is the single substrate they all
 write to (and the autoscaler / latency-frontier harness read from):
 
 - :mod:`repro.obs.metrics` — counter/gauge/histogram registry stamped
-  with the simulator's *virtual* clock, plus a bounded event channel for
-  online violation detection;
+  with the simulator's *virtual* clock, plus streaming log-bucket
+  quantile histograms (p50/p95/p99 in bounded memory) and a bounded
+  event channel with explicit eviction accounting;
 - :mod:`repro.obs.tracing` — per-request spans across
   router -> dispatcher -> enclave batch -> reply delivery (off by
-  default; zero allocations when disabled).
+  default; zero allocations when disabled), including enclave-depth
+  stage timings captured inside the ecall via :class:`StageProbe`;
+- :mod:`repro.obs.export` — push-based telemetry export: subscriber
+  sinks (JSONL file, bounded ring, callback) flushed at batch
+  boundaries with explicit drop accounting.
 """
 
+from repro.obs.export import (
+    CallbackSink,
+    JsonlSink,
+    RingSink,
+    TelemetryExporter,
+    reconcile_stream,
+)
 from repro.obs.metrics import (
     Counter,
     Event,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileHistogram,
 )
-from repro.obs.tracing import Span, SpanTracer
+from repro.obs.tracing import Span, SpanTracer, StageProbe
 
 __all__ = [
+    "CallbackSink",
     "Counter",
     "Event",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "QuantileHistogram",
+    "RingSink",
     "Span",
     "SpanTracer",
+    "StageProbe",
+    "TelemetryExporter",
+    "reconcile_stream",
 ]

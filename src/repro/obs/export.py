@@ -1,0 +1,342 @@
+"""Push-based telemetry export: stream the registry out while a run is
+in flight.
+
+The registry alone is pull-only — a consumer sees nothing until it asks
+for a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, and the
+bounded event deque may have evicted history by then.  This module adds
+the push half of the plane: a :class:`TelemetryExporter` subscribes to
+the registry's event channel (so it sees every event *at emit time*,
+before any eviction) and flushes JSON-able records to subscriber sinks
+at the cluster's batch boundaries — the same virtual-time points where
+the streaming verifier harvests evidence.
+
+Record stream contract
+----------------------
+
+- Every record carries a contiguous 0-based ``seq`` and the virtual
+  ``time`` of its flush; a gap in ``seq`` means a consumer lost records,
+  never that the exporter skipped one.
+- ``{"type": "open"}``      — first record; carries the counter baseline
+  the deltas accumulate from (usually all zeros).
+- ``{"type": "events"}``    — the events emitted since the previous
+  flush, in emission order.
+- ``{"type": "counters"}``  — counter *deltas* since the previous flush
+  (changed keys only).
+- ``{"type": "snapshot"}``  — optional terminal record carrying the
+  final registry snapshot (see :meth:`TelemetryExporter.close`).
+- ``{"type": "close"}``     — last record; carries the exporter's own
+  accounting (records emitted, per-sink drops, event-buffer overflow).
+
+Drop semantics are explicit everywhere: a sink that rejects a record (or
+raises) costs one counted drop for that sink and the stream continues —
+export never blocks or aborts the run.  The exporter's between-flush
+event buffer is bounded (``event_buffer``); overflow evicts the oldest
+pending event and counts it in ``events_overflowed``.  A
+:class:`RingSink` that wraps counts each evicted record in its
+``dropped`` tally.  :func:`reconcile_stream` checks the whole ledger:
+``open`` baseline + streamed deltas must equal the final snapshot's
+counters, and streamed events + declared drops must account for the
+snapshot's bounded event channel exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.obs.metrics import Event, MetricsRegistry
+
+
+class JsonlSink:
+    """Append each record as one JSON line to a file.
+
+    The file handle is opened eagerly (truncating) and owned by the
+    sink; :meth:`close` flushes and closes it.  Values that are not
+    JSON-able are stringified rather than dropped."""
+
+    name = "jsonl"
+
+    def __init__(self, path: Any) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.records_written = 0
+        self.closed = False
+
+    def emit(self, record: dict[str, Any]) -> bool:
+        if self.closed:
+            return False
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self.records_written += 1
+        return True
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._handle.flush()
+            self._handle.close()
+
+
+class RingSink:
+    """Keep the newest ``capacity`` records in memory.
+
+    Accepting a record while full evicts the oldest and counts it in
+    :attr:`dropped` — the bounded-memory consumer with explicit loss
+    accounting."""
+
+    name = "ring"
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self.records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, record: dict[str, Any]) -> bool:
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        self.records.append(record)
+        return True
+
+    def close(self) -> None:
+        """Nothing to release; records stay readable."""
+
+
+class CallbackSink:
+    """Hand each record to a callable (tests, live dashboards, stdout).
+
+    Exceptions raised by the callback are caught by the exporter and
+    counted as drops against this sink."""
+
+    name = "callback"
+
+    def __init__(self, fn: Callable[[dict[str, Any]], Any]) -> None:
+        self._fn = fn
+
+    def emit(self, record: dict[str, Any]) -> bool:
+        self._fn(record)
+        return True
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class TelemetryExporter:
+    """Flush registry events and counter deltas to sinks at batch
+    boundaries.
+
+    Construction subscribes to the registry's event channel and records
+    the counter baseline; :meth:`flush` (wired to every shard
+    dispatcher's batch-complete hook) emits what changed since the last
+    flush, and :meth:`close` seals the stream with the optional final
+    snapshot plus the exporter's own accounting.  A snapshot-time
+    collector surfaces that accounting as ``export.*`` gauges, so the
+    exporter observes itself through the same plane it exports.
+    """
+
+    #: bound on events buffered between two flushes; overflow evicts the
+    #: oldest pending event (counted in ``events_overflowed``)
+    EVENT_BUFFER = 8192
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sinks: Iterable[Any],
+        *,
+        clock: Callable[[], float] | None = None,
+        event_buffer: int | None = None,
+    ) -> None:
+        self._registry = registry
+        self._sinks = list(sinks)
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._seq = 0
+        self._pending_events: deque[Event] = deque(
+            maxlen=event_buffer if event_buffer is not None else self.EVENT_BUFFER
+        )
+        self.events_overflowed = 0
+        self.records_emitted = 0
+        #: per-sink count of records the sink rejected or raised on
+        self.sink_rejections: dict[str, int] = {}
+        self.closed = False
+        self._counter_base = registry.counter_values()
+        registry.subscribe_events(self._on_event)
+        registry.register_collector(self._collect)
+        self._emit({"type": "open", "counters": dict(self._counter_base)})
+
+    # -------------------------------------------------------------- intake
+
+    def _on_event(self, event: Event) -> None:
+        if self.closed:
+            return
+        if len(self._pending_events) == self._pending_events.maxlen:
+            self.events_overflowed += 1
+        self._pending_events.append(event)
+
+    # --------------------------------------------------------------- output
+
+    def flush(self) -> None:
+        """Emit everything that changed since the previous flush.
+
+        Events first, then counter deltas — so a ``counters`` record at
+        sequence *n* reflects every event streamed before it.  A flush
+        with nothing to say emits nothing (the stream stays proportional
+        to activity, not to batch count)."""
+        if self.closed:
+            return
+        if self._pending_events:
+            events = [event.as_dict() for event in self._pending_events]
+            self._pending_events.clear()
+            self._emit({"type": "events", "events": events})
+        current = self._registry.counter_values()
+        base = self._counter_base
+        deltas = {
+            key: value - base.get(key, 0)
+            for key, value in current.items()
+            if value != base.get(key, 0)
+        }
+        if deltas:
+            self._counter_base = current
+            self._emit({"type": "counters", "deltas": deltas})
+
+    def close(self, snapshot: dict[str, Any] | None = None) -> None:
+        """Final flush, optional terminal snapshot record, accounting.
+
+        Pass the registry snapshot the run ends on and the stream
+        becomes self-reconciling: :func:`reconcile_stream` can check the
+        streamed ledger against it without any side channel."""
+        if self.closed:
+            return
+        self.flush()
+        if snapshot is not None:
+            self._emit({"type": "snapshot", "snapshot": snapshot})
+        # accounting snapshots *before* the close record is emitted, so
+        # records_emitted counts every record preceding it in the stream
+        self._emit({"type": "close", "accounting": self.accounting()})
+        self.closed = True
+        for sink in self._sinks:
+            try:
+                sink.close()
+            except Exception:
+                pass
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        record["seq"] = self._seq
+        record["time"] = self._clock()
+        self._seq += 1
+        self.records_emitted += 1
+        for sink in self._sinks:
+            try:
+                accepted = sink.emit(record)
+            except Exception:
+                accepted = False
+            if not accepted:
+                name = getattr(sink, "name", type(sink).__name__)
+                self.sink_rejections[name] = self.sink_rejections.get(name, 0) + 1
+
+    # ----------------------------------------------------------- accounting
+
+    def accounting(self) -> dict[str, Any]:
+        """The drop ledger: per-sink losses and buffer overflow."""
+        dropped: dict[str, int] = dict(self.sink_rejections)
+        for sink in self._sinks:
+            evicted = getattr(sink, "dropped", 0)
+            if evicted:
+                name = getattr(sink, "name", type(sink).__name__)
+                dropped[name] = dropped.get(name, 0) + evicted
+        return {
+            "records_emitted": self.records_emitted,
+            "events_overflowed": self.events_overflowed,
+            "dropped": dropped,
+        }
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        accounting = self.accounting()
+        registry.gauge("export.records_emitted").set(accounting["records_emitted"])
+        registry.gauge("export.events_overflowed").set(
+            accounting["events_overflowed"]
+        )
+        registry.gauge("export.records_dropped").set(
+            sum(accounting["dropped"].values())
+        )
+
+
+def make_exporter(
+    export: Any,
+    registry: MetricsRegistry,
+    *,
+    clock: Callable[[], float] | None = None,
+) -> TelemetryExporter | None:
+    """Coerce a cluster's ``export=`` argument into an exporter.
+
+    Accepts ``None`` (export off), a single sink, or an iterable of
+    sinks — anything with ``emit(record) -> bool`` and ``close()``."""
+    if export is None:
+        return None
+    sinks = list(export) if isinstance(export, (list, tuple)) else [export]
+    return TelemetryExporter(registry, sinks, clock=clock)
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize through a JSON round trip so in-memory values compare
+    equal to values parsed back from a JSONL stream (tuples become
+    lists, non-JSON leaves become their string forms)."""
+    return json.loads(json.dumps(value, default=str))
+
+
+def reconcile_stream(
+    records: list[dict[str, Any]], snapshot: dict[str, Any]
+) -> list[str]:
+    """Check an exported record stream against the final snapshot.
+
+    Returns a list of human-readable discrepancies (empty means the
+    stream reconciles exactly):
+
+    - ``seq`` must be gap-free from 0;
+    - ``open`` baseline + streamed counter deltas must equal the
+      snapshot's (non-zero) counters;
+    - streamed events plus the declared drops must account for the
+      snapshot's bounded event channel: with no exporter-side overflow
+      the stream's tail must equal the snapshot's events element-wise,
+      and the stream must carry exactly ``events_dropped`` more.
+    """
+    problems: list[str] = []
+    seqs = [record.get("seq") for record in records]
+    if seqs != list(range(len(records))):
+        problems.append(f"sequence not contiguous from 0: {seqs[:20]}...")
+    counters: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    accounting: dict[str, Any] | None = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "open":
+            counters.update(record.get("counters", {}))
+        elif kind == "counters":
+            for key, delta in record["deltas"].items():
+                counters[key] = counters.get(key, 0) + delta
+        elif kind == "events":
+            events.extend(record["events"])
+        elif kind == "close":
+            accounting = record.get("accounting")
+    replayed = {key: value for key, value in counters.items() if value}
+    final = {
+        key: value for key, value in snapshot.get("counters", {}).items() if value
+    }
+    if replayed != final:
+        missing = {k: v for k, v in final.items() if replayed.get(k) != v}
+        extra = {k: v for k, v in replayed.items() if k not in final}
+        problems.append(
+            f"counter totals diverge: snapshot-side {missing!r}, "
+            f"stream-only {extra!r}"
+        )
+    snap_events = _jsonable(snapshot.get("events", []))
+    dropped = snapshot.get("events_dropped", 0)
+    overflowed = (accounting or {}).get("events_overflowed", 0)
+    if len(events) + overflowed != len(snap_events) + dropped:
+        problems.append(
+            f"event ledger broken: {len(events)} streamed + {overflowed} "
+            f"overflowed != {len(snap_events)} retained + {dropped} dropped"
+        )
+    elif not overflowed and snap_events:
+        tail = _jsonable(events[len(events) - len(snap_events):])
+        if tail != snap_events:
+            problems.append("streamed event tail differs from snapshot events")
+    return problems

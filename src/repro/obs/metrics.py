@@ -25,6 +25,7 @@ registry metrics.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -120,6 +121,93 @@ class Histogram:
         }
 
 
+class QuantileHistogram:
+    """Streaming log-bucket quantile estimator (p50/p95/p99) in bounded
+    memory.
+
+    Positive observations land in geometric buckets ``[GROWTH**i,
+    GROWTH**(i+1))``; a quantile is answered with the upper bound of the
+    bucket its rank falls in, so the relative error is bounded by the
+    bucket width (``GROWTH - 1``, ~8%) regardless of run length.  The
+    index range is already narrow — values spanning eighteen decades fit
+    in ~540 buckets — and :data:`MAX_BUCKETS` caps the dict anyway
+    (further *novel* magnitudes only count into ``overflow``).  Values
+    ``<= 0`` (virtual-time latencies can legitimately be zero when
+    submit and completion share an event) sit in a dedicated floor
+    bucket reported as the distribution minimum.
+    """
+
+    GROWTH = 1.08
+    MAX_BUCKETS = 512
+    _LOG_GROWTH = math.log(1.08)
+
+    __slots__ = ("counts", "count", "total", "min", "max", "floor", "overflow")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.floor = 0      # observations <= 0
+        self.overflow = 0   # novel magnitudes past MAX_BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.floor += 1
+            return
+        index = math.floor(math.log(value) / self._LOG_GROWTH)
+        counts = self.counts
+        if index in counts:
+            counts[index] += 1
+        elif len(counts) < self.MAX_BUCKETS:
+            counts[index] = 1
+        else:
+            self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1), clamped into [min, max]."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = float(self.floor)
+        if rank <= seen:
+            return self.min if self.min is not None else 0.0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if rank <= seen:
+                bound = self.GROWTH ** (index + 1)
+                if self.max is not None and bound > self.max:
+                    bound = self.max
+                if self.min is not None and bound < self.min:
+                    bound = self.min
+                return bound
+        # rank fell into the overflow tail: the best bounded answer
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "overflow": self.overflow,
+        }
+
+
 @dataclass(frozen=True)
 class Event:
     """One observability event (e.g. an online violation detection)."""
@@ -149,8 +237,17 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._quantiles: dict[str, QuantileHistogram] = {}
         self._collectors: list[Callable[[MetricsRegistry], None]] = []
         self.events: deque[Event] = deque(maxlen=self.EVENT_LIMIT)
+        #: evictions from the bounded event deque — the counter is
+        #: materialized on the first eviction so loss shows up in the
+        #: counters map exactly when there is loss to report (snapshots
+        #: always carry the scalar ``events_dropped`` regardless)
+        self._events_dropped: Counter | None = None
+        #: push subscribers see *every* event at emit time, including the
+        #: ones the bounded deque later evicts (the exporter's feed)
+        self._event_subscribers: list[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------- factories
 
@@ -175,13 +272,46 @@ class MetricsRegistry:
             metric = self._histograms[key] = Histogram()
         return metric
 
+    def quantile(self, name: str, **labels: Any) -> QuantileHistogram:
+        """A log-bucket quantile histogram (p50/p95/p99, bounded)."""
+        key = _render_key(name, tuple(sorted(labels.items())))
+        metric = self._quantiles.get(key)
+        if metric is None:
+            metric = self._quantiles[key] = QuantileHistogram()
+        return metric
+
     # -------------------------------------------------------------- channels
 
     def emit(self, name: str, **fields: Any) -> Event:
         """Record one event at the current virtual time."""
         event = Event(time=self._clock(), name=name, fields=fields)
+        if len(self.events) == self.EVENT_LIMIT:
+            # deque(maxlen) evicts the oldest silently; account for it
+            dropped = self._events_dropped
+            if dropped is None:
+                dropped = self._events_dropped = self.counter(
+                    "obs.events_dropped"
+                )
+            dropped.inc()
         self.events.append(event)
+        if self._event_subscribers:
+            for subscriber in self._event_subscribers:
+                subscriber(event)
         return event
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the bounded deque since construction."""
+        return self._events_dropped.value if self._events_dropped else 0
+
+    def subscribe_events(self, subscriber: Callable[[Event], None]) -> None:
+        """Push every future event to ``subscriber`` at emit time.
+
+        Subscribers run synchronously inside :meth:`emit` and see events
+        the bounded deque will later evict — a push exporter attached
+        here loses nothing to the deque bound (only to its own declared
+        buffer limits)."""
+        self._event_subscribers.append(subscriber)
 
     def events_named(self, name: str) -> list[Event]:
         return [event for event in self.events if event.name == name]
@@ -189,6 +319,15 @@ class MetricsRegistry:
     def register_collector(self, collector: Callable[[MetricsRegistry], None]) -> None:
         """Add a read-through collector run at :meth:`snapshot` time."""
         self._collectors.append(collector)
+
+    def counter_values(self) -> dict[str, int]:
+        """Current counter values, *without* running collectors.
+
+        The exporter diffs successive calls to stream counter deltas at
+        batch boundaries; collectors only write gauges/histograms, so
+        skipping them keeps the per-boundary cost proportional to the
+        number of counters."""
+        return {key: counter.value for key, counter in self._counters.items()}
 
     # -------------------------------------------------------------- snapshot
 
@@ -203,5 +342,9 @@ class MetricsRegistry:
             "histograms": {
                 key: h.summary() for key, h in sorted(self._histograms.items())
             },
+            "quantiles": {
+                key: q.summary() for key, q in sorted(self._quantiles.items())
+            },
             "events": [event.as_dict() for event in self.events],
+            "events_dropped": self.events_dropped,
         }

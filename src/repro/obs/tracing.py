@@ -9,7 +9,19 @@ A :class:`Span` follows one client operation through the sharded stack:
   interval);
 - ``completed_at``  — the client machine verified the reply and ran the
   completion callback (the operation is now in the shard history);
-- ``batch_size``    — size of the enclave batch the reply travelled in.
+- ``batch_size``    — size of the enclave batch the reply travelled in;
+- ``stages``        — the enclave-depth stage record for that batch
+  (wall-clock durations measured *inside* the ecall: MAC-scan/decrypt/
+  verify, per-op execute, reply encode+seal, dynamic-layer state seal),
+  joined to the span at the virtual-time delivery event;
+- ``batch_index``   — the span's position inside its batch, derived by
+  the tracer from consecutive deliveries sharing one stage record (so
+  ``stages["per_op_execute"][batch_index]`` is this operation's own
+  execute time).
+
+Spans therefore carry both clocks: the protocol timeline in virtual
+seconds (``submitted_at``/``delivered_at``/``completed_at``) and the
+enclave's wall-clock cost in the attached stage record.
 
 Correlation needs no per-message tags: a client machine keeps at most
 one protocol message in flight per shard and replies come back in invoke
@@ -23,6 +35,7 @@ path allocates nothing.  Finished spans live in a bounded deque.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Callable
 
@@ -40,6 +53,8 @@ class Span:
         "completed_at",
         "batch_size",
         "sequence",
+        "stages",
+        "batch_index",
         "extra",
     )
 
@@ -62,6 +77,11 @@ class Span:
         self.completed_at: float | None = None
         self.batch_size: int | None = None
         self.sequence: int | None = None
+        #: per-batch enclave stage record (shared by every span of the
+        #: batch) and this span's position within it — None until the
+        #: delivery event, and None throughout when no stage probe runs
+        self.stages: dict[str, Any] | None = None
+        self.batch_index: int | None = None
         self.extra = extra
 
     @property
@@ -82,6 +102,8 @@ class Span:
             "batch_size": self.batch_size,
             "sequence": self.sequence,
             "latency": self.latency,
+            "stages": self.stages,
+            "batch_index": self.batch_index,
             **self.extra,
         }
 
@@ -99,6 +121,10 @@ class SpanTracer:
         self.spans: deque[Span] = deque(maxlen=self.SPAN_LIMIT)
         #: open spans per (shard_id, client_id), oldest first
         self._open: dict[tuple[int, int], deque[Span]] = {}
+        #: batch-position cursor: consecutive deliveries handing in the
+        #: *same* stage record object belong to the same batch
+        self._last_stages: dict[str, Any] | None = None
+        self._stage_cursor = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -124,10 +150,32 @@ class SpanTracer:
         self._open.setdefault((shard_id, client_id), deque()).append(span)
         return span
 
-    def delivered(self, shard_id: int, client_id: int, batch_size: int | None = None) -> None:
-        """Stamp the oldest open span of this (shard, client) pair."""
+    def delivered(
+        self,
+        shard_id: int,
+        client_id: int,
+        batch_size: int | None = None,
+        stages: dict[str, Any] | None = None,
+    ) -> None:
+        """Stamp the oldest open span of this (shard, client) pair.
+
+        ``stages`` is the per-batch enclave stage record captured inside
+        the ecall.  The dispatcher delivers a batch's replies back to
+        back in batch order, so the tracer derives each span's position
+        (``batch_index``) by counting consecutive deliveries that share
+        the same record object — even deliveries with no matching open
+        span advance the cursor, keeping later indices aligned.
+        """
         if not self.enabled:
             return
+        index = None
+        if stages is not None:
+            if stages is self._last_stages:
+                self._stage_cursor += 1
+            else:
+                self._last_stages = stages
+                self._stage_cursor = 0
+            index = self._stage_cursor
         open_spans = self._open.get((shard_id, client_id))
         if not open_spans:
             return
@@ -135,6 +183,8 @@ class SpanTracer:
             if span.delivered_at is None:
                 span.delivered_at = self._clock()
                 span.batch_size = batch_size
+                span.stages = stages
+                span.batch_index = index
                 return
 
     def finish(self, span: Span | None, *, sequence: int | None = None) -> None:
@@ -167,3 +217,34 @@ class SpanTracer:
         if kind is None:
             return list(self.spans)
         return [span for span in self.spans if span.kind == kind]
+
+
+class StageProbe:
+    """Thread-local landing pad for per-batch enclave stage records.
+
+    The trusted context calls the probe from *inside* the ecall — on the
+    dispatcher's thread under the serial execution backend, on a worker
+    thread under the threaded one.  The cluster's ``send_batch`` wrapper
+    runs on that same thread immediately after the ecall returns, takes
+    the record and parks it on the shard; the dispatcher's delivery
+    event (which joins the execution future first, establishing the
+    happens-before edge) then hands it to the tracer.  Stage timings
+    thus re-enter the virtual-time order at the batch boundary exactly
+    like the replies they describe, and serial/threaded runs produce
+    records with identical fields — only the wall-clock durations
+    differ.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def __call__(self, record: dict[str, Any]) -> None:
+        self._local.record = record
+
+    def take(self) -> dict[str, Any] | None:
+        """Return and clear the calling thread's parked record."""
+        record = getattr(self._local, "record", None)
+        self._local.record = None
+        return record

@@ -144,12 +144,19 @@ class GroupDispatcher:
         #: the delivery loop) — lets the tracer stamp spans with the
         #: batch they travelled in without tagging each reply
         self.delivering_batch_size: int | None = None
+        #: high-watermark of the request queue depth — the control-plane
+        #: gauge source (one compare per enqueue; the registry is only
+        #: consulted at snapshot time)
+        self.queue_depth_peak = 0
 
     # ---------------------------------------------------------------- intake
 
     def enqueue(self, client_id: int, message: bytes) -> None:
         """Queue one INVOKE and cut a batch if the enclave is idle."""
         self.queue.add((client_id, message))
+        depth = self.queue.pending_count
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
         self.maybe_dispatch()
 
     def halt(self) -> None:

@@ -52,7 +52,13 @@ class SerialBackend:
     name = "serial"
     parallel = False
 
+    def __init__(self) -> None:
+        #: batches handed to this backend (plain int — the cluster's
+        #: snapshot-time collector mirrors it into a registry gauge)
+        self.batches_submitted = 0
+
     def submit(self, work: Callable[[], list]) -> Callable[[], list]:
+        self.batches_submitted += 1
         value = work()
         return lambda: value
 
@@ -80,8 +86,13 @@ class ThreadedBackend:
             max_workers=workers or min(32, os.cpu_count() or 1),
             thread_name_prefix="repro-exec",
         )
+        #: batches handed to the pool (plain int; the dispatcher keeps
+        #: one batch in flight per shard, so this only races snapshot
+        #: reads, never itself)
+        self.batches_submitted = 0
 
     def submit(self, work: Callable[[], list]) -> Callable[[], list]:
+        self.batches_submitted += 1
         return self._pool.submit(work).result
 
     def shutdown(self) -> None:

@@ -53,7 +53,8 @@ from repro.kvstore import KvsFunctionality
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
 from repro.net.simulation import ENCLAVE_SERVICE_INTERVAL, Simulator
-from repro.obs import MetricsRegistry, SpanTracer
+from repro.obs import MetricsRegistry, SpanTracer, StageProbe
+from repro.obs.export import make_exporter
 from repro.server import MaliciousServer, ServerHost
 from repro.server.dispatch import GroupDispatcher
 from repro.server.execution import make_execution_backend
@@ -164,6 +165,10 @@ class _Shard:
         self.down: dict[int, Channel] = {}
         self.dispatcher: GroupDispatcher | None = None
         self.rebalance_requested = False
+        #: stage record of the most recent batch ecall (tracing only) —
+        #: written by the cluster's send_batch wrapper on the executing
+        #: thread, read at the delivery event after the future is joined
+        self.last_batch_stages: dict | None = None
         self.violation: SecurityViolation | None = None
         self.crashed = False
         self.crash_logs: list[list[AuditRecord]] | None = None
@@ -246,7 +251,20 @@ class ShardedCluster:
     tracing:
         Record per-request :class:`~repro.obs.tracing.Span` objects
         (submit → delivery → completion) in :attr:`tracer`.  Off by
-        default; spans cost one dict hit per reply when enabled.
+        default; spans cost one dict hit per reply when enabled.  With
+        tracing on, every shard's invoke batches additionally report
+        enclave-depth stage timings (measured inside the ecall via a
+        :class:`~repro.obs.tracing.StageProbe`) that the tracer joins to
+        each span at its delivery event.
+    export:
+        Push-based telemetry: a sink (or list of sinks — see
+        :mod:`repro.obs.export`) that receives event/counter-delta
+        records flushed at every shard's batch boundaries.  ``None``
+        (the default) builds no exporter and adds nothing to any path.
+        The built :class:`~repro.obs.export.TelemetryExporter` is
+        available as :attr:`exporter`; callers should ``close()`` it —
+        ideally passing the final :meth:`metrics` snapshot — when the
+        run ends.
     """
 
     #: Virtual enclave service time per request in a batch (the shared
@@ -270,6 +288,7 @@ class ShardedCluster:
         execution: str | None = None,
         streaming: bool | None = None,
         tracing: bool = False,
+        export: Any = None,
     ) -> None:
         if shards < 1:
             raise ConfigurationError("need at least one shard")
@@ -289,7 +308,15 @@ class ShardedCluster:
         self._latency = latency or LatencyModel(
             propagation=200e-6, jitter_fraction=0.3, seed=seed
         )
-        self._factory = make_lcm_program_factory(functionality, audit=audit)
+        #: enclave-depth stage probe (tracing opt-in): the factory-held
+        #: probe reaches every program object a platform ever creates —
+        #: initial bootstrap, rebalance target, recovered generation —
+        #: and its thread-local record survives the threaded backend's
+        #: worker hand-off (see :class:`~repro.obs.tracing.StageProbe`)
+        self._stage_probe = StageProbe() if tracing else None
+        self._factory = make_lcm_program_factory(
+            functionality, audit=audit, stage_probe=self._stage_probe
+        )
         self._client_ids = list(range(1, clients + 1))
         #: one execution backend shared by every shard dispatcher — under
         #: "threaded" the pool is where cross-shard wall-clock overlap
@@ -317,6 +344,12 @@ class ShardedCluster:
             self,
             registry=self.metrics_registry,
             enabled=audit if streaming is None else (streaming and audit),
+        )
+        #: push-based telemetry exporter (None when ``export`` is unset):
+        #: flushed at every shard's batch boundaries, right after the
+        #: streaming verifier's harvest at the same boundary
+        self.exporter = make_exporter(
+            export, self.metrics_registry, clock=lambda: self.sim.now
         )
         self.metrics_registry.register_collector(self._collect_stats)
         self._shards: dict[int, _Shard] = {
@@ -372,6 +405,7 @@ class ShardedCluster:
                     shard.shard_id,
                     client_id,
                     shard.dispatcher.delivering_batch_size,
+                    stages=shard.last_batch_stages,
                 )
                 shard.down[client_id].send(reply)
         else:
@@ -388,11 +422,7 @@ class ShardedCluster:
                 shard, violation
             ),
             on_idle=lambda shard=shard: self._at_batch_boundary(shard),
-            on_batch_complete=(
-                (lambda size, shard=shard: self.observer.on_batch_boundary(shard))
-                if self.observer.enabled
-                else None
-            ),
+            on_batch_complete=self._make_batch_complete(shard),
             boundary_gate=lambda shard=shard: self._txn_boundary_clear(shard),
             execution=self.execution,
         )
@@ -413,6 +443,25 @@ class ShardedCluster:
             shard.clients[client_id] = client
         self.observer.on_provisioned(shard)
         return shard
+
+    def _make_batch_complete(self, shard: _Shard):
+        """The dispatcher's batch-complete hook, composed from whatever
+        boundary consumers are on: the streaming verifier harvests this
+        batch's evidence first (so exported verifier events describe the
+        batch that just delivered), then the exporter flushes.  ``None``
+        when both are off — the dispatcher skips the call entirely."""
+        observer_on = self.observer.enabled
+        exporter = self.exporter
+        if observer_on and exporter is not None:
+            def on_batch_complete(size: int, shard=shard) -> None:
+                self.observer.on_batch_boundary(shard)
+                exporter.flush()
+            return on_batch_complete
+        if observer_on:
+            return lambda size, shard=shard: self.observer.on_batch_boundary(shard)
+        if exporter is not None:
+            return lambda size: exporter.flush()
+        return None
 
     # -------------------------------------------------------------- serving
 
@@ -498,12 +547,23 @@ class ShardedCluster:
             # deferred — abandon the move (the violation/fork evidence
             # is already attributed to the shard)
 
-    @staticmethod
-    def _send_batch(shard: _Shard, batch: list[tuple[int, bytes]]) -> list[bytes]:
+    def _send_batch(self, shard: _Shard, batch: list[tuple[int, bytes]]) -> list[bytes]:
         # send_invoke_batch is part of the required host transport
         # surface (MaliciousServer fans its batches out per routed
         # instance internally)
-        return shard.host.send_invoke_batch(batch)
+        replies = shard.host.send_invoke_batch(batch)
+        probe = self._stage_probe
+        if probe is not None:
+            # same thread as the ecall (a worker thread under the
+            # threaded backend): take the thread-local stage record and
+            # park it on the shard.  The delivery event joins the
+            # execution future before reading it, so the hand-off is
+            # ordered even across threads.  A MaliciousServer fans one
+            # batch into several per-instance ecalls; the last
+            # sub-batch's record wins, which is fine — a forked shard's
+            # spans are evidence of the attack, not a timing source.
+            shard.last_batch_stages = probe.take()
+        return replies
 
     # ----------------------------------------------------------- rebalancing
 
@@ -913,9 +973,32 @@ class ShardedCluster:
         for shard_id, count in sorted(stats.per_shard_operations.items()):
             registry.gauge("shard.operations", shard=str(shard_id)).set(count)
         for shard_id in self.shard_ids:
-            self._shards[shard_id].dispatcher.histogram.export_to(
+            dispatcher = self._shards[shard_id].dispatcher
+            dispatcher.histogram.export_to(
                 registry.histogram("shard.batch_size", shard=str(shard_id))
             )
+            registry.gauge(
+                "dispatch.queue_depth", shard=str(shard_id)
+            ).set(dispatcher.pending)
+            registry.gauge(
+                "dispatch.queue_depth_peak", shard=str(shard_id)
+            ).set(dispatcher.queue_depth_peak)
+        registry.gauge("execution.batches_submitted").set(
+            self.execution.batches_submitted
+        )
+        # per-shard load skew: each live shard's share of completed
+        # operations relative to a perfectly even split (1.0 = fair),
+        # and the cluster-level max/mean the autoscaler watches
+        live = list(self.shard_ids)
+        counts = [stats.per_shard_operations.get(sid, 0) for sid in live]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        for shard_id, count in zip(live, counts):
+            registry.gauge("shard.load_share", shard=str(shard_id)).set(
+                count / mean if mean else 0.0
+            )
+        registry.gauge("cluster.load_skew").set(
+            max(counts) / mean if mean else 0.0
+        )
 
     def metrics(self) -> dict:
         """One JSON-ready snapshot of the whole observability plane:

@@ -207,6 +207,10 @@ class TxnRecord:
     #: single-key operations rejected with TXN_LOCKED naming this txn as
     #: the holder — resubmitted (FIFO) when the decision completes
     lock_waiters: list[tuple] = field(default_factory=list)
+    #: virtual submit time (txn-lifecycle latency source); ``None`` on
+    #: records reconstructed by recovery, whose lifetime spans a crash
+    #: and would poison the distribution
+    submitted_at: float | None = None
 
     @property
     def committed(self) -> bool:
@@ -336,6 +340,13 @@ class ShardRouter:
             "router.txn_group_entries"
         )
         self._gauge_txn_retained = registry.gauge("router.txn_log_retained")
+        #: per-(shard, op-kind) virtual-time latency quantile histograms
+        #: (submit -> completion callback); the dict caches the metric
+        #: objects so the completion path pays one lookup, not a key
+        #: render.  Always on: the router is not the ab-guarded enclave
+        #: hot path, and the frontier harness needs the percentiles.
+        self._latency_quantiles: dict[tuple[int, str], Any] = {}
+        registry.register_collector(self._collect_control_gauges)
         #: live (undecided or unacked) transactions, by txn id; finished
         #: records are pruned (``prune_txn_log=False`` keeps them)
         self.txn_log: dict[str, TxnRecord] = {}
@@ -528,11 +539,13 @@ class ShardRouter:
         history = cluster.shard_history(shard_id)
         token = history.invoke(client_id, operation)
         self._ctr_submitted.inc()
+        op_kind = str(operation[0]) if operation else "?"
+        submitted_at = cluster.sim.now
         span = cluster.tracer.start(
             "operation",
             client_id=client_id,
             shard_id=shard_id,
-            operation=str(operation[0]) if operation else None,
+            operation=op_kind if operation else None,
         ) if cluster.tracer.enabled else None
         submission = self._next_submission
         self._next_submission = submission + 1
@@ -545,6 +558,9 @@ class ShardRouter:
             history.respond(token, result.result, sequence=result.sequence)
             cluster.stats.operations_completed += 1
             cluster.stats.per_shard_operations[shard_id] += 1
+            self._observe_latency(
+                shard_id, op_kind, cluster.sim.now - submitted_at
+            )
             if span is not None:
                 cluster.tracer.finish(span, sequence=result.sequence)
             if (
@@ -598,6 +614,42 @@ class ShardRouter:
 
         cluster.client_machine(shard_id, client_id).invoke(operation, complete)
         return shard_id
+
+    # -------------------------------------------------- latency and gauges
+
+    def _observe_latency(
+        self, shard_id: int, op_kind: str, latency: float
+    ) -> None:
+        """Feed one completed operation's submit->completion virtual-time
+        latency into its (shard, op-kind) quantile histogram."""
+        key = (shard_id, op_kind)
+        quantile = self._latency_quantiles.get(key)
+        if quantile is None:
+            quantile = self._latency_quantiles[key] = (
+                self.cluster.metrics_registry.quantile(
+                    "router.op_latency", op=op_kind, shard=str(shard_id)
+                )
+            )
+        quantile.observe(latency)
+
+    def _collect_control_gauges(self, registry) -> None:
+        """Snapshot-time control-plane gauges (the autoscaler's inputs):
+        parked work, transaction waiter-queue depth, in-flight
+        submissions.  Read-through — the submit/complete hot paths never
+        touch the registry for these."""
+        parked_total = 0
+        for shard_id in set(self.cluster.shard_ids) | set(self._parked):
+            parked = len(self._parked.get(shard_id, ()))
+            parked_total += parked
+            registry.gauge(
+                "router.parked_operations", shard=str(shard_id)
+            ).set(parked)
+        registry.gauge("router.parked_operations_total").set(parked_total)
+        registry.gauge("router.parked_transactions").set(len(self._parked_txns))
+        registry.gauge("router.txn_waiter_depth").set(
+            sum(len(record.lock_waiters) for record in self.txn_log.values())
+        )
+        registry.gauge("router.inflight_operations").set(len(self._inflight))
 
     # --------------------------------------------------------------- replay
 
@@ -743,6 +795,7 @@ class ShardRouter:
             client_id=client_id,
             operations=[tuple(operation) for operation in operations],
             on_complete=on_complete,
+            submitted_at=self.cluster.sim.now,
         )
         self._txn_counter += 1
         if not record.operations:
@@ -1044,6 +1097,12 @@ class ShardRouter:
                 participants=tuple(sorted(record.participants)),
                 complete=True,
             )
+        if record.submitted_at is not None and record.decision is not None:
+            # submit -> decision-ack lifecycle latency, labelled by the
+            # decision so commit and abort tails stay distinguishable
+            self.cluster.metrics_registry.quantile(
+                "router.txn_latency", decision=record.decision
+            ).observe(self.cluster.sim.now - record.submitted_at)
         results: list | None = None
         if record.committed:
             self._ctr_txn_committed.inc()

@@ -240,3 +240,106 @@ class TestClusterSurface:
             if key.startswith("controlplane.plan_duration")
         ]
         assert durations
+
+
+class TestEventDropAccounting:
+    """Satellite: bounded-deque evictions must be counted, not silent."""
+
+    def test_no_drops_no_counter_noise(self):
+        registry = MetricsRegistry()
+        registry.emit("e")
+        snapshot = registry.snapshot()
+        assert snapshot["events_dropped"] == 0
+        # a zero-loss run's counters map stays exactly what the caller made
+        assert "obs.events_dropped" not in snapshot["counters"]
+
+    def test_evictions_counted_and_surfaced(self):
+        registry = MetricsRegistry()
+        for index in range(MetricsRegistry.EVENT_LIMIT + 7):
+            registry.emit("e", index=index)
+        assert registry.events_dropped == 7
+        snapshot = registry.snapshot()
+        assert snapshot["events_dropped"] == 7
+        assert snapshot["counters"]["obs.events_dropped"] == 7
+        # the deque holds exactly the newest EVENT_LIMIT events
+        assert snapshot["events"][0]["index"] == 7
+
+    def test_subscribers_see_events_the_deque_evicts(self):
+        registry = MetricsRegistry()
+        seen = []
+        registry.subscribe_events(lambda event: seen.append(event))
+        total = MetricsRegistry.EVENT_LIMIT + 3
+        for index in range(total):
+            registry.emit("e", index=index)
+        assert len(seen) == total
+        assert seen[0].fields["index"] == 0  # pre-eviction event delivered
+
+
+class TestQuantileHistogram:
+    def test_quantiles_within_bucket_error(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        quantiles = QuantileHistogram()
+        for value in range(1, 1001):
+            quantiles.observe(float(value))
+        summary = quantiles.summary()
+        assert summary["count"] == 1000
+        # log-bucket answers carry <= GROWTH-1 (~8%) relative error
+        for q, expected in ((0.50, 500), (0.95, 950), (0.99, 990)):
+            answer = quantiles.quantile(q)
+            assert expected * 0.9 <= answer <= expected * 1.1, (q, answer)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 1000.0
+
+    def test_quantile_clamped_into_min_max(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        quantiles = QuantileHistogram()
+        quantiles.observe(3.0)
+        assert quantiles.quantile(0.5) == 3.0
+        assert quantiles.quantile(0.99) == 3.0
+
+    def test_floor_bucket_for_nonpositive_values(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        quantiles = QuantileHistogram()
+        # virtual-time latencies can legitimately be zero
+        for _ in range(9):
+            quantiles.observe(0.0)
+        quantiles.observe(5.0)
+        assert quantiles.floor == 9
+        assert quantiles.quantile(0.5) == 0.0
+        assert quantiles.quantile(0.99) == 5.0
+
+    def test_bounded_memory_under_adversarial_spread(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        quantiles = QuantileHistogram()
+        # magnitudes far beyond MAX_BUCKETS distinct log-buckets
+        for exponent in range(QuantileHistogram.MAX_BUCKETS + 50):
+            quantiles.observe(1.08 ** exponent * 1.001)
+        assert len(quantiles.counts) == QuantileHistogram.MAX_BUCKETS
+        assert quantiles.overflow == 50
+        assert quantiles.count == QuantileHistogram.MAX_BUCKETS + 50
+
+    def test_empty_quantile_is_zero(self):
+        from repro.obs.metrics import QuantileHistogram
+
+        assert QuantileHistogram().quantile(0.5) == 0.0
+
+
+class TestRegistryQuantiles:
+    def test_factory_identity_stable(self):
+        registry = MetricsRegistry()
+        quantile = registry.quantile("lat", op="GET")
+        quantile.observe(1.0)
+        assert registry.quantile("lat", op="GET") is quantile
+
+    def test_snapshot_carries_quantile_summaries(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 4.0):
+            registry.quantile("lat", op="PUT").observe(value)
+        snapshot = registry.snapshot()
+        summary = snapshot["quantiles"]["lat{op=PUT}"]
+        assert summary["count"] == 3
+        assert set(summary) >= {"p50", "p95", "p99", "min", "max", "mean"}
