@@ -3,9 +3,17 @@
 - :mod:`repro.harness.experiments` — runs each experiment and returns
   structured series;
 - :mod:`repro.harness.report` — renders the series as the paper-style
-  tables and compares the measured ratios against the published bands.
+  tables and compares the measured ratios against the published bands;
+- :mod:`repro.harness.frontier` — the open-loop latency–throughput
+  frontier sweep (offered rate × shard count, saturation detection).
 """
 
+from repro.harness.frontier import (
+    FrontierCell,
+    FrontierResult,
+    run_cell,
+    run_frontier,
+)
 from repro.harness.experiments import (
     run_fig4_object_size,
     run_fig5_clients_async,
@@ -18,6 +26,10 @@ from repro.harness.experiments import (
 from repro.harness.report import render_series_table, summarize_bands
 
 __all__ = [
+    "FrontierCell",
+    "FrontierResult",
+    "run_cell",
+    "run_frontier",
     "run_fig4_object_size",
     "run_fig5_clients_async",
     "run_fig6_clients_sync",

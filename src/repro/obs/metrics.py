@@ -195,6 +195,28 @@ class QuantileHistogram:
         # rank fell into the overflow tail: the best bounded answer
         return self.max if self.max is not None else 0.0
 
+    def merge_from(self, other: "QuantileHistogram") -> None:
+        """Fold another histogram into this one (identical bucketing, so
+        the merge is exact: bucket counts add).  The frontier harness
+        aggregates per-(shard, op) latency histograms into one cluster
+        distribution this way before asking for percentiles."""
+        self.count += other.count
+        self.total += other.total
+        self.floor += other.floor
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        counts = self.counts
+        for index, n in other.counts.items():
+            if index in counts:
+                counts[index] += n
+            elif len(counts) < self.MAX_BUCKETS:
+                counts[index] = n
+            else:
+                self.overflow += n
+        self.overflow += other.overflow
+
     def summary(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -279,6 +301,17 @@ class MetricsRegistry:
         if metric is None:
             metric = self._quantiles[key] = QuantileHistogram()
         return metric
+
+    def quantiles_named(self, name: str) -> list[QuantileHistogram]:
+        """Every registered quantile histogram under ``name``, across all
+        label sets — the frontier harness merges these (exact: identical
+        bucketing) into one cluster-wide latency distribution."""
+        prefix = name + "{"
+        return [
+            metric
+            for key, metric in self._quantiles.items()
+            if key == name or key.startswith(prefix)
+        ]
 
     # -------------------------------------------------------------- channels
 

@@ -8,7 +8,7 @@ disabled, and the cluster surfaces all of it through ``metrics()``.
 
 import pytest
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, QuantileHistogram
 from repro.obs.tracing import SpanTracer
 
 
@@ -71,6 +71,59 @@ class TestHistograms:
         assert histogram.count == Histogram.MAX_BUCKETS + 10
         # overflow observations still update the summary stats
         assert histogram.max == Histogram.MAX_BUCKETS + 9
+
+
+class TestQuantileMerge:
+    def test_merge_is_exact_for_identical_bucketing(self):
+        # merging per-label histograms must answer the same quantiles as
+        # one histogram fed the union of the observations — that is what
+        # the frontier harness relies on for cluster-wide percentiles
+        left, right, union = (
+            QuantileHistogram(),
+            QuantileHistogram(),
+            QuantileHistogram(),
+        )
+        for value in (0.0001, 0.002, 0.03, 0.03):
+            left.observe(value)
+            union.observe(value)
+        for value in (0.0005, 0.09, 1.7):
+            right.observe(value)
+            union.observe(value)
+        merged = QuantileHistogram()
+        merged.merge_from(left)
+        merged.merge_from(right)
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == union.quantile(q)
+        assert merged.count == union.count
+        assert merged.mean == pytest.approx(union.mean)
+        assert merged.min == union.min
+        assert merged.max == union.max
+
+    def test_merge_carries_floor_and_overflow(self):
+        source = QuantileHistogram()
+        source.observe(0.0)
+        source.observe(-1.0)
+        source.overflow = 3
+        target = QuantileHistogram()
+        target.merge_from(source)
+        assert target.floor == 2
+        assert target.overflow == 3
+
+    def test_merging_an_empty_histogram_is_a_noop(self):
+        target = QuantileHistogram()
+        target.observe(5.0)
+        before = target.summary()
+        target.merge_from(QuantileHistogram())
+        assert target.summary() == before
+
+    def test_quantiles_named_matches_name_and_labelled_variants(self):
+        registry = MetricsRegistry()
+        registry.quantile("router.op_latency", shard=0).observe(1.0)
+        registry.quantile("router.op_latency", shard=1).observe(2.0)
+        registry.quantile("router.op_latency_other").observe(9.0)
+        matched = registry.quantiles_named("router.op_latency")
+        assert len(matched) == 2
+        assert sorted(h.max for h in matched) == [1.0, 2.0]
 
 
 class TestEvents:

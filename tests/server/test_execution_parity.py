@@ -1,11 +1,15 @@
 """Cross-backend parity: the execution seam must never change the bytes.
 
-The ISSUE's determinism contract: the same trace through the ``serial``
-and ``threaded`` execution backends (:mod:`repro.server.execution`), and
-through the ``c`` and ``python-batch`` crypto fastpaths, must produce
-identical wire bytes, hash chains, audit logs and merged verdicts — a
-fork attack included, which must be detected identically (same shard,
-same violation, same evidence) under the threaded backend.
+The ISSUE's determinism contract: the same trace through the ``serial``,
+``threaded``, ``pipelined`` and ``process`` execution backends
+(:mod:`repro.server.execution`), and through the ``c`` and
+``python-batch`` crypto fastpaths, must produce identical wire bytes,
+hash chains, audit logs, sealed storage and merged verdicts — a fork
+attack included, which must be detected identically (same shard, same
+violation, same evidence) under every backend, and the combined
+reshard/crash/transaction scenario included, where the pipelined
+backend's seal-durability gate must hold under handoff and crash
+capture.
 """
 
 import hashlib
@@ -20,13 +24,15 @@ from repro.kvstore import get, put
 from repro.net.simulation import Simulator
 from repro.server.dispatch import GroupDispatcher
 from repro.server.execution import (
+    PipelinedBackend,
+    ProcessBackend,
     SerialBackend,
     ThreadedBackend,
     make_execution_backend,
 )
 from repro.sharding import ShardRouter, ShardedCluster
 
-BACKENDS = ("serial", "threaded")
+BACKENDS = ("serial", "threaded", "pipelined", "process")
 
 
 class _pinned_entropy:
@@ -117,9 +123,12 @@ class _pinned_entropy:
 
 
 def _record_wire(cluster):
-    """Wrap every shard host's batch entrypoint so the exact request and
+    """Wrap every shard host's batch entrypoints so the exact request and
     reply bytes are captured per shard (one batch in flight per shard, so
-    each shard's log order is deterministic even under the pool)."""
+    each shard's log order is deterministic even under the pool).  The
+    pipelined backend routes honest-shard traffic through the deferred
+    entrypoint, so both surfaces feed the same per-shard log — a backend
+    switching entrypoints must not change what crosses them."""
     wire = {shard_id: [] for shard_id in cluster.shard_ids}
     for shard_id in cluster.shard_ids:
         host = cluster.shard_host(shard_id)
@@ -136,7 +145,39 @@ def _record_wire(cluster):
             return replies
 
         host.send_invoke_batch = recording
+        deferred = getattr(host, "send_invoke_batch_deferred", None)
+        if deferred is not None:
+
+            def recording_deferred(batch, _original=deferred, _log=wire[shard_id]):
+                replies, seal = _original(batch)
+                _log.append(
+                    (
+                        tuple(message for _, message in batch),
+                        tuple(replies),
+                    )
+                )
+                return replies, seal
+
+            host.send_invoke_batch_deferred = recording_deferred
     return wire
+
+
+def _stored_digests(cluster, shard_ids=None):
+    """Digest of every sealed blob ever written, per shard — the deferred
+    seal stage must leave stable storage byte-identical, version by
+    version, to the synchronous path."""
+    digests = {}
+    if shard_ids is None:
+        shard_ids = cluster.shard_ids
+    for shard_id in sorted(shard_ids):
+        storage = cluster.shard_host(shard_id).storage
+        digest = hashlib.sha256()
+        for index in range(storage.version_count()):
+            blob = storage.load_version(index)
+            digest.update(len(blob).to_bytes(8, "big"))
+            digest.update(blob)
+        digests[shard_id] = digest.hexdigest()
+    return digests
 
 
 def _audit_digests(cluster, shard_ids=None):
@@ -186,6 +227,7 @@ def _honest_trace(execution):
     fingerprint = {
         "wire": wire,
         "audit": _audit_digests(cluster),
+        "stored": _stored_digests(cluster),
         "chains": _client_chains(cluster),
         "operations": cluster.stats.operations_completed,
         "verdict_ok": verdict.ok,
@@ -242,27 +284,113 @@ def _forked_trace(execution):
     return fingerprint
 
 
-class TestSerialThreadedParity:
+def _scenario_fingerprint(execution):
+    """The combined control-plane scenario under a chosen backend:
+    cross-shard transactions, an elastic reshard while traffic is in
+    flight, and a crash/recover cycle — the seal-durability gate must
+    hold under both the handoff export and the crash capture."""
+    with _pinned_entropy():
+        return _scenario_trace(execution)
+
+
+def _scenario_trace(execution):
+    cluster = ShardedCluster(
+        shards=3, clients=3, seed=41, execution=execution
+    )
+    initial_shards = tuple(cluster.shard_ids)
+    wire = _record_wire(cluster)
+    router = ShardRouter(cluster, failover=True)
+    keys = [f"sc-{i}" for i in range(24)]
+    for index, key in enumerate(keys):
+        router.submit(1 + index % 3, put(key, f"v{index}"))
+    cluster.run()
+    # one cross-shard transaction over two distinct owners
+    grouped = {}
+    for key in keys:
+        grouped.setdefault(cluster.ring.owner(key), []).append(key)
+    owners = sorted(grouped)[:2]
+    txn_done = {}
+    router.submit_txn(
+        2,
+        [put(grouped[owners[0]][0], "T0"), put(grouped[owners[1]][0], "T1")],
+        lambda r: txn_done.setdefault("result", r),
+    )
+    cluster.run()
+    # elastic reshard while a stream of writes is in flight
+    streams = {
+        client_id: [put(f"el-{client_id}-{i}", "v") for i in range(10)]
+        for client_id in cluster.client_ids
+    }
+
+    def start(client_id):
+        def pump(_result=None):
+            if streams[client_id]:
+                router.submit(client_id, streams[client_id].pop(0), pump)
+
+        pump()
+
+    for client_id in cluster.client_ids:
+        start(client_id)
+    cluster.add_shard(at=5e-4)
+    cluster.run()
+    # crash/recover: parked work replays exactly once on the new generation
+    cluster.crash_shard(0)
+    parked_key = next(k for k in keys if cluster.ring.owner(k) == 0)
+    router.submit(1, put(parked_key, "parked"))
+    cluster.recover_shard(0)
+    cluster.run()
+    for index, key in enumerate(keys):
+        router.submit(1 + index % 3, get(key))
+    cluster.run()
+    verdict = router.verdict()
+    fingerprint = {
+        # wire recording only covers the initial shards (the elastic one
+        # is provisioned mid-run); its traffic is pinned via audit/storage
+        "wire": wire,
+        "audit": _audit_digests(cluster),
+        "stored": _stored_digests(cluster),
+        "chains": _client_chains(cluster),
+        "operations": cluster.stats.operations_completed,
+        "committed": txn_done["result"].committed,
+        "verdict_ok": verdict.ok,
+        "forked": verdict.forked_shards,
+        "shards": sorted(cluster.shard_ids),
+        "initial": initial_shards,
+    }
+    cluster.execution.shutdown()
+    return fingerprint
+
+
+class TestCrossBackendParity:
     def test_honest_trace_byte_identical(self):
         serial = _honest_fingerprint("serial")
-        threaded = _honest_fingerprint("threaded")
-        assert serial["wire"] == threaded["wire"]
-        assert serial["audit"] == threaded["audit"]
-        assert serial["chains"] == threaded["chains"]
-        assert serial["operations"] == threaded["operations"]
-        assert serial["verdict_ok"] and threaded["verdict_ok"]
-        assert serial["forked"] == threaded["forked"] == []
+        for backend in BACKENDS[1:]:
+            other = _honest_fingerprint(backend)
+            assert serial["wire"] == other["wire"], backend
+            assert serial["audit"] == other["audit"], backend
+            assert serial["stored"] == other["stored"], backend
+            assert serial["chains"] == other["chains"], backend
+            assert serial["operations"] == other["operations"], backend
+            assert serial["verdict_ok"] and other["verdict_ok"], backend
+            assert serial["forked"] == other["forked"] == [], backend
 
-    def test_fork_detected_identically_under_threaded_backend(self):
+    def test_fork_detected_identically_under_every_backend(self):
         serial = _forked_fingerprint("serial")
-        threaded = _forked_fingerprint("threaded")
-        assert serial == threaded
+        for backend in BACKENDS[1:]:
+            assert _forked_fingerprint(backend) == serial, backend
         assert serial["violation_type"]  # a violation was in fact recorded
         # a *joined-back* fork surfaces as a shard violation, not a
         # maintained-fork entry (those only list diverged, unjoined forks)
         assert serial["forked"] == []
         assert serial["honest_ok"] == (True, True)
         assert not serial["victim_ok"]
+
+    def test_reshard_crash_txn_scenario_byte_identical(self):
+        serial = _scenario_fingerprint("serial")
+        assert serial["committed"] and serial["verdict_ok"]
+        assert len(serial["shards"]) == len(serial["initial"]) + 1
+        for backend in BACKENDS[1:]:
+            assert _scenario_fingerprint(backend) == serial, backend
 
 
 class TestFastpathMatrixParity:
@@ -319,6 +447,15 @@ for shard_id in cluster.shard_ids:
             wire.update(reply)
         return replies
     host.send_invoke_batch = recording
+    original_deferred = host.send_invoke_batch_deferred
+    def recording_deferred(batch, _original=original_deferred, _sid=shard_id):
+        replies, seal = _original(batch)
+        for (_cid, message), reply in zip(batch, replies):
+            wire.update(_sid.to_bytes(4, "big"))
+            wire.update(message)
+            wire.update(reply)
+        return replies, seal
+    host.send_invoke_batch_deferred = recording_deferred
 router = ShardRouter(cluster)
 for client_id in cluster.client_ids:
     for i in range(6):
@@ -335,6 +472,9 @@ for shard_id in sorted(cluster.shard_ids):
     for client_id, machine in sorted(cluster.shard_clients(shard_id).items()):
         wire.update(machine.last_sequence.to_bytes(8, "big"))
         wire.update(machine.last_chain)
+    storage = cluster.shard_host(shard_id).storage
+    for index in range(storage.version_count()):
+        wire.update(storage.load_version(index))
 print(wire.hexdigest())
 """
 
@@ -462,6 +602,94 @@ class TestExecutionBackendUnit:
             with pytest.raises(SecurityViolation):
                 sim.run()
             assert dispatcher.halted
+        finally:
+            backend.shutdown()
+
+    def test_pipelined_seal_share_validated(self):
+        with pytest.raises(ConfigurationError, match="seal_share"):
+            PipelinedBackend(seal_share=0.0)
+        with pytest.raises(ConfigurationError, match="seal_share"):
+            PipelinedBackend(seal_share=0.6)
+        backend = PipelinedBackend(seal_share=0.5)
+        try:
+            assert backend.pipelined and not backend.virtual_split
+        finally:
+            backend.shutdown()
+
+    def test_backend_instance_passes_through_factory(self):
+        backend = PipelinedBackend(virtual_split=True, seal_share=0.25)
+        try:
+            assert make_execution_backend(backend) is backend
+        finally:
+            backend.shutdown()
+
+    @pytest.mark.parametrize("backend_name", ["pipelined", "process"])
+    def test_dispatcher_violation_at_delivery_same_policy(self, backend_name):
+        """The new backends surface a mid-batch violation at the same
+        boundary as the threaded backend — the delivery event — with the
+        identical halt/record policy."""
+        backend = make_execution_backend(backend_name)
+        try:
+            sim = Simulator()
+            seen = []
+
+            def send_batch(batch):
+                raise SecurityViolation("mid-batch")
+
+            dispatcher = GroupDispatcher(
+                sim=sim,
+                send_batch=send_batch,
+                deliver=lambda c, r: None,
+                batch_limit=4,
+                on_violation=seen.append,
+                execution=backend,
+                take_seal=lambda: None,
+            )
+            dispatcher.enqueue(1, b"m")
+            assert not dispatcher.halted  # not joined yet
+            sim.run()
+            assert len(seen) == 1 and isinstance(seen[0], SecurityViolation)
+            assert dispatcher.halted and not dispatcher.healthy
+        finally:
+            backend.shutdown()
+
+    @pytest.mark.parametrize("backend_name", ["pipelined", "process"])
+    def test_dispatcher_violation_without_hook_propagates(self, backend_name):
+        backend = make_execution_backend(backend_name)
+        try:
+            sim = Simulator()
+
+            def send_batch(batch):
+                raise SecurityViolation("mid-batch")
+
+            dispatcher = GroupDispatcher(
+                sim=sim,
+                send_batch=send_batch,
+                deliver=lambda c, r: None,
+                batch_limit=4,
+                execution=backend,
+                take_seal=lambda: None,
+            )
+            dispatcher.enqueue(1, b"m")
+            with pytest.raises(SecurityViolation):
+                sim.run()
+            assert dispatcher.halted
+        finally:
+            backend.shutdown()
+
+    def test_process_backend_falls_back_without_transportable_context(self):
+        """A host whose enclave program lacks the execution-state surface
+        (the malicious server) must fall back to the in-process ecall."""
+        backend = ProcessBackend(workers=1)
+        try:
+
+            class _Enclave:
+                program = None
+                ecalls = 0
+
+            ran, outcome = backend.run_batch(_Enclave(), [b"m"], lambda b: None)
+            assert not ran and outcome is None
+            assert backend.remote_fallbacks == 1 and backend.remote_batches == 0
         finally:
             backend.shutdown()
 

@@ -82,3 +82,29 @@ class TestSubcommands:
     def test_figures_fast_fig4(self, capsys):
         assert main(["figures", "--only", "fig4", "--duration", "0.2"]) == 0
         assert "fig4" in capsys.readouterr().out
+
+    def test_parallel_notices_single_core_gate(self, capsys):
+        assert main(["parallel", "--shards", "2", "--clients", "4",
+                     "--ops", "8"]) == 0
+        out = capsys.readouterr().out
+        import os
+        if (os.cpu_count() or 1) < 2:
+            assert "threaded_speedup: skipped" in out
+            assert "os.cpu_count()" in out
+        else:
+            assert "threaded speedup" in out
+
+    def test_parallel_accepts_backend_list(self, capsys):
+        assert main(["parallel", "--shards", "2", "--clients", "4",
+                     "--ops", "8", "--backends", "serial", "pipelined"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined:" in out
+
+    def test_frontier_quick_smoke(self, capsys, tmp_path):
+        output = tmp_path / "frontier.json"
+        assert main(["frontier", "--quick", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "saturation: serial @ 2 shard(s)" in out
+        assert "pipelined/serial saturation throughput" in out
+        assert "FRONTIER FAILED" not in out
+        assert output.exists()
